@@ -1,0 +1,111 @@
+//! ANS-class compressor (nvCOMP ANS).
+//!
+//! A pure entropy coder: the byte stream is split into independent 64 KiB
+//! blocks, each rANS-coded with its own static model — the block
+//! independence is what makes the original GPU-parallel.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::{rans, varint};
+
+/// Block size in bytes.
+pub const BLOCK: usize = 64 * 1024;
+
+/// The ANS-class compressor.
+#[derive(Debug, Clone, Default)]
+pub struct Ans;
+
+impl Ans {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Codec for Ans {
+    fn name(&self) -> &'static str {
+        "ANS"
+    }
+
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in data.chunks(BLOCK) {
+            let coded = rans::compress(block);
+            varint::write_usize(&mut out, coded.len());
+            out.extend_from_slice(&coded);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        while out.len() < total {
+            let len = varint::read_usize(data, &mut pos)?;
+            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("ans block overflow"))?;
+            let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
+            let block = rans::decompress(body)?;
+            if block.len() > total - out.len() {
+                return Err(DecodeError::Corrupt("ans block overruns output"));
+            }
+            out.extend_from_slice(&block);
+            pos = end;
+            if block.is_empty() {
+                return Err(DecodeError::Corrupt("ans empty block"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let a = Ans::new();
+        let meta = Meta::f32_flat(data.len() / 4);
+        let c = a.compress(data, &meta);
+        assert_eq!(a.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn multi_block() {
+        let data: Vec<u8> = (0..BLOCK * 2 + 999).map(|i| (i % 7) as u8).collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 2);
+    }
+
+    #[test]
+    fn skewed_floats_compress_somewhat() {
+        // Float bytes are skewed (exponents repeat); ANS exploits that.
+        let values: Vec<f32> = (0..30_000).map(|i| 1.0 + (i as f32) * 1e-6).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len(), "got {size}");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = vec![1u8; 10_000];
+        let a = Ans::new();
+        let meta = Meta::f32_flat(0);
+        let c = a.compress(&data, &meta);
+        assert!(a.decompress(&c[..c.len() - 2], &meta).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Bitcomp-class compressor (nvCOMP's proprietary float codec).
+//!
+//! Bitcomp's published behaviour: per-block delta coding followed by
+//! bit-plane-aware packing at the narrowest width that covers the block,
+//! with a "sparse" variant that additionally removes zero words behind a
+//! bitmap. This reimplementation mirrors that: zigzag delta + per-subblock
+//! minimal-width bit packing (default), plus a sparse mode.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::{bitpack, varint};
+
+/// Words per packing subblock.
+pub const SUBBLOCK: usize = 64;
+
+/// The Bitcomp-class compressor.
+#[derive(Debug, Clone)]
+pub struct BitcompLike {
+    sparse: bool,
+}
+
+impl BitcompLike {
+    /// Standard mode: delta + per-subblock bit packing.
+    pub fn new() -> Self {
+        Self { sparse: false }
+    }
+
+    /// Sparse mode: zero words removed behind a bitmap before packing.
+    pub fn sparse() -> Self {
+        Self { sparse: true }
+    }
+}
+
+impl Default for BitcompLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn zigzag64(v: u64) -> u64 {
+    (v << 1) ^ (((v as i64) >> 63) as u64)
+}
+
+fn unzigzag64(v: u64) -> u64 {
+    (v >> 1) ^ (v & 1).wrapping_neg()
+}
+
+/// Sign-extends a `width_bits`-wide two's-complement value held in the low
+/// bits of `v`.
+#[inline]
+fn sign_extend(v: u64, width_bits: u32) -> u64 {
+    let shift = 64 - width_bits;
+    (((v << shift) as i64) >> shift) as u64
+}
+
+fn encode_words(words: &[u64], width_bits: u32, sparse: bool, out: &mut Vec<u8>) {
+    // Delta (modulo the element width) + zigzag; the zigzagged delta fits
+    // back into `width_bits` bits.
+    let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+    let mut deltas = Vec::with_capacity(words.len());
+    let mut prev = 0u64;
+    for &w in words {
+        let diff = w.wrapping_sub(prev) & mask;
+        deltas.push(zigzag64(sign_extend(diff, width_bits)) & mask);
+        prev = w;
+    }
+    let (packable, bitmap): (Vec<u64>, Option<Vec<u8>>) = if sparse {
+        let mut bitmap = vec![0u8; deltas.len().div_ceil(8)];
+        let mut kept = Vec::new();
+        for (i, &d) in deltas.iter().enumerate() {
+            if d != 0 {
+                bitmap[i / 8] |= 1 << (i % 8);
+                kept.push(d);
+            }
+        }
+        (kept, Some(bitmap))
+    } else {
+        (deltas, None)
+    };
+    if let Some(bm) = &bitmap {
+        varint::write_usize(out, packable.len());
+        out.extend_from_slice(bm);
+    }
+    for sub in packable.chunks(SUBBLOCK) {
+        let width = bitpack::min_width_u64(sub).min(width_bits);
+        out.push(width as u8);
+        bitpack::pack_u64(sub, width, out);
+    }
+}
+
+fn decode_words(
+    data: &[u8],
+    pos: &mut usize,
+    count: usize,
+    width_bits: u32,
+    sparse: bool,
+    out: &mut Vec<u64>,
+) -> Result<()> {
+    let (packed_count, bitmap) = if sparse {
+        let kept = varint::read_usize(data, pos)?;
+        let bm_len = count.div_ceil(8);
+        let bm_end = pos.checked_add(bm_len).ok_or(DecodeError::Corrupt("bitcomp bitmap overflow"))?;
+        let bm = data.get(*pos..bm_end).ok_or(DecodeError::UnexpectedEof)?.to_vec();
+        *pos = bm_end;
+        (kept, Some(bm))
+    } else {
+        (count, None)
+    };
+    let mut packed = Vec::with_capacity(fpc_entropy::prealloc_limit(packed_count));
+    let mut remaining = packed_count;
+    while remaining > 0 {
+        let n = remaining.min(SUBBLOCK);
+        let width = u32::from(*data.get(*pos).ok_or(DecodeError::UnexpectedEof)?);
+        *pos += 1;
+        if width > 64 {
+            return Err(DecodeError::Corrupt("bitcomp width exceeds 64"));
+        }
+        let nbytes = bitpack::packed_len(n, width);
+        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("bitcomp pack overflow"))?;
+        let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+        bitpack::unpack_u64(body, width, n, &mut packed)?;
+        *pos = end;
+        remaining -= n;
+    }
+    let deltas: Vec<u64> = match bitmap {
+        Some(bm) => {
+            let mut it = packed.into_iter();
+            let mut deltas = Vec::with_capacity(fpc_entropy::prealloc_limit(count));
+            for i in 0..count {
+                if bm[i / 8] & (1 << (i % 8)) != 0 {
+                    deltas.push(it.next().ok_or(DecodeError::Corrupt("bitcomp bitmap overrun"))?);
+                } else {
+                    deltas.push(0);
+                }
+            }
+            deltas
+        }
+        None => packed,
+    };
+    let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+    let mut prev = 0u64;
+    out.reserve(count);
+    for d in deltas {
+        let v = prev.wrapping_add(unzigzag64(d)) & mask;
+        out.push(v);
+        prev = v;
+    }
+    Ok(())
+}
+
+impl Codec for BitcompLike {
+    fn name(&self) -> &'static str {
+        if self.sparse {
+            "Bitcomp-sparse"
+        } else {
+            "Bitcomp"
+        }
+    }
+
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let width = usize::from(meta.element_width.max(1)).min(8);
+        let n = data.len() / width;
+        let (head, tail) = data.split_at(n * width);
+        // Widen everything to u64 lanes for a single code path.
+        let words: Vec<u64> = head
+            .chunks_exact(width)
+            .map(|c| {
+                let mut v = 0u64;
+                for (i, &b) in c.iter().enumerate() {
+                    v |= u64::from(b) << (8 * i);
+                }
+                v
+            })
+            .collect();
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        encode_words(&words, width as u32 * 8, self.sparse, &mut out);
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let width = usize::from(meta.element_width.max(1)).min(8);
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let n = total / width;
+        let tail_len = total % width;
+        let mut words = Vec::with_capacity(fpc_entropy::prealloc_limit(n));
+        decode_words(data, &mut pos, n, width as u32 * 8, self.sparse, &mut words)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes()[..width]);
+        }
+        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f32], sparse: bool) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bc = if sparse { BitcompLike::sparse() } else { BitcompLike::new() };
+        let meta = Meta::f32_flat(values.len());
+        let c = bc.compress(&data, &meta);
+        assert_eq!(bc.decompress(&c, &meta).unwrap(), data, "sparse={sparse}");
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[], false);
+        roundtrip(&[], true);
+        roundtrip(&[1.0, 2.0, 3.0], false);
+        roundtrip(&[0.0; 5], true);
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        let values: Vec<f32> = (0..50_000).map(|i| 100.0 + i as f32 * 0.25).collect();
+        let size = roundtrip(&values, false);
+        assert!(size < values.len() * 4 / 2, "got {size}");
+    }
+
+    #[test]
+    fn sparse_wins_on_constant_blocks() {
+        let mut values = vec![7.5f32; 40_000];
+        for i in (0..values.len()).step_by(1000) {
+            values[i] = i as f32;
+        }
+        let dense = roundtrip(&values, false);
+        let sparse = roundtrip(&values, true);
+        assert!(sparse < dense, "sparse {sparse} vs dense {dense}");
+    }
+
+    #[test]
+    fn f64_path() {
+        let values: Vec<f64> = (0..20_000).map(|i| (i as f64).sqrt()).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bc = BitcompLike::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = bc.compress(&data, &meta);
+        assert_eq!(bc.decompress(&c, &meta).unwrap(), data);
+        assert!(c.len() < data.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 1 << 63, 12345] {
+            assert_eq!(unzigzag64(zigzag64(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bc = BitcompLike::new();
+        let meta = Meta::f32_flat(values.len());
+        let c = bc.compress(&data, &meta);
+        assert!(bc.decompress(&c[..c.len() - 3], &meta).is_err());
+    }
+}

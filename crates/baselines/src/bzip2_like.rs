@@ -1,0 +1,157 @@
+//! Bzip2-class compressor.
+//!
+//! The classic pipeline: run-length precompression, Burrows–Wheeler
+//! transform, move-to-front, and Huffman coding, over independent blocks.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::{bwt, huffman, rle, varint};
+
+/// Default block size in bytes (bzip2's `-9` default is 900 kB; smaller
+/// blocks keep the prefix-doubling rotation sort fast while preserving the
+/// mechanism).
+pub const BLOCK: usize = 128 * 1024;
+
+/// The Bzip2-class compressor.
+#[derive(Debug, Clone)]
+pub struct Bzip2Like {
+    name: &'static str,
+    block: usize,
+}
+
+impl Bzip2Like {
+    /// Default configuration (single roster entry, 128 KiB blocks).
+    pub fn new() -> Self {
+        Self { name: "Bzip2", block: BLOCK }
+    }
+
+    /// Smallest block size (bzip2 `-1` equivalent): faster, worse ratio.
+    pub fn fast() -> Self {
+        Self { name: "Bzip2-fast", block: 32 * 1024 }
+    }
+
+    /// Largest block size evaluated (bzip2 `-9` spirit): slower, best ratio.
+    pub fn best() -> Self {
+        Self { name: "Bzip2-best", block: 256 * 1024 }
+    }
+}
+
+impl Default for Bzip2Like {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Codec for Bzip2Like {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device(&self) -> Device {
+        Device::Cpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::General
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in data.chunks(self.block) {
+            let rle1 = rle::compress_bytes(block);
+            let transformed = bwt::forward(&rle1);
+            let mtf = bwt::mtf_forward(&transformed.last_column);
+            let coded = huffman::compress_bytes(&mtf);
+            varint::write_usize(&mut out, transformed.primary_index);
+            varint::write_usize(&mut out, coded.len());
+            out.extend_from_slice(&coded);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        while out.len() < total {
+            let primary_index = varint::read_usize(data, &mut pos)?;
+            let len = varint::read_usize(data, &mut pos)?;
+            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("bzip2 block overflow"))?;
+            let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
+            pos = end;
+            let mtf = huffman::decompress_bytes(body)?;
+            let last_column = bwt::mtf_inverse(&mtf);
+            let rle1 = bwt::inverse(&bwt::Bwt { last_column, primary_index })?;
+            let block = rle::decompress_bytes(&rle1)?;
+            if block.is_empty() || block.len() > total - out.len() {
+                return Err(DecodeError::Corrupt("bzip2 block size invalid"));
+            }
+            out.extend_from_slice(&block);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let b = Bzip2Like::new();
+        let meta = Meta::f32_flat(0);
+        let c = b.compress(data, &meta);
+        assert_eq!(b.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[]);
+        roundtrip(b"a");
+        roundtrip(b"banana");
+    }
+
+    #[test]
+    fn text_compresses_well() {
+        let data = b"to be or not to be, that is the question. ".repeat(1000);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 6, "got {size}");
+    }
+
+    #[test]
+    fn float_bytes_roundtrip() {
+        let data: Vec<u8> = (0..20_000u32)
+            .flat_map(|i| (0.5f32 + (i / 8) as f32).to_bits().to_le_bytes())
+            .collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len());
+    }
+
+    #[test]
+    fn multi_block() {
+        let data: Vec<u8> = (0..BLOCK + 5000).map(|i| ((i / 3) % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn modes_roundtrip_and_best_wins() {
+        let data = b"effervescent effervescence evanesces ".repeat(3000);
+        let meta = Meta::f32_flat(0);
+        let mut sizes = Vec::new();
+        for codec in [Bzip2Like::fast(), Bzip2Like::best()] {
+            let c = codec.compress(&data, &meta);
+            assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+            sizes.push(c.len());
+        }
+        assert!(sizes[1] <= sizes[0], "best {} vs fast {}", sizes[1], sizes[0]);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = b"block data ".repeat(500);
+        let b = Bzip2Like::new();
+        let meta = Meta::f32_flat(0);
+        let c = b.compress(&data, &meta);
+        assert!(b.decompress(&c[..c.len() - 3], &meta).is_err());
+    }
+}

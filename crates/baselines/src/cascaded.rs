@@ -1,0 +1,195 @@
+//! Cascaded-class compressor (nvCOMP Cascaded).
+//!
+//! nvCOMP's Cascaded scheme chains run-length encoding, delta coding, and
+//! bit packing — designed for numeric columns with runs and slow drift.
+//! This reimplementation applies word-level RLE, zigzag-delta-codes the run
+//! values, and bit-packs both the values and the run lengths.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::{bitpack, rle, varint};
+
+/// The Cascaded-class compressor.
+#[derive(Debug, Clone, Default)]
+pub struct Cascaded;
+
+impl Cascaded {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+fn zigzag64(v: u64) -> u64 {
+    (v << 1) ^ (((v as i64) >> 63) as u64)
+}
+
+fn unzigzag64(v: u64) -> u64 {
+    (v >> 1) ^ (v & 1).wrapping_neg()
+}
+
+fn pack_array(values: &[u64], out: &mut Vec<u8>) {
+    let width = bitpack::min_width_u64(values);
+    varint::write_usize(out, values.len());
+    out.push(width as u8);
+    bitpack::pack_u64(values, width, out);
+}
+
+fn unpack_array(data: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
+    let count = varint::read_usize(data, pos)?;
+    if count > data.len().saturating_mul(8).saturating_add(1) {
+        return Err(DecodeError::Corrupt("cascaded array implausibly large"));
+    }
+    let width = u32::from(*data.get(*pos).ok_or(DecodeError::UnexpectedEof)?);
+    *pos += 1;
+    if width > 64 {
+        return Err(DecodeError::Corrupt("cascaded width exceeds 64"));
+    }
+    let nbytes = bitpack::packed_len(count, width);
+    let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("cascaded pack overflow"))?;
+    let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+    let mut values = Vec::with_capacity(count);
+    bitpack::unpack_u64(body, width, count, &mut values)?;
+    *pos = end;
+    Ok(values)
+}
+
+impl Codec for Cascaded {
+    fn name(&self) -> &'static str {
+        "Cascaded"
+    }
+
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::General
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let width = usize::from(meta.element_width.clamp(1, 8));
+        let n = data.len() / width;
+        let (head, tail) = data.split_at(n * width);
+        let words: Vec<u64> = head
+            .chunks_exact(width)
+            .map(|c| {
+                let mut v = 0u64;
+                for (i, &b) in c.iter().enumerate() {
+                    v |= u64::from(b) << (8 * i);
+                }
+                v
+            })
+            .collect();
+        let runs = rle::runs_of(&words);
+        // Delta+zigzag the run values (consecutive distinct values drift);
+        // the delta is taken modulo the element width so it re-packs tightly.
+        let width_bits = width as u32 * 8;
+        let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+        let shift = 64 - width_bits;
+        let mut deltas = Vec::with_capacity(runs.len());
+        let mut prev = 0u64;
+        for r in &runs {
+            let diff = r.value.wrapping_sub(prev) & mask;
+            let signed = (((diff << shift) as i64) >> shift) as u64;
+            deltas.push(zigzag64(signed) & mask);
+            prev = r.value;
+        }
+        let lengths: Vec<u64> = runs.iter().map(|r| r.len - 1).collect();
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        pack_array(&deltas, &mut out);
+        pack_array(&lengths, &mut out);
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let width = usize::from(meta.element_width.clamp(1, 8));
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let n = total / width;
+        let tail_len = total % width;
+        let deltas = unpack_array(data, &mut pos)?;
+        let lengths = unpack_array(data, &mut pos)?;
+        if deltas.len() != lengths.len() {
+            return Err(DecodeError::Corrupt("cascaded array length mismatch"));
+        }
+        let width_bits = width as u32 * 8;
+        let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        let mut prev = 0u64;
+        let mut produced = 0usize;
+        for (d, l) in deltas.into_iter().zip(lengths) {
+            let v = prev.wrapping_add(unzigzag64(d)) & mask;
+            prev = v;
+            let run = usize::try_from(l).map_err(|_| DecodeError::Corrupt("cascaded run overflow"))?
+                + 1;
+            produced = produced.checked_add(run).ok_or(DecodeError::Corrupt("cascaded overflow"))?;
+            if produced > n {
+                return Err(DecodeError::Corrupt("cascaded runs overrun output"));
+            }
+            for _ in 0..run {
+                out.extend_from_slice(&v.to_le_bytes()[..width]);
+            }
+        }
+        if produced != n {
+            return Err(DecodeError::Corrupt("cascaded runs underrun output"));
+        }
+        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f64]) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let c = Cascaded::new();
+        let meta = Meta::f64_flat(values.len());
+        let stream = c.compress(&data, &meta);
+        assert_eq!(c.decompress(&stream, &meta).unwrap(), data);
+        stream.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[]);
+        roundtrip(&[5.0]);
+    }
+
+    #[test]
+    fn runs_compress_extremely() {
+        let mut values = vec![1.0f64; 10_000];
+        values.extend(vec![2.0f64; 10_000]);
+        let size = roundtrip(&values);
+        assert!(size < 100, "got {size}");
+    }
+
+    #[test]
+    fn drifting_values_compress() {
+        // Monotone integers-as-doubles: deltas are constant-ish bit patterns.
+        let values: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn random_data_roundtrips() {
+        let values: Vec<f64> = (0..5_000)
+            .map(|i| f64::from_bits(0x3FF0_0000_0000_0000 | (i as u64).wrapping_mul(0x9E37_79B9)))
+            .collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn corrupt_run_rejected() {
+        let values = vec![3.0f64; 100];
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let c = Cascaded::new();
+        let meta = Meta::f64_flat(values.len());
+        let stream = c.compress(&data, &meta);
+        assert!(c.decompress(&stream[..stream.len() - 1], &meta).is_err());
+    }
+}

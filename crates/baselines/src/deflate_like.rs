@@ -1,0 +1,246 @@
+//! Deflate-class compressors: gzip (fast/best) and nvCOMP (G)Deflate.
+//!
+//! LZSS tokens entropy-coded with two canonical Huffman code books (one for
+//! literals + match-length buckets, one for distance buckets), with
+//! logarithmic bucket + raw extra bits exactly in Deflate's spirit.
+//! GDeflate is modelled as the same coder over smaller independent tiles
+//! (its GPU innovation is decode parallelism, not a different format).
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::bitio::{BitReader, BitWriter};
+use fpc_entropy::huffman::{CodeBook, Decoder};
+use fpc_entropy::lz::{tokenize, Effort, MIN_MATCH};
+use fpc_entropy::varint;
+
+const LIT_SYMBOLS: usize = 256 + 32; // literals + length buckets
+const DIST_SYMBOLS: usize = 32;
+
+/// A Deflate-class compressor configuration.
+#[derive(Debug, Clone)]
+pub struct DeflateLike {
+    name: &'static str,
+    block: usize,
+    effort: Effort,
+    device: Device,
+}
+
+impl DeflateLike {
+    /// gzip at its fastest level.
+    pub fn gzip_fast() -> Self {
+        Self { name: "Gzip-fast", block: 128 * 1024, effort: Effort::Fast, device: Device::Cpu }
+    }
+
+    /// gzip at its best-compressing level.
+    pub fn gzip_best() -> Self {
+        Self { name: "Gzip-best", block: 128 * 1024, effort: Effort::Thorough, device: Device::Cpu }
+    }
+
+    /// nvCOMP GDeflate (independent 64 KiB tiles).
+    pub fn gdeflate() -> Self {
+        Self { name: "Gdeflate", block: 64 * 1024, effort: Effort::Thorough, device: Device::Gpu }
+    }
+}
+
+/// (bucket, extra-bit count, extra value) for `v >= 1`.
+#[inline]
+fn bucket_of(v: u64) -> (u32, u32, u64) {
+    debug_assert!(v >= 1);
+    let b = 63 - v.leading_zeros();
+    (b, b, v - (1u64 << b))
+}
+
+#[inline]
+fn unbucket(bucket: u32, extra: u64) -> u64 {
+    (1u64 << bucket) + extra
+}
+
+fn encode_block(block: &[u8], effort: Effort, out: &mut Vec<u8>) {
+    let tokens = tokenize(block, effort);
+    // Histogram pass.
+    let mut lit_freqs = vec![0u64; LIT_SYMBOLS];
+    let mut dist_freqs = vec![0u64; DIST_SYMBOLS];
+    let mut pos = 0usize;
+    for t in &tokens {
+        for &b in &block[pos..pos + t.literal_len] {
+            lit_freqs[b as usize] += 1;
+        }
+        pos += t.literal_len + t.match_len;
+        if t.match_len > 0 {
+            let (lb, _, _) = bucket_of((t.match_len - MIN_MATCH + 1) as u64);
+            lit_freqs[256 + lb as usize] += 1;
+            let (db, _, _) = bucket_of(t.distance as u64);
+            dist_freqs[db as usize] += 1;
+        }
+    }
+    let lit_book = CodeBook::from_freqs(&lit_freqs);
+    let dist_book = CodeBook::from_freqs(&dist_freqs);
+    varint::write_usize(out, block.len());
+    lit_book.write_header(out);
+    dist_book.write_header(out);
+    // Coding pass.
+    let mut w = BitWriter::with_capacity(block.len() / 2);
+    let mut pos = 0usize;
+    for t in &tokens {
+        for &b in &block[pos..pos + t.literal_len] {
+            lit_book.encode(&mut w, b as usize);
+        }
+        pos += t.literal_len + t.match_len;
+        if t.match_len > 0 {
+            let (lb, lbits, lextra) = bucket_of((t.match_len - MIN_MATCH + 1) as u64);
+            lit_book.encode(&mut w, 256 + lb as usize);
+            w.write_bits(lextra, lbits);
+            let (db, dbits, dextra) = bucket_of(t.distance as u64);
+            dist_book.encode(&mut w, db as usize);
+            w.write_bits(dextra, dbits);
+        }
+    }
+    let payload_len = w.bit_len().div_ceil(8);
+    varint::write_usize(out, payload_len);
+    w.finish_into(out);
+}
+
+fn decode_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<()> {
+    let raw_len = varint::read_usize(data, pos)?;
+    let lit_book = CodeBook::read_header(data, pos)?;
+    let dist_book = CodeBook::read_header(data, pos)?;
+    let payload_len = varint::read_usize(data, pos)?;
+    let end = pos.checked_add(payload_len).ok_or(DecodeError::Corrupt("deflate payload overflow"))?;
+    let payload = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+    *pos = end;
+    let lit_dec = Decoder::new(&lit_book);
+    let dist_dec = Decoder::new(&dist_book);
+    let mut r = BitReader::new(payload);
+    let start = out.len();
+    while out.len() - start < raw_len {
+        let sym = lit_dec.decode(&mut r)? as usize;
+        if sym < 256 {
+            out.push(sym as u8);
+        } else {
+            let lb = (sym - 256) as u32;
+            let lextra = r.read_bits(lb).ok_or(DecodeError::UnexpectedEof)?;
+            let match_len = unbucket(lb, lextra) as usize + MIN_MATCH - 1;
+            let db = u32::from(dist_dec.decode(&mut r)?);
+            if db > 32 {
+                return Err(DecodeError::Corrupt("deflate distance bucket invalid"));
+            }
+            let dextra = r.read_bits(db).ok_or(DecodeError::UnexpectedEof)?;
+            let dist = unbucket(db, dextra) as usize;
+            if dist == 0 || dist > out.len() - start {
+                return Err(DecodeError::Corrupt("deflate distance out of range"));
+            }
+            if out.len() - start + match_len > raw_len {
+                return Err(DecodeError::Corrupt("deflate match overruns block"));
+            }
+            let from = out.len() - dist;
+            for k in 0..match_len {
+                let b = out[from + k];
+                out.push(b);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Codec for DeflateLike {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device(&self) -> Device {
+        self.device
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::General
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in data.chunks(self.block) {
+            encode_block(block, self.effort, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        while out.len() < total {
+            let before = out.len();
+            decode_block(data, &mut pos, &mut out)?;
+            if out.len() == before {
+                return Err(DecodeError::Corrupt("deflate empty block"));
+            }
+        }
+        if out.len() != total {
+            return Err(DecodeError::Corrupt("deflate length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], codec: &DeflateLike) -> usize {
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(data, &meta);
+        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        c.len()
+    }
+
+    #[test]
+    fn text_roundtrips_all_modes() {
+        let data = b"it was the best of times, it was the worst of times ".repeat(2000);
+        for codec in [DeflateLike::gzip_fast(), DeflateLike::gzip_best(), DeflateLike::gdeflate()] {
+            let size = roundtrip(&data, &codec);
+            assert!(size < data.len() / 5, "{}: {size}", codec.name());
+        }
+    }
+
+    #[test]
+    fn best_beats_fast() {
+        let data: Vec<u8> = (0..300_000u32)
+            .flat_map(|i| ((i / 100) as f32).to_bits().to_le_bytes())
+            .collect();
+        let fast = roundtrip(&data, &DeflateLike::gzip_fast());
+        let best = roundtrip(&data, &DeflateLike::gzip_best());
+        assert!(best <= fast, "best {best} vs fast {fast}");
+    }
+
+    #[test]
+    fn empty_and_incompressible() {
+        roundtrip(&[], &DeflateLike::gzip_fast());
+        let noise: Vec<u8> =
+            (0..50_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as u8).collect();
+        roundtrip(&noise, &DeflateLike::gzip_best());
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let codec = DeflateLike::gdeflate();
+        let data: Vec<u8> = (0..codec.block * 2 + 17).map(|i| (i % 13) as u8).collect();
+        roundtrip(&data, &codec);
+    }
+
+    #[test]
+    fn bucket_roundtrip() {
+        for v in [1u64, 2, 3, 4, 7, 8, 255, 256, 65535, 1 << 20] {
+            let (b, bits, extra) = bucket_of(v);
+            assert!(extra < (1 << bits) || bits == 0);
+            assert_eq!(unbucket(b, extra), v);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let codec = DeflateLike::gzip_fast();
+        let data = b"abcdabcdabcd".repeat(1000);
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(&data, &meta);
+        assert!(codec.decompress(&c[..c.len() - 2], &meta).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! FPC: hash-predictor compressor for double-precision data.
+//!
+//! Reimplements Burtscher & Ratanaworabhan's FPC: an FCM predictor (hash of
+//! recent values) and a DFCM predictor (hash of recent deltas) both guess
+//! the next double; the better prediction's XOR residual is stored with a
+//! 1-bit predictor selector and a 3-bit leading-zero-byte count, packed two
+//! values per header byte.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::varint;
+
+/// Log2 of the default predictor table size (the original's "level").
+pub const DEFAULT_LEVEL: u32 = 16;
+
+/// The FPC compressor (double precision only).
+#[derive(Debug, Clone)]
+pub struct Fpc {
+    table_bits: u32,
+}
+
+impl Fpc {
+    /// FPC at the default table size (2^16 entries per predictor).
+    pub fn new() -> Self {
+        Self { table_bits: DEFAULT_LEVEL }
+    }
+
+    /// FPC with `bits`-bit predictor tables (the original's level flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=28`.
+    pub fn with_level(bits: u32) -> Self {
+        assert!((1..=28).contains(&bits), "fpc level out of range");
+        Self { table_bits: bits }
+    }
+}
+
+impl Default for Fpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Predictors {
+    fcm: Vec<u64>,
+    dfcm: Vec<u64>,
+    fcm_hash: usize,
+    dfcm_hash: usize,
+    last: u64,
+    mask: usize,
+}
+
+impl Predictors {
+    fn new(table_bits: u32) -> Self {
+        let size = 1usize << table_bits;
+        Self {
+            fcm: vec![0; size],
+            dfcm: vec![0; size],
+            fcm_hash: 0,
+            dfcm_hash: 0,
+            last: 0,
+            mask: size - 1,
+        }
+    }
+
+    /// Returns (fcm_prediction, dfcm_prediction) for the next value.
+    #[inline]
+    fn predict(&self) -> (u64, u64) {
+        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+    }
+
+    /// Updates tables and hashes with the actual value.
+    #[inline]
+    fn update(&mut self, value: u64) {
+        self.fcm[self.fcm_hash] = value;
+        self.fcm_hash = ((self.fcm_hash << 6) ^ (value >> 48) as usize) & self.mask;
+        let delta = value.wrapping_sub(self.last);
+        self.dfcm[self.dfcm_hash] = delta;
+        self.dfcm_hash = ((self.dfcm_hash << 2) ^ (delta >> 40) as usize) & self.mask;
+        self.last = value;
+    }
+}
+
+/// Maps a leading-zero-byte count (0..=8) to its 3-bit code.
+/// Counts {0,1,2,3,4,5,6,8} are representable; 7 is rounded down to 6
+/// (one extra zero byte is transmitted), as in the original.
+#[inline]
+fn lzb_to_code(lzb: u32) -> u32 {
+    match lzb {
+        8 => 7,
+        7 => 6,
+        c => c,
+    }
+}
+
+#[inline]
+fn code_to_lzb(code: u32) -> u32 {
+    if code == 7 {
+        8
+    } else {
+        code
+    }
+}
+
+/// Core FPC encoding of a u64 word stream (shared with pFPC).
+pub(crate) fn encode_words(words: &[u64], table_bits: u32, out: &mut Vec<u8>) {
+    let mut pred = Predictors::new(table_bits);
+    let n = words.len();
+    let mut headers = Vec::with_capacity(n.div_ceil(2));
+    let mut residuals = Vec::with_capacity(n * 4);
+    let mut pending: Option<u8> = None;
+    for &v in words {
+        let (fcm_p, dfcm_p) = pred.predict();
+        let r_fcm = v ^ fcm_p;
+        let r_dfcm = v ^ dfcm_p;
+        let (selector, residual) =
+            if r_fcm <= r_dfcm { (0u8, r_fcm) } else { (1u8, r_dfcm) };
+        let lzb = residual.leading_zeros() / 8;
+        let code = lzb_to_code(lzb);
+        let emit_bytes = 8 - code_to_lzb(code) as usize;
+        let nibble = (selector << 3) | code as u8;
+        match pending.take() {
+            None => pending = Some(nibble),
+            Some(first) => headers.push(first | (nibble << 4)),
+        }
+        // Residual bytes, least significant first.
+        for b in 0..emit_bytes {
+            residuals.push((residual >> (8 * b)) as u8);
+        }
+        pred.update(v);
+    }
+    if let Some(first) = pending {
+        headers.push(first);
+    }
+    varint::write_usize(out, residuals.len());
+    out.extend_from_slice(&headers);
+    out.extend_from_slice(&residuals);
+}
+
+/// Core FPC decoding (shared with pFPC).
+pub(crate) fn decode_words(
+    data: &[u8],
+    pos: &mut usize,
+    count: usize,
+    table_bits: u32,
+    out: &mut Vec<u64>,
+) -> Result<()> {
+    let residual_len = varint::read_usize(data, pos)?;
+    let header_len = count.div_ceil(2);
+    let headers_end =
+        pos.checked_add(header_len).ok_or(DecodeError::Corrupt("fpc header overflow"))?;
+    let residuals_end = headers_end
+        .checked_add(residual_len)
+        .ok_or(DecodeError::Corrupt("fpc residual overflow"))?;
+    if residuals_end > data.len() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let headers = &data[*pos..headers_end];
+    let residuals = &data[headers_end..residuals_end];
+    *pos = residuals_end;
+
+    let mut pred = Predictors::new(table_bits);
+    let mut rpos = 0usize;
+    out.reserve(count);
+    for i in 0..count {
+        let byte = headers[i / 2];
+        let nibble = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+        let selector = (nibble >> 3) & 1;
+        let lzb = code_to_lzb(u32::from(nibble & 0x07));
+        let emit_bytes = 8 - lzb as usize;
+        if rpos + emit_bytes > residuals.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut residual = 0u64;
+        for b in 0..emit_bytes {
+            residual |= u64::from(residuals[rpos + b]) << (8 * b);
+        }
+        rpos += emit_bytes;
+        let (fcm_p, dfcm_p) = pred.predict();
+        let v = residual ^ if selector == 0 { fcm_p } else { dfcm_p };
+        out.push(v);
+        pred.update(v);
+    }
+    if rpos != residuals.len() {
+        return Err(DecodeError::Corrupt("fpc residual bytes left over"));
+    }
+    Ok(())
+}
+
+impl Codec for Fpc {
+    fn name(&self) -> &'static str {
+        "FPC"
+    }
+
+    fn device(&self) -> Device {
+        Device::Cpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F64
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let n = data.len() / 8;
+        let (head, tail) = data.split_at(n * 8);
+        let words: Vec<u64> = head
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        encode_words(&words, self.table_bits, &mut out);
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let count = total / 8;
+        let tail_len = total % 8;
+        let mut words = Vec::with_capacity(fpc_entropy::prealloc_limit(count));
+        decode_words(data, &mut pos, count, self.table_bits, &mut words)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes_of(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    }
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let fpc = Fpc::new();
+        let meta = Meta::f64_flat(data.len() / 8);
+        let c = fpc.compress(data, &meta);
+        assert_eq!(fpc.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn odd_tail() {
+        roundtrip(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn smooth_doubles_compress() {
+        let values: Vec<f64> = (0..50_000).map(|i| (i as f64 * 1e-4).sin()).collect();
+        let data = bytes_of(&values);
+        let size = roundtrip(&data);
+        assert!(size < data.len() * 3 / 4, "got {size} of {}", data.len());
+    }
+
+    #[test]
+    fn repeating_values_compress_extremely() {
+        let values = vec![42.5f64; 10_000];
+        let data = bytes_of(&values);
+        let size = roundtrip(&data);
+        // Perfect predictions: ~0.5 byte/value header only.
+        assert!(size < data.len() / 10, "got {size}");
+    }
+
+    #[test]
+    fn random_doubles_roundtrip() {
+        let values: Vec<u64> =
+            (0..5_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn lzb_code_mapping() {
+        for lzb in 0..=8u32 {
+            let code = lzb_to_code(lzb);
+            assert!(code <= 7);
+            // Decoding the code never claims more zero bytes than there are.
+            assert!(code_to_lzb(code) <= lzb.max(6));
+        }
+        assert_eq!(code_to_lzb(lzb_to_code(8)), 8);
+        assert_eq!(code_to_lzb(lzb_to_code(7)), 6);
+    }
+
+    #[test]
+    fn different_levels_roundtrip() {
+        let values: Vec<f64> = (0..8_000).map(|i| (i as f64).sqrt()).collect();
+        let data = bytes_of(&values);
+        for bits in [4u32, 10, 20] {
+            let fpc = Fpc::with_level(bits);
+            let meta = Meta::f64_flat(values.len());
+            let c = fpc.compress(&data, &meta);
+            assert_eq!(fpc.decompress(&c, &meta).unwrap(), data, "level {bits}");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let data = bytes_of(&values);
+        let fpc = Fpc::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = fpc.compress(&data, &meta);
+        assert!(fpc.decompress(&c[..c.len() - 4], &meta).is_err());
+    }
+}

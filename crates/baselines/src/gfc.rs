@@ -1,0 +1,177 @@
+//! GFC: GPU floating-point compressor for doubles (O'Neil & Burtscher).
+//!
+//! Chunked difference coding: within each chunk the difference to the
+//! previous value is computed, negated if negative, and stored as a nibble
+//! (sign bit + 3-bit leading-zero-byte count) followed by the surviving
+//! bytes. Chunks reset the difference base so they can be (de)compressed in
+//! parallel on GPU warps.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::varint;
+
+/// Values per chunk (GFC processes chunks in parallel on the GPU).
+pub const CHUNK_VALUES: usize = 4096;
+
+/// The GFC compressor (double precision only).
+#[derive(Debug, Clone, Default)]
+pub struct Gfc;
+
+impl Gfc {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Codec for Gfc {
+    fn name(&self) -> &'static str {
+        "GFC"
+    }
+
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F64
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let n = data.len() / 8;
+        let (head, tail) = data.split_at(n * 8);
+        let words: Vec<u64> = head
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        let mut nibbles = Vec::with_capacity(n);
+        let mut bytes = Vec::with_capacity(n * 4);
+        for chunk in words.chunks(CHUNK_VALUES) {
+            let mut prev = 0u64;
+            for &v in chunk {
+                let diff = v.wrapping_sub(prev);
+                // Negate negative differences, keeping the sign separately.
+                let (sign, mag) = if diff >> 63 != 0 { (1u8, diff.wrapping_neg()) } else { (0u8, diff) };
+                // 3 bits encode 0..=7 leading zero bytes; at least 1 byte is
+                // always emitted (so a zero magnitude emits one 0x00 byte).
+                let lzb = (mag.leading_zeros() / 8).min(7);
+                nibbles.push((sign << 3) | lzb as u8);
+                for b in 0..(8 - lzb as usize) {
+                    bytes.push((mag >> (8 * b)) as u8);
+                }
+                prev = v;
+            }
+        }
+        varint::write_usize(&mut out, bytes.len());
+        // Pack two nibbles per byte.
+        for pair in nibbles.chunks(2) {
+            out.push(pair[0] | (pair.get(1).copied().unwrap_or(0) << 4));
+        }
+        out.extend_from_slice(&bytes);
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let n = total / 8;
+        let tail_len = total % 8;
+        let byte_len = varint::read_usize(data, &mut pos)?;
+        let nib_len = n.div_ceil(2);
+        let nib_end = pos.checked_add(nib_len).ok_or(DecodeError::Corrupt("gfc nibble overflow"))?;
+        let bytes_end =
+            nib_end.checked_add(byte_len).ok_or(DecodeError::Corrupt("gfc byte overflow"))?;
+        if bytes_end + tail_len > data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let nibbles = &data[pos..nib_end];
+        let bytes = &data[nib_end..bytes_end];
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        let mut bpos = 0usize;
+        let mut prev = 0u64;
+        for i in 0..n {
+            if i % CHUNK_VALUES == 0 {
+                prev = 0;
+            }
+            let nib = if i % 2 == 0 { nibbles[i / 2] & 0x0F } else { nibbles[i / 2] >> 4 };
+            let sign = (nib >> 3) & 1;
+            let lzb = (nib & 0x07) as usize;
+            let take = 8 - lzb;
+            if bpos + take > bytes.len() {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let mut mag = 0u64;
+            for b in 0..take {
+                mag |= u64::from(bytes[bpos + b]) << (8 * b);
+            }
+            bpos += take;
+            let diff = if sign == 1 { mag.wrapping_neg() } else { mag };
+            let v = prev.wrapping_add(diff);
+            out.extend_from_slice(&v.to_le_bytes());
+            prev = v;
+        }
+        if bpos != bytes.len() {
+            return Err(DecodeError::Corrupt("gfc residual bytes left over"));
+        }
+        out.extend_from_slice(&data[bytes_end..bytes_end + tail_len]);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f64]) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let g = Gfc::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = g.compress(&data, &meta);
+        assert_eq!(g.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_small() {
+        roundtrip(&[]);
+        roundtrip(&[1.0]);
+        roundtrip(&[-1.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn smooth_data_compresses() {
+        // 0.125 steps at magnitude 1000 flip ~2^40 of mantissa per step, so
+        // diffs occupy 5 bytes: expect ~5.5 bytes/value instead of 8.
+        let values: Vec<f64> = (0..50_000).map(|i| 1000.0 + i as f64 * 0.125).collect();
+        let n = values.len();
+        let size = roundtrip(&values);
+        assert!(size < n * 6, "got {size}");
+    }
+
+    #[test]
+    fn chunk_boundaries_reset_base() {
+        // Exactly two chunks; values near chunk boundary must roundtrip.
+        let values: Vec<f64> = (0..CHUNK_VALUES * 2).map(|i| (i as f64).powi(2)).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn decreasing_sequences_use_sign_bit() {
+        let values: Vec<f64> = (0..10_000).map(|i| -(i as f64) * 0.5).collect();
+        let n = values.len();
+        let size = roundtrip(&values);
+        assert!(size < n * 8, "sign handling broke compression");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let g = Gfc::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = g.compress(&data, &meta);
+        assert!(g.decompress(&c[..c.len() - 3], &meta).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! LZ4- and Snappy-class block compressors.
+//!
+//! Both originals are byte-oriented LZ77 codecs without an entropy stage,
+//! differing mainly in framing and block defaults; this reimplementation
+//! models them as the same fast hash-probe matcher at different block
+//! sizes.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::lz::{compress_block, decompress_block, Effort};
+use fpc_entropy::varint;
+
+/// A block-framed LZ codec.
+#[derive(Debug, Clone)]
+pub struct LzBlock {
+    name: &'static str,
+    block: usize,
+    effort: Effort,
+    device: Device,
+}
+
+impl LzBlock {
+    /// nvCOMP-LZ4-class configuration (256 KiB blocks).
+    pub fn lz4() -> Self {
+        Self { name: "LZ4", block: 256 * 1024, effort: Effort::Fast, device: Device::Gpu }
+    }
+
+    /// Snappy-class configuration (64 KiB blocks).
+    pub fn snappy() -> Self {
+        Self { name: "Snappy", block: 64 * 1024, effort: Effort::Fast, device: Device::Gpu }
+    }
+}
+
+impl Codec for LzBlock {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device(&self) -> Device {
+        self.device
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::General
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in data.chunks(self.block) {
+            let coded = compress_block(block, self.effort);
+            varint::write_usize(&mut out, coded.len());
+            out.extend_from_slice(&coded);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        while out.len() < total {
+            let len = varint::read_usize(data, &mut pos)?;
+            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("lz block overflow"))?;
+            let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
+            let block = decompress_block(body)?;
+            if block.is_empty() || block.len() > total - out.len() {
+                return Err(DecodeError::Corrupt("lz block size invalid"));
+            }
+            out.extend_from_slice(&block);
+            pos = end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_roundtrip() {
+        let data: Vec<u8> = b"scientific data scientific data 12345 ".repeat(10_000);
+        for codec in [LzBlock::lz4(), LzBlock::snappy()] {
+            let meta = Meta::f32_flat(0);
+            let c = codec.compress(&data, &meta);
+            assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+            assert!(c.len() < data.len() / 3, "{} got {}", codec.name(), c.len());
+        }
+    }
+
+    #[test]
+    fn multi_block_boundaries() {
+        let codec = LzBlock::snappy();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(&data, &meta);
+        assert_eq!(codec.decompress(&c, &meta).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        let codec = LzBlock::lz4();
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(&[], &meta);
+        assert!(codec.decompress(&c, &meta).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let codec = LzBlock::lz4();
+        let data = vec![9u8; 100_000];
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(&data, &meta);
+        assert!(codec.decompress(&c[..c.len() - 1], &meta).is_err());
+    }
+}

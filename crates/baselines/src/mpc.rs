@@ -1,0 +1,265 @@
+//! MPC: Massively Parallel Compression (Yang et al. 2015).
+//!
+//! The GPU algorithm the paper's MPLG descends from: tuple-stride delta
+//! encoding, bit transposition across 32-word groups, and elimination of
+//! zero words recorded in a bitmap.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::varint;
+use fpc_transforms::bit_transpose;
+
+/// The MPC compressor (both float widths; needs the input's tuple size).
+#[derive(Debug, Clone)]
+pub struct Mpc {
+    tuple: usize,
+}
+
+impl Mpc {
+    /// MPC with tuple size 1 (scalar streams).
+    pub fn new() -> Self {
+        Self { tuple: 1 }
+    }
+
+    /// MPC for interleaved `tuple`-component data (e.g. 3 for xyz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple` is zero.
+    pub fn with_tuple(tuple: usize) -> Self {
+        assert!(tuple > 0, "tuple size must be nonzero");
+        Self { tuple }
+    }
+}
+
+impl Default for Mpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn delta_encode<T: Copy + WrappingSub>(words: &mut [T], stride: usize) {
+    for i in (stride..words.len()).rev() {
+        words[i] = words[i].wsub(words[i - stride]);
+    }
+}
+
+fn delta_decode<T: Copy + WrappingSub>(words: &mut [T], stride: usize) {
+    for i in stride..words.len() {
+        words[i] = words[i].wadd(words[i - stride]);
+    }
+}
+
+trait WrappingSub {
+    fn wsub(self, other: Self) -> Self;
+    fn wadd(self, other: Self) -> Self;
+}
+impl WrappingSub for u32 {
+    fn wsub(self, other: Self) -> Self {
+        self.wrapping_sub(other)
+    }
+    fn wadd(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+}
+impl WrappingSub for u64 {
+    fn wsub(self, other: Self) -> Self {
+        self.wrapping_sub(other)
+    }
+    fn wadd(self, other: Self) -> Self {
+        self.wrapping_add(other)
+    }
+}
+
+macro_rules! mpc_impl {
+    ($enc:ident, $dec:ident, $ty:ty, $bytes:expr, $transpose:path, $group:expr) => {
+        fn $enc(data: &[u8], tuple: usize, out: &mut Vec<u8>) {
+            let n = data.len() / $bytes;
+            let (head, tail) = data.split_at(n * $bytes);
+            let mut words: Vec<$ty> = head
+                .chunks_exact($bytes)
+                .map(|c| <$ty>::from_le_bytes(c.try_into().expect("chunks_exact")))
+                .collect();
+            delta_encode(&mut words, tuple);
+            $transpose(&mut words);
+            // Zero-word elimination: bitmap over all words, nonzero words kept.
+            let full = (n / $group) * $group;
+            let mut bitmap = vec![0u8; full.div_ceil(8)];
+            let mut kept = Vec::with_capacity(n);
+            for (i, &w) in words[..full].iter().enumerate() {
+                if w != 0 {
+                    bitmap[i / 8] |= 1 << (i % 8);
+                    kept.push(w);
+                }
+            }
+            varint::write_usize(out, kept.len());
+            out.extend_from_slice(&bitmap);
+            for &w in &kept {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            // Words beyond the last full transpose group pass through raw.
+            for &w in &words[full..] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(tail);
+        }
+
+        fn $dec(data: &[u8], pos: &mut usize, total: usize, tuple: usize, out: &mut Vec<u8>) -> Result<()> {
+            let n = total / $bytes;
+            let tail_len = total % $bytes;
+            let full = (n / $group) * $group;
+            let kept_count = varint::read_usize(data, pos)?;
+            let bitmap_len = full.div_ceil(8);
+            let bm_end =
+                pos.checked_add(bitmap_len).ok_or(DecodeError::Corrupt("mpc bitmap overflow"))?;
+            let kept_end = bm_end
+                .checked_add(kept_count * $bytes)
+                .ok_or(DecodeError::Corrupt("mpc kept overflow"))?;
+            let raw_end = kept_end
+                .checked_add((n - full) * $bytes + tail_len)
+                .ok_or(DecodeError::Corrupt("mpc raw overflow"))?;
+            if raw_end > data.len() {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let bitmap = &data[*pos..bm_end];
+            let mut kept = data[bm_end..kept_end].chunks_exact($bytes);
+            let mut words: Vec<$ty> = Vec::with_capacity(fpc_entropy::prealloc_limit(n));
+            let mut used = 0usize;
+            for i in 0..full {
+                if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                    let c = kept.next().ok_or(DecodeError::Corrupt("mpc bitmap overruns kept words"))?;
+                    used += 1;
+                    words.push(<$ty>::from_le_bytes(c.try_into().expect("chunks_exact")));
+                } else {
+                    words.push(0);
+                }
+            }
+            if used != kept_count {
+                return Err(DecodeError::Corrupt("mpc kept-word count mismatch"));
+            }
+            for c in data[kept_end..kept_end + (n - full) * $bytes].chunks_exact($bytes) {
+                words.push(<$ty>::from_le_bytes(c.try_into().expect("chunks_exact")));
+            }
+            {
+                let (groups, _) = words.split_at_mut(full);
+                $transpose(groups);
+            }
+            delta_decode(&mut words, tuple);
+            for &w in &words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&data[kept_end + (n - full) * $bytes..raw_end]);
+            *pos = raw_end;
+            Ok(())
+        }
+    };
+}
+
+mpc_impl!(encode32, decode32, u32, 4, bit_transpose::transpose32, 32);
+mpc_impl!(encode64, decode64, u64, 8, bit_transpose::transpose64, 64);
+
+impl Codec for Mpc {
+    fn name(&self) -> &'static str {
+        "MPC"
+    }
+
+    fn device(&self) -> Device {
+        Device::Gpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        if meta.element_width == 8 {
+            encode64(data, self.tuple, &mut out);
+        } else {
+            encode32(data, self.tuple, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        if meta.element_width == 8 {
+            decode64(data, &mut pos, total, self.tuple, &mut out)?;
+        } else {
+            decode32(data, &mut pos, total, self.tuple, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_f32(values: &[f32], tuple: usize) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let m = Mpc::with_tuple(tuple);
+        let meta = Meta::f32_flat(values.len());
+        let c = m.compress(&data, &meta);
+        assert_eq!(m.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    fn roundtrip_f64(values: &[f64]) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let m = Mpc::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = m.compress(&data, &meta);
+        assert_eq!(m.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip_f32(&[], 1);
+        roundtrip_f32(&[1.0], 1);
+        roundtrip_f64(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn smooth_compresses() {
+        let values: Vec<f32> = (0..40_000).map(|i| 5.0 + i as f32 * 1e-5).collect();
+        let size = roundtrip_f32(&values, 1);
+        assert!(size < values.len() * 4 / 2, "got {size}");
+    }
+
+    #[test]
+    fn tuple_stride_helps_interleaved() {
+        // xyz-interleaved with different magnitudes: stride-3 deltas are
+        // tiny positives, stride-1 deltas are large mixed-sign values whose
+        // leading-one bits poison the zero-word elimination.
+        let values: Vec<f32> = (0..30_000)
+            .map(|i| match i % 3 {
+                0 => 1.0 + (i / 3) as f32 * 1e-5,
+                1 => 500.0 + (i / 3) as f32 * 1e-3,
+                _ => 90.0 + (i / 3) as f32 * 1e-4,
+            })
+            .collect();
+        let s1 = roundtrip_f32(&values, 1);
+        let s3 = roundtrip_f32(&values, 3);
+        assert!(s3 < s1, "tuple=3 {s3} should beat tuple=1 {s1}");
+    }
+
+    #[test]
+    fn f64_roundtrip_with_partial_group() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).exp()).collect();
+        roundtrip_f64(&values);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let m = Mpc::new();
+        let meta = Meta::f32_flat(values.len());
+        let c = m.compress(&data, &meta);
+        assert!(m.decompress(&c[..c.len() - 2], &meta).is_err());
+    }
+}

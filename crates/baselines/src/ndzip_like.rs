@@ -1,0 +1,286 @@
+//! ndzip-class compressor (Knorr, Thoman, Fahringer 2021).
+//!
+//! ndzip is the only comparator with compatible CPU and GPU
+//! implementations, and the paper's closest competitor. Its mechanism: an
+//! integer Lorenzo transform over the input's n-dimensional grid (each
+//! value XORed with its already-seen neighbours), bit transposition of
+//! 32-word groups, and removal of all-zero words behind per-group header
+//! masks. Unlike the paper's algorithms it *requires* the grid dimensions.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::varint;
+use fpc_transforms::bit_transpose;
+
+/// The ndzip-class compressor.
+#[derive(Debug, Clone, Default)]
+pub struct NdzipLike;
+
+impl NdzipLike {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// XOR-Lorenzo forward transform on a 3-D grid (1-D and 2-D are grids with
+/// size-1 outer dimensions). Residual = value ^ xor-of-preceding-corner
+/// neighbours; processed in reverse raster order so it is in-place.
+fn lorenzo_forward<T: Copy + core::ops::BitXorAssign>(words: &mut [T], dims: [usize; 3]) {
+    let [s, r, c] = dims;
+    debug_assert_eq!(words.len(), s * r * c);
+    for z in (0..s).rev() {
+        for y in (0..r).rev() {
+            for x in (0..c).rev() {
+                let i = (z * r + y) * c + x;
+                // XOR all proper "lower corner" neighbours.
+                for dz in 0..=usize::from(z > 0) {
+                    for dy in 0..=usize::from(y > 0) {
+                        for dx in 0..=usize::from(x > 0) {
+                            if dz + dy + dx == 0 {
+                                continue;
+                            }
+                            let j = ((z - dz) * r + (y - dy)) * c + (x - dx);
+                            let n = words[j];
+                            words[i] ^= n;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`lorenzo_forward`] (forward raster order).
+fn lorenzo_inverse<T: Copy + core::ops::BitXorAssign>(words: &mut [T], dims: [usize; 3]) {
+    let [s, r, c] = dims;
+    for z in 0..s {
+        for y in 0..r {
+            for x in 0..c {
+                let i = (z * r + y) * c + x;
+                for dz in 0..=usize::from(z > 0) {
+                    for dy in 0..=usize::from(y > 0) {
+                        for dx in 0..=usize::from(x > 0) {
+                            if dz + dy + dx == 0 {
+                                continue;
+                            }
+                            let j = ((z - dz) * r + (y - dy)) * c + (x - dx);
+                            let n = words[j];
+                            words[i] ^= n;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+macro_rules! ndzip_impl {
+    ($enc:ident, $dec:ident, $ty:ty, $bytes:expr, $transpose:path, $group:expr) => {
+        fn $enc(data: &[u8], dims: [usize; 3], out: &mut Vec<u8>) {
+            let n = data.len() / $bytes;
+            let (head, tail) = data.split_at(n * $bytes);
+            let mut words: Vec<$ty> = head
+                .chunks_exact($bytes)
+                .map(|c| <$ty>::from_le_bytes(c.try_into().expect("chunks_exact")))
+                .collect();
+            let grid = if dims[0] * dims[1] * dims[2] == n { dims } else { [1, 1, n] };
+            lorenzo_forward(&mut words, grid);
+            $transpose(&mut words);
+            // Per-group header mask + nonzero words (ndzip's residual coder).
+            let full = (n / $group) * $group;
+            for g in (0..full).step_by($group) {
+                let group = &words[g..g + $group];
+                let mut mask: u64 = 0;
+                for (b, &w) in group.iter().enumerate() {
+                    if w != 0 {
+                        mask |= 1 << b;
+                    }
+                }
+                out.extend_from_slice(&mask.to_le_bytes()[..$group / 8]);
+                for &w in group.iter().filter(|&&w| w != 0) {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            for &w in &words[full..] {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(tail);
+        }
+
+        fn $dec(
+            data: &[u8],
+            pos: &mut usize,
+            total: usize,
+            dims: [usize; 3],
+            out: &mut Vec<u8>,
+        ) -> Result<()> {
+            let n = total / $bytes;
+            let tail_len = total % $bytes;
+            let full = (n / $group) * $group;
+            let mut words: Vec<$ty> = Vec::with_capacity(fpc_entropy::prealloc_limit(n));
+            for _ in (0..full).step_by($group) {
+                let mask_len = $group / 8;
+                let mask_end =
+                    pos.checked_add(mask_len).ok_or(DecodeError::Corrupt("ndzip mask overflow"))?;
+                let mask_bytes =
+                    data.get(*pos..mask_end).ok_or(DecodeError::UnexpectedEof)?;
+                let mut mask = 0u64;
+                for (i, &b) in mask_bytes.iter().enumerate() {
+                    mask |= u64::from(b) << (8 * i);
+                }
+                *pos = mask_end;
+                for b in 0..$group {
+                    if mask & (1 << b) != 0 {
+                        let end = pos
+                            .checked_add($bytes)
+                            .ok_or(DecodeError::Corrupt("ndzip word overflow"))?;
+                        let c = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+                        words.push(<$ty>::from_le_bytes(c.try_into().expect("word")));
+                        *pos = end;
+                    } else {
+                        words.push(0);
+                    }
+                }
+            }
+            for _ in full..n {
+                let end = pos.checked_add($bytes).ok_or(DecodeError::Corrupt("ndzip raw overflow"))?;
+                let c = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+                words.push(<$ty>::from_le_bytes(c.try_into().expect("word")));
+                *pos = end;
+            }
+            {
+                let (groups, _) = words.split_at_mut(full);
+                $transpose(groups);
+            }
+            let grid = if dims[0] * dims[1] * dims[2] == n { dims } else { [1, 1, n] };
+            lorenzo_inverse(&mut words, grid);
+            for &w in &words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            let tail = data.get(*pos..*pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+            out.extend_from_slice(tail);
+            *pos += tail_len;
+            Ok(())
+        }
+    };
+}
+
+ndzip_impl!(encode32, decode32, u32, 4, bit_transpose::transpose32, 32);
+ndzip_impl!(encode64, decode64, u64, 8, bit_transpose::transpose64, 64);
+
+impl Codec for NdzipLike {
+    fn name(&self) -> &'static str {
+        "ndzip"
+    }
+
+    fn device(&self) -> Device {
+        Device::Both
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        if meta.element_width == 8 {
+            encode64(data, meta.dims, &mut out);
+        } else {
+            encode32(data, meta.dims, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        if meta.element_width == 8 {
+            decode64(data, &mut pos, total, meta.dims, &mut out)?;
+        } else {
+            decode32(data, &mut pos, total, meta.dims, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta3(s: usize, r: usize, c: usize, width: u8) -> Meta {
+        Meta { element_width: width, dims: [s, r, c] }
+    }
+
+    fn roundtrip(values: &[f32], meta: &Meta) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let nd = NdzipLike::new();
+        let c = nd.compress(&data, meta);
+        assert_eq!(nd.decompress(&c, meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn lorenzo_is_reversible_3d() {
+        let dims = [4usize, 5, 6];
+        let orig: Vec<u32> = (0..120u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut w = orig.clone();
+        lorenzo_forward(&mut w, dims);
+        assert_ne!(w, orig);
+        lorenzo_inverse(&mut w, dims);
+        assert_eq!(w, orig);
+    }
+
+    #[test]
+    fn roundtrip_1d() {
+        let values: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.01).sin()).collect();
+        roundtrip(&values, &Meta::f32_flat(values.len()));
+    }
+
+    #[test]
+    fn smooth_2d_grid_compresses_better_with_dims() {
+        // A 2-D field smooth along both axes: with correct dims the Lorenzo
+        // predictor uses the vertical neighbour too.
+        let (r, c) = (100, 200);
+        let values: Vec<f32> = (0..r * c)
+            .map(|i| {
+                let (y, x) = (i / c, i % c);
+                (x as f32 * 0.01).sin() + (y as f32 * 0.02).cos()
+            })
+            .collect();
+        let with_dims = roundtrip(&values, &meta3(1, r, c, 4));
+        let flat = roundtrip(&values, &Meta::f32_flat(values.len()));
+        assert!(with_dims < flat * 11 / 10, "dims {with_dims} vs flat {flat}");
+    }
+
+    #[test]
+    fn mismatched_dims_fall_back_to_flat() {
+        let values: Vec<f32> = (0..777).map(|i| i as f32).collect();
+        // dims product != len: must still roundtrip via the 1-D fallback.
+        roundtrip(&values, &meta3(10, 10, 10, 4));
+    }
+
+    #[test]
+    fn f64_roundtrip_3d() {
+        let (s, r, c) = (4, 16, 32);
+        let values: Vec<f64> =
+            (0..s * r * c).map(|i| 1e6 + (i as f64 * 0.001).cos() * 10.0).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let nd = NdzipLike::new();
+        let meta = meta3(s, r, c, 8);
+        let comp = nd.compress(&data, &meta);
+        assert_eq!(nd.decompress(&comp, &meta).unwrap(), data);
+        assert!(comp.len() < data.len());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f32> = (0..5_000).map(|i| i as f32).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let nd = NdzipLike::new();
+        let meta = Meta::f32_flat(values.len());
+        let c = nd.compress(&data, &meta);
+        assert!(nd.decompress(&c[..c.len() - 5], &meta).is_err());
+    }
+}

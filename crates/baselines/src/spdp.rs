@@ -1,0 +1,196 @@
+//! SPDP: synthesized single/double-precision compressor (Claggett, Azimi,
+//! Burtscher 2018).
+//!
+//! SPDP chains difference coding, byte shuffling, and LZ coding — the paper
+//! notes its own algorithms borrow the first two stages but drop LZ because
+//! LZ parallelizes poorly on GPUs. The best-compressing mode adds a Huffman
+//! pass over the LZ output (standing in for SPDP's higher levels).
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::lz::{compress_block, decompress_block, Effort};
+use fpc_entropy::{huffman, varint};
+
+/// Byte-shuffle block size in elements.
+const SHUFFLE_BLOCK: usize = 8 * 1024;
+
+/// The SPDP compressor.
+#[derive(Debug, Clone)]
+pub struct Spdp {
+    name: &'static str,
+    effort: Effort,
+    huffman: bool,
+}
+
+impl Spdp {
+    /// Fastest level (level 1).
+    pub fn fast() -> Self {
+        Self { name: "SPDP-fast", effort: Effort::Fast, huffman: false }
+    }
+
+    /// Best-compressing level (level 9).
+    pub fn best() -> Self {
+        Self { name: "SPDP-best", effort: Effort::Thorough, huffman: true }
+    }
+}
+
+/// Difference-codes the words of `data` in place (width 4 or 8), leaving a
+/// non-multiple tail untouched, then byte-shuffles each block.
+fn forward_transform(data: &mut [u8], width: usize) {
+    let n = data.len() / width;
+    // Word-wise wrapping delta, done at byte level to stay width-generic:
+    // process from the end so earlier words remain available.
+    for i in (1..n).rev() {
+        let mut borrow = 0u16;
+        for b in 0..width {
+            let cur = u16::from(data[i * width + b]);
+            let prev = u16::from(data[(i - 1) * width + b]);
+            let diff = cur.wrapping_sub(prev).wrapping_sub(borrow);
+            borrow = (diff >> 8) & 1;
+            data[i * width + b] = diff as u8;
+        }
+    }
+    // Byte shuffle within blocks: plane k collects byte k of every word.
+    let mut tmp = vec![0u8; SHUFFLE_BLOCK * width];
+    for block_start in (0..n).step_by(SHUFFLE_BLOCK) {
+        let block_n = (n - block_start).min(SHUFFLE_BLOCK);
+        let bytes = &mut data[block_start * width..(block_start + block_n) * width];
+        for w in 0..block_n {
+            for b in 0..width {
+                tmp[b * block_n + w] = bytes[w * width + b];
+            }
+        }
+        bytes.copy_from_slice(&tmp[..block_n * width]);
+    }
+}
+
+fn inverse_transform(data: &mut [u8], width: usize) {
+    let n = data.len() / width;
+    let mut tmp = vec![0u8; SHUFFLE_BLOCK * width];
+    for block_start in (0..n).step_by(SHUFFLE_BLOCK) {
+        let block_n = (n - block_start).min(SHUFFLE_BLOCK);
+        let bytes = &mut data[block_start * width..(block_start + block_n) * width];
+        for w in 0..block_n {
+            for b in 0..width {
+                tmp[w * width + b] = bytes[b * block_n + w];
+            }
+        }
+        bytes.copy_from_slice(&tmp[..block_n * width]);
+    }
+    for i in 1..n {
+        let mut carry = 0u16;
+        for b in 0..width {
+            let diff = u16::from(data[i * width + b]);
+            let prev = u16::from(data[(i - 1) * width + b]);
+            let sum = diff.wrapping_add(prev).wrapping_add(carry);
+            carry = (sum >> 8) & 1;
+            data[i * width + b] = sum as u8;
+        }
+    }
+}
+
+impl Codec for Spdp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device(&self) -> Device {
+        Device::Cpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let width = usize::from(meta.element_width.clamp(1, 8));
+        let mut buf = data.to_vec();
+        forward_transform(&mut buf, width);
+        let lz = compress_block(&buf, self.effort);
+        let mut out = Vec::with_capacity(lz.len() + 16);
+        varint::write_usize(&mut out, data.len());
+        if self.huffman {
+            let coded = huffman::compress_bytes(&lz);
+            out.extend_from_slice(&coded);
+        } else {
+            out.extend_from_slice(&lz);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let width = usize::from(meta.element_width.clamp(1, 8));
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let body = &data[pos..];
+        let lz = if self.huffman { huffman::decompress_bytes(body)? } else { body.to_vec() };
+        let mut buf = decompress_block(&lz)?;
+        if buf.len() != total {
+            return Err(DecodeError::Corrupt("spdp length mismatch"));
+        }
+        inverse_transform(&mut buf, width);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[f32], codec: &Spdp) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let meta = Meta::f32_flat(values.len());
+        let c = codec.compress(&data, &meta);
+        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        c.len()
+    }
+
+    #[test]
+    fn transform_is_reversible() {
+        for width in [4usize, 8] {
+            let orig: Vec<u8> = (0..width * 1000 + 3).map(|i| (i % 251) as u8).collect();
+            let mut buf = orig.clone();
+            forward_transform(&mut buf, width);
+            assert_ne!(buf, orig);
+            inverse_transform(&mut buf, width);
+            assert_eq!(buf, orig, "width {width}");
+        }
+    }
+
+    #[test]
+    fn smooth_floats_compress() {
+        let values: Vec<f32> = (0..60_000).map(|i| 2.5 + i as f32 * 1e-5).collect();
+        let fast = roundtrip(&values, &Spdp::fast());
+        let best = roundtrip(&values, &Spdp::best());
+        assert!(fast < values.len() * 4, "fast {fast}");
+        assert!(best <= fast, "best {best} vs fast {fast}");
+    }
+
+    #[test]
+    fn f64_path() {
+        let values: Vec<f64> = (0..20_000).map(|i| (i as f64 * 1e-3).sin()).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let codec = Spdp::best();
+        let meta = Meta::f64_flat(values.len());
+        let c = codec.compress(&data, &meta);
+        assert_eq!(codec.decompress(&c, &meta).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_odd() {
+        roundtrip(&[], &Spdp::fast());
+        let data = [1u8, 2, 3, 4, 5, 6, 7];
+        let meta = Meta { element_width: 4, dims: [1, 1, 1] };
+        let c = Spdp::best().compress(&data, &meta);
+        assert_eq!(Spdp::best().decompress(&c, &meta).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let codec = Spdp::fast();
+        let meta = Meta::f32_flat(values.len());
+        let c = codec.compress(&data, &meta);
+        assert!(codec.decompress(&c[..c.len() / 2], &meta).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! ZFP-class compressor (Lindstrom 2014), reversible integer variant.
+//!
+//! ZFP partitions the grid into 4^d blocks, decorrelates each block with a
+//! lifting transform, and codes coefficients by bit plane. Its true lossless
+//! float mode relies on a block-floating-point step that is only exact under
+//! data-dependent conditions, so this reimplementation uses the closest
+//! always-lossless formulation: values map to order-preserving integers,
+//! each 64-value block (a virtual 4×4×4 cube) is decorrelated with a
+//! reversible S-transform lifting wavelet along all three virtual axes,
+//! coefficients are zigzag-mapped, and the three subband classes (DC /
+//! coarse / fine) are bit-packed at their own minimal widths. The mechanism
+//! — block transform concentrating energy in few coefficients — is ZFP's;
+//! every step here is exactly invertible in wrapping integer arithmetic.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::{bitpack, varint};
+
+/// Values per block (a virtual 4×4×4 cube).
+pub const BLOCK: usize = 64;
+
+/// The ZFP-class compressor.
+#[derive(Debug, Clone, Default)]
+pub struct ZfpLike;
+
+impl ZfpLike {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Order-preserving map from IEEE-754 bits to signed integers: positive
+/// floats keep their bit pattern (small positives → small ints), negative
+/// floats map to negative ints just below zero (-0.0 → -1).
+#[inline]
+fn map_signed(bits: u64) -> i64 {
+    if bits >> 63 != 0 {
+        (!bits ^ (1 << 63)) as i64
+    } else {
+        bits as i64
+    }
+}
+
+#[inline]
+fn unmap_signed(v: i64) -> u64 {
+    if v < 0 {
+        !((v as u64) ^ (1 << 63))
+    } else {
+        v as u64
+    }
+}
+
+/// Forward S-transform on a pair: (a, b) -> (s, d) with s ≈ mean.
+#[inline]
+fn s_forward(a: i64, b: i64) -> (i64, i64) {
+    let d = b.wrapping_sub(a);
+    let s = a.wrapping_add(d >> 1);
+    (s, d)
+}
+
+#[inline]
+fn s_inverse(s: i64, d: i64) -> (i64, i64) {
+    let a = s.wrapping_sub(d >> 1);
+    let b = a.wrapping_add(d);
+    (a, b)
+}
+
+/// Forward 4-point transform: two pair transforms plus one across sums.
+/// Output layout: [S, D, d0, d1] (smooth first).
+#[inline]
+fn fwd4(x: [i64; 4]) -> [i64; 4] {
+    let (s0, d0) = s_forward(x[0], x[1]);
+    let (s1, d1) = s_forward(x[2], x[3]);
+    let (ss, dd) = s_forward(s0, s1);
+    [ss, dd, d0, d1]
+}
+
+#[inline]
+fn inv4(y: [i64; 4]) -> [i64; 4] {
+    let (s0, s1) = s_inverse(y[0], y[1]);
+    let (a, b) = s_inverse(s0, y[2]);
+    let (c, d) = s_inverse(s1, y[3]);
+    [a, b, c, d]
+}
+
+/// Applies the 4-point transform along one axis of the virtual cube.
+fn transform_axis(block: &mut [i64; BLOCK], stride: usize, forward: bool) {
+    for base in 0..BLOCK / 4 {
+        // Enumerate the 16 lines along this axis.
+        let offset = (base / stride) * stride * 4 + (base % stride);
+        let idx = [offset, offset + stride, offset + 2 * stride, offset + 3 * stride];
+        let line = [block[idx[0]], block[idx[1]], block[idx[2]], block[idx[3]]];
+        let out = if forward { fwd4(line) } else { inv4(line) };
+        for (i, &v) in idx.iter().zip(out.iter()) {
+            block[*i] = v;
+        }
+    }
+}
+
+fn decorrelate(block: &mut [i64; BLOCK]) {
+    transform_axis(block, 1, true);
+    transform_axis(block, 4, true);
+    transform_axis(block, 16, true);
+}
+
+fn reconstruct(block: &mut [i64; BLOCK]) {
+    transform_axis(block, 16, false);
+    transform_axis(block, 4, false);
+    transform_axis(block, 1, false);
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) ^ (v & 1).wrapping_neg()) as i64
+}
+
+/// Subband class of cube position `p`: 0 = DC, 1 = coarse, 2 = fine.
+#[inline]
+fn subband(p: usize) -> usize {
+    let cls = |x: usize| match x {
+        0 => 0,
+        1 => 1,
+        _ => 2,
+    };
+    cls(p % 4).max(cls((p / 4) % 4)).max(cls(p / 16))
+}
+
+fn encode_block(values: &[i64], out: &mut Vec<u8>) {
+    // Pad partial blocks by replicating the last value (cheap coefficients);
+    // the decoder discards the padding.
+    let mut block = [0i64; BLOCK];
+    let last = *values.last().expect("nonempty block");
+    for (slot, p) in block.iter_mut().enumerate() {
+        *p = *values.get(slot).unwrap_or(&last);
+    }
+    decorrelate(&mut block);
+    // Three subband groups, each zigzagged and packed at its own width.
+    let mut groups: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (p, &c) in block.iter().enumerate() {
+        groups[subband(p)].push(zigzag(c));
+    }
+    for group in &groups {
+        let width = bitpack::min_width_u64(group);
+        out.push(width as u8);
+        bitpack::pack_u64(group, width, out);
+    }
+}
+
+fn decode_block(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<i64>) -> Result<()> {
+    let sizes = [1usize, 7, 56];
+    let mut groups: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (g, &size) in sizes.iter().enumerate() {
+        let width = u32::from(*data.get(*pos).ok_or(DecodeError::UnexpectedEof)?);
+        *pos += 1;
+        if width > 64 {
+            return Err(DecodeError::Corrupt("zfp width exceeds 64"));
+        }
+        let nbytes = bitpack::packed_len(size, width);
+        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("zfp pack overflow"))?;
+        let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+        bitpack::unpack_u64(body, width, size, &mut groups[g])?;
+        *pos = end;
+    }
+    let mut block = [0i64; BLOCK];
+    let mut iters: [std::vec::IntoIter<u64>; 3] = [
+        std::mem::take(&mut groups[0]).into_iter(),
+        std::mem::take(&mut groups[1]).into_iter(),
+        std::mem::take(&mut groups[2]).into_iter(),
+    ];
+    for (p, slot) in block.iter_mut().enumerate() {
+        let v = iters[subband(p)].next().ok_or(DecodeError::Corrupt("zfp subband underrun"))?;
+        *slot = unzigzag(v);
+    }
+    reconstruct(&mut block);
+    out.extend_from_slice(&block[..count]);
+    Ok(())
+}
+
+impl Codec for ZfpLike {
+    fn name(&self) -> &'static str {
+        "ZFP"
+    }
+
+    fn device(&self) -> Device {
+        Device::Cpu
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::F32F64
+    }
+
+    fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        let width = usize::from(meta.element_width.clamp(4, 8));
+        let n = data.len() / width;
+        let (head, tail) = data.split_at(n * width);
+        // f32 codes are sign-extended into i64 lanes; the transform output
+        // then stays within ~34 bits, keeping the packing tight.
+        let codes: Vec<i64> = if width == 8 {
+            head.chunks_exact(8)
+                .map(|c| map_signed(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)"))))
+                .collect()
+        } else {
+            head.chunks_exact(4)
+                .map(|c| {
+                    let bits = u32::from_le_bytes(c.try_into().expect("chunks_exact(4)"));
+                    i64::from(map_signed32(bits))
+                })
+                .collect()
+        };
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in codes.chunks(BLOCK) {
+            encode_block(block, &mut out);
+        }
+        out.extend_from_slice(tail);
+        out
+    }
+
+    fn decompress(&self, data: &[u8], meta: &Meta) -> Result<Vec<u8>> {
+        let width = usize::from(meta.element_width.clamp(4, 8));
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let n = total / width;
+        let tail_len = total % width;
+        let mut codes = Vec::with_capacity(fpc_entropy::prealloc_limit(n));
+        let mut remaining = n;
+        while remaining > 0 {
+            let count = remaining.min(BLOCK);
+            decode_block(data, &mut pos, count, &mut codes)?;
+            remaining -= count;
+        }
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        if width == 8 {
+            for &c in &codes {
+                out.extend_from_slice(&unmap_signed(c).to_le_bytes());
+            }
+        } else {
+            for &c in &codes {
+                let v = i32::try_from(c).map_err(|_| DecodeError::Corrupt("zfp f32 code overflow"))?;
+                out.extend_from_slice(&unmap_signed32(v).to_le_bytes());
+            }
+        }
+        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        out.extend_from_slice(tail);
+        Ok(out)
+    }
+}
+
+#[inline]
+fn map_signed32(bits: u32) -> i32 {
+    if bits >> 31 != 0 {
+        (!bits ^ (1 << 31)) as i32
+    } else {
+        bits as i32
+    }
+}
+
+#[inline]
+fn unmap_signed32(v: i32) -> u32 {
+    if v < 0 {
+        !((v as u32) ^ (1 << 31))
+    } else {
+        v as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_f32(values: &[f32]) -> usize {
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let z = ZfpLike::new();
+        let meta = Meta::f32_flat(values.len());
+        let c = z.compress(&data, &meta);
+        assert_eq!(z.decompress(&c, &meta).unwrap(), data);
+        c.len()
+    }
+
+    #[test]
+    fn four_point_transform_reversible() {
+        let cases = [
+            [0i64, 0, 0, 0],
+            [1, 2, 3, 4],
+            [i64::MAX, i64::MIN, 77, -3],
+            [-1000, 1000, -1000, 1000],
+        ];
+        for x in cases {
+            assert_eq!(inv4(fwd4(x)), x, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn cube_transform_reversible() {
+        let mut block = [0i64; BLOCK];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as i64).wrapping_mul(0x9E37_79B9) - 500;
+        }
+        let orig = block;
+        decorrelate(&mut block);
+        assert_ne!(block, orig);
+        reconstruct(&mut block);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn smooth_blocks_concentrate_energy() {
+        // A linear ramp: detail coefficients should be tiny vs the DC.
+        let mut block = [0i64; BLOCK];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = 1_000_000 + (i as i64) * 3;
+        }
+        decorrelate(&mut block);
+        let dc = block[0].unsigned_abs();
+        let max_fine = block
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| subband(*p) == 2)
+            .map(|(_, &c)| c.unsigned_abs())
+            .max()
+            .expect("fine coefficients exist");
+        assert!(max_fine * 100 < dc, "fine {max_fine} vs dc {dc}");
+    }
+
+    #[test]
+    fn subband_sizes() {
+        let mut sizes = [0usize; 3];
+        for p in 0..BLOCK {
+            sizes[subband(p)] += 1;
+        }
+        assert_eq!(sizes, [1, 7, 56]);
+    }
+
+    #[test]
+    fn empty_and_partial_blocks() {
+        roundtrip_f32(&[]);
+        roundtrip_f32(&[1.5]);
+        let values: Vec<f32> = (0..100).map(|i| i as f32 * 0.25).collect();
+        roundtrip_f32(&values);
+    }
+
+    #[test]
+    fn smooth_field_compresses() {
+        let values: Vec<f32> = (0..60_000).map(|i| 100.0 + (i as f32 * 1e-3).sin()).collect();
+        let size = roundtrip_f32(&values);
+        assert!(size < values.len() * 4 * 3 / 4, "got {size}");
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let values = [f32::NAN, f32::INFINITY, -0.0, 0.0, f32::MIN_POSITIVE, f32::MAX, f32::MIN];
+        roundtrip_f32(&values);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt() - 50.0).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let z = ZfpLike::new();
+        let meta = Meta::f64_flat(values.len());
+        let c = z.compress(&data, &meta);
+        assert_eq!(z.decompress(&c, &meta).unwrap(), data);
+    }
+
+    #[test]
+    fn order_preserving_maps() {
+        let seq = [-1e30f32, -1.0, -1e-30, -0.0, 0.0, 1e-30, 1.0, 1e30];
+        let mapped: Vec<i32> = seq.iter().map(|v| map_signed32(v.to_bits())).collect();
+        for w in mapped.windows(2) {
+            assert!(w[0] < w[1], "{w:?}");
+        }
+        for v in seq {
+            assert_eq!(unmap_signed32(map_signed32(v.to_bits())), v.to_bits());
+        }
+        assert_eq!(unmap_signed(map_signed((-3.5f64).to_bits())), (-3.5f64).to_bits());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let values: Vec<f32> = (0..5000).map(|i| i as f32).collect();
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let z = ZfpLike::new();
+        let meta = Meta::f32_flat(values.len());
+        let c = z.compress(&data, &meta);
+        assert!(z.decompress(&c[..c.len() - 2], &meta).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Zstandard-class compressor.
+//!
+//! Models zstd's structure: LZ sequences with the literals stream and the
+//! three sequence-component streams (literal-length, match-length, offset
+//! buckets) each entropy-coded independently — zstd uses FSE/Huffman, this
+//! implementation uses the rANS coder from `fpc-entropy` — plus a raw
+//! extra-bits stream.
+
+use crate::{Codec, Datatype, DecodeError, Device, Meta, Result};
+use fpc_entropy::bitio::{BitReader, BitWriter};
+use fpc_entropy::lz::{literals_of, tokenize, Effort, MIN_MATCH};
+use fpc_entropy::{rans, varint};
+
+/// Block size in bytes.
+pub const BLOCK: usize = 1024 * 1024;
+
+/// The Zstandard-class compressor.
+///
+/// The paper evaluates two *incompatible* Zstandard implementations: the
+/// multi-level CPU one (lzbench) and nvCOMP's GPU one (§4). They are
+/// modelled here as separate roster entries sharing the coding machinery:
+/// two CPU levels plus a single-level GPU variant.
+#[derive(Debug, Clone)]
+pub struct ZstdLike {
+    name: &'static str,
+    effort: Effort,
+    device: Device,
+}
+
+impl ZstdLike {
+    /// CPU implementation, fastest level.
+    pub fn fast() -> Self {
+        Self { name: "ZSTD-fast", effort: Effort::Fast, device: Device::Cpu }
+    }
+
+    /// CPU implementation, best-compressing level.
+    pub fn best() -> Self {
+        Self { name: "ZSTD-best", effort: Effort::Thorough, device: Device::Cpu }
+    }
+
+    /// nvCOMP GPU implementation (single level).
+    pub fn gpu() -> Self {
+        Self { name: "ZSTD-gpu", effort: Effort::Fast, device: Device::Gpu }
+    }
+}
+
+/// (bucket-symbol, extra bits, extra value) with 0 reserved for v == 0.
+#[inline]
+fn bucket_of0(v: u64) -> (u8, u32, u64) {
+    if v == 0 {
+        return (0, 0, 0);
+    }
+    let b = 63 - v.leading_zeros();
+    (b as u8 + 1, b, v - (1u64 << b))
+}
+
+#[inline]
+fn unbucket0(sym: u8, extra: u64) -> u64 {
+    if sym == 0 {
+        0
+    } else {
+        (1u64 << (sym - 1)) + extra
+    }
+}
+
+fn write_coded(out: &mut Vec<u8>, payload: &[u8]) {
+    let coded = rans::compress(payload);
+    varint::write_usize(out, coded.len());
+    out.extend_from_slice(&coded);
+}
+
+fn read_coded(data: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let len = varint::read_usize(data, pos)?;
+    let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("zstd stream overflow"))?;
+    let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+    *pos = end;
+    rans::decompress(body)
+}
+
+fn encode_block(block: &[u8], effort: Effort, out: &mut Vec<u8>) {
+    let tokens = tokenize(block, effort);
+    let literals = literals_of(block, &tokens);
+    let mut lit_syms = Vec::new();
+    let mut len_syms = Vec::new();
+    let mut dist_syms = Vec::new();
+    let mut extras = BitWriter::new();
+    let mut nseq = 0usize;
+    for t in &tokens {
+        if t.match_len == 0 {
+            continue; // trailing literal run: implied by lengths
+        }
+        nseq += 1;
+        let (ls, lb, le) = bucket_of0(t.literal_len as u64);
+        lit_syms.push(ls);
+        extras.write_bits(le, lb);
+        let (ms, mb, me) = bucket_of0((t.match_len - MIN_MATCH) as u64);
+        len_syms.push(ms);
+        extras.write_bits(me, mb);
+        let (ds, db, de) = bucket_of0(t.distance as u64 - 1);
+        dist_syms.push(ds);
+        extras.write_bits(de, db);
+    }
+    varint::write_usize(out, block.len());
+    varint::write_usize(out, nseq);
+    write_coded(out, &literals);
+    write_coded(out, &lit_syms);
+    write_coded(out, &len_syms);
+    write_coded(out, &dist_syms);
+    let extra_bytes = extras.finish();
+    varint::write_usize(out, extra_bytes.len());
+    out.extend_from_slice(&extra_bytes);
+}
+
+fn decode_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<usize> {
+    let raw_len = varint::read_usize(data, pos)?;
+    let nseq = varint::read_usize(data, pos)?;
+    let literals = read_coded(data, pos)?;
+    let lit_syms = read_coded(data, pos)?;
+    let len_syms = read_coded(data, pos)?;
+    let dist_syms = read_coded(data, pos)?;
+    if lit_syms.len() != nseq || len_syms.len() != nseq || dist_syms.len() != nseq {
+        return Err(DecodeError::Corrupt("zstd sequence stream lengths disagree"));
+    }
+    let extra_len = varint::read_usize(data, pos)?;
+    let end = pos.checked_add(extra_len).ok_or(DecodeError::Corrupt("zstd extras overflow"))?;
+    let extra_bytes = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
+    *pos = end;
+    let mut extras = BitReader::new(extra_bytes);
+    let start = out.len();
+    let mut lit_pos = 0usize;
+    for i in 0..nseq {
+        let lb = if lit_syms[i] == 0 { 0 } else { u32::from(lit_syms[i] - 1) };
+        let le = extras.read_bits(lb).ok_or(DecodeError::UnexpectedEof)?;
+        let lit_len = unbucket0(lit_syms[i], le) as usize;
+        let lit_end = lit_pos.checked_add(lit_len).ok_or(DecodeError::Corrupt("zstd literal overflow"))?;
+        if lit_end > literals.len() {
+            return Err(DecodeError::Corrupt("zstd literal stream too short"));
+        }
+        out.extend_from_slice(&literals[lit_pos..lit_end]);
+        lit_pos = lit_end;
+
+        let mb = if len_syms[i] == 0 { 0 } else { u32::from(len_syms[i] - 1) };
+        let me = extras.read_bits(mb).ok_or(DecodeError::UnexpectedEof)?;
+        let match_len = unbucket0(len_syms[i], me) as usize + MIN_MATCH;
+
+        let db = if dist_syms[i] == 0 { 0 } else { u32::from(dist_syms[i] - 1) };
+        let de = extras.read_bits(db).ok_or(DecodeError::UnexpectedEof)?;
+        let dist = unbucket0(dist_syms[i], de) as usize + 1;
+        if dist > out.len() - start {
+            return Err(DecodeError::Corrupt("zstd distance out of range"));
+        }
+        if out.len() - start + match_len > raw_len {
+            return Err(DecodeError::Corrupt("zstd match overruns block"));
+        }
+        let from = out.len() - dist;
+        for k in 0..match_len {
+            let b = out[from + k];
+            out.push(b);
+        }
+    }
+    // Trailing literals.
+    out.extend_from_slice(&literals[lit_pos..]);
+    if out.len() - start != raw_len {
+        return Err(DecodeError::Corrupt("zstd block length mismatch"));
+    }
+    Ok(raw_len)
+}
+
+impl Codec for ZstdLike {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn device(&self) -> Device {
+        self.device
+    }
+
+    fn datatype(&self) -> Datatype {
+        Datatype::General
+    }
+
+    fn compress(&self, data: &[u8], _meta: &Meta) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        varint::write_usize(&mut out, data.len());
+        for block in data.chunks(BLOCK) {
+            encode_block(block, self.effort, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8], _meta: &Meta) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let total = varint::read_usize(data, &mut pos)?;
+        let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
+        while out.len() < total {
+            let produced = decode_block(data, &mut pos, &mut out)?;
+            if produced == 0 {
+                return Err(DecodeError::Corrupt("zstd empty block"));
+            }
+        }
+        if out.len() != total {
+            return Err(DecodeError::Corrupt("zstd length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], codec: &ZstdLike) -> usize {
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(data, &meta);
+        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        c.len()
+    }
+
+    #[test]
+    fn text_roundtrips() {
+        let data = b"compression is the art of prediction. ".repeat(5000);
+        let fast = roundtrip(&data, &ZstdLike::fast());
+        let best = roundtrip(&data, &ZstdLike::best());
+        assert!(best <= fast);
+        assert!(best < data.len() / 10);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(&[], &ZstdLike::fast());
+        roundtrip(b"x", &ZstdLike::best());
+        roundtrip(b"abcd", &ZstdLike::best());
+    }
+
+    #[test]
+    fn float_bytes_roundtrip() {
+        let data: Vec<u8> = (0..100_000u32)
+            .flat_map(|i| (1.0f32 + i as f32 * 1e-6).to_bits().to_le_bytes())
+            .collect();
+        let size = roundtrip(&data, &ZstdLike::best());
+        assert!(size < data.len(), "got {size}");
+    }
+
+    #[test]
+    fn multi_block() {
+        let data: Vec<u8> = (0..BLOCK + 123_456).map(|i| (i % 97) as u8).collect();
+        roundtrip(&data, &ZstdLike::fast());
+    }
+
+    #[test]
+    fn bucket0_roundtrip() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u32::MAX as u64] {
+            let (s, bits, e) = bucket_of0(v);
+            assert!(bits == 0 || e < (1 << bits));
+            assert_eq!(unbucket0(s, e), v);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = b"hello world ".repeat(10_000);
+        let codec = ZstdLike::fast();
+        let meta = Meta::f32_flat(0);
+        let c = codec.compress(&data, &meta);
+        assert!(codec.decompress(&c[..c.len() - 4], &meta).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p fpc-bench --release --bin harness -- all [--quick] [--out DIR]
+//! cargo run -p fpc-bench --release --bin harness -- fig08 fig09
+//! cargo run -p fpc-bench --release --bin harness -- table1 stages ablation
+//! ```
+//!
+//! `--quick` uses the small dataset scale and 2 timing repetitions (smoke
+//! run); the default matches the paper's methodology (full scale, median of
+//! 5 runs). `--data DIR` runs on external datasets (e.g. the real SDRBench
+//! files) described by `DIR/manifest.txt` instead of the synthetic suites —
+//! see `fpc_datagen::external` for the manifest format.
+
+use fpc_bench::figures::{
+    all_figures, figure, run_ablations, run_panel, suites_for, Figure, Precision, Target,
+};
+use fpc_bench::measure::{ByteSuite, Config};
+use fpc_bench::report;
+use fpc_datagen::Scale;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let requested: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(*a) != out_dir.to_str())
+        .filter(|a| data_dir.as_deref().and_then(|d| d.to_str()) != Some(*a))
+        .collect();
+    if requested.is_empty() {
+        eprintln!(
+            "usage: harness <all | table1 | stages | ablation | synth | charts | fig08..fig19>... [--quick] [--out DIR] [--data DIR]"
+        );
+        std::process::exit(2);
+    }
+
+    let scale = if quick { Scale::Small } else { Scale::Full };
+    let config = if quick { Config::quick() } else { Config::default() };
+    let run_all = requested.contains(&"all");
+
+    if run_all || requested.contains(&"table1") {
+        println!("{}", report::table1());
+    }
+    if run_all || requested.contains(&"stages") {
+        println!("{}", report::stages());
+    }
+
+    // `charts`: re-render every figure's SVG from previously written CSVs
+    // (the artifact's chart_*.py equivalent) without re-measuring.
+    if requested.contains(&"charts") {
+        for fig in all_figures() {
+            let key = panel_key(&fig);
+            let csv_path = out_dir.join(format!("{key}.csv"));
+            match report::read_csv(&csv_path) {
+                Ok(results) => match fpc_bench::plot::write_svg(&out_dir, &fig, &results) {
+                    Ok(path) => eprintln!("[harness] wrote {}", path.display()),
+                    Err(e) => eprintln!("[harness] warning: svg for {}: {e}", fig.id),
+                },
+                Err(e) => eprintln!(
+                    "[harness] {}: no panel data ({e}); run the figure first",
+                    fig.id
+                ),
+            }
+        }
+    }
+
+    // Group requested figures by measurement panel so each panel runs once.
+    let figures: Vec<Figure> = if run_all {
+        all_figures()
+    } else {
+        requested.iter().filter_map(|id| figure(id)).collect()
+    };
+    let mut panels: BTreeMap<String, Vec<Figure>> = BTreeMap::new();
+    for f in figures {
+        panels.entry(panel_key(&f)).or_default().push(f);
+    }
+
+    // Cache suites per precision (generation is shared between panels).
+    let mut sp_suites: Option<Vec<ByteSuite>> = None;
+    let mut dp_suites: Option<Vec<ByteSuite>> = None;
+
+    for (key, figs) in panels {
+        let precision = figs[0].precision;
+        let target = figs[0].target.clone();
+        let build = |precision: Precision| match &data_dir {
+            Some(dir) => {
+                let manifest = dir.join("manifest.txt");
+                fpc_bench::figures::suites_from_manifest(precision, &manifest)
+                    .unwrap_or_else(|e| {
+                        eprintln!("[harness] failed to load {}: {e}", manifest.display());
+                        std::process::exit(1);
+                    })
+            }
+            None => suites_for(precision, scale),
+        };
+        let suites = match precision {
+            Precision::Sp => sp_suites.get_or_insert_with(|| build(Precision::Sp)),
+            Precision::Dp => dp_suites.get_or_insert_with(|| build(Precision::Dp)),
+        };
+        eprintln!("[harness] running panel {key} ({} suites)...", suites.len());
+        let results = run_panel(precision, &target, suites, &config);
+        let csv_path = out_dir.join(format!("{key}.csv"));
+        if let Err(e) = report::write_csv(&csv_path, &results) {
+            eprintln!("[harness] warning: could not write {}: {e}", csv_path.display());
+        }
+        for fig in &figs {
+            println!("{}", report::figure_table(fig, &results));
+            match fpc_bench::plot::write_svg(&out_dir, fig, &results) {
+                Ok(path) => eprintln!("[harness] wrote {}", path.display()),
+                Err(e) => eprintln!("[harness] warning: svg for {}: {e}", fig.id),
+            }
+        }
+    }
+
+    if run_all || requested.contains(&"synth") {
+        // Miniature LC-framework study (§3): rank every <=2-stage chain.
+        use fpc_bench::synth;
+        let suites = sp_suites.get_or_insert_with(|| match &data_dir {
+            Some(dir) => fpc_bench::figures::suites_from_manifest(
+                Precision::Sp,
+                &dir.join("manifest.txt"),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("[harness] failed to load external data: {e}");
+                std::process::exit(1);
+            }),
+            None => suites_for(Precision::Sp, scale),
+        });
+        let probe: Vec<u8> = suites
+            .iter()
+            .flat_map(|s| s.files.first())
+            .flat_map(|(_, bytes, _)| bytes.iter().copied())
+            .collect();
+        println!("### synth: LC-style pipeline enumeration (probe: {} bytes)
+", probe.len());
+        println!("| rank | pipeline | compressed bytes | ratio |");
+        println!("|---|---|---|---|");
+        for (i, (pipeline, size)) in synth::rank(&probe, 2).iter().take(15).enumerate() {
+            println!(
+                "| {} | {pipeline} | {size} | {:.3} |",
+                i + 1,
+                probe.len() as f64 / *size as f64
+            );
+        }
+        println!();
+    }
+
+    if run_all || requested.contains(&"ablation") {
+        eprintln!("[harness] running ablation studies...");
+        let rows = run_ablations(scale);
+        println!("### ablation: design-choice studies\n");
+        println!("| study | variant | geo-mean ratio | compress GB/s |");
+        println!("|---|---|---|---|");
+        for r in &rows {
+            println!("| {} | {} | {:.4} | {:.3} |", r.study, r.variant, r.ratio, r.compress_gbps);
+        }
+        println!();
+    }
+}
+
+fn panel_key(f: &Figure) -> String {
+    let target = match &f.target {
+        Target::CpuMeasured => "cpu".to_string(),
+        Target::GpuModeled(p) => p.name.replace(' ', "").to_lowercase(),
+    };
+    let precision = match f.precision {
+        Precision::Sp => "sp",
+        Precision::Dp => "dp",
+    };
+    format!("{precision}_{target}")
+}

@@ -1,0 +1,147 @@
+//! Unified view of "compressors under test": the paper's four algorithms
+//! plus the reimplemented comparator roster.
+
+use fpc_baselines::{Codec, Datatype, Device, Meta};
+use fpc_core::{Algorithm, Compressor};
+
+/// One compressor in the evaluation.
+pub struct Entry {
+    /// Figure label.
+    pub name: String,
+    /// Device class (ours are `Both`).
+    pub device: Device,
+    /// Supported datatypes.
+    pub datatype: Datatype,
+    kind: Kind,
+}
+
+enum Kind {
+    Ours(Algorithm),
+    Baseline(Box<dyn Codec>),
+}
+
+impl Entry {
+    /// Wraps one of the paper's algorithms.
+    pub fn ours(algorithm: Algorithm) -> Self {
+        Self {
+            name: algorithm.name().to_string(),
+            device: Device::Both,
+            datatype: if algorithm.is_single_precision() { Datatype::F32 } else { Datatype::F64 },
+            kind: Kind::Ours(algorithm),
+        }
+    }
+
+    /// Wraps a roster baseline.
+    pub fn baseline(codec: Box<dyn Codec>) -> Self {
+        Self {
+            name: codec.name().to_string(),
+            device: codec.device(),
+            datatype: codec.datatype(),
+            kind: Kind::Baseline(codec),
+        }
+    }
+
+    /// Whether this is one of the paper's own algorithms.
+    pub fn is_ours(&self) -> bool {
+        matches!(self.kind, Kind::Ours(_))
+    }
+
+    /// Compresses `data` (with `meta` describing it).
+    pub fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        match &self.kind {
+            Kind::Ours(algo) => Compressor::new(*algo).compress_bytes(data),
+            Kind::Baseline(codec) => codec.compress(data, meta),
+        }
+    }
+
+    /// Decompresses a stream produced by [`Entry::compress`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on corrupt streams — the harness only feeds back its own
+    /// streams, so a failure is a bug worth aborting on.
+    pub fn decompress(&self, stream: &[u8], meta: &Meta) -> Vec<u8> {
+        match &self.kind {
+            Kind::Ours(_) => fpc_core::decompress_bytes(stream).expect("self-produced stream"),
+            Kind::Baseline(codec) => codec.decompress(stream, meta).expect("self-produced stream"),
+        }
+    }
+}
+
+/// The full evaluation lineup: ours first (paper order), then the roster.
+pub fn all_entries() -> Vec<Entry> {
+    let mut entries: Vec<Entry> = Algorithm::ALL.into_iter().map(Entry::ours).collect();
+    entries.extend(fpc_baselines::roster().into_iter().map(Entry::baseline));
+    entries
+}
+
+/// Entries eligible for a figure: device class and element width filter.
+pub fn entries_for(gpu_figure: bool, element_width: u8) -> Vec<Entry> {
+    all_entries()
+        .into_iter()
+        .filter(|e| e.datatype.supports_width(element_width))
+        .filter(|e| match e.device {
+            Device::Both => true,
+            Device::Gpu => gpu_figure,
+            Device::Cpu => !gpu_figure,
+        })
+        .filter(|e| {
+            // Ours: only the matching-precision pair appears in a figure.
+            !e.is_ours() || e.datatype.supports_width(element_width)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_matches_paper_structure() {
+        let all = all_entries();
+        // 4 ours + >= 18 comparator modes.
+        assert!(all.len() >= 22, "got {}", all.len());
+        assert_eq!(all.iter().filter(|e| e.is_ours()).count(), 4);
+    }
+
+    #[test]
+    fn gpu_sp_figure_lineup() {
+        let entries = entries_for(true, 4);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"SPspeed"));
+        assert!(names.contains(&"SPratio"));
+        assert!(names.contains(&"Bitcomp"));
+        assert!(names.contains(&"MPC"));
+        assert!(names.contains(&"ndzip"));
+        // CPU-only and DP-only codecs must be absent.
+        assert!(!names.contains(&"FPC"));
+        assert!(!names.contains(&"Gzip-best"));
+        assert!(!names.contains(&"GFC"));
+        assert!(!names.contains(&"DPspeed"));
+    }
+
+    #[test]
+    fn cpu_dp_figure_lineup() {
+        let entries = entries_for(false, 8);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"DPspeed"));
+        assert!(names.contains(&"DPratio"));
+        assert!(names.contains(&"FPC"));
+        assert!(names.contains(&"pFPC"));
+        assert!(names.contains(&"Bzip2"));
+        assert!(names.contains(&"ndzip"));
+        assert!(!names.contains(&"MPC")); // GPU-only original
+        assert!(!names.contains(&"SPspeed"));
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let data: Vec<u8> =
+            (0..4096u32).flat_map(|i| (i as f32 * 0.1).to_bits().to_le_bytes()).collect();
+        let meta = Meta::f32_flat(4096);
+        for entry in entries_for(false, 4) {
+            let c = entry.compress(&data, &meta);
+            assert_eq!(entry.decompress(&c, &meta), data, "{}", entry.name);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The experiment index: every table and figure of the paper's evaluation,
+//! mapped to a runnable definition.
+//!
+//! | Id | Paper content |
+//! |---|---|
+//! | `table1` | comparator roster with device/datatype metadata |
+//! | `stages` | Figure 1: the stage table of the four algorithms |
+//! | `fig08`/`fig09` | RTX 4090, SP, ratio vs comp/decomp throughput |
+//! | `fig10`/`fig11` | A100, SP |
+//! | `fig12`/`fig13` | CPU (measured), SP |
+//! | `fig14`/`fig15` | RTX 4090, DP |
+//! | `fig16`/`fig17` | A100, DP |
+//! | `fig18`/`fig19` | CPU (measured), DP |
+//! | `ablation` | design-choice ablations (MPLG fallback, FCM window, adaptive split, chunk size) |
+
+use crate::entries::{entries_for, Entry};
+use crate::measure::{
+    byte_suites_f32, byte_suites_f64, measure_cpu, measure_gpu_modeled, ByteSuite, CodecResult,
+    Config,
+};
+use crate::pareto::Point;
+use fpc_datagen::{double_precision_suites, single_precision_suites, Scale};
+use fpc_gpu_sim::DeviceProfile;
+
+/// Element precision of a panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Single precision (the 7 SP suites).
+    Sp,
+    /// Double precision (the 5 DP suites).
+    Dp,
+}
+
+/// Where throughput numbers come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Real wall-clock measurement on this machine's CPU.
+    CpuMeasured,
+    /// Modeled GPU throughput for a device profile.
+    GpuModeled(DeviceProfile),
+}
+
+/// Throughput direction shown on a figure's x-axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Compression throughput.
+    Compression,
+    /// Decompression throughput.
+    Decompression,
+}
+
+/// One figure of the paper.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment id, e.g. `"fig08"`.
+    pub id: &'static str,
+    /// Human-readable description.
+    pub title: &'static str,
+    /// SP or DP panel.
+    pub precision: Precision,
+    /// Measurement target.
+    pub target: Target,
+    /// X axis.
+    pub axis: Axis,
+}
+
+/// All twelve scatter figures, in paper order.
+pub fn all_figures() -> Vec<Figure> {
+    let rtx = || Target::GpuModeled(DeviceProfile::rtx4090());
+    let a100 = || Target::GpuModeled(DeviceProfile::a100());
+    let cpu = || Target::CpuMeasured;
+    vec![
+        Figure { id: "fig08", title: "RTX 4090, SP: ratio vs compression throughput", precision: Precision::Sp, target: rtx(), axis: Axis::Compression },
+        Figure { id: "fig09", title: "RTX 4090, SP: ratio vs decompression throughput", precision: Precision::Sp, target: rtx(), axis: Axis::Decompression },
+        Figure { id: "fig10", title: "A100, SP: ratio vs compression throughput", precision: Precision::Sp, target: a100(), axis: Axis::Compression },
+        Figure { id: "fig11", title: "A100, SP: ratio vs decompression throughput", precision: Precision::Sp, target: a100(), axis: Axis::Decompression },
+        Figure { id: "fig12", title: "CPU, SP: ratio vs compression throughput", precision: Precision::Sp, target: cpu(), axis: Axis::Compression },
+        Figure { id: "fig13", title: "CPU, SP: ratio vs decompression throughput", precision: Precision::Sp, target: cpu(), axis: Axis::Decompression },
+        Figure { id: "fig14", title: "RTX 4090, DP: ratio vs compression throughput", precision: Precision::Dp, target: rtx(), axis: Axis::Compression },
+        Figure { id: "fig15", title: "RTX 4090, DP: ratio vs decompression throughput", precision: Precision::Dp, target: rtx(), axis: Axis::Decompression },
+        Figure { id: "fig16", title: "A100, DP: ratio vs compression throughput", precision: Precision::Dp, target: a100(), axis: Axis::Compression },
+        Figure { id: "fig17", title: "A100, DP: ratio vs decompression throughput", precision: Precision::Dp, target: a100(), axis: Axis::Decompression },
+        Figure { id: "fig18", title: "CPU, DP: ratio vs compression throughput", precision: Precision::Dp, target: cpu(), axis: Axis::Compression },
+        Figure { id: "fig19", title: "CPU, DP: ratio vs decompression throughput", precision: Precision::Dp, target: cpu(), axis: Axis::Decompression },
+    ]
+}
+
+/// Looks up a figure by id.
+pub fn figure(id: &str) -> Option<Figure> {
+    all_figures().into_iter().find(|f| f.id == id)
+}
+
+/// Builds the byte suites for a precision at a scale.
+pub fn suites_for(precision: Precision, scale: Scale) -> Vec<ByteSuite> {
+    match precision {
+        Precision::Sp => byte_suites_f32(&single_precision_suites(scale)),
+        Precision::Dp => byte_suites_f64(&double_precision_suites(scale)),
+    }
+}
+
+/// Builds the byte suites for a precision from an external data manifest
+/// (e.g. the real SDRBench files; see `fpc_datagen::external`).
+///
+/// # Errors
+///
+/// Propagates manifest/file errors.
+pub fn suites_from_manifest(
+    precision: Precision,
+    manifest: &std::path::Path,
+) -> std::io::Result<Vec<ByteSuite>> {
+    Ok(match precision {
+        Precision::Sp => byte_suites_f32(&fpc_datagen::external::load_sp_suites(manifest)?),
+        Precision::Dp => byte_suites_f64(&fpc_datagen::external::load_dp_suites(manifest)?),
+    })
+}
+
+/// Runs one measurement panel (shared by the compression/decompression
+/// figure pair): every eligible codec over every suite.
+pub fn run_panel(
+    precision: Precision,
+    target: &Target,
+    suites: &[ByteSuite],
+    config: &Config,
+) -> Vec<CodecResult> {
+    let width = match precision {
+        Precision::Sp => 4,
+        Precision::Dp => 8,
+    };
+    let gpu = matches!(target, Target::GpuModeled(_));
+    let entries: Vec<Entry> = entries_for(gpu, width);
+    let mut results = Vec::new();
+    for entry in &entries {
+        match target {
+            Target::CpuMeasured => results.push(measure_cpu(entry, suites, config)),
+            Target::GpuModeled(profile) => {
+                if let Some(r) = measure_gpu_modeled(entry, suites, profile, config) {
+                    results.push(r);
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Projects panel results onto one figure's axis.
+pub fn points_for_axis(results: &[CodecResult], axis: Axis) -> Vec<Point> {
+    results
+        .iter()
+        .map(|r| Point {
+            name: r.name.clone(),
+            throughput: match axis {
+                Axis::Compression => r.compress_gbps,
+                Axis::Decompression => r.decompress_gbps,
+            },
+            ratio: r.ratio,
+        })
+        .collect()
+}
+
+/// One row of the ablation study.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which design choice is varied.
+    pub study: &'static str,
+    /// The variant label.
+    pub variant: String,
+    /// Geo-mean compression ratio over the relevant suites.
+    pub ratio: f64,
+    /// Wall-clock compression throughput in GB/s (single measurement).
+    pub compress_gbps: f64,
+}
+
+/// Runs the ablation studies called out in DESIGN.md. All variants are
+/// encoder-side, so every stream is verified with the standard decoder.
+pub fn run_ablations(scale: Scale) -> Vec<AblationRow> {
+    use fpc_core::{Algorithm, Compressor, PipelineOptions};
+    let sp = suites_for(Precision::Sp, scale);
+    let dp = suites_for(Precision::Dp, scale);
+    let mut rows = Vec::new();
+
+    let run = |study: &'static str,
+               variant: String,
+               compressor: &Compressor,
+               suites: &[ByteSuite]|
+     -> AblationRow {
+        let mut ratios = Vec::new();
+        let mut gbps = Vec::new();
+        for suite in suites {
+            let mut suite_ratios = Vec::new();
+            let mut suite_gbps = Vec::new();
+            for (_, bytes, _) in &suite.files {
+                let start = std::time::Instant::now();
+                let stream = compressor.compress_bytes(bytes);
+                let dt = start.elapsed().as_secs_f64();
+                assert_eq!(
+                    fpc_core::decompress_bytes(&stream).expect("ablation stream"),
+                    *bytes
+                );
+                suite_ratios.push(bytes.len() as f64 / stream.len() as f64);
+                suite_gbps.push(bytes.len() as f64 / 1e9 / dt);
+            }
+            ratios.push(crate::geo_mean(&suite_ratios));
+            gbps.push(crate::geo_mean(&suite_gbps));
+        }
+        AblationRow {
+            study,
+            variant,
+            ratio: crate::geo_mean(&ratios),
+            compress_gbps: crate::geo_mean(&gbps),
+        }
+    };
+
+    // 1. Enhanced-MPLG zigzag fallback (SPspeed/DPspeed).
+    for (algo, suites) in [(Algorithm::SpSpeed, &sp), (Algorithm::DpSpeed, &dp)] {
+        for fallback in [true, false] {
+            let opts = PipelineOptions { mplg_fallback: fallback, ..PipelineOptions::default() };
+            let c = Compressor::new(algo).with_options(opts);
+            rows.push(run(
+                "mplg-fallback",
+                format!("{algo} fallback={fallback}"),
+                &c,
+                suites,
+            ));
+        }
+    }
+
+    // 2. FCM match window (DPratio).
+    for window in [1usize, 2, 4, 8] {
+        let opts = PipelineOptions { fcm_window: window, ..PipelineOptions::default() };
+        let c = Compressor::new(Algorithm::DpRatio).with_options(opts);
+        rows.push(run("fcm-window", format!("window={window}"), &c, &dp));
+    }
+
+    // 3. Adaptive vs fixed RAZE/RARE split (DPratio).
+    {
+        let c = Compressor::new(Algorithm::DpRatio);
+        rows.push(run("raze-split", "adaptive".to_string(), &c, &dp));
+        for kb in [2u8, 4, 6] {
+            let opts = PipelineOptions { fixed_split: Some(kb), ..PipelineOptions::default() };
+            let c = Compressor::new(Algorithm::DpRatio).with_options(opts);
+            rows.push(run("raze-split", format!("fixed k={}", kb as u32 * 8), &c, &dp));
+        }
+    }
+
+    // 4. Chunk size sweep (SPratio).
+    for chunk_kb in [4usize, 16, 64, 256] {
+        let c = Compressor::new(Algorithm::SpRatio).with_chunk_size(chunk_kb * 1024);
+        rows.push(run("chunk-size", format!("{chunk_kb} KiB"), &c, &sp));
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_figures_defined() {
+        let figs = all_figures();
+        assert_eq!(figs.len(), 12);
+        let ids: Vec<&str> = figs.iter().map(|f| f.id).collect();
+        for id in ["fig08", "fig12", "fig15", "fig19"] {
+            assert!(ids.contains(&id));
+        }
+        assert!(figure("fig08").is_some());
+        assert!(figure("fig99").is_none());
+    }
+
+    #[test]
+    fn gpu_sp_panel_produces_points() {
+        let suites = suites_for(Precision::Sp, Scale::Small);
+        // Keep it fast: first suite only.
+        let panel = run_panel(
+            Precision::Sp,
+            &Target::GpuModeled(DeviceProfile::rtx4090()),
+            &suites[..1],
+            &Config { repetitions: 1, verify: true },
+        );
+        assert!(panel.len() >= 8, "got {}", panel.len());
+        let ours: Vec<&CodecResult> = panel.iter().filter(|r| r.ours).collect();
+        assert_eq!(ours.len(), 2); // SPspeed + SPratio
+        for r in &panel {
+            assert!(r.ratio > 0.2, "{}: {}", r.name, r.ratio);
+            assert!(r.compress_gbps > 0.0);
+        }
+    }
+
+    #[test]
+    fn axis_projection() {
+        let results = vec![CodecResult {
+            name: "x".into(),
+            ours: false,
+            ratio: 2.0,
+            compress_gbps: 10.0,
+            decompress_gbps: 20.0,
+        }];
+        assert_eq!(points_for_axis(&results, Axis::Compression)[0].throughput, 10.0);
+        assert_eq!(points_for_axis(&results, Axis::Decompression)[0].throughput, 20.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Pareto-front computation for the ratio-vs-throughput scatter plots.
+//!
+//! A codec is on the front if no other codec is both faster and
+//! better-compressing (paper §4: "All compressors that lie on this front
+//! are optimal").
+
+/// A point in a figure: (name, throughput GB/s, compression ratio).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Codec name.
+    pub name: String,
+    /// X axis: throughput in GB/s.
+    pub throughput: f64,
+    /// Y axis: compression ratio.
+    pub ratio: f64,
+}
+
+/// Returns, for each point, whether it lies on the Pareto front
+/// (maximizing both throughput and ratio).
+pub fn pareto_front(points: &[Point]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| {
+            !points.iter().any(|q| {
+                (q.throughput > p.throughput && q.ratio >= p.ratio)
+                    || (q.throughput >= p.throughput && q.ratio > p.ratio)
+            })
+        })
+        .collect()
+}
+
+/// Names of the Pareto-optimal codecs, sorted by descending throughput.
+pub fn front_names(points: &[Point]) -> Vec<String> {
+    let on = pareto_front(points);
+    let mut front: Vec<&Point> =
+        points.iter().zip(&on).filter(|(_, &b)| b).map(|(p, _)| p).collect();
+    front.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).expect("finite"));
+    front.into_iter().map(|p| p.name.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str, throughput: f64, ratio: f64) -> Point {
+        Point { name: name.to_string(), throughput, ratio }
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        let pts = [p("a", 1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![true]);
+    }
+
+    #[test]
+    fn dominated_point_excluded() {
+        let pts = [p("fast", 10.0, 2.0), p("slow-worse", 5.0, 1.5), p("dense", 1.0, 3.0)];
+        assert_eq!(pareto_front(&pts), vec![true, false, true]);
+        assert_eq!(front_names(&pts), vec!["fast", "dense"]);
+    }
+
+    #[test]
+    fn equal_points_both_on_front() {
+        let pts = [p("a", 2.0, 2.0), p("b", 2.0, 2.0)];
+        assert_eq!(pareto_front(&pts), vec![true, true]);
+    }
+
+    #[test]
+    fn strictly_dominated_on_one_axis() {
+        // Same ratio, lower throughput -> dominated.
+        let pts = [p("a", 2.0, 2.0), p("b", 1.0, 2.0)];
+        assert_eq!(pareto_front(&pts), vec![true, false]);
+    }
+
+    #[test]
+    fn diagonal_chain_all_optimal() {
+        let pts: Vec<Point> =
+            (1..=5).map(|i| p(&format!("c{i}"), i as f64, 10.0 / i as f64)).collect();
+        assert!(pareto_front(&pts).into_iter().all(|b| b));
+    }
+}

@@ -1,0 +1,230 @@
+//! SVG scatter plots of the ratio-vs-throughput figures.
+//!
+//! The paper's artifact renders `single_charts.png`/`double_charts.png`
+//! with matplotlib; this module is the dependency-free equivalent, emitting
+//! one self-contained SVG per figure with the Pareto front drawn as a step
+//! line, our algorithms highlighted, and a log-scale x-axis for the CPU
+//! figures (the paper's Figures 12/13/18/19 use one).
+
+use crate::figures::{Axis, Figure, Target};
+use crate::measure::CodecResult;
+use crate::pareto::{pareto_front, Point};
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 30.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 60.0;
+
+/// Renders one figure as a complete SVG document.
+pub fn svg_scatter(figure: &Figure, results: &[CodecResult]) -> String {
+    let points = crate::figures::points_for_axis(results, figure.axis);
+    let on_front = pareto_front(&points);
+    let log_x = matches!(figure.target, Target::CpuMeasured);
+
+    let xs: Vec<f64> = points.iter().map(|p| tx(p.throughput, log_x)).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.ratio).collect();
+    let (x_min, x_max) = padded_range(&xs);
+    let (y_min, y_max) = padded_range(&ys);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="24" font-size="15" text-anchor="middle">{} — {}</text>"#,
+        WIDTH / 2.0,
+        figure.id,
+        xml_escape(figure.title)
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#888"/>"##
+    );
+    let axis_label = match figure.axis {
+        Axis::Compression => "compression throughput [GB/s]",
+        Axis::Decompression => "decompression throughput [GB/s]",
+    };
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 16.0,
+        xml_escape(axis_label),
+        if log_x { " (log scale)" } else { "" }
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="18" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 18 {:.1})">compression ratio</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    );
+    // Tick labels (min/mid/max on each axis, in data units).
+    for frac in [0.0f64, 0.5, 1.0] {
+        let xv = x_min + frac * (x_max - x_min);
+        let label = if log_x { format!("{:.3}", 10f64.powf(xv)) } else { format!("{xv:.0}") };
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{label}</text>"#,
+            MARGIN_L + frac * plot_w,
+            MARGIN_T + plot_h + 16.0
+        );
+        let yv = y_min + frac * (y_max - y_min);
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{yv:.2}</text>"#,
+            MARGIN_L - 6.0,
+            sy(yv) + 4.0
+        );
+    }
+    // Pareto front as a descending step line.
+    let mut front: Vec<&Point> =
+        points.iter().zip(&on_front).filter(|(_, &b)| b).map(|(p, _)| p).collect();
+    front.sort_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("finite"));
+    if front.len() > 1 {
+        let mut path = String::new();
+        for (i, p) in front.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(path, "{cmd}{:.1} {:.1} ", sx(tx(p.throughput, log_x)), sy(p.ratio));
+        }
+        let _ = write!(
+            svg,
+            r##"<path d="{path}" fill="none" stroke="#2a9d8f" stroke-width="1.5" stroke-dasharray="5 3"/>"##
+        );
+    }
+    // Points and labels.
+    for (p, (r, &front)) in points.iter().zip(results.iter().zip(&on_front)) {
+        let cx = sx(tx(p.throughput, log_x));
+        let cy = sy(p.ratio);
+        let (fill, radius) = if r.ours { ("#d62828", 5.0) } else { ("#457b9d", 3.5) };
+        let stroke = if front { r##" stroke="#2a9d8f" stroke-width="2""## } else { "" };
+        let _ = write!(svg, r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius}" fill="{fill}"{stroke}/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10">{}</text>"#,
+            cx + 6.0,
+            cy - 4.0,
+            xml_escape(&p.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Writes a figure's SVG next to the CSVs.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_svg(
+    dir: &std::path::Path,
+    figure: &Figure,
+    results: &[CodecResult],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.svg", figure.id));
+    std::fs::write(&path, svg_scatter(figure, results))?;
+    Ok(path)
+}
+
+fn tx(v: f64, log_x: bool) -> f64 {
+    if log_x {
+        v.max(f64::MIN_POSITIVE).log10()
+    } else {
+        v
+    }
+}
+
+fn padded_range(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    let span = (max - min).max(1e-9);
+    (min - span * 0.05, max + span * 0.08)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Precision;
+
+    fn sample() -> (Figure, Vec<CodecResult>) {
+        let figure = Figure {
+            id: "fig08",
+            title: "test figure",
+            precision: Precision::Sp,
+            target: Target::GpuModeled(fpc_gpu_sim::DeviceProfile::rtx4090()),
+            axis: Axis::Compression,
+        };
+        let results = vec![
+            CodecResult { name: "SPspeed".into(), ours: true, ratio: 1.4, compress_gbps: 518.0, decompress_gbps: 540.0 },
+            CodecResult { name: "Slow&Dense".into(), ours: false, ratio: 2.0, compress_gbps: 10.0, decompress_gbps: 12.0 },
+            CodecResult { name: "Dominated".into(), ours: false, ratio: 1.1, compress_gbps: 5.0, decompress_gbps: 6.0 },
+        ];
+        (figure, results)
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let (figure, results) = sample();
+        let svg = svg_scatter(&figure, &results);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), results.len());
+        // Names are labeled and escaped.
+        assert!(svg.contains("SPspeed"));
+        assert!(svg.contains("Slow&amp;Dense"));
+        // Two front points -> a dashed front path exists.
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn cpu_figures_use_log_axis() {
+        let (mut figure, results) = sample();
+        figure.target = Target::CpuMeasured;
+        let svg = svg_scatter(&figure, &results);
+        assert!(svg.contains("(log scale)"));
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let (figure, results) = sample();
+        let dir = std::env::temp_dir().join(format!("fpc-plot-test-{}", std::process::id()));
+        let path = write_svg(&dir, &figure, &results).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let (figure, _) = sample();
+        let svg = svg_scatter(&figure, &[]);
+        assert!(svg.ends_with("</svg>"));
+        let one = vec![CodecResult {
+            name: "only".into(),
+            ours: false,
+            ratio: 1.0,
+            compress_gbps: 0.0,
+            decompress_gbps: 0.0,
+        }];
+        let svg = svg_scatter(&figure, &one);
+        assert!(svg.contains("only"));
+    }
+}

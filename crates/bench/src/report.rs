@@ -1,0 +1,199 @@
+//! Console and CSV emission of experiment results.
+
+use crate::figures::{Axis, Figure};
+use crate::measure::CodecResult;
+use crate::pareto::{pareto_front, Point};
+use std::io::Write;
+use std::path::Path;
+
+/// Renders one figure as a markdown table (ratio, throughput, Pareto mark),
+/// sorted by descending throughput like reading the scatter right-to-left.
+pub fn figure_table(figure: &Figure, results: &[CodecResult]) -> String {
+    let points = crate::figures::points_for_axis(results, figure.axis);
+    let on_front = pareto_front(&points);
+    let mut rows: Vec<(usize, &Point)> = points.iter().enumerate().collect();
+    rows.sort_by(|a, b| b.1.throughput.partial_cmp(&a.1.throughput).expect("finite"));
+    let axis_name = match figure.axis {
+        Axis::Compression => "compress GB/s",
+        Axis::Decompression => "decompress GB/s",
+    };
+    let mut out = String::new();
+    out.push_str(&format!("### {}: {}\n\n", figure.id, figure.title));
+    out.push_str(&format!("| compressor | ratio | {axis_name} | Pareto |\n"));
+    out.push_str("|---|---|---|---|\n");
+    for (idx, p) in rows {
+        let star = if on_front[idx] { "*" } else { "" };
+        out.push_str(&format!(
+            "| {}{} | {:.3} | {:.3} | {} |\n",
+            p.name,
+            if results[idx].ours { " (ours)" } else { "" },
+            p.ratio,
+            p.throughput,
+            star
+        ));
+    }
+    let front = crate::pareto::front_names(&points);
+    out.push_str(&format!("\nPareto front: {}\n", front.join(", ")));
+    out
+}
+
+/// Writes panel results as CSV (one row per codec).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation or writes.
+pub fn write_csv(path: &Path, results: &[CodecResult]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "codec,ours,ratio,compress_gbps,decompress_gbps")?;
+    for r in results {
+        writeln!(
+            f,
+            "{},{},{:.6},{:.6},{:.6}",
+            r.name, r.ours, r.ratio, r.compress_gbps, r.decompress_gbps
+        )?;
+    }
+    Ok(())
+}
+
+
+/// Reads a panel CSV written by [`write_csv`].
+///
+/// # Errors
+///
+/// Fails on I/O errors or malformed rows.
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<CodecResult>> {
+    let content = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (lineno, line) in content.lines().enumerate().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let parse_err = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}:{}: malformed row", path.display(), lineno + 1),
+            )
+        };
+        if fields.len() != 5 {
+            return Err(parse_err());
+        }
+        out.push(CodecResult {
+            name: fields[0].to_string(),
+            ours: fields[1] == "true",
+            ratio: fields[2].parse().map_err(|_| parse_err())?,
+            compress_gbps: fields[3].parse().map_err(|_| parse_err())?,
+            decompress_gbps: fields[4].parse().map_err(|_| parse_err())?,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders Table 1: the comparator roster with metadata.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("### table1: lossless compressors used in comparison\n\n");
+    out.push_str("| device | compressor | datatype | source |\n|---|---|---|---|\n");
+    for codec in fpc_baselines::roster() {
+        let device = match codec.device() {
+            fpc_baselines::Device::Both => "CPU+GPU",
+            fpc_baselines::Device::Gpu => "GPU",
+            fpc_baselines::Device::Cpu => "CPU",
+        };
+        let datatype = match codec.datatype() {
+            fpc_baselines::Datatype::F32 => "FP32",
+            fpc_baselines::Datatype::F64 => "FP64",
+            fpc_baselines::Datatype::F32F64 => "FP32 & FP64",
+            fpc_baselines::Datatype::General => "General",
+        };
+        out.push_str(&format!(
+            "| {device} | {} | {datatype} | reimplemented (fpc-baselines) |\n",
+            codec.name()
+        ));
+    }
+    out.push_str("| CPU+GPU | SPspeed/SPratio/DPspeed/DPratio | FP32 / FP64 | this crate (ours) |\n");
+    out
+}
+
+/// Renders Figure 1: the stage table of the four algorithms.
+pub fn stages() -> String {
+    let mut out = String::new();
+    out.push_str("### fig01: the stages (transformations) of the 4 algorithms\n\n");
+    out.push_str("| algorithm | stages |\n|---|---|\n");
+    for algo in fpc_core::Algorithm::ALL {
+        out.push_str(&format!("| {} | {} |\n", algo.name(), algo.stages().join(" -> ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{Precision, Target};
+    use fpc_gpu_sim::DeviceProfile;
+
+    fn sample_results() -> Vec<CodecResult> {
+        vec![
+            CodecResult { name: "SPspeed".into(), ours: true, ratio: 1.4, compress_gbps: 518.0, decompress_gbps: 540.0 },
+            CodecResult { name: "Slowpoke".into(), ours: false, ratio: 1.1, compress_gbps: 3.0, decompress_gbps: 5.0 },
+        ]
+    }
+
+    fn sample_figure() -> Figure {
+        Figure {
+            id: "fig08",
+            title: "test",
+            precision: Precision::Sp,
+            target: Target::GpuModeled(DeviceProfile::rtx4090()),
+            axis: Axis::Compression,
+        }
+    }
+
+    #[test]
+    fn figure_table_marks_pareto() {
+        let table = figure_table(&sample_figure(), &sample_results());
+        assert!(table.contains("SPspeed (ours)"));
+        assert!(table.contains("Pareto front: SPspeed"));
+        // The dominated codec is not on the front.
+        assert!(!table.contains("Pareto front: SPspeed, Slowpoke"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("fpc-bench-test");
+        let path = dir.join("panel.csv");
+        write_csv(&path, &sample_results()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("codec,ours,ratio"));
+        assert!(content.contains("SPspeed,true,1.4"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_read_roundtrip() {
+        let dir = std::env::temp_dir().join("fpc-bench-csvrt");
+        let path = dir.join("panel.csv");
+        write_csv(&path, &sample_results()).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "SPspeed");
+        assert!(back[0].ours);
+        assert!((back[0].compress_gbps - 518.0).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table1_lists_roster() {
+        let t = table1();
+        assert!(t.contains("| GPU | GFC |"));
+        assert!(t.contains("| CPU | FPC |"));
+        assert!(t.contains("SPspeed/SPratio"));
+    }
+
+    #[test]
+    fn stages_matches_figure1() {
+        let s = stages();
+        assert!(s.contains("| SPratio | DIFFMS -> BIT -> RZE |"));
+        assert!(s.contains("| DPratio | FCM -> DIFFMS -> RAZE -> RARE |"));
+    }
+}

@@ -1,0 +1,241 @@
+//! `fpcc` — command-line front end for the FPcompress algorithms.
+//!
+//! ```text
+//! fpcc compress   --algo spratio [--threads N] <input> <output>
+//! fpcc decompress <input> <output>
+//! fpcc info       <file>
+//! fpcc survey     --width 4|8 <file>      # run every applicable codec
+//! fpcc gen        --precision sp|dp --out DIR   # synthetic datasets + manifest
+//! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
+//! ```
+
+use fpc_baselines::Meta;
+use fpc_core::{Algorithm, Compressor};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("survey") => cmd_survey(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("anatomy") => cmd_anatomy(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: fpcc <compress|decompress|info|survey|gen|anatomy> ...\n\
+                 \n\
+                 compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
+                 decompress <in> <out>\n\
+                 info       <file>\n\
+                 survey     --width <4|8> <file>\n\
+                 gen        --precision <sp|dp> --out <dir>\n\
+                 anatomy    --algo <name> <file>   # per-stage volume breakdown"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fpcc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn parse_algo(name: &str) -> Result<Algorithm, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "spspeed" => Ok(Algorithm::SpSpeed),
+        "spratio" => Ok(Algorithm::SpRatio),
+        "dpspeed" => Ok(Algorithm::DpSpeed),
+        "dpratio" => Ok(Algorithm::DpRatio),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let algo = parse_algo(flag_value(args, "--algo").ok_or("--algo is required")?)?;
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "invalid --threads"))
+        .transpose()?
+        .unwrap_or(0);
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err("expected <input> <output>".into());
+    };
+    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let start = std::time::Instant::now();
+    let stream = Compressor::new(algo).with_threads(threads).compress_bytes(&data);
+    let dt = start.elapsed().as_secs_f64();
+    std::fs::write(output, &stream).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "{algo}: {} -> {} bytes (ratio {:.3}) in {:.3}s ({:.3} GB/s)",
+        data.len(),
+        stream.len(),
+        data.len() as f64 / stream.len() as f64,
+        dt,
+        data.len() as f64 / 1e9 / dt
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err("expected <input> <output>".into());
+    };
+    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let start = std::time::Instant::now();
+    let data = fpc_core::decompress_bytes(&stream).map_err(|e| e.to_string())?;
+    let dt = start.elapsed().as_secs_f64();
+    std::fs::write(output, &data).map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "{} -> {} bytes in {:.3}s ({:.3} GB/s)",
+        stream.len(),
+        data.len(),
+        dt,
+        data.len() as f64 / 1e9 / dt
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <file>".into());
+    };
+    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let info = fpc_core::info(&stream).map_err(|e| e.to_string())?;
+    println!("algorithm:      {}", info.algorithm);
+    println!("stages:         {}", info.algorithm.stages().join(" -> "));
+    println!("original bytes: {}", info.original_len);
+    println!("stream bytes:   {}", info.compressed_len);
+    println!("ratio:          {:.4}", info.ratio());
+    println!("chunks:         {} ({} stored raw)", info.chunks, info.raw_chunks);
+    Ok(())
+}
+
+fn cmd_survey(args: &[String]) -> Result<(), String> {
+    let width: u8 = flag_value(args, "--width").unwrap_or("4").parse().map_err(|_| "bad --width")?;
+    if width != 4 && width != 8 {
+        return Err("--width must be 4 or 8".into());
+    }
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <file>".into());
+    };
+    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let meta =
+        Meta { element_width: width, dims: [1, 1, data.len() / usize::from(width)] };
+    println!("| codec | ratio | compress GB/s | decompress GB/s |");
+    println!("|---|---|---|---|");
+    // Ours first.
+    let our_algos: &[Algorithm] = if width == 4 {
+        &[Algorithm::SpSpeed, Algorithm::SpRatio]
+    } else {
+        &[Algorithm::DpSpeed, Algorithm::DpRatio]
+    };
+    for &algo in our_algos {
+        let compressor = Compressor::new(algo);
+        let t0 = std::time::Instant::now();
+        let stream = compressor.compress_bytes(&data);
+        let ct = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let back = fpc_core::decompress_bytes(&stream).map_err(|e| e.to_string())?;
+        let dt = t1.elapsed().as_secs_f64();
+        if back != data {
+            return Err(format!("{algo} roundtrip mismatch"));
+        }
+        print_survey_row(&algo.to_string(), &data, &stream, ct, dt);
+    }
+    for codec in fpc_baselines::roster() {
+        if !codec.datatype().supports_width(width) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let stream = codec.compress(&data, &meta);
+        let ct = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let back = codec.decompress(&stream, &meta).map_err(|e| e.to_string())?;
+        let dt = t1.elapsed().as_secs_f64();
+        if back != data {
+            return Err(format!("{} roundtrip mismatch", codec.name()));
+        }
+        print_survey_row(codec.name(), &data, &stream, ct, dt);
+    }
+    Ok(())
+}
+
+fn print_survey_row(name: &str, data: &[u8], stream: &[u8], ct: f64, dt: f64) {
+    println!(
+        "| {name} | {:.3} | {:.3} | {:.3} |",
+        data.len() as f64 / stream.len() as f64,
+        data.len() as f64 / 1e9 / ct,
+        data.len() as f64 / 1e9 / dt
+    );
+}
+
+fn cmd_anatomy(args: &[String]) -> Result<(), String> {
+    let algo = parse_algo(flag_value(args, "--algo").ok_or("--algo is required")?)?;
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <file>".into());
+    };
+    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    print!("{}", fpc_core::analyze_bytes(&data, algo));
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let precision = flag_value(args, "--precision").unwrap_or("sp");
+    let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or("datasets"));
+    let scale = match flag_value(args, "--scale").unwrap_or("small") {
+        "small" => fpc_datagen::Scale::Small,
+        "full" => fpc_datagen::Scale::Full,
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    match precision {
+        "sp" => {
+            let suites = fpc_datagen::single_precision_suites(scale);
+            fpc_datagen::external::write_manifest_f32(&out_dir, &suites)
+                .map_err(|e| e.to_string())?;
+        }
+        "dp" => {
+            let suites = fpc_datagen::double_precision_suites(scale);
+            fpc_datagen::external::write_manifest_f64(&out_dir, &suites)
+                .map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown precision '{other}'")),
+    }
+    println!(
+        "datasets and manifest written to {} (harness: --data {})",
+        out_dir.display(),
+        out_dir.display()
+    );
+    Ok(())
+}

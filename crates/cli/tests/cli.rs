@@ -1,0 +1,138 @@
+//! End-to-end tests of the `fpcc` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fpcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpcc"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpcc-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn sample_file(dir: &std::path::Path) -> PathBuf {
+    let values: Vec<f32> = (0..50_000).map(|i| (i as f32 * 1e-3).sin() * 7.0).collect();
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let path = dir.join("input.bin");
+    std::fs::write(&path, bytes).expect("write sample");
+    path
+}
+
+#[test]
+fn compress_decompress_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let input = sample_file(&dir);
+    let compressed = dir.join("out.fpc");
+    let restored = dir.join("restored.bin");
+
+    let status = fpcc()
+        .args(["compress", "--algo", "spratio"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("run fpcc compress");
+    assert!(status.success());
+    assert!(compressed.exists());
+    let original = std::fs::read(&input).expect("read input");
+    let stream = std::fs::read(&compressed).expect("read stream");
+    assert!(stream.len() < original.len(), "no compression achieved");
+
+    let status = fpcc()
+        .arg("decompress")
+        .arg(&compressed)
+        .arg(&restored)
+        .status()
+        .expect("run fpcc decompress");
+    assert!(status.success());
+    assert_eq!(std::fs::read(&restored).expect("read restored"), original);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn info_reports_algorithm() {
+    let dir = temp_dir("info");
+    let input = sample_file(&dir);
+    let compressed = dir.join("out.fpc");
+    assert!(fpcc()
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("compress")
+        .success());
+    let output = fpcc().arg("info").arg(&compressed).output().expect("info");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("SPspeed"), "{text}");
+    assert!(text.contains("DIFFMS -> MPLG"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let dir = temp_dir("badalgo");
+    let input = sample_file(&dir);
+    let out = dir.join("x.fpc");
+    let output = fpcc()
+        .args(["compress", "--algo", "bogus"])
+        .arg(&input)
+        .arg(&out)
+        .output()
+        .expect("run");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown algorithm"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn decompress_rejects_garbage() {
+    let dir = temp_dir("garbage");
+    let bogus = dir.join("bogus.fpc");
+    std::fs::write(&bogus, b"this is not a stream").expect("write");
+    let output =
+        fpcc().arg("decompress").arg(&bogus).arg(dir.join("out.bin")).output().expect("run");
+    assert!(!output.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn anatomy_prints_stage_breakdown() {
+    let dir = temp_dir("anatomy");
+    let input = sample_file(&dir);
+    let output = fpcc()
+        .args(["anatomy", "--algo", "spratio"])
+        .arg(&input)
+        .output()
+        .expect("run anatomy");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    for stage in ["DIFFMS", "BIT", "RZE"] {
+        assert!(text.contains(stage), "missing {stage} in {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let output = fpcc().output().expect("run");
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}
+
+#[test]
+fn gen_writes_datasets() {
+    let dir = temp_dir("gen");
+    let out = dir.join("sets");
+    let status = fpcc()
+        .args(["gen", "--precision", "dp", "--scale", "small", "--out"])
+        .arg(&out)
+        .status()
+        .expect("run gen");
+    assert!(status.success());
+    let entries: Vec<_> = std::fs::read_dir(&out).expect("read dir").collect();
+    assert!(entries.len() >= 10, "only {} dataset files", entries.len());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,52 @@
+//! Container decoding errors.
+
+/// Errors produced while parsing or decompressing a container stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The stream does not start with the `FPCR` magic bytes.
+    BadMagic,
+    /// The stream was produced by an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The stream ended before parsing finished.
+    UnexpectedEof,
+    /// A structural invariant was violated.
+    Corrupt(&'static str),
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::BadMagic => write!(f, "not an FPcompress stream (bad magic)"),
+            Error::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Error::UnexpectedEof => write!(f, "unexpected end of stream"),
+            Error::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [
+            Error::BadMagic,
+            Error::UnsupportedVersion(9),
+            Error::UnexpectedEof,
+            Error::Corrupt("x"),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().expect("nonempty").is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

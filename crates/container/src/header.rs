@@ -1,0 +1,139 @@
+//! The fixed-size container header.
+
+use crate::Error;
+
+/// Stream magic: "FPCR".
+pub const MAGIC: [u8; 4] = *b"FPCR";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Algorithm identifier for SPspeed.
+pub const ALGO_SP_SPEED: u8 = 1;
+/// Algorithm identifier for SPratio.
+pub const ALGO_SP_RATIO: u8 = 2;
+/// Algorithm identifier for DPspeed.
+pub const ALGO_DP_SPEED: u8 = 3;
+/// Algorithm identifier for DPratio.
+pub const ALGO_DP_RATIO: u8 = 4;
+
+/// Fixed-size stream header.
+///
+/// `original_len` is the user-data length; `payload_len` is the length of
+/// the chunked stream, which differs from `original_len` only for
+/// algorithms with a global preprocessing stage (DPratio's FCM doubles the
+/// data before chunking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Algorithm identifier (one of the `ALGO_*` constants or a custom id).
+    pub algorithm: u8,
+    /// Element width in bytes (4 for single precision, 8 for double).
+    pub element_width: u8,
+    /// Length of the original user data in bytes.
+    pub original_len: u64,
+    /// Length of the chunked payload in bytes.
+    pub payload_len: u64,
+    /// Chunk size used when compressing.
+    pub chunk_size: u32,
+}
+
+impl Header {
+    /// Serialized size in bytes.
+    pub const ENCODED_LEN: usize = 4 + 1 + 1 + 1 + 1 + 8 + 8 + 4;
+
+    /// Creates a header with the default chunk size.
+    pub fn new(algorithm: u8, element_width: u8, original_len: u64, payload_len: u64) -> Self {
+        Self {
+            algorithm,
+            element_width,
+            original_len,
+            payload_len,
+            chunk_size: crate::DEFAULT_CHUNK_SIZE as u32,
+        }
+    }
+
+    /// Appends the serialized header to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.algorithm);
+        out.push(self.element_width);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.original_len.to_le_bytes());
+        out.extend_from_slice(&self.payload_len.to_le_bytes());
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+    }
+
+    /// Parses a header from `data` at `*pos`, advancing `*pos`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation, wrong magic, or an unknown version.
+    pub fn read(data: &[u8], pos: &mut usize) -> Result<Self, Error> {
+        let end = pos.checked_add(Self::ENCODED_LEN).ok_or(Error::Corrupt("offset overflow"))?;
+        let bytes = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
+        if bytes[0..4] != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(Error::UnsupportedVersion(bytes[4]));
+        }
+        let header = Self {
+            algorithm: bytes[5],
+            element_width: bytes[6],
+            original_len: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            payload_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            chunk_size: u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")),
+        };
+        *pos = end;
+        Ok(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = Header {
+            algorithm: ALGO_DP_RATIO,
+            element_width: 8,
+            original_len: 123_456_789,
+            payload_len: 246_913_578,
+            chunk_size: 16384,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), Header::ENCODED_LEN);
+        let mut pos = 0;
+        let parsed = Header::read(&buf, &mut pos).unwrap();
+        assert_eq!(pos, Header::ENCODED_LEN);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn bad_magic() {
+        let mut buf = Vec::new();
+        Header::new(1, 4, 0, 0).write(&mut buf);
+        buf[2] = b'X';
+        let mut pos = 0;
+        assert_eq!(Header::read(&buf, &mut pos), Err(Error::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version() {
+        let mut buf = Vec::new();
+        Header::new(1, 4, 0, 0).write(&mut buf);
+        buf[4] = 99;
+        let mut pos = 0;
+        assert_eq!(Header::read(&buf, &mut pos), Err(Error::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn truncated() {
+        let mut buf = Vec::new();
+        Header::new(1, 4, 0, 0).write(&mut buf);
+        let mut pos = 0;
+        assert_eq!(Header::read(&buf[..10], &mut pos), Err(Error::UnexpectedEof));
+    }
+}

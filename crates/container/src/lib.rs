@@ -1,0 +1,505 @@
+//! The chunked container format shared by all FPcompress algorithms.
+//!
+//! Every algorithm splits its payload into independent 16 KiB chunks
+//! (paper §3): each chunk is transformed separately, chunks that fail to
+//! shrink are stored raw (capping worst-case expansion), and the compressed
+//! chunks are concatenated into one contiguous block — the paper
+//! specifically calls out that, unlike nvCOMP, its compressors concatenate.
+//!
+//! On compression, chunks are assigned to worker threads *dynamically*
+//! (an atomic work counter), mirroring the paper's OpenMP scheduling; the
+//! ordered concatenation the paper implements with a write-position chain
+//! is reproduced here by indexed reassembly. On decompression, a prefix sum
+//! over the chunk-size table yields every chunk's read position, after
+//! which all chunks decode independently in parallel.
+//!
+//! # Stream layout
+//!
+//! ```text
+//! [Header: 28 bytes][chunk count: u32][chunk table: u32 × count][payloads…]
+//! ```
+//!
+//! Each chunk-table entry stores the compressed size in the low 31 bits and
+//! a "stored raw" flag in the high bit.
+
+mod error;
+mod header;
+mod parallel;
+
+pub use error::Error;
+pub use header::{Header, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default chunk size in bytes (paper §3: fits two buffers in GPU shared
+/// memory / CPU L1).
+pub const DEFAULT_CHUNK_SIZE: usize = 16 * 1024;
+
+/// Upper bound on accepted chunk sizes when decoding untrusted streams.
+pub const MAX_CHUNK_SIZE: usize = 16 * 1024 * 1024;
+
+const RAW_FLAG: u32 = 0x8000_0000;
+const SIZE_MASK: u32 = 0x7FFF_FFFF;
+
+/// A per-chunk transformation pipeline.
+///
+/// Implementations must be pure functions of the chunk contents so that
+/// chunks can be processed in any order on any number of threads.
+pub trait ChunkCodec: Sync {
+    /// Transforms one chunk, appending the encoded bytes to `out`.
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>);
+
+    /// Inverts [`ChunkCodec::encode_chunk`].
+    ///
+    /// `expected_len` is the original chunk length (known from the header).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated or corrupt chunk data.
+    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>)
+        -> Result<(), Error>;
+}
+
+/// Compresses `payload` into a complete container stream.
+///
+/// `threads == 0` uses all available parallelism; `threads == 1` runs
+/// inline on the calling thread.
+pub fn compress(header: Header, payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
+    debug_assert_eq!(header.payload_len, payload.len() as u64);
+    let chunk_size = header.chunk_size as usize;
+    assert!(chunk_size > 0, "chunk size must be nonzero");
+    let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
+    let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
+        let mut enc = Vec::with_capacity(chunks[i].len() / 2 + 64);
+        codec.encode_chunk(chunks[i], &mut enc);
+        if enc.len() >= chunks[i].len() {
+            // Worst-case cap: store the original bytes, flagged raw.
+            (true, chunks[i].to_vec())
+        } else {
+            (false, enc)
+        }
+    });
+
+    let mut out = Vec::with_capacity(payload.len() / 2 + 64);
+    header.write(&mut out);
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for (raw, data) in &encoded {
+        assert!(data.len() as u32 <= SIZE_MASK, "chunk exceeds size field");
+        let entry = data.len() as u32 | if *raw { RAW_FLAG } else { 0 };
+        out.extend_from_slice(&entry.to_le_bytes());
+    }
+    for (_, data) in &encoded {
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Parses and validates the container, returning the header and the
+/// decompressed payload.
+///
+/// # Errors
+///
+/// Fails on malformed headers, truncated streams, or chunk payloads the
+/// codec rejects.
+pub fn decompress(
+    data: &[u8],
+    codec: &dyn ChunkCodec,
+    threads: usize,
+) -> Result<(Header, Vec<u8>), Error> {
+    let mut pos = 0usize;
+    let header = Header::read(data, &mut pos)?;
+    let chunk_size = header.chunk_size as usize;
+    if chunk_size == 0 || chunk_size > MAX_CHUNK_SIZE {
+        return Err(Error::Corrupt("chunk size out of range"));
+    }
+    let payload_len = usize::try_from(header.payload_len)
+        .map_err(|_| Error::Corrupt("payload length exceeds address space"))?;
+
+    let count = read_u32(data, &mut pos)? as usize;
+    let expected_chunks = payload_len.div_ceil(chunk_size);
+    if count != expected_chunks {
+        return Err(Error::Corrupt("chunk count does not match payload length"));
+    }
+
+    // Chunk table + prefix sum of read positions.
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(read_u32(data, &mut pos)?);
+    }
+    let mut offsets = Vec::with_capacity(count + 1);
+    let mut offset = pos;
+    for &e in &entries {
+        offsets.push(offset);
+        offset = offset
+            .checked_add((e & SIZE_MASK) as usize)
+            .ok_or(Error::Corrupt("chunk table overflow"))?;
+    }
+    offsets.push(offset);
+    if offset != data.len() {
+        return Err(Error::Corrupt("stream length disagrees with chunk table"));
+    }
+
+    let decoded: Vec<Result<Vec<u8>, Error>> = parallel::run_indexed(count, threads, |i| {
+        let expected_len = if i + 1 == count {
+            payload_len - (count - 1) * chunk_size
+        } else {
+            chunk_size
+        };
+        let body = &data[offsets[i]..offsets[i + 1]];
+        if entries[i] & RAW_FLAG != 0 {
+            if body.len() != expected_len {
+                return Err(Error::Corrupt("raw chunk length mismatch"));
+            }
+            Ok(body.to_vec())
+        } else {
+            let mut out = Vec::with_capacity(expected_len);
+            codec.decode_chunk(body, expected_len, &mut out)?;
+            if out.len() != expected_len {
+                return Err(Error::Corrupt("decoded chunk length mismatch"));
+            }
+            Ok(out)
+        }
+    });
+
+    let mut payload = Vec::with_capacity(payload_len);
+    for chunk in decoded {
+        payload.extend_from_slice(&chunk?);
+    }
+    Ok((header, payload))
+}
+
+/// Decompresses a single chunk of the container by index, without touching
+/// the rest of the stream — the random-access corollary of the paper's
+/// "each chunk is independent" design (§3).
+///
+/// Returns the chunk's original bytes (the final chunk may be short).
+///
+/// # Errors
+///
+/// Fails on malformed streams or an out-of-range index.
+pub fn decompress_chunk(
+    data: &[u8],
+    codec: &dyn ChunkCodec,
+    index: usize,
+) -> Result<Vec<u8>, Error> {
+    let mut pos = 0usize;
+    let header = Header::read(data, &mut pos)?;
+    let chunk_size = header.chunk_size as usize;
+    if chunk_size == 0 || chunk_size > MAX_CHUNK_SIZE {
+        return Err(Error::Corrupt("chunk size out of range"));
+    }
+    let payload_len = usize::try_from(header.payload_len)
+        .map_err(|_| Error::Corrupt("payload length exceeds address space"))?;
+    let count = read_u32(data, &mut pos)? as usize;
+    if count != payload_len.div_ceil(chunk_size) {
+        return Err(Error::Corrupt("chunk count does not match payload length"));
+    }
+    if index >= count {
+        return Err(Error::Corrupt("chunk index out of range"));
+    }
+    // Walk the table up to `index` (the prefix sum the parallel decoder
+    // computes for all chunks at once).
+    let mut entry = 0u32;
+    let mut offset = pos + 4 * count;
+    for i in 0..=index {
+        entry = read_u32(data, &mut pos)?;
+        if i < index {
+            offset = offset
+                .checked_add((entry & SIZE_MASK) as usize)
+                .ok_or(Error::Corrupt("chunk table overflow"))?;
+        }
+    }
+    let body_len = (entry & SIZE_MASK) as usize;
+    let end = offset.checked_add(body_len).ok_or(Error::Corrupt("chunk table overflow"))?;
+    let body = data.get(offset..end).ok_or(Error::UnexpectedEof)?;
+    let expected_len =
+        if index + 1 == count { payload_len - (count - 1) * chunk_size } else { chunk_size };
+    if entry & RAW_FLAG != 0 {
+        if body.len() != expected_len {
+            return Err(Error::Corrupt("raw chunk length mismatch"));
+        }
+        return Ok(body.to_vec());
+    }
+    let mut out = Vec::with_capacity(expected_len);
+    codec.decode_chunk(body, expected_len, &mut out)?;
+    if out.len() != expected_len {
+        return Err(Error::Corrupt("decoded chunk length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Reads just the header of a container stream (for introspection).
+///
+/// # Errors
+///
+/// Fails if the stream is shorter than a header or the magic/version do not
+/// match.
+pub fn read_header(data: &[u8]) -> Result<Header, Error> {
+    let mut pos = 0;
+    Header::read(data, &mut pos)
+}
+
+/// Per-chunk compression statistics (for reporting and the ablation study).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Number of chunks in the stream.
+    pub chunks: usize,
+    /// Chunks stored raw because the codec failed to shrink them.
+    pub raw_chunks: usize,
+    /// Total compressed payload bytes (excluding header and table).
+    pub compressed_payload: usize,
+}
+
+/// Computes [`ChunkStats`] from a container stream without decoding it.
+///
+/// # Errors
+///
+/// Fails on malformed headers or tables.
+pub fn stats(data: &[u8]) -> Result<ChunkStats, Error> {
+    let mut pos = 0;
+    let _ = Header::read(data, &mut pos)?;
+    let count = read_u32(data, &mut pos)? as usize;
+    let mut stats = ChunkStats { chunks: count, ..ChunkStats::default() };
+    for _ in 0..count {
+        let e = read_u32(data, &mut pos)?;
+        if e & RAW_FLAG != 0 {
+            stats.raw_chunks += 1;
+        }
+        stats.compressed_payload += (e & SIZE_MASK) as usize;
+    }
+    Ok(stats)
+}
+
+fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let end = pos.checked_add(4).ok_or(Error::Corrupt("offset overflow"))?;
+    let bytes = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
+    *pos = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+/// Dynamic-assignment parallel map used by compress/decompress; exposed for
+/// reuse by the algorithm crates (e.g. the global FCM stage).
+pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel::run_indexed(count, threads, f)
+}
+
+// Re-exported for tests of the scheduling behaviour.
+#[doc(hidden)]
+pub fn __test_dynamic_schedule(threads: usize) -> Vec<usize> {
+    let order = Mutex::new(Vec::new());
+    let counter = AtomicUsize::new(0);
+    parallel::run_indexed(64, threads, |i| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        order.lock().expect("poisoned").push(i);
+        i
+    });
+    order.into_inner().expect("poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity codec with a 1-byte marker so "compressed" ≠ raw.
+    struct Identity;
+    impl ChunkCodec for Identity {
+        fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+            out.push(0xEE);
+            out.extend_from_slice(chunk);
+        }
+        fn decode_chunk(
+            &self,
+            data: &[u8],
+            _expected_len: usize,
+            out: &mut Vec<u8>,
+        ) -> Result<(), Error> {
+            if data.first() != Some(&0xEE) {
+                return Err(Error::Corrupt("missing marker"));
+            }
+            out.extend_from_slice(&data[1..]);
+            Ok(())
+        }
+    }
+
+    /// Codec that halves runs of identical bytes (so some chunks shrink).
+    struct Rle;
+    impl ChunkCodec for Rle {
+        fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+            let mut i = 0;
+            while i < chunk.len() {
+                let b = chunk[i];
+                let mut run = 1usize;
+                while i + run < chunk.len() && chunk[i + run] == b && run < 255 {
+                    run += 1;
+                }
+                out.push(run as u8);
+                out.push(b);
+                i += run;
+            }
+        }
+        fn decode_chunk(
+            &self,
+            data: &[u8],
+            _expected_len: usize,
+            out: &mut Vec<u8>,
+        ) -> Result<(), Error> {
+            if !data.len().is_multiple_of(2) {
+                return Err(Error::UnexpectedEof);
+            }
+            for pair in data.chunks_exact(2) {
+                out.resize(out.len() + pair[0] as usize, pair[1]);
+            }
+            Ok(())
+        }
+    }
+
+    fn header_for(payload: &[u8]) -> Header {
+        Header::new(ALGO_SP_SPEED, 4, payload.len() as u64, payload.len() as u64)
+    }
+
+    fn roundtrip(payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
+        let stream = compress(header_for(payload), payload, codec, threads);
+        let (header, out) = decompress(&stream, codec, threads).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(header.original_len, payload.len() as u64);
+        stream
+    }
+
+    #[test]
+    fn empty_payload() {
+        roundtrip(&[], &Identity, 1);
+        roundtrip(&[], &Identity, 4);
+    }
+
+    #[test]
+    fn single_partial_chunk() {
+        let payload = vec![1u8, 2, 3];
+        roundtrip(&payload, &Identity, 1);
+    }
+
+    #[test]
+    fn exact_chunk_boundary() {
+        let payload = vec![7u8; DEFAULT_CHUNK_SIZE];
+        roundtrip(&payload, &Rle, 1);
+        let payload = vec![7u8; DEFAULT_CHUNK_SIZE * 3];
+        roundtrip(&payload, &Rle, 2);
+    }
+
+    #[test]
+    fn many_chunks_parallel_matches_serial() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 7 + 123).map(|i| (i % 251) as u8).collect();
+        let serial = roundtrip(&payload, &Rle, 1);
+        let parallel = roundtrip(&payload, &Rle, 8);
+        assert_eq!(serial, parallel, "stream must be deterministic across thread counts");
+    }
+
+    #[test]
+    fn incompressible_chunks_stored_raw() {
+        // Identity codec always expands by 1 byte, so every chunk is raw.
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2).map(|i| (i % 256) as u8).collect();
+        let stream = roundtrip(&payload, &Identity, 2);
+        let s = stats(&stream).unwrap();
+        assert_eq!(s.chunks, 2);
+        assert_eq!(s.raw_chunks, 2);
+        assert_eq!(s.compressed_payload, payload.len());
+    }
+
+    #[test]
+    fn compressible_chunks_not_raw() {
+        let payload = vec![0u8; DEFAULT_CHUNK_SIZE * 2];
+        let stream = roundtrip(&payload, &Rle, 2);
+        let s = stats(&stream).unwrap();
+        assert_eq!(s.raw_chunks, 0);
+        assert!(s.compressed_payload < payload.len() / 10);
+    }
+
+    #[test]
+    fn header_survives() {
+        let payload = vec![9u8; 100];
+        let mut h = header_for(&payload);
+        h.algorithm = ALGO_DP_RATIO;
+        h.element_width = 8;
+        let stream = compress(h, &payload, &Rle, 1);
+        let parsed = read_header(&stream).unwrap();
+        assert_eq!(parsed.algorithm, ALGO_DP_RATIO);
+        assert_eq!(parsed.element_width, 8);
+        assert_eq!(parsed.payload_len, 100);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let payload = vec![3u8; DEFAULT_CHUNK_SIZE + 5];
+        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        for cut in [1usize, 5, stream.len() / 2, stream.len() - 1] {
+            assert!(decompress(&stream[..stream.len() - cut], &Rle, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let payload = vec![3u8; 50];
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        stream[0] ^= 0xFF;
+        assert!(matches!(decompress(&stream, &Rle, 1), Err(Error::BadMagic)));
+    }
+
+    #[test]
+    fn corrupt_chunk_count_rejected() {
+        let payload = vec![3u8; 50];
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        // Chunk count lives right after the header.
+        let pos = Header::ENCODED_LEN;
+        stream[pos] = 99;
+        assert!(decompress(&stream, &Rle, 1).is_err());
+    }
+
+    #[test]
+    fn extra_trailing_bytes_rejected() {
+        let payload = vec![3u8; 50];
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        stream.push(0);
+        assert!(matches!(decompress(&stream, &Rle, 1), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn single_chunk_random_access() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 777).map(|i| (i % 251) as u8).collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 2);
+        for index in 0..4 {
+            let chunk = decompress_chunk(&stream, &Rle, index).unwrap();
+            let start = index * DEFAULT_CHUNK_SIZE;
+            let end = (start + DEFAULT_CHUNK_SIZE).min(payload.len());
+            assert_eq!(chunk, &payload[start..end], "chunk {index}");
+        }
+        assert!(decompress_chunk(&stream, &Rle, 4).is_err(), "out-of-range index");
+    }
+
+    #[test]
+    fn random_access_handles_raw_chunks() {
+        // Identity codec expands, so chunks are stored raw.
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE + 100).map(|i| (i % 256) as u8).collect();
+        let stream = compress(header_for(&payload), &payload, &Identity, 1);
+        assert_eq!(decompress_chunk(&stream, &Identity, 0).unwrap(), &payload[..DEFAULT_CHUNK_SIZE]);
+        assert_eq!(decompress_chunk(&stream, &Identity, 1).unwrap(), &payload[DEFAULT_CHUNK_SIZE..]);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_all_chunks() {
+        for threads in [1usize, 2, 7] {
+            let mut order = __test_dynamic_schedule(threads);
+            order.sort_unstable();
+            assert_eq!(order, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

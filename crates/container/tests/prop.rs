@@ -1,0 +1,116 @@
+//! Property-based tests over the container format and parallel executor.
+
+use fpc_container::{ChunkCodec, Error, Header, ALGO_SP_SPEED};
+use proptest::prelude::*;
+
+/// Marker codec: expands by one byte, so all chunks take the raw fallback.
+struct Expanding;
+impl ChunkCodec for Expanding {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        out.push(0xA5);
+        out.extend_from_slice(chunk);
+    }
+    fn decode_chunk(&self, data: &[u8], _len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        if data.first() != Some(&0xA5) {
+            return Err(Error::Corrupt("marker missing"));
+        }
+        out.extend_from_slice(&data[1..]);
+        Ok(())
+    }
+}
+
+/// Run-collapsing codec: many chunks genuinely shrink.
+struct Collapsing;
+impl ChunkCodec for Collapsing {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let mut i = 0;
+        while i < chunk.len() {
+            let b = chunk[i];
+            let mut run = 1usize;
+            while i + run < chunk.len() && chunk[i + run] == b && run < 255 {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+        }
+    }
+    fn decode_chunk(&self, data: &[u8], _len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        if data.len() % 2 != 0 {
+            return Err(Error::UnexpectedEof);
+        }
+        for pair in data.chunks_exact(2) {
+            out.resize(out.len() + pair[0] as usize, pair[1]);
+        }
+        Ok(())
+    }
+}
+
+fn header_for(payload: &[u8], chunk_size: u32) -> Header {
+    let mut h = Header::new(ALGO_SP_SPEED, 4, payload.len() as u64, payload.len() as u64);
+    h.chunk_size = chunk_size;
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_any_payload_any_chunking(
+        payload in prop::collection::vec(any::<u8>(), 0..40_000),
+        chunk_size in 1u32..70_000,
+        threads in 0usize..6
+    ) {
+        for codec in [&Expanding as &dyn ChunkCodec, &Collapsing] {
+            let stream =
+                fpc_container::compress(header_for(&payload, chunk_size), &payload, codec, threads);
+            let (header, out) = fpc_container::decompress(&stream, codec, threads).unwrap();
+            prop_assert_eq!(&out, &payload);
+            prop_assert_eq!(header.original_len, payload.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_is_thread_count_invariant(
+        payload in prop::collection::vec(0u8..8, 0..30_000),
+    ) {
+        let reference =
+            fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 1);
+        for threads in [2usize, 4, 8] {
+            let stream =
+                fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, threads);
+            prop_assert_eq!(&stream, &reference);
+        }
+    }
+
+    #[test]
+    fn truncations_always_rejected(
+        payload in prop::collection::vec(any::<u8>(), 1..20_000),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let stream = fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2);
+        let cut = ((stream.len() as f64 * cut_frac) as usize).clamp(1, stream.len());
+        let truncated = &stream[..stream.len() - cut];
+        prop_assert!(fpc_container::decompress(truncated, &Collapsing, 2).is_err());
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        payload in prop::collection::vec(0u8..4, 0..30_000),
+    ) {
+        let stream = fpc_container::compress(header_for(&payload, 1024), &payload, &Collapsing, 2);
+        let stats = fpc_container::stats(&stream).unwrap();
+        prop_assert_eq!(stats.chunks, payload.len().div_ceil(1024));
+        prop_assert!(stats.raw_chunks <= stats.chunks);
+        // Compressed payload accounts for the stream minus framing.
+        let framing = Header::ENCODED_LEN + 4 + 4 * stats.chunks;
+        prop_assert_eq!(stats.compressed_payload + framing, stream.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoder(data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = fpc_container::decompress(&data, &Collapsing, 2);
+        let _ = fpc_container::read_header(&data);
+        let _ = fpc_container::stats(&data);
+    }
+}

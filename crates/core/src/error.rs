@@ -1,0 +1,98 @@
+//! Error type for the compression API.
+
+/// Errors returned by the decompression and inspection functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The container layer rejected the stream.
+    Container(fpc_container::Error),
+    /// The stream's algorithm identifier is not one of the four algorithms.
+    UnknownAlgorithm(u8),
+    /// A typed decompression was attempted on a stream of the other width.
+    ElementMismatch {
+        /// Width the caller asked for (4 or 8).
+        expected: u8,
+        /// Width recorded in the stream.
+        actual: u8,
+    },
+    /// Decompressed byte length is not a multiple of the element width.
+    LengthIndivisible {
+        /// Decompressed length in bytes.
+        len: u64,
+        /// Requested element width.
+        width: u8,
+    },
+    /// Random access was requested on a stream whose algorithm has a global
+    /// stage (DPratio's FCM), so chunks are not independently decodable.
+    RandomAccessUnsupported,
+    /// A requested byte range extends beyond the original data.
+    RangeOutOfBounds {
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Original data length.
+        available: u64,
+    },
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::Container(e) => write!(f, "{e}"),
+            Error::UnknownAlgorithm(id) => write!(f, "unknown algorithm identifier {id}"),
+            Error::ElementMismatch { expected, actual } => write!(
+                f,
+                "stream holds {actual}-byte elements but {expected}-byte elements were requested"
+            ),
+            Error::LengthIndivisible { len, width } => {
+                write!(f, "decompressed length {len} is not a multiple of {width}")
+            }
+            Error::RandomAccessUnsupported => {
+                write!(f, "random access is unsupported for algorithms with a global stage")
+            }
+            Error::RangeOutOfBounds { offset, len, available } => {
+                write!(f, "range {offset}+{len} exceeds original length {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Container(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fpc_container::Error> for Error {
+    fn from(e: fpc_container::Error) -> Self {
+        Error::Container(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::UnknownAlgorithm(7).to_string().contains('7'));
+        assert!(Error::ElementMismatch { expected: 4, actual: 8 }.to_string().contains('8'));
+        assert!(Error::LengthIndivisible { len: 5, width: 4 }.to_string().contains('5'));
+    }
+
+    #[test]
+    fn container_source_preserved() {
+        use std::error::Error as _;
+        let e = Error::from(fpc_container::Error::BadMagic);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,737 @@
+//! The four FPcompress lossless floating-point compression algorithms.
+//!
+//! This crate implements the primary contribution of *"Efficient Lossless
+//! Compression of Scientific Floating-Point Data on CPUs and GPUs"*
+//! (ASPLOS 2025): **SPspeed**, **SPratio**, **DPspeed**, and **DPratio** —
+//! chunk-parallel lossless compressors for single- and double-precision
+//! data built from the transformations in `fpc-transforms` on top of the
+//! container format in `fpc-container`.
+//!
+//! * The two *speed* algorithms chain DIFFMS → MPLG.
+//! * SPratio chains DIFFMS → BIT → RZE.
+//! * DPratio chains FCM (global) → DIFFMS → RAZE → RARE.
+//!
+//! Values are processed bit-for-bit as integers, so every float — including
+//! NaN payloads, signed zeros, infinities, and subnormals — is restored
+//! exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_core::{Algorithm, Compressor};
+//!
+//! # fn main() -> Result<(), fpc_core::Error> {
+//! let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).cos()).collect();
+//! let compressor = Compressor::new(Algorithm::DpRatio);
+//! let stream = compressor.compress_f64(&data);
+//! let restored = compressor.decompress_f64(&stream)?;
+//! assert!(data.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+mod error;
+mod options;
+mod pipeline;
+pub mod stream;
+
+pub use analysis::{analyze_bytes, Anatomy};
+pub use error::Error;
+pub use options::PipelineOptions;
+pub use pipeline::{DpRatioChunkCodec, DpSpeedCodec, SpRatioCodec, SpSpeedCodec};
+
+use fpc_container::{Header, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED};
+use fpc_transforms::{fcm, words};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// The four compression algorithms of the paper (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Single precision, throughput-oriented: DIFFMS → MPLG.
+    SpSpeed,
+    /// Single precision, ratio-oriented: DIFFMS → BIT → RZE.
+    SpRatio,
+    /// Double precision, throughput-oriented: DIFFMS → MPLG (64-bit).
+    DpSpeed,
+    /// Double precision, ratio-oriented: FCM → DIFFMS → RAZE → RARE.
+    DpRatio,
+}
+
+impl Algorithm {
+    /// All four algorithms, in paper order.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::SpSpeed, Algorithm::SpRatio, Algorithm::DpSpeed, Algorithm::DpRatio];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::SpSpeed => "SPspeed",
+            Algorithm::SpRatio => "SPratio",
+            Algorithm::DpSpeed => "DPspeed",
+            Algorithm::DpRatio => "DPratio",
+        }
+    }
+
+    /// The stage names of the pipeline, in encode order (paper Figure 1).
+    pub fn stages(self) -> &'static [&'static str] {
+        match self {
+            Algorithm::SpSpeed | Algorithm::DpSpeed => &["DIFFMS", "MPLG"],
+            Algorithm::SpRatio => &["DIFFMS", "BIT", "RZE"],
+            Algorithm::DpRatio => &["FCM", "DIFFMS", "RAZE", "RARE"],
+        }
+    }
+
+    /// Element width in bytes (4 for the SP pair, 8 for the DP pair).
+    pub fn element_width(self) -> u8 {
+        match self {
+            Algorithm::SpSpeed | Algorithm::SpRatio => 4,
+            Algorithm::DpSpeed | Algorithm::DpRatio => 8,
+        }
+    }
+
+    /// Whether this is one of the single-precision algorithms.
+    pub fn is_single_precision(self) -> bool {
+        self.element_width() == 4
+    }
+
+    /// Container algorithm identifier.
+    pub fn id(self) -> u8 {
+        match self {
+            Algorithm::SpSpeed => ALGO_SP_SPEED,
+            Algorithm::SpRatio => ALGO_SP_RATIO,
+            Algorithm::DpSpeed => ALGO_DP_SPEED,
+            Algorithm::DpRatio => ALGO_DP_RATIO,
+        }
+    }
+
+    /// Inverse of [`Algorithm::id`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownAlgorithm`] for unrecognized identifiers.
+    pub fn from_id(id: u8) -> Result<Self> {
+        match id {
+            ALGO_SP_SPEED => Ok(Algorithm::SpSpeed),
+            ALGO_SP_RATIO => Ok(Algorithm::SpRatio),
+            ALGO_DP_SPEED => Ok(Algorithm::DpSpeed),
+            ALGO_DP_RATIO => Ok(Algorithm::DpRatio),
+            other => Err(Error::UnknownAlgorithm(other)),
+        }
+    }
+}
+
+impl core::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configurable compressor for one of the four algorithms.
+///
+/// The configuration only affects *encoding*; any FPcompress stream can be
+/// decompressed by any `Compressor` (or the free [`decompress_bytes`])
+/// because the stream is self-describing.
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    algorithm: Algorithm,
+    threads: usize,
+    chunk_size: usize,
+    options: PipelineOptions,
+}
+
+impl Compressor {
+    /// Creates a compressor using all available CPU parallelism and the
+    /// paper's 16 KiB chunk size.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            threads: 0,
+            chunk_size: fpc_container::DEFAULT_CHUNK_SIZE,
+            options: PipelineOptions::default(),
+        }
+    }
+
+    /// Limits worker threads (`0` = all available, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the chunk size (used by the chunk-size ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero or above
+    /// [`fpc_container::MAX_CHUNK_SIZE`].
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(
+            chunk_size > 0 && chunk_size <= fpc_container::MAX_CHUNK_SIZE,
+            "chunk size out of range"
+        );
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Overrides pipeline options (used by the ablation study).
+    pub fn with_options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Compresses raw little-endian bytes.
+    ///
+    /// The byte length does not have to be a multiple of the element width;
+    /// trailing bytes are stored verbatim.
+    pub fn compress_bytes(&self, data: &[u8]) -> Vec<u8> {
+        let algo = self.algorithm;
+        let mut header =
+            Header::new(algo.id(), algo.element_width(), data.len() as u64, data.len() as u64);
+        header.chunk_size = self.chunk_size as u32;
+        match algo {
+            Algorithm::SpSpeed => {
+                let codec = SpSpeedCodec { fallback: self.options.mplg_fallback };
+                fpc_container::compress(header, data, &codec, self.threads)
+            }
+            Algorithm::SpRatio => {
+                fpc_container::compress(header, data, &SpRatioCodec, self.threads)
+            }
+            Algorithm::DpSpeed => {
+                let codec = DpSpeedCodec { fallback: self.options.mplg_fallback };
+                fpc_container::compress(header, data, &codec, self.threads)
+            }
+            Algorithm::DpRatio => {
+                // Global FCM stage (paper §3.2): the only stage that sees the
+                // whole input. It doubles the payload; the chunked stages
+                // then compress the value and distance arrays.
+                let (words, tail) = words::bytes_to_u64(data);
+                let enc = fcm::encode_with_window(&words, self.options.fcm_window);
+                let mut payload = Vec::with_capacity(words.len() * 16 + tail.len());
+                words::u64_to_bytes(&enc.values, &mut payload);
+                words::u64_to_bytes(&enc.distances, &mut payload);
+                payload.extend_from_slice(tail);
+                header.payload_len = payload.len() as u64;
+                let codec = DpRatioChunkCodec { fixed_split: self.options.fixed_split };
+                fpc_container::compress(header, &payload, &codec, self.threads)
+            }
+        }
+    }
+
+    /// Compresses single-precision values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured algorithm targets double precision; use
+    /// [`Compressor::compress_bytes`] to force a width-agnostic encoding.
+    pub fn compress_f32(&self, data: &[f32]) -> Vec<u8> {
+        assert!(
+            self.algorithm.is_single_precision(),
+            "{} targets double-precision data; use compress_f64 or compress_bytes",
+            self.algorithm
+        );
+        self.compress_bytes(&words::f32_slice_to_bytes(data))
+    }
+
+    /// Compresses double-precision values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured algorithm targets single precision; use
+    /// [`Compressor::compress_bytes`] to force a width-agnostic encoding.
+    pub fn compress_f64(&self, data: &[f64]) -> Vec<u8> {
+        assert!(
+            !self.algorithm.is_single_precision(),
+            "{} targets single-precision data; use compress_f32 or compress_bytes",
+            self.algorithm
+        );
+        self.compress_bytes(&words::f64_slice_to_bytes(data))
+    }
+
+    /// Decompresses any FPcompress stream to raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt or truncated streams.
+    pub fn decompress_bytes(&self, stream: &[u8]) -> Result<Vec<u8>> {
+        decompress_bytes_with(stream, self.threads)
+    }
+
+    /// Decompresses a single-precision stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt streams or if the stream does not hold
+    /// single-precision data.
+    pub fn decompress_f32(&self, stream: &[u8]) -> Result<Vec<f32>> {
+        decompress_f32_with(stream, self.threads)
+    }
+
+    /// Decompresses a double-precision stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt streams or if the stream does not hold
+    /// double-precision data.
+    pub fn decompress_f64(&self, stream: &[u8]) -> Result<Vec<f64>> {
+        decompress_f64_with(stream, self.threads)
+    }
+}
+
+/// Decompresses any FPcompress stream using all available parallelism.
+///
+/// # Errors
+///
+/// Fails on corrupt or truncated streams.
+pub fn decompress_bytes(stream: &[u8]) -> Result<Vec<u8>> {
+    decompress_bytes_with(stream, 0)
+}
+
+/// Decompresses any FPcompress stream with an explicit thread count.
+///
+/// # Errors
+///
+/// Fails on corrupt or truncated streams.
+pub fn decompress_bytes_with(stream: &[u8], threads: usize) -> Result<Vec<u8>> {
+    let header = fpc_container::read_header(stream)?;
+    let algorithm = Algorithm::from_id(header.algorithm)?;
+    match algorithm {
+        Algorithm::SpSpeed => {
+            let codec = SpSpeedCodec { fallback: true };
+            let (_, payload) = fpc_container::decompress(stream, &codec, threads)?;
+            finish_plain(header, payload)
+        }
+        Algorithm::SpRatio => {
+            let (_, payload) = fpc_container::decompress(stream, &SpRatioCodec, threads)?;
+            finish_plain(header, payload)
+        }
+        Algorithm::DpSpeed => {
+            let codec = DpSpeedCodec { fallback: true };
+            let (_, payload) = fpc_container::decompress(stream, &codec, threads)?;
+            finish_plain(header, payload)
+        }
+        Algorithm::DpRatio => {
+            let codec = DpRatioChunkCodec { fixed_split: None };
+            let (_, payload) = fpc_container::decompress(stream, &codec, threads)?;
+            let original_len = usize::try_from(header.original_len)
+                .map_err(|_| Error::Container(fpc_container::Error::Corrupt("length overflow")))?;
+            let nwords = original_len / 8;
+            let tail_len = original_len % 8;
+            if payload.len() != nwords * 16 + tail_len {
+                return Err(Error::Container(fpc_container::Error::Corrupt(
+                    "fcm payload length mismatch",
+                )));
+            }
+            let (values, _) = words::bytes_to_u64(&payload[..nwords * 8]);
+            let (distances, _) = words::bytes_to_u64(&payload[nwords * 8..nwords * 16]);
+            let decoded = fcm::decode_arrays(&values, &distances).map_err(pipeline::map_decode)?;
+            let mut out = Vec::with_capacity(original_len);
+            words::u64_to_bytes(&decoded, &mut out);
+            out.extend_from_slice(&payload[nwords * 16..]);
+            Ok(out)
+        }
+    }
+}
+
+/// Decompresses a single-precision stream.
+///
+/// # Errors
+///
+/// Fails on corrupt streams or element-width mismatch.
+pub fn decompress_f32(stream: &[u8]) -> Result<Vec<f32>> {
+    decompress_f32_with(stream, 0)
+}
+
+fn decompress_f32_with(stream: &[u8], threads: usize) -> Result<Vec<f32>> {
+    let header = fpc_container::read_header(stream)?;
+    if header.element_width != 4 {
+        return Err(Error::ElementMismatch { expected: 4, actual: header.element_width });
+    }
+    let bytes = decompress_bytes_with(stream, threads)?;
+    words::bytes_to_f32_vec(&bytes)
+        .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 4 })
+}
+
+/// Decompresses a double-precision stream.
+///
+/// # Errors
+///
+/// Fails on corrupt streams or element-width mismatch.
+pub fn decompress_f64(stream: &[u8]) -> Result<Vec<f64>> {
+    decompress_f64_with(stream, 0)
+}
+
+fn decompress_f64_with(stream: &[u8], threads: usize) -> Result<Vec<f64>> {
+    let header = fpc_container::read_header(stream)?;
+    if header.element_width != 8 {
+        return Err(Error::ElementMismatch { expected: 8, actual: header.element_width });
+    }
+    let bytes = decompress_bytes_with(stream, threads)?;
+    words::bytes_to_f64_vec(&bytes)
+        .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 8 })
+}
+
+fn finish_plain(header: Header, payload: Vec<u8>) -> Result<Vec<u8>> {
+    if payload.len() as u64 != header.original_len {
+        return Err(Error::Container(fpc_container::Error::Corrupt(
+            "payload length disagrees with header",
+        )));
+    }
+    Ok(payload)
+}
+
+/// Decompresses only the bytes in `[offset, offset + len)` of the original
+/// data, touching just the chunks that cover the range — the random-access
+/// corollary of the paper's independent-chunk design (§3).
+///
+/// Works for SPspeed, SPratio, and DPspeed. DPratio's global FCM stage
+/// makes chunks interdependent, so it is rejected.
+///
+/// # Errors
+///
+/// Fails on corrupt streams, on DPratio streams
+/// ([`Error::RandomAccessUnsupported`]), or if the range exceeds the
+/// original data ([`Error::RangeOutOfBounds`]).
+pub fn decompress_range(stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>> {
+    let header = fpc_container::read_header(stream)?;
+    let algorithm = Algorithm::from_id(header.algorithm)?;
+    let end = offset.checked_add(len).ok_or(Error::RangeOutOfBounds {
+        offset,
+        len,
+        available: header.original_len,
+    })?;
+    if end > header.original_len {
+        return Err(Error::RangeOutOfBounds { offset, len, available: header.original_len });
+    }
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let codec: Box<dyn fpc_container::ChunkCodec> = match algorithm {
+        Algorithm::SpSpeed => Box::new(SpSpeedCodec { fallback: true }),
+        Algorithm::SpRatio => Box::new(SpRatioCodec),
+        Algorithm::DpSpeed => Box::new(DpSpeedCodec { fallback: true }),
+        Algorithm::DpRatio => return Err(Error::RandomAccessUnsupported),
+    };
+    let chunk_size = u64::from(header.chunk_size);
+    let first = (offset / chunk_size) as usize;
+    let last = ((end - 1) / chunk_size) as usize;
+    let mut buf = Vec::with_capacity(((last - first + 1) as u64 * chunk_size) as usize);
+    for index in first..=last {
+        buf.extend_from_slice(&fpc_container::decompress_chunk(stream, codec.as_ref(), index)?);
+    }
+    let skip = (offset - first as u64 * chunk_size) as usize;
+    Ok(buf[skip..skip + len as usize].to_vec())
+}
+
+/// Summary of a compressed stream (for tooling and reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// The algorithm that produced the stream.
+    pub algorithm: Algorithm,
+    /// Original data length in bytes.
+    pub original_len: u64,
+    /// Complete stream length in bytes.
+    pub compressed_len: u64,
+    /// Number of chunks.
+    pub chunks: usize,
+    /// Chunks stored raw (incompressible).
+    pub raw_chunks: usize,
+}
+
+impl StreamInfo {
+    /// Compression ratio (original / compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_len == 0 {
+            return 0.0;
+        }
+        self.original_len as f64 / self.compressed_len as f64
+    }
+}
+
+/// Inspects a compressed stream without decompressing it.
+///
+/// # Errors
+///
+/// Fails on malformed headers or chunk tables.
+pub fn info(stream: &[u8]) -> Result<StreamInfo> {
+    let header = fpc_container::read_header(stream)?;
+    let algorithm = Algorithm::from_id(header.algorithm)?;
+    let stats = fpc_container::stats(stream)?;
+    Ok(StreamInfo {
+        algorithm,
+        original_len: header.original_len,
+        compressed_len: stream.len() as u64,
+        chunks: stats.chunks,
+        raw_chunks: stats.raw_chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_f32(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.001).sin() * 10.0 + 20.0).collect()
+    }
+
+    fn smooth_f64(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.0001).cos() * 3.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn sp_algorithms_roundtrip_f32() {
+        let data = smooth_f32(20_000);
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let c = Compressor::new(algo);
+            let stream = c.compress_f32(&data);
+            let back = c.decompress_f32(&stream).unwrap();
+            assert_eq!(back.len(), data.len());
+            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(stream.len() < data.len() * 4, "{algo} did not compress");
+        }
+    }
+
+    #[test]
+    fn dp_algorithms_roundtrip_f64() {
+        let data = smooth_f64(10_000);
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let c = Compressor::new(algo);
+            let stream = c.compress_f64(&data);
+            let back = c.decompress_f64(&stream).unwrap();
+            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(stream.len() < data.len() * 8, "{algo} did not compress");
+        }
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        for algo in Algorithm::ALL {
+            let c = Compressor::new(algo);
+            let stream = c.compress_bytes(&[]);
+            assert_eq!(c.decompress_bytes(&stream).unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn non_multiple_lengths_roundtrip() {
+        for algo in Algorithm::ALL {
+            let c = Compressor::new(algo).with_threads(1);
+            for len in [1usize, 3, 7, 9, 4095, 4097, 16384, 16389] {
+                let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+                let stream = c.compress_bytes(&data);
+                assert_eq!(c.decompress_bytes(&stream).unwrap(), data, "{algo} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn special_float_values_roundtrip() {
+        let data = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x7FC0_1234), // NaN with payload
+            f32::from_bits(1),           // smallest subnormal
+            f32::MAX,
+            f32::MIN,
+        ];
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let c = Compressor::new(algo);
+            let stream = c.compress_f32(&data);
+            let back = c.decompress_f32(&stream).unwrap();
+            let a: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{algo}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let data = smooth_f64(50_000);
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let serial = Compressor::new(algo).with_threads(1).compress_f64(&data);
+            let parallel = Compressor::new(algo).with_threads(8).compress_f64(&data);
+            assert_eq!(serial, parallel, "{algo}");
+        }
+    }
+
+    #[test]
+    fn cross_algorithm_decompress_is_self_describing() {
+        let data = smooth_f32(5_000);
+        let stream = Compressor::new(Algorithm::SpRatio).compress_f32(&data);
+        // The free function needs no algorithm knowledge.
+        let bytes = decompress_bytes(&stream).unwrap();
+        assert_eq!(bytes.len(), data.len() * 4);
+    }
+
+    #[test]
+    fn element_width_mismatch_rejected() {
+        let stream = Compressor::new(Algorithm::SpSpeed).compress_f32(&smooth_f32(100));
+        assert!(matches!(
+            decompress_f64(&stream),
+            Err(Error::ElementMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "targets double-precision")]
+    fn wrong_typed_compress_panics() {
+        let _ = Compressor::new(Algorithm::DpSpeed).compress_f32(&[1.0]);
+    }
+
+    #[test]
+    fn corrupt_streams_rejected_not_panicking() {
+        let data = smooth_f64(8_000);
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let stream = Compressor::new(algo).compress_f64(&data);
+            // Flip bytes throughout the stream; decoding must never panic.
+            for i in (0..stream.len()).step_by(stream.len() / 40 + 1) {
+                let mut bad = stream.clone();
+                bad[i] ^= 0x5A;
+                let _ = decompress_bytes(&bad); // Ok(garbage) or Err, never panic
+            }
+            // Truncations must error (never silently succeed with full data).
+            for cut in [1usize, 10, stream.len() / 2] {
+                assert!(decompress_bytes(&stream[..stream.len() - cut]).is_err(), "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn info_reports_ratio() {
+        let data = smooth_f32(40_000);
+        let stream = Compressor::new(Algorithm::SpRatio).compress_f32(&data);
+        let info = info(&stream).unwrap();
+        assert_eq!(info.algorithm, Algorithm::SpRatio);
+        assert_eq!(info.original_len, data.len() as u64 * 4);
+        assert!(info.ratio() > 1.0);
+        assert_eq!(info.chunks, (data.len() * 4).div_ceil(16 * 1024));
+    }
+
+    #[test]
+    fn ratio_mode_beats_speed_mode_on_smooth_data() {
+        // The paper's core tradeoff: ratio mode compresses more.
+        let sp = smooth_f32(100_000);
+        let speed = Compressor::new(Algorithm::SpSpeed).compress_f32(&sp).len();
+        let ratio = Compressor::new(Algorithm::SpRatio).compress_f32(&sp).len();
+        assert!(ratio < speed, "SPratio {ratio} should beat SPspeed {speed}");
+    }
+
+    #[test]
+    fn incompressible_data_expansion_is_capped() {
+        // Random bytes: every chunk should fall back to raw storage, so
+        // expansion is limited to headers + chunk table.
+        let data: Vec<u8> = (0..100_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as u8)
+            .collect();
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio, Algorithm::DpSpeed] {
+            let stream = Compressor::new(algo).compress_bytes(&data);
+            let overhead = stream.len() as i64 - data.len() as i64;
+            assert!(overhead < 200, "{algo} expanded by {overhead}");
+            assert_eq!(decompress_bytes(&stream).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn custom_chunk_size_roundtrips() {
+        let data = smooth_f32(30_000);
+        for chunk_size in [1024usize, 4096, 65536] {
+            let c = Compressor::new(Algorithm::SpRatio).with_chunk_size(chunk_size);
+            let stream = c.compress_f32(&data);
+            let back = decompress_f32(&stream).unwrap();
+            assert_eq!(back.len(), data.len());
+        }
+    }
+
+    #[test]
+    fn pipeline_options_roundtrip() {
+        let data = smooth_f64(20_000);
+        let opts = PipelineOptions {
+            mplg_fallback: false,
+            fcm_window: 2,
+            fixed_split: Some(4),
+        };
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let c = Compressor::new(algo).with_options(opts.clone());
+            let stream = c.compress_f64(&data);
+            let back = c.decompress_f64(&stream).unwrap();
+            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+        }
+    }
+
+    #[test]
+    fn algorithm_metadata_is_consistent() {
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::from_id(algo.id()).unwrap(), algo);
+            assert!(!algo.stages().is_empty());
+            assert!(algo.name().len() >= 7);
+        }
+        assert!(Algorithm::from_id(99).is_err());
+        assert_eq!(Algorithm::SpRatio.stages(), &["DIFFMS", "BIT", "RZE"]);
+        assert_eq!(Algorithm::DpRatio.stages(), &["FCM", "DIFFMS", "RAZE", "RARE"]);
+    }
+
+    #[test]
+    fn range_decompression_matches_full() {
+        let data = smooth_f32(100_000);
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let stream = Compressor::new(algo).compress_f32(&data);
+            let full = decompress_bytes(&stream).unwrap();
+            for (offset, len) in
+                [(0u64, 10u64), (3, 5), (16 * 1024 - 2, 8), (100_000, 40_000), (399_999, 1)]
+            {
+                let range = decompress_range(&stream, offset, len).unwrap();
+                assert_eq!(
+                    range,
+                    &full[offset as usize..(offset + len) as usize],
+                    "{algo} range {offset}+{len}"
+                );
+            }
+            assert!(decompress_range(&stream, 0, 0).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn range_decompression_rejects_bad_requests() {
+        let data = smooth_f64(5_000);
+        let speed_stream = Compressor::new(Algorithm::DpSpeed).compress_f64(&data);
+        assert!(matches!(
+            decompress_range(&speed_stream, 39_999, 2),
+            Err(Error::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            decompress_range(&speed_stream, u64::MAX, 2),
+            Err(Error::RangeOutOfBounds { .. })
+        ));
+        let ratio_stream = Compressor::new(Algorithm::DpRatio).compress_f64(&data);
+        assert!(matches!(
+            decompress_range(&ratio_stream, 0, 8),
+            Err(Error::RandomAccessUnsupported)
+        ));
+    }
+
+    #[test]
+    fn repeated_values_favor_dpratio() {
+        // FCM's raison d'être: values recurring far apart.
+        let pattern: Vec<f64> = (0..256).map(|i| (i as f64).sqrt()).collect();
+        let data: Vec<f64> = pattern.iter().cycle().take(64 * 1024).copied().collect();
+        let ratio_stream = Compressor::new(Algorithm::DpRatio).compress_f64(&data);
+        let speed_stream = Compressor::new(Algorithm::DpSpeed).compress_f64(&data);
+        assert!(
+            ratio_stream.len() < speed_stream.len(),
+            "DPratio {} should beat DPspeed {} on recurring data",
+            ratio_stream.len(),
+            speed_stream.len()
+        );
+        assert_eq!(decompress_f64(&ratio_stream).unwrap().len(), data.len());
+    }
+}

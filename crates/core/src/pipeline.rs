@@ -1,0 +1,289 @@
+//! Per-chunk codec implementations wiring the transformations into the
+//! container's [`ChunkCodec`] interface.
+//!
+//! Each codec corresponds to the chunked portion of one algorithm's pipeline
+//! (paper Figure 1). DPratio's global FCM stage runs outside the chunk loop
+//! in `lib.rs`.
+
+use fpc_container::{ChunkCodec, Error};
+use fpc_entropy::varint;
+use fpc_transforms::{bit_transpose, diffms, mplg, rare, raze, rze, words, DecodeError};
+
+/// Maps transformation-level decode errors onto container errors.
+pub(crate) fn map_decode(e: DecodeError) -> Error {
+    match e {
+        DecodeError::UnexpectedEof => Error::UnexpectedEof,
+        DecodeError::InvalidHeader(what) | DecodeError::Corrupt(what) => Error::Corrupt(what),
+    }
+}
+
+fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], Error> {
+    let end = pos.checked_add(len).ok_or(Error::Corrupt("chunk offset overflow"))?;
+    let slice = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
+    *pos = end;
+    Ok(slice)
+}
+
+fn expect_consumed(data: &[u8], pos: usize) -> Result<(), Error> {
+    if pos == data.len() {
+        Ok(())
+    } else {
+        Err(Error::Corrupt("trailing bytes after chunk payload"))
+    }
+}
+
+/// SPspeed chunk pipeline: DIFFMS(32) → MPLG(32).
+#[derive(Debug, Clone, Copy)]
+pub struct SpSpeedCodec {
+    /// Enhanced-MPLG zigzag fallback (paper default: on).
+    pub fallback: bool,
+}
+
+impl ChunkCodec for SpSpeedCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let (mut w, tail) = words::bytes_to_u32(chunk);
+        diffms::encode32(&mut w);
+        mplg::encode32_with(&w, out, self.fallback);
+        out.extend_from_slice(tail);
+    }
+
+    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        let count = expected_len / 4;
+        let tail_len = expected_len % 4;
+        let mut pos = 0;
+        let mut w = Vec::with_capacity(count);
+        mplg::decode32(data, &mut pos, count, &mut w).map_err(map_decode)?;
+        diffms::decode32(&mut w);
+        words::u32_to_bytes(&w, out);
+        out.extend_from_slice(take(data, &mut pos, tail_len)?);
+        expect_consumed(data, pos)
+    }
+}
+
+/// DPspeed chunk pipeline: DIFFMS(64) → MPLG(64).
+#[derive(Debug, Clone, Copy)]
+pub struct DpSpeedCodec {
+    /// Enhanced-MPLG zigzag fallback (paper default: on).
+    pub fallback: bool,
+}
+
+impl ChunkCodec for DpSpeedCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let (mut w, tail) = words::bytes_to_u64(chunk);
+        diffms::encode64(&mut w);
+        mplg::encode64_with(&w, out, self.fallback);
+        out.extend_from_slice(tail);
+    }
+
+    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        let count = expected_len / 8;
+        let tail_len = expected_len % 8;
+        let mut pos = 0;
+        let mut w = Vec::with_capacity(count);
+        mplg::decode64(data, &mut pos, count, &mut w).map_err(map_decode)?;
+        diffms::decode64(&mut w);
+        words::u64_to_bytes(&w, out);
+        out.extend_from_slice(take(data, &mut pos, tail_len)?);
+        expect_consumed(data, pos)
+    }
+}
+
+/// SPratio chunk pipeline: DIFFMS(32) → BIT → RZE.
+#[derive(Debug, Clone, Copy)]
+pub struct SpRatioCodec;
+
+impl ChunkCodec for SpRatioCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let (mut w, tail) = words::bytes_to_u32(chunk);
+        diffms::encode32(&mut w);
+        bit_transpose::transpose32(&mut w);
+        let mut transposed = Vec::with_capacity(w.len() * 4);
+        words::u32_to_bytes(&w, &mut transposed);
+        rze::encode(&transposed, out);
+        out.extend_from_slice(tail);
+    }
+
+    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        let count = expected_len / 4;
+        let tail_len = expected_len % 4;
+        let mut pos = 0;
+        let mut transposed = Vec::with_capacity(count * 4);
+        rze::decode(data, &mut pos, count * 4, &mut transposed).map_err(map_decode)?;
+        let (mut w, rest) = words::bytes_to_u32(&transposed);
+        debug_assert!(rest.is_empty());
+        bit_transpose::transpose32(&mut w);
+        diffms::decode32(&mut w);
+        words::u32_to_bytes(&w, out);
+        out.extend_from_slice(take(data, &mut pos, tail_len)?);
+        expect_consumed(data, pos)
+    }
+}
+
+/// DPratio chunked stages: DIFFMS(64) → RAZE → RARE.
+///
+/// RARE operates on the *byte stream* RAZE emits, viewed as 64-bit words;
+/// the RAZE stream length is recorded as a varint because it is not
+/// derivable from the chunk length.
+#[derive(Debug, Clone, Copy)]
+pub struct DpRatioChunkCodec {
+    /// Fixed RAZE/RARE byte split override (`None` = adaptive).
+    pub fixed_split: Option<u8>,
+}
+
+impl ChunkCodec for DpRatioChunkCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let (mut w, ctail) = words::bytes_to_u64(chunk);
+        diffms::encode64(&mut w);
+        let mut razed = Vec::with_capacity(chunk.len());
+        match self.fixed_split {
+            Some(kb) => raze::encode_with_split(&w, &mut razed, kb as usize),
+            None => raze::encode(&w, &mut razed),
+        }
+        let (w2, t2) = words::bytes_to_u64(&razed);
+        varint::write_usize(out, razed.len());
+        match self.fixed_split {
+            Some(kb) => rare::encode_with_split(&w2, out, kb as usize),
+            None => rare::encode(&w2, out),
+        }
+        out.extend_from_slice(t2);
+        out.extend_from_slice(ctail);
+    }
+
+    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+        let count = expected_len / 8;
+        let ctail_len = expected_len % 8;
+        let mut pos = 0;
+        let razed_len = varint::read_usize(data, &mut pos).map_err(map_decode)?;
+        if razed_len > expected_len * 2 + 64 {
+            return Err(Error::Corrupt("raze stream implausibly large"));
+        }
+        let w2_count = razed_len / 8;
+        let t2_len = razed_len % 8;
+        let mut w2 = Vec::with_capacity(w2_count);
+        rare::decode(data, &mut pos, w2_count, &mut w2).map_err(map_decode)?;
+        let mut razed = Vec::with_capacity(razed_len);
+        words::u64_to_bytes(&w2, &mut razed);
+        razed.extend_from_slice(take(data, &mut pos, t2_len)?);
+        let mut razed_pos = 0;
+        let mut w = Vec::with_capacity(count);
+        raze::decode(&razed, &mut razed_pos, count, &mut w).map_err(map_decode)?;
+        if razed_pos != razed.len() {
+            return Err(Error::Corrupt("raze stream not fully consumed"));
+        }
+        diffms::decode64(&mut w);
+        words::u64_to_bytes(&w, out);
+        out.extend_from_slice(take(data, &mut pos, ctail_len)?);
+        expect_consumed(data, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_roundtrip(codec: &dyn ChunkCodec, chunk: &[u8]) -> usize {
+        let mut enc = Vec::new();
+        codec.encode_chunk(chunk, &mut enc);
+        let mut dec = Vec::new();
+        codec.decode_chunk(&enc, chunk.len(), &mut dec).unwrap();
+        assert_eq!(dec, chunk);
+        enc.len()
+    }
+
+    fn smooth_chunk_f32() -> Vec<u8> {
+        let floats: Vec<f32> = (0..4096).map(|i| 3.0 + (i as f32) * 1e-4).collect();
+        words::f32_slice_to_bytes(&floats)
+    }
+
+    fn smooth_chunk_f64() -> Vec<u8> {
+        let floats: Vec<f64> = (0..2048).map(|i| -7.0 + (i as f64) * 1e-7).collect();
+        words::f64_slice_to_bytes(&floats)
+    }
+
+    #[test]
+    fn spspeed_chunk() {
+        let chunk = smooth_chunk_f32();
+        let size = chunk_roundtrip(&SpSpeedCodec { fallback: true }, &chunk);
+        assert!(size < chunk.len(), "no compression: {size}");
+    }
+
+    #[test]
+    fn spratio_chunk_compresses_more() {
+        let chunk = smooth_chunk_f32();
+        let speed = chunk_roundtrip(&SpSpeedCodec { fallback: true }, &chunk);
+        let ratio = chunk_roundtrip(&SpRatioCodec, &chunk);
+        assert!(ratio < speed, "SPratio {ratio} vs SPspeed {speed}");
+    }
+
+    #[test]
+    fn dpspeed_chunk() {
+        let chunk = smooth_chunk_f64();
+        let size = chunk_roundtrip(&DpSpeedCodec { fallback: true }, &chunk);
+        assert!(size < chunk.len());
+    }
+
+    #[test]
+    fn dpratio_chunk() {
+        let chunk = smooth_chunk_f64();
+        let size = chunk_roundtrip(&DpRatioChunkCodec { fixed_split: None }, &chunk);
+        assert!(size < chunk.len());
+    }
+
+    #[test]
+    fn odd_sized_chunks() {
+        for codec in [
+            &SpSpeedCodec { fallback: true } as &dyn ChunkCodec,
+            &SpRatioCodec,
+            &DpSpeedCodec { fallback: true },
+            &DpRatioChunkCodec { fixed_split: None },
+        ] {
+            for len in [1usize, 2, 5, 9, 17, 100, 1023] {
+                let chunk: Vec<u8> = (0..len).map(|i| (i * 7 % 251) as u8).collect();
+                chunk_roundtrip(codec, &chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_chunks_error() {
+        let chunk = smooth_chunk_f64();
+        for codec in [
+            &DpSpeedCodec { fallback: true } as &dyn ChunkCodec,
+            &DpRatioChunkCodec { fixed_split: None },
+        ] {
+            let mut enc = Vec::new();
+            codec.encode_chunk(&chunk, &mut enc);
+            let mut dec = Vec::new();
+            assert!(codec.decode_chunk(&enc[..enc.len() - 3], chunk.len(), &mut dec).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let chunk = smooth_chunk_f32();
+        let codec = SpRatioCodec;
+        let mut enc = Vec::new();
+        codec.encode_chunk(&chunk, &mut enc);
+        enc.push(0xAB);
+        let mut dec = Vec::new();
+        assert!(matches!(
+            codec.decode_chunk(&enc, chunk.len(), &mut dec),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_split_roundtrips_all_values() {
+        let chunk = smooth_chunk_f64();
+        for kb in 0..=8u8 {
+            let codec = DpRatioChunkCodec { fixed_split: Some(kb) };
+            let mut enc = Vec::new();
+            codec.encode_chunk(&chunk, &mut enc);
+            // Decoding uses the split stored in the stream, not the option.
+            let dec_codec = DpRatioChunkCodec { fixed_split: None };
+            let mut dec = Vec::new();
+            dec_codec.decode_chunk(&enc, chunk.len(), &mut dec).unwrap();
+            assert_eq!(dec, chunk, "kb={kb}");
+        }
+    }
+}

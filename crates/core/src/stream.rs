@@ -1,0 +1,339 @@
+//! Streaming (framed) compression for data that should not be buffered
+//! whole: an [`FrameWriter`] compresses fixed-size frames as they fill, and
+//! a [`FrameReader`] decompresses frame by frame.
+//!
+//! This addresses the paper's deployment setting — instruments producing
+//! hundreds of GB/s (§1) cannot buffer a full acquisition before
+//! compressing. Each frame is a complete, self-describing FPcompress
+//! container, so a stream can also be decompressed frame-parallel by
+//! seeking over the frame length prefixes.
+//!
+//! # Wire format
+//!
+//! ```text
+//! [frame length: u32 LE][container bytes] … [0u32 end marker]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_core::stream::{FrameReader, FrameWriter};
+//! use fpc_core::Algorithm;
+//! use std::io::{Read, Write};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let data: Vec<u8> = (0..100_000u32).flat_map(|i| (i as f32).to_bits().to_le_bytes()).collect();
+//! let mut writer = FrameWriter::new(Vec::new(), Algorithm::SpSpeed);
+//! writer.write_all(&data)?;
+//! let compressed = writer.finish()?;
+//!
+//! let mut restored = Vec::new();
+//! FrameReader::new(compressed.as_slice()).read_to_end(&mut restored)?;
+//! assert_eq!(restored, data);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Algorithm, Compressor};
+use std::io::{self, Read, Write};
+
+/// Default uncompressed frame size (4 MiB: 256 chunks per frame keeps the
+/// per-frame chunk table small while giving the parallel executor work).
+pub const DEFAULT_FRAME_SIZE: usize = 4 * 1024 * 1024;
+
+/// Streaming compressor: buffers input into frames and writes each frame's
+/// container as soon as it is full.
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    sink: W,
+    compressor: Compressor,
+    frame_size: usize,
+    buf: Vec<u8>,
+    finished: bool,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Creates a writer with the default frame size. A `&mut` reference can
+    /// be passed as `sink` if the caller wants to keep ownership.
+    pub fn new(sink: W, algorithm: Algorithm) -> Self {
+        Self::with_compressor(sink, Compressor::new(algorithm))
+    }
+
+    /// Creates a writer using a configured [`Compressor`].
+    pub fn with_compressor(sink: W, compressor: Compressor) -> Self {
+        Self {
+            sink,
+            compressor,
+            frame_size: DEFAULT_FRAME_SIZE,
+            buf: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Overrides the frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_size` is zero.
+    pub fn with_frame_size(mut self, frame_size: usize) -> Self {
+        assert!(frame_size > 0, "frame size must be nonzero");
+        self.frame_size = frame_size;
+        self
+    }
+
+    fn emit_frame(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let frame = self.compressor.compress_bytes(&self.buf);
+        self.buf.clear();
+        let len = u32::try_from(frame.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame exceeds 4 GiB"))?;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&frame)
+    }
+
+    /// Flushes any buffered data as a final (possibly short) frame, writes
+    /// the end marker, and returns the sink.
+    ///
+    /// Dropping the writer without calling `finish` loses buffered data and
+    /// omits the end marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.emit_frame()?;
+        self.sink.write_all(&0u32.to_le_bytes())?;
+        self.sink.flush()?;
+        self.finished = true;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> Write for FrameWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let take = data.len().min(self.frame_size - self.buf.len());
+        self.buf.extend_from_slice(&data[..take]);
+        if self.buf.len() == self.frame_size {
+            self.emit_frame()?;
+        }
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Frames must stay aligned to frame_size until finish(), so flush
+        // only forwards to the sink.
+        self.sink.flush()
+    }
+}
+
+/// Streaming decompressor over a frame stream produced by [`FrameWriter`].
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    source: R,
+    current: Vec<u8>,
+    pos: usize,
+    done: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Creates a reader.
+    pub fn new(source: R) -> Self {
+        Self { source, current: Vec::new(), pos: 0, done: false }
+    }
+
+    fn next_frame(&mut self) -> io::Result<bool> {
+        let mut len_bytes = [0u8; 4];
+        self.source.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 {
+            self.done = true;
+            return Ok(false);
+        }
+        let mut frame = vec![0u8; len];
+        self.source.read_exact(&mut frame)?;
+        self.current = crate::decompress_bytes(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl<R: Read> Read for FrameReader<R> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.pos < self.current.len() {
+                let take = out.len().min(self.current.len() - self.pos);
+                out[..take].copy_from_slice(&self.current[self.pos..self.pos + take]);
+                self.pos += take;
+                return Ok(take);
+            }
+            if self.done || out.is_empty() {
+                return Ok(0);
+            }
+            if !self.next_frame()? {
+                return Ok(0);
+            }
+        }
+    }
+}
+
+/// Compresses everything from `reader` into `writer`; returns the number of
+/// uncompressed bytes consumed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either side.
+pub fn compress_stream<R: Read, W: Write>(
+    mut reader: R,
+    writer: W,
+    algorithm: Algorithm,
+) -> io::Result<u64> {
+    let mut fw = FrameWriter::new(writer, algorithm);
+    let copied = io::copy(&mut reader, &mut fw)?;
+    fw.finish()?;
+    Ok(copied)
+}
+
+/// Decompresses a frame stream from `reader` into `writer`; returns the
+/// number of uncompressed bytes produced.
+///
+/// # Errors
+///
+/// Fails on I/O errors or corrupt frames.
+pub fn decompress_stream<R: Read, W: Write>(reader: R, mut writer: W) -> io::Result<u64> {
+    let mut fr = FrameReader::new(reader);
+    io::copy(&mut fr, &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<u8> {
+        (0..n as u32).flat_map(|i| ((i as f32 * 1e-3).sin()).to_bits().to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let data = sample(100_000); // 400 kB
+        for algo in Algorithm::ALL {
+            let mut fw =
+                FrameWriter::new(Vec::new(), algo).with_frame_size(64 * 1024);
+            fw.write_all(&data).unwrap();
+            let stream = fw.finish().unwrap();
+            let mut out = Vec::new();
+            FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+            assert_eq!(out, data, "{algo}");
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let fw = FrameWriter::new(Vec::new(), Algorithm::SpSpeed);
+        let stream = fw.finish().unwrap();
+        assert_eq!(stream, 0u32.to_le_bytes());
+        let mut out = Vec::new();
+        FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn partial_final_frame() {
+        let data = sample(10_000);
+        let mut fw = FrameWriter::new(Vec::new(), Algorithm::SpRatio).with_frame_size(30_000);
+        fw.write_all(&data).unwrap();
+        let stream = fw.finish().unwrap();
+        let mut out = Vec::new();
+        FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn frames_are_independent_containers() {
+        let data = sample(50_000);
+        let mut fw = FrameWriter::new(Vec::new(), Algorithm::SpSpeed).with_frame_size(65_536);
+        fw.write_all(&data).unwrap();
+        let stream = fw.finish().unwrap();
+        // Walk the frame headers: each frame must parse as a container.
+        let mut pos = 0;
+        let mut frames = 0;
+        loop {
+            let len =
+                u32::from_le_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if len == 0 {
+                break;
+            }
+            let frame = &stream[pos..pos + len];
+            let info = crate::info(frame).unwrap();
+            assert_eq!(info.algorithm, Algorithm::SpSpeed);
+            pos += len;
+            frames += 1;
+        }
+        assert_eq!(pos, stream.len());
+        assert!(frames >= 3, "expected several frames, got {frames}");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = sample(50_000);
+        let mut fw = FrameWriter::new(Vec::new(), Algorithm::SpSpeed).with_frame_size(65_536);
+        fw.write_all(&data).unwrap();
+        let stream = fw.finish().unwrap();
+        let mut out = Vec::new();
+        // Missing end marker or cut frame must error, not silently succeed.
+        let err = FrameReader::new(&stream[..stream.len() - 6])
+            .read_to_end(&mut out)
+            .unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+        ));
+    }
+
+    #[test]
+    fn corrupt_frame_errors() {
+        let data = sample(20_000);
+        let mut fw = FrameWriter::new(Vec::new(), Algorithm::DpSpeed).with_frame_size(65_536);
+        fw.write_all(&data).unwrap();
+        let mut stream = fw.finish().unwrap();
+        stream[13] ^= 0xFF; // corrupt the first frame's original-length field
+        let mut out = Vec::new();
+        assert!(FrameReader::new(stream.as_slice()).read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn stream_helpers_roundtrip() {
+        let data = sample(80_000);
+        let mut compressed = Vec::new();
+        let consumed =
+            compress_stream(data.as_slice(), &mut compressed, Algorithm::SpRatio).unwrap();
+        assert_eq!(consumed, data.len() as u64);
+        assert!(compressed.len() < data.len());
+        let mut out = Vec::new();
+        let produced = decompress_stream(compressed.as_slice(), &mut out).unwrap();
+        assert_eq!(produced, data.len() as u64);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn small_reads_cross_frame_boundaries() {
+        let data = sample(40_000);
+        let mut fw = FrameWriter::new(Vec::new(), Algorithm::SpSpeed).with_frame_size(10_000);
+        fw.write_all(&data).unwrap();
+        let stream = fw.finish().unwrap();
+        let mut fr = FrameReader::new(stream.as_slice());
+        let mut out = Vec::new();
+        let mut tiny = [0u8; 7]; // deliberately misaligned with frames
+        loop {
+            let n = fr.read(&mut tiny).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&tiny[..n]);
+        }
+        assert_eq!(out, data);
+    }
+}

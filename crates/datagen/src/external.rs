@@ -1,0 +1,320 @@
+//! Loading *real* datasets (e.g. the actual SDRBench files) from disk.
+//!
+//! The synthetic suites stand in for SDRBench because the real files are
+//! not redistributable — but anyone who has them can run every experiment
+//! on the real data by writing a manifest and passing `--data DIR` to the
+//! harness. `fpcc gen` emits a manifest alongside its synthetic datasets,
+//! so the format is self-demonstrating.
+//!
+//! # Manifest format
+//!
+//! One line per file, `|`-separated, `#` starts a comment:
+//!
+//! ```text
+//! # domain | name | dtype | dims | path (relative to the manifest)
+//! CESM-ATM | CLDHGH | f32 | 26x1800x3600 | cesm/CLDHGH_1_26_1800_3600.dat
+//! ```
+//!
+//! `dims` is `cols`, `rows x cols`, or `slices x rows x cols` (the shape
+//! information MPC/ndzip/FPzip-class baselines require). Files are raw
+//! little-endian values, the layout SDRBench distributes.
+
+use crate::{Dataset, Dims, Suite};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One parsed manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    domain: String,
+    name: String,
+    f64_typed: bool,
+    dims: Dims,
+    path: String,
+}
+
+fn parse_dims(s: &str) -> Option<Dims> {
+    let parts: Vec<usize> =
+        s.split('x').map(|p| p.trim().parse().ok()).collect::<Option<Vec<_>>>()?;
+    match parts.as_slice() {
+        [c] => Some(Dims::D1(*c)),
+        [r, c] => Some(Dims::D2(*r, *c)),
+        [s, r, c] => Some(Dims::D3(*s, *r, *c)),
+        _ => None,
+    }
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn parse_manifest(content: &str, path: &Path) -> io::Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+        let err = |what: &str| {
+            bad_data(format!("{}:{}: {what}", path.display(), lineno + 1))
+        };
+        let [domain, name, dtype, dims, rel_path] = fields.as_slice() else {
+            return Err(err("expected 5 |-separated fields"));
+        };
+        let f64_typed = match *dtype {
+            "f32" => false,
+            "f64" => true,
+            _ => return Err(err("dtype must be f32 or f64")),
+        };
+        let dims = parse_dims(dims).ok_or_else(|| err("invalid dims"))?;
+        rows.push(Row {
+            domain: domain.to_string(),
+            name: name.to_string(),
+            f64_typed,
+            dims,
+            path: rel_path.to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+fn read_values<T, F: Fn(&[u8]) -> T>(
+    path: &Path,
+    width: usize,
+    convert: F,
+) -> io::Result<Vec<T>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() % width != 0 {
+        return Err(bad_data(format!(
+            "{}: length {} is not a multiple of {width}",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    Ok(bytes.chunks_exact(width).map(convert).collect())
+}
+
+fn group<T>(files: Vec<(String, Dataset<T>)>) -> Vec<Suite<T>> {
+    let mut by_domain: BTreeMap<String, Vec<Dataset<T>>> = BTreeMap::new();
+    for (domain, dataset) in files {
+        by_domain.entry(domain).or_default().push(dataset);
+    }
+    by_domain
+        .into_iter()
+        .map(|(domain, files)| Suite {
+            // Domains are dynamic for external data; the harness process
+            // keeps them for its lifetime, so leaking is fine.
+            domain: Box::leak(domain.into_boxed_str()),
+            files,
+        })
+        .collect()
+}
+
+/// Loads the single-precision suites listed in `manifest` (f64 rows are
+/// skipped), grouped by domain.
+///
+/// # Errors
+///
+/// Fails on I/O problems, malformed manifest rows, files whose length is
+/// not a multiple of 4, or dims that disagree with the file length.
+pub fn load_sp_suites(manifest: &Path) -> io::Result<Vec<Suite<f32>>> {
+    let content = std::fs::read_to_string(manifest)?;
+    let base = manifest.parent().unwrap_or(Path::new("."));
+    let mut files = Vec::new();
+    for row in parse_manifest(&content, manifest)? {
+        if row.f64_typed {
+            continue;
+        }
+        let path = base.join(&row.path);
+        let values = read_values(&path, 4, |c| {
+            f32::from_bits(u32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+        })?;
+        if row.dims.len() != values.len() {
+            return Err(bad_data(format!(
+                "{}: dims {} imply {} values but file holds {}",
+                path.display(),
+                row.dims,
+                row.dims.len(),
+                values.len()
+            )));
+        }
+        files.push((row.domain, Dataset { name: row.name, dims: row.dims, values }));
+    }
+    Ok(group(files))
+}
+
+/// Loads the double-precision suites listed in `manifest` (f32 rows are
+/// skipped), grouped by domain.
+///
+/// # Errors
+///
+/// Same conditions as [`load_sp_suites`], with width 8.
+pub fn load_dp_suites(manifest: &Path) -> io::Result<Vec<Suite<f64>>> {
+    let content = std::fs::read_to_string(manifest)?;
+    let base = manifest.parent().unwrap_or(Path::new("."));
+    let mut files = Vec::new();
+    for row in parse_manifest(&content, manifest)? {
+        if !row.f64_typed {
+            continue;
+        }
+        let path = base.join(&row.path);
+        let values = read_values(&path, 8, |c| {
+            f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        })?;
+        if row.dims.len() != values.len() {
+            return Err(bad_data(format!(
+                "{}: dims {} imply {} values but file holds {}",
+                path.display(),
+                row.dims,
+                row.dims.len(),
+                values.len()
+            )));
+        }
+        files.push((row.domain, Dataset { name: row.name, dims: row.dims, values }));
+    }
+    Ok(group(files))
+}
+
+/// Writes `suites` as raw `.bin` files plus a manifest into `dir`, the
+/// inverse of [`load_sp_suites`]/[`load_dp_suites`].
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest_f32(dir: &Path, suites: &[Suite<f32>]) -> io::Result<()> {
+    write_manifest_impl(dir, suites, "f32", |values| {
+        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    })
+}
+
+/// Double-precision counterpart of [`write_manifest_f32`]; appends to an
+/// existing manifest so mixed-precision directories work.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest_f64(dir: &Path, suites: &[Suite<f64>]) -> io::Result<()> {
+    write_manifest_impl(dir, suites, "f64", |values| {
+        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    })
+}
+
+fn write_manifest_impl<T>(
+    dir: &Path,
+    suites: &[Suite<T>],
+    dtype: &str,
+    to_bytes: impl Fn(&[T]) -> Vec<u8>,
+) -> io::Result<()> {
+    use std::io::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let manifest_path = dir.join("manifest.txt");
+    let mut manifest = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&manifest_path)?;
+    for suite in suites {
+        for file in &suite.files {
+            let rel = format!("{}.bin", file.name.replace('/', "_"));
+            std::fs::write(dir.join(&rel), to_bytes(&file.values))?;
+            writeln!(
+                manifest,
+                "{} | {} | {dtype} | {} | {rel}",
+                suite.domain, file.name, file.dims
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{double_precision_suites, single_precision_suites, Scale};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fpc-ext-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip_f32() {
+        let dir = temp_dir("sp");
+        let suites: Vec<Suite<f32>> =
+            single_precision_suites(Scale::Small).into_iter().take(2).collect();
+        write_manifest_f32(&dir, &suites).unwrap();
+        let loaded = load_sp_suites(&dir.join("manifest.txt")).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let total_orig: usize = suites.iter().map(Suite::total_values).sum();
+        let total_loaded: usize = loaded.iter().map(Suite::total_values).sum();
+        assert_eq!(total_orig, total_loaded);
+        // Values are bit-exact.
+        let orig = &suites[0].files[0];
+        let back = loaded
+            .iter()
+            .flat_map(|s| &s.files)
+            .find(|f| f.name == orig.name)
+            .expect("file present");
+        assert_eq!(back.dims, orig.dims);
+        assert!(orig.values.iter().zip(&back.values).all(|(a, b)| a.to_bits() == b.to_bits()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrip_f64_mixed_directory() {
+        let dir = temp_dir("mixed");
+        let sp: Vec<Suite<f32>> =
+            single_precision_suites(Scale::Small).into_iter().take(1).collect();
+        let dp: Vec<Suite<f64>> =
+            double_precision_suites(Scale::Small).into_iter().take(1).collect();
+        write_manifest_f32(&dir, &sp).unwrap();
+        write_manifest_f64(&dir, &dp).unwrap();
+        // Loading filters by dtype, so both precisions coexist.
+        let manifest = dir.join("manifest.txt");
+        assert_eq!(load_sp_suites(&manifest).unwrap().len(), 1);
+        let dp_loaded = load_dp_suites(&manifest).unwrap();
+        assert_eq!(dp_loaded.len(), 1);
+        assert_eq!(dp_loaded[0].total_values(), dp[0].total_values());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_manifests_rejected() {
+        let dir = temp_dir("bad");
+        let manifest = dir.join("manifest.txt");
+        for bad in [
+            "too | few | fields",
+            "d | n | f16 | 4 | x.bin",
+            "d | n | f32 | 4x4x4x4 | x.bin",
+            "d | n | f32 | notanumber | x.bin",
+        ] {
+            std::fs::write(&manifest, bad).unwrap();
+            assert!(load_sp_suites(&manifest).is_err(), "{bad}");
+        }
+        // Comments and blank lines are fine.
+        std::fs::write(&manifest, "# just a comment\n\n").unwrap();
+        assert!(load_sp_suites(&manifest).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dims_mismatch_rejected() {
+        let dir = temp_dir("dims");
+        std::fs::write(dir.join("x.bin"), [0u8; 16]).unwrap(); // 4 f32 values
+        std::fs::write(dir.join("manifest.txt"), "d | x | f32 | 5 | x.bin").unwrap();
+        let err = load_sp_suites(&dir.join("manifest.txt")).unwrap_err();
+        assert!(err.to_string().contains("imply"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn odd_file_length_rejected() {
+        let dir = temp_dir("odd");
+        std::fs::write(dir.join("x.bin"), [0u8; 7]).unwrap();
+        std::fs::write(dir.join("manifest.txt"), "d | x | f32 | 1 | x.bin").unwrap();
+        assert!(load_sp_suites(&dir.join("manifest.txt")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! Synthetic SDRBench-like dataset generation.
+//!
+//! The paper evaluates on 90 single-precision files from 7 scientific
+//! domains of the SDRBench suite plus 20 double-precision files from 5
+//! domains. Those datasets are not redistributable here, so this crate
+//! generates deterministic synthetic stand-ins that reproduce the
+//! *statistical properties the compressors exploit* (paper §3: "smooth,
+//! normal, and centered around zero"):
+//!
+//! * spatially correlated 2-D/3-D fields (climate, weather, cosmology
+//!   grids) — clustered exponents, small value-to-value deltas;
+//! * particle coordinates and velocities (molecular dynamics, cosmology)
+//!   — per-particle smoothness with interleaved components;
+//! * quantized instrument readings — exactly recurring values, which is
+//!   what DPratio's FCM stage targets;
+//! * message/trace streams — counters stored as doubles and message
+//!   templates resent at arbitrary (often window-exceeding) distances,
+//!   which is where FCM beats windowed LZ (paper §5.2).
+//!
+//! Every generator is seeded, so all crates observe identical bytes. The
+//! [`external`] module loads *real* datasets (e.g. the actual SDRBench
+//! files) from a manifest, so every experiment can also run on real data.
+
+pub mod external;
+mod field;
+mod series;
+mod suites;
+
+pub use suites::{double_precision_suites, single_precision_suites, Scale};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Grid dimensionality of a dataset (1-, 2-, or 3-dimensional).
+///
+/// Some baselines (ndzip-, MPC-, fpzip-class) require the dimensionality or
+/// tuple size of the input; the paper's own algorithms do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dims {
+    /// Flat sequence of `n` values.
+    D1(usize),
+    /// Row-major `rows × cols` grid.
+    D2(usize, usize),
+    /// Slice-major `slices × rows × cols` grid.
+    D3(usize, usize, usize),
+}
+
+impl Dims {
+    /// Total number of values.
+    pub fn len(self) -> usize {
+        match self {
+            Dims::D1(n) => n,
+            Dims::D2(r, c) => r * c,
+            Dims::D3(s, r, c) => s * r * c,
+        }
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the innermost (fastest-varying) dimension.
+    pub fn innermost(self) -> usize {
+        match self {
+            Dims::D1(n) => n,
+            Dims::D2(_, c) => c,
+            Dims::D3(_, _, c) => c,
+        }
+    }
+}
+
+impl core::fmt::Display for Dims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Dims::D1(n) => write!(f, "{n}"),
+            Dims::D2(r, c) => write!(f, "{r}x{c}"),
+            Dims::D3(s, r, c) => write!(f, "{s}x{r}x{c}"),
+        }
+    }
+}
+
+/// One synthetic input file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset<T> {
+    /// File name, e.g. `"cesm-like/CLDHGH_1"`.
+    pub name: String,
+    /// Grid shape.
+    pub dims: Dims,
+    /// The values, row-major.
+    pub values: Vec<T>,
+}
+
+impl<T> Dataset<T> {
+    fn new(name: impl Into<String>, dims: Dims, values: Vec<T>) -> Self {
+        let dataset = Self { name: name.into(), dims, values };
+        debug_assert_eq!(dataset.dims.len(), dataset.values.len());
+        dataset
+    }
+}
+
+/// A group of files from one scientific domain (the unit over which the
+/// paper computes per-dataset geometric means).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite<T> {
+    /// Domain name, e.g. `"CESM-ATM-like (climate)"`.
+    pub domain: &'static str,
+    /// The files in the domain.
+    pub files: Vec<Dataset<T>>,
+}
+
+impl<T> Suite<T> {
+    /// Total number of values across all files.
+    pub fn total_values(&self) -> usize {
+        self.files.iter().map(|f| f.values.len()).sum()
+    }
+}
+
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_len() {
+        assert_eq!(Dims::D1(10).len(), 10);
+        assert_eq!(Dims::D2(4, 5).len(), 20);
+        assert_eq!(Dims::D3(2, 3, 4).len(), 24);
+        assert_eq!(Dims::D3(2, 3, 4).innermost(), 4);
+        assert!(!Dims::D1(1).is_empty());
+        assert!(Dims::D1(0).is_empty());
+        assert_eq!(Dims::D2(4, 5).to_string(), "4x5");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = single_precision_suites(Scale::Small);
+        let b = single_precision_suites(Scale::Small);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.domain, sb.domain);
+            for (fa, fb) in sa.files.iter().zip(&sb.files) {
+                assert_eq!(fa.name, fb.name);
+                let bits_a: Vec<u32> = fa.values.iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u32> = fb.values.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "{}", fa.name);
+            }
+        }
+    }
+
+    #[test]
+    fn seven_sp_domains_five_dp_domains() {
+        // Matches the paper's evaluation structure (§4).
+        assert_eq!(single_precision_suites(Scale::Small).len(), 7);
+        assert_eq!(double_precision_suites(Scale::Small).len(), 5);
+    }
+
+    #[test]
+    fn every_file_is_nonempty_and_consistent() {
+        for suite in single_precision_suites(Scale::Small) {
+            assert!(!suite.files.is_empty(), "{}", suite.domain);
+            for f in &suite.files {
+                assert!(!f.values.is_empty(), "{}", f.name);
+                assert_eq!(f.dims.len(), f.values.len(), "{}", f.name);
+                assert!(f.values.iter().all(|v| v.is_finite()), "{}", f.name);
+            }
+        }
+        for suite in double_precision_suites(Scale::Small) {
+            for f in &suite.files {
+                assert_eq!(f.dims.len(), f.values.len(), "{}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn data_is_smooth_enough_to_compress() {
+        // Average |delta| between consecutive values must be small relative
+        // to the value range for most files (the property DIFFMS exploits).
+        for suite in single_precision_suites(Scale::Small) {
+            for f in &suite.files {
+                let n = f.values.len();
+                let mean_abs: f64 =
+                    f.values.iter().map(|v| f64::from(v.abs())).sum::<f64>() / n as f64;
+                let mean_delta: f64 = f
+                    .values
+                    .windows(2)
+                    .map(|w| f64::from((w[1] - w[0]).abs()))
+                    .sum::<f64>()
+                    / (n - 1) as f64;
+                // Deltas at least 2x smaller than magnitudes on average.
+                if mean_abs > 1e-12 {
+                    assert!(
+                        mean_delta < mean_abs,
+                        "{}: mean_delta {mean_delta} vs mean_abs {mean_abs}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_small() {
+        let small = &single_precision_suites(Scale::Small)[0];
+        let full = &single_precision_suites(Scale::Full)[0];
+        assert!(full.total_values() > small.total_values() * 4);
+    }
+
+    #[test]
+    fn dp_message_suite_has_repeats_for_fcm() {
+        let suites = double_precision_suites(Scale::Small);
+        let msg = suites.iter().find(|s| s.domain.contains("message")).expect("message domain");
+        // Count exact value recurrences: FCM needs them.
+        use std::collections::HashMap;
+        let f = &msg.files[0];
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for v in &f.values {
+            *counts.entry(v.to_bits()).or_default() += 1;
+        }
+        let repeated: usize = counts.values().filter(|&&c| c > 1).copied().sum();
+        assert!(
+            repeated > f.values.len() / 4,
+            "only {repeated}/{} values recur",
+            f.values.len()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! One-dimensional generators: trajectories, instrument readings, and
+//! message streams.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Sum of sinusoids + random walk + noise: a generic smooth signal.
+pub fn smooth_series(rng: &mut SmallRng, n: usize, walk: f64, noise: f64) -> Vec<f64> {
+    let freqs: Vec<(f64, f64, f64)> = (0..4)
+        .map(|_| {
+            (rng.gen_range(0.0005..0.05), rng.gen_range(0.1..2.0), rng.gen_range(0.0..std::f64::consts::TAU))
+        })
+        .collect();
+    let mut drift = 0.0f64;
+    (0..n)
+        .map(|i| {
+            drift += rng.gen_range(-walk..walk.max(f64::MIN_POSITIVE));
+            let s: f64 =
+                freqs.iter().map(|&(f, a, p)| a * (i as f64 * f + p).sin()).sum();
+            s + drift + rng.gen_range(-noise..noise.max(f64::MIN_POSITIVE))
+        })
+        .collect()
+}
+
+/// Particle positions: `particles` particles × 3 interleaved coordinates,
+/// each following a slow random walk within a periodic box (EXAALT/HACC
+/// style).
+pub fn particle_positions(rng: &mut SmallRng, particles: usize, steps: usize, box_size: f64) -> Vec<f64> {
+    let mut pos: Vec<f64> = (0..particles * 3).map(|_| rng.gen_range(0.0..box_size)).collect();
+    let mut out = Vec::with_capacity(particles * 3 * steps);
+    let step_size = box_size * 1e-4;
+    for _ in 0..steps {
+        for p in pos.iter_mut() {
+            *p = (*p + rng.gen_range(-step_size..step_size)).rem_euclid(box_size);
+        }
+        out.extend_from_slice(&pos);
+    }
+    out
+}
+
+/// Quantized instrument readings: an *oversampled* smooth signal snapped to
+/// a measurement grid. Oversampling (16× linear interpolation, as a sensor
+/// sampling far above its signal bandwidth produces) keeps consecutive
+/// readings within a few quantization levels, so both values and short
+/// contexts recur exactly — the redundancy FCM exploits.
+pub fn quantized_readings(rng: &mut SmallRng, n: usize, levels: f64) -> Vec<f64> {
+    const STRETCH: usize = 16;
+    let coarse = smooth_series(rng, n / STRETCH + 2, 1e-4, 1e-3);
+    (0..n)
+        .map(|i| {
+            let base = i / STRETCH;
+            let frac = (i % STRETCH) as f64 / STRETCH as f64;
+            let v = coarse[base] * (1.0 - frac) + coarse[base + 1] * frac;
+            (v * levels).round() / levels
+        })
+        .collect()
+}
+
+/// MPI-message-like stream: message *templates* (short sequences of
+/// distinct doubles) that are resent throughout the whole trace, mixed with
+/// monotone counters and occasional fresh values.
+///
+/// Template resends recur at arbitrary — typically large — distances. That
+/// is precisely the redundancy the paper credits FCM for ("find repeating
+/// values … even when they are far apart", §5.2) and that windowed LZ
+/// compressors miss once the gap exceeds their window.
+pub fn message_stream(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+    let templates: Vec<Vec<f64>> = (0..256)
+        .map(|_| {
+            let len = rng.gen_range(8..48);
+            (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    let mut counter = 0u64;
+    while out.len() < n {
+        match rng.gen_range(0..10) {
+            0..=6 => {
+                // Resend one of the known message templates.
+                let t = &templates[rng.gen_range(0..templates.len())];
+                let take = t.len().min(n - out.len());
+                out.extend_from_slice(&t[..take]);
+            }
+            7..=8 => {
+                // Monotone sequence numbers stored as doubles.
+                let run = rng.gen_range(4..20).min(n - out.len());
+                for _ in 0..run {
+                    counter += 1;
+                    out.push(counter as f64);
+                }
+            }
+            _ => {
+                out.push(rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn smooth_series_properties() {
+        let mut r = rng(10);
+        let s = smooth_series(&mut r, 10_000, 1e-4, 1e-5);
+        assert_eq!(s.len(), 10_000);
+        assert!(s.iter().all(|v| v.is_finite()));
+        let mean_delta: f64 =
+            s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (s.len() - 1) as f64;
+        assert!(mean_delta < 0.2, "series too rough: {mean_delta}");
+    }
+
+    #[test]
+    fn particles_stay_in_box() {
+        let mut r = rng(11);
+        let p = particle_positions(&mut r, 100, 20, 50.0);
+        assert_eq!(p.len(), 100 * 3 * 20);
+        assert!(p.iter().all(|&v| (0.0..50.0).contains(&v)));
+        // Per-particle displacement between steps must be tiny.
+        let stride = 300;
+        let disp = (p[stride] - p[0]).abs();
+        assert!(disp < 0.1, "particle moved {disp}");
+    }
+
+    #[test]
+    fn quantized_values_recur() {
+        let mut r = rng(12);
+        let q = quantized_readings(&mut r, 5000, 100.0);
+        use std::collections::HashSet;
+        let distinct: HashSet<u64> = q.iter().map(|v| v.to_bits()).collect();
+        assert!(distinct.len() < q.len() / 2, "{} distinct of {}", distinct.len(), q.len());
+    }
+
+    #[test]
+    fn message_stream_has_exact_length() {
+        let mut r = rng(13);
+        for n in [1usize, 100, 4097] {
+            assert_eq!(message_stream(&mut r, n).len(), n);
+        }
+    }
+}

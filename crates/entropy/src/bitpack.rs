@@ -1,0 +1,170 @@
+//! Fixed-width bit packing of integer slices.
+//!
+//! This is the workhorse of the MPLG stage (leading-zero elimination packs
+//! every value of a subchunk at one common width) and of the Cascaded- and
+//! Bitcomp-class baselines.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{DecodeError, Result};
+
+/// Packs each `u32` at `width` bits (0..=32), appending to `out`.
+///
+/// With `width == 0` nothing is written (all values must be zero for the
+/// packing to be reversible; this is the caller's contract, asserted in debug
+/// builds).
+pub fn pack_u32(values: &[u32], width: u32, out: &mut Vec<u8>) {
+    debug_assert!(width <= 32);
+    if width == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    let mut w = BitWriter::with_capacity((values.len() * width as usize).div_ceil(8));
+    for &v in values {
+        debug_assert!(width == 32 || v < (1 << width));
+        w.write_bits(u64::from(v), width);
+    }
+    w.finish_into(out);
+}
+
+/// Unpacks `count` values of `width` bits from `data`, appending to `out`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if `data` holds fewer than
+/// `count * width` bits.
+pub fn unpack_u32(data: &[u8], width: u32, count: usize, out: &mut Vec<u32>) -> Result<()> {
+    debug_assert!(width <= 32);
+    if width == 0 {
+        out.resize(out.len() + count, 0);
+        return Ok(());
+    }
+    let mut r = BitReader::new(data);
+    out.reserve(count);
+    for _ in 0..count {
+        let v = r.read_bits(width).ok_or(DecodeError::UnexpectedEof)?;
+        out.push(v as u32);
+    }
+    Ok(())
+}
+
+/// Packs each `u64` at `width` bits (0..=64), appending to `out`.
+pub fn pack_u64(values: &[u64], width: u32, out: &mut Vec<u8>) {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    let mut w = BitWriter::with_capacity((values.len() * width as usize).div_ceil(8));
+    for &v in values {
+        debug_assert!(width == 64 || v < (1 << width));
+        w.write_bits(v, width);
+    }
+    w.finish_into(out);
+}
+
+/// Unpacks `count` values of `width` bits from `data`, appending to `out`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if `data` holds fewer than
+/// `count * width` bits.
+pub fn unpack_u64(data: &[u8], width: u32, count: usize, out: &mut Vec<u64>) -> Result<()> {
+    debug_assert!(width <= 64);
+    if width == 0 {
+        out.resize(out.len() + count, 0);
+        return Ok(());
+    }
+    let mut r = BitReader::new(data);
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(r.read_bits(width).ok_or(DecodeError::UnexpectedEof)?);
+    }
+    Ok(())
+}
+
+/// Number of bytes `count` values occupy at `width` bits, rounded up.
+#[inline]
+pub fn packed_len(count: usize, width: u32) -> usize {
+    (count * width as usize).div_ceil(8)
+}
+
+/// Smallest width that can represent every value in `values` (0 for all-zero).
+#[inline]
+pub fn min_width_u32(values: &[u32]) -> u32 {
+    let max = values.iter().copied().max().unwrap_or(0);
+    32 - max.leading_zeros()
+}
+
+/// Smallest width that can represent every value in `values` (0 for all-zero).
+#[inline]
+pub fn min_width_u64(values: &[u64]) -> u32 {
+    let max = values.iter().copied().max().unwrap_or(0);
+    64 - max.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_u32_all_widths() {
+        for width in 0..=32u32 {
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(0x9E37_79B9) & mask).collect();
+            let mut packed = Vec::new();
+            pack_u32(&values, width, &mut packed);
+            assert_eq!(packed.len(), packed_len(values.len(), width));
+            let mut out = Vec::new();
+            unpack_u32(&packed, width, values.len(), &mut out).unwrap();
+            assert_eq!(out, values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_u64_all_widths() {
+        for width in 0..=64u32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> =
+                (0..77u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect();
+            let mut packed = Vec::new();
+            pack_u64(&values, width, &mut packed);
+            let mut out = Vec::new();
+            unpack_u64(&packed, width, values.len(), &mut out).unwrap();
+            assert_eq!(out, values, "width {width}");
+        }
+    }
+
+    #[test]
+    fn truncated_unpack_errors() {
+        let values = vec![u32::MAX; 16];
+        let mut packed = Vec::new();
+        pack_u32(&values, 32, &mut packed);
+        let mut out = Vec::new();
+        assert_eq!(
+            unpack_u32(&packed[..packed.len() - 1], 32, 16, &mut out),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn min_width_matches_values() {
+        assert_eq!(min_width_u32(&[]), 0);
+        assert_eq!(min_width_u32(&[0, 0]), 0);
+        assert_eq!(min_width_u32(&[1]), 1);
+        assert_eq!(min_width_u32(&[0xFF, 3]), 8);
+        assert_eq!(min_width_u32(&[u32::MAX]), 32);
+        assert_eq!(min_width_u64(&[u64::MAX]), 64);
+        assert_eq!(min_width_u64(&[1 << 40]), 41);
+    }
+
+    #[test]
+    fn zero_width_roundtrip() {
+        let values = vec![0u64; 9];
+        let mut packed = Vec::new();
+        pack_u64(&values, 0, &mut packed);
+        assert!(packed.is_empty());
+        let mut out = Vec::new();
+        unpack_u64(&packed, 0, 9, &mut out).unwrap();
+        assert_eq!(out, values);
+    }
+}

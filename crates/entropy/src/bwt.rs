@@ -1,0 +1,213 @@
+//! Burrows–Wheeler transform and move-to-front coding.
+//!
+//! The rotation sort uses prefix doubling (O(n log² n)), which is fast
+//! enough for the block sizes the Bzip2-class baseline uses and requires no
+//! sentinel byte.
+
+use crate::{DecodeError, Result};
+
+/// Result of a forward BWT: the last column plus the row index of the
+/// original string among the sorted rotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// Last column of the sorted rotation matrix.
+    pub last_column: Vec<u8>,
+    /// Row of the untransformed input.
+    pub primary_index: usize,
+}
+
+/// Computes the BWT of `data` by sorting all rotations (prefix doubling).
+pub fn forward(data: &[u8]) -> Bwt {
+    let n = data.len();
+    if n == 0 {
+        return Bwt { last_column: Vec::new(), primary_index: 0 };
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = data.iter().map(|&b| u32::from(b)).collect();
+    let mut tmp = vec![0u32; n];
+    let mut k = 1usize;
+    while k < n {
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            (rank[i], rank[(i + k) % n])
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] as usize == n - 1 {
+            break;
+        }
+        k *= 2;
+    }
+    let mut last_column = Vec::with_capacity(n);
+    let mut primary_index = 0;
+    for (row, &start) in sa.iter().enumerate() {
+        let start = start as usize;
+        last_column.push(data[(start + n - 1) % n]);
+        if start == 0 {
+            primary_index = row;
+        }
+    }
+    Bwt { last_column, primary_index }
+}
+
+/// Inverts a BWT.
+///
+/// # Errors
+///
+/// Fails if `primary_index` is out of range. Note that an arbitrary
+/// (corrupt) last column still inverts to *some* byte string; integrity is
+/// the caller's responsibility (the Bzip2-class baseline stores a length).
+pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>> {
+    let l = &bwt.last_column;
+    let n = l.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if bwt.primary_index >= n {
+        return Err(DecodeError::Corrupt("bwt primary index out of range"));
+    }
+    // C[c]: number of bytes in L strictly smaller than c.
+    let mut counts = [0usize; 256];
+    for &b in l {
+        counts[b as usize] += 1;
+    }
+    let mut c = [0usize; 256];
+    let mut sum = 0;
+    for b in 0..256 {
+        c[b] = sum;
+        sum += counts[b];
+    }
+    // lf[i] = C[L[i]] + occurrences of L[i] in L[0..i].
+    let mut occ_so_far = [0usize; 256];
+    let mut lf = vec![0u32; n];
+    for (i, &b) in l.iter().enumerate() {
+        lf[i] = (c[b as usize] + occ_so_far[b as usize]) as u32;
+        occ_so_far[b as usize] += 1;
+    }
+    let mut out = vec![0u8; n];
+    let mut row = bwt.primary_index;
+    for slot in out.iter_mut().rev() {
+        *slot = l[row];
+        row = lf[row] as usize;
+    }
+    Ok(out)
+}
+
+/// Move-to-front encodes `data` in place semantics (returns a new vector of
+/// alphabet indices).
+pub fn mtf_forward(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let idx = table.iter().position(|&t| t == b).expect("byte alphabet is complete") as u8;
+            table.copy_within(0..idx as usize, 1);
+            table[0] = b;
+            idx
+        })
+        .collect()
+}
+
+/// Inverts [`mtf_forward`].
+pub fn mtf_inverse(indices: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    indices
+        .iter()
+        .map(|&idx| {
+            let b = table[idx as usize];
+            table.copy_within(0..idx as usize, 1);
+            table[0] = b;
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let bwt = forward(data);
+        assert_eq!(inverse(&bwt).unwrap(), data);
+    }
+
+    #[test]
+    fn banana() {
+        let bwt = forward(b"banana");
+        assert_eq!(inverse(&bwt).unwrap(), b"banana");
+        // Classic result: rotations of "banana" sorted give last column
+        // "nnbaaa" with the original at row 3.
+        assert_eq!(bwt.last_column, b"nnbaaa");
+        assert_eq!(bwt.primary_index, 3);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_small() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"aa");
+    }
+
+    #[test]
+    fn roundtrip_all_equal() {
+        roundtrip(&[5u8; 257]);
+    }
+
+    #[test]
+    fn roundtrip_periodic() {
+        roundtrip(&b"abab".repeat(100));
+        roundtrip(&b"xyz".repeat(77));
+    }
+
+    #[test]
+    fn roundtrip_random_like() {
+        let data: Vec<u8> =
+            (0..5000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        roundtrip(b"she sells seashells by the seashore, the shells she sells are seashells");
+    }
+
+    #[test]
+    fn bwt_groups_similar_context() {
+        // BWT of repetitive text should have long runs (that's its point).
+        let data = b"the cat sat on the mat. the cat sat on the mat. ".repeat(40);
+        let bwt = forward(&data);
+        let runs = crate::rle::runs_of(&bwt.last_column);
+        assert!(runs.len() < data.len() / 4, "bwt produced {} runs", runs.len());
+    }
+
+    #[test]
+    fn invalid_primary_index_rejected() {
+        let bwt = Bwt { last_column: vec![1, 2, 3], primary_index: 3 };
+        assert!(inverse(&bwt).is_err());
+    }
+
+    #[test]
+    fn mtf_roundtrip() {
+        let data = b"aaabbbcccaaabbbccc".to_vec();
+        assert_eq!(mtf_inverse(&mtf_forward(&data)), data);
+    }
+
+    #[test]
+    fn mtf_runs_become_zeros() {
+        let coded = mtf_forward(b"aaaa");
+        assert_eq!(&coded[1..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn mtf_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).rev().cycle().take(1000).collect();
+        assert_eq!(mtf_inverse(&mtf_forward(&data)), data);
+    }
+}

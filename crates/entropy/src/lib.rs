@@ -1,0 +1,76 @@
+//! Shared entropy-coding and string-matching substrate for FPcompress-rs.
+//!
+//! This crate provides the low-level coding machinery used by the baseline
+//! compressors reimplemented in `fpc-baselines`: bit-granular I/O
+//! ([`bitio`]), fixed-width bit packing ([`bitpack`]), canonical Huffman
+//! coding ([`huffman`]), range asymmetric numeral systems ([`rans`]),
+//! LZ77-family string matching ([`lz`]), run-length coding ([`rle`]), and a
+//! Burrows–Wheeler transform with move-to-front coding ([`bwt`]).
+//!
+//! The paper's own algorithms (SPspeed/SPratio/DPspeed/DPratio) deliberately
+//! avoid entropy coding and LZ matching because those are hard to parallelize
+//! on GPUs; they only use [`bitio`]/[`bitpack`] from this crate. The heavier
+//! machinery here exists so that the comparison roster of the evaluation
+//! (gzip-, zstd-, bzip2-, snappy-, ANS-class codecs) can be reproduced from
+//! scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_entropy::bitio::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b101, 3);
+//! w.write_bits(0xFFFF, 16);
+//! let bytes = w.finish();
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(3), Some(0b101));
+//! assert_eq!(r.read_bits(16), Some(0xFFFF));
+//! ```
+
+pub mod bitio;
+pub mod bitpack;
+pub mod bwt;
+pub mod huffman;
+pub mod lz;
+pub mod rans;
+pub mod rle;
+pub mod varint;
+
+/// Errors produced while decoding one of the entropy-coded formats in this
+/// crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the decoder finished.
+    UnexpectedEof,
+    /// A header or symbol table failed validation.
+    InvalidHeader(&'static str),
+    /// The coded stream referenced data that does not exist (e.g. an LZ match
+    /// reaching before the start of the output).
+    Corrupt(&'static str),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::InvalidHeader(what) => write!(f, "invalid header: {what}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Convenience alias for decode results.
+pub type Result<T> = core::result::Result<T, DecodeError>;
+
+/// Caps speculative preallocation from untrusted length fields: decoding
+/// still produces `n` elements when the stream really contains them, but a
+/// corrupt header cannot trigger a huge allocation up front.
+#[inline]
+#[must_use]
+pub fn prealloc_limit(n: usize) -> usize {
+    n.min(1 << 24)
+}
+

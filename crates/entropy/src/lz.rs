@@ -1,0 +1,359 @@
+//! LZ77-family string matching and block formats.
+//!
+//! Provides a hash-chain matcher producing a token stream (literal runs and
+//! back-references) plus a byte-oriented block serialization in the spirit of
+//! LZ4/Snappy. The Deflate- and Zstd-class baselines consume the raw token
+//! stream and entropy-code it themselves.
+
+use crate::varint;
+use crate::{DecodeError, Result};
+
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance (64 KiB window).
+pub const MAX_DISTANCE: usize = 1 << 16;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+const NO_POS: u32 = u32::MAX;
+
+/// One LZ token: a run of literals followed by an optional match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Number of literal bytes preceding the match.
+    pub literal_len: usize,
+    /// Match length in bytes; 0 for the final token when no match follows.
+    pub match_len: usize,
+    /// Back-reference distance (1..=MAX_DISTANCE); meaningless if
+    /// `match_len == 0`.
+    pub distance: usize,
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Matcher effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Single hash probe, greedy (Snappy/LZ4-fast class).
+    Fast,
+    /// Hash chains with bounded depth and one-step lazy matching
+    /// (gzip/zstd mid-level class).
+    Thorough,
+}
+
+/// Tokenizes `data` with a hash-chain LZ77 matcher.
+///
+/// The produced tokens exactly cover the input: the sum of
+/// `literal_len + match_len` equals `data.len()`, and each match references
+/// bytes already emitted.
+pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.len() < MIN_MATCH {
+        if !data.is_empty() {
+            tokens.push(Token { literal_len: data.len(), match_len: 0, distance: 0 });
+        }
+        return tokens;
+    }
+    let max_depth = match effort {
+        Effort::Fast => 1,
+        Effort::Thorough => 32,
+    };
+    let mut head = vec![NO_POS; HASH_SIZE];
+    let mut chain = vec![NO_POS; data.len()];
+
+    let insert = |head: &mut Vec<u32>, chain: &mut Vec<u32>, i: usize| {
+        let h = hash4(data, i);
+        chain[i] = head[h];
+        head[h] = i as u32;
+    };
+
+    let find_match = |head: &[u32], chain: &[u32], i: usize| -> Option<(usize, usize)> {
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash4(data, i)];
+        let mut depth = 0;
+        while cand != NO_POS && depth < max_depth {
+            let c = cand as usize;
+            if i - c > MAX_DISTANCE {
+                break;
+            }
+            let limit = data.len() - i;
+            let mut len = 0;
+            while len < limit && data[c + len] == data[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = i - c;
+                if len >= limit {
+                    break;
+                }
+            }
+            cand = chain[c];
+            depth += 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    };
+
+    let mut i = 0usize;
+    let mut literal_start = 0usize;
+    let insert_limit = data.len() - MIN_MATCH + 1;
+    while i + MIN_MATCH <= data.len() {
+        match find_match(&head, &chain, i) {
+            Some((mut len, mut dist)) => {
+                // One-step lazy evaluation: prefer a longer match at i+1.
+                if effort == Effort::Thorough && i + 1 + MIN_MATCH <= data.len() {
+                    insert(&mut head, &mut chain, i);
+                    if let Some((len2, dist2)) = find_match(&head, &chain, i + 1) {
+                        if len2 > len + 1 {
+                            i += 1;
+                            len = len2;
+                            dist = dist2;
+                        }
+                    }
+                } else {
+                    insert(&mut head, &mut chain, i);
+                }
+                tokens.push(Token { literal_len: i - literal_start, match_len: len, distance: dist });
+                // Index positions inside the match (sparsely for speed).
+                let end = i + len;
+                let step = if len > 64 { 8 } else { 1 };
+                let mut j = i + 1;
+                while j < end.min(insert_limit) {
+                    insert(&mut head, &mut chain, j);
+                    j += step;
+                }
+                i = end;
+                literal_start = end;
+            }
+            None => {
+                insert(&mut head, &mut chain, i);
+                i += 1;
+            }
+        }
+    }
+    if literal_start < data.len() {
+        tokens.push(Token { literal_len: data.len() - literal_start, match_len: 0, distance: 0 });
+    }
+    tokens
+}
+
+/// Reconstructs the original bytes from tokens plus the literal bytes laid
+/// out in token order.
+///
+/// # Errors
+///
+/// Fails if a token references data before the start of the output or the
+/// literal stream is too short.
+pub fn detokenize(tokens: &[Token], literals: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut lit_pos = 0usize;
+    for t in tokens {
+        let lit_end = lit_pos.checked_add(t.literal_len).ok_or(DecodeError::Corrupt("literal overflow"))?;
+        if lit_end > literals.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        out.extend_from_slice(&literals[lit_pos..lit_end]);
+        lit_pos = lit_end;
+        if t.match_len > 0 {
+            if t.distance == 0 || t.distance > out.len() {
+                return Err(DecodeError::Corrupt("match distance out of range"));
+            }
+            let start = out.len() - t.distance;
+            // Overlapping copies are the normal RLE-like case; copy bytewise.
+            for k in 0..t.match_len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(DecodeError::Corrupt("decoded length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Extracts the literal bytes of `data` in token order.
+pub fn literals_of(data: &[u8], tokens: &[Token]) -> Vec<u8> {
+    let mut lits = Vec::new();
+    let mut pos = 0usize;
+    for t in tokens {
+        lits.extend_from_slice(&data[pos..pos + t.literal_len]);
+        pos += t.literal_len + t.match_len;
+    }
+    lits
+}
+
+/// Compresses `data` into a self-contained LZ4/Snappy-style block:
+/// varint length, then a sequence of (varint literal_len, literals,
+/// varint match_len, varint distance) records.
+pub fn compress_block(data: &[u8], effort: Effort) -> Vec<u8> {
+    let tokens = tokenize(data, effort);
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    varint::write_usize(&mut out, data.len());
+    let mut pos = 0usize;
+    for t in &tokens {
+        varint::write_usize(&mut out, t.literal_len);
+        out.extend_from_slice(&data[pos..pos + t.literal_len]);
+        varint::write_usize(&mut out, t.match_len);
+        if t.match_len > 0 {
+            varint::write_usize(&mut out, t.distance);
+        }
+        pos += t.literal_len + t.match_len;
+    }
+    out
+}
+
+/// Decompresses a block produced by [`compress_block`].
+///
+/// # Errors
+///
+/// Fails on truncated or corrupt input.
+pub fn decompress_block(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let n = varint::read_usize(data, &mut pos)?;
+    let mut out = Vec::with_capacity(crate::prealloc_limit(n));
+    while out.len() < n {
+        let lit = varint::read_usize(data, &mut pos)?;
+        let end = pos.checked_add(lit).ok_or(DecodeError::Corrupt("literal overflow"))?;
+        if end > data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        out.extend_from_slice(&data[pos..end]);
+        pos = end;
+        let mlen = varint::read_usize(data, &mut pos)?;
+        if mlen > 0 {
+            let dist = varint::read_usize(data, &mut pos)?;
+            if dist == 0 || dist > out.len() {
+                return Err(DecodeError::Corrupt("match distance out of range"));
+            }
+            let start = out.len() - dist;
+            for k in 0..mlen {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() > n {
+            return Err(DecodeError::Corrupt("block overruns declared length"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], effort: Effort) {
+        let c = compress_block(data, effort);
+        assert_eq!(decompress_block(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[], Effort::Fast);
+        roundtrip(&[], Effort::Thorough);
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        roundtrip(b"abc", Effort::Fast);
+        roundtrip(b"a", Effort::Thorough);
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data = b"abcabcabcabcabcabcabcabcabc".repeat(50);
+        roundtrip(&data, Effort::Fast);
+        roundtrip(&data, Effort::Thorough);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        let mut data = vec![0u8; 5000];
+        data.extend_from_slice(&[1, 2, 3, 4, 5]);
+        data.extend(vec![9u8; 3000]);
+        roundtrip(&data, Effort::Fast);
+        roundtrip(&data, Effort::Thorough);
+    }
+
+    #[test]
+    fn roundtrip_incompressible() {
+        let data: Vec<u8> =
+            (0..10_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8).collect();
+        roundtrip(&data, Effort::Fast);
+        roundtrip(&data, Effort::Thorough);
+    }
+
+    #[test]
+    fn repetitive_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(200);
+        let c = compress_block(&data, Effort::Thorough);
+        assert!(c.len() < data.len() / 10, "got {}", c.len());
+    }
+
+    #[test]
+    fn thorough_not_worse_than_fast() {
+        let data = b"mississippi riverbank mississippi delta mississippi mud ".repeat(100);
+        let fast = compress_block(&data, Effort::Fast).len();
+        let thorough = compress_block(&data, Effort::Thorough).len();
+        assert!(thorough <= fast, "thorough {thorough} > fast {fast}");
+    }
+
+    #[test]
+    fn tokens_cover_input_exactly() {
+        let data = b"abcdefabcdefabcdefXYZabcdef".repeat(10);
+        for effort in [Effort::Fast, Effort::Thorough] {
+            let tokens = tokenize(&data, effort);
+            let total: usize = tokens.iter().map(|t| t.literal_len + t.match_len).sum();
+            assert_eq!(total, data.len());
+            let lits = literals_of(&data, &tokens);
+            assert_eq!(detokenize(&tokens, &lits, data.len()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        // "aaaa..." forces distance-1 overlapping matches.
+        let data = vec![b'a'; 1000];
+        let tokens = tokenize(&data, Effort::Thorough);
+        assert!(tokens.iter().any(|t| t.match_len > 0 && t.distance == 1));
+        roundtrip(&data, Effort::Thorough);
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        let mut c = Vec::new();
+        varint::write_usize(&mut c, 10);
+        varint::write_usize(&mut c, 1); // 1 literal
+        c.push(b'x');
+        varint::write_usize(&mut c, 9); // match len 9
+        varint::write_usize(&mut c, 5); // distance 5 > out.len()==1
+        assert!(matches!(decompress_block(&c), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let data = b"hello world hello world hello world".repeat(20);
+        let c = compress_block(&data, Effort::Fast);
+        assert!(decompress_block(&c[..c.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn matches_never_reach_before_start() {
+        let data = b"xyzxyzxyzxyz";
+        let tokens = tokenize(data, Effort::Thorough);
+        let mut produced = 0usize;
+        for t in &tokens {
+            produced += t.literal_len;
+            if t.match_len > 0 {
+                assert!(t.distance <= produced);
+            }
+            produced += t.match_len;
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Range asymmetric numeral systems (rANS) entropy coding.
+//!
+//! A static-model, byte-oriented rANS coder with 12-bit quantized
+//! frequencies, matching the style of coder used by nvCOMP's ANS compressor
+//! and by Zstandard's FSE stage. Encoding proceeds in reverse symbol order;
+//! decoding is strictly forward, which is what makes ANS attractive for
+//! high-throughput implementations.
+
+use crate::varint;
+use crate::{DecodeError, Result};
+
+/// Probability precision in bits (frequencies sum to `1 << SCALE_BITS`).
+pub const SCALE_BITS: u32 = 12;
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the normalized interval.
+const RANS_L: u32 = 1 << 23;
+
+/// Quantized symbol statistics for one block.
+#[derive(Debug, Clone)]
+pub struct Model {
+    freq: [u16; 256],
+    cum: [u32; 257],
+    /// Maps a slot in `0..SCALE` to its symbol.
+    slot_to_sym: Vec<u8>,
+}
+
+impl Model {
+    /// Builds a model from raw byte counts, normalizing to `SCALE`.
+    ///
+    /// Every symbol that occurs receives frequency ≥ 1. Returns `None` if
+    /// `data` is empty.
+    pub fn from_data(data: &[u8]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut counts = [0u64; 256];
+        for &b in data {
+            counts[b as usize] += 1;
+        }
+        Some(Self::from_counts(&counts))
+    }
+
+    /// Builds a model from a histogram (total count must be nonzero).
+    pub fn from_counts(counts: &[u64; 256]) -> Self {
+        let total: u64 = counts.iter().sum();
+        assert!(total > 0, "cannot model an empty histogram");
+        let mut freq = [0u16; 256];
+        let mut assigned = 0u32;
+        // Initial proportional assignment, guaranteeing >=1 for present syms.
+        for i in 0..256 {
+            if counts[i] > 0 {
+                let f = ((counts[i] as u128 * SCALE as u128) / total as u128) as u32;
+                let f = f.clamp(1, SCALE - 1);
+                freq[i] = f as u16;
+                assigned += f;
+            }
+        }
+        // Redistribute the rounding error, stealing from / giving to the
+        // largest buckets (which are least sensitive to +-1 changes).
+        while assigned != SCALE {
+            if assigned < SCALE {
+                let i = (0..256).filter(|&i| freq[i] > 0).max_by_key(|&i| counts[i]).expect("nonempty");
+                freq[i] += 1;
+                assigned += 1;
+            } else {
+                let i = (0..256)
+                    .filter(|&i| freq[i] > 1)
+                    .max_by_key(|&i| freq[i])
+                    .expect("scale overflow with all freq==1 is impossible for 256 symbols");
+                freq[i] -= 1;
+                assigned -= 1;
+            }
+        }
+        Self::from_freqs(freq)
+    }
+
+    fn from_freqs(freq: [u16; 256]) -> Self {
+        let mut cum = [0u32; 257];
+        for i in 0..256 {
+            cum[i + 1] = cum[i] + u32::from(freq[i]);
+        }
+        debug_assert_eq!(cum[256], SCALE);
+        let mut slot_to_sym = vec![0u8; SCALE as usize];
+        for sym in 0..256 {
+            for slot in cum[sym]..cum[sym + 1] {
+                slot_to_sym[slot as usize] = sym as u8;
+            }
+        }
+        Self { freq, cum, slot_to_sym }
+    }
+
+    /// Serializes the frequency table (zero-run-length coded).
+    pub fn write_header(&self, out: &mut Vec<u8>) {
+        let mut i = 0;
+        while i < 256 {
+            if self.freq[i] == 0 {
+                let start = i;
+                while i < 256 && self.freq[i] == 0 {
+                    i += 1;
+                }
+                // Zero run: 0x00 marker + run length.
+                out.push(0);
+                varint::write_usize(out, i - start);
+            } else {
+                // Nonzero: varint of freq (>=1).
+                varint::write_u64(out, u64::from(self.freq[i]));
+                i += 1;
+            }
+        }
+    }
+
+    /// Reads a table written by [`Model::write_header`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or if the frequencies do not sum to the scale.
+    pub fn read_header(data: &[u8], pos: &mut usize) -> Result<Self> {
+        let mut freq = [0u16; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let v = varint::read_u64(data, pos)?;
+            if v == 0 {
+                let run = varint::read_usize(data, pos)?;
+                i = i.checked_add(run).ok_or(DecodeError::Corrupt("freq run overflow"))?;
+                if i > 256 {
+                    return Err(DecodeError::InvalidHeader("rans zero run too long"));
+                }
+            } else {
+                if v > u64::from(SCALE) {
+                    return Err(DecodeError::InvalidHeader("rans frequency too large"));
+                }
+                freq[i] = v as u16;
+                i += 1;
+            }
+        }
+        let total: u32 = freq.iter().map(|&f| u32::from(f)).sum();
+        if total != SCALE {
+            return Err(DecodeError::InvalidHeader("rans frequencies do not sum to scale"));
+        }
+        Ok(Self::from_freqs(freq))
+    }
+}
+
+/// Encodes `data` with a static model built from it.
+///
+/// Layout: varint length, model header, varint payload length, payload
+/// (renormalization bytes followed by the 4-byte final state).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_usize(&mut out, data.len());
+    let Some(model) = Model::from_data(data) else {
+        return out; // empty input: length 0 only
+    };
+    model.write_header(&mut out);
+
+    let mut payload: Vec<u8> = Vec::with_capacity(data.len() / 2 + 8);
+    let mut state: u32 = RANS_L;
+    // rANS encodes in reverse so the decoder emits forward.
+    for &byte in data.iter().rev() {
+        let f = u32::from(model.freq[byte as usize]);
+        let x_max = ((RANS_L >> SCALE_BITS) << 8) * f;
+        while state >= x_max {
+            payload.push(state as u8);
+            state >>= 8;
+        }
+        state = ((state / f) << SCALE_BITS) | ((state % f) + model.cum[byte as usize]);
+    }
+    payload.extend_from_slice(&state.to_le_bytes());
+
+    varint::write_usize(&mut out, payload.len());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Fails on truncated or internally inconsistent input.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0;
+    let n = varint::read_usize(data, &mut pos)?;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let model = Model::read_header(data, &mut pos)?;
+    let payload_len = varint::read_usize(data, &mut pos)?;
+    let end = pos.checked_add(payload_len).ok_or(DecodeError::Corrupt("payload overflow"))?;
+    if end > data.len() || payload_len < 4 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let payload = &data[pos..end];
+    let (renorm, state_bytes) = payload.split_at(payload_len - 4);
+    let mut state = u32::from_le_bytes(state_bytes.try_into().expect("4 bytes"));
+    let mut remaining = renorm; // consumed back-to-front
+    let mut out = Vec::with_capacity(crate::prealloc_limit(n));
+    for _ in 0..n {
+        let slot = state & (SCALE - 1);
+        let sym = model.slot_to_sym[slot as usize];
+        let f = u32::from(model.freq[sym as usize]);
+        state = f * (state >> SCALE_BITS) + slot - model.cum[sym as usize];
+        while state < RANS_L {
+            let Some((&b, rest)) = remaining.split_last() else {
+                return Err(DecodeError::UnexpectedEof);
+            };
+            remaining = rest;
+            state = (state << 8) | u32::from(b);
+        }
+        out.push(sym);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn roundtrip_single_byte() {
+        roundtrip(&[7]);
+    }
+
+    #[test]
+    fn roundtrip_uniform_single_symbol() {
+        roundtrip(&[0xAB; 10_000]);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            data.push(match i % 1024 {
+                0..=511 => 0u8,
+                512..=767 => 1,
+                768..=1000 => 2,
+                _ => (i % 251) as u8,
+            });
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn skewed_compresses_well() {
+        let mut data = vec![0u8; 100_000];
+        for (i, b) in data.iter_mut().enumerate() {
+            if i % 50 == 0 {
+                *b = (i % 7) as u8 + 1;
+            }
+        }
+        let c = compress(&data);
+        // Entropy is ~0.2 bits/byte; allow generous slack over that.
+        assert!(c.len() < data.len() / 8, "got {}", c.len());
+    }
+
+    #[test]
+    fn model_normalizes_to_scale() {
+        let mut counts = [0u64; 256];
+        counts[0] = 1;
+        counts[1] = 1_000_000;
+        counts[255] = 3;
+        let m = Model::from_counts(&counts);
+        let total: u32 = m.freq.iter().map(|&f| u32::from(f)).sum();
+        assert_eq!(total, SCALE);
+        assert!(m.freq[0] >= 1 && m.freq[255] >= 1);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 13) as u8).collect();
+        let m = Model::from_data(&data).unwrap();
+        let mut buf = Vec::new();
+        m.write_header(&mut buf);
+        let mut pos = 0;
+        let m2 = Model::read_header(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(m.freq, m2.freq);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let c = compress(&[1u8, 2, 3].repeat(500));
+        for cut in 1..c.len().min(30) {
+            assert!(decompress(&c[..c.len() - cut]).is_err() || cut == 0);
+        }
+    }
+
+    #[test]
+    fn bad_frequency_table_rejected() {
+        // freq table claiming a single symbol with freq != SCALE
+        let mut buf = Vec::new();
+        varint::write_usize(&mut buf, 10); // claims 10 bytes of content
+        varint::write_u64(&mut buf, 100); // sym 0 freq 100
+        buf.push(0);
+        varint::write_usize(&mut buf, 255); // rest zero -> total 100 != 4096
+        varint::write_usize(&mut buf, 4);
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(decompress(&buf).is_err());
+    }
+}

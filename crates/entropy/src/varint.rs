@@ -1,0 +1,122 @@
+//! LEB128-style variable-length integer coding.
+//!
+//! Used by the LZ token serializers and several baseline container headers.
+
+use crate::{DecodeError, Result};
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` as a varint (convenience for `usize`).
+#[inline]
+pub fn write_usize(out: &mut Vec<u8>, value: usize) {
+    write_u64(out, value as u64);
+}
+
+/// Reads a varint from `data` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if the input ends mid-varint and
+/// [`DecodeError::Corrupt`] if the encoding exceeds 10 bytes.
+#[inline]
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(DecodeError::Corrupt("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::Corrupt("varint too long"));
+        }
+    }
+}
+
+/// Reads a varint and converts it to `usize`.
+///
+/// # Errors
+///
+/// Same as [`read_u64`], plus [`DecodeError::Corrupt`] if the value does not
+/// fit in `usize`.
+#[inline]
+pub fn read_usize(data: &[u8], pos: &mut usize) -> Result<usize> {
+    usize::try_from(read_u64(data, pos)?).map_err(|_| DecodeError::Corrupt("varint exceeds usize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..cut], &mut pos), Err(DecodeError::UnexpectedEof));
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_errors() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(read_u64(&buf, &mut pos), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn encoding_is_minimal_length() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the entropy-coding substrate.
+
+use fpc_entropy::bitio::{BitReader, BitWriter};
+use fpc_entropy::lz::{self, Effort};
+use fpc_entropy::{bitpack, bwt, huffman, rans, rle, varint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn bitio_roundtrips_random_schedules(
+        fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..200)
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, width) in &fields {
+            let v = if width == 64 { v } else { v & ((1 << width) - 1) };
+            w.write_bits(v, width);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, width) in &fields {
+            let v = if width == 64 { v } else { v & ((1 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width), Some(v));
+        }
+    }
+
+    #[test]
+    fn bitpack_roundtrips(values in prop::collection::vec(any::<u64>(), 0..300), width in 0u32..=64) {
+        let masked: Vec<u64> = values
+            .iter()
+            .map(|&v| if width == 64 { v } else if width == 0 { 0 } else { v & ((1 << width) - 1) })
+            .collect();
+        let mut packed = Vec::new();
+        bitpack::pack_u64(&masked, width, &mut packed);
+        let mut out = Vec::new();
+        bitpack::unpack_u64(&packed, width, masked.len(), &mut out).unwrap();
+        prop_assert_eq!(out, masked);
+    }
+
+    #[test]
+    fn huffman_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = huffman::compress_bytes(&data);
+        prop_assert_eq!(huffman::decompress_bytes(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rans_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        let c = rans::compress(&data);
+        prop_assert_eq!(rans::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_roundtrips_both_efforts(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+        for effort in [Effort::Fast, Effort::Thorough] {
+            let c = lz::compress_block(&data, effort);
+            prop_assert_eq!(lz::decompress_block(&c).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn lz_tokens_partition_input(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let tokens = lz::tokenize(&data, Effort::Thorough);
+        let covered: usize = tokens.iter().map(|t| t.literal_len + t.match_len).sum();
+        prop_assert_eq!(covered, data.len());
+        let mut produced = 0usize;
+        for t in &tokens {
+            produced += t.literal_len;
+            if t.match_len > 0 {
+                prop_assert!(t.match_len >= lz::MIN_MATCH);
+                prop_assert!(t.distance >= 1 && t.distance <= produced);
+            }
+            produced += t.match_len;
+        }
+    }
+
+    #[test]
+    fn rle_roundtrips(data in prop::collection::vec(0u8..4, 0..3000)) {
+        // Narrow alphabet maximizes runs (the interesting case).
+        let c = rle::compress_bytes(&data);
+        prop_assert_eq!(rle::decompress_bytes(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn bwt_roundtrips(data in prop::collection::vec(any::<u8>(), 0..1200)) {
+        let t = bwt::forward(&data);
+        prop_assert_eq!(bwt::inverse(&t).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_roundtrips(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        prop_assert_eq!(bwt::mtf_inverse(&bwt::mtf_forward(&data)), data);
+    }
+
+    #[test]
+    fn bwt_is_a_permutation(data in prop::collection::vec(any::<u8>(), 1..800)) {
+        let t = bwt::forward(&data);
+        let mut a = data.clone();
+        let mut b = t.last_column.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert!(t.primary_index < data.len());
+    }
+
+    #[test]
+    fn decoders_never_panic_on_random_input(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = huffman::decompress_bytes(&data);
+        let _ = rans::decompress(&data);
+        let _ = lz::decompress_block(&data);
+        let _ = rle::decompress_bytes(&data);
+        let mut pos = 0;
+        let _ = varint::read_u64(&data, &mut pos);
+    }
+}

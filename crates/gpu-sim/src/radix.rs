@@ -1,0 +1,92 @@
+//! CUB-style least-significant-digit radix sort.
+//!
+//! The FCM encoder sorts (hash, index) pairs; on the GPU the paper uses the
+//! CUB library's radix sort (§3.2). This stand-in is an 8-bit-digit LSD
+//! radix sort whose per-digit pass is the standard GPU formulation:
+//! histogram, exclusive prefix sum over digit counts, and a stable scatter.
+
+/// Sorts `(key, index)` pairs by key, then index — stable, so pairs with
+/// equal keys keep ascending index order, matching
+/// `sort_unstable_by(...by (hash, index))` on unique (key, index) pairs.
+pub fn sort_pairs(pairs: &mut Vec<(u64, u32)>) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    let mut src: Vec<(u64, u32)> = std::mem::take(pairs);
+    let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
+    // Index digits first (LSD over the composite (key, index) sort key).
+    for shift in [0u32, 8, 16, 24] {
+        radix_pass(&src, &mut dst, |p| ((p.1 >> shift) & 0xFF) as usize);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+        radix_pass(&src, &mut dst, |p| ((p.0 >> shift) & 0xFF) as usize);
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *pairs = src;
+}
+
+fn radix_pass<F: Fn(&(u64, u32)) -> usize>(src: &[(u64, u32)], dst: &mut [(u64, u32)], digit: F) {
+    // Histogram.
+    let mut counts = [0usize; 256];
+    for p in src {
+        counts[digit(p)] += 1;
+    }
+    // Exclusive prefix sum (the GPU does this with a block scan).
+    let mut offsets = [0usize; 256];
+    let mut acc = 0usize;
+    for d in 0..256 {
+        offsets[d] = acc;
+        acc += counts[d];
+    }
+    // Stable scatter.
+    for p in src {
+        let d = digit(p);
+        dst[offsets[d]] = *p;
+        offsets[d] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let mut v: Vec<(u64, u32)> = vec![];
+        sort_pairs(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![(9u64, 1u32)];
+        sort_pairs(&mut v);
+        assert_eq!(v, vec![(9, 1)]);
+    }
+
+    #[test]
+    fn matches_std_sort() {
+        let mut pairs: Vec<(u64, u32)> = (0..10_000u32)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 500, i))
+            .collect();
+        let mut expected = pairs.clone();
+        expected.sort_unstable();
+        sort_pairs(&mut pairs);
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn equal_keys_keep_index_order() {
+        let mut pairs: Vec<(u64, u32)> = (0..1000u32).rev().map(|i| (7, i)).collect();
+        sort_pairs(&mut pairs);
+        for (expect, &(k, idx)) in pairs.iter().enumerate() {
+            assert_eq!(k, 7);
+            assert_eq!(idx as usize, expect);
+        }
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut pairs = vec![(u64::MAX, 0u32), (0, 1), (u64::MAX, 2), (1 << 63, 3)];
+        sort_pairs(&mut pairs);
+        assert_eq!(pairs, vec![(0, 1), (1 << 63, 3), (u64::MAX, 0), (u64::MAX, 2)]);
+    }
+}

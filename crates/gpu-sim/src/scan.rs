@@ -1,0 +1,178 @@
+//! Block-level prefix sums and the decoupled look-back inter-block scan.
+//!
+//! The paper uses a block-level parallel prefix sum (built from warp scans
+//! and shared memory) for DIFFMS decoding, and "Merrill and Garland's
+//! variable look-back strategy" to pass compressed-chunk write positions
+//! between thread blocks (§3.1). Both are reproduced here: the block scan
+//! deterministically, the look-back scan with real threads and the actual
+//! published state machine (`Invalid` → `Aggregate` → `Prefix`).
+
+use crate::warp::{inclusive_scan_add, shfl_up};
+use crate::WARP_SIZE;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Block-level inclusive prefix sum (wrapping addition) over up to
+/// 32 × 32 = 1024 elements, composed from warp scans exactly as a CUDA
+/// block scan is: per-warp scan, warp-aggregate scan in "shared memory",
+/// then per-lane offset addition.
+pub fn block_inclusive_scan(values: &mut [u64]) {
+    assert!(values.len() <= WARP_SIZE * WARP_SIZE, "block scan capacity is 1024 elements");
+    let mut warp_aggregates = [0u64; WARP_SIZE];
+    let nwarps = values.len().div_ceil(WARP_SIZE);
+    #[allow(clippy::needless_range_loop)] // w is a warp id used for slicing and aggregates
+    for w in 0..nwarps {
+        let start = w * WARP_SIZE;
+        let end = (start + WARP_SIZE).min(values.len());
+        let mut regs = [0u64; WARP_SIZE];
+        regs[..end - start].copy_from_slice(&values[start..end]);
+        let scanned = inclusive_scan_add(&regs);
+        values[start..end].copy_from_slice(&scanned[..end - start]);
+        warp_aggregates[w] = scanned[WARP_SIZE - 1];
+    }
+    // Scan the warp aggregates (one warp's worth) and add exclusive offsets.
+    let agg_scan = inclusive_scan_add(&warp_aggregates);
+    let offsets = shfl_up(&agg_scan, 1);
+    let len = values.len();
+    for w in 1..nwarps {
+        for v in &mut values[w * WARP_SIZE..((w + 1) * WARP_SIZE).min(len)] {
+            *v = v.wrapping_add(offsets[w]);
+        }
+    }
+}
+
+const STATE_INVALID: u8 = 0;
+const STATE_AGGREGATE: u8 = 1;
+const STATE_PREFIX: u8 = 2;
+
+/// Exclusive prefix sum across "thread blocks" using the decoupled
+/// look-back protocol. `aggregates[i]` is block `i`'s local total; the
+/// result is each block's exclusive prefix (its write position).
+///
+/// Blocks are executed by `threads` OS threads claiming block indices from
+/// an atomic counter (any order), publishing their aggregate immediately
+/// and then looking back through predecessor descriptors until a published
+/// inclusive prefix is found — the actual single-pass protocol.
+pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u64> {
+    let n = aggregates.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let states: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(STATE_INVALID)).collect();
+    let published_agg: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let published_prefix: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let exclusive: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n {
+                    break;
+                }
+                // Publish our aggregate so successors can make progress.
+                published_agg[b].store(aggregates[b], Ordering::Relaxed);
+                states[b].store(STATE_AGGREGATE, Ordering::Release);
+                // Look back over predecessors, accumulating aggregates
+                // until a full inclusive prefix is found.
+                let mut running = 0u64;
+                let mut look = b;
+                while look > 0 {
+                    look -= 1;
+                    loop {
+                        match states[look].load(Ordering::Acquire) {
+                            STATE_PREFIX => {
+                                running =
+                                    running.wrapping_add(published_prefix[look].load(Ordering::Relaxed));
+                                look = 0; // terminate outer loop
+                                break;
+                            }
+                            STATE_AGGREGATE => {
+                                running =
+                                    running.wrapping_add(published_agg[look].load(Ordering::Relaxed));
+                                break;
+                            }
+                            _ => std::hint::spin_loop(),
+                        }
+                    }
+                }
+                exclusive[b].store(running, Ordering::Relaxed);
+                // Publish our inclusive prefix to shorten successors' walks.
+                published_prefix[b].store(running.wrapping_add(aggregates[b]), Ordering::Relaxed);
+                states[b].store(STATE_PREFIX, Ordering::Release);
+            });
+        }
+    });
+
+    exclusive.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial_exclusive(values: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0u64;
+        for &v in values {
+            out.push(acc);
+            acc = acc.wrapping_add(v);
+        }
+        out
+    }
+
+    #[test]
+    fn block_scan_matches_serial() {
+        for n in [0usize, 1, 31, 32, 33, 100, 1023, 1024] {
+            let mut values: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let expected: Vec<u64> = {
+                let mut acc = 0u64;
+                values.iter().map(|&v| { acc = acc.wrapping_add(v); acc }).collect()
+            };
+            block_inclusive_scan(&mut values);
+            assert_eq!(values, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn block_scan_rejects_oversized() {
+        let mut values = vec![1u64; 1025];
+        block_inclusive_scan(&mut values);
+    }
+
+    #[test]
+    fn lookback_matches_serial_small() {
+        let aggregates = [5u64, 0, 3, 10, 2];
+        assert_eq!(decoupled_lookback_exclusive(&aggregates, 4), serial_exclusive(&aggregates));
+    }
+
+    #[test]
+    fn lookback_matches_serial_large_many_threads() {
+        let aggregates: Vec<u64> = (0..2000u64).map(|i| i % 97).collect();
+        for threads in [1usize, 2, 8, 32] {
+            assert_eq!(
+                decoupled_lookback_exclusive(&aggregates, threads),
+                serial_exclusive(&aggregates),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookback_empty_and_single() {
+        assert!(decoupled_lookback_exclusive(&[], 4).is_empty());
+        assert_eq!(decoupled_lookback_exclusive(&[42], 4), vec![0]);
+    }
+
+    #[test]
+    fn lookback_repeated_runs_agree() {
+        // Stress scheduling nondeterminism: results must be identical.
+        let aggregates: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(13)).collect();
+        let expected = serial_exclusive(&aggregates);
+        for _ in 0..10 {
+            assert_eq!(decoupled_lookback_exclusive(&aggregates, 16), expected);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared-memory model: capacity budgeting and bank-conflict analysis.
+//!
+//! The paper sizes its chunks "so that we can fit two chunk buffers in the
+//! GPU's shared memory" (§3) and keeps "all chunk data in shared memory
+//! between transformations to minimize accesses to the relatively slow main
+//! memory" (§3.1). This module makes those constraints checkable: a
+//! [`SharedMemory`] arena with the per-SM capacity of the evaluated GPUs,
+//! plus a bank-conflict estimator for strided access patterns (32 4-byte
+//! banks, as on all recent NVIDIA architectures).
+
+/// Number of 4-byte shared-memory banks.
+pub const BANKS: usize = 32;
+
+/// Per-SM shared-memory budget of the evaluated GPUs, in bytes (both the
+/// RTX 4090 and the A100 expose ≥ 100 KiB per SM; 48 KiB is the portable
+/// per-block default the paper's sizing argument uses).
+pub const DEFAULT_BLOCK_BUDGET: usize = 48 * 1024;
+
+/// A shared-memory allocation arena for one thread block.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    capacity: usize,
+    allocated: usize,
+    allocations: Vec<(&'static str, usize)>,
+}
+
+impl SharedMemory {
+    /// Creates an arena with the default 48 KiB per-block budget.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BLOCK_BUDGET)
+    }
+
+    /// Creates an arena with an explicit capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { capacity, allocated: 0, allocations: Vec::new() }
+    }
+
+    /// Reserves `bytes` for a named buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortfall in bytes if the budget would be exceeded —
+    /// the compile-time failure a real kernel would hit.
+    pub fn alloc(&mut self, name: &'static str, bytes: usize) -> Result<(), usize> {
+        let new_total = self.allocated.saturating_add(bytes);
+        if new_total > self.capacity {
+            return Err(new_total - self.capacity);
+        }
+        self.allocated = new_total;
+        self.allocations.push((name, bytes));
+        Ok(())
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.allocated
+    }
+
+    /// Named allocations, in order.
+    pub fn allocations(&self) -> &[(&'static str, usize)] {
+        &self.allocations
+    }
+}
+
+impl Default for SharedMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Worst-case bank-conflict degree for a warp accessing 32 4-byte words at
+/// a constant stride (in words): the maximum number of lanes hitting the
+/// same bank, i.e. the serialization factor of the access.
+pub fn conflict_degree(stride_words: usize) -> usize {
+    let mut per_bank = [0usize; BANKS];
+    for lane in 0..BANKS {
+        per_bank[(lane * stride_words) % BANKS] += 1;
+    }
+    per_bank.iter().copied().max().unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpc_transforms::CHUNK_SIZE;
+
+    #[test]
+    fn two_chunk_buffers_fit_the_papers_budget() {
+        // The paper's §3 sizing argument, verified: two 16 KiB chunk
+        // buffers fit in a 48 KiB block budget with room for metadata.
+        let mut sm = SharedMemory::new();
+        sm.alloc("chunk_in", CHUNK_SIZE).expect("first chunk buffer fits");
+        sm.alloc("chunk_out", CHUNK_SIZE).expect("second chunk buffer fits");
+        assert!(sm.remaining() >= 8 * 1024, "metadata headroom missing");
+        // Double-buffering 24 KiB chunks would consume the entire budget,
+        // leaving nothing for scan scratch or bitmap metadata.
+        let mut sm2 = SharedMemory::new();
+        sm2.alloc("a", 24 * 1024).expect("fits alone");
+        sm2.alloc("b", 24 * 1024).expect("fits exactly");
+        assert_eq!(sm2.remaining(), 0);
+        assert!(sm2.alloc("scratch", 1).is_err(), "no metadata headroom at 24 KiB chunks");
+    }
+
+    #[test]
+    fn over_allocation_reports_shortfall() {
+        let mut sm = SharedMemory::with_capacity(100);
+        assert_eq!(sm.alloc("x", 150), Err(50));
+        assert_eq!(sm.allocated(), 0);
+        sm.alloc("y", 100).expect("fits exactly");
+        assert_eq!(sm.remaining(), 0);
+        assert_eq!(sm.allocations(), &[("y", 100)]);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        assert_eq!(conflict_degree(1), 1);
+    }
+
+    #[test]
+    fn odd_strides_are_conflict_free() {
+        // The classic padding trick: any odd stride avoids conflicts.
+        for stride in (1..64).step_by(2) {
+            assert_eq!(conflict_degree(stride), 1, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_strides_conflict() {
+        assert_eq!(conflict_degree(2), 2);
+        assert_eq!(conflict_degree(4), 4);
+        assert_eq!(conflict_degree(8), 8);
+        assert_eq!(conflict_degree(32), 32, "stride 32 serializes the whole warp");
+    }
+
+    #[test]
+    fn transpose_column_access_motivates_shuffles() {
+        // A naive shared-memory 32x32 transpose reads columns at stride 32
+        // — fully serialized. This is why the paper's BIT stage uses warp
+        // shuffles instead (§3.2): register exchange has no banks at all.
+        assert_eq!(conflict_degree(32), BANKS);
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel union-find decode of the FCM distance chains.
+//!
+//! The paper's FCM decoder resolves each position's backward-distance chain
+//! in parallel: every thread follows distances until it reaches a resolved
+//! value, writes its output, and then *zeroes its own distance* behind a
+//! memory fence so other threads' chains shorten — "a parallel
+//! implementation of the 'find' operation in union-find" (§3.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Resolves FCM (value, distance) arrays into the original values using the
+/// parallel chain-shortening algorithm.
+///
+/// # Errors
+///
+/// Returns `Err(position)` of the first malformed distance (pointing at or
+/// before the start of the array).
+pub fn decode(values: &[u64], distances: &[u64], threads: usize) -> Result<Vec<u64>, usize> {
+    let n = values.len();
+    assert_eq!(distances.len(), n, "value/distance arrays must match");
+    // Validate distances up front (a cyclic or out-of-range chain would
+    // otherwise livelock the spin loops below).
+    for (i, &d) in distances.iter().enumerate() {
+        if d > i as u64 {
+            return Err(i);
+        }
+    }
+    let out: Vec<AtomicU64> = values.iter().map(|&v| AtomicU64::new(v)).collect();
+    // Live distance array; a zero marks a resolved position.
+    let dist: Vec<AtomicU64> = distances.iter().map(|&d| AtomicU64::new(d)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.clamp(1, n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let d0 = dist[i].load(Ordering::Acquire);
+                if d0 == 0 {
+                    continue; // direct value, already in `out`
+                }
+                // Follow the chain; other threads keep shortening it.
+                let mut j = i - d0 as usize;
+                loop {
+                    let dj = dist[j].load(Ordering::Acquire);
+                    if dj == 0 {
+                        break;
+                    }
+                    j -= dj as usize;
+                }
+                let v = out[j].load(Ordering::Acquire);
+                out[i].store(v, Ordering::Release);
+                // Publish: value at i is now readable; chains through i may
+                // stop here (the paper's memory fence + distance update).
+                dist[i].store(0, Ordering::Release);
+            });
+        }
+    });
+
+    Ok(out.into_iter().map(AtomicU64::into_inner).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpc_transforms::fcm;
+
+    #[test]
+    fn empty() {
+        assert_eq!(decode(&[], &[], 4).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn no_matches_is_identity() {
+        let values = vec![10u64, 20, 30];
+        let distances = vec![0u64, 0, 0];
+        assert_eq!(decode(&values, &distances, 2).unwrap(), values);
+    }
+
+    #[test]
+    fn long_chain_resolves() {
+        // Every element points one back: all resolve to the first value.
+        let n = 10_000;
+        let mut values = vec![0u64; n];
+        values[0] = 777;
+        let distances: Vec<u64> = (0..n).map(|i| u64::from(i > 0)).collect();
+        let out = decode(&values, &distances, 8).unwrap();
+        assert!(out.iter().all(|&v| v == 777));
+    }
+
+    #[test]
+    fn invalid_distance_rejected() {
+        let values = vec![0u64, 0];
+        let distances = vec![0u64, 2]; // points before start
+        assert_eq!(decode(&values, &distances, 2), Err(1));
+    }
+
+    #[test]
+    fn matches_sequential_fcm_decode() {
+        // Cross-check against the scalar decoder on realistic FCM output.
+        let period: Vec<u64> = (0..32u64).map(|i| (i as f64).to_bits()).collect();
+        let data: Vec<u64> = period.iter().cycle().take(20_000).copied().collect();
+        let enc = fcm::encode(&data);
+        let scalar = fcm::decode(&enc).unwrap();
+        for threads in [1usize, 4, 16] {
+            let parallel = decode(&enc.values, &enc.distances, threads).unwrap();
+            assert_eq!(parallel, scalar, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let values: Vec<u64> = (0..500).map(|i| (i % 7) as u64).collect();
+        let enc = fcm::encode(&values);
+        let expected = fcm::decode(&enc).unwrap();
+        for _ in 0..10 {
+            assert_eq!(decode(&enc.values, &enc.distances, 16).unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Warp-level primitives (32 lanes).
+//!
+//! A warp is modelled as a 32-element register file: every primitive maps a
+//! `[T; 32]` of per-lane values to per-lane results, exactly mirroring the
+//! semantics of the CUDA intrinsics (`__shfl_xor_sync`, `__ballot_sync`,
+//! warp scans/reductions) the paper's kernels are built from.
+
+use crate::WARP_SIZE;
+
+/// `__shfl_xor_sync`: every lane reads the value of `lane ^ mask`.
+pub fn shfl_xor<T: Copy>(regs: &[T; WARP_SIZE], mask: usize) -> [T; WARP_SIZE] {
+    std::array::from_fn(|lane| regs[lane ^ (mask & (WARP_SIZE - 1))])
+}
+
+/// `__shfl_up_sync` with `delta`: lanes below `delta` keep their own value.
+pub fn shfl_up<T: Copy>(regs: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
+    std::array::from_fn(|lane| if lane >= delta { regs[lane - delta] } else { regs[lane] })
+}
+
+/// `__ballot_sync`: bit `i` of the result is lane `i`'s predicate.
+pub fn ballot(predicates: &[bool; WARP_SIZE]) -> u32 {
+    predicates.iter().enumerate().fold(0u32, |acc, (lane, &p)| acc | (u32::from(p) << lane))
+}
+
+/// Warp-wide maximum reduction (every lane receives the maximum).
+pub fn reduce_max_u64(regs: &[u64; WARP_SIZE]) -> u64 {
+    // Butterfly reduction in log2(32) = 5 shuffle steps, as on hardware.
+    let mut cur = *regs;
+    let mut step = WARP_SIZE / 2;
+    while step > 0 {
+        let other = shfl_xor(&cur, step);
+        for lane in 0..WARP_SIZE {
+            cur[lane] = cur[lane].max(other[lane]);
+        }
+        step /= 2;
+    }
+    cur[0]
+}
+
+/// Warp-level inclusive prefix sum (wrapping), Hillis–Steele style.
+pub fn inclusive_scan_add(regs: &[u64; WARP_SIZE]) -> [u64; WARP_SIZE] {
+    let mut cur = *regs;
+    let mut delta = 1;
+    while delta < WARP_SIZE {
+        let shifted = shfl_up(&cur, delta);
+        for lane in 0..WARP_SIZE {
+            if lane >= delta {
+                cur[lane] = cur[lane].wrapping_add(shifted[lane]);
+            }
+        }
+        delta *= 2;
+    }
+    cur
+}
+
+/// The 5-step shuffle-based 32×32 bit-matrix transpose (paper §3.2: "fast
+/// CUDA shuffle operations … in log2(32) = 5 steps"). Each lane holds one
+/// 32-bit word; the result is bit-identical to the scalar
+/// `fpc_transforms::bit_transpose::transpose32_group`.
+pub fn transpose32(regs: &[u32; WARP_SIZE]) -> [u32; WARP_SIZE] {
+    let mut cur = *regs;
+    let mut j = 16usize;
+    let mut m: u32 = 0x0000_FFFF;
+    while j != 0 {
+        let partner: [u32; WARP_SIZE] = shfl_xor(&cur, j);
+        for lane in 0..WARP_SIZE {
+            let x = cur[lane];
+            let y = partner[lane];
+            cur[lane] = if lane & j == 0 {
+                // Role "k": t = (x ^ (y >> j)) & m; x ^= t.
+                let t = (x ^ (y >> j)) & m;
+                x ^ t
+            } else {
+                // Role "k + j": t = (y ^ (x >> j)) & m; x ^= t << j.
+                let t = (y ^ (x >> j)) & m;
+                x ^ (t << j)
+            };
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shfl_xor_permutes() {
+        let regs: [u32; 32] = std::array::from_fn(|i| i as u32);
+        let out = shfl_xor(&regs, 1);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[30], 31);
+        assert_eq!(out[31], 30);
+    }
+
+    #[test]
+    fn ballot_sets_bits() {
+        let mut preds = [false; 32];
+        preds[0] = true;
+        preds[5] = true;
+        preds[31] = true;
+        assert_eq!(ballot(&preds), 1 | (1 << 5) | (1u32 << 31));
+    }
+
+    #[test]
+    fn reduce_max_matches_iter_max() {
+        let regs: [u64; 32] =
+            std::array::from_fn(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        assert_eq!(reduce_max_u64(&regs), regs.iter().copied().max().expect("nonempty"));
+    }
+
+    #[test]
+    fn inclusive_scan_matches_serial() {
+        let regs: [u64; 32] = std::array::from_fn(|i| (i as u64) * 3 + 1);
+        let out = inclusive_scan_add(&regs);
+        let mut acc = 0u64;
+        for lane in 0..32 {
+            acc += regs[lane];
+            assert_eq!(out[lane], acc, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn inclusive_scan_wraps() {
+        let regs = [u64::MAX; 32];
+        let out = inclusive_scan_add(&regs);
+        assert_eq!(out[1], u64::MAX.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn warp_transpose_matches_scalar() {
+        let regs: [u32; 32] =
+            std::array::from_fn(|i| (i as u32).wrapping_mul(0x85EB_CA6B).rotate_left(i as u32));
+        let warp_result = transpose32(&regs);
+        let mut scalar = regs;
+        fpc_transforms::bit_transpose::transpose32_group(&mut scalar);
+        assert_eq!(warp_result, scalar, "warp transpose must be bit-identical to scalar");
+    }
+
+    #[test]
+    fn warp_transpose_involution() {
+        let regs: [u32; 32] = std::array::from_fn(|i| 0xDEAD_BEEFu32.rotate_left(i as u32));
+        assert_eq!(transpose32(&transpose32(&regs)), regs);
+    }
+}

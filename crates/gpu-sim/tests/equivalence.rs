@@ -1,0 +1,59 @@
+//! Exhaustive CPU/GPU equivalence: the property the paper's design rests
+//! on, checked with proptest over arbitrary inputs and over every synthetic
+//! dataset suite.
+
+use fpc_core::{Algorithm, Compressor};
+use fpc_gpu_sim::GpuCompressor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streams_identical_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..20_000)
+    ) {
+        for algo in Algorithm::ALL {
+            let cpu = Compressor::new(algo).with_threads(1).compress_bytes(&data);
+            let gpu = GpuCompressor::new(algo).with_threads(1).compress_bytes(&data);
+            prop_assert_eq!(&cpu, &gpu, "{} diverged", algo);
+            // And all four decode paths agree.
+            let via_cpu = fpc_core::decompress_bytes(&cpu).unwrap();
+            let via_gpu = GpuCompressor::new(algo).decompress_bytes(&cpu).unwrap();
+            prop_assert_eq!(&via_cpu, &data);
+            prop_assert_eq!(&via_gpu, &data);
+        }
+    }
+
+    #[test]
+    fn streams_identical_on_arbitrary_floats(
+        values in prop::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..5_000)
+    ) {
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let cpu = Compressor::new(algo).with_threads(2).compress_f32(&values);
+            let gpu = GpuCompressor::new(algo).with_threads(2).compress_f32(&values);
+            prop_assert_eq!(cpu, gpu, "{} diverged", algo);
+        }
+    }
+}
+
+#[test]
+fn streams_identical_on_every_dataset_suite() {
+    use fpc_datagen::{double_precision_suites, single_precision_suites, Scale};
+    for suite in single_precision_suites(Scale::Small) {
+        let file = &suite.files[0];
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let cpu = Compressor::new(algo).compress_f32(&file.values);
+            let gpu = GpuCompressor::new(algo).compress_f32(&file.values);
+            assert_eq!(cpu, gpu, "{algo} diverged on {}", file.name);
+        }
+    }
+    for suite in double_precision_suites(Scale::Small) {
+        let file = &suite.files[0];
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let cpu = Compressor::new(algo).compress_f64(&file.values);
+            let gpu = GpuCompressor::new(algo).compress_f64(&file.values);
+            assert_eq!(cpu, gpu, "{algo} diverged on {}", file.name);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! FCM: the Finite Context Method transformation.
+//!
+//! The first stage of DPratio (paper §3.2, Figure 6). FPC-style hash-table
+//! prediction is untenable on GPUs (two tables per thread), so the paper
+//! replaces it with a sort-based equivalent: each value is paired with a
+//! hash of the three *prior* values (its context); the (hash, index) pairs
+//! are sorted; and a value "matches" when one of the up-to-four preceding
+//! pairs in sorted order has the same hash **and** refers to an equal value.
+//! Matches are encoded as backward distances, non-matches keep the value.
+//!
+//! The output is two arrays of the input's length — a value array (zeros at
+//! match positions) and a distance array (zeros at non-match positions) —
+//! which double the data volume but compress far better than the original,
+//! because repeated values anywhere in the input collapse to small
+//! distances and zeros.
+//!
+//! This is the only stage that operates on the whole input rather than on
+//! 16 KiB chunks.
+
+use crate::{DecodeError, Result};
+
+/// How many preceding same-hash pairs are examined for a match (paper: 4).
+pub const MATCH_WINDOW: usize = 4;
+
+/// Context order: the hash covers this many prior values (paper: 3).
+pub const CONTEXT: usize = 3;
+
+/// The two arrays produced by the forward transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    /// Original value at non-match positions, 0 at match positions.
+    pub values: Vec<u64>,
+    /// Backward distance to an equal value at match positions, else 0.
+    pub distances: Vec<u64>,
+}
+
+#[inline]
+fn mix(h: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of the three values preceding position `i` (zero-padded history).
+#[inline]
+fn context_hash(data: &[u64], i: usize, window: usize) -> u64 {
+    let mut h = 0u64;
+    for back in 1..=CONTEXT.min(window) {
+        let v = if i >= back { data[i - back] } else { 0 };
+        h = mix(h ^ v.rotate_left(back as u32 * 21));
+    }
+    h
+}
+
+/// Applies the forward FCM transformation with the default window.
+pub fn encode(data: &[u64]) -> Encoded {
+    encode_with_window(data, MATCH_WINDOW)
+}
+
+/// Forward FCM with a configurable match window (exposed for the ablation
+/// study; the paper uses [`MATCH_WINDOW`]).
+pub fn encode_with_window(data: &[u64], window: usize) -> Encoded {
+    let mut pairs = hash_pairs(data);
+    pairs.sort_unstable();
+    resolve_matches(data, &pairs, window)
+}
+
+/// Builds the (context-hash, index) pair array — the embarrassingly
+/// parallel first step of the encoder (exposed so the simulated-GPU path
+/// can substitute its own sort, as the paper substitutes CUB's).
+pub fn hash_pairs(data: &[u64]) -> Vec<(u64, u32)> {
+    (0..data.len()).map(|i| (context_hash(data, i, CONTEXT), i as u32)).collect()
+}
+
+/// Scans sorted pairs for matches and produces the two output arrays.
+///
+/// `pairs` must be sorted by (hash, index); each pair is compared against
+/// up to `window` preceding same-hash pairs.
+pub fn resolve_matches(data: &[u64], pairs: &[(u64, u32)], window: usize) -> Encoded {
+    let n = data.len();
+    let mut values = vec![0u64; n];
+    let mut distances = vec![0u64; n];
+    for (p, &(hash, idx)) in pairs.iter().enumerate() {
+        let i = idx as usize;
+        let mut matched = None;
+        // Preceding same-hash pairs always have smaller indices because the
+        // sort is by (hash, index); scan nearest-first.
+        for back in 1..=window.min(p) {
+            let (h2, idx2) = pairs[p - back];
+            if h2 != hash {
+                break;
+            }
+            if data[idx2 as usize] == data[i] {
+                matched = Some(idx2 as usize);
+                break;
+            }
+        }
+        match matched {
+            Some(j) => distances[i] = (i - j) as u64,
+            None => values[i] = data[i],
+        }
+    }
+    Encoded { values, distances }
+}
+
+/// Inverts the transformation.
+///
+/// # Errors
+///
+/// Fails if the arrays disagree in length or a distance points before the
+/// start of the output.
+pub fn decode(enc: &Encoded) -> Result<Vec<u64>> {
+    decode_arrays(&enc.values, &enc.distances)
+}
+
+/// Inverts the transformation from raw arrays.
+///
+/// # Errors
+///
+/// Fails if the arrays disagree in length or a distance points before the
+/// start of the output.
+pub fn decode_arrays(values: &[u64], distances: &[u64]) -> Result<Vec<u64>> {
+    if values.len() != distances.len() {
+        return Err(DecodeError::Corrupt("fcm array length mismatch"));
+    }
+    let n = values.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = distances[i];
+        if d == 0 {
+            out.push(values[i]);
+        } else {
+            let d = usize::try_from(d).map_err(|_| DecodeError::Corrupt("fcm distance overflow"))?;
+            if d > i {
+                return Err(DecodeError::Corrupt("fcm distance before start"));
+            }
+            // Scanning forward guarantees out[i - d] is already resolved
+            // (the parallel GPU decoder uses union-find instead; §3.2).
+            out.push(out[i - d]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u64]) -> Encoded {
+        let enc = encode(data);
+        assert_eq!(enc.values.len(), data.len());
+        assert_eq!(enc.distances.len(), data.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+        enc
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+    }
+
+    #[test]
+    fn paper_figure6_example() {
+        // Figure 6: values a b a b c a b -> positions 2,3,5,6 match with
+        // distances 2,2,3,3 (contexts repeat after the first occurrence).
+        let (a, b, c) = (1.5f64.to_bits(), 2.5f64.to_bits(), 9.25f64.to_bits());
+        let data = [a, b, a, b, c, a, b];
+        let enc = roundtrip(&data);
+        // Position 0 and 1 can never match (no prior occurrence).
+        assert_eq!(enc.distances[0], 0);
+        assert_eq!(enc.values[0], a);
+        assert_eq!(enc.distances[1], 0);
+        // Position 2 has context (b, a, 0) which never occurred before;
+        // whether it matches depends on hashing, but position 4 (value c)
+        // can never match since c is new.
+        assert_eq!(enc.values[4], c);
+        assert_eq!(enc.distances[4], 0);
+    }
+
+    #[test]
+    fn periodic_data_matches_collapse() {
+        // A strictly periodic sequence: after one period, every value
+        // recurs with an identical 3-value context, so nearly everything
+        // should become a (small) distance.
+        let period: Vec<u64> = (0..16u64).map(|i| (i as f64 * 0.25).to_bits()).collect();
+        let data: Vec<u64> = period.iter().cycle().take(1600).copied().collect();
+        let enc = roundtrip(&data);
+        let matches = enc.distances.iter().filter(|&&d| d != 0).count();
+        assert!(
+            matches > data.len() * 9 / 10,
+            "only {matches}/{} positions matched",
+            data.len()
+        );
+        // Matched distances should mostly be one period.
+        let period_dists =
+            enc.distances.iter().filter(|&&d| d == 16).count();
+        assert!(period_dists > matches / 2);
+    }
+
+    #[test]
+    fn all_distinct_values_produce_no_matches() {
+        let data: Vec<u64> =
+            (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let enc = roundtrip(&data);
+        assert!(enc.distances.iter().all(|&d| d == 0));
+        assert_eq!(enc.values, data);
+    }
+
+    #[test]
+    fn equal_values_different_context_may_not_match() {
+        // The same value with unrelated contexts: FCM matches on context
+        // hash, so these should typically NOT match (that's the design —
+        // context predicts value).
+        let mut data = vec![0u64; 100];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = (i as u64).wrapping_mul(0x1234_5678_9ABC_DEF1);
+        }
+        data[50] = data[10]; // same value, different context
+        roundtrip(&data); // must still roundtrip regardless of match outcome
+    }
+
+    #[test]
+    fn zero_values_roundtrip() {
+        // Zeros are tricky: value 0 with distance 0 must decode to 0.
+        let data = vec![0u64; 500];
+        roundtrip(&data);
+        let mut mixed = vec![7u64; 100];
+        mixed.extend(vec![0u64; 100]);
+        mixed.extend(vec![7u64; 100]);
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn corrupt_distance_rejected() {
+        let enc = Encoded { values: vec![0, 0], distances: vec![5, 0] };
+        assert!(matches!(decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let enc = Encoded { values: vec![1, 2, 3], distances: vec![0] };
+        assert!(matches!(decode(&enc), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn window_one_still_roundtrips() {
+        let data: Vec<u64> = (0..64).map(|i| (i % 8) as u64).collect();
+        let enc = encode_with_window(&data, 1);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn matches_always_point_to_equal_values() {
+        let data: Vec<u64> =
+            (0..2000u64).map(|i| ((i % 37) as f64).to_bits()).collect();
+        let enc = encode(&data);
+        for (i, &d) in enc.distances.iter().enumerate() {
+            if d != 0 {
+                assert_eq!(data[i - d as usize], data[i], "bad match at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_simulation_data_gets_some_matches() {
+        // Values quantized to a coarse grid recur frequently.
+        let data: Vec<u64> =
+            (0..5000).map(|i| (((i as f64 * 0.1).sin() * 50.0).round() / 50.0).to_bits()).collect();
+        let enc = roundtrip(&data);
+        let matches = enc.distances.iter().filter(|&&d| d != 0).count();
+        assert!(matches > 1000, "only {matches} matches");
+    }
+}

@@ -1,0 +1,41 @@
+//! The data transformations of the ASPLOS'25 FPcompress algorithms.
+//!
+//! Each module implements one reversible transformation from the paper,
+//! in its scalar (CPU-reference) form. The simulated-GPU crate
+//! (`fpc-gpu-sim`) reimplements the same transformations with warp/block
+//! parallel algorithms and asserts byte-identical output, mirroring the
+//! paper's CPU/GPU compatibility guarantee.
+//!
+//! | Module | Paper transformation | Used by |
+//! |---|---|---|
+//! | [`zigzag`] | two's-complement ↔ magnitude-sign conversion | all |
+//! | [`diffms`] | DIFFMS: difference coding + magnitude-sign | all four algorithms |
+//! | [`mplg`] | enhanced MPLG: per-subchunk leading-zero elimination | SPspeed, DPspeed |
+//! | [`bit_transpose`] | BIT: bit shuffling | SPratio |
+//! | [`rze`] | Repeated Zero Elimination | SPratio |
+//! | [`raze`] | Repeated Adaptive Zero Elimination | DPratio |
+//! | [`rare`] | Repeated Adaptive Repetition Elimination | DPratio |
+//! | [`fcm`] | Finite Context Method | DPratio |
+//!
+//! The [`words`] module holds the byte ↔ word reinterpretation helpers (the
+//! algorithms treat IEEE-754 words as integers, bit for bit).
+
+pub mod bit_transpose;
+pub mod diffms;
+pub mod fcm;
+pub mod mplg;
+pub mod rare;
+pub mod raze;
+pub mod rze;
+pub mod words;
+pub mod zigzag;
+
+pub use fpc_entropy::{DecodeError, Result};
+
+/// Size of an independent compression chunk in bytes (paper §3: sized so two
+/// chunk buffers fit in GPU shared memory / CPU L1).
+pub const CHUNK_SIZE: usize = 16 * 1024;
+
+/// Size of an MPLG subchunk in bytes (paper §3.1: 32 subchunks per chunk,
+/// one per warp).
+pub const SUBCHUNK_SIZE: usize = 512;

@@ -1,0 +1,82 @@
+//! Survey: our algorithms against the reimplemented comparator roster on
+//! one double-precision dataset, with the Pareto front the paper's figures
+//! highlight.
+//!
+//! ```text
+//! cargo run --release --example codec_survey
+//! ```
+
+use fpcompress::baselines::{Datatype, Meta};
+use fpcompress::core::{Algorithm, Compressor};
+use fpcompress::datagen::{double_precision_suites, Scale};
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    ours: bool,
+    ratio: f64,
+    compress_gbps: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suites = double_precision_suites(Scale::Small);
+    let file = &suites[0].files[0];
+    let bytes: Vec<u8> = file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let meta = Meta::f64_flat(file.values.len());
+    println!("dataset: {} ({} doubles)\n", file.name, file.values.len());
+
+    let mut rows = Vec::new();
+    for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+        let compressor = Compressor::new(algo);
+        let start = Instant::now();
+        let stream = compressor.compress_bytes(&bytes);
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(fpcompress::core::decompress_bytes(&stream)?, bytes);
+        rows.push(Row {
+            name: algo.name().to_string(),
+            ours: true,
+            ratio: bytes.len() as f64 / stream.len() as f64,
+            compress_gbps: bytes.len() as f64 / 1e9 / dt,
+        });
+    }
+    for codec in fpcompress::baselines::roster() {
+        if codec.datatype() == Datatype::F32 || !codec.datatype().supports_width(8) {
+            continue;
+        }
+        let start = Instant::now();
+        let stream = codec.compress(&bytes, &meta);
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(codec.decompress(&stream, &meta)?, bytes, "{}", codec.name());
+        rows.push(Row {
+            name: codec.name().to_string(),
+            ours: false,
+            ratio: bytes.len() as f64 / stream.len() as f64,
+            compress_gbps: bytes.len() as f64 / 1e9 / dt,
+        });
+    }
+
+    rows.sort_by(|a, b| b.compress_gbps.partial_cmp(&a.compress_gbps).expect("finite"));
+    let on_front: Vec<bool> = rows
+        .iter()
+        .map(|p| {
+            !rows.iter().any(|q| {
+                (q.compress_gbps > p.compress_gbps && q.ratio >= p.ratio)
+                    || (q.compress_gbps >= p.compress_gbps && q.ratio > p.ratio)
+            })
+        })
+        .collect();
+
+    println!("| codec | ratio | compress GB/s | Pareto |");
+    println!("|---|---|---|---|");
+    for (row, front) in rows.iter().zip(&on_front) {
+        println!(
+            "| {}{} | {:.3} | {:.3} | {} |",
+            row.name,
+            if row.ours { " (ours)" } else { "" },
+            row.ratio,
+            row.compress_gbps,
+            if *front { "*" } else { "" }
+        );
+    }
+    Ok(())
+}

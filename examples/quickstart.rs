@@ -1,0 +1,61 @@
+//! Quickstart: compress and decompress floating-point data losslessly.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fpcompress::core::{Algorithm, Compressor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Some smooth scientific-looking data: a sampled damped oscillation.
+    let data: Vec<f32> =
+        (0..1_000_000).map(|i| (i as f32 * 1e-4).sin() * (-(i as f32) * 1e-7).exp()).collect();
+    let original_bytes = data.len() * 4;
+
+    println!("input: {} f32 values ({} bytes)\n", data.len(), original_bytes);
+    println!("| algorithm | ratio | stages |");
+    println!("|---|---|---|");
+
+    for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+        let compressor = Compressor::new(algo);
+        let stream = compressor.compress_f32(&data);
+
+        // Decompression only needs the stream: it is self-describing.
+        let restored = fpcompress::core::decompress_f32(&stream)?;
+
+        // Lossless means bit-for-bit, including signs of zeros and NaNs.
+        assert_eq!(data.len(), restored.len());
+        assert!(data.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        println!(
+            "| {} | {:.3} | {} |",
+            algo,
+            original_bytes as f64 / stream.len() as f64,
+            algo.stages().join(" -> ")
+        );
+    }
+
+    // Double precision works the same way with the DP pair.
+    let doubles: Vec<f64> = (0..500_000).map(|i| 300.0 + (i as f64 * 1e-3).cos()).collect();
+    let compressor = Compressor::new(Algorithm::DpRatio);
+    let stream = compressor.compress_f64(&doubles);
+    let restored = compressor.decompress_f64(&stream)?;
+    assert!(doubles.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()));
+    println!(
+        "| {} | {:.3} | {} |",
+        Algorithm::DpRatio,
+        (doubles.len() * 8) as f64 / stream.len() as f64,
+        Algorithm::DpRatio.stages().join(" -> ")
+    );
+
+    // Inspect a stream without decompressing it.
+    let info = fpcompress::core::info(&stream)?;
+    println!(
+        "\nstream info: algorithm={}, chunks={}, raw_chunks={}, ratio={:.3}",
+        info.algorithm,
+        info.chunks,
+        info.raw_chunks,
+        info.ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Cross-device compatibility and stream-format stability tests.
+
+use fpcompress::core::{Algorithm, Compressor};
+use fpcompress::gpu::GpuCompressor;
+
+fn sp_data() -> Vec<f32> {
+    (0..100_000).map(|i| (i as f32 * 2e-4).sin() * 3.0 - 1.0).collect()
+}
+
+fn dp_data() -> Vec<f64> {
+    (0..60_000).map(|i| ((i % 512) as f64).sqrt() * 1e3).collect()
+}
+
+#[test]
+fn gpu_and_cpu_streams_are_bit_identical() {
+    // The paper's compatibility guarantee, end to end, all 4 algorithms.
+    let sp = sp_data();
+    let dp = dp_data();
+    for algo in Algorithm::ALL {
+        let cpu = Compressor::new(algo);
+        let gpu = GpuCompressor::new(algo);
+        let (a, b) = if algo.is_single_precision() {
+            (cpu.compress_f32(&sp), gpu.compress_f32(&sp))
+        } else {
+            (cpu.compress_f64(&dp), gpu.compress_f64(&dp))
+        };
+        assert_eq!(a, b, "{algo}: device paths produced different streams");
+    }
+}
+
+#[test]
+fn every_decoder_reads_every_encoder() {
+    let dp = dp_data();
+    for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+        let from_cpu = Compressor::new(algo).compress_f64(&dp);
+        let from_gpu = GpuCompressor::new(algo).compress_f64(&dp);
+        for stream in [&from_cpu, &from_gpu] {
+            let via_cpu = fpcompress::core::decompress_f64(stream).unwrap();
+            let via_gpu = GpuCompressor::new(algo).decompress_f64(stream).unwrap();
+            for (a, (b, c)) in dp.iter().zip(via_cpu.iter().zip(&via_gpu)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{algo}");
+                assert_eq!(a.to_bits(), c.to_bits(), "{algo}");
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_header_layout_is_stable() {
+    // Golden test: the first bytes of the container are part of the public
+    // format contract ("FPCR", version 1, algorithm id, element width).
+    let stream = Compressor::new(Algorithm::SpRatio).compress_f32(&[1.0f32; 64]);
+    assert_eq!(&stream[0..4], b"FPCR");
+    assert_eq!(stream[4], 1, "format version");
+    assert_eq!(stream[5], 2, "SPratio algorithm id");
+    assert_eq!(stream[6], 4, "element width");
+    // Original length (LE u64) at offset 8.
+    let len = u64::from_le_bytes(stream[8..16].try_into().unwrap());
+    assert_eq!(len, 64 * 4);
+
+    let stream = Compressor::new(Algorithm::DpRatio).compress_f64(&[2.0f64; 64]);
+    assert_eq!(stream[5], 4, "DPratio algorithm id");
+    assert_eq!(stream[6], 8, "element width");
+    // DPratio's payload is doubled by FCM: payload_len at offset 16.
+    let payload = u64::from_le_bytes(stream[16..24].try_into().unwrap());
+    assert_eq!(payload, 64 * 16);
+}
+
+#[test]
+fn streams_are_deterministic_across_thread_counts_and_devices() {
+    let dp = dp_data();
+    let reference = Compressor::new(Algorithm::DpRatio).with_threads(1).compress_f64(&dp);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            Compressor::new(Algorithm::DpRatio).with_threads(threads).compress_f64(&dp),
+            reference,
+            "threads = {threads}"
+        );
+        assert_eq!(
+            GpuCompressor::new(Algorithm::DpRatio).with_threads(threads).compress_f64(&dp),
+            reference,
+            "gpu threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn stream_info_agrees_with_decoder() {
+    let sp = sp_data();
+    for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+        let stream = Compressor::new(algo).compress_f32(&sp);
+        let info = fpcompress::core::info(&stream).unwrap();
+        assert_eq!(info.algorithm, algo);
+        assert_eq!(info.original_len, (sp.len() * 4) as u64);
+        assert_eq!(info.compressed_len, stream.len() as u64);
+        let decoded = fpcompress::core::decompress_bytes(&stream).unwrap();
+        assert_eq!(decoded.len() as u64, info.original_len);
+    }
+}
+
+#[test]
+fn container_stats_expose_raw_fallback() {
+    // Incompressible data: every chunk falls back to raw storage and the
+    // stats must say so (worst-case expansion cap, paper §3).
+    let noise: Vec<u8> = (0..200_000u64)
+        .map(|i| {
+            // splitmix64 finalizer: genuinely incompressible bytes
+            // (a plain multiply has constant deltas, which DIFFMS removes).
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u8
+        })
+        .collect();
+    let stream = Compressor::new(Algorithm::SpRatio).compress_bytes(&noise);
+    let info = fpcompress::core::info(&stream).unwrap();
+    assert_eq!(info.raw_chunks, info.chunks, "all chunks should be raw");
+    assert!(stream.len() < noise.len() + 4 * info.chunks + 64);
+}

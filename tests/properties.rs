@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) on the end-to-end pipelines and the
+//! core invariants the formats rely on.
+
+use fpcompress::core::{Algorithm, Compressor};
+use fpcompress::gpu::GpuCompressor;
+use proptest::prelude::*;
+
+fn any_f32() -> impl Strategy<Value = f32> {
+    // Cover all bit patterns, including NaNs, infinities, and subnormals.
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sp_roundtrip_arbitrary_bits(values in prop::collection::vec(any_f32(), 0..3000)) {
+        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+            let compressor = Compressor::new(algo).with_threads(2);
+            let stream = compressor.compress_f32(&values);
+            let restored = compressor.decompress_f32(&stream).unwrap();
+            prop_assert_eq!(values.len(), restored.len());
+            for (a, b) in values.iter().zip(&restored) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dp_roundtrip_arbitrary_bits(values in prop::collection::vec(any_f64(), 0..2000)) {
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let compressor = Compressor::new(algo).with_threads(2);
+            let stream = compressor.compress_f64(&values);
+            let restored = compressor.decompress_f64(&stream).unwrap();
+            prop_assert_eq!(values.len(), restored.len());
+            for (a, b) in values.iter().zip(&restored) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_roundtrip_any_algorithm(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        for algo in Algorithm::ALL {
+            let compressor = Compressor::new(algo).with_threads(1);
+            let stream = compressor.compress_bytes(&data);
+            prop_assert_eq!(&compressor.decompress_bytes(&stream).unwrap(), &data);
+        }
+    }
+
+    #[test]
+    fn gpu_equals_cpu_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+        for algo in Algorithm::ALL {
+            let cpu = Compressor::new(algo).with_threads(1).compress_bytes(&data);
+            let gpu = GpuCompressor::new(algo).with_threads(1).compress_bytes(&data);
+            prop_assert_eq!(cpu, gpu);
+        }
+    }
+
+    #[test]
+    fn expansion_is_bounded(data in prop::collection::vec(any::<u8>(), 0..60_000)) {
+        // Worst-case expansion cap: header + chunk table + raw chunks,
+        // amortized < 0.1% + constant.
+        for algo in Algorithm::ALL {
+            let stream = Compressor::new(algo).with_threads(1).compress_bytes(&data);
+            let chunks = data.len().div_ceil(16 * 1024).max(1);
+            // DPratio's FCM doubles the payload but halves back after RZE of
+            // zeros; bound generously while staying linear.
+            let bound = data.len() + data.len() / 4 + chunks * 8 + 64;
+            prop_assert!(stream.len() <= bound,
+                "{}: {} -> {} exceeds bound {}", algo, data.len(), stream.len(), bound);
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_arbitrary_doubles(values in prop::collection::vec(any::<u64>(), 0..1500)) {
+        use fpcompress::baselines::{roster, Meta};
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let meta = Meta::f64_flat(values.len());
+        for codec in roster() {
+            if !codec.datatype().supports_width(8) {
+                continue;
+            }
+            let stream = codec.compress(&bytes, &meta);
+            let restored = codec.decompress(&stream, &meta).unwrap();
+            prop_assert_eq!(&restored, &bytes, "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn transform_stack_preserves_word_multiset_sizes(words in prop::collection::vec(any::<u32>(), 0..2000)) {
+        // DIFFMS and BIT are bijections on the word vector (same length,
+        // reversible); RZE conserves the byte count through a roundtrip.
+        use fpcompress::transforms::{bit_transpose, diffms, rze};
+        let mut w = words.clone();
+        diffms::encode32(&mut w);
+        bit_transpose::transpose32(&mut w);
+        prop_assert_eq!(w.len(), words.len());
+        bit_transpose::transpose32(&mut w);
+        diffms::decode32(&mut w);
+        prop_assert_eq!(&w, &words);
+
+        let bytes: Vec<u8> = words.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let mut enc = Vec::new();
+        rze::encode(&bytes, &mut enc);
+        let mut pos = 0;
+        let mut dec = Vec::new();
+        rze::decode(&enc, &mut pos, bytes.len(), &mut dec).unwrap();
+        prop_assert_eq!(&dec, &bytes);
+    }
+}

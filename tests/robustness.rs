@@ -1,0 +1,108 @@
+//! Failure-injection tests: decoders must reject (never panic on, never
+//! silently mis-decode past) corrupted and truncated streams.
+
+use fpcompress::core::{Algorithm, Compressor};
+
+fn sample_stream(algo: Algorithm) -> (Vec<u8>, Vec<u8>) {
+    let bytes: Vec<u8> = match algo.element_width() {
+        4 => (0..30_000)
+            .flat_map(|i| ((i as f32 * 1e-3).sin()).to_bits().to_le_bytes().to_vec())
+            .collect(),
+        _ => (0..20_000)
+            .flat_map(|i| ((i as f64 * 1e-3).cos()).to_bits().to_le_bytes().to_vec())
+            .collect(),
+    };
+    let stream = Compressor::new(algo).compress_bytes(&bytes);
+    (bytes, stream)
+}
+
+#[test]
+fn truncation_at_every_region_errors() {
+    for algo in Algorithm::ALL {
+        let (_, stream) = sample_stream(algo);
+        // Cut in the header, the chunk table, and the payload.
+        for cut in [1usize, 8, 20, 30, stream.len() / 4, stream.len() / 2, stream.len() - 1] {
+            let truncated = &stream[..stream.len() - cut];
+            assert!(
+                fpcompress::core::decompress_bytes(truncated).is_err(),
+                "{algo}: truncation by {cut} accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_never_panic_and_never_lie_about_length() {
+    for algo in Algorithm::ALL {
+        let (bytes, stream) = sample_stream(algo);
+        let step = (stream.len() / 200).max(1);
+        for pos in (0..stream.len()).step_by(step) {
+            for bit in [0u8, 4] {
+                let mut bad = stream.clone();
+                bad[pos] ^= 1 << bit;
+                // A flip the format cannot detect may decode to garbage,
+                // but the produced length must still be the original's
+                // (otherwise the container validation has a hole).
+                if let Ok(out) = fpcompress::core::decompress_bytes(&bad) {
+                    assert_eq!(
+                        out.len(),
+                        bytes.len(),
+                        "{algo}: flip at {pos} changed output length"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn foreign_and_garbage_inputs_rejected() {
+    assert!(fpcompress::core::decompress_bytes(&[]).is_err());
+    assert!(fpcompress::core::decompress_bytes(b"not a stream at all").is_err());
+    // Valid magic, unsupported version.
+    let mut fake = b"FPCR".to_vec();
+    fake.push(200);
+    fake.extend_from_slice(&[0u8; 64]);
+    assert!(fpcompress::core::decompress_bytes(&fake).is_err());
+    // Valid header claiming an unknown algorithm.
+    let (_, mut stream) = sample_stream(Algorithm::SpSpeed);
+    stream[5] = 99;
+    assert!(matches!(
+        fpcompress::core::decompress_bytes(&stream),
+        Err(fpcompress::core::Error::UnknownAlgorithm(99))
+    ));
+}
+
+#[test]
+fn chunk_table_lies_are_caught() {
+    let (_, stream) = sample_stream(Algorithm::SpSpeed);
+    // Chunk count lives right after the 28-byte header; corrupt it.
+    let mut bad = stream.clone();
+    bad[28] = bad[28].wrapping_add(1);
+    assert!(fpcompress::core::decompress_bytes(&bad).is_err());
+    // Inflate the first chunk size: total length check must fire.
+    let mut bad = stream.clone();
+    bad[32] = bad[32].wrapping_add(5);
+    assert!(fpcompress::core::decompress_bytes(&bad).is_err());
+}
+
+#[test]
+fn baseline_decoders_survive_corruption() {
+    use fpcompress::baselines::{roster, Meta};
+    let bytes: Vec<u8> =
+        (0..10_000).flat_map(|i| ((i as f64).ln_1p()).to_bits().to_le_bytes()).collect();
+    let meta = Meta::f64_flat(10_000);
+    for codec in roster() {
+        if !codec.datatype().supports_width(8) {
+            continue;
+        }
+        let stream = codec.compress(&bytes, &meta);
+        let step = (stream.len() / 50).max(1);
+        for pos in (0..stream.len()).step_by(step) {
+            let mut bad = stream.clone();
+            bad[pos] ^= 0xFF;
+            // Must not panic; error or garbage both acceptable.
+            let _ = codec.decompress(&bad, &meta);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end roundtrip tests: every algorithm, every synthetic dataset
+//! suite, both device paths.
+
+use fpcompress::core::{Algorithm, Compressor};
+use fpcompress::datagen::{double_precision_suites, single_precision_suites, Scale};
+use fpcompress::gpu::GpuCompressor;
+
+#[test]
+fn sp_algorithms_roundtrip_every_suite() {
+    let suites = single_precision_suites(Scale::Small);
+    for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+        let compressor = Compressor::new(algo);
+        for suite in &suites {
+            for file in &suite.files {
+                let stream = compressor.compress_f32(&file.values);
+                let restored = compressor.decompress_f32(&stream).unwrap();
+                let ok = file
+                    .values
+                    .iter()
+                    .zip(&restored)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(ok, "{algo} corrupted {}", file.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn dp_algorithms_roundtrip_every_suite() {
+    let suites = double_precision_suites(Scale::Small);
+    for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+        let compressor = Compressor::new(algo);
+        for suite in &suites {
+            for file in &suite.files {
+                let stream = compressor.compress_f64(&file.values);
+                let restored = compressor.decompress_f64(&stream).unwrap();
+                let ok = file
+                    .values
+                    .iter()
+                    .zip(&restored)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(ok, "{algo} corrupted {}", file.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_ratios_match_paper_shape() {
+    // The qualitative results the paper's conclusions rest on, checked on
+    // the synthetic suites:
+    //   1. ratio variants compress more than speed variants;
+    //   2. every algorithm achieves ratio > 1 on smooth data overall.
+    let sp = single_precision_suites(Scale::Small);
+    let mut speed_total = 0usize;
+    let mut ratio_total = 0usize;
+    let mut raw_total = 0usize;
+    for suite in &sp {
+        for file in &suite.files {
+            raw_total += file.values.len() * 4;
+            speed_total += Compressor::new(Algorithm::SpSpeed).compress_f32(&file.values).len();
+            ratio_total += Compressor::new(Algorithm::SpRatio).compress_f32(&file.values).len();
+        }
+    }
+    assert!(ratio_total < speed_total, "SPratio ({ratio_total}) must beat SPspeed ({speed_total})");
+    assert!(speed_total < raw_total, "SPspeed must compress overall");
+
+    let dp = double_precision_suites(Scale::Small);
+    let mut speed_total = 0usize;
+    let mut ratio_total = 0usize;
+    for suite in &dp {
+        for file in &suite.files {
+            speed_total += Compressor::new(Algorithm::DpSpeed).compress_f64(&file.values).len();
+            ratio_total += Compressor::new(Algorithm::DpRatio).compress_f64(&file.values).len();
+        }
+    }
+    assert!(ratio_total < speed_total, "DPratio ({ratio_total}) must beat DPspeed ({speed_total})");
+}
+
+#[test]
+fn gpu_path_roundtrips_all_suites() {
+    let sp = single_precision_suites(Scale::Small);
+    for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
+        let gpu = GpuCompressor::new(algo);
+        // One file per suite keeps this fast while covering all profiles.
+        for suite in &sp {
+            let file = &suite.files[0];
+            let stream = gpu.compress_f32(&file.values);
+            let restored = gpu.decompress_f32(&stream).unwrap();
+            let ok =
+                file.values.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(ok, "{algo} GPU path corrupted {}", file.name);
+        }
+    }
+    let dp = double_precision_suites(Scale::Small);
+    for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+        let gpu = GpuCompressor::new(algo);
+        for suite in &dp {
+            let file = &suite.files[0];
+            let stream = gpu.compress_f64(&file.values);
+            let restored = gpu.decompress_f64(&stream).unwrap();
+            let ok =
+                file.values.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(ok, "{algo} GPU path corrupted {}", file.name);
+        }
+    }
+}
+
+#[test]
+fn baselines_roundtrip_one_file_per_suite() {
+    use fpcompress::baselines::{roster, Meta};
+    let dp = double_precision_suites(Scale::Small);
+    for codec in roster() {
+        if !codec.datatype().supports_width(8) {
+            continue;
+        }
+        for suite in &dp {
+            let file = &suite.files[0];
+            let bytes: Vec<u8> =
+                file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+            let meta = Meta::f64_flat(file.values.len());
+            let stream = codec.compress(&bytes, &meta);
+            let restored = codec.decompress(&stream, &meta).unwrap();
+            assert_eq!(restored, bytes, "{} corrupted {}", codec.name(), file.name);
+        }
+    }
+}

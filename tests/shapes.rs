@@ -1,0 +1,166 @@
+//! Paper-shape regression tests: the qualitative results of the paper's
+//! evaluation (§5), asserted on the quick-scale suites so EXPERIMENTS.md's
+//! reproduced claims cannot silently regress.
+//!
+//! These compare *ratios* (always real) and modeled GPU throughput; they do
+//! not time CPU codecs (wall-clock shape is asserted separately in the
+//! harness, not in unit CI).
+
+use fpc_bench::entries::{entries_for, Entry};
+use fpc_bench::figures::{run_panel, suites_for, Precision, Target};
+use fpc_bench::measure::{measure_gpu_modeled, Config};
+use fpc_bench::pareto::{front_names, Point};
+use fpc_datagen::Scale;
+use fpc_gpu_sim::DeviceProfile;
+
+fn quick_config() -> Config {
+    Config { repetitions: 1, verify: true }
+}
+
+fn ratio_of(entries: &[fpc_bench::measure::CodecResult], name: &str) -> f64 {
+    entries
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("codec {name} missing from panel"))
+        .ratio
+}
+
+#[test]
+fn dp_gpu_panel_reproduces_paper_shape() {
+    // Claims 1, 7, 8 of EXPERIMENTS.md on the DP GPU panel.
+    let suites = suites_for(Precision::Dp, Scale::Small);
+    let target = Target::GpuModeled(DeviceProfile::rtx4090());
+    let panel = run_panel(Precision::Dp, &target, &suites, &quick_config());
+
+    // Claim 1: DPratio compresses more than DPspeed.
+    assert!(ratio_of(&panel, "DPratio") > ratio_of(&panel, "DPspeed"));
+
+    // Claim 8: DPratio has the highest ratio of the float-targeted GPU
+    // codecs (at quick scale the general-purpose ZSTD-gpu can edge it —
+    // FCM's match rate grows with input size; the full-scale harness run
+    // recorded in EXPERIMENTS.md has DPratio top overall).
+    let dpr_ratio = ratio_of(&panel, "DPratio");
+    for name in ["DPspeed", "GFC", "MPC", "ndzip", "Bitcomp", "Bitcomp-sparse", "ANS", "Cascaded"] {
+        assert!(
+            dpr_ratio > ratio_of(&panel, name),
+            "DPratio {dpr_ratio} must beat {name} ({})",
+            ratio_of(&panel, name)
+        );
+    }
+
+    // Claim 8: and it is on the decompression Pareto front (fig15 — robust
+    // at quick scale too; the compression front additionally depends on the
+    // scale-sensitive ZSTD-gpu ratio, asserted only at full scale).
+    let points: Vec<Point> = panel
+        .iter()
+        .map(|r| Point { name: r.name.clone(), throughput: r.decompress_gbps, ratio: r.ratio })
+        .collect();
+    assert!(front_names(&points).contains(&"DPratio".to_string()));
+
+    // Claim 7: sort-bound compression, fast decompression.
+    let dpr = panel.iter().find(|r| r.name == "DPratio").expect("DPratio");
+    assert!(dpr.decompress_gbps > dpr.compress_gbps * 5.0);
+}
+
+#[test]
+fn sp_ratio_beats_sp_speed_everywhere() {
+    // Claim 1 per-suite (not just in aggregate).
+    use fpc_core::{Algorithm, Compressor};
+    let suites = suites_for(Precision::Sp, Scale::Small);
+    let speed = Compressor::new(Algorithm::SpSpeed);
+    let ratio = Compressor::new(Algorithm::SpRatio);
+    for suite in &suites {
+        let mut speed_total = 0usize;
+        let mut ratio_total = 0usize;
+        for (_, bytes, _) in &suite.files {
+            speed_total += speed.compress_bytes(bytes).len();
+            ratio_total += ratio.compress_bytes(bytes).len();
+        }
+        // Allow 0.5% slack: near-incompressible suites (MD particle data)
+        // end in raw-fallback ties where framing noise decides the order.
+        assert!(
+            ratio_total <= speed_total + speed_total / 200,
+            "{}: SPratio {ratio_total} vs SPspeed {speed_total}",
+            suite.domain
+        );
+    }
+}
+
+#[test]
+fn fcm_beats_windowed_lz_on_far_apart_resends() {
+    // §5.2's explanation for DPratio's ratio lead, checked directly on the
+    // message-trace suite: template resends recur beyond LZ's 64 KiB
+    // window, which FCM's global sort-based matching catches.
+    use fpc_baselines::{Codec, Meta};
+    use fpc_core::{Algorithm, Compressor};
+    let suites = suites_for(Precision::Dp, Scale::Small);
+    let msg = suites.iter().find(|s| s.domain.contains("message")).expect("message suite");
+    let zstd = fpc_baselines::zstd_like::ZstdLike::best();
+    for (name, bytes, meta) in &msg.files {
+        let dpr = Compressor::new(Algorithm::DpRatio).compress_bytes(bytes).len();
+        let lz = zstd.compress(bytes, meta).len();
+        assert!(dpr < lz, "{name}: DPratio {dpr} should beat ZSTD-best {lz}");
+    }
+}
+
+#[test]
+fn modeled_gpu_claims() {
+    // Claims 2 and 9: headline throughput and the A100/Bitcomp anomaly.
+    let rtx = DeviceProfile::rtx4090();
+    let a100 = DeviceProfile::a100();
+    use fpc_gpu_sim::Direction;
+    assert!(rtx.modeled_gbps("SPspeed", Direction::Compress).expect("modeled") > 500.0);
+    for codec in ["SPspeed", "SPratio", "DPspeed", "DPratio", "GFC", "MPC", "ndzip"] {
+        let on_rtx = rtx.modeled_gbps(codec, Direction::Compress);
+        let on_a100 = a100.modeled_gbps(codec, Direction::Compress);
+        match (on_rtx, on_a100) {
+            (Some(fast), Some(slow)) => assert!(fast > slow, "{codec}"),
+            _ => panic!("{codec} should have a GPU model"),
+        }
+    }
+    assert!(
+        a100.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled")
+            > rtx.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled"),
+        "Bitcomp is the paper's A100 exception"
+    );
+}
+
+#[test]
+fn cpu_only_codecs_stay_out_of_gpu_panels() {
+    let suites = suites_for(Precision::Sp, Scale::Small);
+    let profile = DeviceProfile::rtx4090();
+    // Every entry eligible for a GPU figure must have a model; every
+    // CPU-only comparator must be filtered out before modeling.
+    for entry in entries_for(true, 4) {
+        let result = measure_gpu_modeled(&entry, &suites[..1], &profile, &quick_config());
+        assert!(result.is_some(), "{} in GPU panel but unmodeled", entry.name);
+    }
+    let cpu_entries: Vec<Entry> = entries_for(false, 4);
+    let names: Vec<&str> = cpu_entries.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"Gzip-best"));
+    assert!(!names.contains(&"Bitcomp"));
+}
+
+#[test]
+fn adaptive_split_beats_fixed_splits() {
+    // The RAZE/RARE ablation's headline: adaptivity is essential.
+    use fpc_core::{Algorithm, Compressor, PipelineOptions};
+    let suites = suites_for(Precision::Dp, Scale::Small);
+    let adaptive = Compressor::new(Algorithm::DpRatio);
+    for kb in [2u8, 4] {
+        let fixed = Compressor::new(Algorithm::DpRatio)
+            .with_options(PipelineOptions { fixed_split: Some(kb), ..PipelineOptions::default() });
+        let mut adaptive_total = 0usize;
+        let mut fixed_total = 0usize;
+        for suite in &suites {
+            for (_, bytes, _) in &suite.files {
+                adaptive_total += adaptive.compress_bytes(bytes).len();
+                fixed_total += fixed.compress_bytes(bytes).len();
+            }
+        }
+        assert!(
+            adaptive_total < fixed_total,
+            "adaptive {adaptive_total} vs fixed k={kb}: {fixed_total}"
+        );
+    }
+}
