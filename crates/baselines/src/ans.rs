@@ -51,9 +51,11 @@ impl Codec for Ans {
         let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
         while out.len() < total {
             let len = varint::read_usize(data, &mut pos)?;
-            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("ans block overflow"))?;
+            let end = pos
+                .checked_add(len)
+                .ok_or(DecodeError::Corrupt("ans block overflow"))?;
             let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
-            let block = rans::decompress(body)?;
+            let block = rans::decompress(body, BLOCK)?;
             if block.len() > total - out.len() {
                 return Err(DecodeError::Corrupt("ans block overruns output"));
             }
@@ -95,7 +97,10 @@ mod tests {
     fn skewed_floats_compress_somewhat() {
         // Float bytes are skewed (exponents repeat); ANS exploits that.
         let values: Vec<f32> = (0..30_000).map(|i| 1.0 + (i as f32) * 1e-6).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let size = roundtrip(&data);
         assert!(size < data.len(), "got {size}");
     }

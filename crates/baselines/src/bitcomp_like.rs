@@ -55,7 +55,11 @@ fn sign_extend(v: u64, width_bits: u32) -> u64 {
 fn encode_words(words: &[u64], width_bits: u32, sparse: bool, out: &mut Vec<u8>) {
     // Delta (modulo the element width) + zigzag; the zigzagged delta fits
     // back into `width_bits` bits.
-    let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+    let mask = if width_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width_bits) - 1
+    };
     let mut deltas = Vec::with_capacity(words.len());
     let mut prev = 0u64;
     for &w in words {
@@ -98,8 +102,13 @@ fn decode_words(
     let (packed_count, bitmap) = if sparse {
         let kept = varint::read_usize(data, pos)?;
         let bm_len = count.div_ceil(8);
-        let bm_end = pos.checked_add(bm_len).ok_or(DecodeError::Corrupt("bitcomp bitmap overflow"))?;
-        let bm = data.get(*pos..bm_end).ok_or(DecodeError::UnexpectedEof)?.to_vec();
+        let bm_end = pos
+            .checked_add(bm_len)
+            .ok_or(DecodeError::Corrupt("bitcomp bitmap overflow"))?;
+        let bm = data
+            .get(*pos..bm_end)
+            .ok_or(DecodeError::UnexpectedEof)?
+            .to_vec();
         *pos = bm_end;
         (kept, Some(bm))
     } else {
@@ -115,7 +124,9 @@ fn decode_words(
             return Err(DecodeError::Corrupt("bitcomp width exceeds 64"));
         }
         let nbytes = bitpack::packed_len(n, width);
-        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("bitcomp pack overflow"))?;
+        let end = pos
+            .checked_add(nbytes)
+            .ok_or(DecodeError::Corrupt("bitcomp pack overflow"))?;
         let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
         bitpack::unpack_u64(body, width, n, &mut packed)?;
         *pos = end;
@@ -127,7 +138,10 @@ fn decode_words(
             let mut deltas = Vec::with_capacity(fpc_entropy::prealloc_limit(count));
             for i in 0..count {
                 if bm[i / 8] & (1 << (i % 8)) != 0 {
-                    deltas.push(it.next().ok_or(DecodeError::Corrupt("bitcomp bitmap overrun"))?);
+                    deltas.push(
+                        it.next()
+                            .ok_or(DecodeError::Corrupt("bitcomp bitmap overrun"))?,
+                    );
                 } else {
                     deltas.push(0);
                 }
@@ -136,7 +150,11 @@ fn decode_words(
         }
         None => packed,
     };
-    let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+    let mask = if width_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width_bits) - 1
+    };
     let mut prev = 0u64;
     out.reserve(count);
     for d in deltas {
@@ -198,7 +216,9 @@ impl Codec for BitcompLike {
         for w in words {
             out.extend_from_slice(&w.to_le_bytes()[..width]);
         }
-        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        let tail = data
+            .get(pos..pos + tail_len)
+            .ok_or(DecodeError::UnexpectedEof)?;
         out.extend_from_slice(tail);
         Ok(out)
     }
@@ -209,8 +229,15 @@ mod tests {
     use super::*;
 
     fn roundtrip(values: &[f32], sparse: bool) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
-        let bc = if sparse { BitcompLike::sparse() } else { BitcompLike::new() };
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        let bc = if sparse {
+            BitcompLike::sparse()
+        } else {
+            BitcompLike::new()
+        };
         let meta = Meta::f32_flat(values.len());
         let c = bc.compress(&data, &meta);
         assert_eq!(bc.decompress(&c, &meta).unwrap(), data, "sparse={sparse}");
@@ -246,7 +273,10 @@ mod tests {
     #[test]
     fn f64_path() {
         let values: Vec<f64> = (0..20_000).map(|i| (i as f64).sqrt()).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let bc = BitcompLike::new();
         let meta = Meta::f64_flat(values.len());
         let c = bc.compress(&data, &meta);
@@ -264,7 +294,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let bc = BitcompLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = bc.compress(&data, &meta);

@@ -21,17 +21,26 @@ pub struct Bzip2Like {
 impl Bzip2Like {
     /// Default configuration (single roster entry, 128 KiB blocks).
     pub fn new() -> Self {
-        Self { name: "Bzip2", block: BLOCK }
+        Self {
+            name: "Bzip2",
+            block: BLOCK,
+        }
     }
 
     /// Smallest block size (bzip2 `-1` equivalent): faster, worse ratio.
     pub fn fast() -> Self {
-        Self { name: "Bzip2-fast", block: 32 * 1024 }
+        Self {
+            name: "Bzip2-fast",
+            block: 32 * 1024,
+        }
     }
 
     /// Largest block size evaluated (bzip2 `-9` spirit): slower, best ratio.
     pub fn best() -> Self {
-        Self { name: "Bzip2-best", block: 256 * 1024 }
+        Self {
+            name: "Bzip2-best",
+            block: 256 * 1024,
+        }
     }
 }
 
@@ -76,13 +85,18 @@ impl Codec for Bzip2Like {
         while out.len() < total {
             let primary_index = varint::read_usize(data, &mut pos)?;
             let len = varint::read_usize(data, &mut pos)?;
-            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("bzip2 block overflow"))?;
+            let end = pos
+                .checked_add(len)
+                .ok_or(DecodeError::Corrupt("bzip2 block overflow"))?;
             let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
             pos = end;
             let mtf = huffman::decompress_bytes(body)?;
             let last_column = bwt::mtf_inverse(&mtf);
-            let rle1 = bwt::inverse(&bwt::Bwt { last_column, primary_index })?;
-            let block = rle::decompress_bytes(&rle1)?;
+            let rle1 = bwt::inverse(&bwt::Bwt {
+                last_column,
+                primary_index,
+            })?;
+            let block = rle::decompress_bytes(&rle1, self.block)?;
             if block.is_empty() || block.len() > total - out.len() {
                 return Err(DecodeError::Corrupt("bzip2 block size invalid"));
             }
@@ -140,10 +154,20 @@ mod tests {
         let mut sizes = Vec::new();
         for codec in [Bzip2Like::fast(), Bzip2Like::best()] {
             let c = codec.compress(&data, &meta);
-            assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+            assert_eq!(
+                codec.decompress(&c, &meta).unwrap(),
+                data,
+                "{}",
+                codec.name()
+            );
             sizes.push(c.len());
         }
-        assert!(sizes[1] <= sizes[0], "best {} vs fast {}", sizes[1], sizes[0]);
+        assert!(
+            sizes[1] <= sizes[0],
+            "best {} vs fast {}",
+            sizes[1],
+            sizes[0]
+        );
     }
 
     #[test]

@@ -45,7 +45,9 @@ fn unpack_array(data: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
         return Err(DecodeError::Corrupt("cascaded width exceeds 64"));
     }
     let nbytes = bitpack::packed_len(count, width);
-    let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("cascaded pack overflow"))?;
+    let end = pos
+        .checked_add(nbytes)
+        .ok_or(DecodeError::Corrupt("cascaded pack overflow"))?;
     let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
     let mut values = Vec::with_capacity(count);
     bitpack::unpack_u64(body, width, count, &mut values)?;
@@ -84,7 +86,11 @@ impl Codec for Cascaded {
         // Delta+zigzag the run values (consecutive distinct values drift);
         // the delta is taken modulo the element width so it re-packs tightly.
         let width_bits = width as u32 * 8;
-        let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+        let mask = if width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width_bits) - 1
+        };
         let shift = 64 - width_bits;
         let mut deltas = Vec::with_capacity(runs.len());
         let mut prev = 0u64;
@@ -115,16 +121,22 @@ impl Codec for Cascaded {
             return Err(DecodeError::Corrupt("cascaded array length mismatch"));
         }
         let width_bits = width as u32 * 8;
-        let mask = if width_bits == 64 { u64::MAX } else { (1u64 << width_bits) - 1 };
+        let mask = if width_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width_bits) - 1
+        };
         let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
         let mut prev = 0u64;
         let mut produced = 0usize;
         for (d, l) in deltas.into_iter().zip(lengths) {
             let v = prev.wrapping_add(unzigzag64(d)) & mask;
             prev = v;
-            let run = usize::try_from(l).map_err(|_| DecodeError::Corrupt("cascaded run overflow"))?
-                + 1;
-            produced = produced.checked_add(run).ok_or(DecodeError::Corrupt("cascaded overflow"))?;
+            let run =
+                usize::try_from(l).map_err(|_| DecodeError::Corrupt("cascaded run overflow"))? + 1;
+            produced = produced
+                .checked_add(run)
+                .ok_or(DecodeError::Corrupt("cascaded overflow"))?;
             if produced > n {
                 return Err(DecodeError::Corrupt("cascaded runs overrun output"));
             }
@@ -135,7 +147,9 @@ impl Codec for Cascaded {
         if produced != n {
             return Err(DecodeError::Corrupt("cascaded runs underrun output"));
         }
-        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        let tail = data
+            .get(pos..pos + tail_len)
+            .ok_or(DecodeError::UnexpectedEof)?;
         out.extend_from_slice(tail);
         Ok(out)
     }
@@ -146,7 +160,10 @@ mod tests {
     use super::*;
 
     fn roundtrip(values: &[f64]) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let c = Cascaded::new();
         let meta = Meta::f64_flat(values.len());
         let stream = c.compress(&data, &meta);
@@ -186,7 +203,10 @@ mod tests {
     #[test]
     fn corrupt_run_rejected() {
         let values = vec![3.0f64; 100];
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let c = Cascaded::new();
         let meta = Meta::f64_flat(values.len());
         let stream = c.compress(&data, &meta);

@@ -27,17 +27,32 @@ pub struct DeflateLike {
 impl DeflateLike {
     /// gzip at its fastest level.
     pub fn gzip_fast() -> Self {
-        Self { name: "Gzip-fast", block: 128 * 1024, effort: Effort::Fast, device: Device::Cpu }
+        Self {
+            name: "Gzip-fast",
+            block: 128 * 1024,
+            effort: Effort::Fast,
+            device: Device::Cpu,
+        }
     }
 
     /// gzip at its best-compressing level.
     pub fn gzip_best() -> Self {
-        Self { name: "Gzip-best", block: 128 * 1024, effort: Effort::Thorough, device: Device::Cpu }
+        Self {
+            name: "Gzip-best",
+            block: 128 * 1024,
+            effort: Effort::Thorough,
+            device: Device::Cpu,
+        }
     }
 
     /// nvCOMP GDeflate (independent 64 KiB tiles).
     pub fn gdeflate() -> Self {
-        Self { name: "Gdeflate", block: 64 * 1024, effort: Effort::Thorough, device: Device::Gpu }
+        Self {
+            name: "Gdeflate",
+            block: 64 * 1024,
+            effort: Effort::Thorough,
+            device: Device::Gpu,
+        }
     }
 }
 
@@ -99,12 +114,21 @@ fn encode_block(block: &[u8], effort: Effort, out: &mut Vec<u8>) {
     w.finish_into(out);
 }
 
-fn decode_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<()> {
+fn decode_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>, max_raw: usize) -> Result<()> {
     let raw_len = varint::read_usize(data, pos)?;
+    if raw_len > max_raw {
+        // The encoder never emits blocks above the configured block size;
+        // a larger claim is a decompression bomb, not a valid stream.
+        return Err(DecodeError::Corrupt(
+            "deflate block length exceeds block size",
+        ));
+    }
     let lit_book = CodeBook::read_header(data, pos)?;
     let dist_book = CodeBook::read_header(data, pos)?;
     let payload_len = varint::read_usize(data, pos)?;
-    let end = pos.checked_add(payload_len).ok_or(DecodeError::Corrupt("deflate payload overflow"))?;
+    let end = pos
+        .checked_add(payload_len)
+        .ok_or(DecodeError::Corrupt("deflate payload overflow"))?;
     let payload = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
     *pos = end;
     let lit_dec = Decoder::new(&lit_book);
@@ -169,7 +193,7 @@ impl Codec for DeflateLike {
         let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
         while out.len() < total {
             let before = out.len();
-            decode_block(data, &mut pos, &mut out)?;
+            decode_block(data, &mut pos, &mut out, self.block)?;
             if out.len() == before {
                 return Err(DecodeError::Corrupt("deflate empty block"));
             }
@@ -188,14 +212,23 @@ mod tests {
     fn roundtrip(data: &[u8], codec: &DeflateLike) -> usize {
         let meta = Meta::f32_flat(0);
         let c = codec.compress(data, &meta);
-        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        assert_eq!(
+            codec.decompress(&c, &meta).unwrap(),
+            data,
+            "{}",
+            codec.name()
+        );
         c.len()
     }
 
     #[test]
     fn text_roundtrips_all_modes() {
         let data = b"it was the best of times, it was the worst of times ".repeat(2000);
-        for codec in [DeflateLike::gzip_fast(), DeflateLike::gzip_best(), DeflateLike::gdeflate()] {
+        for codec in [
+            DeflateLike::gzip_fast(),
+            DeflateLike::gzip_best(),
+            DeflateLike::gdeflate(),
+        ] {
             let size = roundtrip(&data, &codec);
             assert!(size < data.len() / 5, "{}: {size}", codec.name());
         }
@@ -214,8 +247,9 @@ mod tests {
     #[test]
     fn empty_and_incompressible() {
         roundtrip(&[], &DeflateLike::gzip_fast());
-        let noise: Vec<u8> =
-            (0..50_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as u8).collect();
+        let noise: Vec<u8> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as u8)
+            .collect();
         roundtrip(&noise, &DeflateLike::gzip_best());
     }
 

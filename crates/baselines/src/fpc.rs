@@ -21,7 +21,9 @@ pub struct Fpc {
 impl Fpc {
     /// FPC at the default table size (2^16 entries per predictor).
     pub fn new() -> Self {
-        Self { table_bits: DEFAULT_LEVEL }
+        Self {
+            table_bits: DEFAULT_LEVEL,
+        }
     }
 
     /// FPC with `bits`-bit predictor tables (the original's level flag).
@@ -66,7 +68,10 @@ impl Predictors {
     /// Returns (fcm_prediction, dfcm_prediction) for the next value.
     #[inline]
     fn predict(&self) -> (u64, u64) {
-        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
     }
 
     /// Updates tables and hashes with the actual value.
@@ -113,8 +118,11 @@ pub(crate) fn encode_words(words: &[u64], table_bits: u32, out: &mut Vec<u8>) {
         let (fcm_p, dfcm_p) = pred.predict();
         let r_fcm = v ^ fcm_p;
         let r_dfcm = v ^ dfcm_p;
-        let (selector, residual) =
-            if r_fcm <= r_dfcm { (0u8, r_fcm) } else { (1u8, r_dfcm) };
+        let (selector, residual) = if r_fcm <= r_dfcm {
+            (0u8, r_fcm)
+        } else {
+            (1u8, r_dfcm)
+        };
         let lzb = residual.leading_zeros() / 8;
         let code = lzb_to_code(lzb);
         let emit_bytes = 8 - code_to_lzb(code) as usize;
@@ -147,8 +155,9 @@ pub(crate) fn decode_words(
 ) -> Result<()> {
     let residual_len = varint::read_usize(data, pos)?;
     let header_len = count.div_ceil(2);
-    let headers_end =
-        pos.checked_add(header_len).ok_or(DecodeError::Corrupt("fpc header overflow"))?;
+    let headers_end = pos
+        .checked_add(header_len)
+        .ok_or(DecodeError::Corrupt("fpc header overflow"))?;
     let residuals_end = headers_end
         .checked_add(residual_len)
         .ok_or(DecodeError::Corrupt("fpc residual overflow"))?;
@@ -225,7 +234,9 @@ impl Codec for Fpc {
         for w in words {
             out.extend_from_slice(&w.to_le_bytes());
         }
-        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        let tail = data
+            .get(pos..pos + tail_len)
+            .ok_or(DecodeError::UnexpectedEof)?;
         out.extend_from_slice(tail);
         Ok(out)
     }
@@ -236,7 +247,10 @@ mod tests {
     use super::*;
 
     fn bytes_of(values: &[f64]) -> Vec<u8> {
-        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+        values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect()
     }
 
     fn roundtrip(data: &[u8]) -> usize {
@@ -276,8 +290,9 @@ mod tests {
 
     #[test]
     fn random_doubles_roundtrip() {
-        let values: Vec<u64> =
-            (0..5_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let values: Vec<u64> = (0..5_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         roundtrip(&data);
     }

@@ -171,15 +171,19 @@ fn decode_residuals(data: &[u8], pos: &mut usize, count: usize) -> Result<Vec<u6
     while remaining > 0 {
         let n = remaining.min(BLOCK_VALUES);
         let len = varint::read_usize(data, pos)?;
-        let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("fpzip syms overflow"))?;
+        let end = pos
+            .checked_add(len)
+            .ok_or(DecodeError::Corrupt("fpzip syms overflow"))?;
         let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
         *pos = end;
-        let syms = rans::decompress(body)?;
+        let syms = rans::decompress(body, n)?;
         if syms.len() != n {
             return Err(DecodeError::Corrupt("fpzip symbol count mismatch"));
         }
         let elen = varint::read_usize(data, pos)?;
-        let eend = pos.checked_add(elen).ok_or(DecodeError::Corrupt("fpzip extras overflow"))?;
+        let eend = pos
+            .checked_add(elen)
+            .ok_or(DecodeError::Corrupt("fpzip extras overflow"))?;
         let extra_bytes = data.get(*pos..eend).ok_or(DecodeError::UnexpectedEof)?;
         *pos = eend;
         let mut extras = BitReader::new(extra_bytes);
@@ -228,7 +232,11 @@ impl Codec for FpzipLike {
                 })
                 .collect()
         };
-        let dims = if meta.len() == n { meta.dims } else { [1, 1, n] };
+        let dims = if meta.len() == n {
+            meta.dims
+        } else {
+            [1, 1, n]
+        };
         let residuals = residuals_forward(&words, dims);
         let mut out = Vec::with_capacity(data.len() / 2 + 16);
         varint::write_usize(&mut out, data.len());
@@ -244,7 +252,11 @@ impl Codec for FpzipLike {
         let n = total / width;
         let tail_len = total % width;
         let residuals = decode_residuals(data, &mut pos, n)?;
-        let dims = if meta.len() == n { meta.dims } else { [1, 1, n] };
+        let dims = if meta.len() == n {
+            meta.dims
+        } else {
+            [1, 1, n]
+        };
         let words = residuals_inverse(&residuals, dims);
         let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
         if width == 8 {
@@ -256,7 +268,9 @@ impl Codec for FpzipLike {
                 out.extend_from_slice(&unmap32(w as u32).to_le_bytes());
             }
         }
-        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        let tail = data
+            .get(pos..pos + tail_len)
+            .ok_or(DecodeError::UnexpectedEof)?;
         out.extend_from_slice(tail);
         Ok(out)
     }
@@ -267,7 +281,10 @@ mod tests {
     use super::*;
 
     fn roundtrip_f32(values: &[f32], meta: &Meta) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let f = FpzipLike::new();
         let c = f.compress(&data, meta);
         assert_eq!(f.decompress(&c, meta).unwrap(), data);
@@ -311,8 +328,13 @@ mod tests {
         let values: Vec<f32> = (0..r * c)
             .map(|i| ((i / c) as f32 * 0.05).sin() + ((i % c) as f32 * 0.03).cos())
             .collect();
-        let with_dims =
-            roundtrip_f32(&values, &Meta { element_width: 4, dims: [1, r, c] });
+        let with_dims = roundtrip_f32(
+            &values,
+            &Meta {
+                element_width: 4,
+                dims: [1, r, c],
+            },
+        );
         let flat = roundtrip_f32(&values, &Meta::f32_flat(values.len()));
         assert!(with_dims <= flat * 11 / 10, "dims {with_dims} flat {flat}");
     }
@@ -320,7 +342,10 @@ mod tests {
     #[test]
     fn f64_roundtrip() {
         let values: Vec<f64> = (0..30_000).map(|i| (i as f64).sqrt() * 1e3).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let f = FpzipLike::new();
         let meta = Meta::f64_flat(values.len());
         let c = f.compress(&data, &meta);
@@ -330,8 +355,18 @@ mod tests {
 
     #[test]
     fn special_values_roundtrip() {
-        let values = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0, f32::MIN_POSITIVE];
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let values = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+        ];
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let f = FpzipLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = f.compress(&data, &meta);
@@ -341,7 +376,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let f = FpzipLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = f.compress(&data, &meta);

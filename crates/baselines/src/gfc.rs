@@ -52,7 +52,11 @@ impl Codec for Gfc {
             for &v in chunk {
                 let diff = v.wrapping_sub(prev);
                 // Negate negative differences, keeping the sign separately.
-                let (sign, mag) = if diff >> 63 != 0 { (1u8, diff.wrapping_neg()) } else { (0u8, diff) };
+                let (sign, mag) = if diff >> 63 != 0 {
+                    (1u8, diff.wrapping_neg())
+                } else {
+                    (0u8, diff)
+                };
                 // 3 bits encode 0..=7 leading zero bytes; at least 1 byte is
                 // always emitted (so a zero magnitude emits one 0x00 byte).
                 let lzb = (mag.leading_zeros() / 8).min(7);
@@ -80,9 +84,12 @@ impl Codec for Gfc {
         let tail_len = total % 8;
         let byte_len = varint::read_usize(data, &mut pos)?;
         let nib_len = n.div_ceil(2);
-        let nib_end = pos.checked_add(nib_len).ok_or(DecodeError::Corrupt("gfc nibble overflow"))?;
-        let bytes_end =
-            nib_end.checked_add(byte_len).ok_or(DecodeError::Corrupt("gfc byte overflow"))?;
+        let nib_end = pos
+            .checked_add(nib_len)
+            .ok_or(DecodeError::Corrupt("gfc nibble overflow"))?;
+        let bytes_end = nib_end
+            .checked_add(byte_len)
+            .ok_or(DecodeError::Corrupt("gfc byte overflow"))?;
         if bytes_end + tail_len > data.len() {
             return Err(DecodeError::UnexpectedEof);
         }
@@ -95,7 +102,11 @@ impl Codec for Gfc {
             if i % CHUNK_VALUES == 0 {
                 prev = 0;
             }
-            let nib = if i % 2 == 0 { nibbles[i / 2] & 0x0F } else { nibbles[i / 2] >> 4 };
+            let nib = if i % 2 == 0 {
+                nibbles[i / 2] & 0x0F
+            } else {
+                nibbles[i / 2] >> 4
+            };
             let sign = (nib >> 3) & 1;
             let lzb = (nib & 0x07) as usize;
             let take = 8 - lzb;
@@ -125,7 +136,10 @@ mod tests {
     use super::*;
 
     fn roundtrip(values: &[f64]) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let g = Gfc::new();
         let meta = Meta::f64_flat(values.len());
         let c = g.compress(&data, &meta);
@@ -168,7 +182,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f64> = (0..5000).map(|i| i as f64).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let g = Gfc::new();
         let meta = Meta::f64_flat(values.len());
         let c = g.compress(&data, &meta);

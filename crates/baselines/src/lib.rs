@@ -93,12 +93,18 @@ pub struct Meta {
 impl Meta {
     /// Metadata for a flat single-precision stream of `n` values.
     pub fn f32_flat(n: usize) -> Self {
-        Self { element_width: 4, dims: [1, 1, n] }
+        Self {
+            element_width: 4,
+            dims: [1, 1, n],
+        }
     }
 
     /// Metadata for a flat double-precision stream of `n` values.
     pub fn f64_flat(n: usize) -> Self {
-        Self { element_width: 8, dims: [1, 1, n] }
+        Self {
+            element_width: 8,
+            dims: [1, 1, n],
+        }
     }
 
     /// Number of values implied by the dimensions.
@@ -174,7 +180,9 @@ pub fn roster() -> Vec<Box<dyn Codec>> {
 
 /// Looks up a roster codec by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Box<dyn Codec>> {
-    roster().into_iter().find(|c| c.name().eq_ignore_ascii_case(name))
+    roster()
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -218,9 +226,9 @@ mod tests {
                 continue;
             }
             let c = codec.compress(&bytes, &meta);
-            let d = codec.decompress(&c, &meta).unwrap_or_else(|e| {
-                panic!("{} failed to decompress: {e}", codec.name())
-            });
+            let d = codec
+                .decompress(&c, &meta)
+                .unwrap_or_else(|e| panic!("{} failed to decompress: {e}", codec.name()));
             assert_eq!(d, bytes, "{} corrupted data", codec.name());
         }
     }
@@ -233,9 +241,9 @@ mod tests {
                 continue;
             }
             let c = codec.compress(&bytes, &meta);
-            let d = codec.decompress(&c, &meta).unwrap_or_else(|e| {
-                panic!("{} failed to decompress: {e}", codec.name())
-            });
+            let d = codec
+                .decompress(&c, &meta)
+                .unwrap_or_else(|e| panic!("{} failed to decompress: {e}", codec.name()));
             assert_eq!(d, bytes, "{} corrupted data", codec.name());
         }
     }

@@ -21,12 +21,22 @@ pub struct LzBlock {
 impl LzBlock {
     /// nvCOMP-LZ4-class configuration (256 KiB blocks).
     pub fn lz4() -> Self {
-        Self { name: "LZ4", block: 256 * 1024, effort: Effort::Fast, device: Device::Gpu }
+        Self {
+            name: "LZ4",
+            block: 256 * 1024,
+            effort: Effort::Fast,
+            device: Device::Gpu,
+        }
     }
 
     /// Snappy-class configuration (64 KiB blocks).
     pub fn snappy() -> Self {
-        Self { name: "Snappy", block: 64 * 1024, effort: Effort::Fast, device: Device::Gpu }
+        Self {
+            name: "Snappy",
+            block: 64 * 1024,
+            effort: Effort::Fast,
+            device: Device::Gpu,
+        }
     }
 }
 
@@ -60,9 +70,11 @@ impl Codec for LzBlock {
         let mut out = Vec::with_capacity(fpc_entropy::prealloc_limit(total));
         while out.len() < total {
             let len = varint::read_usize(data, &mut pos)?;
-            let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("lz block overflow"))?;
+            let end = pos
+                .checked_add(len)
+                .ok_or(DecodeError::Corrupt("lz block overflow"))?;
             let body = data.get(pos..end).ok_or(DecodeError::UnexpectedEof)?;
-            let block = decompress_block(body)?;
+            let block = decompress_block(body, self.block)?;
             if block.is_empty() || block.len() > total - out.len() {
                 return Err(DecodeError::Corrupt("lz block size invalid"));
             }
@@ -83,7 +95,12 @@ mod tests {
         for codec in [LzBlock::lz4(), LzBlock::snappy()] {
             let meta = Meta::f32_flat(0);
             let c = codec.compress(&data, &meta);
-            assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+            assert_eq!(
+                codec.decompress(&c, &meta).unwrap(),
+                data,
+                "{}",
+                codec.name()
+            );
             assert!(c.len() < data.len() / 3, "{} got {}", codec.name(), c.len());
         }
     }

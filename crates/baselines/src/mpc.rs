@@ -103,14 +103,21 @@ macro_rules! mpc_impl {
             out.extend_from_slice(tail);
         }
 
-        fn $dec(data: &[u8], pos: &mut usize, total: usize, tuple: usize, out: &mut Vec<u8>) -> Result<()> {
+        fn $dec(
+            data: &[u8],
+            pos: &mut usize,
+            total: usize,
+            tuple: usize,
+            out: &mut Vec<u8>,
+        ) -> Result<()> {
             let n = total / $bytes;
             let tail_len = total % $bytes;
             let full = (n / $group) * $group;
             let kept_count = varint::read_usize(data, pos)?;
             let bitmap_len = full.div_ceil(8);
-            let bm_end =
-                pos.checked_add(bitmap_len).ok_or(DecodeError::Corrupt("mpc bitmap overflow"))?;
+            let bm_end = pos
+                .checked_add(bitmap_len)
+                .ok_or(DecodeError::Corrupt("mpc bitmap overflow"))?;
             let kept_end = bm_end
                 .checked_add(kept_count * $bytes)
                 .ok_or(DecodeError::Corrupt("mpc kept overflow"))?;
@@ -126,7 +133,9 @@ macro_rules! mpc_impl {
             let mut used = 0usize;
             for i in 0..full {
                 if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-                    let c = kept.next().ok_or(DecodeError::Corrupt("mpc bitmap overruns kept words"))?;
+                    let c = kept
+                        .next()
+                        .ok_or(DecodeError::Corrupt("mpc bitmap overruns kept words"))?;
                     used += 1;
                     words.push(<$ty>::from_le_bytes(c.try_into().expect("chunks_exact")));
                 } else {
@@ -199,7 +208,10 @@ mod tests {
     use super::*;
 
     fn roundtrip_f32(values: &[f32], tuple: usize) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let m = Mpc::with_tuple(tuple);
         let meta = Meta::f32_flat(values.len());
         let c = m.compress(&data, &meta);
@@ -208,7 +220,10 @@ mod tests {
     }
 
     fn roundtrip_f64(values: &[f64]) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let m = Mpc::new();
         let meta = Meta::f64_flat(values.len());
         let c = m.compress(&data, &meta);
@@ -256,7 +271,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let m = Mpc::new();
         let meta = Meta::f32_flat(values.len());
         let c = m.compress(&data, &meta);

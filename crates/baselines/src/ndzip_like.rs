@@ -83,7 +83,11 @@ macro_rules! ndzip_impl {
                 .chunks_exact($bytes)
                 .map(|c| <$ty>::from_le_bytes(c.try_into().expect("chunks_exact")))
                 .collect();
-            let grid = if dims[0] * dims[1] * dims[2] == n { dims } else { [1, 1, n] };
+            let grid = if dims[0] * dims[1] * dims[2] == n {
+                dims
+            } else {
+                [1, 1, n]
+            };
             lorenzo_forward(&mut words, grid);
             $transpose(&mut words);
             // Per-group header mask + nonzero words (ndzip's residual coder).
@@ -120,10 +124,10 @@ macro_rules! ndzip_impl {
             let mut words: Vec<$ty> = Vec::with_capacity(fpc_entropy::prealloc_limit(n));
             for _ in (0..full).step_by($group) {
                 let mask_len = $group / 8;
-                let mask_end =
-                    pos.checked_add(mask_len).ok_or(DecodeError::Corrupt("ndzip mask overflow"))?;
-                let mask_bytes =
-                    data.get(*pos..mask_end).ok_or(DecodeError::UnexpectedEof)?;
+                let mask_end = pos
+                    .checked_add(mask_len)
+                    .ok_or(DecodeError::Corrupt("ndzip mask overflow"))?;
+                let mask_bytes = data.get(*pos..mask_end).ok_or(DecodeError::UnexpectedEof)?;
                 let mut mask = 0u64;
                 for (i, &b) in mask_bytes.iter().enumerate() {
                     mask |= u64::from(b) << (8 * i);
@@ -143,7 +147,9 @@ macro_rules! ndzip_impl {
                 }
             }
             for _ in full..n {
-                let end = pos.checked_add($bytes).ok_or(DecodeError::Corrupt("ndzip raw overflow"))?;
+                let end = pos
+                    .checked_add($bytes)
+                    .ok_or(DecodeError::Corrupt("ndzip raw overflow"))?;
                 let c = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
                 words.push(<$ty>::from_le_bytes(c.try_into().expect("word")));
                 *pos = end;
@@ -152,12 +158,18 @@ macro_rules! ndzip_impl {
                 let (groups, _) = words.split_at_mut(full);
                 $transpose(groups);
             }
-            let grid = if dims[0] * dims[1] * dims[2] == n { dims } else { [1, 1, n] };
+            let grid = if dims[0] * dims[1] * dims[2] == n {
+                dims
+            } else {
+                [1, 1, n]
+            };
             lorenzo_inverse(&mut words, grid);
             for &w in &words {
                 out.extend_from_slice(&w.to_le_bytes());
             }
-            let tail = data.get(*pos..*pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+            let tail = data
+                .get(*pos..*pos + tail_len)
+                .ok_or(DecodeError::UnexpectedEof)?;
             out.extend_from_slice(tail);
             *pos += tail_len;
             Ok(())
@@ -210,11 +222,17 @@ mod tests {
     use super::*;
 
     fn meta3(s: usize, r: usize, c: usize, width: u8) -> Meta {
-        Meta { element_width: width, dims: [s, r, c] }
+        Meta {
+            element_width: width,
+            dims: [s, r, c],
+        }
     }
 
     fn roundtrip(values: &[f32], meta: &Meta) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let nd = NdzipLike::new();
         let c = nd.compress(&data, meta);
         assert_eq!(nd.decompress(&c, meta).unwrap(), data);
@@ -251,7 +269,10 @@ mod tests {
             .collect();
         let with_dims = roundtrip(&values, &meta3(1, r, c, 4));
         let flat = roundtrip(&values, &Meta::f32_flat(values.len()));
-        assert!(with_dims < flat * 11 / 10, "dims {with_dims} vs flat {flat}");
+        assert!(
+            with_dims < flat * 11 / 10,
+            "dims {with_dims} vs flat {flat}"
+        );
     }
 
     #[test]
@@ -264,9 +285,13 @@ mod tests {
     #[test]
     fn f64_roundtrip_3d() {
         let (s, r, c) = (4, 16, 32);
-        let values: Vec<f64> =
-            (0..s * r * c).map(|i| 1e6 + (i as f64 * 0.001).cos() * 10.0).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let values: Vec<f64> = (0..s * r * c)
+            .map(|i| 1e6 + (i as f64 * 0.001).cos() * 10.0)
+            .collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let nd = NdzipLike::new();
         let meta = meta3(s, r, c, 8);
         let comp = nd.compress(&data, &meta);
@@ -277,7 +302,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..5_000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let nd = NdzipLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = nd.compress(&data, &meta);

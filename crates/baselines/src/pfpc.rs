@@ -20,7 +20,10 @@ pub struct Pfpc {
 impl Pfpc {
     /// pFPC with default table size and all available threads.
     pub fn new() -> Self {
-        Self { table_bits: fpc::DEFAULT_LEVEL, threads: 0 }
+        Self {
+            table_bits: fpc::DEFAULT_LEVEL,
+            threads: 0,
+        }
     }
 
     /// Limits worker threads (0 = all available).
@@ -90,7 +93,9 @@ impl Codec for Pfpc {
         let mut offset = pos;
         for &s in &sizes {
             offsets.push(offset);
-            offset = offset.checked_add(s).ok_or(DecodeError::Corrupt("pfpc offset overflow"))?;
+            offset = offset
+                .checked_add(s)
+                .ok_or(DecodeError::Corrupt("pfpc offset overflow"))?;
         }
         offsets.push(offset);
         if offset + tail_len > data.len() {
@@ -133,8 +138,13 @@ mod tests {
 
     #[test]
     fn roundtrip_multi_chunk() {
-        let values: Vec<f64> = (0..CHUNK_VALUES * 2 + 777).map(|i| (i as f64 * 1e-3).cos()).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let values: Vec<f64> = (0..CHUNK_VALUES * 2 + 777)
+            .map(|i| (i as f64 * 1e-3).cos())
+            .collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let p = Pfpc::new();
         let meta = Meta::f64_flat(values.len());
         let c = p.compress(&data, &meta);
@@ -143,19 +153,30 @@ mod tests {
 
     #[test]
     fn matches_serial_fpc_ratio_roughly() {
-        let values: Vec<f64> = (0..100_000).map(|i| (i as f64 * 1e-4).sin() * 7.0).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let values: Vec<f64> = (0..100_000)
+            .map(|i| (i as f64 * 1e-4).sin() * 7.0)
+            .collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let meta = Meta::f64_flat(values.len());
         let serial = crate::fpc::Fpc::new().compress(&data, &meta).len();
         let parallel = Pfpc::new().compress(&data, &meta).len();
         // Fresh per-chunk state costs a little ratio, never an order of magnitude.
-        assert!(parallel < serial * 12 / 10, "pfpc {parallel} vs fpc {serial}");
+        assert!(
+            parallel < serial * 12 / 10,
+            "pfpc {parallel} vs fpc {serial}"
+        );
     }
 
     #[test]
     fn deterministic_across_threads() {
         let values: Vec<f64> = (0..200_000).map(|i| (i as f64).ln_1p()).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let meta = Meta::f64_flat(values.len());
         let a = Pfpc::new().with_threads(1).compress(&data, &meta);
         let b = Pfpc::new().with_threads(8).compress(&data, &meta);
@@ -165,7 +186,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let p = Pfpc::new();
         let meta = Meta::f64_flat(values.len());
         let c = p.compress(&data, &meta);

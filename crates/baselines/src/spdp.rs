@@ -24,12 +24,20 @@ pub struct Spdp {
 impl Spdp {
     /// Fastest level (level 1).
     pub fn fast() -> Self {
-        Self { name: "SPDP-fast", effort: Effort::Fast, huffman: false }
+        Self {
+            name: "SPDP-fast",
+            effort: Effort::Fast,
+            huffman: false,
+        }
     }
 
     /// Best-compressing level (level 9).
     pub fn best() -> Self {
-        Self { name: "SPDP-best", effort: Effort::Thorough, huffman: true }
+        Self {
+            name: "SPDP-best",
+            effort: Effort::Thorough,
+            huffman: true,
+        }
     }
 }
 
@@ -121,9 +129,20 @@ impl Codec for Spdp {
         let width = usize::from(meta.element_width.clamp(1, 8));
         let mut pos = 0;
         let total = varint::read_usize(data, &mut pos)?;
+        // SPDP frames the whole file as one LZ block, so the only honest
+        // bound on the decoded size is the caller's metadata (+ slack for
+        // a trailing partial element).
+        let expected = meta.len().saturating_mul(width).saturating_add(16);
+        if total > expected {
+            return Err(DecodeError::Corrupt("spdp length exceeds metadata"));
+        }
         let body = &data[pos..];
-        let lz = if self.huffman { huffman::decompress_bytes(body)? } else { body.to_vec() };
-        let mut buf = decompress_block(&lz)?;
+        let lz = if self.huffman {
+            huffman::decompress_bytes(body)?
+        } else {
+            body.to_vec()
+        };
+        let mut buf = decompress_block(&lz, total)?;
         if buf.len() != total {
             return Err(DecodeError::Corrupt("spdp length mismatch"));
         }
@@ -137,10 +156,18 @@ mod tests {
     use super::*;
 
     fn roundtrip(values: &[f32], codec: &Spdp) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let meta = Meta::f32_flat(values.len());
         let c = codec.compress(&data, &meta);
-        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        assert_eq!(
+            codec.decompress(&c, &meta).unwrap(),
+            data,
+            "{}",
+            codec.name()
+        );
         c.len()
     }
 
@@ -168,7 +195,10 @@ mod tests {
     #[test]
     fn f64_path() {
         let values: Vec<f64> = (0..20_000).map(|i| (i as f64 * 1e-3).sin()).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let codec = Spdp::best();
         let meta = Meta::f64_flat(values.len());
         let c = codec.compress(&data, &meta);
@@ -179,7 +209,10 @@ mod tests {
     fn empty_and_odd() {
         roundtrip(&[], &Spdp::fast());
         let data = [1u8, 2, 3, 4, 5, 6, 7];
-        let meta = Meta { element_width: 4, dims: [1, 1, 1] };
+        let meta = Meta {
+            element_width: 4,
+            dims: [1, 1, 1],
+        };
         let c = Spdp::best().compress(&data, &meta);
         assert_eq!(Spdp::best().decompress(&c, &meta).unwrap(), data);
     }
@@ -187,7 +220,10 @@ mod tests {
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let codec = Spdp::fast();
         let meta = Meta::f32_flat(values.len());
         let c = codec.compress(&data, &meta);

@@ -88,7 +88,12 @@ fn transform_axis(block: &mut [i64; BLOCK], stride: usize, forward: bool) {
     for base in 0..BLOCK / 4 {
         // Enumerate the 16 lines along this axis.
         let offset = (base / stride) * stride * 4 + (base % stride);
-        let idx = [offset, offset + stride, offset + 2 * stride, offset + 3 * stride];
+        let idx = [
+            offset,
+            offset + stride,
+            offset + 2 * stride,
+            offset + 3 * stride,
+        ];
         let line = [block[idx[0]], block[idx[1]], block[idx[2]], block[idx[3]]];
         let out = if forward { fwd4(line) } else { inv4(line) };
         for (i, &v) in idx.iter().zip(out.iter()) {
@@ -161,7 +166,9 @@ fn decode_block(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<i64>) 
             return Err(DecodeError::Corrupt("zfp width exceeds 64"));
         }
         let nbytes = bitpack::packed_len(size, width);
-        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("zfp pack overflow"))?;
+        let end = pos
+            .checked_add(nbytes)
+            .ok_or(DecodeError::Corrupt("zfp pack overflow"))?;
         let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
         bitpack::unpack_u64(body, width, size, &mut groups[g])?;
         *pos = end;
@@ -173,7 +180,9 @@ fn decode_block(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<i64>) 
         std::mem::take(&mut groups[2]).into_iter(),
     ];
     for (p, slot) in block.iter_mut().enumerate() {
-        let v = iters[subband(p)].next().ok_or(DecodeError::Corrupt("zfp subband underrun"))?;
+        let v = iters[subband(p)]
+            .next()
+            .ok_or(DecodeError::Corrupt("zfp subband underrun"))?;
         *slot = unzigzag(v);
     }
     reconstruct(&mut block);
@@ -241,11 +250,14 @@ impl Codec for ZfpLike {
             }
         } else {
             for &c in &codes {
-                let v = i32::try_from(c).map_err(|_| DecodeError::Corrupt("zfp f32 code overflow"))?;
+                let v =
+                    i32::try_from(c).map_err(|_| DecodeError::Corrupt("zfp f32 code overflow"))?;
                 out.extend_from_slice(&unmap_signed32(v).to_le_bytes());
             }
         }
-        let tail = data.get(pos..pos + tail_len).ok_or(DecodeError::UnexpectedEof)?;
+        let tail = data
+            .get(pos..pos + tail_len)
+            .ok_or(DecodeError::UnexpectedEof)?;
         out.extend_from_slice(tail);
         Ok(out)
     }
@@ -274,7 +286,10 @@ mod tests {
     use super::*;
 
     fn roundtrip_f32(values: &[f32]) -> usize {
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let z = ZfpLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = z.compress(&data, &meta);
@@ -346,21 +361,34 @@ mod tests {
 
     #[test]
     fn smooth_field_compresses() {
-        let values: Vec<f32> = (0..60_000).map(|i| 100.0 + (i as f32 * 1e-3).sin()).collect();
+        let values: Vec<f32> = (0..60_000)
+            .map(|i| 100.0 + (i as f32 * 1e-3).sin())
+            .collect();
         let size = roundtrip_f32(&values);
         assert!(size < values.len() * 4 * 3 / 4, "got {size}");
     }
 
     #[test]
     fn special_values_roundtrip() {
-        let values = [f32::NAN, f32::INFINITY, -0.0, 0.0, f32::MIN_POSITIVE, f32::MAX, f32::MIN];
+        let values = [
+            f32::NAN,
+            f32::INFINITY,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+        ];
         roundtrip_f32(&values);
     }
 
     #[test]
     fn f64_roundtrip() {
         let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sqrt() - 50.0).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let z = ZfpLike::new();
         let meta = Meta::f64_flat(values.len());
         let c = z.compress(&data, &meta);
@@ -377,13 +405,19 @@ mod tests {
         for v in seq {
             assert_eq!(unmap_signed32(map_signed32(v.to_bits())), v.to_bits());
         }
-        assert_eq!(unmap_signed(map_signed((-3.5f64).to_bits())), (-3.5f64).to_bits());
+        assert_eq!(
+            unmap_signed(map_signed((-3.5f64).to_bits())),
+            (-3.5f64).to_bits()
+        );
     }
 
     #[test]
     fn truncation_rejected() {
         let values: Vec<f32> = (0..5000).map(|i| i as f32).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let z = ZfpLike::new();
         let meta = Meta::f32_flat(values.len());
         let c = z.compress(&data, &meta);

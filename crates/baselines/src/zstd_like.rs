@@ -30,17 +30,29 @@ pub struct ZstdLike {
 impl ZstdLike {
     /// CPU implementation, fastest level.
     pub fn fast() -> Self {
-        Self { name: "ZSTD-fast", effort: Effort::Fast, device: Device::Cpu }
+        Self {
+            name: "ZSTD-fast",
+            effort: Effort::Fast,
+            device: Device::Cpu,
+        }
     }
 
     /// CPU implementation, best-compressing level.
     pub fn best() -> Self {
-        Self { name: "ZSTD-best", effort: Effort::Thorough, device: Device::Cpu }
+        Self {
+            name: "ZSTD-best",
+            effort: Effort::Thorough,
+            device: Device::Cpu,
+        }
     }
 
     /// nvCOMP GPU implementation (single level).
     pub fn gpu() -> Self {
-        Self { name: "ZSTD-gpu", effort: Effort::Fast, device: Device::Gpu }
+        Self {
+            name: "ZSTD-gpu",
+            effort: Effort::Fast,
+            device: Device::Gpu,
+        }
     }
 }
 
@@ -69,12 +81,14 @@ fn write_coded(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(&coded);
 }
 
-fn read_coded(data: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+fn read_coded(data: &[u8], pos: &mut usize, max_len: usize) -> Result<Vec<u8>> {
     let len = varint::read_usize(data, pos)?;
-    let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("zstd stream overflow"))?;
+    let end = pos
+        .checked_add(len)
+        .ok_or(DecodeError::Corrupt("zstd stream overflow"))?;
     let body = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
     *pos = end;
-    rans::decompress(body)
+    rans::decompress(body, max_len)
 }
 
 fn encode_block(block: &[u8], effort: Effort, out: &mut Vec<u8>) {
@@ -113,37 +127,60 @@ fn encode_block(block: &[u8], effort: Effort, out: &mut Vec<u8>) {
 
 fn decode_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<usize> {
     let raw_len = varint::read_usize(data, pos)?;
+    if raw_len > BLOCK {
+        // The encoder never emits blocks above BLOCK; a larger claim is a
+        // decompression bomb, not a valid stream.
+        return Err(DecodeError::Corrupt("zstd block length exceeds block size"));
+    }
     let nseq = varint::read_usize(data, pos)?;
-    let literals = read_coded(data, pos)?;
-    let lit_syms = read_coded(data, pos)?;
-    let len_syms = read_coded(data, pos)?;
-    let dist_syms = read_coded(data, pos)?;
+    let literals = read_coded(data, pos, BLOCK)?;
+    let lit_syms = read_coded(data, pos, BLOCK)?;
+    let len_syms = read_coded(data, pos, BLOCK)?;
+    let dist_syms = read_coded(data, pos, BLOCK)?;
     if lit_syms.len() != nseq || len_syms.len() != nseq || dist_syms.len() != nseq {
-        return Err(DecodeError::Corrupt("zstd sequence stream lengths disagree"));
+        return Err(DecodeError::Corrupt(
+            "zstd sequence stream lengths disagree",
+        ));
     }
     let extra_len = varint::read_usize(data, pos)?;
-    let end = pos.checked_add(extra_len).ok_or(DecodeError::Corrupt("zstd extras overflow"))?;
+    let end = pos
+        .checked_add(extra_len)
+        .ok_or(DecodeError::Corrupt("zstd extras overflow"))?;
     let extra_bytes = data.get(*pos..end).ok_or(DecodeError::UnexpectedEof)?;
     *pos = end;
     let mut extras = BitReader::new(extra_bytes);
     let start = out.len();
     let mut lit_pos = 0usize;
     for i in 0..nseq {
-        let lb = if lit_syms[i] == 0 { 0 } else { u32::from(lit_syms[i] - 1) };
+        let lb = if lit_syms[i] == 0 {
+            0
+        } else {
+            u32::from(lit_syms[i] - 1)
+        };
         let le = extras.read_bits(lb).ok_or(DecodeError::UnexpectedEof)?;
         let lit_len = unbucket0(lit_syms[i], le) as usize;
-        let lit_end = lit_pos.checked_add(lit_len).ok_or(DecodeError::Corrupt("zstd literal overflow"))?;
+        let lit_end = lit_pos
+            .checked_add(lit_len)
+            .ok_or(DecodeError::Corrupt("zstd literal overflow"))?;
         if lit_end > literals.len() {
             return Err(DecodeError::Corrupt("zstd literal stream too short"));
         }
         out.extend_from_slice(&literals[lit_pos..lit_end]);
         lit_pos = lit_end;
 
-        let mb = if len_syms[i] == 0 { 0 } else { u32::from(len_syms[i] - 1) };
+        let mb = if len_syms[i] == 0 {
+            0
+        } else {
+            u32::from(len_syms[i] - 1)
+        };
         let me = extras.read_bits(mb).ok_or(DecodeError::UnexpectedEof)?;
         let match_len = unbucket0(len_syms[i], me) as usize + MIN_MATCH;
 
-        let db = if dist_syms[i] == 0 { 0 } else { u32::from(dist_syms[i] - 1) };
+        let db = if dist_syms[i] == 0 {
+            0
+        } else {
+            u32::from(dist_syms[i] - 1)
+        };
         let de = extras.read_bits(db).ok_or(DecodeError::UnexpectedEof)?;
         let dist = unbucket0(dist_syms[i], de) as usize + 1;
         if dist > out.len() - start {
@@ -212,7 +249,12 @@ mod tests {
     fn roundtrip(data: &[u8], codec: &ZstdLike) -> usize {
         let meta = Meta::f32_flat(0);
         let c = codec.compress(data, &meta);
-        assert_eq!(codec.decompress(&c, &meta).unwrap(), data, "{}", codec.name());
+        assert_eq!(
+            codec.decompress(&c, &meta).unwrap(),
+            data,
+            "{}",
+            codec.name()
+        );
         c.len()
     }
 

@@ -1,63 +1,77 @@
-//! Criterion benches for the design-choice ablations (DESIGN.md):
-//! enhanced-MPLG fallback, FCM window, adaptive RAZE/RARE split, chunk size.
+//! Benches for the design-choice ablations (DESIGN.md): enhanced-MPLG
+//! fallback, FCM window, adaptive RAZE/RARE split, chunk size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpc_bench::microbench::Group;
 use fpc_core::{Algorithm, Compressor, PipelineOptions};
 use fpc_datagen::{double_precision_suites, single_precision_suites, Scale};
 
 fn sp_bytes() -> Vec<u8> {
     let suites = single_precision_suites(Scale::Small);
-    suites[0].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[0].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
 fn dp_bytes() -> Vec<u8> {
     let suites = double_precision_suites(Scale::Small);
-    suites[2].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[2].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
-fn bench_mplg_fallback(c: &mut Criterion) {
+fn bench_mplg_fallback() {
     let data = sp_bytes();
-    let mut group = c.benchmark_group("ablation_mplg_fallback");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("ablation_mplg_fallback")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for fallback in [true, false] {
-        let opts = PipelineOptions { mplg_fallback: fallback, ..PipelineOptions::default() };
+        let opts = PipelineOptions {
+            mplg_fallback: fallback,
+            ..PipelineOptions::default()
+        };
         let compressor = Compressor::new(Algorithm::SpSpeed).with_options(opts);
-        group.bench_with_input(BenchmarkId::new("spspeed", fallback), &data, |b, d| {
-            b.iter(|| compressor.compress_bytes(d));
+        group.bench(&format!("spspeed/{fallback}"), || {
+            compressor.compress_bytes(&data)
         });
     }
-    group.finish();
 }
 
-fn bench_fcm_window(c: &mut Criterion) {
+fn bench_fcm_window() {
     let data = dp_bytes();
-    let mut group = c.benchmark_group("ablation_fcm_window");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("ablation_fcm_window")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for window in [1usize, 4, 8] {
-        let opts = PipelineOptions { fcm_window: window, ..PipelineOptions::default() };
+        let opts = PipelineOptions {
+            fcm_window: window,
+            ..PipelineOptions::default()
+        };
         let compressor = Compressor::new(Algorithm::DpRatio).with_options(opts);
-        group.bench_with_input(BenchmarkId::new("dpratio", window), &data, |b, d| {
-            b.iter(|| compressor.compress_bytes(d));
+        group.bench(&format!("dpratio/{window}"), || {
+            compressor.compress_bytes(&data)
         });
     }
-    group.finish();
 }
 
-fn bench_chunk_size(c: &mut Criterion) {
+fn bench_chunk_size() {
     let data = sp_bytes();
-    let mut group = c.benchmark_group("ablation_chunk_size");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("ablation_chunk_size")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for chunk_kb in [4usize, 16, 64] {
         let compressor = Compressor::new(Algorithm::SpRatio).with_chunk_size(chunk_kb * 1024);
-        group.bench_with_input(BenchmarkId::new("spratio", chunk_kb), &data, |b, d| {
-            b.iter(|| compressor.compress_bytes(d));
+        group.bench(&format!("spratio/{chunk_kb}"), || {
+            compressor.compress_bytes(&data)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_mplg_fallback, bench_fcm_window, bench_chunk_size);
-criterion_main!(benches);
+fn main() {
+    bench_mplg_fallback();
+    bench_fcm_window();
+    bench_chunk_size();
+}

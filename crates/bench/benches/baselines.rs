@@ -1,45 +1,44 @@
-//! Criterion benches over the comparator roster: compression throughput of
-//! every reimplemented baseline on one fixed smooth-field input.
+//! Benches over the comparator roster: compression throughput of every
+//! reimplemented baseline on one fixed smooth-field input.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fpc_baselines::Meta;
+use fpc_bench::microbench::Group;
 use fpc_datagen::{double_precision_suites, Scale};
 
 fn dp_bytes() -> Vec<u8> {
     let suites = double_precision_suites(Scale::Small);
-    suites[1].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[1].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
-fn bench_roster(c: &mut Criterion) {
+fn main() {
     let data = dp_bytes();
     let meta = Meta::f64_flat(data.len() / 8);
-    let mut group = c.benchmark_group("baselines_dp_compress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("baselines_dp_compress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for codec in fpc_baselines::roster() {
         if !codec.datatype().supports_width(8) {
             continue;
         }
-        group.bench_with_input(BenchmarkId::new("compress", codec.name()), &data, |b, d| {
-            b.iter(|| codec.compress(d, &meta));
+        group.bench(&format!("compress/{}", codec.name()), || {
+            codec.compress(&data, &meta)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("baselines_dp_decompress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("baselines_dp_decompress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for codec in fpc_baselines::roster() {
         if !codec.datatype().supports_width(8) {
             continue;
         }
         let stream = codec.compress(&data, &meta);
-        group.bench_with_input(BenchmarkId::new("decompress", codec.name()), &stream, |b, s| {
-            b.iter(|| codec.decompress(s, &meta).expect("bench stream"));
+        group.bench(&format!("decompress/{}", codec.name()), || {
+            codec.decompress(&stream, &meta).expect("bench stream")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_roster);
-criterion_main!(benches);

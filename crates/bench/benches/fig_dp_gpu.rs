@@ -1,41 +1,40 @@
-//! Criterion benches behind Figures 14–17: double-precision GPU pipelines
+//! Benches behind Figures 14–17: double-precision GPU pipelines
 //! (simulated execution path; see `fig_sp_gpu.rs` for caveats).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpc_bench::microbench::Group;
 use fpc_core::Algorithm;
 use fpc_datagen::{double_precision_suites, Scale};
 use fpc_gpu_sim::GpuCompressor;
 
 fn dp_bytes() -> Vec<u8> {
     let suites = double_precision_suites(Scale::Small);
-    suites[0].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[0].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
-fn bench_gpu_kernels(c: &mut Criterion) {
+fn main() {
     let data = dp_bytes();
-    let mut group = c.benchmark_group("fig14_dp_gpu_sim_compress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig14_dp_gpu_sim_compress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
         let gpu = GpuCompressor::new(algo);
-        group.bench_with_input(BenchmarkId::new("gpu-sim", algo.name()), &data, |b, d| {
-            b.iter(|| gpu.compress_bytes(d));
+        group.bench(&format!("gpu-sim/{}", algo.name()), || {
+            gpu.compress_bytes(&data)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig15_dp_gpu_sim_decompress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig15_dp_gpu_sim_decompress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
         let gpu = GpuCompressor::new(algo);
         let stream = gpu.compress_bytes(&data);
-        group.bench_with_input(BenchmarkId::new("gpu-sim", algo.name()), &stream, |b, s| {
-            b.iter(|| gpu.decompress_bytes(s).expect("bench stream"));
+        group.bench(&format!("gpu-sim/{}", algo.name()), || {
+            gpu.decompress_bytes(&stream).expect("bench stream")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gpu_kernels);
-criterion_main!(benches);

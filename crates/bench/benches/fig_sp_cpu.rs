@@ -1,55 +1,56 @@
-//! Criterion benches behind Figures 12/13: single-precision CPU
-//! compression and decompression throughput.
+//! Benches behind Figures 12/13: single-precision CPU compression and
+//! decompression throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fpc_baselines::Meta;
+use fpc_bench::microbench::Group;
 use fpc_core::{Algorithm, Compressor};
 use fpc_datagen::{single_precision_suites, Scale};
 
 fn sp_bytes() -> Vec<u8> {
     let suites = single_precision_suites(Scale::Small);
-    suites[0].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[0].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
-fn bench_ours(c: &mut Criterion) {
+fn bench_ours() {
     let data = sp_bytes();
-    let mut group = c.benchmark_group("fig12_sp_cpu_compress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig12_sp_cpu_compress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
         let compressor = Compressor::new(algo);
-        group.bench_with_input(BenchmarkId::new("ours", algo.name()), &data, |b, d| {
-            b.iter(|| compressor.compress_bytes(d));
+        group.bench(&format!("ours/{}", algo.name()), || {
+            compressor.compress_bytes(&data)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig13_sp_cpu_decompress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig13_sp_cpu_decompress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
         let stream = Compressor::new(algo).compress_bytes(&data);
-        group.bench_with_input(BenchmarkId::new("ours", algo.name()), &stream, |b, s| {
-            b.iter(|| fpc_core::decompress_bytes(s).expect("bench stream"));
+        group.bench(&format!("ours/{}", algo.name()), || {
+            fpc_core::decompress_bytes(&stream).expect("bench stream")
         });
     }
-    group.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines() {
     let data = sp_bytes();
     let meta = Meta::f32_flat(data.len() / 4);
-    let mut group = c.benchmark_group("fig12_sp_cpu_compress_baselines");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig12_sp_cpu_compress_baselines")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for name in ["ndzip", "SPDP-fast", "ZSTD-fast", "Gzip-fast", "FPzip"] {
         let codec = fpc_baselines::by_name(name).expect("roster codec");
-        group.bench_with_input(BenchmarkId::new("baseline", name), &data, |b, d| {
-            b.iter(|| codec.compress(d, &meta));
-        });
+        group.bench(&format!("baseline/{name}"), || codec.compress(&data, &meta));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_ours, bench_baselines);
-criterion_main!(benches);
+fn main() {
+    bench_ours();
+    bench_baselines();
+}

@@ -1,45 +1,44 @@
-//! Criterion benches behind Figures 8–11: single-precision GPU pipelines.
+//! Benches behind Figures 8–11: single-precision GPU pipelines.
 //!
 //! These time the *simulated* GPU execution path (functional kernels on the
 //! host CPU); the figures' GB/s numbers come from the calibrated device
 //! model, but these benches track the relative kernel costs and catch
 //! regressions in the warp/block primitives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpc_bench::microbench::Group;
 use fpc_core::Algorithm;
 use fpc_datagen::{single_precision_suites, Scale};
 use fpc_gpu_sim::GpuCompressor;
 
 fn sp_bytes() -> Vec<u8> {
     let suites = single_precision_suites(Scale::Small);
-    suites[0].files[0].values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    suites[0].files[0]
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
-fn bench_gpu_kernels(c: &mut Criterion) {
+fn main() {
     let data = sp_bytes();
-    let mut group = c.benchmark_group("fig08_sp_gpu_sim_compress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig08_sp_gpu_sim_compress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
         let gpu = GpuCompressor::new(algo);
-        group.bench_with_input(BenchmarkId::new("gpu-sim", algo.name()), &data, |b, d| {
-            b.iter(|| gpu.compress_bytes(d));
+        group.bench(&format!("gpu-sim/{}", algo.name()), || {
+            gpu.compress_bytes(&data)
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig09_sp_gpu_sim_decompress");
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.sample_size(10);
+    let group = Group::new("fig09_sp_gpu_sim_decompress")
+        .throughput_bytes(data.len() as u64)
+        .sample_size(10);
     for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
         let gpu = GpuCompressor::new(algo);
         let stream = gpu.compress_bytes(&data);
-        group.bench_with_input(BenchmarkId::new("gpu-sim", algo.name()), &stream, |b, s| {
-            b.iter(|| gpu.decompress_bytes(s).expect("bench stream"));
+        group.bench(&format!("gpu-sim/{}", algo.name()), || {
+            gpu.decompress_bytes(&stream).expect("bench stream")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gpu_kernels);
-criterion_main!(benches);

@@ -1,91 +1,82 @@
-//! Criterion microbenches of the individual transformations on one 16 KiB
-//! chunk — the unit of work the paper's throughput numbers decompose into.
+//! Microbenches of the individual transformations on one 16 KiB chunk —
+//! the unit of work the paper's throughput numbers decompose into.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpc_bench::microbench::Group;
 use fpc_transforms::{bit_transpose, diffms, fcm, mplg, rare, raze, rze};
 
 const CHUNK_U32: usize = 4096;
 const CHUNK_U64: usize = 2048;
 
 fn chunk_u32() -> Vec<u32> {
-    (0..CHUNK_U32).map(|i| (1.5f32 + i as f32 * 1e-4).to_bits()).collect()
+    (0..CHUNK_U32)
+        .map(|i| (1.5f32 + i as f32 * 1e-4).to_bits())
+        .collect()
 }
 
 fn chunk_u64() -> Vec<u64> {
-    (0..CHUNK_U64).map(|i| (9.25f64 - i as f64 * 1e-7).to_bits()).collect()
+    (0..CHUNK_U64)
+        .map(|i| (9.25f64 - i as f64 * 1e-7).to_bits())
+        .collect()
 }
 
-fn bench_stages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transforms_16k_chunk");
-    group.throughput(Throughput::Bytes(16384));
-    group.sample_size(20);
+fn main() {
+    let group = Group::new("transforms_16k_chunk")
+        .throughput_bytes(16384)
+        .sample_size(20);
 
-    group.bench_function("diffms32_encode", |b| {
-        b.iter_batched(
-            chunk_u32,
-            |mut w| diffms::encode32(&mut w),
-            criterion::BatchSize::SmallInput,
-        );
+    group.bench_batched("diffms32_encode", chunk_u32, |mut w| {
+        diffms::encode32(&mut w)
     });
-    group.bench_function("bit_transpose32", |b| {
-        b.iter_batched(
-            chunk_u32,
-            |mut w| bit_transpose::transpose32(&mut w),
-            criterion::BatchSize::SmallInput,
-        );
+    group.bench_batched("bit_transpose32", chunk_u32, |mut w| {
+        bit_transpose::transpose32(&mut w)
     });
-    group.bench_function("mplg32_encode", |b| {
+    {
         let mut diffed = chunk_u32();
         diffms::encode32(&mut diffed);
-        b.iter(|| {
+        group.bench("mplg32_encode", || {
             let mut out = Vec::with_capacity(16384);
             mplg::encode32(&diffed, &mut out);
             out
         });
-    });
-    group.bench_function("rze_encode", |b| {
+    }
+    {
         let mut diffed = chunk_u32();
         diffms::encode32(&mut diffed);
         bit_transpose::transpose32(&mut diffed);
         let bytes: Vec<u8> = diffed.iter().flat_map(|w| w.to_le_bytes()).collect();
-        b.iter(|| {
+        group.bench("rze_encode", || {
             let mut out = Vec::with_capacity(16384);
             rze::encode(&bytes, &mut out);
             out
         });
-    });
-    group.bench_function("raze_encode", |b| {
+    }
+    {
         let mut diffed = chunk_u64();
         diffms::encode64(&mut diffed);
-        b.iter(|| {
+        group.bench("raze_encode", || {
             let mut out = Vec::with_capacity(16384);
             raze::encode(&diffed, &mut out);
             out
         });
-    });
-    group.bench_function("rare_encode", |b| {
+    }
+    {
         let w = chunk_u64();
-        b.iter(|| {
+        group.bench("rare_encode", || {
             let mut out = Vec::with_capacity(16384);
             rare::encode(&w, &mut out);
             out
         });
-    });
-    group.finish();
+    }
 
-    let mut group = c.benchmark_group("transforms_global");
-    let data: Vec<u64> = (0..1 << 16).map(|i| ((i % 1024) as f64).to_bits()).collect();
-    group.throughput(Throughput::Bytes((data.len() * 8) as u64));
-    group.sample_size(10);
-    group.bench_function("fcm_encode_64k_values", |b| {
-        b.iter(|| fcm::encode(&data));
-    });
+    let data: Vec<u64> = (0..1 << 16)
+        .map(|i| ((i % 1024) as f64).to_bits())
+        .collect();
+    let group = Group::new("transforms_global")
+        .throughput_bytes((data.len() * 8) as u64)
+        .sample_size(10);
+    group.bench("fcm_encode_64k_values", || fcm::encode(&data));
     let enc = fcm::encode(&data);
-    group.bench_function("fcm_decode_64k_values", |b| {
-        b.iter(|| fcm::decode(&enc).expect("valid arrays"));
+    group.bench("fcm_decode_64k_values", || {
+        fcm::decode(&enc).expect("valid arrays")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

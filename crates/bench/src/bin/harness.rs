@@ -50,7 +50,11 @@ fn main() {
     }
 
     let scale = if quick { Scale::Small } else { Scale::Full };
-    let config = if quick { Config::quick() } else { Config::default() };
+    let config = if quick {
+        Config::quick()
+    } else {
+        Config::default()
+    };
     let run_all = requested.contains(&"all");
 
     if run_all || requested.contains(&"table1") {
@@ -100,11 +104,10 @@ fn main() {
         let build = |precision: Precision| match &data_dir {
             Some(dir) => {
                 let manifest = dir.join("manifest.txt");
-                fpc_bench::figures::suites_from_manifest(precision, &manifest)
-                    .unwrap_or_else(|e| {
-                        eprintln!("[harness] failed to load {}: {e}", manifest.display());
-                        std::process::exit(1);
-                    })
+                fpc_bench::figures::suites_from_manifest(precision, &manifest).unwrap_or_else(|e| {
+                    eprintln!("[harness] failed to load {}: {e}", manifest.display());
+                    std::process::exit(1);
+                })
             }
             None => suites_for(precision, scale),
         };
@@ -116,7 +119,10 @@ fn main() {
         let results = run_panel(precision, &target, suites, &config);
         let csv_path = out_dir.join(format!("{key}.csv"));
         if let Err(e) = report::write_csv(&csv_path, &results) {
-            eprintln!("[harness] warning: could not write {}: {e}", csv_path.display());
+            eprintln!(
+                "[harness] warning: could not write {}: {e}",
+                csv_path.display()
+            );
         }
         for fig in &figs {
             println!("{}", report::figure_table(fig, &results));
@@ -131,14 +137,13 @@ fn main() {
         // Miniature LC-framework study (§3): rank every <=2-stage chain.
         use fpc_bench::synth;
         let suites = sp_suites.get_or_insert_with(|| match &data_dir {
-            Some(dir) => fpc_bench::figures::suites_from_manifest(
-                Precision::Sp,
-                &dir.join("manifest.txt"),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("[harness] failed to load external data: {e}");
-                std::process::exit(1);
-            }),
+            Some(dir) => {
+                fpc_bench::figures::suites_from_manifest(Precision::Sp, &dir.join("manifest.txt"))
+                    .unwrap_or_else(|e| {
+                        eprintln!("[harness] failed to load external data: {e}");
+                        std::process::exit(1);
+                    })
+            }
             None => suites_for(Precision::Sp, scale),
         });
         let probe: Vec<u8> = suites
@@ -146,8 +151,11 @@ fn main() {
             .flat_map(|s| s.files.first())
             .flat_map(|(_, bytes, _)| bytes.iter().copied())
             .collect();
-        println!("### synth: LC-style pipeline enumeration (probe: {} bytes)
-", probe.len());
+        println!(
+            "### synth: LC-style pipeline enumeration (probe: {} bytes)
+",
+            probe.len()
+        );
         println!("| rank | pipeline | compressed bytes | ratio |");
         println!("|---|---|---|---|");
         for (i, (pipeline, size)) in synth::rank(&probe, 2).iter().take(15).enumerate() {
@@ -167,7 +175,10 @@ fn main() {
         println!("| study | variant | geo-mean ratio | compress GB/s |");
         println!("|---|---|---|---|");
         for r in &rows {
-            println!("| {} | {} | {:.4} | {:.3} |", r.study, r.variant, r.ratio, r.compress_gbps);
+            println!(
+                "| {} | {} | {:.4} | {:.3} |",
+                r.study, r.variant, r.ratio, r.compress_gbps
+            );
         }
         println!();
     }

@@ -26,7 +26,11 @@ impl Entry {
         Self {
             name: algorithm.name().to_string(),
             device: Device::Both,
-            datatype: if algorithm.is_single_precision() { Datatype::F32 } else { Datatype::F64 },
+            datatype: if algorithm.is_single_precision() {
+                Datatype::F32
+            } else {
+                Datatype::F64
+            },
             kind: Kind::Ours(algorithm),
         }
     }
@@ -63,7 +67,9 @@ impl Entry {
     pub fn decompress(&self, stream: &[u8], meta: &Meta) -> Vec<u8> {
         match &self.kind {
             Kind::Ours(_) => fpc_core::decompress_bytes(stream).expect("self-produced stream"),
-            Kind::Baseline(codec) => codec.decompress(stream, meta).expect("self-produced stream"),
+            Kind::Baseline(codec) => codec
+                .decompress(stream, meta)
+                .expect("self-produced stream"),
         }
     }
 }
@@ -136,8 +142,9 @@ mod tests {
 
     #[test]
     fn entries_roundtrip() {
-        let data: Vec<u8> =
-            (0..4096u32).flat_map(|i| (i as f32 * 0.1).to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .flat_map(|i| (i as f32 * 0.1).to_bits().to_le_bytes())
+            .collect();
         let meta = Meta::f32_flat(4096);
         for entry in entries_for(false, 4) {
             let c = entry.compress(&data, &meta);

@@ -70,18 +70,90 @@ pub fn all_figures() -> Vec<Figure> {
     let a100 = || Target::GpuModeled(DeviceProfile::a100());
     let cpu = || Target::CpuMeasured;
     vec![
-        Figure { id: "fig08", title: "RTX 4090, SP: ratio vs compression throughput", precision: Precision::Sp, target: rtx(), axis: Axis::Compression },
-        Figure { id: "fig09", title: "RTX 4090, SP: ratio vs decompression throughput", precision: Precision::Sp, target: rtx(), axis: Axis::Decompression },
-        Figure { id: "fig10", title: "A100, SP: ratio vs compression throughput", precision: Precision::Sp, target: a100(), axis: Axis::Compression },
-        Figure { id: "fig11", title: "A100, SP: ratio vs decompression throughput", precision: Precision::Sp, target: a100(), axis: Axis::Decompression },
-        Figure { id: "fig12", title: "CPU, SP: ratio vs compression throughput", precision: Precision::Sp, target: cpu(), axis: Axis::Compression },
-        Figure { id: "fig13", title: "CPU, SP: ratio vs decompression throughput", precision: Precision::Sp, target: cpu(), axis: Axis::Decompression },
-        Figure { id: "fig14", title: "RTX 4090, DP: ratio vs compression throughput", precision: Precision::Dp, target: rtx(), axis: Axis::Compression },
-        Figure { id: "fig15", title: "RTX 4090, DP: ratio vs decompression throughput", precision: Precision::Dp, target: rtx(), axis: Axis::Decompression },
-        Figure { id: "fig16", title: "A100, DP: ratio vs compression throughput", precision: Precision::Dp, target: a100(), axis: Axis::Compression },
-        Figure { id: "fig17", title: "A100, DP: ratio vs decompression throughput", precision: Precision::Dp, target: a100(), axis: Axis::Decompression },
-        Figure { id: "fig18", title: "CPU, DP: ratio vs compression throughput", precision: Precision::Dp, target: cpu(), axis: Axis::Compression },
-        Figure { id: "fig19", title: "CPU, DP: ratio vs decompression throughput", precision: Precision::Dp, target: cpu(), axis: Axis::Decompression },
+        Figure {
+            id: "fig08",
+            title: "RTX 4090, SP: ratio vs compression throughput",
+            precision: Precision::Sp,
+            target: rtx(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig09",
+            title: "RTX 4090, SP: ratio vs decompression throughput",
+            precision: Precision::Sp,
+            target: rtx(),
+            axis: Axis::Decompression,
+        },
+        Figure {
+            id: "fig10",
+            title: "A100, SP: ratio vs compression throughput",
+            precision: Precision::Sp,
+            target: a100(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig11",
+            title: "A100, SP: ratio vs decompression throughput",
+            precision: Precision::Sp,
+            target: a100(),
+            axis: Axis::Decompression,
+        },
+        Figure {
+            id: "fig12",
+            title: "CPU, SP: ratio vs compression throughput",
+            precision: Precision::Sp,
+            target: cpu(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig13",
+            title: "CPU, SP: ratio vs decompression throughput",
+            precision: Precision::Sp,
+            target: cpu(),
+            axis: Axis::Decompression,
+        },
+        Figure {
+            id: "fig14",
+            title: "RTX 4090, DP: ratio vs compression throughput",
+            precision: Precision::Dp,
+            target: rtx(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig15",
+            title: "RTX 4090, DP: ratio vs decompression throughput",
+            precision: Precision::Dp,
+            target: rtx(),
+            axis: Axis::Decompression,
+        },
+        Figure {
+            id: "fig16",
+            title: "A100, DP: ratio vs compression throughput",
+            precision: Precision::Dp,
+            target: a100(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig17",
+            title: "A100, DP: ratio vs decompression throughput",
+            precision: Precision::Dp,
+            target: a100(),
+            axis: Axis::Decompression,
+        },
+        Figure {
+            id: "fig18",
+            title: "CPU, DP: ratio vs compression throughput",
+            precision: Precision::Dp,
+            target: cpu(),
+            axis: Axis::Compression,
+        },
+        Figure {
+            id: "fig19",
+            title: "CPU, DP: ratio vs decompression throughput",
+            precision: Precision::Dp,
+            target: cpu(),
+            axis: Axis::Decompression,
+        },
     ]
 }
 
@@ -213,7 +285,10 @@ pub fn run_ablations(scale: Scale) -> Vec<AblationRow> {
     // 1. Enhanced-MPLG zigzag fallback (SPspeed/DPspeed).
     for (algo, suites) in [(Algorithm::SpSpeed, &sp), (Algorithm::DpSpeed, &dp)] {
         for fallback in [true, false] {
-            let opts = PipelineOptions { mplg_fallback: fallback, ..PipelineOptions::default() };
+            let opts = PipelineOptions {
+                mplg_fallback: fallback,
+                ..PipelineOptions::default()
+            };
             let c = Compressor::new(algo).with_options(opts);
             rows.push(run(
                 "mplg-fallback",
@@ -226,7 +301,10 @@ pub fn run_ablations(scale: Scale) -> Vec<AblationRow> {
 
     // 2. FCM match window (DPratio).
     for window in [1usize, 2, 4, 8] {
-        let opts = PipelineOptions { fcm_window: window, ..PipelineOptions::default() };
+        let opts = PipelineOptions {
+            fcm_window: window,
+            ..PipelineOptions::default()
+        };
         let c = Compressor::new(Algorithm::DpRatio).with_options(opts);
         rows.push(run("fcm-window", format!("window={window}"), &c, &dp));
     }
@@ -236,9 +314,17 @@ pub fn run_ablations(scale: Scale) -> Vec<AblationRow> {
         let c = Compressor::new(Algorithm::DpRatio);
         rows.push(run("raze-split", "adaptive".to_string(), &c, &dp));
         for kb in [2u8, 4, 6] {
-            let opts = PipelineOptions { fixed_split: Some(kb), ..PipelineOptions::default() };
+            let opts = PipelineOptions {
+                fixed_split: Some(kb),
+                ..PipelineOptions::default()
+            };
             let c = Compressor::new(Algorithm::DpRatio).with_options(opts);
-            rows.push(run("raze-split", format!("fixed k={}", kb as u32 * 8), &c, &dp));
+            rows.push(run(
+                "raze-split",
+                format!("fixed k={}", kb as u32 * 8),
+                &c,
+                &dp,
+            ));
         }
     }
 
@@ -275,7 +361,10 @@ mod tests {
             Precision::Sp,
             &Target::GpuModeled(DeviceProfile::rtx4090()),
             &suites[..1],
-            &Config { repetitions: 1, verify: true },
+            &Config {
+                repetitions: 1,
+                verify: true,
+            },
         );
         assert!(panel.len() >= 8, "got {}", panel.len());
         let ours: Vec<&CodecResult> = panel.iter().filter(|r| r.ours).collect();
@@ -295,7 +384,13 @@ mod tests {
             compress_gbps: 10.0,
             decompress_gbps: 20.0,
         }];
-        assert_eq!(points_for_axis(&results, Axis::Compression)[0].throughput, 10.0);
-        assert_eq!(points_for_axis(&results, Axis::Decompression)[0].throughput, 20.0);
+        assert_eq!(
+            points_for_axis(&results, Axis::Compression)[0].throughput,
+            10.0
+        );
+        assert_eq!(
+            points_for_axis(&results, Axis::Decompression)[0].throughput,
+            20.0
+        );
     }
 }

@@ -21,6 +21,7 @@
 pub mod entries;
 pub mod figures;
 pub mod measure;
+pub mod microbench;
 pub mod pareto;
 pub mod plot;
 pub mod report;

@@ -20,14 +20,20 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self { repetitions: 5, verify: true }
+        Self {
+            repetitions: 5,
+            verify: true,
+        }
     }
 }
 
 impl Config {
     /// Fast configuration for smoke runs.
     pub fn quick() -> Self {
-        Self { repetitions: 2, verify: true }
+        Self {
+            repetitions: 2,
+            verify: true,
+        }
     }
 }
 
@@ -52,7 +58,10 @@ fn meta_for(dims: Dims, element_width: u8) -> Meta {
         Dims::D2(r, c) => [1, r, c],
         Dims::D3(s, r, c) => [s, r, c],
     };
-    Meta { element_width, dims }
+    Meta {
+        element_width,
+        dims,
+    }
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -85,11 +94,17 @@ fn measure_file(entry: &Entry, bytes: &[u8], meta: &Meta, config: &Config) -> (f
 }
 
 fn dataset_bytes_f32(d: &Dataset<f32>) -> Vec<u8> {
-    d.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    d.values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
 fn dataset_bytes_f64(d: &Dataset<f64>) -> Vec<u8> {
-    d.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+    d.values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
 }
 
 /// A dataset suite converted to raw bytes plus per-file metadata.
@@ -208,7 +223,14 @@ mod tests {
     fn measure_cpu_produces_sane_numbers() {
         let suites = byte_suites_f32(&single_precision_suites(Scale::Small)[..2]);
         let entry = Entry::ours(Algorithm::SpSpeed);
-        let result = measure_cpu(&entry, &suites, &Config { repetitions: 1, verify: true });
+        let result = measure_cpu(
+            &entry,
+            &suites,
+            &Config {
+                repetitions: 1,
+                verify: true,
+            },
+        );
         assert!(result.ratio > 1.0, "ratio {}", result.ratio);
         assert!(result.compress_gbps > 0.0);
         assert!(result.decompress_gbps > 0.0);
@@ -220,9 +242,16 @@ mod tests {
         let suites = byte_suites_f32(&single_precision_suites(Scale::Small)[..1]);
         let entry = Entry::ours(Algorithm::SpSpeed);
         let profile = DeviceProfile::rtx4090();
-        let result =
-            measure_gpu_modeled(&entry, &suites, &profile, &Config { repetitions: 1, verify: true })
-                .expect("SPspeed has a GPU model");
+        let result = measure_gpu_modeled(
+            &entry,
+            &suites,
+            &profile,
+            &Config {
+                repetitions: 1,
+                verify: true,
+            },
+        )
+        .expect("SPspeed has a GPU model");
         assert!(result.compress_gbps > 500.0);
         assert!(result.ratio > 1.0);
     }

@@ -1,0 +1,149 @@
+//! Minimal offline micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency with an in-repo shim so
+//! `cargo bench` (and `cargo build --benches`) works without any registry
+//! access. Each bench binary is a plain `fn main()` (its `[[bench]]` entry
+//! sets `harness = false`) that builds [`Group`]s and times closures.
+//!
+//! Methodology: one untimed warm-up call, then `sample_size` timed calls;
+//! the *median* wall-clock time is reported together with throughput when
+//! the group declares a byte count. Medians make the output robust to
+//! scheduler noise without needing criterion's outlier statistics.
+//!
+//! Set `FPC_BENCH_SAMPLES` to override every group's sample count (e.g.
+//! `FPC_BENCH_SAMPLES=3` for a quick smoke run).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A named collection of related measurements sharing a throughput basis.
+pub struct Group {
+    name: String,
+    bytes: Option<u64>,
+    samples: usize,
+}
+
+impl Group {
+    /// Start a group; prints a heading immediately so output is streamed.
+    pub fn new(name: &str) -> Self {
+        println!("\n{name}");
+        Group {
+            name: name.to_string(),
+            bytes: None,
+            samples: 10,
+        }
+    }
+
+    /// Declare the number of input bytes one closure call processes, so
+    /// results are reported in GB/s as well as wall-clock time.
+    pub fn throughput_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = Some(bytes);
+        self
+    }
+
+    /// Number of timed samples per benchmark (median is reported).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("FPC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(self.samples)
+            .max(1)
+    }
+
+    /// Time `f` and print its median duration (and GB/s when known).
+    pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up: page in code and data, fill caches
+        let samples = self.effective_samples();
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.report(id, median(&mut times));
+    }
+
+    /// Time `f` on a fresh input from `setup` each sample (setup excluded
+    /// from the measurement) — the `iter_batched` pattern, for closures
+    /// that consume or mutate their input.
+    pub fn bench_batched<I, R>(
+        &self,
+        id: &str,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> R,
+    ) {
+        black_box(f(setup()));
+        let samples = self.effective_samples();
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.report(id, median(&mut times));
+    }
+
+    fn report(&self, id: &str, secs: f64) {
+        let label = format!("{}/{id}", self.name);
+        match self.bytes {
+            Some(bytes) if secs > 0.0 => {
+                let gbps = bytes as f64 / secs / 1e9;
+                println!("  {label:<48} {:>12}   {gbps:>8.3} GB/s", fmt_time(secs));
+            }
+            _ => println!("  {label:<48} {:>12}", fmt_time(secs)),
+        }
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.3} µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_invariant() {
+        let mut a = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&mut a), 2.0);
+        let mut b = vec![5.0, 4.0];
+        assert_eq!(median(&mut b), 5.0);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.5).ends_with(" s"));
+        assert!(fmt_time(2.5e-3).ends_with(" ms"));
+        assert!(fmt_time(2.5e-6).ends_with(" µs"));
+    }
+
+    #[test]
+    fn groups_run_closures() {
+        let g = Group::new("test_group").throughput_bytes(8).sample_size(2);
+        let mut calls = 0u32;
+        g.bench("counting", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls >= 3, "warm-up + 2 samples");
+        g.bench_batched("batched", || vec![1u8, 2], |v| v.len());
+    }
+}

@@ -32,8 +32,12 @@ pub fn pareto_front(points: &[Point]) -> Vec<bool> {
 /// Names of the Pareto-optimal codecs, sorted by descending throughput.
 pub fn front_names(points: &[Point]) -> Vec<String> {
     let on = pareto_front(points);
-    let mut front: Vec<&Point> =
-        points.iter().zip(&on).filter(|(_, &b)| b).map(|(p, _)| p).collect();
+    let mut front: Vec<&Point> = points
+        .iter()
+        .zip(&on)
+        .filter(|(_, &b)| b)
+        .map(|(p, _)| p)
+        .collect();
     front.sort_by(|a, b| b.throughput.partial_cmp(&a.throughput).expect("finite"));
     front.into_iter().map(|p| p.name.clone()).collect()
 }
@@ -43,7 +47,11 @@ mod tests {
     use super::*;
 
     fn p(name: &str, throughput: f64, ratio: f64) -> Point {
-        Point { name: name.to_string(), throughput, ratio }
+        Point {
+            name: name.to_string(),
+            throughput,
+            ratio,
+        }
     }
 
     #[test]
@@ -54,7 +62,11 @@ mod tests {
 
     #[test]
     fn dominated_point_excluded() {
-        let pts = [p("fast", 10.0, 2.0), p("slow-worse", 5.0, 1.5), p("dense", 1.0, 3.0)];
+        let pts = [
+            p("fast", 10.0, 2.0),
+            p("slow-worse", 5.0, 1.5),
+            p("dense", 1.0, 3.0),
+        ];
         assert_eq!(pareto_front(&pts), vec![true, false, true]);
         assert_eq!(front_names(&pts), vec!["fast", "dense"]);
     }
@@ -74,8 +86,9 @@ mod tests {
 
     #[test]
     fn diagonal_chain_all_optimal() {
-        let pts: Vec<Point> =
-            (1..=5).map(|i| p(&format!("c{i}"), i as f64, 10.0 / i as f64)).collect();
+        let pts: Vec<Point> = (1..=5)
+            .map(|i| p(&format!("c{i}"), i as f64, 10.0 / i as f64))
+            .collect();
         assert!(pareto_front(&pts).into_iter().all(|b| b));
     }
 }

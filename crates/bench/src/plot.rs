@@ -38,7 +38,10 @@ pub fn svg_scatter(figure: &Figure, results: &[CodecResult]) -> String {
         svg,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
     );
-    let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         svg,
         r#"<text x="{:.1}" y="24" font-size="15" text-anchor="middle">{} — {}</text>"#,
@@ -72,7 +75,11 @@ pub fn svg_scatter(figure: &Figure, results: &[CodecResult]) -> String {
     // Tick labels (min/mid/max on each axis, in data units).
     for frac in [0.0f64, 0.5, 1.0] {
         let xv = x_min + frac * (x_max - x_min);
-        let label = if log_x { format!("{:.3}", 10f64.powf(xv)) } else { format!("{xv:.0}") };
+        let label = if log_x {
+            format!("{:.3}", 10f64.powf(xv))
+        } else {
+            format!("{xv:.0}")
+        };
         let _ = write!(
             svg,
             r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="middle">{label}</text>"#,
@@ -88,14 +95,23 @@ pub fn svg_scatter(figure: &Figure, results: &[CodecResult]) -> String {
         );
     }
     // Pareto front as a descending step line.
-    let mut front: Vec<&Point> =
-        points.iter().zip(&on_front).filter(|(_, &b)| b).map(|(p, _)| p).collect();
+    let mut front: Vec<&Point> = points
+        .iter()
+        .zip(&on_front)
+        .filter(|(_, &b)| b)
+        .map(|(p, _)| p)
+        .collect();
     front.sort_by(|a, b| a.throughput.partial_cmp(&b.throughput).expect("finite"));
     if front.len() > 1 {
         let mut path = String::new();
         for (i, p) in front.iter().enumerate() {
             let cmd = if i == 0 { 'M' } else { 'L' };
-            let _ = write!(path, "{cmd}{:.1} {:.1} ", sx(tx(p.throughput, log_x)), sy(p.ratio));
+            let _ = write!(
+                path,
+                "{cmd}{:.1} {:.1} ",
+                sx(tx(p.throughput, log_x)),
+                sy(p.ratio)
+            );
         }
         let _ = write!(
             svg,
@@ -106,9 +122,20 @@ pub fn svg_scatter(figure: &Figure, results: &[CodecResult]) -> String {
     for (p, (r, &front)) in points.iter().zip(results.iter().zip(&on_front)) {
         let cx = sx(tx(p.throughput, log_x));
         let cy = sy(p.ratio);
-        let (fill, radius) = if r.ours { ("#d62828", 5.0) } else { ("#457b9d", 3.5) };
-        let stroke = if front { r##" stroke="#2a9d8f" stroke-width="2""## } else { "" };
-        let _ = write!(svg, r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius}" fill="{fill}"{stroke}/>"#);
+        let (fill, radius) = if r.ours {
+            ("#d62828", 5.0)
+        } else {
+            ("#457b9d", 3.5)
+        };
+        let stroke = if front {
+            r##" stroke="#2a9d8f" stroke-width="2""##
+        } else {
+            ""
+        };
+        let _ = write!(
+            svg,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{radius}" fill="{fill}"{stroke}/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{:.1}" y="{:.1}" font-size="10">{}</text>"#,
@@ -156,7 +183,9 @@ fn padded_range(values: &[f64]) -> (f64, f64) {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -173,9 +202,27 @@ mod tests {
             axis: Axis::Compression,
         };
         let results = vec![
-            CodecResult { name: "SPspeed".into(), ours: true, ratio: 1.4, compress_gbps: 518.0, decompress_gbps: 540.0 },
-            CodecResult { name: "Slow&Dense".into(), ours: false, ratio: 2.0, compress_gbps: 10.0, decompress_gbps: 12.0 },
-            CodecResult { name: "Dominated".into(), ours: false, ratio: 1.1, compress_gbps: 5.0, decompress_gbps: 6.0 },
+            CodecResult {
+                name: "SPspeed".into(),
+                ours: true,
+                ratio: 1.4,
+                compress_gbps: 518.0,
+                decompress_gbps: 540.0,
+            },
+            CodecResult {
+                name: "Slow&Dense".into(),
+                ours: false,
+                ratio: 2.0,
+                compress_gbps: 10.0,
+                decompress_gbps: 12.0,
+            },
+            CodecResult {
+                name: "Dominated".into(),
+                ours: false,
+                ratio: 1.1,
+                compress_gbps: 5.0,
+                decompress_gbps: 6.0,
+            },
         ];
         (figure, results)
     }

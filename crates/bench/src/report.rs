@@ -58,7 +58,6 @@ pub fn write_csv(path: &Path, results: &[CodecResult]) -> std::io::Result<()> {
     Ok(())
 }
 
-
 /// Reads a panel CSV written by [`write_csv`].
 ///
 /// # Errors
@@ -111,7 +110,9 @@ pub fn table1() -> String {
             codec.name()
         ));
     }
-    out.push_str("| CPU+GPU | SPspeed/SPratio/DPspeed/DPratio | FP32 / FP64 | this crate (ours) |\n");
+    out.push_str(
+        "| CPU+GPU | SPspeed/SPratio/DPspeed/DPratio | FP32 / FP64 | this crate (ours) |\n",
+    );
     out
 }
 
@@ -121,7 +122,11 @@ pub fn stages() -> String {
     out.push_str("### fig01: the stages (transformations) of the 4 algorithms\n\n");
     out.push_str("| algorithm | stages |\n|---|---|\n");
     for algo in fpc_core::Algorithm::ALL {
-        out.push_str(&format!("| {} | {} |\n", algo.name(), algo.stages().join(" -> ")));
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            algo.name(),
+            algo.stages().join(" -> ")
+        ));
     }
     out
 }
@@ -134,8 +139,20 @@ mod tests {
 
     fn sample_results() -> Vec<CodecResult> {
         vec![
-            CodecResult { name: "SPspeed".into(), ours: true, ratio: 1.4, compress_gbps: 518.0, decompress_gbps: 540.0 },
-            CodecResult { name: "Slowpoke".into(), ours: false, ratio: 1.1, compress_gbps: 3.0, decompress_gbps: 5.0 },
+            CodecResult {
+                name: "SPspeed".into(),
+                ours: true,
+                ratio: 1.4,
+                compress_gbps: 518.0,
+                decompress_gbps: 540.0,
+            },
+            CodecResult {
+                name: "Slowpoke".into(),
+                ours: false,
+                ratio: 1.1,
+                compress_gbps: 3.0,
+                decompress_gbps: 5.0,
+            },
         ]
     }
 

@@ -4,6 +4,7 @@
 //! fpcc compress   --algo spratio [--threads N] <input> <output>
 //! fpcc decompress <input> <output>
 //! fpcc info       <file>
+//! fpcc verify     <file>                  # checksum audit, no decompression
 //! fpcc survey     --width 4|8 <file>      # run every applicable codec
 //! fpcc gen        --precision sp|dp --out DIR   # synthetic datasets + manifest
 //! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
@@ -20,16 +21,18 @@ fn main() -> ExitCode {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("survey") => cmd_survey(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("anatomy") => cmd_anatomy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fpcc <compress|decompress|info|survey|gen|anatomy> ...\n\
+                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy> ...\n\
                  \n\
                  compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
                  decompress <in> <out>\n\
                  info       <file>\n\
+                 verify     <file>   # per-chunk checksum audit, exit 1 on damage\n\
                  survey     --width <4|8> <file>\n\
                  gen        --precision <sp|dp> --out <dir>\n\
                  anatomy    --algo <name> <file>   # per-stage volume breakdown"
@@ -47,7 +50,10 @@ fn main() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn positional(args: &[String]) -> Vec<&str> {
@@ -90,7 +96,9 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     };
     let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let start = std::time::Instant::now();
-    let stream = Compressor::new(algo).with_threads(threads).compress_bytes(&data);
+    let stream = Compressor::new(algo)
+        .with_threads(threads)
+        .compress_bytes(&data);
     let dt = start.elapsed().as_secs_f64();
     std::fs::write(output, &stream).map_err(|e| format!("writing {output}: {e}"))?;
     println!(
@@ -136,12 +144,50 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("original bytes: {}", info.original_len);
     println!("stream bytes:   {}", info.compressed_len);
     println!("ratio:          {:.4}", info.ratio());
-    println!("chunks:         {} ({} stored raw)", info.chunks, info.raw_chunks);
+    println!(
+        "chunks:         {} ({} stored raw)",
+        info.chunks, info.raw_chunks
+    );
     Ok(())
 }
 
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <file>".into());
+    };
+    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    // verify() walks the chunk table and re-hashes each compressed chunk in
+    // place — nothing is decompressed or materialized.
+    let (header, report) = fpc_container::verify(&stream).map_err(|e| e.to_string())?;
+    println!("format version: {}", header.version);
+    println!("chunks:         {}", report.chunks);
+    if !report.checksummed {
+        println!("checksums:      none (v1 stream) — integrity cannot be audited");
+        return Ok(());
+    }
+    if report.is_clean() {
+        println!("checksums:      all {} chunk(s) verified OK", report.chunks);
+        return Ok(());
+    }
+    for d in &report.damaged {
+        println!(
+            "DAMAGED chunk {:>6} at byte offset {:>10}: {}",
+            d.chunk, d.offset, d.error
+        );
+    }
+    Err(format!(
+        "{} of {} chunk(s) damaged",
+        report.damaged.len(),
+        report.chunks
+    ))
+}
+
 fn cmd_survey(args: &[String]) -> Result<(), String> {
-    let width: u8 = flag_value(args, "--width").unwrap_or("4").parse().map_err(|_| "bad --width")?;
+    let width: u8 = flag_value(args, "--width")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "bad --width")?;
     if width != 4 && width != 8 {
         return Err("--width must be 4 or 8".into());
     }
@@ -150,8 +196,10 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
         return Err("expected <file>".into());
     };
     let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let meta =
-        Meta { element_width: width, dims: [1, 1, data.len() / usize::from(width)] };
+    let meta = Meta {
+        element_width: width,
+        dims: [1, 1, data.len() / usize::from(width)],
+    };
     println!("| codec | ratio | compress GB/s | decompress GB/s |");
     println!("|---|---|---|---|");
     // Ours first.
@@ -181,7 +229,9 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
         let stream = codec.compress(&data, &meta);
         let ct = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let back = codec.decompress(&stream, &meta).map_err(|e| e.to_string())?;
+        let back = codec
+            .decompress(&stream, &meta)
+            .map_err(|e| e.to_string())?;
         let dt = t1.elapsed().as_secs_f64();
         if back != data {
             return Err(format!("{} roundtrip mismatch", codec.name()));

@@ -15,7 +15,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 fn sample_file(dir: &std::path::Path) -> PathBuf {
     let values: Vec<f32> = (0..50_000).map(|i| (i as f32 * 1e-3).sin() * 7.0).collect();
-    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let bytes: Vec<u8> = values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
     let path = dir.join("input.bin");
     std::fs::write(&path, bytes).expect("write sample");
     path
@@ -92,8 +95,12 @@ fn decompress_rejects_garbage() {
     let dir = temp_dir("garbage");
     let bogus = dir.join("bogus.fpc");
     std::fs::write(&bogus, b"this is not a stream").expect("write");
-    let output =
-        fpcc().arg("decompress").arg(&bogus).arg(dir.join("out.bin")).output().expect("run");
+    let output = fpcc()
+        .arg("decompress")
+        .arg(&bogus)
+        .arg(dir.join("out.bin"))
+        .output()
+        .expect("run");
     assert!(!output.status.success());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,6 +1,10 @@
 //! Container decoding errors.
 
 /// Errors produced while parsing or decompressing a container stream.
+///
+/// Variants carry enough structure (chunk indices, byte offsets, requested
+/// vs. available lengths) for callers to report *where* a stream is damaged,
+/// not merely that it is.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// The stream does not start with the `FPCR` magic bytes.
@@ -11,6 +15,34 @@ pub enum Error {
     UnexpectedEof,
     /// A structural invariant was violated.
     Corrupt(&'static str),
+    /// A stored checksum does not match the recomputed one.
+    ///
+    /// `chunk` is `Some(i)` when chunk `i`'s payload checksum failed and
+    /// `None` when the header or chunk-table checksum failed; `offset` is
+    /// the byte offset of the checksummed region within the stream.
+    ChecksumMismatch {
+        /// Damaged chunk index, or `None` for the header/table frame.
+        chunk: Option<u32>,
+        /// Byte offset of the start of the checksummed region.
+        offset: u64,
+    },
+    /// A length field requests more than the stream can possibly hold.
+    LengthOverflow {
+        /// Which field overflowed (e.g. `"chunk table"`).
+        what: &'static str,
+        /// The length the stream asked for, in bytes.
+        requested: u64,
+        /// The bytes actually available.
+        available: u64,
+    },
+    /// The header declares an invalid field value (bad algorithm id,
+    /// element width, or chunk size).
+    InvalidHeader {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected raw value.
+        value: u64,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -20,6 +52,28 @@ impl core::fmt::Display for Error {
             Error::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
             Error::UnexpectedEof => write!(f, "unexpected end of stream"),
             Error::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+            Error::ChecksumMismatch {
+                chunk: Some(c),
+                offset,
+            } => {
+                write!(f, "checksum mismatch in chunk {c} (stream offset {offset})")
+            }
+            Error::ChecksumMismatch {
+                chunk: None,
+                offset,
+            } => {
+                write!(f, "checksum mismatch in stream framing (offset {offset})")
+            }
+            Error::LengthOverflow {
+                what,
+                requested,
+                available,
+            } => {
+                write!(f, "length overflow: {what} requests {requested} bytes but only {available} are available")
+            }
+            Error::InvalidHeader { field, value } => {
+                write!(f, "invalid header field {field}: {value}")
+            }
         }
     }
 }
@@ -37,11 +91,44 @@ mod tests {
             Error::UnsupportedVersion(9),
             Error::UnexpectedEof,
             Error::Corrupt("x"),
+            Error::ChecksumMismatch {
+                chunk: Some(3),
+                offset: 128,
+            },
+            Error::ChecksumMismatch {
+                chunk: None,
+                offset: 0,
+            },
+            Error::LengthOverflow {
+                what: "chunk table",
+                requested: 1 << 40,
+                available: 16,
+            },
+            Error::InvalidHeader {
+                field: "element_width",
+                value: 3,
+            },
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().expect("nonempty").is_lowercase());
         }
+    }
+
+    #[test]
+    fn structured_variants_expose_locations() {
+        let e = Error::ChecksumMismatch {
+            chunk: Some(7),
+            offset: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("4096"), "{s}");
+        let e = Error::LengthOverflow {
+            what: "payload",
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The fixed-size container header.
 
+use crate::checksum::frame_checksum;
 use crate::Error;
 
 /// Stream magic: "FPCR".
 pub const MAGIC: [u8; 4] = *b"FPCR";
-/// Current format version.
-pub const VERSION: u8 = 1;
+/// First format version: no integrity layer (still readable).
+pub const VERSION_1: u8 = 1;
+/// Current format version: header/table/chunk checksums.
+pub const VERSION: u8 = 2;
 
 /// Algorithm identifier for SPspeed.
 pub const ALGO_SP_SPEED: u8 = 1;
@@ -22,9 +25,17 @@ pub const ALGO_DP_RATIO: u8 = 4;
 /// the chunked stream, which differs from `original_len` only for
 /// algorithms with a global preprocessing stage (DPratio's FCM doubles the
 /// data before chunking).
+///
+/// `version` selects the frame layout on write: [`VERSION`] (the default)
+/// adds a header checksum directly after the fixed fields plus per-chunk
+/// and table checksums; [`VERSION_1`] writes the legacy checksum-free
+/// frame. Decoders accept both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
-    /// Algorithm identifier (one of the `ALGO_*` constants or a custom id).
+    /// Format version this header was read from / will be written as.
+    pub version: u8,
+    /// Algorithm identifier (one of the `ALGO_*` constants or a custom id;
+    /// zero is reserved as invalid).
     pub algorithm: u8,
     /// Element width in bytes (4 for single precision, 8 for double).
     pub element_width: u8,
@@ -37,12 +48,16 @@ pub struct Header {
 }
 
 impl Header {
-    /// Serialized size in bytes.
+    /// Serialized size of the version-independent fixed fields in bytes.
     pub const ENCODED_LEN: usize = 4 + 1 + 1 + 1 + 1 + 8 + 8 + 4;
 
-    /// Creates a header with the default chunk size.
+    /// Serialized size of a v2 header (fixed fields + header checksum).
+    pub const ENCODED_LEN_V2: usize = Self::ENCODED_LEN + 8;
+
+    /// Creates a current-version header with the default chunk size.
     pub fn new(algorithm: u8, element_width: u8, original_len: u64, payload_len: u64) -> Self {
         Self {
+            version: VERSION,
             algorithm,
             element_width,
             original_len,
@@ -51,40 +66,101 @@ impl Header {
         }
     }
 
-    /// Appends the serialized header to `out`.
+    /// Serialized header length for this header's version.
+    pub fn encoded_len(&self) -> usize {
+        if self.version >= VERSION {
+            Self::ENCODED_LEN_V2
+        } else {
+            Self::ENCODED_LEN
+        }
+    }
+
+    /// Appends the serialized header (and, for v2, its checksum) to `out`.
     pub fn write(&self, out: &mut Vec<u8>) {
+        let start = out.len();
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(self.version);
         out.push(self.algorithm);
         out.push(self.element_width);
         out.push(0); // reserved
         out.extend_from_slice(&self.original_len.to_le_bytes());
         out.extend_from_slice(&self.payload_len.to_le_bytes());
         out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        if self.version >= VERSION {
+            let sum = frame_checksum(&out[start..start + Self::ENCODED_LEN]);
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
     }
 
-    /// Parses a header from `data` at `*pos`, advancing `*pos`.
+    /// Parses and validates a header from `data` at `*pos`, advancing
+    /// `*pos`.
+    ///
+    /// Validation is the first line of defense against hostile input: the
+    /// element width must be 4 or 8, the chunk size must lie in
+    /// `(0, MAX_CHUNK_SIZE]`, the algorithm id must be nonzero, and for v2
+    /// streams the header checksum must match — so every later stage can
+    /// trust these fields.
     ///
     /// # Errors
     ///
-    /// Fails on truncation, wrong magic, or an unknown version.
+    /// Fails on truncation, wrong magic, an unknown version, invalid field
+    /// values, or (v2) a header-checksum mismatch.
     pub fn read(data: &[u8], pos: &mut usize) -> Result<Self, Error> {
-        let end = pos.checked_add(Self::ENCODED_LEN).ok_or(Error::Corrupt("offset overflow"))?;
-        let bytes = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
+        let rest = data.get(*pos..).ok_or(Error::UnexpectedEof)?;
+        let Some((bytes, after)) = rest.split_first_chunk::<{ Self::ENCODED_LEN }>() else {
+            return Err(Error::UnexpectedEof);
+        };
         if bytes[0..4] != MAGIC {
             return Err(Error::BadMagic);
         }
-        if bytes[4] != VERSION {
-            return Err(Error::UnsupportedVersion(bytes[4]));
+        // Infallible destructuring: the 28-byte length is checked once
+        // above, so no per-field `try_into().expect` is needed.
+        let &[_, _, _, _, version, algorithm, element_width, _reserved, o0, o1, o2, o3, o4, o5, o6, o7, p0, p1, p2, p3, p4, p5, p6, p7, c0, c1, c2, c3] =
+            bytes;
+        if version != VERSION_1 && version != VERSION {
+            return Err(Error::UnsupportedVersion(version));
         }
         let header = Self {
-            algorithm: bytes[5],
-            element_width: bytes[6],
-            original_len: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
-            payload_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
-            chunk_size: u32::from_le_bytes(bytes[24..28].try_into().expect("4 bytes")),
+            version,
+            algorithm,
+            element_width,
+            original_len: u64::from_le_bytes([o0, o1, o2, o3, o4, o5, o6, o7]),
+            payload_len: u64::from_le_bytes([p0, p1, p2, p3, p4, p5, p6, p7]),
+            chunk_size: u32::from_le_bytes([c0, c1, c2, c3]),
         };
-        *pos = end;
+        if header.algorithm == 0 {
+            return Err(Error::InvalidHeader {
+                field: "algorithm",
+                value: 0,
+            });
+        }
+        if header.element_width != 4 && header.element_width != 8 {
+            return Err(Error::InvalidHeader {
+                field: "element_width",
+                value: u64::from(header.element_width),
+            });
+        }
+        if header.chunk_size == 0 || header.chunk_size as usize > crate::MAX_CHUNK_SIZE {
+            return Err(Error::InvalidHeader {
+                field: "chunk_size",
+                value: u64::from(header.chunk_size),
+            });
+        }
+        let mut consumed = Self::ENCODED_LEN;
+        if version >= VERSION {
+            let Some((sum_bytes, _)) = after.split_first_chunk::<8>() else {
+                return Err(Error::UnexpectedEof);
+            };
+            let stored = u64::from_le_bytes(*sum_bytes);
+            if stored != frame_checksum(bytes) {
+                return Err(Error::ChecksumMismatch {
+                    chunk: None,
+                    offset: *pos as u64,
+                });
+            }
+            consumed = Self::ENCODED_LEN_V2;
+        }
+        *pos += consumed;
         Ok(header)
     }
 }
@@ -94,14 +170,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roundtrip() {
+    fn roundtrip_v2() {
         let h = Header {
+            version: VERSION,
             algorithm: ALGO_DP_RATIO,
             element_width: 8,
             original_len: 123_456_789,
             payload_len: 246_913_578,
             chunk_size: 16384,
         };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), Header::ENCODED_LEN_V2);
+        let mut pos = 0;
+        let parsed = Header::read(&buf, &mut pos).unwrap();
+        assert_eq!(pos, Header::ENCODED_LEN_V2);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn roundtrip_v1() {
+        let mut h = Header::new(ALGO_SP_SPEED, 4, 100, 100);
+        h.version = VERSION_1;
         let mut buf = Vec::new();
         h.write(&mut buf);
         assert_eq!(buf.len(), Header::ENCODED_LEN);
@@ -126,7 +216,10 @@ mod tests {
         Header::new(1, 4, 0, 0).write(&mut buf);
         buf[4] = 99;
         let mut pos = 0;
-        assert_eq!(Header::read(&buf, &mut pos), Err(Error::UnsupportedVersion(99)));
+        assert_eq!(
+            Header::read(&buf, &mut pos),
+            Err(Error::UnsupportedVersion(99))
+        );
     }
 
     #[test]
@@ -134,6 +227,60 @@ mod tests {
         let mut buf = Vec::new();
         Header::new(1, 4, 0, 0).write(&mut buf);
         let mut pos = 0;
-        assert_eq!(Header::read(&buf[..10], &mut pos), Err(Error::UnexpectedEof));
+        assert_eq!(
+            Header::read(&buf[..10], &mut pos),
+            Err(Error::UnexpectedEof)
+        );
+        // v2 header cut inside its checksum is also EOF, not a panic.
+        let mut pos = 0;
+        assert_eq!(
+            Header::read(&buf[..Header::ENCODED_LEN + 3], &mut pos),
+            Err(Error::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn header_checksum_detects_field_tampering() {
+        let mut buf = Vec::new();
+        Header::new(ALGO_SP_RATIO, 4, 1000, 1000).write(&mut buf);
+        // Tamper with payload_len (offset 16): v1 would accept this.
+        for offset in [8usize, 16, 24] {
+            let mut bad = buf.clone();
+            bad[offset] ^= 0x01;
+            let mut pos = 0;
+            assert!(
+                matches!(
+                    Header::read(&bad, &mut pos),
+                    Err(Error::ChecksumMismatch { chunk: None, .. })
+                ),
+                "tamper at {offset} undetected"
+            );
+        }
+    }
+
+    type Tweak = fn(&mut Header);
+
+    #[test]
+    fn invalid_fields_rejected() {
+        let cases: &[(Tweak, &str)] = &[
+            (|h| h.algorithm = 0, "algorithm"),
+            (|h| h.element_width = 3, "element_width"),
+            (|h| h.chunk_size = 0, "chunk_size"),
+            (
+                |h| h.chunk_size = (crate::MAX_CHUNK_SIZE as u32) + 1,
+                "chunk_size",
+            ),
+        ];
+        for (tweak, field) in cases {
+            let mut h = Header::new(1, 4, 0, 0);
+            tweak(&mut h);
+            let mut buf = Vec::new();
+            h.write(&mut buf);
+            let mut pos = 0;
+            match Header::read(&buf, &mut pos) {
+                Err(Error::InvalidHeader { field: f, .. }) => assert_eq!(f, *field),
+                other => panic!("expected InvalidHeader({field}), got {other:?}"),
+            }
+        }
     }
 }

@@ -15,20 +15,40 @@
 //!
 //! # Stream layout
 //!
+//! Version 2 (current) frames every region with an XXH64 checksum
+//! ([`checksum`]), so corruption anywhere in the stream is *detected*
+//! rather than decoded into garbage:
+//!
+//! ```text
+//! [Header: 28 bytes][header xxh64: u64]
+//! [chunk count: u32][chunk table: u32 × count][chunk xxh64: u64 × count]
+//! [table xxh64: u64]
+//! [payloads…]
+//! ```
+//!
+//! Version 1 (legacy, still decodable) omits all three checksum regions:
+//!
 //! ```text
 //! [Header: 28 bytes][chunk count: u32][chunk table: u32 × count][payloads…]
 //! ```
 //!
 //! Each chunk-table entry stores the compressed size in the low 31 bits and
-//! a "stored raw" flag in the high bit.
+//! a "stored raw" flag in the high bit. Chunk checksums cover each chunk's
+//! *compressed* bytes, so [`verify`] can authenticate a stream without
+//! decoding it; the table checksum covers the count, table, and chunk
+//! checksums; the header checksum covers the 28 fixed header bytes.
 
+pub mod checksum;
 mod error;
 mod header;
 mod parallel;
 
 pub use error::Error;
-pub use header::{Header, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED};
+pub use header::{
+    Header, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED, VERSION, VERSION_1,
+};
 
+use checksum::frame_checksum;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -57,64 +77,153 @@ pub trait ChunkCodec: Sync {
     /// # Errors
     ///
     /// Returns an error for truncated or corrupt chunk data.
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>)
-        -> Result<(), Error>;
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error>;
 }
 
 /// Compresses `payload` into a complete container stream.
+///
+/// The frame layout follows `header.version`: [`VERSION`] (the default from
+/// [`Header::new`]) writes the integrity-checked v2 frame; [`VERSION_1`]
+/// writes the legacy frame for compatibility testing.
 ///
 /// `threads == 0` uses all available parallelism; `threads == 1` runs
 /// inline on the calling thread.
 pub fn compress(header: Header, payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
     debug_assert_eq!(header.payload_len, payload.len() as u64);
+    assert!(
+        header.version == VERSION_1 || header.version == VERSION,
+        "cannot write unknown format version {}",
+        header.version
+    );
+    let with_checksums = header.version >= VERSION;
     let chunk_size = header.chunk_size as usize;
     assert!(chunk_size > 0, "chunk size must be nonzero");
     let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
     let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
         let mut enc = Vec::with_capacity(chunks[i].len() / 2 + 64);
         codec.encode_chunk(chunks[i], &mut enc);
-        if enc.len() >= chunks[i].len() {
+        let (raw, body) = if enc.len() >= chunks[i].len() {
             // Worst-case cap: store the original bytes, flagged raw.
             (true, chunks[i].to_vec())
         } else {
             (false, enc)
-        }
+        };
+        let sum = if with_checksums {
+            frame_checksum(&body)
+        } else {
+            0
+        };
+        (raw, body, sum)
     });
 
     let mut out = Vec::with_capacity(payload.len() / 2 + 64);
     header.write(&mut out);
+    let table_start = out.len();
     out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
-    for (raw, data) in &encoded {
-        assert!(data.len() as u32 <= SIZE_MASK, "chunk exceeds size field");
-        let entry = data.len() as u32 | if *raw { RAW_FLAG } else { 0 };
+    for (raw, body, _) in &encoded {
+        assert!(body.len() as u32 <= SIZE_MASK, "chunk exceeds size field");
+        let entry = body.len() as u32 | if *raw { RAW_FLAG } else { 0 };
         out.extend_from_slice(&entry.to_le_bytes());
     }
-    for (_, data) in &encoded {
-        out.extend_from_slice(data);
+    if with_checksums {
+        for (_, _, sum) in &encoded {
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
+        let table_sum = frame_checksum(&out[table_start..]);
+        out.extend_from_slice(&table_sum.to_le_bytes());
+    }
+    for (_, body, _) in &encoded {
+        out.extend_from_slice(body);
     }
     out
 }
 
-/// Parses and validates the container, returning the header and the
-/// decompressed payload.
-///
-/// # Errors
-///
-/// Fails on malformed headers, truncated streams, or chunk payloads the
-/// codec rejects.
-pub fn decompress(
-    data: &[u8],
-    codec: &dyn ChunkCodec,
-    threads: usize,
-) -> Result<(Header, Vec<u8>), Error> {
+/// Parsed and validated frame metadata: everything before the payloads.
+struct Frame<'a> {
+    header: Header,
+    /// Chunk count.
+    count: usize,
+    /// Raw chunk-table entries (size | raw flag).
+    entries: Vec<u32>,
+    /// Stored per-chunk checksums (empty for v1 streams).
+    checksums: Vec<u64>,
+    /// Payload byte offsets; `offsets[i]..offsets[i+1]` is chunk `i`.
+    offsets: Vec<usize>,
+    data: &'a [u8],
+}
+
+impl Frame<'_> {
+    /// Original (decoded) length of chunk `i`.
+    fn expected_len(&self, i: usize) -> usize {
+        let chunk_size = self.header.chunk_size as usize;
+        let payload_len = self.header.payload_len as usize;
+        if i + 1 == self.count {
+            payload_len - (self.count - 1) * chunk_size
+        } else {
+            chunk_size
+        }
+    }
+
+    /// Compressed bytes of chunk `i`.
+    fn body(&self, i: usize) -> &[u8] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Checks chunk `i`'s stored checksum (v2; trivially true for v1).
+    fn chunk_checksum_ok(&self, i: usize) -> bool {
+        self.checksums.is_empty() || frame_checksum(self.body(i)) == self.checksums[i]
+    }
+
+    /// Verifies chunk `i` without decoding: checksum (v2) and, for raw
+    /// chunks, the stored-length invariant.
+    fn check_chunk(&self, i: usize) -> Result<(), Error> {
+        if !self.chunk_checksum_ok(i) {
+            return Err(Error::ChecksumMismatch {
+                chunk: Some(i as u32),
+                offset: self.offsets[i] as u64,
+            });
+        }
+        if self.entries[i] & RAW_FLAG != 0 && self.body(i).len() != self.expected_len(i) {
+            return Err(Error::Corrupt("raw chunk length mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Decodes chunk `i` into a fresh buffer, enforcing the expected length.
+    fn decode_chunk(&self, i: usize, codec: &dyn ChunkCodec) -> Result<Vec<u8>, Error> {
+        self.check_chunk(i)?;
+        let expected_len = self.expected_len(i);
+        let body = self.body(i);
+        if self.entries[i] & RAW_FLAG != 0 {
+            return Ok(body.to_vec());
+        }
+        let mut out = Vec::with_capacity(expected_len.min(MAX_CHUNK_SIZE));
+        codec.decode_chunk(body, expected_len, &mut out)?;
+        if out.len() != expected_len {
+            return Err(Error::Corrupt("decoded chunk length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+/// Parses the header, chunk table, and (v2) checksum regions, validating
+/// every structural invariant against the *actual* stream length before any
+/// length-derived allocation — a 16-byte stream can never request a
+/// multi-gigabyte buffer.
+fn parse_frame(data: &[u8]) -> Result<Frame<'_>, Error> {
     let mut pos = 0usize;
     let header = Header::read(data, &mut pos)?;
     let chunk_size = header.chunk_size as usize;
-    if chunk_size == 0 || chunk_size > MAX_CHUNK_SIZE {
-        return Err(Error::Corrupt("chunk size out of range"));
-    }
-    let payload_len = usize::try_from(header.payload_len)
-        .map_err(|_| Error::Corrupt("payload length exceeds address space"))?;
+    let payload_len = usize::try_from(header.payload_len).map_err(|_| Error::LengthOverflow {
+        what: "payload length",
+        requested: header.payload_len,
+        available: data.len() as u64,
+    })?;
 
     let count = read_u32(data, &mut pos)? as usize;
     let expected_chunks = payload_len.div_ceil(chunk_size);
@@ -122,11 +231,40 @@ pub fn decompress(
         return Err(Error::Corrupt("chunk count does not match payload length"));
     }
 
-    // Chunk table + prefix sum of read positions.
+    // Bound the whole metadata region against the remaining bytes before
+    // allocating anything sized by `count`.
+    let with_checksums = header.version >= VERSION;
+    let meta_bytes = (count as u64) * if with_checksums { 4 + 8 } else { 4 }
+        + if with_checksums { 8 } else { 0 };
+    let remaining = (data.len() - pos) as u64;
+    if meta_bytes > remaining {
+        return Err(Error::LengthOverflow {
+            what: "chunk table",
+            requested: meta_bytes,
+            available: remaining,
+        });
+    }
+
+    let table_start = pos - 4; // include the count field in the table frame
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
         entries.push(read_u32(data, &mut pos)?);
     }
+    let mut checksums = Vec::new();
+    if with_checksums {
+        checksums.reserve_exact(count);
+        for _ in 0..count {
+            checksums.push(read_u64(data, &mut pos)?);
+        }
+        let stored = read_u64(data, &mut pos)?;
+        if stored != frame_checksum(&data[table_start..pos - 8]) {
+            return Err(Error::ChecksumMismatch {
+                chunk: None,
+                offset: table_start as u64,
+            });
+        }
+    }
+
     let mut offsets = Vec::with_capacity(count + 1);
     let mut offset = pos;
     for &e in &entries {
@@ -139,34 +277,153 @@ pub fn decompress(
     if offset != data.len() {
         return Err(Error::Corrupt("stream length disagrees with chunk table"));
     }
+    Ok(Frame {
+        header,
+        count,
+        entries,
+        checksums,
+        offsets,
+        data,
+    })
+}
 
-    let decoded: Vec<Result<Vec<u8>, Error>> = parallel::run_indexed(count, threads, |i| {
-        let expected_len = if i + 1 == count {
-            payload_len - (count - 1) * chunk_size
-        } else {
-            chunk_size
-        };
-        let body = &data[offsets[i]..offsets[i + 1]];
-        if entries[i] & RAW_FLAG != 0 {
-            if body.len() != expected_len {
-                return Err(Error::Corrupt("raw chunk length mismatch"));
-            }
-            Ok(body.to_vec())
-        } else {
-            let mut out = Vec::with_capacity(expected_len);
-            codec.decode_chunk(body, expected_len, &mut out)?;
-            if out.len() != expected_len {
-                return Err(Error::Corrupt("decoded chunk length mismatch"));
-            }
-            Ok(out)
-        }
-    });
+/// Parses and validates the container, returning the header and the
+/// decompressed payload.
+///
+/// For v2 streams every checksum (header, table, per-chunk) is verified, so
+/// corruption anywhere in the stream yields an error — never garbage
+/// output. v1 streams carry no checksums; only structural validation
+/// applies.
+///
+/// # Errors
+///
+/// Fails on malformed headers, truncated streams, checksum mismatches, or
+/// chunk payloads the codec rejects.
+pub fn decompress(
+    data: &[u8],
+    codec: &dyn ChunkCodec,
+    threads: usize,
+) -> Result<(Header, Vec<u8>), Error> {
+    let frame = parse_frame(data)?;
+    let decoded: Vec<Result<Vec<u8>, Error>> =
+        parallel::run_indexed(frame.count, threads, |i| frame.decode_chunk(i, codec));
 
-    let mut payload = Vec::with_capacity(payload_len);
+    let total: usize = decoded.iter().map(|c| c.as_ref().map_or(0, Vec::len)).sum();
+    let mut payload = Vec::with_capacity(total);
     for chunk in decoded {
         payload.extend_from_slice(&chunk?);
     }
-    Ok((header, payload))
+    Ok((frame.header, payload))
+}
+
+/// Per-chunk damage record produced by [`verify`] and
+/// [`decompress_tolerant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkDamage {
+    /// Index of the damaged chunk.
+    pub chunk: u32,
+    /// Byte offset of the chunk's compressed body within the stream.
+    pub offset: u64,
+    /// What went wrong.
+    pub error: Error,
+}
+
+/// Summary of a verification or tolerant-decode pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DamageReport {
+    /// Total chunks in the stream.
+    pub chunks: usize,
+    /// Whether the stream carries checksums (v2) — if `false`, a clean
+    /// report only means the structure is consistent, not that the payload
+    /// bytes are intact.
+    pub checksummed: bool,
+    /// The damaged chunks, in index order.
+    pub damaged: Vec<ChunkDamage>,
+}
+
+impl DamageReport {
+    /// `true` when no chunk-level damage was found.
+    pub fn is_clean(&self) -> bool {
+        self.damaged.is_empty()
+    }
+}
+
+/// Verifies a stream's integrity without materializing the output.
+///
+/// Checks magic, version, header checksum, chunk-table consistency, the
+/// table checksum, and every chunk's checksum (v2). Chunk payloads are
+/// *not* decoded, so this runs at hashing speed regardless of codec cost.
+///
+/// # Errors
+///
+/// Returns an error when the framing itself is unusable (bad magic or
+/// version, truncation, header/table checksum mismatch, inconsistent
+/// table). Per-chunk damage is reported in the returned [`DamageReport`]
+/// instead, so one bad chunk does not mask the state of the rest.
+pub fn verify(data: &[u8]) -> Result<(Header, DamageReport), Error> {
+    let frame = parse_frame(data)?;
+    let mut report = DamageReport {
+        chunks: frame.count,
+        checksummed: frame.header.version >= VERSION,
+        damaged: Vec::new(),
+    };
+    for i in 0..frame.count {
+        if let Err(error) = frame.check_chunk(i) {
+            report.damaged.push(ChunkDamage {
+                chunk: i as u32,
+                offset: frame.offsets[i] as u64,
+                error,
+            });
+        }
+    }
+    Ok((frame.header, report))
+}
+
+/// Graceful-degradation decode: decompresses every verifiable chunk and
+/// zero-fills the damaged ones, returning the payload alongside a
+/// per-chunk damage report.
+///
+/// This is the building block for serving partially damaged archives: a
+/// stream with one corrupted chunk still yields every other chunk's bytes
+/// at their correct offsets (damaged spans read as zeros).
+///
+/// A chunk is "damaged" when its checksum mismatches (v2), its codec
+/// rejects the bytes, or it decodes to the wrong length. Framing damage
+/// (header, chunk table) cannot be tolerated — without a trustworthy table
+/// there are no chunk boundaries to salvage — and is returned as an error.
+///
+/// # Errors
+///
+/// Fails only on unusable framing, as for [`verify`].
+pub fn decompress_tolerant(
+    data: &[u8],
+    codec: &dyn ChunkCodec,
+    threads: usize,
+) -> Result<(Header, Vec<u8>, DamageReport), Error> {
+    let frame = parse_frame(data)?;
+    let decoded: Vec<Result<Vec<u8>, Error>> =
+        parallel::run_indexed(frame.count, threads, |i| frame.decode_chunk(i, codec));
+    let mut report = DamageReport {
+        chunks: frame.count,
+        checksummed: frame.header.version >= VERSION,
+        damaged: Vec::new(),
+    };
+    let total: usize = (0..frame.count).map(|i| frame.expected_len(i)).sum();
+    let mut payload = Vec::with_capacity(total.min(data.len().saturating_mul(256)));
+    for (i, chunk) in decoded.into_iter().enumerate() {
+        match chunk {
+            Ok(bytes) => payload.extend_from_slice(&bytes),
+            Err(error) => {
+                report.damaged.push(ChunkDamage {
+                    chunk: i as u32,
+                    offset: frame.offsets[i] as u64,
+                    error,
+                });
+                payload.resize(payload.len() + frame.expected_len(i), 0);
+            }
+        }
+    }
+    Ok((frame.header, payload, report))
 }
 
 /// Decompresses a single chunk of the container by index, without touching
@@ -177,56 +434,18 @@ pub fn decompress(
 ///
 /// # Errors
 ///
-/// Fails on malformed streams or an out-of-range index.
+/// Fails on malformed streams, checksum mismatches, or an out-of-range
+/// index.
 pub fn decompress_chunk(
     data: &[u8],
     codec: &dyn ChunkCodec,
     index: usize,
 ) -> Result<Vec<u8>, Error> {
-    let mut pos = 0usize;
-    let header = Header::read(data, &mut pos)?;
-    let chunk_size = header.chunk_size as usize;
-    if chunk_size == 0 || chunk_size > MAX_CHUNK_SIZE {
-        return Err(Error::Corrupt("chunk size out of range"));
-    }
-    let payload_len = usize::try_from(header.payload_len)
-        .map_err(|_| Error::Corrupt("payload length exceeds address space"))?;
-    let count = read_u32(data, &mut pos)? as usize;
-    if count != payload_len.div_ceil(chunk_size) {
-        return Err(Error::Corrupt("chunk count does not match payload length"));
-    }
-    if index >= count {
+    let frame = parse_frame(data)?;
+    if index >= frame.count {
         return Err(Error::Corrupt("chunk index out of range"));
     }
-    // Walk the table up to `index` (the prefix sum the parallel decoder
-    // computes for all chunks at once).
-    let mut entry = 0u32;
-    let mut offset = pos + 4 * count;
-    for i in 0..=index {
-        entry = read_u32(data, &mut pos)?;
-        if i < index {
-            offset = offset
-                .checked_add((entry & SIZE_MASK) as usize)
-                .ok_or(Error::Corrupt("chunk table overflow"))?;
-        }
-    }
-    let body_len = (entry & SIZE_MASK) as usize;
-    let end = offset.checked_add(body_len).ok_or(Error::Corrupt("chunk table overflow"))?;
-    let body = data.get(offset..end).ok_or(Error::UnexpectedEof)?;
-    let expected_len =
-        if index + 1 == count { payload_len - (count - 1) * chunk_size } else { chunk_size };
-    if entry & RAW_FLAG != 0 {
-        if body.len() != expected_len {
-            return Err(Error::Corrupt("raw chunk length mismatch"));
-        }
-        return Ok(body.to_vec());
-    }
-    let mut out = Vec::with_capacity(expected_len);
-    codec.decode_chunk(body, expected_len, &mut out)?;
-    if out.len() != expected_len {
-        return Err(Error::Corrupt("decoded chunk length mismatch"));
-    }
-    Ok(out)
+    frame.decode_chunk(index, codec)
 }
 
 /// Reads just the header of a container stream (for introspection).
@@ -257,12 +476,12 @@ pub struct ChunkStats {
 ///
 /// Fails on malformed headers or tables.
 pub fn stats(data: &[u8]) -> Result<ChunkStats, Error> {
-    let mut pos = 0;
-    let _ = Header::read(data, &mut pos)?;
-    let count = read_u32(data, &mut pos)? as usize;
-    let mut stats = ChunkStats { chunks: count, ..ChunkStats::default() };
-    for _ in 0..count {
-        let e = read_u32(data, &mut pos)?;
+    let frame = parse_frame(data)?;
+    let mut stats = ChunkStats {
+        chunks: frame.count,
+        ..ChunkStats::default()
+    };
+    for &e in &frame.entries {
         if e & RAW_FLAG != 0 {
             stats.raw_chunks += 1;
         }
@@ -272,10 +491,21 @@ pub fn stats(data: &[u8]) -> Result<ChunkStats, Error> {
 }
 
 fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32, Error> {
-    let end = pos.checked_add(4).ok_or(Error::Corrupt("offset overflow"))?;
-    let bytes = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
-    *pos = end;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    let rest = data.get(*pos..).ok_or(Error::UnexpectedEof)?;
+    let Some((bytes, _)) = rest.split_first_chunk::<4>() else {
+        return Err(Error::UnexpectedEof);
+    };
+    *pos += 4;
+    Ok(u32::from_le_bytes(*bytes))
+}
+
+fn read_u64(data: &[u8], pos: &mut usize) -> Result<u64, Error> {
+    let rest = data.get(*pos..).ok_or(Error::UnexpectedEof)?;
+    let Some((bytes, _)) = rest.split_first_chunk::<8>() else {
+        return Err(Error::UnexpectedEof);
+    };
+    *pos += 8;
+    Ok(u64::from_le_bytes(*bytes))
 }
 
 /// Dynamic-assignment parallel map used by compress/decompress; exposed for
@@ -362,6 +592,12 @@ mod tests {
         Header::new(ALGO_SP_SPEED, 4, payload.len() as u64, payload.len() as u64)
     }
 
+    fn v1_header_for(payload: &[u8]) -> Header {
+        let mut h = header_for(payload);
+        h.version = VERSION_1;
+        h
+    }
+
     fn roundtrip(payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
         let stream = compress(header_for(payload), payload, codec, threads);
         let (header, out) = decompress(&stream, codec, threads).unwrap();
@@ -392,16 +628,48 @@ mod tests {
 
     #[test]
     fn many_chunks_parallel_matches_serial() {
-        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 7 + 123).map(|i| (i % 251) as u8).collect();
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 7 + 123)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let serial = roundtrip(&payload, &Rle, 1);
         let parallel = roundtrip(&payload, &Rle, 8);
-        assert_eq!(serial, parallel, "stream must be deterministic across thread counts");
+        assert_eq!(
+            serial, parallel,
+            "stream must be deterministic across thread counts"
+        );
+    }
+
+    #[test]
+    fn v1_streams_still_roundtrip() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2 + 17)
+            .map(|i| (i % 7) as u8)
+            .collect();
+        let stream = compress(v1_header_for(&payload), &payload, &Rle, 2);
+        let (header, out) = decompress(&stream, &Rle, 2).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(header.version, VERSION_1);
+        // The v1 frame has no checksum regions: 28-byte header + count +
+        // table + payload only.
+        let stats = stats(&stream).unwrap();
+        let framing = Header::ENCODED_LEN + 4 + 4 * stats.chunks;
+        assert_eq!(stats.compressed_payload + framing, stream.len());
+    }
+
+    #[test]
+    fn v2_frame_overhead_is_exactly_checksums() {
+        let payload = vec![5u8; DEFAULT_CHUNK_SIZE * 3];
+        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1);
+        let v2 = compress(header_for(&payload), &payload, &Rle, 1);
+        // header sum (8) + per-chunk sums (8×3) + table sum (8).
+        assert_eq!(v2.len(), v1.len() + 8 + 8 * 3 + 8);
     }
 
     #[test]
     fn incompressible_chunks_stored_raw() {
         // Identity codec always expands by 1 byte, so every chunk is raw.
-        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2).map(|i| (i % 256) as u8).collect();
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2)
+            .map(|i| (i % 256) as u8)
+            .collect();
         let stream = roundtrip(&payload, &Identity, 2);
         let s = stats(&stream).unwrap();
         assert_eq!(s.chunks, 2);
@@ -429,6 +697,7 @@ mod tests {
         assert_eq!(parsed.algorithm, ALGO_DP_RATIO);
         assert_eq!(parsed.element_width, 8);
         assert_eq!(parsed.payload_len, 100);
+        assert_eq!(parsed.version, VERSION);
     }
 
     #[test]
@@ -452,8 +721,8 @@ mod tests {
     fn corrupt_chunk_count_rejected() {
         let payload = vec![3u8; 50];
         let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
-        // Chunk count lives right after the header.
-        let pos = Header::ENCODED_LEN;
+        // Chunk count lives right after the v2 header.
+        let pos = Header::ENCODED_LEN_V2;
         stream[pos] = 99;
         assert!(decompress(&stream, &Rle, 1).is_err());
     }
@@ -463,12 +732,153 @@ mod tests {
         let payload = vec![3u8; 50];
         let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
         stream.push(0);
-        assert!(matches!(decompress(&stream, &Rle, 1), Err(Error::Corrupt(_))));
+        assert!(matches!(
+            decompress(&stream, &Rle, 1),
+            Err(Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn every_payload_flip_detected_in_v2() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2 + 99)
+            .map(|i| (i % 13) as u8)
+            .collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stats = stats(&stream).unwrap();
+        let payload_start = stream.len() - stats.compressed_payload;
+        for pos in payload_start..stream.len() {
+            let mut bad = stream.clone();
+            bad[pos] ^= 1;
+            match decompress(&bad, &Rle, 1) {
+                Err(Error::ChecksumMismatch { chunk: Some(_), .. }) => {}
+                other => panic!("payload flip at {pos} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn table_and_header_flips_detected_in_v2() {
+        let payload = vec![1u8; DEFAULT_CHUNK_SIZE + 7];
+        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stats = stats(&stream).unwrap();
+        let payload_start = stream.len() - stats.compressed_payload;
+        for pos in 0..payload_start {
+            let mut bad = stream.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                decompress(&bad, &Rle, 1).is_err(),
+                "metadata flip at {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A tiny stream claiming a huge chunk count / payload length must be
+        // rejected by the length pre-checks, not by the allocator.
+        let mut h = header_for(&[]);
+        h.payload_len = u64::MAX / 2;
+        h.original_len = u64::MAX / 2;
+        let mut data = Vec::new();
+        h.write(&mut data);
+        data.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        let err = decompress(&data, &Rle, 1).unwrap_err();
+        assert!(
+            matches!(err, Error::Corrupt(_) | Error::LengthOverflow { .. }),
+            "got {err:?}"
+        );
+
+        // Consistent count/payload pair that the stream cannot back.
+        let mut h = header_for(&[]);
+        h.payload_len = 1 << 40;
+        h.original_len = 1 << 40;
+        let mut data = Vec::new();
+        h.write(&mut data);
+        let count = (1u64 << 40).div_ceil(DEFAULT_CHUNK_SIZE as u64) as u32;
+        data.extend_from_slice(&count.to_le_bytes());
+        match decompress(&data, &Rle, 1).unwrap_err() {
+            Error::LengthOverflow {
+                requested,
+                available,
+                ..
+            } => {
+                assert!(requested > available);
+            }
+            other => panic!("expected LengthOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_reports_damage_without_decoding() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 50)
+            .map(|i| (i % 17) as u8)
+            .collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let (header, report) = verify(&stream).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert_eq!(report.chunks, 4);
+        assert!(report.checksummed);
+        assert!(report.is_clean());
+
+        // Corrupt the middle of the payload region: exactly one chunk damaged.
+        let stats = stats(&stream).unwrap();
+        let payload_start = stream.len() - stats.compressed_payload;
+        let mut bad = stream.clone();
+        let hit = payload_start + stats.compressed_payload / 2;
+        bad[hit] ^= 0xFF;
+        let (_, report) = verify(&bad).unwrap();
+        assert_eq!(report.damaged.len(), 1);
+        let damage = &report.damaged[0];
+        assert!(matches!(damage.error, Error::ChecksumMismatch { .. }));
+        assert!((damage.offset as usize) <= hit);
+
+        // v1 streams verify structurally but are not checksummed.
+        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1);
+        let (_, report) = verify(&v1).unwrap();
+        assert!(!report.checksummed);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn tolerant_decode_zero_fills_damaged_chunks() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 4)
+            .map(|i| (i % 23) as u8)
+            .collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 2);
+        let stats = stats(&stream).unwrap();
+        let payload_start = stream.len() - stats.compressed_payload;
+
+        // Undamaged: tolerant == strict.
+        let (_, out, report) = decompress_tolerant(&stream, &Rle, 2).unwrap();
+        assert_eq!(out, payload);
+        assert!(report.is_clean());
+
+        // Damage one byte in the payload: exactly one chunk zero-filled,
+        // all others recovered bit-exactly.
+        let mut bad = stream.clone();
+        bad[payload_start] ^= 0x55;
+        let (_, out, report) = decompress_tolerant(&bad, &Rle, 2).unwrap();
+        assert_eq!(out.len(), payload.len());
+        assert_eq!(report.damaged.len(), 1);
+        let damaged = report.damaged[0].chunk as usize;
+        for i in 0..4 {
+            let span = i * DEFAULT_CHUNK_SIZE..(i + 1) * DEFAULT_CHUNK_SIZE;
+            if i == damaged {
+                assert!(
+                    out[span].iter().all(|&b| b == 0),
+                    "damaged chunk not zeroed"
+                );
+            } else {
+                assert_eq!(out[span.clone()], payload[span], "chunk {i} not recovered");
+            }
+        }
     }
 
     #[test]
     fn single_chunk_random_access() {
-        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 777).map(|i| (i % 251) as u8).collect();
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 777)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let stream = compress(header_for(&payload), &payload, &Rle, 2);
         for index in 0..4 {
             let chunk = decompress_chunk(&stream, &Rle, index).unwrap();
@@ -476,16 +886,27 @@ mod tests {
             let end = (start + DEFAULT_CHUNK_SIZE).min(payload.len());
             assert_eq!(chunk, &payload[start..end], "chunk {index}");
         }
-        assert!(decompress_chunk(&stream, &Rle, 4).is_err(), "out-of-range index");
+        assert!(
+            decompress_chunk(&stream, &Rle, 4).is_err(),
+            "out-of-range index"
+        );
     }
 
     #[test]
     fn random_access_handles_raw_chunks() {
         // Identity codec expands, so chunks are stored raw.
-        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE + 100).map(|i| (i % 256) as u8).collect();
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE + 100)
+            .map(|i| (i % 256) as u8)
+            .collect();
         let stream = compress(header_for(&payload), &payload, &Identity, 1);
-        assert_eq!(decompress_chunk(&stream, &Identity, 0).unwrap(), &payload[..DEFAULT_CHUNK_SIZE]);
-        assert_eq!(decompress_chunk(&stream, &Identity, 1).unwrap(), &payload[DEFAULT_CHUNK_SIZE..]);
+        assert_eq!(
+            decompress_chunk(&stream, &Identity, 0).unwrap(),
+            &payload[..DEFAULT_CHUNK_SIZE]
+        );
+        assert_eq!(
+            decompress_chunk(&stream, &Identity, 1).unwrap(),
+            &payload[DEFAULT_CHUNK_SIZE..]
+        );
     }
 
     #[test]

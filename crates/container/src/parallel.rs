@@ -49,7 +49,9 @@ where
 }
 
 fn effective_threads(requested: usize, count: usize) -> usize {
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t = if requested == 0 { available } else { requested };
     t.min(count.max(1))
 }
@@ -78,7 +80,10 @@ mod tests {
     fn each_index_claimed_once() {
         let calls = Mutex::new(HashSet::new());
         run_indexed(200, 8, |i| {
-            assert!(calls.lock().expect("poisoned").insert(i), "index {i} claimed twice");
+            assert!(
+                calls.lock().expect("poisoned").insert(i),
+                "index {i} claimed twice"
+            );
         });
         assert_eq!(calls.into_inner().expect("poisoned").len(), 200);
     }

@@ -1,7 +1,9 @@
-//! Property-based tests over the container format and parallel executor.
+//! Deterministic property tests over the container format and parallel
+//! executor (in-repo fuzz driver; no external dependencies).
 
-use fpc_container::{ChunkCodec, Error, Header, ALGO_SP_SPEED};
-use proptest::prelude::*;
+use fpc_container::{ChunkCodec, Error, Header, ALGO_SP_SPEED, VERSION_1};
+use fpc_prng::fuzz::{run_cases, Mutation};
+use fpc_prng::Rng;
 
 /// Marker codec: expands by one byte, so all chunks take the raw fallback.
 struct Expanding;
@@ -36,7 +38,7 @@ impl ChunkCodec for Collapsing {
         }
     }
     fn decode_chunk(&self, data: &[u8], _len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
-        if data.len() % 2 != 0 {
+        if !data.len().is_multiple_of(2) {
             return Err(Error::UnexpectedEof);
         }
         for pair in data.chunks_exact(2) {
@@ -52,65 +54,120 @@ fn header_for(payload: &[u8], chunk_size: u32) -> Header {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn narrow_payload(rng: &mut Rng, max_len: usize, alphabet: u8) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.gen_range(0u8..alphabet)).collect()
+}
 
-    #[test]
-    fn roundtrip_any_payload_any_chunking(
-        payload in prop::collection::vec(any::<u8>(), 0..40_000),
-        chunk_size in 1u32..70_000,
-        threads in 0usize..6
-    ) {
+#[test]
+fn roundtrip_any_payload_any_chunking() {
+    run_cases("container/roundtrip", 48, |rng, _| {
+        let payload = rng.bytes_range(0usize..40_000);
+        let chunk_size = rng.gen_range(1u32..70_000);
+        let threads = rng.gen_range(0usize..6);
         for codec in [&Expanding as &dyn ChunkCodec, &Collapsing] {
             let stream =
                 fpc_container::compress(header_for(&payload, chunk_size), &payload, codec, threads);
             let (header, out) = fpc_container::decompress(&stream, codec, threads).unwrap();
-            prop_assert_eq!(&out, &payload);
-            prop_assert_eq!(header.original_len, payload.len() as u64);
+            assert_eq!(out, payload);
+            assert_eq!(header.original_len, payload.len() as u64);
+            // Checksum-only verification agrees without decoding.
+            let (_, report) = fpc_container::verify(&stream).unwrap();
+            assert!(report.is_clean());
+            assert!(report.checksummed);
         }
-    }
+    });
+}
 
-    #[test]
-    fn stream_is_thread_count_invariant(
-        payload in prop::collection::vec(0u8..8, 0..30_000),
-    ) {
+#[test]
+fn v1_and_v2_roundtrip_identical_payloads() {
+    run_cases("container/v1-v2-agree", 24, |rng, _| {
+        let payload = narrow_payload(rng, 30_000, 8);
+        let mut h1 = header_for(&payload, 4096);
+        h1.version = VERSION_1;
+        let v1 = fpc_container::compress(h1, &payload, &Collapsing, 2);
+        let v2 = fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2);
+        let (_, out1) = fpc_container::decompress(&v1, &Collapsing, 2).unwrap();
+        let (_, out2) = fpc_container::decompress(&v2, &Collapsing, 2).unwrap();
+        assert_eq!(out1, payload);
+        assert_eq!(out2, payload);
+        assert!(v2.len() > v1.len(), "v2 must carry checksum overhead");
+    });
+}
+
+#[test]
+fn stream_is_thread_count_invariant() {
+    run_cases("container/thread-invariant", 24, |rng, _| {
+        let payload = narrow_payload(rng, 30_000, 8);
         let reference =
             fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 1);
         for threads in [2usize, 4, 8] {
             let stream =
                 fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, threads);
-            prop_assert_eq!(&stream, &reference);
+            assert_eq!(stream, reference);
         }
-    }
+    });
+}
 
-    #[test]
-    fn truncations_always_rejected(
-        payload in prop::collection::vec(any::<u8>(), 1..20_000),
-        cut_frac in 0.0f64..1.0
-    ) {
+#[test]
+fn truncations_always_rejected() {
+    run_cases("container/truncations", 48, |rng, _| {
+        let payload = rng.bytes_range(1usize..20_000);
         let stream = fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2);
-        let cut = ((stream.len() as f64 * cut_frac) as usize).clamp(1, stream.len());
+        let cut = ((stream.len() as f64 * rng.next_f64()) as usize).clamp(1, stream.len());
         let truncated = &stream[..stream.len() - cut];
-        prop_assert!(fpc_container::decompress(truncated, &Collapsing, 2).is_err());
-    }
+        assert!(fpc_container::decompress(truncated, &Collapsing, 2).is_err());
+    });
+}
 
-    #[test]
-    fn stats_are_consistent(
-        payload in prop::collection::vec(0u8..4, 0..30_000),
-    ) {
+#[test]
+fn stats_are_consistent() {
+    run_cases("container/stats", 32, |rng, _| {
+        let payload = narrow_payload(rng, 30_000, 4);
         let stream = fpc_container::compress(header_for(&payload, 1024), &payload, &Collapsing, 2);
         let stats = fpc_container::stats(&stream).unwrap();
-        prop_assert_eq!(stats.chunks, payload.len().div_ceil(1024));
-        prop_assert!(stats.raw_chunks <= stats.chunks);
-        // Compressed payload accounts for the stream minus framing.
-        let framing = Header::ENCODED_LEN + 4 + 4 * stats.chunks;
-        prop_assert_eq!(stats.compressed_payload + framing, stream.len());
-    }
+        assert_eq!(stats.chunks, payload.len().div_ceil(1024));
+        assert!(stats.raw_chunks <= stats.chunks);
+        // Compressed payload accounts for the stream minus v2 framing:
+        // header+checksum, count, table, per-chunk checksums, table checksum.
+        let framing = Header::ENCODED_LEN_V2 + 4 + (4 + 8) * stats.chunks + 8;
+        assert_eq!(stats.compressed_payload + framing, stream.len());
+    });
+}
 
-    #[test]
-    fn random_bytes_never_panic_decoder(data in prop::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn random_bytes_never_panic_decoder() {
+    run_cases("container/random-bytes", 256, |rng, _| {
+        let data = rng.bytes_range(0usize..600);
         let _ = fpc_container::decompress(&data, &Collapsing, 2);
+        let _ = fpc_container::decompress_tolerant(&data, &Collapsing, 2);
+        let _ = fpc_container::verify(&data);
         let _ = fpc_container::read_header(&data);
         let _ = fpc_container::stats(&data);
-    }
+        let _ = fpc_container::decompress_chunk(&data, &Collapsing, 0);
+    });
+}
+
+#[test]
+fn mutated_valid_streams_never_panic_and_never_lie() {
+    run_cases("container/mutations", 192, |rng, _| {
+        let payload = narrow_payload(rng, 20_000, 16);
+        let stream = fpc_container::compress(header_for(&payload, 2048), &payload, &Collapsing, 2);
+        let mutation = Mutation::arbitrary(rng, stream.len());
+        let bad = mutation.apply(&stream, rng);
+        if bad == stream {
+            return; // mutation landed on itself (e.g. truncate to full length)
+        }
+        // Must never panic; if it "succeeds", v2 checksums make a silent
+        // wrong-output decode essentially impossible, so the payload must
+        // be the original.
+        if let Ok((_, out)) = fpc_container::decompress(&bad, &Collapsing, 2) {
+            assert_eq!(
+                out, payload,
+                "mutation {mutation:?} silently altered payload"
+            );
+        }
+        let _ = fpc_container::decompress_tolerant(&bad, &Collapsing, 2);
+        let _ = fpc_container::verify(&bad);
+    });
 }

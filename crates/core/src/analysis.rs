@@ -68,11 +68,12 @@ impl core::fmt::Display for Anatomy {
 pub fn analyze_bytes(data: &[u8], algorithm: Algorithm) -> Anatomy {
     let chunk_size = fpc_container::DEFAULT_CHUNK_SIZE;
     let mut stages: Vec<StageVolume> = Vec::new();
-    let add = |stages: &mut Vec<StageVolume>, stage: &'static str, bytes: usize| {
-        match stages.iter_mut().find(|s| s.stage == stage) {
-            Some(s) => s.bytes += bytes,
-            None => stages.push(StageVolume { stage, bytes }),
-        }
+    let add = |stages: &mut Vec<StageVolume>, stage: &'static str, bytes: usize| match stages
+        .iter_mut()
+        .find(|s| s.stage == stage)
+    {
+        Some(s) => s.bytes += bytes,
+        None => stages.push(StageVolume { stage, bytes }),
     };
 
     match algorithm {
@@ -132,7 +133,11 @@ pub fn analyze_bytes(data: &[u8], algorithm: Algorithm) -> Anatomy {
             }
         }
     }
-    Anatomy { algorithm, input_bytes: data.len(), stages }
+    Anatomy {
+        algorithm,
+        input_bytes: data.len(),
+        stages,
+    }
 }
 
 #[cfg(test)]
@@ -140,11 +145,15 @@ mod tests {
     use super::*;
 
     fn smooth_bytes_f32(n: usize) -> Vec<u8> {
-        (0..n).flat_map(|i| (5.0f32 + i as f32 * 1e-4).to_bits().to_le_bytes()).collect()
+        (0..n)
+            .flat_map(|i| (5.0f32 + i as f32 * 1e-4).to_bits().to_le_bytes())
+            .collect()
     }
 
     fn smooth_bytes_f64(n: usize) -> Vec<u8> {
-        (0..n).flat_map(|i| (5.0f64 + i as f64 * 1e-7).to_bits().to_le_bytes()).collect()
+        (0..n)
+            .flat_map(|i| (5.0f64 + i as f64 * 1e-7).to_bits().to_le_bytes())
+            .collect()
     }
 
     #[test]
@@ -162,20 +171,41 @@ mod tests {
     fn diffms_and_bit_preserve_volume() {
         let data = smooth_bytes_f32(20_000);
         let anatomy = analyze_bytes(&data, Algorithm::SpRatio);
-        assert_eq!(anatomy.stages[0].bytes, data.len(), "DIFFMS is size-preserving");
-        assert_eq!(anatomy.stages[1].bytes, data.len(), "BIT is size-preserving");
-        assert!(anatomy.stages[2].bytes < data.len(), "RZE must shrink smooth data");
+        assert_eq!(
+            anatomy.stages[0].bytes,
+            data.len(),
+            "DIFFMS is size-preserving"
+        );
+        assert_eq!(
+            anatomy.stages[1].bytes,
+            data.len(),
+            "BIT is size-preserving"
+        );
+        assert!(
+            anatomy.stages[2].bytes < data.len(),
+            "RZE must shrink smooth data"
+        );
     }
 
     #[test]
     fn fcm_doubles_then_later_stages_recover() {
         let values: Vec<f64> = (0..20_000).map(|i| ((i % 64) as f64).sqrt()).collect();
-        let data: Vec<u8> = values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let data: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let anatomy = analyze_bytes(&data, Algorithm::DpRatio);
         assert_eq!(anatomy.stages[0].stage, "FCM");
-        assert_eq!(anatomy.stages[0].bytes, data.len() * 2, "FCM doubles the data");
+        assert_eq!(
+            anatomy.stages[0].bytes,
+            data.len() * 2,
+            "FCM doubles the data"
+        );
         let final_bytes = anatomy.stages.last().expect("stages").bytes;
-        assert!(final_bytes < data.len(), "pipeline must net-compress recurring values");
+        assert!(
+            final_bytes < data.len(),
+            "pipeline must net-compress recurring values"
+        );
         assert!(anatomy.transform_ratio() > 1.0);
     }
 

@@ -48,10 +48,20 @@ impl core::fmt::Display for Error {
                 write!(f, "decompressed length {len} is not a multiple of {width}")
             }
             Error::RandomAccessUnsupported => {
-                write!(f, "random access is unsupported for algorithms with a global stage")
+                write!(
+                    f,
+                    "random access is unsupported for algorithms with a global stage"
+                )
             }
-            Error::RangeOutOfBounds { offset, len, available } => {
-                write!(f, "range {offset}+{len} exceeds original length {available}")
+            Error::RangeOutOfBounds {
+                offset,
+                len,
+                available,
+            } => {
+                write!(
+                    f,
+                    "range {offset}+{len} exceeds original length {available}"
+                )
             }
         }
     }
@@ -79,8 +89,15 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(Error::UnknownAlgorithm(7).to_string().contains('7'));
-        assert!(Error::ElementMismatch { expected: 4, actual: 8 }.to_string().contains('8'));
-        assert!(Error::LengthIndivisible { len: 5, width: 4 }.to_string().contains('5'));
+        assert!(Error::ElementMismatch {
+            expected: 4,
+            actual: 8
+        }
+        .to_string()
+        .contains('8'));
+        assert!(Error::LengthIndivisible { len: 5, width: 4 }
+            .to_string()
+            .contains('5'));
     }
 
     #[test]

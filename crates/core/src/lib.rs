@@ -62,8 +62,12 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All four algorithms, in paper order.
-    pub const ALL: [Algorithm; 4] =
-        [Algorithm::SpSpeed, Algorithm::SpRatio, Algorithm::DpSpeed, Algorithm::DpRatio];
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::SpSpeed,
+        Algorithm::SpRatio,
+        Algorithm::DpSpeed,
+        Algorithm::DpRatio,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -192,19 +196,27 @@ impl Compressor {
     /// trailing bytes are stored verbatim.
     pub fn compress_bytes(&self, data: &[u8]) -> Vec<u8> {
         let algo = self.algorithm;
-        let mut header =
-            Header::new(algo.id(), algo.element_width(), data.len() as u64, data.len() as u64);
+        let mut header = Header::new(
+            algo.id(),
+            algo.element_width(),
+            data.len() as u64,
+            data.len() as u64,
+        );
         header.chunk_size = self.chunk_size as u32;
         match algo {
             Algorithm::SpSpeed => {
-                let codec = SpSpeedCodec { fallback: self.options.mplg_fallback };
+                let codec = SpSpeedCodec {
+                    fallback: self.options.mplg_fallback,
+                };
                 fpc_container::compress(header, data, &codec, self.threads)
             }
             Algorithm::SpRatio => {
                 fpc_container::compress(header, data, &SpRatioCodec, self.threads)
             }
             Algorithm::DpSpeed => {
-                let codec = DpSpeedCodec { fallback: self.options.mplg_fallback };
+                let codec = DpSpeedCodec {
+                    fallback: self.options.mplg_fallback,
+                };
                 fpc_container::compress(header, data, &codec, self.threads)
             }
             Algorithm::DpRatio => {
@@ -218,7 +230,9 @@ impl Compressor {
                 words::u64_to_bytes(&enc.distances, &mut payload);
                 payload.extend_from_slice(tail);
                 header.payload_len = payload.len() as u64;
-                let codec = DpRatioChunkCodec { fixed_split: self.options.fixed_split };
+                let codec = DpRatioChunkCodec {
+                    fixed_split: self.options.fixed_split,
+                };
                 fpc_container::compress(header, &payload, &codec, self.threads)
             }
         }
@@ -351,11 +365,16 @@ pub fn decompress_f32(stream: &[u8]) -> Result<Vec<f32>> {
 fn decompress_f32_with(stream: &[u8], threads: usize) -> Result<Vec<f32>> {
     let header = fpc_container::read_header(stream)?;
     if header.element_width != 4 {
-        return Err(Error::ElementMismatch { expected: 4, actual: header.element_width });
+        return Err(Error::ElementMismatch {
+            expected: 4,
+            actual: header.element_width,
+        });
     }
     let bytes = decompress_bytes_with(stream, threads)?;
-    words::bytes_to_f32_vec(&bytes)
-        .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 4 })
+    words::bytes_to_f32_vec(&bytes).ok_or(Error::LengthIndivisible {
+        len: bytes.len() as u64,
+        width: 4,
+    })
 }
 
 /// Decompresses a double-precision stream.
@@ -370,11 +389,16 @@ pub fn decompress_f64(stream: &[u8]) -> Result<Vec<f64>> {
 fn decompress_f64_with(stream: &[u8], threads: usize) -> Result<Vec<f64>> {
     let header = fpc_container::read_header(stream)?;
     if header.element_width != 8 {
-        return Err(Error::ElementMismatch { expected: 8, actual: header.element_width });
+        return Err(Error::ElementMismatch {
+            expected: 8,
+            actual: header.element_width,
+        });
     }
     let bytes = decompress_bytes_with(stream, threads)?;
-    words::bytes_to_f64_vec(&bytes)
-        .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 8 })
+    words::bytes_to_f64_vec(&bytes).ok_or(Error::LengthIndivisible {
+        len: bytes.len() as u64,
+        width: 8,
+    })
 }
 
 fn finish_plain(header: Header, payload: Vec<u8>) -> Result<Vec<u8>> {
@@ -407,7 +431,11 @@ pub fn decompress_range(stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>>
         available: header.original_len,
     })?;
     if end > header.original_len {
-        return Err(Error::RangeOutOfBounds { offset, len, available: header.original_len });
+        return Err(Error::RangeOutOfBounds {
+            offset,
+            len,
+            available: header.original_len,
+        });
     }
     if len == 0 {
         return Ok(Vec::new());
@@ -423,7 +451,11 @@ pub fn decompress_range(stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>>
     let last = ((end - 1) / chunk_size) as usize;
     let mut buf = Vec::with_capacity(((last - first + 1) as u64 * chunk_size) as usize);
     for index in first..=last {
-        buf.extend_from_slice(&fpc_container::decompress_chunk(stream, codec.as_ref(), index)?);
+        buf.extend_from_slice(&fpc_container::decompress_chunk(
+            stream,
+            codec.as_ref(),
+            index,
+        )?);
     }
     let skip = (offset - first as u64 * chunk_size) as usize;
     Ok(buf[skip..skip + len as usize].to_vec())
@@ -477,11 +509,15 @@ mod tests {
     use super::*;
 
     fn smooth_f32(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (i as f32 * 0.001).sin() * 10.0 + 20.0).collect()
+        (0..n)
+            .map(|i| (i as f32 * 0.001).sin() * 10.0 + 20.0)
+            .collect()
     }
 
     fn smooth_f64(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.0001).cos() * 3.0 - 1.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.0001).cos() * 3.0 - 1.0)
+            .collect()
     }
 
     #[test]
@@ -492,7 +528,12 @@ mod tests {
             let stream = c.compress_f32(&data);
             let back = c.decompress_f32(&stream).unwrap();
             assert_eq!(back.len(), data.len());
-            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(
+                data.iter()
+                    .zip(&back)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{algo}"
+            );
             assert!(stream.len() < data.len() * 4, "{algo} did not compress");
         }
     }
@@ -504,7 +545,12 @@ mod tests {
             let c = Compressor::new(algo);
             let stream = c.compress_f64(&data);
             let back = c.decompress_f64(&stream).unwrap();
-            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(
+                data.iter()
+                    .zip(&back)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{algo}"
+            );
             assert!(stream.len() < data.len() * 8, "{algo} did not compress");
         }
     }
@@ -525,7 +571,11 @@ mod tests {
             for len in [1usize, 3, 7, 9, 4095, 4097, 16384, 16389] {
                 let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
                 let stream = c.compress_bytes(&data);
-                assert_eq!(c.decompress_bytes(&stream).unwrap(), data, "{algo} len {len}");
+                assert_eq!(
+                    c.decompress_bytes(&stream).unwrap(),
+                    data,
+                    "{algo} len {len}"
+                );
             }
         }
     }
@@ -578,7 +628,10 @@ mod tests {
         let stream = Compressor::new(Algorithm::SpSpeed).compress_f32(&smooth_f32(100));
         assert!(matches!(
             decompress_f64(&stream),
-            Err(Error::ElementMismatch { expected: 8, actual: 4 })
+            Err(Error::ElementMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 
@@ -601,7 +654,10 @@ mod tests {
             }
             // Truncations must error (never silently succeed with full data).
             for cut in [1usize, 10, stream.len() / 2] {
-                assert!(decompress_bytes(&stream[..stream.len() - cut]).is_err(), "{algo}");
+                assert!(
+                    decompress_bytes(&stream[..stream.len() - cut]).is_err(),
+                    "{algo}"
+                );
             }
         }
     }
@@ -664,7 +720,12 @@ mod tests {
             let c = Compressor::new(algo).with_options(opts.clone());
             let stream = c.compress_f64(&data);
             let back = c.decompress_f64(&stream).unwrap();
-            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(
+                data.iter()
+                    .zip(&back)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{algo}"
+            );
         }
     }
 
@@ -677,7 +738,10 @@ mod tests {
         }
         assert!(Algorithm::from_id(99).is_err());
         assert_eq!(Algorithm::SpRatio.stages(), &["DIFFMS", "BIT", "RZE"]);
-        assert_eq!(Algorithm::DpRatio.stages(), &["FCM", "DIFFMS", "RAZE", "RARE"]);
+        assert_eq!(
+            Algorithm::DpRatio.stages(),
+            &["FCM", "DIFFMS", "RAZE", "RARE"]
+        );
     }
 
     #[test]
@@ -686,9 +750,13 @@ mod tests {
         for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
             let stream = Compressor::new(algo).compress_f32(&data);
             let full = decompress_bytes(&stream).unwrap();
-            for (offset, len) in
-                [(0u64, 10u64), (3, 5), (16 * 1024 - 2, 8), (100_000, 40_000), (399_999, 1)]
-            {
+            for (offset, len) in [
+                (0u64, 10u64),
+                (3, 5),
+                (16 * 1024 - 2, 8),
+                (100_000, 40_000),
+                (399_999, 1),
+            ] {
                 let range = decompress_range(&stream, offset, len).unwrap();
                 assert_eq!(
                     range,

@@ -22,7 +22,11 @@ pub struct PipelineOptions {
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        Self { mplg_fallback: true, fcm_window: fcm::MATCH_WINDOW, fixed_split: None }
+        Self {
+            mplg_fallback: true,
+            fcm_window: fcm::MATCH_WINDOW,
+            fixed_split: None,
+        }
     }
 }
 

@@ -18,7 +18,9 @@ pub(crate) fn map_decode(e: DecodeError) -> Error {
 }
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], Error> {
-    let end = pos.checked_add(len).ok_or(Error::Corrupt("chunk offset overflow"))?;
+    let end = pos
+        .checked_add(len)
+        .ok_or(Error::Corrupt("chunk offset overflow"))?;
     let slice = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
     *pos = end;
     Ok(slice)
@@ -47,7 +49,12 @@ impl ChunkCodec for SpSpeedCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 4;
         let tail_len = expected_len % 4;
         let mut pos = 0;
@@ -75,7 +82,12 @@ impl ChunkCodec for DpSpeedCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 8;
         let tail_len = expected_len % 8;
         let mut pos = 0;
@@ -103,7 +115,12 @@ impl ChunkCodec for SpRatioCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 4;
         let tail_len = expected_len % 4;
         let mut pos = 0;
@@ -149,7 +166,12 @@ impl ChunkCodec for DpRatioChunkCodec {
         out.extend_from_slice(ctail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 8;
         let ctail_len = expected_len % 8;
         let mut pos = 0;
@@ -254,7 +276,9 @@ mod tests {
             let mut enc = Vec::new();
             codec.encode_chunk(&chunk, &mut enc);
             let mut dec = Vec::new();
-            assert!(codec.decode_chunk(&enc[..enc.len() - 3], chunk.len(), &mut dec).is_err());
+            assert!(codec
+                .decode_chunk(&enc[..enc.len() - 3], chunk.len(), &mut dec)
+                .is_err());
         }
     }
 
@@ -276,7 +300,9 @@ mod tests {
     fn fixed_split_roundtrips_all_values() {
         let chunk = smooth_chunk_f64();
         for kb in 0..=8u8 {
-            let codec = DpRatioChunkCodec { fixed_split: Some(kb) };
+            let codec = DpRatioChunkCodec {
+                fixed_split: Some(kb),
+            };
             let mut enc = Vec::new();
             codec.encode_chunk(&chunk, &mut enc);
             // Decoding uses the split stored in the stream, not the option.

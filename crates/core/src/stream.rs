@@ -140,7 +140,12 @@ pub struct FrameReader<R: Read> {
 impl<R: Read> FrameReader<R> {
     /// Creates a reader.
     pub fn new(source: R) -> Self {
-        Self { source, current: Vec::new(), pos: 0, done: false }
+        Self {
+            source,
+            current: Vec::new(),
+            pos: 0,
+            done: false,
+        }
     }
 
     fn next_frame(&mut self) -> io::Result<bool> {
@@ -212,19 +217,22 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<u8> {
-        (0..n as u32).flat_map(|i| ((i as f32 * 1e-3).sin()).to_bits().to_le_bytes()).collect()
+        (0..n as u32)
+            .flat_map(|i| ((i as f32 * 1e-3).sin()).to_bits().to_le_bytes())
+            .collect()
     }
 
     #[test]
     fn roundtrip_multiple_frames() {
         let data = sample(100_000); // 400 kB
         for algo in Algorithm::ALL {
-            let mut fw =
-                FrameWriter::new(Vec::new(), algo).with_frame_size(64 * 1024);
+            let mut fw = FrameWriter::new(Vec::new(), algo).with_frame_size(64 * 1024);
             fw.write_all(&data).unwrap();
             let stream = fw.finish().unwrap();
             let mut out = Vec::new();
-            FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+            FrameReader::new(stream.as_slice())
+                .read_to_end(&mut out)
+                .unwrap();
             assert_eq!(out, data, "{algo}");
         }
     }
@@ -235,7 +243,9 @@ mod tests {
         let stream = fw.finish().unwrap();
         assert_eq!(stream, 0u32.to_le_bytes());
         let mut out = Vec::new();
-        FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+        FrameReader::new(stream.as_slice())
+            .read_to_end(&mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 
@@ -246,7 +256,9 @@ mod tests {
         fw.write_all(&data).unwrap();
         let stream = fw.finish().unwrap();
         let mut out = Vec::new();
-        FrameReader::new(stream.as_slice()).read_to_end(&mut out).unwrap();
+        FrameReader::new(stream.as_slice())
+            .read_to_end(&mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -260,8 +272,7 @@ mod tests {
         let mut pos = 0;
         let mut frames = 0;
         loop {
-            let len =
-                u32::from_le_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(stream[pos..pos + 4].try_into().unwrap()) as usize;
             pos += 4;
             if len == 0 {
                 break;
@@ -301,7 +312,9 @@ mod tests {
         let mut stream = fw.finish().unwrap();
         stream[13] ^= 0xFF; // corrupt the first frame's original-length field
         let mut out = Vec::new();
-        assert!(FrameReader::new(stream.as_slice()).read_to_end(&mut out).is_err());
+        assert!(FrameReader::new(stream.as_slice())
+            .read_to_end(&mut out)
+            .is_err());
     }
 
     #[test]

@@ -35,8 +35,10 @@ struct Row {
 }
 
 fn parse_dims(s: &str) -> Option<Dims> {
-    let parts: Vec<usize> =
-        s.split('x').map(|p| p.trim().parse().ok()).collect::<Option<Vec<_>>>()?;
+    let parts: Vec<usize> = s
+        .split('x')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<Vec<_>>>()?;
     match parts.as_slice() {
         [c] => Some(Dims::D1(*c)),
         [r, c] => Some(Dims::D2(*r, *c)),
@@ -57,9 +59,7 @@ fn parse_manifest(content: &str, path: &Path) -> io::Result<Vec<Row>> {
             continue;
         }
         let fields: Vec<&str> = line.split('|').map(str::trim).collect();
-        let err = |what: &str| {
-            bad_data(format!("{}:{}: {what}", path.display(), lineno + 1))
-        };
+        let err = |what: &str| bad_data(format!("{}:{}: {what}", path.display(), lineno + 1));
         let [domain, name, dtype, dims, rel_path] = fields.as_slice() else {
             return Err(err("expected 5 |-separated fields"));
         };
@@ -80,11 +80,7 @@ fn parse_manifest(content: &str, path: &Path) -> io::Result<Vec<Row>> {
     Ok(rows)
 }
 
-fn read_values<T, F: Fn(&[u8]) -> T>(
-    path: &Path,
-    width: usize,
-    convert: F,
-) -> io::Result<Vec<T>> {
+fn read_values<T, F: Fn(&[u8]) -> T>(path: &Path, width: usize, convert: F) -> io::Result<Vec<T>> {
     let bytes = std::fs::read(path)?;
     if bytes.len() % width != 0 {
         return Err(bad_data(format!(
@@ -140,7 +136,14 @@ pub fn load_sp_suites(manifest: &Path) -> io::Result<Vec<Suite<f32>>> {
                 values.len()
             )));
         }
-        files.push((row.domain, Dataset { name: row.name, dims: row.dims, values }));
+        files.push((
+            row.domain,
+            Dataset {
+                name: row.name,
+                dims: row.dims,
+                values,
+            },
+        ));
     }
     Ok(group(files))
 }
@@ -172,7 +175,14 @@ pub fn load_dp_suites(manifest: &Path) -> io::Result<Vec<Suite<f64>>> {
                 values.len()
             )));
         }
-        files.push((row.domain, Dataset { name: row.name, dims: row.dims, values }));
+        files.push((
+            row.domain,
+            Dataset {
+                name: row.name,
+                dims: row.dims,
+                values,
+            },
+        ));
     }
     Ok(group(files))
 }
@@ -185,7 +195,10 @@ pub fn load_dp_suites(manifest: &Path) -> io::Result<Vec<Suite<f64>>> {
 /// Propagates I/O errors.
 pub fn write_manifest_f32(dir: &Path, suites: &[Suite<f32>]) -> io::Result<()> {
     write_manifest_impl(dir, suites, "f32", |values| {
-        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+        values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect()
     })
 }
 
@@ -197,7 +210,10 @@ pub fn write_manifest_f32(dir: &Path, suites: &[Suite<f32>]) -> io::Result<()> {
 /// Propagates I/O errors.
 pub fn write_manifest_f64(dir: &Path, suites: &[Suite<f64>]) -> io::Result<()> {
     write_manifest_impl(dir, suites, "f64", |values| {
-        values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect()
+        values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect()
     })
 }
 
@@ -242,8 +258,10 @@ mod tests {
     #[test]
     fn manifest_roundtrip_f32() {
         let dir = temp_dir("sp");
-        let suites: Vec<Suite<f32>> =
-            single_precision_suites(Scale::Small).into_iter().take(2).collect();
+        let suites: Vec<Suite<f32>> = single_precision_suites(Scale::Small)
+            .into_iter()
+            .take(2)
+            .collect();
         write_manifest_f32(&dir, &suites).unwrap();
         let loaded = load_sp_suites(&dir.join("manifest.txt")).unwrap();
         assert_eq!(loaded.len(), 2);
@@ -258,17 +276,25 @@ mod tests {
             .find(|f| f.name == orig.name)
             .expect("file present");
         assert_eq!(back.dims, orig.dims);
-        assert!(orig.values.iter().zip(&back.values).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(orig
+            .values
+            .iter()
+            .zip(&back.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn manifest_roundtrip_f64_mixed_directory() {
         let dir = temp_dir("mixed");
-        let sp: Vec<Suite<f32>> =
-            single_precision_suites(Scale::Small).into_iter().take(1).collect();
-        let dp: Vec<Suite<f64>> =
-            double_precision_suites(Scale::Small).into_iter().take(1).collect();
+        let sp: Vec<Suite<f32>> = single_precision_suites(Scale::Small)
+            .into_iter()
+            .take(1)
+            .collect();
+        let dp: Vec<Suite<f64>> = double_precision_suites(Scale::Small)
+            .into_iter()
+            .take(1)
+            .collect();
         write_manifest_f32(&dir, &sp).unwrap();
         write_manifest_f64(&dir, &dp).unwrap();
         // Loading filters by dtype, so both precisions coexist.

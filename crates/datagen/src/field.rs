@@ -6,8 +6,7 @@
 //! reproduces the key property of gridded scientific data: neighbouring
 //! values are close, so exponents cluster and deltas are small.
 
-use rand::Rng;
-use rand::rngs::SmallRng;
+use fpc_prng::Rng;
 
 /// Parameters of a synthetic field.
 #[derive(Debug, Clone, Copy)]
@@ -27,7 +26,13 @@ pub struct FieldSpec {
 
 impl Default for FieldSpec {
     fn default() -> Self {
-        Self { smoothing_passes: 3, octaves: 2, amplitude: 1.0, offset: 0.0, noise: 1e-6 }
+        Self {
+            smoothing_passes: 3,
+            octaves: 2,
+            amplitude: 1.0,
+            offset: 0.0,
+            noise: 1e-6,
+        }
     }
 }
 
@@ -52,7 +57,7 @@ fn box_blur_axis(data: &mut [f64], stride: usize, len: usize, lanes: usize) {
 }
 
 /// Generates a smooth 3-D field of `slices × rows × cols` values.
-pub fn field3(rng: &mut SmallRng, slices: usize, rows: usize, cols: usize, spec: FieldSpec) -> Vec<f64> {
+pub fn field3(rng: &mut Rng, slices: usize, rows: usize, cols: usize, spec: FieldSpec) -> Vec<f64> {
     let n = slices * rows * cols;
     let mut acc = vec![0.0f64; n];
     let mut octave_amp = 1.0f64;
@@ -79,14 +84,18 @@ pub fn field3(rng: &mut SmallRng, slices: usize, rows: usize, cols: usize, spec:
         octave_amp *= 0.5;
     }
     for v in acc.iter_mut() {
-        let jitter = if spec.noise > 0.0 { rng.gen_range(-spec.noise..spec.noise) } else { 0.0 };
+        let jitter = if spec.noise > 0.0 {
+            rng.gen_range(-spec.noise..spec.noise)
+        } else {
+            0.0
+        };
         *v = spec.offset + spec.amplitude * (*v + jitter);
     }
     acc
 }
 
 /// Generates a smooth 2-D field of `rows × cols` values.
-pub fn field2(rng: &mut SmallRng, rows: usize, cols: usize, spec: FieldSpec) -> Vec<f64> {
+pub fn field2(rng: &mut Rng, rows: usize, cols: usize, spec: FieldSpec) -> Vec<f64> {
     field3(rng, 1, rows, cols, spec)
 }
 
@@ -99,7 +108,7 @@ pub fn field2(rng: &mut SmallRng, rows: usize, cols: usize, spec: FieldSpec) -> 
 /// are unrealistically coherent along the slice axis and overstate how
 /// much dimension-aware predictors (ndzip/FPzip-class Lorenzo) gain over
 /// the paper's dimension-oblivious algorithms.
-pub fn slice_modulate(values: &mut [f64], slices: usize, rng: &mut SmallRng, strength: f64) {
+pub fn slice_modulate(values: &mut [f64], slices: usize, rng: &mut Rng, strength: f64) {
     if slices <= 1 || values.is_empty() {
         return;
     }
@@ -127,7 +136,10 @@ mod tests {
         let mean_abs: f64 = f.iter().map(|v| v.abs()).sum::<f64>() / f.len() as f64;
         let mean_delta: f64 =
             f.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (f.len() - 1) as f64;
-        assert!(mean_delta < mean_abs, "field not smooth: {mean_delta} vs {mean_abs}");
+        assert!(
+            mean_delta < mean_abs,
+            "field not smooth: {mean_delta} vs {mean_abs}"
+        );
     }
 
     #[test]
@@ -145,7 +157,11 @@ mod tests {
     #[test]
     fn offset_and_amplitude_applied() {
         let mut r = rng(3);
-        let spec = FieldSpec { offset: 100.0, amplitude: 0.001, ..FieldSpec::default() };
+        let spec = FieldSpec {
+            offset: 100.0,
+            amplitude: 0.001,
+            ..FieldSpec::default()
+        };
         let f = field2(&mut r, 16, 16, spec);
         assert!(f.iter().all(|&v| (v - 100.0).abs() < 1.0));
     }
@@ -153,9 +169,25 @@ mod tests {
     #[test]
     fn octaves_add_detail() {
         let mut r1 = rng(4);
-        let one = field2(&mut r1, 32, 32, FieldSpec { octaves: 1, ..FieldSpec::default() });
+        let one = field2(
+            &mut r1,
+            32,
+            32,
+            FieldSpec {
+                octaves: 1,
+                ..FieldSpec::default()
+            },
+        );
         let mut r2 = rng(4);
-        let three = field2(&mut r2, 32, 32, FieldSpec { octaves: 3, ..FieldSpec::default() });
+        let three = field2(
+            &mut r2,
+            32,
+            32,
+            FieldSpec {
+                octaves: 3,
+                ..FieldSpec::default()
+            },
+        );
         assert_ne!(one, three);
     }
 }

@@ -28,8 +28,7 @@ mod suites;
 
 pub use suites::{double_precision_suites, single_precision_suites, Scale};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use fpc_prng::Rng;
 
 /// Grid dimensionality of a dataset (1-, 2-, or 3-dimensional).
 ///
@@ -93,7 +92,11 @@ pub struct Dataset<T> {
 
 impl<T> Dataset<T> {
     fn new(name: impl Into<String>, dims: Dims, values: Vec<T>) -> Self {
-        let dataset = Self { name: name.into(), dims, values };
+        let dataset = Self {
+            name: name.into(),
+            dims,
+            values,
+        };
         debug_assert_eq!(dataset.dims.len(), dataset.values.len());
         dataset
     }
@@ -116,8 +119,8 @@ impl<T> Suite<T> {
     }
 }
 
-pub(crate) fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -212,7 +215,10 @@ mod tests {
     #[test]
     fn dp_message_suite_has_repeats_for_fcm() {
         let suites = double_precision_suites(Scale::Small);
-        let msg = suites.iter().find(|s| s.domain.contains("message")).expect("message domain");
+        let msg = suites
+            .iter()
+            .find(|s| s.domain.contains("message"))
+            .expect("message domain");
         // Count exact value recurrences: FCM needs them.
         use std::collections::HashMap;
         let f = &msg.files[0];

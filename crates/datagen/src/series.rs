@@ -1,22 +1,27 @@
 //! One-dimensional generators: trajectories, instrument readings, and
 //! message streams.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use fpc_prng::Rng;
 
 /// Sum of sinusoids + random walk + noise: a generic smooth signal.
-pub fn smooth_series(rng: &mut SmallRng, n: usize, walk: f64, noise: f64) -> Vec<f64> {
+pub fn smooth_series(rng: &mut Rng, n: usize, walk: f64, noise: f64) -> Vec<f64> {
     let freqs: Vec<(f64, f64, f64)> = (0..4)
         .map(|_| {
-            (rng.gen_range(0.0005..0.05), rng.gen_range(0.1..2.0), rng.gen_range(0.0..std::f64::consts::TAU))
+            (
+                rng.gen_range(0.0005..0.05),
+                rng.gen_range(0.1..2.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            )
         })
         .collect();
     let mut drift = 0.0f64;
     (0..n)
         .map(|i| {
             drift += rng.gen_range(-walk..walk.max(f64::MIN_POSITIVE));
-            let s: f64 =
-                freqs.iter().map(|&(f, a, p)| a * (i as f64 * f + p).sin()).sum();
+            let s: f64 = freqs
+                .iter()
+                .map(|&(f, a, p)| a * (i as f64 * f + p).sin())
+                .sum();
             s + drift + rng.gen_range(-noise..noise.max(f64::MIN_POSITIVE))
         })
         .collect()
@@ -25,8 +30,15 @@ pub fn smooth_series(rng: &mut SmallRng, n: usize, walk: f64, noise: f64) -> Vec
 /// Particle positions: `particles` particles × 3 interleaved coordinates,
 /// each following a slow random walk within a periodic box (EXAALT/HACC
 /// style).
-pub fn particle_positions(rng: &mut SmallRng, particles: usize, steps: usize, box_size: f64) -> Vec<f64> {
-    let mut pos: Vec<f64> = (0..particles * 3).map(|_| rng.gen_range(0.0..box_size)).collect();
+pub fn particle_positions(
+    rng: &mut Rng,
+    particles: usize,
+    steps: usize,
+    box_size: f64,
+) -> Vec<f64> {
+    let mut pos: Vec<f64> = (0..particles * 3)
+        .map(|_| rng.gen_range(0.0..box_size))
+        .collect();
     let mut out = Vec::with_capacity(particles * 3 * steps);
     let step_size = box_size * 1e-4;
     for _ in 0..steps {
@@ -43,7 +55,7 @@ pub fn particle_positions(rng: &mut SmallRng, particles: usize, steps: usize, bo
 /// sampling far above its signal bandwidth produces) keeps consecutive
 /// readings within a few quantization levels, so both values and short
 /// contexts recur exactly — the redundancy FCM exploits.
-pub fn quantized_readings(rng: &mut SmallRng, n: usize, levels: f64) -> Vec<f64> {
+pub fn quantized_readings(rng: &mut Rng, n: usize, levels: f64) -> Vec<f64> {
     const STRETCH: usize = 16;
     let coarse = smooth_series(rng, n / STRETCH + 2, 1e-4, 1e-3);
     (0..n)
@@ -64,7 +76,7 @@ pub fn quantized_readings(rng: &mut SmallRng, n: usize, levels: f64) -> Vec<f64>
 /// is precisely the redundancy the paper credits FCM for ("find repeating
 /// values … even when they are far apart", §5.2) and that windowed LZ
 /// compressors miss once the gap exceeds their window.
-pub fn message_stream(rng: &mut SmallRng, n: usize) -> Vec<f64> {
+pub fn message_stream(rng: &mut Rng, n: usize) -> Vec<f64> {
     let templates: Vec<Vec<f64>> = (0..256)
         .map(|_| {
             let len = rng.gen_range(8..48);
@@ -83,7 +95,7 @@ pub fn message_stream(rng: &mut SmallRng, n: usize) -> Vec<f64> {
             }
             7..=8 => {
                 // Monotone sequence numbers stored as doubles.
-                let run = rng.gen_range(4..20).min(n - out.len());
+                let run = rng.gen_range(4usize..20).min(n - out.len());
                 for _ in 0..run {
                     counter += 1;
                     out.push(counter as f64);
@@ -131,7 +143,12 @@ mod tests {
         let q = quantized_readings(&mut r, 5000, 100.0);
         use std::collections::HashSet;
         let distinct: HashSet<u64> = q.iter().map(|v| v.to_bits()).collect();
-        assert!(distinct.len() < q.len() / 2, "{} distinct of {}", distinct.len(), q.len());
+        assert!(
+            distinct.len() < q.len() / 2,
+            "{} distinct of {}",
+            distinct.len(),
+            q.len()
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ fn quantize_mantissa(values: Vec<f32>, keep_bits: u32) -> Vec<f32> {
     debug_assert!(keep_bits <= 23);
     let drop = 23 - keep_bits;
     let mask = !((1u32 << drop) - 1);
-    values.into_iter().map(|v| f32::from_bits(v.to_bits() & mask)).collect()
+    values
+        .into_iter()
+        .map(|v| f32::from_bits(v.to_bits() & mask))
+        .collect()
 }
 
 /// The seven single-precision domain suites.
@@ -79,11 +82,22 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
     // CESM-ATM-like: smooth 3-D climate fields, moderate noise.
     {
         let mut files = Vec::new();
-        for (i, (name, amp, offset)) in
-            [("CLDHGH", 0.4, 0.5), ("FLDSC", 60.0, 320.0), ("PHIS", 800.0, 2000.0)].iter().enumerate()
+        for (i, (name, amp, offset)) in [
+            ("CLDHGH", 0.4, 0.5),
+            ("FLDSC", 60.0, 320.0),
+            ("PHIS", 800.0, 2000.0),
+        ]
+        .iter()
+        .enumerate()
         {
             let mut r = rng(100 + i as u64);
-            let spec = FieldSpec { amplitude: *amp, offset: *offset, noise: 1e-6, smoothing_passes: 6, octaves: 2 };
+            let spec = FieldSpec {
+                amplitude: *amp,
+                offset: *offset,
+                noise: 1e-6,
+                smoothing_passes: 6,
+                octaves: 2,
+            };
             let mut v = field3(&mut r, s3, r3, c3, spec);
             slice_modulate(&mut v, s3, &mut r, 0.08);
             slice_modulate(&mut v, s3 * r3, &mut r, 0.015);
@@ -96,9 +110,16 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
             }
             // Climate model output carries ~4 significant decimal digits.
             let v = quantize_mantissa(to_f32(v), 12);
-            files.push(Dataset::new(format!("cesm-like/{name}"), Dims::D3(s3, r3, c3), v));
+            files.push(Dataset::new(
+                format!("cesm-like/{name}"),
+                Dims::D3(s3, r3, c3),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "CESM-ATM-like (climate)", files });
+        suites.push(Suite {
+            domain: "CESM-ATM-like (climate)",
+            files,
+        });
     }
 
     // EXAALT-like: molecular-dynamics particle coordinates (copper).
@@ -108,9 +129,16 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
             let mut r = rng(200 + i as u64);
             let v = particle_positions(&mut r, npart, nsteps, 80.0);
             let n = v.len();
-            files.push(Dataset::new(format!("exaalt-like/copper_{axis}"), Dims::D1(n), to_f32(v)));
+            files.push(Dataset::new(
+                format!("exaalt-like/copper_{axis}"),
+                Dims::D1(n),
+                to_f32(v),
+            ));
         }
-        suites.push(Suite { domain: "EXAALT-like (molecular dynamics)", files });
+        suites.push(Suite {
+            domain: "EXAALT-like (molecular dynamics)",
+            files,
+        });
     }
 
     // HACC-like: cosmology particle positions and velocities.
@@ -121,15 +149,25 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
             let n = scale.series();
             let walk = if name.starts_with('v') { 1e-3 } else { 1e-2 };
             let v = smooth_series(&mut r, n, walk, 1e-4);
-            files.push(Dataset::new(format!("hacc-like/{name}"), Dims::D1(n), to_f32(v)));
+            files.push(Dataset::new(
+                format!("hacc-like/{name}"),
+                Dims::D1(n),
+                to_f32(v),
+            ));
         }
-        suites.push(Suite { domain: "HACC-like (cosmology particles)", files });
+        suites.push(Suite {
+            domain: "HACC-like (cosmology particles)",
+            files,
+        });
     }
 
     // Hurricane-ISABEL-like: 3-D weather variables, wide dynamic range.
     {
         let mut files = Vec::new();
-        for (i, (name, amp)) in [("CLOUD", 1e-3), ("PRECIP", 1e-2), ("U", 40.0)].iter().enumerate() {
+        for (i, (name, amp)) in [("CLOUD", 1e-3), ("PRECIP", 1e-2), ("U", 40.0)]
+            .iter()
+            .enumerate()
+        {
             let mut r = rng(400 + i as u64);
             let spec = FieldSpec {
                 amplitude: *amp,
@@ -150,9 +188,16 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
                 }
             }
             let v = quantize_mantissa(to_f32(v), 10);
-            files.push(Dataset::new(format!("isabel-like/{name}"), Dims::D3(s3, r3, c3), v));
+            files.push(Dataset::new(
+                format!("isabel-like/{name}"),
+                Dims::D3(s3, r3, c3),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "Hurricane-ISABEL-like (weather)", files });
+        suites.push(Suite {
+            domain: "Hurricane-ISABEL-like (weather)",
+            files,
+        });
     }
 
     // NYX-like: cosmology grid fields (densities are positive, log-spread).
@@ -160,15 +205,28 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
         let mut files = Vec::new();
         for (i, name) in ["baryon_density", "temperature"].iter().enumerate() {
             let mut r = rng(500 + i as u64);
-            let spec = FieldSpec { amplitude: 1.5, offset: 0.0, noise: 1e-6, smoothing_passes: 5, octaves: 2 };
+            let spec = FieldSpec {
+                amplitude: 1.5,
+                offset: 0.0,
+                noise: 1e-6,
+                smoothing_passes: 5,
+                octaves: 2,
+            };
             let mut raw = field3(&mut r, s3, r3, c3, spec);
             slice_modulate(&mut raw, s3, &mut r, 0.10);
             slice_modulate(&mut raw, s3 * r3, &mut r, 0.015);
             let v: Vec<f64> = raw.into_iter().map(|x| x.exp()).collect();
             let v = quantize_mantissa(to_f32(v), 13);
-            files.push(Dataset::new(format!("nyx-like/{name}"), Dims::D3(s3, r3, c3), v));
+            files.push(Dataset::new(
+                format!("nyx-like/{name}"),
+                Dims::D3(s3, r3, c3),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "NYX-like (cosmology grid)", files });
+        suites.push(Suite {
+            domain: "NYX-like (cosmology grid)",
+            files,
+        });
     }
 
     // QMCPACK-like: many small correlated 2-D orbital slices.
@@ -176,13 +234,26 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
         let mut files = Vec::new();
         for i in 0..2u64 {
             let mut r = rng(600 + i);
-            let spec = FieldSpec { amplitude: 0.01, offset: 0.02, noise: 1e-7, smoothing_passes: 5, octaves: 1 };
+            let spec = FieldSpec {
+                amplitude: 0.01,
+                offset: 0.02,
+                noise: 1e-7,
+                smoothing_passes: 5,
+                octaves: 1,
+            };
             let mut raw = field2(&mut r, r2, c2, spec);
             slice_modulate(&mut raw, r2, &mut r, 0.01);
             let v = quantize_mantissa(to_f32(raw), 15);
-            files.push(Dataset::new(format!("qmcpack-like/orbital_{i}"), Dims::D2(r2, c2), v));
+            files.push(Dataset::new(
+                format!("qmcpack-like/orbital_{i}"),
+                Dims::D2(r2, c2),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "QMCPACK-like (quantum Monte Carlo)", files });
+        suites.push(Suite {
+            domain: "QMCPACK-like (quantum Monte Carlo)",
+            files,
+        });
     }
 
     // SCALE-LETKF-like: ensemble weather fields, smoother than ISABEL.
@@ -190,14 +261,27 @@ pub fn single_precision_suites(scale: Scale) -> Vec<Suite<f32>> {
         let mut files = Vec::new();
         for (i, name) in ["QC", "RH"].iter().enumerate() {
             let mut r = rng(700 + i as u64);
-            let spec = FieldSpec { amplitude: 30.0, offset: 50.0, noise: 1e-6, smoothing_passes: 6, octaves: 2 };
+            let spec = FieldSpec {
+                amplitude: 30.0,
+                offset: 50.0,
+                noise: 1e-6,
+                smoothing_passes: 6,
+                octaves: 2,
+            };
             let mut raw = field3(&mut r, s3, r3, c3, spec);
             slice_modulate(&mut raw, s3, &mut r, 0.08);
             slice_modulate(&mut raw, s3 * r3, &mut r, 0.015);
             let v = quantize_mantissa(to_f32(raw), 13);
-            files.push(Dataset::new(format!("scale-like/{name}"), Dims::D3(s3, r3, c3), v));
+            files.push(Dataset::new(
+                format!("scale-like/{name}"),
+                Dims::D3(s3, r3, c3),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "SCALE-LETKF-like (ensemble weather)", files });
+        suites.push(Suite {
+            domain: "SCALE-LETKF-like (ensemble weather)",
+            files,
+        });
     }
 
     suites
@@ -217,7 +301,10 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
             let v = quantized_readings(&mut r, n, *levels);
             files.push(Dataset::new(format!("obs-like/sensor_{i}"), Dims::D1(n), v));
         }
-        suites.push(Suite { domain: "instrument-like (observations)", files });
+        suites.push(Suite {
+            domain: "instrument-like (observations)",
+            files,
+        });
     }
 
     // Simulation checkpoints: smooth 3-D double fields.
@@ -225,12 +312,24 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
         let mut files = Vec::new();
         for (i, name) in ["pressure", "energy"].iter().enumerate() {
             let mut r = rng(900 + i as u64);
-            let spec = FieldSpec { amplitude: 1e5, offset: 1e5, noise: 1e-9, ..FieldSpec::default() };
+            let spec = FieldSpec {
+                amplitude: 1e5,
+                offset: 1e5,
+                noise: 1e-9,
+                ..FieldSpec::default()
+            };
             let mut v = field3(&mut r, s3, r3, c3, spec);
             slice_modulate(&mut v, s3, &mut r, 0.05);
-            files.push(Dataset::new(format!("sim-like/{name}"), Dims::D3(s3, r3, c3), v));
+            files.push(Dataset::new(
+                format!("sim-like/{name}"),
+                Dims::D3(s3, r3, c3),
+                v,
+            ));
         }
-        suites.push(Suite { domain: "simulation-like (checkpoints)", files });
+        suites.push(Suite {
+            domain: "simulation-like (checkpoints)",
+            files,
+        });
     }
 
     // MPI messages: repeated payloads and counters.
@@ -241,7 +340,10 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
             let v = message_stream(&mut r, n);
             files.push(Dataset::new(format!("msg-like/trace_{i}"), Dims::D1(n), v));
         }
-        suites.push(Suite { domain: "MPI-message-like (traces)", files });
+        suites.push(Suite {
+            domain: "MPI-message-like (traces)",
+            files,
+        });
     }
 
     // Numeric time series: smooth with full-precision mantissas.
@@ -252,7 +354,10 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
             let v = smooth_series(&mut r, n, 1e-6, 1e-9);
             files.push(Dataset::new(format!("num-like/series_{i}"), Dims::D1(n), v));
         }
-        suites.push(Suite { domain: "numeric-like (time series)", files });
+        suites.push(Suite {
+            domain: "numeric-like (time series)",
+            files,
+        });
     }
 
     // Brain/engineering-like: piecewise-smooth with regime switches.
@@ -271,7 +376,10 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
             }
             files.push(Dataset::new(format!("eng-like/signal_{i}"), Dims::D1(n), v));
         }
-        suites.push(Suite { domain: "engineering-like (piecewise)", files });
+        suites.push(Suite {
+            domain: "engineering-like (piecewise)",
+            files,
+        });
     }
 
     suites

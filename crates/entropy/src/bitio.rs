@@ -31,7 +31,11 @@ impl BitWriter {
 
     /// Creates a writer with pre-allocated capacity (in bytes).
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { out: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+        Self {
+            out: Vec::with_capacity(bytes),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Appends the low `count` bits of `value` (0..=64 bits).
@@ -43,7 +47,10 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, value: u64, count: u32) {
         debug_assert!(count <= 64);
-        debug_assert!(count == 64 || value < (1u64 << count), "value {value:#x} exceeds {count} bits");
+        debug_assert!(
+            count == 64 || value < (1u64 << count),
+            "value {value:#x} exceeds {count} bits"
+        );
         self.acc |= (value as u128) << self.nbits;
         self.nbits += count;
         while self.nbits >= 8 {
@@ -100,7 +107,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     #[inline]
@@ -126,7 +138,11 @@ impl<'a> BitReader<'a> {
         if !self.refill(count) {
             return None;
         }
-        let mask = if count == 64 { u64::MAX as u128 } else { (1u128 << count) - 1 };
+        let mask = if count == 64 {
+            u64::MAX as u128
+        } else {
+            (1u128 << count) - 1
+        };
         let v = (self.acc & mask) as u64;
         self.acc >>= count;
         self.nbits -= count;
@@ -160,14 +176,22 @@ mod tests {
         let mut w = BitWriter::new();
         for (i, &width) in widths.iter().enumerate() {
             let v = (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
-                & if width == 64 { u64::MAX } else { (1 << width) - 1 };
+                & if width == 64 {
+                    u64::MAX
+                } else {
+                    (1 << width) - 1
+                };
             w.write_bits(v, width);
         }
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for (i, &width) in widths.iter().enumerate() {
             let v = (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
-                & if width == 64 { u64::MAX } else { (1 << width) - 1 };
+                & if width == 64 {
+                    u64::MAX
+                } else {
+                    (1 << width) - 1
+                };
             assert_eq!(r.read_bits(width), Some(v), "width {width}");
         }
     }

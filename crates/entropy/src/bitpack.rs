@@ -109,8 +109,14 @@ mod tests {
     #[test]
     fn pack_unpack_u32_all_widths() {
         for width in 0..=32u32 {
-            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
-            let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(0x9E37_79B9) & mask).collect();
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let values: Vec<u32> = (0..100u32)
+                .map(|i| i.wrapping_mul(0x9E37_79B9) & mask)
+                .collect();
             let mut packed = Vec::new();
             pack_u32(&values, width, &mut packed);
             assert_eq!(packed.len(), packed_len(values.len(), width));
@@ -123,9 +129,14 @@ mod tests {
     #[test]
     fn pack_unpack_u64_all_widths() {
         for width in 0..=64u32 {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let values: Vec<u64> =
-                (0..77u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect();
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..77u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask)
+                .collect();
             let mut packed = Vec::new();
             pack_u64(&values, width, &mut packed);
             let mut out = Vec::new();

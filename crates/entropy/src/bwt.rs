@@ -20,7 +20,10 @@ pub struct Bwt {
 pub fn forward(data: &[u8]) -> Bwt {
     let n = data.len();
     if n == 0 {
-        return Bwt { last_column: Vec::new(), primary_index: 0 };
+        return Bwt {
+            last_column: Vec::new(),
+            primary_index: 0,
+        };
     }
     let mut sa: Vec<u32> = (0..n as u32).collect();
     let mut rank: Vec<u32> = data.iter().map(|&b| u32::from(b)).collect();
@@ -36,8 +39,7 @@ pub fn forward(data: &[u8]) -> Bwt {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + u32::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + u32::from(key(prev) != key(cur));
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -54,7 +56,10 @@ pub fn forward(data: &[u8]) -> Bwt {
             primary_index = row;
         }
     }
-    Bwt { last_column, primary_index }
+    Bwt {
+        last_column,
+        primary_index,
+    }
 }
 
 /// Inverts a BWT.
@@ -106,7 +111,10 @@ pub fn mtf_forward(data: &[u8]) -> Vec<u8> {
     let mut table: Vec<u8> = (0..=255).collect();
     data.iter()
         .map(|&b| {
-            let idx = table.iter().position(|&t| t == b).expect("byte alphabet is complete") as u8;
+            let idx = table
+                .iter()
+                .position(|&t| t == b)
+                .expect("byte alphabet is complete") as u8;
             table.copy_within(0..idx as usize, 1);
             table[0] = b;
             idx
@@ -168,8 +176,9 @@ mod tests {
 
     #[test]
     fn roundtrip_random_like() {
-        let data: Vec<u8> =
-            (0..5000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as u8).collect();
+        let data: Vec<u8> = (0..5000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as u8)
+            .collect();
         roundtrip(&data);
     }
 
@@ -184,12 +193,19 @@ mod tests {
         let data = b"the cat sat on the mat. the cat sat on the mat. ".repeat(40);
         let bwt = forward(&data);
         let runs = crate::rle::runs_of(&bwt.last_column);
-        assert!(runs.len() < data.len() / 4, "bwt produced {} runs", runs.len());
+        assert!(
+            runs.len() < data.len() / 4,
+            "bwt produced {} runs",
+            runs.len()
+        );
     }
 
     #[test]
     fn invalid_primary_index_rejected() {
-        let bwt = Bwt { last_column: vec![1, 2, 3], primary_index: 3 };
+        let bwt = Bwt {
+            last_column: vec![1, 2, 3],
+            primary_index: 3,
+        };
         assert!(inverse(&bwt).is_err());
     }
 

@@ -86,7 +86,9 @@ impl CodeBook {
             return Err(DecodeError::InvalidHeader("huffman alphabet too large"));
         }
         let nbytes = nsyms.div_ceil(2);
-        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("header overflow"))?;
+        let end = pos
+            .checked_add(nbytes)
+            .ok_or(DecodeError::Corrupt("header overflow"))?;
         if end > data.len() {
             return Err(DecodeError::UnexpectedEof);
         }
@@ -147,7 +149,12 @@ impl Decoder {
                 next[len as usize] += 1;
             }
         }
-        Self { first_code, count, offset, symbols }
+        Self {
+            first_code,
+            count,
+            offset,
+            symbols,
+        }
     }
 
     /// Decodes one symbol.
@@ -272,7 +279,9 @@ fn validate_kraft(lengths: &[u8]) -> Result<()> {
     // A single 1-bit code (half-full tree) is allowed as a degenerate case.
     let full = 1u64 << MAX_CODE_LEN;
     if total > full || (nonzero > 1 && total != full) {
-        return Err(DecodeError::InvalidHeader("code lengths violate kraft inequality"));
+        return Err(DecodeError::InvalidHeader(
+            "code lengths violate kraft inequality",
+        ));
     }
     Ok(())
 }
@@ -375,18 +384,24 @@ mod tests {
             }
         }
         let compressed = compress_bytes(&data);
-        assert!(compressed.len() < data.len() / 4, "got {}", compressed.len());
+        assert!(
+            compressed.len() < data.len() / 4,
+            "got {}",
+            compressed.len()
+        );
     }
 
     #[test]
     fn lengths_satisfy_kraft() {
         let freqs: Vec<u64> = (0..256).map(|i| (i * i) as u64).collect();
         let book = CodeBook::from_freqs(&freqs);
-        assert!(validate_kraft(book.lengths()).is_ok() || {
-            // Not necessarily a full tree when lengths are bounded, so only
-            // require that no code exceeds the maximum.
-            book.lengths().iter().all(|&l| l <= MAX_CODE_LEN)
-        });
+        assert!(
+            validate_kraft(book.lengths()).is_ok() || {
+                // Not necessarily a full tree when lengths are bounded, so only
+                // require that no code exceeds the maximum.
+                book.lengths().iter().all(|&l| l <= MAX_CODE_LEN)
+            }
+        );
     }
 
     #[test]

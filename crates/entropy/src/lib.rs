@@ -73,4 +73,3 @@ pub type Result<T> = core::result::Result<T, DecodeError>;
 pub fn prealloc_limit(n: usize) -> usize {
     n.min(1 << 24)
 }
-

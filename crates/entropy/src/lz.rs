@@ -54,7 +54,11 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
     let mut tokens = Vec::new();
     if data.len() < MIN_MATCH {
         if !data.is_empty() {
-            tokens.push(Token { literal_len: data.len(), match_len: 0, distance: 0 });
+            tokens.push(Token {
+                literal_len: data.len(),
+                match_len: 0,
+                distance: 0,
+            });
         }
         return tokens;
     }
@@ -118,7 +122,11 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
                 } else {
                     insert(&mut head, &mut chain, i);
                 }
-                tokens.push(Token { literal_len: i - literal_start, match_len: len, distance: dist });
+                tokens.push(Token {
+                    literal_len: i - literal_start,
+                    match_len: len,
+                    distance: dist,
+                });
                 // Index positions inside the match (sparsely for speed).
                 let end = i + len;
                 let step = if len > 64 { 8 } else { 1 };
@@ -137,7 +145,11 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
         }
     }
     if literal_start < data.len() {
-        tokens.push(Token { literal_len: data.len() - literal_start, match_len: 0, distance: 0 });
+        tokens.push(Token {
+            literal_len: data.len() - literal_start,
+            match_len: 0,
+            distance: 0,
+        });
     }
     tokens
 }
@@ -150,10 +162,12 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
 /// Fails if a token references data before the start of the output or the
 /// literal stream is too short.
 pub fn detokenize(tokens: &[Token], literals: &[u8], expected_len: usize) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(crate::prealloc_limit(expected_len));
     let mut lit_pos = 0usize;
     for t in tokens {
-        let lit_end = lit_pos.checked_add(t.literal_len).ok_or(DecodeError::Corrupt("literal overflow"))?;
+        let lit_end = lit_pos
+            .checked_add(t.literal_len)
+            .ok_or(DecodeError::Corrupt("literal overflow"))?;
         if lit_end > literals.len() {
             return Err(DecodeError::UnexpectedEof);
         }
@@ -162,6 +176,11 @@ pub fn detokenize(tokens: &[Token], literals: &[u8], expected_len: usize) -> Res
         if t.match_len > 0 {
             if t.distance == 0 || t.distance > out.len() {
                 return Err(DecodeError::Corrupt("match distance out of range"));
+            }
+            // Bound the copy *before* performing it, so a hostile token
+            // cannot grow the output past the declared length.
+            if t.match_len > expected_len.saturating_sub(out.len()) {
+                return Err(DecodeError::Corrupt("match overruns expected length"));
             }
             let start = out.len() - t.distance;
             // Overlapping copies are the normal RLE-like case; copy bytewise.
@@ -210,23 +229,42 @@ pub fn compress_block(data: &[u8], effort: Effort) -> Vec<u8> {
 
 /// Decompresses a block produced by [`compress_block`].
 ///
+/// `max_len` is the caller's upper bound on the decoded size (known from
+/// the enclosing framing — a block size, a chunk size, the expected file
+/// length). It exists to stop decompression bombs: a hostile block can
+/// declare any length and expand a few input bytes into it via
+/// self-referential matches, so without an external bound the decoder
+/// would allocate whatever the stream asks for.
+///
 /// # Errors
 ///
-/// Fails on truncated or corrupt input.
-pub fn decompress_block(data: &[u8]) -> Result<Vec<u8>> {
+/// Fails on truncated or corrupt input, or if the declared decoded length
+/// exceeds `max_len`.
+pub fn decompress_block(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
     let mut pos = 0usize;
     let n = varint::read_usize(data, &mut pos)?;
+    if n > max_len {
+        return Err(DecodeError::Corrupt("declared length exceeds caller limit"));
+    }
     let mut out = Vec::with_capacity(crate::prealloc_limit(n));
     while out.len() < n {
         let lit = varint::read_usize(data, &mut pos)?;
-        let end = pos.checked_add(lit).ok_or(DecodeError::Corrupt("literal overflow"))?;
+        let end = pos
+            .checked_add(lit)
+            .ok_or(DecodeError::Corrupt("literal overflow"))?;
         if end > data.len() {
             return Err(DecodeError::UnexpectedEof);
+        }
+        if lit > n - out.len() {
+            return Err(DecodeError::Corrupt("block overruns declared length"));
         }
         out.extend_from_slice(&data[pos..end]);
         pos = end;
         let mlen = varint::read_usize(data, &mut pos)?;
         if mlen > 0 {
+            if mlen > n - out.len() {
+                return Err(DecodeError::Corrupt("block overruns declared length"));
+            }
             let dist = varint::read_usize(data, &mut pos)?;
             if dist == 0 || dist > out.len() {
                 return Err(DecodeError::Corrupt("match distance out of range"));
@@ -236,9 +274,6 @@ pub fn decompress_block(data: &[u8]) -> Result<Vec<u8>> {
                 let b = out[start + k];
                 out.push(b);
             }
-        }
-        if out.len() > n {
-            return Err(DecodeError::Corrupt("block overruns declared length"));
         }
     }
     Ok(out)
@@ -250,7 +285,7 @@ mod tests {
 
     fn roundtrip(data: &[u8], effort: Effort) {
         let c = compress_block(data, effort);
-        assert_eq!(decompress_block(&c).unwrap(), data);
+        assert_eq!(decompress_block(&c, data.len()).unwrap(), data);
     }
 
     #[test]
@@ -283,8 +318,9 @@ mod tests {
 
     #[test]
     fn roundtrip_incompressible() {
-        let data: Vec<u8> =
-            (0..10_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8).collect();
+        let data: Vec<u8> = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8)
+            .collect();
         roundtrip(&data, Effort::Fast);
         roundtrip(&data, Effort::Thorough);
     }
@@ -333,14 +369,17 @@ mod tests {
         c.push(b'x');
         varint::write_usize(&mut c, 9); // match len 9
         varint::write_usize(&mut c, 5); // distance 5 > out.len()==1
-        assert!(matches!(decompress_block(&c), Err(DecodeError::Corrupt(_))));
+        assert!(matches!(
+            decompress_block(&c, 1 << 20),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn truncated_block_rejected() {
         let data = b"hello world hello world hello world".repeat(20);
         let c = compress_block(&data, Effort::Fast);
-        assert!(decompress_block(&c[..c.len() / 2]).is_err());
+        assert!(decompress_block(&c[..c.len() / 2], 1 << 20).is_err());
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Model {
         // largest buckets (which are least sensitive to +-1 changes).
         while assigned != SCALE {
             if assigned < SCALE {
-                let i = (0..256).filter(|&i| freq[i] > 0).max_by_key(|&i| counts[i]).expect("nonempty");
+                let i = (0..256)
+                    .filter(|&i| freq[i] > 0)
+                    .max_by_key(|&i| counts[i])
+                    .expect("nonempty");
                 freq[i] += 1;
                 assigned += 1;
             } else {
@@ -86,7 +89,11 @@ impl Model {
                 slot_to_sym[slot as usize] = sym as u8;
             }
         }
-        Self { freq, cum, slot_to_sym }
+        Self {
+            freq,
+            cum,
+            slot_to_sym,
+        }
     }
 
     /// Serializes the frequency table (zero-run-length coded).
@@ -121,7 +128,9 @@ impl Model {
             let v = varint::read_u64(data, pos)?;
             if v == 0 {
                 let run = varint::read_usize(data, pos)?;
-                i = i.checked_add(run).ok_or(DecodeError::Corrupt("freq run overflow"))?;
+                i = i
+                    .checked_add(run)
+                    .ok_or(DecodeError::Corrupt("freq run overflow"))?;
                 if i > 256 {
                     return Err(DecodeError::InvalidHeader("rans zero run too long"));
                 }
@@ -135,7 +144,9 @@ impl Model {
         }
         let total: u32 = freq.iter().map(|&f| u32::from(f)).sum();
         if total != SCALE {
-            return Err(DecodeError::InvalidHeader("rans frequencies do not sum to scale"));
+            return Err(DecodeError::InvalidHeader(
+                "rans frequencies do not sum to scale",
+            ));
         }
         Ok(Self::from_freqs(freq))
     }
@@ -172,26 +183,38 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decodes a stream produced by [`compress`].
+/// Decodes a stream produced by [`compress`]; `max_len` bounds the decoded
+/// size (from the caller's framing) against decompression bombs.
 ///
 /// # Errors
 ///
-/// Fails on truncated or internally inconsistent input.
-pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+/// Fails on truncated or internally inconsistent input, or if the declared
+/// decoded length exceeds `max_len`.
+pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
     let mut pos = 0;
     let n = varint::read_usize(data, &mut pos)?;
+    if n > max_len {
+        // A single-symbol model emits bytes without consuming input, so a
+        // hostile stream can expand to any declared length; the caller's
+        // framing bound is the only honest limit.
+        return Err(DecodeError::Corrupt("declared length exceeds caller limit"));
+    }
     if n == 0 {
         return Ok(Vec::new());
     }
     let model = Model::read_header(data, &mut pos)?;
     let payload_len = varint::read_usize(data, &mut pos)?;
-    let end = pos.checked_add(payload_len).ok_or(DecodeError::Corrupt("payload overflow"))?;
-    if end > data.len() || payload_len < 4 {
+    let end = pos
+        .checked_add(payload_len)
+        .ok_or(DecodeError::Corrupt("payload overflow"))?;
+    if end > data.len() {
         return Err(DecodeError::UnexpectedEof);
     }
     let payload = &data[pos..end];
-    let (renorm, state_bytes) = payload.split_at(payload_len - 4);
-    let mut state = u32::from_le_bytes(state_bytes.try_into().expect("4 bytes"));
+    let Some((renorm, state_bytes)) = payload.split_last_chunk::<4>() else {
+        return Err(DecodeError::UnexpectedEof);
+    };
+    let mut state = u32::from_le_bytes(*state_bytes);
     let mut remaining = renorm; // consumed back-to-front
     let mut out = Vec::with_capacity(crate::prealloc_limit(n));
     for _ in 0..n {
@@ -217,7 +240,7 @@ mod tests {
 
     fn roundtrip(data: &[u8]) {
         let c = compress(data);
-        assert_eq!(decompress(&c).unwrap(), data);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
     }
 
     #[test]
@@ -296,7 +319,7 @@ mod tests {
     fn truncated_stream_rejected() {
         let c = compress(&[1u8, 2, 3].repeat(500));
         for cut in 1..c.len().min(30) {
-            assert!(decompress(&c[..c.len() - cut]).is_err() || cut == 0);
+            assert!(decompress(&c[..c.len() - cut], 1 << 20).is_err() || cut == 0);
         }
     }
 
@@ -310,6 +333,6 @@ mod tests {
         varint::write_usize(&mut buf, 255); // rest zero -> total 100 != 4096
         varint::write_usize(&mut buf, 4);
         buf.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(decompress(&buf).is_err());
+        assert!(decompress(&buf, 1 << 20).is_err());
     }
 }

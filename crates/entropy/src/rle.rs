@@ -32,14 +32,20 @@ pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decodes a stream produced by [`compress_bytes`].
+/// Decodes a stream produced by [`compress_bytes`]; `max_len` bounds the
+/// decoded size (from the caller's framing) against decompression bombs —
+/// a few hostile input bytes can declare and expand to any run length.
 ///
 /// # Errors
 ///
-/// Fails on truncation or if the expansion exceeds the declared length.
-pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
+/// Fails on truncation, if the expansion exceeds the declared length, or
+/// if the declared length exceeds `max_len`.
+pub fn decompress_bytes(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
     let mut pos = 0usize;
     let n = varint::read_usize(data, &mut pos)?;
+    if n > max_len {
+        return Err(DecodeError::Corrupt("declared length exceeds caller limit"));
+    }
     let mut out = Vec::with_capacity(crate::prealloc_limit(n));
     while out.len() < n {
         let b = *data.get(pos).ok_or(DecodeError::UnexpectedEof)?;
@@ -47,7 +53,10 @@ pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
         out.push(b);
         // Detect a completed 4-run: the last four output bytes equal.
         let l = out.len();
-        if l >= 4 && out[l - 1] == out[l - 2] && out[l - 2] == out[l - 3] && out[l - 3] == out[l - 4]
+        if l >= 4
+            && out[l - 1] == out[l - 2]
+            && out[l - 2] == out[l - 3]
+            && out[l - 3] == out[l - 4]
         {
             let extra = varint::read_usize(data, &mut pos)?;
             if out.len() + extra > n {
@@ -75,7 +84,10 @@ pub fn runs_of<T: Copy + PartialEq>(values: &[T]) -> Vec<Run<T>> {
     let Some(&first) = iter.next() else {
         return runs;
     };
-    let mut cur = Run { value: first, len: 1 };
+    let mut cur = Run {
+        value: first,
+        len: 1,
+    };
     for &v in iter {
         if v == cur.value {
             cur.len += 1;
@@ -106,7 +118,7 @@ mod tests {
 
     fn roundtrip(data: &[u8]) {
         let c = compress_bytes(data);
-        assert_eq!(decompress_bytes(&c).unwrap(), data);
+        assert_eq!(decompress_bytes(&c, data.len()).unwrap(), data);
     }
 
     #[test]
@@ -155,7 +167,10 @@ mod tests {
         varint::write_usize(&mut c, 5);
         c.extend_from_slice(&[9, 9, 9, 9]);
         varint::write_usize(&mut c, 100); // would expand to 104 > 5
-        assert!(matches!(decompress_bytes(&c), Err(DecodeError::Corrupt(_))));
+        assert!(matches!(
+            decompress_bytes(&c, 1 << 20),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

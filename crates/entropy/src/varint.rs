@@ -95,7 +95,10 @@ mod tests {
         write_u64(&mut buf, u64::MAX);
         for cut in 0..buf.len() {
             let mut pos = 0;
-            assert_eq!(read_u64(&buf[..cut], &mut pos), Err(DecodeError::UnexpectedEof));
+            assert_eq!(
+                read_u64(&buf[..cut], &mut pos),
+                Err(DecodeError::UnexpectedEof)
+            );
         }
     }
 
@@ -104,7 +107,10 @@ mod tests {
         // Eleven continuation bytes can never be a valid u64.
         let buf = [0x80u8; 11];
         let mut pos = 0;
-        assert!(matches!(read_u64(&buf, &mut pos), Err(DecodeError::Corrupt(_))));
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]

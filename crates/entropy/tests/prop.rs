@@ -1,124 +1,188 @@
-//! Property-based tests over the entropy-coding substrate.
+//! Deterministic property tests over the entropy-coding substrate
+//! (in-repo fuzz driver; no external dependencies).
 
 use fpc_entropy::bitio::{BitReader, BitWriter};
 use fpc_entropy::lz::{self, Effort};
 use fpc_entropy::{bitpack, bwt, huffman, rans, rle, varint};
-use proptest::prelude::*;
+use fpc_prng::fuzz::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn varint_roundtrips(v in any::<u64>()) {
+#[test]
+fn varint_roundtrips() {
+    run_cases("entropy/varint", 256, |rng, case| {
+        // Mix full-range values with small ones (short encodings).
+        let v = if case % 2 == 0 {
+            rng.next_u64()
+        } else {
+            rng.next_u64() >> rng.gen_range(0u32..64)
+        };
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, v);
         let mut pos = 0;
-        prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
-        prop_assert_eq!(pos, buf.len());
-    }
+        assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        assert_eq!(pos, buf.len());
+    });
+}
 
-    #[test]
-    fn bitio_roundtrips_random_schedules(
-        fields in prop::collection::vec((any::<u64>(), 1u32..=64), 0..200)
-    ) {
+#[test]
+fn bitio_roundtrips_random_schedules() {
+    run_cases("entropy/bitio", 64, |rng, _| {
+        let n = rng.gen_range(0usize..200);
+        let fields: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.next_u64(), rng.gen_range(1u32..65)))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, width) in &fields {
-            let v = if width == 64 { v } else { v & ((1 << width) - 1) };
+            let v = if width == 64 {
+                v
+            } else {
+                v & ((1 << width) - 1)
+            };
             w.write_bits(v, width);
         }
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for &(v, width) in &fields {
-            let v = if width == 64 { v } else { v & ((1 << width) - 1) };
-            prop_assert_eq!(r.read_bits(width), Some(v));
+            let v = if width == 64 {
+                v
+            } else {
+                v & ((1 << width) - 1)
+            };
+            assert_eq!(r.read_bits(width), Some(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn bitpack_roundtrips(values in prop::collection::vec(any::<u64>(), 0..300), width in 0u32..=64) {
-        let masked: Vec<u64> = values
-            .iter()
-            .map(|&v| if width == 64 { v } else if width == 0 { 0 } else { v & ((1 << width) - 1) })
+#[test]
+fn bitpack_roundtrips() {
+    run_cases("entropy/bitpack", 64, |rng, _| {
+        let n = rng.gen_range(0usize..300);
+        let width = rng.gen_range(0u32..65);
+        let masked: Vec<u64> = (0..n)
+            .map(|_| {
+                let v = rng.next_u64();
+                if width == 64 {
+                    v
+                } else if width == 0 {
+                    0
+                } else {
+                    v & ((1 << width) - 1)
+                }
+            })
             .collect();
         let mut packed = Vec::new();
         bitpack::pack_u64(&masked, width, &mut packed);
         let mut out = Vec::new();
         bitpack::unpack_u64(&packed, width, masked.len(), &mut out).unwrap();
-        prop_assert_eq!(out, masked);
-    }
+        assert_eq!(out, masked);
+    });
+}
 
-    #[test]
-    fn huffman_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+#[test]
+fn huffman_roundtrips() {
+    run_cases("entropy/huffman", 64, |rng, _| {
+        let data = rng.bytes_range(0usize..4000);
         let c = huffman::compress_bytes(&data);
-        prop_assert_eq!(huffman::decompress_bytes(&c).unwrap(), data);
-    }
+        assert_eq!(huffman::decompress_bytes(&c).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn rans_roundtrips(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+#[test]
+fn rans_roundtrips() {
+    run_cases("entropy/rans", 64, |rng, _| {
+        let data = rng.bytes_range(0usize..4000);
         let c = rans::compress(&data);
-        prop_assert_eq!(rans::decompress(&c).unwrap(), data);
-    }
+        assert_eq!(rans::decompress(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn lz_roundtrips_both_efforts(data in prop::collection::vec(any::<u8>(), 0..3000)) {
+#[test]
+fn lz_roundtrips_both_efforts() {
+    run_cases("entropy/lz", 64, |rng, _| {
+        let data = rng.bytes_range(0usize..3000);
         for effort in [Effort::Fast, Effort::Thorough] {
             let c = lz::compress_block(&data, effort);
-            prop_assert_eq!(lz::decompress_block(&c).unwrap(), data.clone());
+            assert_eq!(lz::decompress_block(&c, data.len()).unwrap(), data);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lz_tokens_partition_input(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn lz_tokens_partition_input() {
+    run_cases("entropy/lz-tokens", 64, |rng, _| {
+        let data = rng.bytes_range(0usize..2000);
         let tokens = lz::tokenize(&data, Effort::Thorough);
         let covered: usize = tokens.iter().map(|t| t.literal_len + t.match_len).sum();
-        prop_assert_eq!(covered, data.len());
+        assert_eq!(covered, data.len());
         let mut produced = 0usize;
         for t in &tokens {
             produced += t.literal_len;
             if t.match_len > 0 {
-                prop_assert!(t.match_len >= lz::MIN_MATCH);
-                prop_assert!(t.distance >= 1 && t.distance <= produced);
+                assert!(t.match_len >= lz::MIN_MATCH);
+                assert!(t.distance >= 1 && t.distance <= produced);
             }
             produced += t.match_len;
         }
-    }
+    });
+}
 
-    #[test]
-    fn rle_roundtrips(data in prop::collection::vec(0u8..4, 0..3000)) {
+#[test]
+fn rle_roundtrips() {
+    run_cases("entropy/rle", 64, |rng, _| {
         // Narrow alphabet maximizes runs (the interesting case).
+        let n = rng.gen_range(0usize..3000);
+        let data: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..4)).collect();
         let c = rle::compress_bytes(&data);
-        prop_assert_eq!(rle::decompress_bytes(&c).unwrap(), data);
-    }
+        assert_eq!(rle::decompress_bytes(&c, data.len()).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn bwt_roundtrips(data in prop::collection::vec(any::<u8>(), 0..1200)) {
+#[test]
+fn bwt_roundtrips() {
+    run_cases("entropy/bwt", 48, |rng, _| {
+        let data = rng.bytes_range(0usize..1200);
         let t = bwt::forward(&data);
-        prop_assert_eq!(bwt::inverse(&t).unwrap(), data);
-    }
+        assert_eq!(bwt::inverse(&t).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn mtf_roundtrips(data in prop::collection::vec(any::<u8>(), 0..2000)) {
-        prop_assert_eq!(bwt::mtf_inverse(&bwt::mtf_forward(&data)), data);
-    }
+#[test]
+fn mtf_roundtrips() {
+    run_cases("entropy/mtf", 48, |rng, _| {
+        let data = rng.bytes_range(0usize..2000);
+        assert_eq!(bwt::mtf_inverse(&bwt::mtf_forward(&data)), data);
+    });
+}
 
-    #[test]
-    fn bwt_is_a_permutation(data in prop::collection::vec(any::<u8>(), 1..800)) {
+#[test]
+fn bwt_is_a_permutation() {
+    run_cases("entropy/bwt-perm", 48, |rng, _| {
+        let data = rng.bytes_range(1usize..800);
         let t = bwt::forward(&data);
         let mut a = data.clone();
         let mut b = t.last_column.clone();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
-        prop_assert!(t.primary_index < data.len());
-    }
+        assert_eq!(a, b);
+        assert!(t.primary_index < data.len());
+    });
+}
 
-    #[test]
-    fn decoders_never_panic_on_random_input(data in prop::collection::vec(any::<u8>(), 0..400)) {
+#[test]
+fn decoders_never_panic_on_random_input() {
+    run_cases("entropy/random-bytes", 512, |rng, _| {
+        let data = rng.bytes_range(0usize..400);
         let _ = huffman::decompress_bytes(&data);
-        let _ = rans::decompress(&data);
-        let _ = lz::decompress_block(&data);
-        let _ = rle::decompress_bytes(&data);
+        let _ = rans::decompress(&data, 1 << 20);
+        let _ = lz::decompress_block(&data, 1 << 20);
+        let _ = rle::decompress_bytes(&data, 1 << 20);
         let mut pos = 0;
         let _ = varint::read_u64(&data, &mut pos);
-    }
+        let mut out = Vec::new();
+        let _ = bitpack::unpack_u64(
+            &data,
+            rng.gen_range(0u32..65),
+            rng.gen_range(0usize..64),
+            &mut out,
+        );
+    });
 }

@@ -23,7 +23,11 @@ pub struct GpuCompressor {
 impl GpuCompressor {
     /// Creates a compressor for `algorithm` on the RTX 4090 profile.
     pub fn new(algorithm: Algorithm) -> Self {
-        Self { algorithm, profile: DeviceProfile::rtx4090(), threads: 0 }
+        Self {
+            algorithm,
+            profile: DeviceProfile::rtx4090(),
+            threads: 0,
+        }
     }
 
     /// Selects a device profile (affects only the modeled throughput).
@@ -51,8 +55,12 @@ impl GpuCompressor {
     /// Compresses raw little-endian bytes (same stream as the CPU path).
     pub fn compress_bytes(&self, data: &[u8]) -> Vec<u8> {
         let algo = self.algorithm;
-        let mut header =
-            Header::new(algo.id(), algo.element_width(), data.len() as u64, data.len() as u64);
+        let mut header = Header::new(
+            algo.id(),
+            algo.element_width(),
+            data.len() as u64,
+            data.len() as u64,
+        );
         match algo {
             Algorithm::SpSpeed => {
                 fpc_container::compress(header, data, &GpuSpSpeedCodec, self.threads)
@@ -85,7 +93,11 @@ impl GpuCompressor {
     ///
     /// Panics if the configured algorithm targets double precision.
     pub fn compress_f32(&self, data: &[f32]) -> Vec<u8> {
-        assert!(self.algorithm.is_single_precision(), "{} targets doubles", self.algorithm);
+        assert!(
+            self.algorithm.is_single_precision(),
+            "{} targets doubles",
+            self.algorithm
+        );
         self.compress_bytes(&words::f32_slice_to_bytes(data))
     }
 
@@ -95,7 +107,11 @@ impl GpuCompressor {
     ///
     /// Panics if the configured algorithm targets single precision.
     pub fn compress_f64(&self, data: &[f64]) -> Vec<u8> {
-        assert!(!self.algorithm.is_single_precision(), "{} targets singles", self.algorithm);
+        assert!(
+            !self.algorithm.is_single_precision(),
+            "{} targets singles",
+            self.algorithm
+        );
         self.compress_bytes(&words::f64_slice_to_bytes(data))
     }
 
@@ -111,22 +127,26 @@ impl GpuCompressor {
         let algorithm = Algorithm::from_id(header.algorithm)?;
         match algorithm {
             Algorithm::SpSpeed => {
-                let (_, payload) = fpc_container::decompress(stream, &GpuSpSpeedCodec, self.threads)?;
+                let (_, payload) =
+                    fpc_container::decompress(stream, &GpuSpSpeedCodec, self.threads)?;
                 Ok(payload)
             }
             Algorithm::SpRatio => {
-                let (_, payload) = fpc_container::decompress(stream, &GpuSpRatioCodec, self.threads)?;
+                let (_, payload) =
+                    fpc_container::decompress(stream, &GpuSpRatioCodec, self.threads)?;
                 Ok(payload)
             }
             Algorithm::DpSpeed => {
-                let (_, payload) = fpc_container::decompress(stream, &GpuDpSpeedCodec, self.threads)?;
+                let (_, payload) =
+                    fpc_container::decompress(stream, &GpuDpSpeedCodec, self.threads)?;
                 Ok(payload)
             }
             Algorithm::DpRatio => {
                 let (_, payload) =
                     fpc_container::decompress(stream, &GpuDpRatioChunkCodec, self.threads)?;
-                let original_len = usize::try_from(header.original_len)
-                    .map_err(|_| Error::Container(fpc_container::Error::Corrupt("length overflow")))?;
+                let original_len = usize::try_from(header.original_len).map_err(|_| {
+                    Error::Container(fpc_container::Error::Corrupt("length overflow"))
+                })?;
                 let nwords = original_len / 8;
                 let tail_len = original_len % 8;
                 if payload.len() != nwords * 16 + tail_len {
@@ -156,11 +176,16 @@ impl GpuCompressor {
     pub fn decompress_f32(&self, stream: &[u8]) -> Result<Vec<f32>, Error> {
         let header = fpc_container::read_header(stream)?;
         if header.element_width != 4 {
-            return Err(Error::ElementMismatch { expected: 4, actual: header.element_width });
+            return Err(Error::ElementMismatch {
+                expected: 4,
+                actual: header.element_width,
+            });
         }
         let bytes = self.decompress_bytes(stream)?;
-        words::bytes_to_f32_vec(&bytes)
-            .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 4 })
+        words::bytes_to_f32_vec(&bytes).ok_or(Error::LengthIndivisible {
+            len: bytes.len() as u64,
+            width: 4,
+        })
     }
 
     /// Decompresses a double-precision stream.
@@ -171,11 +196,16 @@ impl GpuCompressor {
     pub fn decompress_f64(&self, stream: &[u8]) -> Result<Vec<f64>, Error> {
         let header = fpc_container::read_header(stream)?;
         if header.element_width != 8 {
-            return Err(Error::ElementMismatch { expected: 8, actual: header.element_width });
+            return Err(Error::ElementMismatch {
+                expected: 8,
+                actual: header.element_width,
+            });
         }
         let bytes = self.decompress_bytes(stream)?;
-        words::bytes_to_f64_vec(&bytes)
-            .ok_or(Error::LengthIndivisible { len: bytes.len() as u64, width: 8 })
+        words::bytes_to_f64_vec(&bytes).ok_or(Error::LengthIndivisible {
+            len: bytes.len() as u64,
+            width: 8,
+        })
     }
 }
 
@@ -189,7 +219,9 @@ mod tests {
     }
 
     fn smooth_f64(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.0003).cos() * 7.0 + 2.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.0003).cos() * 7.0 + 2.0)
+            .collect()
     }
 
     #[test]
@@ -217,7 +249,10 @@ mod tests {
         let data = smooth_f64(25_000);
         let stream = GpuCompressor::new(Algorithm::DpRatio).compress_f64(&data);
         let back = fpc_core::decompress_f64(&stream).unwrap();
-        assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(data
+            .iter()
+            .zip(&back)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]
@@ -226,13 +261,24 @@ mod tests {
         for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
             let stream = Compressor::new(algo).compress_f32(&data);
             let back = GpuCompressor::new(algo).decompress_f32(&stream).unwrap();
-            assert!(data.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(
+                data.iter()
+                    .zip(&back)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{algo}"
+            );
         }
         let data64 = smooth_f64(25_000);
         for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
             let stream = Compressor::new(algo).compress_f64(&data64);
             let back = GpuCompressor::new(algo).decompress_f64(&stream).unwrap();
-            assert!(data64.iter().zip(&back).all(|(a, b)| a.to_bits() == b.to_bits()), "{algo}");
+            assert!(
+                data64
+                    .iter()
+                    .zip(&back)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{algo}"
+            );
         }
     }
 
@@ -249,7 +295,9 @@ mod tests {
     #[test]
     fn width_mismatch_rejected() {
         let stream = GpuCompressor::new(Algorithm::SpSpeed).compress_f32(&smooth_f32(64));
-        assert!(GpuCompressor::new(Algorithm::DpSpeed).decompress_f64(&stream).is_err());
+        assert!(GpuCompressor::new(Algorithm::DpSpeed)
+            .decompress_f64(&stream)
+            .is_err());
     }
 
     #[test]

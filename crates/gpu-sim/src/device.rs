@@ -128,8 +128,16 @@ mod tests {
     fn spspeed_exceeds_500_gbps_on_rtx4090() {
         // The paper's headline number.
         let rtx = DeviceProfile::rtx4090();
-        assert!(rtx.modeled_gbps("SPspeed", Direction::Compress).expect("modeled") > 500.0);
-        assert!(rtx.modeled_gbps("SPspeed", Direction::Decompress).expect("modeled") > 500.0);
+        assert!(
+            rtx.modeled_gbps("SPspeed", Direction::Compress)
+                .expect("modeled")
+                > 500.0
+        );
+        assert!(
+            rtx.modeled_gbps("SPspeed", Direction::Decompress)
+                .expect("modeled")
+                > 500.0
+        );
     }
 
     #[test]
@@ -150,8 +158,12 @@ mod tests {
         // §5.2: "DPratio's decompression throughput is much higher than its
         // compression throughput because no sorting is required".
         let rtx = DeviceProfile::rtx4090();
-        let comp = rtx.modeled_gbps("DPratio", Direction::Compress).expect("modeled");
-        let dec = rtx.modeled_gbps("DPratio", Direction::Decompress).expect("modeled");
+        let comp = rtx
+            .modeled_gbps("DPratio", Direction::Compress)
+            .expect("modeled");
+        let dec = rtx
+            .modeled_gbps("DPratio", Direction::Decompress)
+            .expect("modeled");
         assert!(dec > comp * 5.0);
     }
 
@@ -160,21 +172,40 @@ mod tests {
         let rtx = DeviceProfile::rtx4090();
         let a100 = DeviceProfile::a100();
         for codec in ["SPspeed", "SPratio", "DPspeed", "DPratio", "MPC", "ndzip"] {
-            let fast = rtx.modeled_gbps(codec, Direction::Compress).expect("modeled");
-            let slow = a100.modeled_gbps(codec, Direction::Compress).expect("modeled");
+            let fast = rtx
+                .modeled_gbps(codec, Direction::Compress)
+                .expect("modeled");
+            let slow = a100
+                .modeled_gbps(codec, Direction::Compress)
+                .expect("modeled");
             assert!(fast > slow, "{codec}: {fast} vs {slow}");
         }
         // Bitcomp runs faster on the A100 (paper §5.1).
-        let b_rtx = rtx.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled");
-        let b_a100 = a100.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled");
+        let b_rtx = rtx
+            .modeled_gbps("Bitcomp", Direction::Compress)
+            .expect("modeled");
+        let b_a100 = a100
+            .modeled_gbps("Bitcomp", Direction::Compress)
+            .expect("modeled");
         assert!(b_a100 > b_rtx);
     }
 
     #[test]
     fn cpu_only_codecs_have_no_gpu_model() {
         let rtx = DeviceProfile::rtx4090();
-        for codec in ["FPC", "pFPC", "SPDP-fast", "FPzip", "Gzip-best", "Bzip2", "ZSTD-best"] {
-            assert!(rtx.modeled_gbps(codec, Direction::Compress).is_none(), "{codec}");
+        for codec in [
+            "FPC",
+            "pFPC",
+            "SPDP-fast",
+            "FPzip",
+            "Gzip-best",
+            "Bzip2",
+            "ZSTD-best",
+        ] {
+            assert!(
+                rtx.modeled_gbps(codec, Direction::Compress).is_none(),
+                "{codec}"
+            );
         }
     }
 

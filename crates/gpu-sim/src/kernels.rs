@@ -231,7 +231,9 @@ fn expand_repeat_gather(
 ) -> Result<Vec<u8>, Error> {
     let ranks = byte_ranks(bitmap);
     let total_kept = ranks.last().copied().unwrap_or(0) as usize;
-    let end = pos.checked_add(total_kept).ok_or(Error::Corrupt("rze gather overflow"))?;
+    let end = pos
+        .checked_add(total_kept)
+        .ok_or(Error::Corrupt("rze gather overflow"))?;
     let kept = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
     *pos = end;
     let mut out = Vec::with_capacity(len);
@@ -253,7 +255,9 @@ fn expand_zero_gather(
 ) -> Result<(), Error> {
     let ranks = byte_ranks(bitmap);
     let total_kept = ranks.last().copied().unwrap_or(0) as usize;
-    let end = pos.checked_add(total_kept).ok_or(Error::Corrupt("rze gather overflow"))?;
+    let end = pos
+        .checked_add(total_kept)
+        .ok_or(Error::Corrupt("rze gather overflow"))?;
     let kept = data.get(*pos..end).ok_or(Error::UnexpectedEof)?;
     *pos = end;
     out.reserve(len);
@@ -270,13 +274,20 @@ fn expand_zero_gather(
 /// GPU-style RZE decode: bitmap levels expanded by rank gathers instead of
 /// the scalar decoder's sequential scan. Consumes the same byte layout as
 /// `rze::decode` and produces identical output.
-fn rze_decode_gather(data: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+fn rze_decode_gather(
+    data: &[u8],
+    pos: &mut usize,
+    n: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), Error> {
     let bitmap_len = |m: usize| m.div_ceil(8);
     let len0 = bitmap_len(n);
     let len1 = bitmap_len(len0);
     let len2 = bitmap_len(len1);
     let len3 = bitmap_len(len2);
-    let end = pos.checked_add(len3).ok_or(Error::Corrupt("rze header overflow"))?;
+    let end = pos
+        .checked_add(len3)
+        .ok_or(Error::Corrupt("rze header overflow"))?;
     let bm3 = data.get(*pos..end).ok_or(Error::UnexpectedEof)?.to_vec();
     *pos = end;
     let bm2 = expand_repeat_gather(&bm3, len2, data, pos)?;
@@ -369,7 +380,12 @@ impl ChunkCodec for GpuSpSpeedCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 4;
         let tail_len = expected_len % 4;
         let mut pos = 0;
@@ -395,7 +411,12 @@ impl ChunkCodec for GpuDpSpeedCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 8;
         let tail_len = expected_len % 8;
         let mut pos = 0;
@@ -424,7 +445,12 @@ impl ChunkCodec for GpuSpRatioCodec {
         out.extend_from_slice(tail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         let count = expected_len / 4;
         let tail_len = expected_len % 4;
         let mut pos = 0;
@@ -468,7 +494,12 @@ impl ChunkCodec for GpuDpRatioChunkCodec {
         out.extend_from_slice(ctail);
     }
 
-    fn decode_chunk(&self, data: &[u8], expected_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
         // Byte format identical to the scalar codec; its decoder applies.
         DpRatioChunkCodec { fixed_split: None }.decode_chunk(data, expected_len, out)
     }
@@ -517,9 +548,17 @@ pub type CodecPair = (Box<dyn ChunkCodec>, Box<dyn ChunkCodec>, &'static str);
 /// byte-identity checks.
 pub fn scalar_counterparts() -> Vec<CodecPair> {
     vec![
-        (Box::new(GpuSpSpeedCodec), Box::new(SpSpeedCodec { fallback: true }), "SPspeed"),
+        (
+            Box::new(GpuSpSpeedCodec),
+            Box::new(SpSpeedCodec { fallback: true }),
+            "SPspeed",
+        ),
         (Box::new(GpuSpRatioCodec), Box::new(SpRatioCodec), "SPratio"),
-        (Box::new(GpuDpSpeedCodec), Box::new(DpSpeedCodec { fallback: true }), "DPspeed"),
+        (
+            Box::new(GpuDpSpeedCodec),
+            Box::new(DpSpeedCodec { fallback: true }),
+            "DPspeed",
+        ),
         (
             Box::new(GpuDpRatioChunkCodec),
             Box::new(DpRatioChunkCodec { fixed_split: None }),
@@ -545,7 +584,15 @@ mod tests {
             .collect();
         let zeros = vec![0u8; 16384];
         let ragged: Vec<u8> = (0..1003).map(|i| (i % 251) as u8).collect();
-        vec![smooth_f32, smooth_f64, noisy, zeros, ragged, vec![7u8; 5], vec![]]
+        vec![
+            smooth_f32,
+            smooth_f64,
+            noisy,
+            zeros,
+            ragged,
+            vec![7u8; 5],
+            vec![],
+        ]
     }
 
     #[test]
@@ -559,10 +606,12 @@ mod tests {
                 assert_eq!(gpu_out, cpu_out, "{name} case {case_idx}: encodings differ");
                 // Cross-decode: GPU decodes the CPU stream and vice versa.
                 let mut via_gpu = Vec::new();
-                gpu.decode_chunk(&cpu_out, chunk.len(), &mut via_gpu).unwrap();
+                gpu.decode_chunk(&cpu_out, chunk.len(), &mut via_gpu)
+                    .unwrap();
                 assert_eq!(&via_gpu, chunk, "{name} case {case_idx}: gpu decode");
                 let mut via_cpu = Vec::new();
-                cpu.decode_chunk(&gpu_out, chunk.len(), &mut via_cpu).unwrap();
+                cpu.decode_chunk(&gpu_out, chunk.len(), &mut via_cpu)
+                    .unwrap();
                 assert_eq!(&via_cpu, chunk, "{name} case {case_idx}: cpu decode");
             }
         }
@@ -577,8 +626,9 @@ mod tests {
         diffms_decode32_scan(&mut scan_decoded);
         assert_eq!(scan_decoded, orig);
 
-        let orig64: Vec<u64> =
-            (0..3000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let orig64: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let mut seq64 = orig64.clone();
         fpc_transforms::diffms::encode64(&mut seq64);
         diffms_decode64_scan(&mut seq64);

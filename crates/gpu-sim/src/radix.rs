@@ -87,6 +87,9 @@ mod tests {
     fn extreme_keys() {
         let mut pairs = vec![(u64::MAX, 0u32), (0, 1), (u64::MAX, 2), (1 << 63, 3)];
         sort_pairs(&mut pairs);
-        assert_eq!(pairs, vec![(0, 1), (1 << 63, 3), (u64::MAX, 0), (u64::MAX, 2)]);
+        assert_eq!(
+            pairs,
+            vec![(0, 1), (1 << 63, 3), (u64::MAX, 0), (u64::MAX, 2)]
+        );
     }
 }

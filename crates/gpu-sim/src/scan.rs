@@ -16,7 +16,10 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 /// block scan is: per-warp scan, warp-aggregate scan in "shared memory",
 /// then per-lane offset addition.
 pub fn block_inclusive_scan(values: &mut [u64]) {
-    assert!(values.len() <= WARP_SIZE * WARP_SIZE, "block scan capacity is 1024 elements");
+    assert!(
+        values.len() <= WARP_SIZE * WARP_SIZE,
+        "block scan capacity is 1024 elements"
+    );
     let mut warp_aggregates = [0u64; WARP_SIZE];
     let nwarps = values.len().div_ceil(WARP_SIZE);
     #[allow(clippy::needless_range_loop)] // w is a warp id used for slicing and aggregates
@@ -83,14 +86,14 @@ pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u
                     loop {
                         match states[look].load(Ordering::Acquire) {
                             STATE_PREFIX => {
-                                running =
-                                    running.wrapping_add(published_prefix[look].load(Ordering::Relaxed));
+                                running = running
+                                    .wrapping_add(published_prefix[look].load(Ordering::Relaxed));
                                 look = 0; // terminate outer loop
                                 break;
                             }
                             STATE_AGGREGATE => {
-                                running =
-                                    running.wrapping_add(published_agg[look].load(Ordering::Relaxed));
+                                running = running
+                                    .wrapping_add(published_agg[look].load(Ordering::Relaxed));
                                 break;
                             }
                             _ => std::hint::spin_loop(),
@@ -128,7 +131,13 @@ mod tests {
             let mut values: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
             let expected: Vec<u64> = {
                 let mut acc = 0u64;
-                values.iter().map(|&v| { acc = acc.wrapping_add(v); acc }).collect()
+                values
+                    .iter()
+                    .map(|&v| {
+                        acc = acc.wrapping_add(v);
+                        acc
+                    })
+                    .collect()
             };
             block_inclusive_scan(&mut values);
             assert_eq!(values, expected, "n = {n}");
@@ -145,7 +154,10 @@ mod tests {
     #[test]
     fn lookback_matches_serial_small() {
         let aggregates = [5u64, 0, 3, 10, 2];
-        assert_eq!(decoupled_lookback_exclusive(&aggregates, 4), serial_exclusive(&aggregates));
+        assert_eq!(
+            decoupled_lookback_exclusive(&aggregates, 4),
+            serial_exclusive(&aggregates)
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl SharedMemory {
 
     /// Creates an arena with an explicit capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { capacity, allocated: 0, allocations: Vec::new() }
+        Self {
+            capacity,
+            allocated: 0,
+            allocations: Vec::new(),
+        }
     }
 
     /// Reserves `bytes` for a named buffer.
@@ -94,8 +98,10 @@ mod tests {
         // The paper's §3 sizing argument, verified: two 16 KiB chunk
         // buffers fit in a 48 KiB block budget with room for metadata.
         let mut sm = SharedMemory::new();
-        sm.alloc("chunk_in", CHUNK_SIZE).expect("first chunk buffer fits");
-        sm.alloc("chunk_out", CHUNK_SIZE).expect("second chunk buffer fits");
+        sm.alloc("chunk_in", CHUNK_SIZE)
+            .expect("first chunk buffer fits");
+        sm.alloc("chunk_out", CHUNK_SIZE)
+            .expect("second chunk buffer fits");
         assert!(sm.remaining() >= 8 * 1024, "metadata headroom missing");
         // Double-buffering 24 KiB chunks would consume the entire budget,
         // leaving nothing for scan scratch or bitmap metadata.
@@ -103,7 +109,10 @@ mod tests {
         sm2.alloc("a", 24 * 1024).expect("fits alone");
         sm2.alloc("b", 24 * 1024).expect("fits exactly");
         assert_eq!(sm2.remaining(), 0);
-        assert!(sm2.alloc("scratch", 1).is_err(), "no metadata headroom at 24 KiB chunks");
+        assert!(
+            sm2.alloc("scratch", 1).is_err(),
+            "no metadata headroom at 24 KiB chunks"
+        );
     }
 
     #[test]
@@ -134,7 +143,11 @@ mod tests {
         assert_eq!(conflict_degree(2), 2);
         assert_eq!(conflict_degree(4), 4);
         assert_eq!(conflict_degree(8), 8);
-        assert_eq!(conflict_degree(32), 32, "stride 32 serializes the whole warp");
+        assert_eq!(
+            conflict_degree(32),
+            32,
+            "stride 32 serializes the whole warp"
+        );
     }
 
     #[test]

@@ -14,12 +14,21 @@ pub fn shfl_xor<T: Copy>(regs: &[T; WARP_SIZE], mask: usize) -> [T; WARP_SIZE] {
 
 /// `__shfl_up_sync` with `delta`: lanes below `delta` keep their own value.
 pub fn shfl_up<T: Copy>(regs: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
-    std::array::from_fn(|lane| if lane >= delta { regs[lane - delta] } else { regs[lane] })
+    std::array::from_fn(|lane| {
+        if lane >= delta {
+            regs[lane - delta]
+        } else {
+            regs[lane]
+        }
+    })
 }
 
 /// `__ballot_sync`: bit `i` of the result is lane `i`'s predicate.
 pub fn ballot(predicates: &[bool; WARP_SIZE]) -> u32 {
-    predicates.iter().enumerate().fold(0u32, |acc, (lane, &p)| acc | (u32::from(p) << lane))
+    predicates
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (lane, &p)| acc | (u32::from(p) << lane))
 }
 
 /// Warp-wide maximum reduction (every lane receives the maximum).
@@ -109,7 +118,10 @@ mod tests {
     fn reduce_max_matches_iter_max() {
         let regs: [u64; 32] =
             std::array::from_fn(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        assert_eq!(reduce_max_u64(&regs), regs.iter().copied().max().expect("nonempty"));
+        assert_eq!(
+            reduce_max_u64(&regs),
+            regs.iter().copied().max().expect("nonempty")
+        );
     }
 
     #[test]
@@ -137,7 +149,10 @@ mod tests {
         let warp_result = transpose32(&regs);
         let mut scalar = regs;
         fpc_transforms::bit_transpose::transpose32_group(&mut scalar);
-        assert_eq!(warp_result, scalar, "warp transpose must be bit-identical to scalar");
+        assert_eq!(
+            warp_result, scalar,
+            "warp transpose must be bit-identical to scalar"
+        );
     }
 
     #[test]

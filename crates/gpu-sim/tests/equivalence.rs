@@ -1,40 +1,43 @@
 //! Exhaustive CPU/GPU equivalence: the property the paper's design rests
-//! on, checked with proptest over arbitrary inputs and over every synthetic
-//! dataset suite.
+//! on, checked deterministically over arbitrary inputs and over every
+//! synthetic dataset suite.
 
 use fpc_core::{Algorithm, Compressor};
 use fpc_gpu_sim::GpuCompressor;
-use proptest::prelude::*;
+use fpc_prng::fuzz::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn streams_identical_on_arbitrary_bytes(
-        data in prop::collection::vec(any::<u8>(), 0..20_000)
-    ) {
+#[test]
+fn streams_identical_on_arbitrary_bytes() {
+    run_cases("gpu/bytes-equivalence", 24, |rng, _| {
+        let data = rng.bytes_range(0usize..20_000);
         for algo in Algorithm::ALL {
             let cpu = Compressor::new(algo).with_threads(1).compress_bytes(&data);
-            let gpu = GpuCompressor::new(algo).with_threads(1).compress_bytes(&data);
-            prop_assert_eq!(&cpu, &gpu, "{} diverged", algo);
+            let gpu = GpuCompressor::new(algo)
+                .with_threads(1)
+                .compress_bytes(&data);
+            assert_eq!(cpu, gpu, "{algo} diverged");
             // And all four decode paths agree.
             let via_cpu = fpc_core::decompress_bytes(&cpu).unwrap();
             let via_gpu = GpuCompressor::new(algo).decompress_bytes(&cpu).unwrap();
-            prop_assert_eq!(&via_cpu, &data);
-            prop_assert_eq!(&via_gpu, &data);
+            assert_eq!(via_cpu, data);
+            assert_eq!(via_gpu, data);
         }
-    }
+    });
+}
 
-    #[test]
-    fn streams_identical_on_arbitrary_floats(
-        values in prop::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..5_000)
-    ) {
+#[test]
+fn streams_identical_on_arbitrary_floats() {
+    run_cases("gpu/float-equivalence", 24, |rng, _| {
+        let n = rng.gen_range(0usize..5_000);
+        let values: Vec<f32> = (0..n).map(|_| f32::from_bits(rng.next_u32())).collect();
         for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
             let cpu = Compressor::new(algo).with_threads(2).compress_f32(&values);
-            let gpu = GpuCompressor::new(algo).with_threads(2).compress_f32(&values);
-            prop_assert_eq!(cpu, gpu, "{} diverged", algo);
+            let gpu = GpuCompressor::new(algo)
+                .with_threads(2)
+                .compress_f32(&values);
+            assert_eq!(cpu, gpu, "{algo} diverged");
         }
-    }
+    });
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Deterministic property-test / fuzz driver.
+//!
+//! A minimal in-repo replacement for the `proptest` dependency: every test
+//! runs a fixed number of cases, each case derives its own [`Rng`] from the
+//! test name and case index, and a failing case panics with a message that
+//! pinpoints the exact case — which, being deterministic, reproduces on any
+//! machine by just re-running the test.
+//!
+//! The [`Mutation`] operators cover the hostile-input classes the decoders
+//! must survive: truncation, single-bit flips, byte patches (structure-aware
+//! corruption of headers and tables), and wholesale random bytes.
+
+use crate::{splitmix64, Rng};
+
+/// Derives the per-case RNG for `(name, case)`.
+///
+/// Hashing the test name in keeps different tests' case streams decorrelated
+/// even though everything is deterministic.
+pub fn case_rng(name: &str, case: u64) -> Rng {
+    let mut h = 0x5E_ED_0F_F1_CE_u64;
+    for b in name.bytes() {
+        h = splitmix64(&mut h) ^ u64::from(b);
+    }
+    Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `cases` deterministic cases of the property `f`.
+///
+/// `f` receives a fresh seeded RNG and the case index; it should panic (via
+/// `assert!` etc.) on property violation. The driver wraps each case so the
+/// panic message of a failure names the test and case index.
+pub fn run_cases(name: &str, cases: u64, mut f: impl FnMut(&mut Rng, u64)) {
+    for case in 0..cases {
+        let mut rng = case_rng(name, case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(&mut rng, case);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!("property '{name}' failed at case {case}/{cases}: {msg}");
+        }
+    }
+}
+
+/// A single corruption to apply to an otherwise valid stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip one bit at byte `pos`, bit `bit`.
+    FlipBit {
+        /// Byte offset of the flipped bit.
+        pos: usize,
+        /// Bit index within the byte (0..8).
+        bit: u8,
+    },
+    /// Overwrite the byte at `pos` with `value`.
+    Patch {
+        /// Byte offset to overwrite.
+        pos: usize,
+        /// Replacement value.
+        value: u8,
+    },
+    /// Keep only the first `len` bytes.
+    Truncate {
+        /// New stream length.
+        len: usize,
+    },
+    /// Append `extra` garbage bytes.
+    Extend {
+        /// Number of appended bytes.
+        extra: usize,
+    },
+}
+
+impl Mutation {
+    /// Applies the mutation to a copy of `data` and returns it.
+    pub fn apply(&self, data: &[u8], rng: &mut Rng) -> Vec<u8> {
+        let mut out = data.to_vec();
+        match *self {
+            Mutation::FlipBit { pos, bit } => {
+                if !out.is_empty() {
+                    let p = pos % out.len();
+                    out[p] ^= 1 << (bit % 8);
+                }
+            }
+            Mutation::Patch { pos, value } => {
+                if !out.is_empty() {
+                    let p = pos % out.len();
+                    out[p] = value;
+                }
+            }
+            Mutation::Truncate { len } => out.truncate(len.min(data.len())),
+            Mutation::Extend { extra } => out.extend((0..extra).map(|_| rng.next_u64() as u8)),
+        }
+        out
+    }
+
+    /// Draws a random mutation appropriate for a stream of `len` bytes.
+    pub fn arbitrary(rng: &mut Rng, len: usize) -> Self {
+        match rng.gen_range(0u32..4) {
+            0 => Mutation::FlipBit {
+                pos: rng.next_u64() as usize,
+                bit: rng.gen_range(0u8..8),
+            },
+            1 => Mutation::Patch {
+                pos: rng.next_u64() as usize,
+                value: rng.next_u64() as u8,
+            },
+            2 => Mutation::Truncate {
+                len: if len == 0 {
+                    0
+                } else {
+                    rng.gen_range(0usize..len)
+                },
+            },
+            _ => Mutation::Extend {
+                extra: rng.gen_range(1usize..16),
+            },
+        }
+    }
+}
+
+/// Every single-bit flip position for a sweep with at least `min_positions`
+/// distinct byte offsets (or every byte when the stream is short).
+///
+/// Returns `(byte, bit)` pairs covering the full stream evenly; used by the
+/// corruption sweeps that require "≥ N flip positions, 100% detection".
+pub fn flip_positions(len: usize, min_positions: usize) -> Vec<(usize, u8)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let step = (len / min_positions.max(1)).max(1);
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < len {
+        // Alternate low/high bits so both cheap and expensive-to-detect
+        // flips are exercised.
+        out.push((pos, (pos % 8) as u8));
+        pos += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_is_deterministic() {
+        let mut a = Vec::new();
+        run_cases("drv", 5, |rng, case| a.push((case, rng.next_u64())));
+        let mut b = Vec::new();
+        run_cases("drv", 5, |rng, case| b.push((case, rng.next_u64())));
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        run_cases("other-name", 5, |rng, case| c.push((case, rng.next_u64())));
+        assert_ne!(a, c, "different tests must get different case streams");
+    }
+
+    #[test]
+    fn driver_reports_case_index() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases("boom", 10, |_, case| assert!(case < 3, "case too big"));
+        })
+        .expect_err("must propagate failure");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(
+            msg.contains("'boom'") && msg.contains("case 3/10"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn mutations_behave() {
+        let data = vec![0u8; 16];
+        let mut rng = Rng::seed_from_u64(1);
+        let flipped = Mutation::FlipBit { pos: 3, bit: 2 }.apply(&data, &mut rng);
+        assert_eq!(flipped[3], 4);
+        assert_eq!(flipped.len(), data.len());
+        let patched = Mutation::Patch { pos: 18, value: 9 }.apply(&data, &mut rng);
+        assert_eq!(patched[2], 9, "position wraps modulo length");
+        let cut = Mutation::Truncate { len: 5 }.apply(&data, &mut rng);
+        assert_eq!(cut.len(), 5);
+        let grown = Mutation::Extend { extra: 3 }.apply(&data, &mut rng);
+        assert_eq!(grown.len(), 19);
+        // Empty input never panics.
+        let empty = Mutation::FlipBit { pos: 0, bit: 0 }.apply(&[], &mut rng);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn flip_positions_cover_stream() {
+        let ps = flip_positions(10_000, 200);
+        assert!(ps.len() >= 200);
+        assert!(ps.iter().all(|&(p, b)| p < 10_000 && b < 8));
+        assert_eq!(ps.first(), Some(&(0, 0)));
+        assert!(ps.last().expect("nonempty").0 >= 10_000 - 50);
+        assert!(flip_positions(0, 200).is_empty());
+        assert_eq!(flip_positions(3, 200).len(), 3);
+    }
+}

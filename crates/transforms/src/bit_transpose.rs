@@ -109,8 +109,9 @@ mod tests {
 
     #[test]
     fn involution64() {
-        let orig: Vec<u64> =
-            (0..256u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let orig: Vec<u64> = (0..256u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let mut v = orig.clone();
         transpose64(&mut v);
         transpose64(&mut v);

@@ -68,7 +68,9 @@ mod tests {
 
     #[test]
     fn roundtrip32() {
-        let orig: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x0101_0101).rotate_left(7)).collect();
+        let orig: Vec<u32> = (0..4096u32)
+            .map(|i| i.wrapping_mul(0x0101_0101).rotate_left(7))
+            .collect();
         let mut v = orig.clone();
         encode32(&mut v);
         assert_ne!(v, orig);
@@ -78,8 +80,9 @@ mod tests {
 
     #[test]
     fn roundtrip64() {
-        let orig: Vec<u64> =
-            (0..2048u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let orig: Vec<u64> = (0..2048u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let mut v = orig.clone();
         encode64(&mut v);
         decode64(&mut v);
@@ -93,8 +96,8 @@ mod tests {
         let floats: Vec<f32> = (0..1024).map(|i| 1.0 + i as f32 * 1e-6).collect();
         let mut words: Vec<u32> = floats.iter().map(|f| f.to_bits()).collect();
         encode32(&mut words);
-        let avg_lz: u32 = words[1..].iter().map(|w| w.leading_zeros()).sum::<u32>()
-            / (words.len() as u32 - 1);
+        let avg_lz: u32 =
+            words[1..].iter().map(|w| w.leading_zeros()).sum::<u32>() / (words.len() as u32 - 1);
         assert!(avg_lz >= 16, "average leading zeros only {avg_lz}");
     }
 

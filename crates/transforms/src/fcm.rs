@@ -71,7 +71,9 @@ pub fn encode_with_window(data: &[u64], window: usize) -> Encoded {
 /// parallel first step of the encoder (exposed so the simulated-GPU path
 /// can substitute its own sort, as the paper substitutes CUB's).
 pub fn hash_pairs(data: &[u64]) -> Vec<(u64, u32)> {
-    (0..data.len()).map(|i| (context_hash(data, i, CONTEXT), i as u32)).collect()
+    (0..data.len())
+        .map(|i| (context_hash(data, i, CONTEXT), i as u32))
+        .collect()
 }
 
 /// Scans sorted pairs for matches and produces the two output arrays.
@@ -132,7 +134,8 @@ pub fn decode_arrays(values: &[u64], distances: &[u64]) -> Result<Vec<u64>> {
         if d == 0 {
             out.push(values[i]);
         } else {
-            let d = usize::try_from(d).map_err(|_| DecodeError::Corrupt("fcm distance overflow"))?;
+            let d =
+                usize::try_from(d).map_err(|_| DecodeError::Corrupt("fcm distance overflow"))?;
             if d > i {
                 return Err(DecodeError::Corrupt("fcm distance before start"));
             }
@@ -195,15 +198,15 @@ mod tests {
             data.len()
         );
         // Matched distances should mostly be one period.
-        let period_dists =
-            enc.distances.iter().filter(|&&d| d == 16).count();
+        let period_dists = enc.distances.iter().filter(|&&d| d == 16).count();
         assert!(period_dists > matches / 2);
     }
 
     #[test]
     fn all_distinct_values_produce_no_matches() {
-        let data: Vec<u64> =
-            (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let data: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let enc = roundtrip(&data);
         assert!(enc.distances.iter().all(|&d| d == 0));
         assert_eq!(enc.values, data);
@@ -235,13 +238,19 @@ mod tests {
 
     #[test]
     fn corrupt_distance_rejected() {
-        let enc = Encoded { values: vec![0, 0], distances: vec![5, 0] };
+        let enc = Encoded {
+            values: vec![0, 0],
+            distances: vec![5, 0],
+        };
         assert!(matches!(decode(&enc), Err(DecodeError::Corrupt(_))));
     }
 
     #[test]
     fn mismatched_lengths_rejected() {
-        let enc = Encoded { values: vec![1, 2, 3], distances: vec![0] };
+        let enc = Encoded {
+            values: vec![1, 2, 3],
+            distances: vec![0],
+        };
         assert!(matches!(decode(&enc), Err(DecodeError::Corrupt(_))));
     }
 
@@ -254,8 +263,7 @@ mod tests {
 
     #[test]
     fn matches_always_point_to_equal_values() {
-        let data: Vec<u64> =
-            (0..2000u64).map(|i| ((i % 37) as f64).to_bits()).collect();
+        let data: Vec<u64> = (0..2000u64).map(|i| ((i % 37) as f64).to_bits()).collect();
         let enc = encode(&data);
         for (i, &d) in enc.distances.iter().enumerate() {
             if d != 0 {
@@ -267,8 +275,9 @@ mod tests {
     #[test]
     fn smooth_simulation_data_gets_some_matches() {
         // Values quantized to a coarse grid recur frequently.
-        let data: Vec<u64> =
-            (0..5000).map(|i| (((i as f64 * 0.1).sin() * 50.0).round() / 50.0).to_bits()).collect();
+        let data: Vec<u64> = (0..5000)
+            .map(|i| (((i as f64 * 0.1).sin() * 50.0).round() / 50.0).to_bits())
+            .collect();
         let enc = roundtrip(&data);
         let matches = enc.distances.iter().filter(|&&d| d != 0).count();
         assert!(matches > 1000, "only {matches} matches");

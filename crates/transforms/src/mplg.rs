@@ -71,7 +71,9 @@ pub fn decode32(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u32>) 
             return Err(DecodeError::Corrupt("mplg width exceeds 32 bits"));
         }
         let nbytes = bitpack::packed_len(n, width);
-        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("mplg length overflow"))?;
+        let end = pos
+            .checked_add(nbytes)
+            .ok_or(DecodeError::Corrupt("mplg length overflow"))?;
         if end > data.len() {
             return Err(DecodeError::UnexpectedEof);
         }
@@ -133,7 +135,9 @@ pub fn decode64(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) 
             return Err(DecodeError::Corrupt("mplg width exceeds 64 bits"));
         }
         let nbytes = bitpack::packed_len(n, width);
-        let end = pos.checked_add(nbytes).ok_or(DecodeError::Corrupt("mplg length overflow"))?;
+        let end = pos
+            .checked_add(nbytes)
+            .ok_or(DecodeError::Corrupt("mplg length overflow"))?;
         if end > data.len() {
             return Err(DecodeError::UnexpectedEof);
         }
@@ -240,7 +244,8 @@ mod tests {
         let mut enc = Vec::new();
         encode32(&values, &mut enc);
         // Subchunk 1: width 2 -> 1 + 32 bytes. Subchunk 2: width 31.
-        let expected = 1 + (SUBCHUNK_VALUES_32 * 2).div_ceil(8) + 1 + (SUBCHUNK_VALUES_32 * 31).div_ceil(8);
+        let expected =
+            1 + (SUBCHUNK_VALUES_32 * 2).div_ceil(8) + 1 + (SUBCHUNK_VALUES_32 * 31).div_ceil(8);
         assert_eq!(enc.len(), expected);
         roundtrip32(&values);
     }

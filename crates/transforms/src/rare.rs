@@ -73,8 +73,9 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
         return Ok(());
     }
     let nb = 8 - kb;
-    let bottoms_end =
-        pos.checked_add(count * nb).ok_or(DecodeError::Corrupt("rare length overflow"))?;
+    let bottoms_end = pos
+        .checked_add(count * nb)
+        .ok_or(DecodeError::Corrupt("rare length overflow"))?;
     if bottoms_end > data.len() {
         return Err(DecodeError::UnexpectedEof);
     }
@@ -85,7 +86,11 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
     // `reassemble` gives XOR-differenced words with raw bottoms mixed in;
     // rebuild the true words by undoing the XOR on the top part only.
     let diffed = reassemble(&bottoms, &tops, kb, count);
-    let top_mask = if kb == 0 { 0u64 } else { u64::MAX << (8 * (8 - kb)) };
+    let top_mask = if kb == 0 {
+        0u64
+    } else {
+        u64::MAX << (8 * (8 - kb))
+    };
     let mut prev = 0u64;
     out.reserve(count);
     for d in diffed {
@@ -140,8 +145,9 @@ mod tests {
 
     #[test]
     fn incompressible_chooses_zero_split() {
-        let values: Vec<u64> =
-            (0..512u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)).collect();
+        let values: Vec<u64> = (0..512u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
+            .collect();
         let mut enc = Vec::new();
         encode(&values, &mut enc);
         assert_eq!(enc[0], 0);
@@ -150,8 +156,15 @@ mod tests {
 
     #[test]
     fn alternating_values() {
-        let values: Vec<u64> =
-            (0..999u64).map(|i| if i % 2 == 0 { 0x1111_2222_3333_4444 } else { 0x5555_2222_3333_4444 }).collect();
+        let values: Vec<u64> = (0..999u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    0x1111_2222_3333_4444
+                } else {
+                    0x5555_2222_3333_4444
+                }
+            })
+            .collect();
         roundtrip(&values);
     }
 
@@ -181,15 +194,19 @@ mod tests {
         let enc = vec![200u8];
         let mut pos = 0;
         let mut dec = Vec::new();
-        assert!(matches!(decode(&enc, &mut pos, 3, &mut dec), Err(DecodeError::Corrupt(_))));
+        assert!(matches!(
+            decode(&enc, &mut pos, 3, &mut dec),
+            Err(DecodeError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn smooth_double_pipeline_shape() {
         // Doubles drifting slowly: after RAZE-like stages, words share
         // high bytes. Check RARE standalone still roundtrips such data.
-        let values: Vec<u64> =
-            (0..2048).map(|i| (1000.0 + (i as f64) * 1e-9).to_bits()).collect();
+        let values: Vec<u64> = (0..2048)
+            .map(|i| (1000.0 + (i as f64) * 1e-9).to_bits())
+            .collect();
         roundtrip(&values);
     }
 }

@@ -140,8 +140,9 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
         return Err(DecodeError::Corrupt("raze split out of range"));
     }
     let nb = 8 - kb;
-    let bottoms_end =
-        pos.checked_add(count * nb).ok_or(DecodeError::Corrupt("raze length overflow"))?;
+    let bottoms_end = pos
+        .checked_add(count * nb)
+        .ok_or(DecodeError::Corrupt("raze length overflow"))?;
     if bottoms_end > data.len() {
         return Err(DecodeError::UnexpectedEof);
     }
@@ -194,8 +195,9 @@ mod tests {
         // Zero top 2 bytes, random bottom 6 bytes — the DPratio motivating
         // case (small deltas over random mantissas). RAZE should choose
         // kb = 2 and not inflate.
-        let values: Vec<u64> =
-            (0..2048u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16).collect();
+        let values: Vec<u64> = (0..2048u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16)
+            .collect();
         let mut enc = Vec::new();
         encode(&values, &mut enc);
         assert_eq!(enc[0], 2, "expected kb=2, got {}", enc[0]);
@@ -205,8 +207,9 @@ mod tests {
 
     #[test]
     fn incompressible_chooses_k_zero() {
-        let values: Vec<u64> =
-            (0..512u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let values: Vec<u64> = (0..512u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let mut enc = Vec::new();
         encode(&values, &mut enc);
         assert_eq!(enc[0], 0);

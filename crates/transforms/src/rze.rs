@@ -72,7 +72,9 @@ pub fn encode(data: &[u8], out: &mut Vec<u8>) {
 }
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
-    let end = pos.checked_add(len).ok_or(DecodeError::Corrupt("rze length overflow"))?;
+    let end = pos
+        .checked_add(len)
+        .ok_or(DecodeError::Corrupt("rze length overflow"))?;
     if end > data.len() {
         return Err(DecodeError::UnexpectedEof);
     }

@@ -140,7 +140,14 @@ mod tests {
 
     #[test]
     fn float_bit_reinterpretation_is_exact() {
-        let values = [0.0f32, -0.0, 1.5, f32::INFINITY, f32::NEG_INFINITY, f32::MIN_POSITIVE];
+        let values = [
+            0.0f32,
+            -0.0,
+            1.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE,
+        ];
         let bits = f32_to_u32(&values);
         let back = u32_to_f32(&bits);
         for (a, b) in values.iter().zip(&back) {

@@ -85,7 +85,16 @@ mod tests {
 
     #[test]
     fn roundtrip_exhaustive_edges32() {
-        for v in [0u32, 1, 2, u32::MAX, u32::MAX - 1, 0x8000_0000, 0x7FFF_FFFF, 0xDEAD_BEEF] {
+        for v in [
+            0u32,
+            1,
+            2,
+            u32::MAX,
+            u32::MAX - 1,
+            0x8000_0000,
+            0x7FFF_FFFF,
+            0xDEAD_BEEF,
+        ] {
             assert_eq!(decode32(encode32(v)), v);
         }
         for i in 0..10_000u32 {
@@ -96,7 +105,14 @@ mod tests {
 
     #[test]
     fn roundtrip_exhaustive_edges64() {
-        for v in [0u64, 1, u64::MAX, 1 << 63, (1 << 63) - 1, 0xDEAD_BEEF_CAFE_F00D] {
+        for v in [
+            0u64,
+            1,
+            u64::MAX,
+            1 << 63,
+            (1 << 63) - 1,
+            0xDEAD_BEEF_CAFE_F00D,
+        ] {
             assert_eq!(decode64(encode64(v)), v);
         }
         for i in 0..10_000u64 {

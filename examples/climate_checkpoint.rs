@@ -18,9 +18,16 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The CESM-like suite: three 3-D atmosphere variables.
     let suites = single_precision_suites(Scale::Small);
-    let climate = suites.iter().find(|s| s.domain.starts_with("CESM")).expect("climate suite");
+    let climate = suites
+        .iter()
+        .find(|s| s.domain.starts_with("CESM"))
+        .expect("climate suite");
 
-    println!("checkpointing {} variables from '{}'\n", climate.files.len(), climate.domain);
+    println!(
+        "checkpointing {} variables from '{}'\n",
+        climate.files.len(),
+        climate.domain
+    );
     println!("| variable | dims | SPspeed ratio | SPspeed GB/s | SPratio ratio | SPratio GB/s |");
     println!("|---|---|---|---|---|---|");
 
@@ -38,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let dt = start.elapsed().as_secs_f64();
             let restored = compressor.decompress_f32(&stream)?;
             assert!(
-                var.values.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()),
+                var.values
+                    .iter()
+                    .zip(&restored)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
                 "{}: checkpoint would be corrupt!",
                 var.name
             );

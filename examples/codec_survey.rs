@@ -21,7 +21,11 @@ struct Row {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suites = double_precision_suites(Scale::Small);
     let file = &suites[0].files[0];
-    let bytes: Vec<u8> = file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let bytes: Vec<u8> = file
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
     let meta = Meta::f64_flat(file.values.len());
     println!("dataset: {} ({} doubles)\n", file.name, file.values.len());
 
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
     }
 
-    rows.sort_by(|a, b| b.compress_gbps.partial_cmp(&a.compress_gbps).expect("finite"));
+    rows.sort_by(|a, b| {
+        b.compress_gbps
+            .partial_cmp(&a.compress_gbps)
+            .expect("finite")
+    });
     let on_front: Vec<bool> = rows
         .iter()
         .map(|p| {

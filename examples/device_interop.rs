@@ -15,8 +15,12 @@ use fpcompress::core::{Algorithm, Compressor};
 use fpcompress::gpu::{DeviceProfile, Direction, GpuCompressor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sp_data: Vec<f32> = (0..200_000).map(|i| (i as f32 * 3e-4).sin() * 12.5).collect();
-    let dp_data: Vec<f64> = (0..100_000).map(|i| 1e6 + (i as f64 * 1e-3).cos()).collect();
+    let sp_data: Vec<f32> = (0..200_000)
+        .map(|i| (i as f32 * 3e-4).sin() * 12.5)
+        .collect();
+    let dp_data: Vec<f64> = (0..100_000)
+        .map(|i| 1e6 + (i as f64 * 1e-3).cos())
+        .collect();
 
     println!("| algorithm | GPU->CPU | CPU->GPU | identical streams |");
     println!("|---|---|---|---|");
@@ -24,9 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cpu = Compressor::new(algo);
         let gpu = GpuCompressor::new(algo);
         let (cpu_stream, gpu_stream, n) = if algo.is_single_precision() {
-            (cpu.compress_f32(&sp_data), gpu.compress_f32(&sp_data), sp_data.len())
+            (
+                cpu.compress_f32(&sp_data),
+                gpu.compress_f32(&sp_data),
+                sp_data.len(),
+            )
         } else {
-            (cpu.compress_f64(&dp_data), gpu.compress_f64(&dp_data), dp_data.len())
+            (
+                cpu.compress_f64(&dp_data),
+                gpu.compress_f64(&dp_data),
+                dp_data.len(),
+            )
         };
 
         // Direction 1: compressed on the (simulated) GPU, decompressed by
@@ -40,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(via_cpu, via_gpu);
         println!(
             "| {algo} | ok | ok | {} |",
-            if cpu_stream == gpu_stream { "yes" } else { "NO (bug!)" }
+            if cpu_stream == gpu_stream {
+                "yes"
+            } else {
+                "NO (bug!)"
+            }
         );
         assert_eq!(cpu_stream, gpu_stream, "{algo}: device paths diverged");
     }
@@ -54,10 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a100 = DeviceProfile::a100();
         println!(
             "| {algo} | {:.0} | {:.0} | {:.0} | {:.0} |",
-            rtx.modeled_gbps(algo.name(), Direction::Compress).expect("ours are modeled"),
-            rtx.modeled_gbps(algo.name(), Direction::Decompress).expect("ours are modeled"),
-            a100.modeled_gbps(algo.name(), Direction::Compress).expect("ours are modeled"),
-            a100.modeled_gbps(algo.name(), Direction::Decompress).expect("ours are modeled"),
+            rtx.modeled_gbps(algo.name(), Direction::Compress)
+                .expect("ours are modeled"),
+            rtx.modeled_gbps(algo.name(), Direction::Decompress)
+                .expect("ours are modeled"),
+            a100.modeled_gbps(algo.name(), Direction::Compress)
+                .expect("ours are modeled"),
+            a100.modeled_gbps(algo.name(), Direction::Decompress)
+                .expect("ours are modeled"),
         );
     }
     Ok(())

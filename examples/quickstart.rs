@@ -8,11 +8,16 @@ use fpcompress::core::{Algorithm, Compressor};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Some smooth scientific-looking data: a sampled damped oscillation.
-    let data: Vec<f32> =
-        (0..1_000_000).map(|i| (i as f32 * 1e-4).sin() * (-(i as f32) * 1e-7).exp()).collect();
+    let data: Vec<f32> = (0..1_000_000)
+        .map(|i| (i as f32 * 1e-4).sin() * (-(i as f32) * 1e-7).exp())
+        .collect();
     let original_bytes = data.len() * 4;
 
-    println!("input: {} f32 values ({} bytes)\n", data.len(), original_bytes);
+    println!(
+        "input: {} f32 values ({} bytes)\n",
+        data.len(),
+        original_bytes
+    );
     println!("| algorithm | ratio | stages |");
     println!("|---|---|---|");
 
@@ -25,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Lossless means bit-for-bit, including signs of zeros and NaNs.
         assert_eq!(data.len(), restored.len());
-        assert!(data.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(data
+            .iter()
+            .zip(&restored)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
 
         println!(
             "| {} | {:.3} | {} |",
@@ -36,11 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Double precision works the same way with the DP pair.
-    let doubles: Vec<f64> = (0..500_000).map(|i| 300.0 + (i as f64 * 1e-3).cos()).collect();
+    let doubles: Vec<f64> = (0..500_000)
+        .map(|i| 300.0 + (i as f64 * 1e-3).cos())
+        .collect();
     let compressor = Compressor::new(Algorithm::DpRatio);
     let stream = compressor.compress_f64(&doubles);
     let restored = compressor.decompress_f64(&stream)?;
-    assert!(doubles.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert!(doubles
+        .iter()
+        .zip(&restored)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
     println!(
         "| {} | {:.3} | {} |",
         Algorithm::DpRatio,

@@ -18,11 +18,17 @@ fn main() {
 
     // One representative file per precision.
     let sp_file = &sp[0].files[1]; // a smooth climate field
-    let sp_bytes: Vec<u8> =
-        sp_file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let sp_bytes: Vec<u8> = sp_file
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
     let dp_file = &dp[2].files[0]; // an MPI-message-like trace (FCM territory)
-    let dp_bytes: Vec<u8> =
-        dp_file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let dp_bytes: Vec<u8> = dp_file
+        .values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
 
     println!("=== single precision: {} ===\n", sp_file.name);
     for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let burst = 65_536usize;
     let mut produced = 0usize;
 
-    let mut writer =
-        FrameWriter::new(Vec::new(), Algorithm::SpSpeed).with_frame_size(1 << 20);
+    let mut writer = FrameWriter::new(Vec::new(), Algorithm::SpSpeed).with_frame_size(1 << 20);
     let mut checksum_in = 0u64;
     let start = Instant::now();
     while produced < total_values {
@@ -68,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(total_out, raw_bytes);
     assert_eq!(checksum_in, checksum_out, "stream corrupted!");
-    println!("replayed {} MB, checksums match: lossless end to end", total_out / (1 << 20));
+    println!(
+        "replayed {} MB, checksums match: lossless end to end",
+        total_out / (1 << 20)
+    );
     Ok(())
 }

@@ -31,6 +31,9 @@ pub use fpc_container as container;
 /// RARE).
 pub use fpc_transforms as transforms;
 
+/// The entropy-coding substrate (huffman, rANS, LZ, RLE, varint, bitpack).
+pub use fpc_entropy as entropy;
+
 /// The simulated-GPU execution path (warp/block model, cost model).
 pub use fpc_gpu_sim as gpu;
 

@@ -20,8 +20,11 @@ fn sp_geo_mean(algo: Algorithm) -> f64 {
             .files
             .iter()
             .map(|f| {
-                let bytes: Vec<u8> =
-                    f.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+                let bytes: Vec<u8> = f
+                    .values
+                    .iter()
+                    .flat_map(|v| v.to_bits().to_le_bytes())
+                    .collect();
                 bytes.len() as f64 / compressor.compress_bytes(&bytes).len() as f64
             })
             .collect();
@@ -38,8 +41,11 @@ fn dp_geo_mean(algo: Algorithm) -> f64 {
             .files
             .iter()
             .map(|f| {
-                let bytes: Vec<u8> =
-                    f.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+                let bytes: Vec<u8> = f
+                    .values
+                    .iter()
+                    .flat_map(|v| v.to_bits().to_le_bytes())
+                    .collect();
                 bytes.len() as f64 / compressor.compress_bytes(&bytes).len() as f64
             })
             .collect();
@@ -82,10 +88,12 @@ fn stream_bytes_are_deterministic() {
         }
         h
     }
-    let sp: Vec<u8> =
-        (0..20_000).flat_map(|i| (1.0f32 + i as f32 * 1e-5).to_bits().to_le_bytes()).collect();
-    let dp: Vec<u8> =
-        (0..10_000).flat_map(|i| (1.0f64 + i as f64 * 1e-9).to_bits().to_le_bytes()).collect();
+    let sp: Vec<u8> = (0..20_000)
+        .flat_map(|i| (1.0f32 + i as f32 * 1e-5).to_bits().to_le_bytes())
+        .collect();
+    let dp: Vec<u8> = (0..10_000)
+        .flat_map(|i| (1.0f64 + i as f64 * 1e-9).to_bits().to_le_bytes())
+        .collect();
     for algo in Algorithm::ALL {
         let data = if algo.is_single_precision() { &sp } else { &dp };
         let a = Compressor::new(algo).with_threads(1).compress_bytes(data);

@@ -4,11 +4,15 @@ use fpcompress::core::{Algorithm, Compressor};
 use fpcompress::gpu::GpuCompressor;
 
 fn sp_data() -> Vec<f32> {
-    (0..100_000).map(|i| (i as f32 * 2e-4).sin() * 3.0 - 1.0).collect()
+    (0..100_000)
+        .map(|i| (i as f32 * 2e-4).sin() * 3.0 - 1.0)
+        .collect()
 }
 
 fn dp_data() -> Vec<f64> {
-    (0..60_000).map(|i| ((i % 512) as f64).sqrt() * 1e3).collect()
+    (0..60_000)
+        .map(|i| ((i % 512) as f64).sqrt() * 1e3)
+        .collect()
 }
 
 #[test]
@@ -48,10 +52,10 @@ fn every_decoder_reads_every_encoder() {
 #[test]
 fn stream_header_layout_is_stable() {
     // Golden test: the first bytes of the container are part of the public
-    // format contract ("FPCR", version 1, algorithm id, element width).
+    // format contract ("FPCR", version 2, algorithm id, element width).
     let stream = Compressor::new(Algorithm::SpRatio).compress_f32(&[1.0f32; 64]);
     assert_eq!(&stream[0..4], b"FPCR");
-    assert_eq!(stream[4], 1, "format version");
+    assert_eq!(stream[4], 2, "format version");
     assert_eq!(stream[5], 2, "SPratio algorithm id");
     assert_eq!(stream[6], 4, "element width");
     // Original length (LE u64) at offset 8.
@@ -69,15 +73,21 @@ fn stream_header_layout_is_stable() {
 #[test]
 fn streams_are_deterministic_across_thread_counts_and_devices() {
     let dp = dp_data();
-    let reference = Compressor::new(Algorithm::DpRatio).with_threads(1).compress_f64(&dp);
+    let reference = Compressor::new(Algorithm::DpRatio)
+        .with_threads(1)
+        .compress_f64(&dp);
     for threads in [2usize, 4, 8] {
         assert_eq!(
-            Compressor::new(Algorithm::DpRatio).with_threads(threads).compress_f64(&dp),
+            Compressor::new(Algorithm::DpRatio)
+                .with_threads(threads)
+                .compress_f64(&dp),
             reference,
             "threads = {threads}"
         );
         assert_eq!(
-            GpuCompressor::new(Algorithm::DpRatio).with_threads(threads).compress_f64(&dp),
+            GpuCompressor::new(Algorithm::DpRatio)
+                .with_threads(threads)
+                .compress_f64(&dp),
             reference,
             "gpu threads = {threads}"
         );
@@ -115,5 +125,6 @@ fn container_stats_expose_raw_fallback() {
     let stream = Compressor::new(Algorithm::SpRatio).compress_bytes(&noise);
     let info = fpcompress::core::info(&stream).unwrap();
     assert_eq!(info.raw_chunks, info.chunks, "all chunks should be raw");
-    assert!(stream.len() < noise.len() + 4 * info.chunks + 64);
+    // v2 framing: 12 bytes per chunk (table entry + checksum) + constants.
+    assert!(stream.len() < noise.len() + 12 * info.chunks + 128);
 }

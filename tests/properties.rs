@@ -1,84 +1,109 @@
-//! Property-based tests (proptest) on the end-to-end pipelines and the
-//! core invariants the formats rely on.
+//! Deterministic property tests on the end-to-end pipelines and the core
+//! invariants the formats rely on (in-repo fuzz driver).
 
+use fpc_prng::fuzz::run_cases;
+use fpc_prng::Rng;
 use fpcompress::core::{Algorithm, Compressor};
 use fpcompress::gpu::GpuCompressor;
-use proptest::prelude::*;
 
-fn any_f32() -> impl Strategy<Value = f32> {
-    // Cover all bit patterns, including NaNs, infinities, and subnormals.
-    any::<u32>().prop_map(f32::from_bits)
+/// Arbitrary f32 bit patterns, including NaNs, infinities, and subnormals.
+fn vec_f32(rng: &mut Rng, max_len: usize) -> Vec<f32> {
+    let n = rng.gen_range(0usize..max_len);
+    (0..n).map(|_| f32::from_bits(rng.next_u32())).collect()
 }
 
-fn any_f64() -> impl Strategy<Value = f64> {
-    any::<u64>().prop_map(f64::from_bits)
+fn vec_f64(rng: &mut Rng, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(0usize..max_len);
+    (0..n).map(|_| f64::from_bits(rng.next_u64())).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn sp_roundtrip_arbitrary_bits(values in prop::collection::vec(any_f32(), 0..3000)) {
+#[test]
+fn sp_roundtrip_arbitrary_bits() {
+    run_cases("e2e/sp-roundtrip", 32, |rng, _| {
+        let values = vec_f32(rng, 3000);
         for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
             let compressor = Compressor::new(algo).with_threads(2);
             let stream = compressor.compress_f32(&values);
             let restored = compressor.decompress_f32(&stream).unwrap();
-            prop_assert_eq!(values.len(), restored.len());
+            assert_eq!(values.len(), restored.len());
             for (a, b) in values.iter().zip(&restored) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dp_roundtrip_arbitrary_bits(values in prop::collection::vec(any_f64(), 0..2000)) {
+#[test]
+fn dp_roundtrip_arbitrary_bits() {
+    run_cases("e2e/dp-roundtrip", 32, |rng, _| {
+        let values = vec_f64(rng, 2000);
         for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
             let compressor = Compressor::new(algo).with_threads(2);
             let stream = compressor.compress_f64(&values);
             let restored = compressor.decompress_f64(&stream).unwrap();
-            prop_assert_eq!(values.len(), restored.len());
+            assert_eq!(values.len(), restored.len());
             for (a, b) in values.iter().zip(&restored) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn arbitrary_bytes_roundtrip_any_algorithm(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+#[test]
+fn arbitrary_bytes_roundtrip_any_algorithm() {
+    run_cases("e2e/bytes-roundtrip", 32, |rng, _| {
+        let data = rng.bytes_range(0usize..5000);
         for algo in Algorithm::ALL {
             let compressor = Compressor::new(algo).with_threads(1);
             let stream = compressor.compress_bytes(&data);
-            prop_assert_eq!(&compressor.decompress_bytes(&stream).unwrap(), &data);
+            assert_eq!(compressor.decompress_bytes(&stream).unwrap(), data);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gpu_equals_cpu_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4000)) {
+#[test]
+fn gpu_equals_cpu_on_arbitrary_bytes() {
+    run_cases("e2e/gpu-cpu", 32, |rng, _| {
+        let data = rng.bytes_range(0usize..4000);
         for algo in Algorithm::ALL {
             let cpu = Compressor::new(algo).with_threads(1).compress_bytes(&data);
-            let gpu = GpuCompressor::new(algo).with_threads(1).compress_bytes(&data);
-            prop_assert_eq!(cpu, gpu);
+            let gpu = GpuCompressor::new(algo)
+                .with_threads(1)
+                .compress_bytes(&data);
+            assert_eq!(cpu, gpu);
         }
-    }
+    });
+}
 
-    #[test]
-    fn expansion_is_bounded(data in prop::collection::vec(any::<u8>(), 0..60_000)) {
-        // Worst-case expansion cap: header + chunk table + raw chunks,
-        // amortized < 0.1% + constant.
+#[test]
+fn expansion_is_bounded() {
+    run_cases("e2e/expansion-bound", 24, |rng, _| {
+        // Worst-case expansion cap: header + chunk table + checksums + raw
+        // chunks, amortized < 0.2% + constant.
+        let data = rng.bytes_range(0usize..60_000);
         for algo in Algorithm::ALL {
             let stream = Compressor::new(algo).with_threads(1).compress_bytes(&data);
             let chunks = data.len().div_ceil(16 * 1024).max(1);
             // DPratio's FCM doubles the payload but halves back after RZE of
-            // zeros; bound generously while staying linear.
-            let bound = data.len() + data.len() / 4 + chunks * 8 + 64;
-            prop_assert!(stream.len() <= bound,
-                "{}: {} -> {} exceeds bound {}", algo, data.len(), stream.len(), bound);
+            // zeros; bound generously while staying linear. v2 framing adds
+            // 12 bytes per chunk (table entry + checksum) plus constants.
+            let bound = data.len() + data.len() / 4 + chunks * 16 + 128;
+            assert!(
+                stream.len() <= bound,
+                "{algo}: {} -> {} exceeds bound {bound}",
+                data.len(),
+                stream.len()
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn baseline_roundtrip_arbitrary_doubles(values in prop::collection::vec(any::<u64>(), 0..1500)) {
+#[test]
+fn baseline_roundtrip_arbitrary_doubles() {
+    run_cases("e2e/baselines", 24, |rng, _| {
         use fpcompress::baselines::{roster, Meta};
+        let n = rng.gen_range(0usize..1500);
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
         let meta = Meta::f64_flat(values.len());
         for codec in roster() {
@@ -87,22 +112,26 @@ proptest! {
             }
             let stream = codec.compress(&bytes, &meta);
             let restored = codec.decompress(&stream, &meta).unwrap();
-            prop_assert_eq!(&restored, &bytes, "{}", codec.name());
+            assert_eq!(restored, bytes, "{}", codec.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn transform_stack_preserves_word_multiset_sizes(words in prop::collection::vec(any::<u32>(), 0..2000)) {
+#[test]
+fn transform_stack_preserves_word_multiset_sizes() {
+    run_cases("e2e/transform-stack", 32, |rng, _| {
         // DIFFMS and BIT are bijections on the word vector (same length,
         // reversible); RZE conserves the byte count through a roundtrip.
         use fpcompress::transforms::{bit_transpose, diffms, rze};
+        let n = rng.gen_range(0usize..2000);
+        let words: Vec<u32> = (0..n).map(|_| rng.next_u32()).collect();
         let mut w = words.clone();
         diffms::encode32(&mut w);
         bit_transpose::transpose32(&mut w);
-        prop_assert_eq!(w.len(), words.len());
+        assert_eq!(w.len(), words.len());
         bit_transpose::transpose32(&mut w);
         diffms::decode32(&mut w);
-        prop_assert_eq!(&w, &words);
+        assert_eq!(w, words);
 
         let bytes: Vec<u8> = words.iter().flat_map(|x| x.to_le_bytes()).collect();
         let mut enc = Vec::new();
@@ -110,6 +139,6 @@ proptest! {
         let mut pos = 0;
         let mut dec = Vec::new();
         rze::decode(&enc, &mut pos, bytes.len(), &mut dec).unwrap();
-        prop_assert_eq!(&dec, &bytes);
-    }
+        assert_eq!(dec, bytes);
+    });
 }

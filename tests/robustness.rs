@@ -1,18 +1,44 @@
 //! Failure-injection tests: decoders must reject (never panic on, never
 //! silently mis-decode past) corrupted and truncated streams.
+//!
+//! Format v2 streams carry checksums over the header, the chunk table, and
+//! every chunk payload, so *detection* is guaranteed: any bit flip anywhere
+//! in the stream must surface as an error. Legacy v1 streams have no
+//! integrity layer; for them the container still guarantees structural
+//! honesty (a decode that "succeeds" yields the original length).
 
-use fpcompress::core::{Algorithm, Compressor};
+use fpcompress::container::{self, Header, VERSION_1};
+use fpcompress::core::{Algorithm, Compressor, SpSpeedCodec};
 
-fn sample_stream(algo: Algorithm) -> (Vec<u8>, Vec<u8>) {
-    let bytes: Vec<u8> = match algo.element_width() {
+fn sample_bytes(algo: Algorithm) -> Vec<u8> {
+    match algo.element_width() {
         4 => (0..30_000)
             .flat_map(|i| ((i as f32 * 1e-3).sin()).to_bits().to_le_bytes().to_vec())
             .collect(),
         _ => (0..20_000)
             .flat_map(|i| ((i as f64 * 1e-3).cos()).to_bits().to_le_bytes().to_vec())
             .collect(),
-    };
+    }
+}
+
+fn sample_stream(algo: Algorithm) -> (Vec<u8>, Vec<u8>) {
+    let bytes = sample_bytes(algo);
     let stream = Compressor::new(algo).compress_bytes(&bytes);
+    (bytes, stream)
+}
+
+/// A v1 (checksum-free) SPspeed stream plus its original bytes, built by
+/// driving the container directly with a legacy header.
+fn v1_stream() -> (Vec<u8>, Vec<u8>) {
+    let bytes = sample_bytes(Algorithm::SpSpeed);
+    let mut header = Header::new(
+        Algorithm::SpSpeed.id(),
+        Algorithm::SpSpeed.element_width(),
+        bytes.len() as u64,
+        bytes.len() as u64,
+    );
+    header.version = VERSION_1;
+    let stream = container::compress(header, &bytes, &SpSpeedCodec { fallback: true }, 1);
     (bytes, stream)
 }
 
@@ -20,8 +46,18 @@ fn sample_stream(algo: Algorithm) -> (Vec<u8>, Vec<u8>) {
 fn truncation_at_every_region_errors() {
     for algo in Algorithm::ALL {
         let (_, stream) = sample_stream(algo);
-        // Cut in the header, the chunk table, and the payload.
-        for cut in [1usize, 8, 20, 30, stream.len() / 4, stream.len() / 2, stream.len() - 1] {
+        // Cut in the header, the checksum region, the chunk table, and the
+        // payload.
+        for cut in [
+            1usize,
+            8,
+            20,
+            30,
+            40,
+            stream.len() / 4,
+            stream.len() / 2,
+            stream.len() - 1,
+        ] {
             let truncated = &stream[..stream.len() - cut];
             assert!(
                 fpcompress::core::decompress_bytes(truncated).is_err(),
@@ -32,25 +68,71 @@ fn truncation_at_every_region_errors() {
 }
 
 #[test]
-fn single_bit_flips_never_panic_and_never_lie_about_length() {
+fn v2_single_bit_flips_are_always_detected() {
+    // The tentpole guarantee: with checksums over every region, a flipped
+    // bit anywhere in the stream must yield an error — never garbage, and
+    // never the original data presented as a successful decode of a
+    // corrupted stream.
     for algo in Algorithm::ALL {
-        let (bytes, stream) = sample_stream(algo);
+        let (_, stream) = sample_stream(algo);
         let step = (stream.len() / 200).max(1);
         for pos in (0..stream.len()).step_by(step) {
             for bit in [0u8, 4] {
                 let mut bad = stream.clone();
                 bad[pos] ^= 1 << bit;
-                // A flip the format cannot detect may decode to garbage,
-                // but the produced length must still be the original's
-                // (otherwise the container validation has a hole).
-                if let Ok(out) = fpcompress::core::decompress_bytes(&bad) {
-                    assert_eq!(
-                        out.len(),
-                        bytes.len(),
-                        "{algo}: flip at {pos} changed output length"
-                    );
-                }
+                assert!(
+                    fpcompress::core::decompress_bytes(&bad).is_err(),
+                    "{algo}: flip at byte {pos} bit {bit} went undetected"
+                );
             }
+        }
+    }
+}
+
+#[test]
+fn v2_payload_flips_report_checksum_mismatch_with_location() {
+    let (_, stream) = sample_stream(Algorithm::SpSpeed);
+    let stats = container::stats(&stream).unwrap();
+    let payload_start = stream.len() - stats.compressed_payload;
+    for pos in [
+        payload_start,
+        payload_start + stats.compressed_payload / 2,
+        stream.len() - 1,
+    ] {
+        let mut bad = stream.clone();
+        bad[pos] ^= 0x01;
+        match fpcompress::core::decompress_bytes(&bad) {
+            Err(fpcompress::core::Error::Container(container::Error::ChecksumMismatch {
+                chunk: Some(c),
+                offset,
+            })) => {
+                assert!((c as usize) < stats.chunks, "chunk index {c} out of range");
+                assert!((offset as usize) <= pos, "offset {offset} past flip {pos}");
+            }
+            other => panic!("payload flip at {pos} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn v1_streams_decode_and_stay_honest_about_length() {
+    // Legacy streams still decompress bit-identically...
+    let (bytes, stream) = v1_stream();
+    assert_eq!(stream[4], VERSION_1, "test must exercise a v1 stream");
+    assert_eq!(fpcompress::core::decompress_bytes(&stream).unwrap(), bytes);
+
+    // ...and with no checksums the only guarantee is structural: a decode
+    // that succeeds must produce the original length (length-only case).
+    let step = (stream.len() / 200).max(1);
+    for pos in (0..stream.len()).step_by(step) {
+        let mut bad = stream.clone();
+        bad[pos] ^= 0x10;
+        if let Ok(out) = fpcompress::core::decompress_bytes(&bad) {
+            assert_eq!(
+                out.len(),
+                bytes.len(),
+                "v1 flip at {pos} changed output length"
+            );
         }
     }
 }
@@ -64,8 +146,18 @@ fn foreign_and_garbage_inputs_rejected() {
     fake.push(200);
     fake.extend_from_slice(&[0u8; 64]);
     assert!(fpcompress::core::decompress_bytes(&fake).is_err());
-    // Valid header claiming an unknown algorithm.
+    // A v2 header with a tampered algorithm byte fails its own checksum
+    // before the algorithm id is even looked at.
     let (_, mut stream) = sample_stream(Algorithm::SpSpeed);
+    stream[5] = 99;
+    assert!(matches!(
+        fpcompress::core::decompress_bytes(&stream),
+        Err(fpcompress::core::Error::Container(
+            container::Error::ChecksumMismatch { chunk: None, .. }
+        ))
+    ));
+    // On a v1 stream the same tamper is caught by algorithm validation.
+    let (_, mut stream) = v1_stream();
     stream[5] = 99;
     assert!(matches!(
         fpcompress::core::decompress_bytes(&stream),
@@ -76,21 +168,55 @@ fn foreign_and_garbage_inputs_rejected() {
 #[test]
 fn chunk_table_lies_are_caught() {
     let (_, stream) = sample_stream(Algorithm::SpSpeed);
-    // Chunk count lives right after the 28-byte header; corrupt it.
+    // Chunk count lives right after the 36-byte v2 header; corrupt it.
     let mut bad = stream.clone();
-    bad[28] = bad[28].wrapping_add(1);
+    let count_pos = Header::ENCODED_LEN_V2;
+    bad[count_pos] = bad[count_pos].wrapping_add(1);
     assert!(fpcompress::core::decompress_bytes(&bad).is_err());
-    // Inflate the first chunk size: total length check must fire.
+    // Inflate the first chunk size: the table checksum (and, independently,
+    // the total-length check) must fire.
     let mut bad = stream.clone();
-    bad[32] = bad[32].wrapping_add(5);
+    bad[count_pos + 4] = bad[count_pos + 4].wrapping_add(5);
     assert!(fpcompress::core::decompress_bytes(&bad).is_err());
+    // Same lies against a v1 stream (count at 28, table at 32): no
+    // checksums there, but the structural checks still reject.
+    let (_, stream) = v1_stream();
+    let mut bad = stream.clone();
+    bad[Header::ENCODED_LEN] = bad[Header::ENCODED_LEN].wrapping_add(1);
+    assert!(fpcompress::core::decompress_bytes(&bad).is_err());
+    let mut bad = stream.clone();
+    bad[Header::ENCODED_LEN + 4] = bad[Header::ENCODED_LEN + 4].wrapping_add(5);
+    assert!(fpcompress::core::decompress_bytes(&bad).is_err());
+}
+
+#[test]
+fn hostile_length_fields_never_cause_huge_allocations() {
+    // Forge tiny streams whose headers claim enormous sizes; parsing must
+    // fail with a length/structure error, not attempt the allocation.
+    for (payload_len, count) in [
+        (u64::MAX / 2, u32::MAX),
+        (1 << 50, 1 << 30),
+        (1 << 40, (1u64 << 40).div_ceil(16384) as u32),
+    ] {
+        let mut h = Header::new(Algorithm::SpSpeed.id(), 4, payload_len, payload_len);
+        h.chunk_size = 16384;
+        let mut data = Vec::new();
+        h.write(&mut data);
+        data.extend_from_slice(&count.to_le_bytes());
+        let err = fpcompress::core::decompress_bytes(&data);
+        assert!(
+            err.is_err(),
+            "hostile header ({payload_len}, {count}) accepted"
+        );
+    }
 }
 
 #[test]
 fn baseline_decoders_survive_corruption() {
     use fpcompress::baselines::{roster, Meta};
-    let bytes: Vec<u8> =
-        (0..10_000).flat_map(|i| ((i as f64).ln_1p()).to_bits().to_le_bytes()).collect();
+    let bytes: Vec<u8> = (0..10_000)
+        .flat_map(|i| ((i as f64).ln_1p()).to_bits().to_le_bytes())
+        .collect();
     let meta = Meta::f64_flat(10_000);
     for codec in roster() {
         if !codec.datatype().supports_width(8) {

@@ -58,11 +58,18 @@ fn compression_ratios_match_paper_shape() {
     for suite in &sp {
         for file in &suite.files {
             raw_total += file.values.len() * 4;
-            speed_total += Compressor::new(Algorithm::SpSpeed).compress_f32(&file.values).len();
-            ratio_total += Compressor::new(Algorithm::SpRatio).compress_f32(&file.values).len();
+            speed_total += Compressor::new(Algorithm::SpSpeed)
+                .compress_f32(&file.values)
+                .len();
+            ratio_total += Compressor::new(Algorithm::SpRatio)
+                .compress_f32(&file.values)
+                .len();
         }
     }
-    assert!(ratio_total < speed_total, "SPratio ({ratio_total}) must beat SPspeed ({speed_total})");
+    assert!(
+        ratio_total < speed_total,
+        "SPratio ({ratio_total}) must beat SPspeed ({speed_total})"
+    );
     assert!(speed_total < raw_total, "SPspeed must compress overall");
 
     let dp = double_precision_suites(Scale::Small);
@@ -70,11 +77,18 @@ fn compression_ratios_match_paper_shape() {
     let mut ratio_total = 0usize;
     for suite in &dp {
         for file in &suite.files {
-            speed_total += Compressor::new(Algorithm::DpSpeed).compress_f64(&file.values).len();
-            ratio_total += Compressor::new(Algorithm::DpRatio).compress_f64(&file.values).len();
+            speed_total += Compressor::new(Algorithm::DpSpeed)
+                .compress_f64(&file.values)
+                .len();
+            ratio_total += Compressor::new(Algorithm::DpRatio)
+                .compress_f64(&file.values)
+                .len();
         }
     }
-    assert!(ratio_total < speed_total, "DPratio ({ratio_total}) must beat DPspeed ({speed_total})");
+    assert!(
+        ratio_total < speed_total,
+        "DPratio ({ratio_total}) must beat DPspeed ({speed_total})"
+    );
 }
 
 #[test]
@@ -87,8 +101,11 @@ fn gpu_path_roundtrips_all_suites() {
             let file = &suite.files[0];
             let stream = gpu.compress_f32(&file.values);
             let restored = gpu.decompress_f32(&stream).unwrap();
-            let ok =
-                file.values.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits());
+            let ok = file
+                .values
+                .iter()
+                .zip(&restored)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(ok, "{algo} GPU path corrupted {}", file.name);
         }
     }
@@ -99,8 +116,11 @@ fn gpu_path_roundtrips_all_suites() {
             let file = &suite.files[0];
             let stream = gpu.compress_f64(&file.values);
             let restored = gpu.decompress_f64(&stream).unwrap();
-            let ok =
-                file.values.iter().zip(&restored).all(|(a, b)| a.to_bits() == b.to_bits());
+            let ok = file
+                .values
+                .iter()
+                .zip(&restored)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(ok, "{algo} GPU path corrupted {}", file.name);
         }
     }
@@ -116,8 +136,11 @@ fn baselines_roundtrip_one_file_per_suite() {
         }
         for suite in &dp {
             let file = &suite.files[0];
-            let bytes: Vec<u8> =
-                file.values.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+            let bytes: Vec<u8> = file
+                .values
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes())
+                .collect();
             let meta = Meta::f64_flat(file.values.len());
             let stream = codec.compress(&bytes, &meta);
             let restored = codec.decompress(&stream, &meta).unwrap();

@@ -14,7 +14,10 @@ use fpc_datagen::Scale;
 use fpc_gpu_sim::DeviceProfile;
 
 fn quick_config() -> Config {
-    Config { repetitions: 1, verify: true }
+    Config {
+        repetitions: 1,
+        verify: true,
+    }
 }
 
 fn ratio_of(entries: &[fpc_bench::measure::CodecResult], name: &str) -> f64 {
@@ -40,7 +43,16 @@ fn dp_gpu_panel_reproduces_paper_shape() {
     // FCM's match rate grows with input size; the full-scale harness run
     // recorded in EXPERIMENTS.md has DPratio top overall).
     let dpr_ratio = ratio_of(&panel, "DPratio");
-    for name in ["DPspeed", "GFC", "MPC", "ndzip", "Bitcomp", "Bitcomp-sparse", "ANS", "Cascaded"] {
+    for name in [
+        "DPspeed",
+        "GFC",
+        "MPC",
+        "ndzip",
+        "Bitcomp",
+        "Bitcomp-sparse",
+        "ANS",
+        "Cascaded",
+    ] {
         assert!(
             dpr_ratio > ratio_of(&panel, name),
             "DPratio {dpr_ratio} must beat {name} ({})",
@@ -53,7 +65,11 @@ fn dp_gpu_panel_reproduces_paper_shape() {
     // scale-sensitive ZSTD-gpu ratio, asserted only at full scale).
     let points: Vec<Point> = panel
         .iter()
-        .map(|r| Point { name: r.name.clone(), throughput: r.decompress_gbps, ratio: r.ratio })
+        .map(|r| Point {
+            name: r.name.clone(),
+            throughput: r.decompress_gbps,
+            ratio: r.ratio,
+        })
         .collect();
     assert!(front_names(&points).contains(&"DPratio".to_string()));
 
@@ -91,13 +107,18 @@ fn fcm_beats_windowed_lz_on_far_apart_resends() {
     // §5.2's explanation for DPratio's ratio lead, checked directly on the
     // message-trace suite: template resends recur beyond LZ's 64 KiB
     // window, which FCM's global sort-based matching catches.
-    use fpc_baselines::{Codec, Meta};
+    use fpc_baselines::Codec;
     use fpc_core::{Algorithm, Compressor};
     let suites = suites_for(Precision::Dp, Scale::Small);
-    let msg = suites.iter().find(|s| s.domain.contains("message")).expect("message suite");
+    let msg = suites
+        .iter()
+        .find(|s| s.domain.contains("message"))
+        .expect("message suite");
     let zstd = fpc_baselines::zstd_like::ZstdLike::best();
     for (name, bytes, meta) in &msg.files {
-        let dpr = Compressor::new(Algorithm::DpRatio).compress_bytes(bytes).len();
+        let dpr = Compressor::new(Algorithm::DpRatio)
+            .compress_bytes(bytes)
+            .len();
         let lz = zstd.compress(bytes, meta).len();
         assert!(dpr < lz, "{name}: DPratio {dpr} should beat ZSTD-best {lz}");
     }
@@ -109,8 +130,14 @@ fn modeled_gpu_claims() {
     let rtx = DeviceProfile::rtx4090();
     let a100 = DeviceProfile::a100();
     use fpc_gpu_sim::Direction;
-    assert!(rtx.modeled_gbps("SPspeed", Direction::Compress).expect("modeled") > 500.0);
-    for codec in ["SPspeed", "SPratio", "DPspeed", "DPratio", "GFC", "MPC", "ndzip"] {
+    assert!(
+        rtx.modeled_gbps("SPspeed", Direction::Compress)
+            .expect("modeled")
+            > 500.0
+    );
+    for codec in [
+        "SPspeed", "SPratio", "DPspeed", "DPratio", "GFC", "MPC", "ndzip",
+    ] {
         let on_rtx = rtx.modeled_gbps(codec, Direction::Compress);
         let on_a100 = a100.modeled_gbps(codec, Direction::Compress);
         match (on_rtx, on_a100) {
@@ -119,8 +146,11 @@ fn modeled_gpu_claims() {
         }
     }
     assert!(
-        a100.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled")
-            > rtx.modeled_gbps("Bitcomp", Direction::Compress).expect("modeled"),
+        a100.modeled_gbps("Bitcomp", Direction::Compress)
+            .expect("modeled")
+            > rtx
+                .modeled_gbps("Bitcomp", Direction::Compress)
+                .expect("modeled"),
         "Bitcomp is the paper's A100 exception"
     );
 }
@@ -133,7 +163,11 @@ fn cpu_only_codecs_stay_out_of_gpu_panels() {
     // CPU-only comparator must be filtered out before modeling.
     for entry in entries_for(true, 4) {
         let result = measure_gpu_modeled(&entry, &suites[..1], &profile, &quick_config());
-        assert!(result.is_some(), "{} in GPU panel but unmodeled", entry.name);
+        assert!(
+            result.is_some(),
+            "{} in GPU panel but unmodeled",
+            entry.name
+        );
     }
     let cpu_entries: Vec<Entry> = entries_for(false, 4);
     let names: Vec<&str> = cpu_entries.iter().map(|e| e.name.as_str()).collect();
@@ -148,8 +182,10 @@ fn adaptive_split_beats_fixed_splits() {
     let suites = suites_for(Precision::Dp, Scale::Small);
     let adaptive = Compressor::new(Algorithm::DpRatio);
     for kb in [2u8, 4] {
-        let fixed = Compressor::new(Algorithm::DpRatio)
-            .with_options(PipelineOptions { fixed_split: Some(kb), ..PipelineOptions::default() });
+        let fixed = Compressor::new(Algorithm::DpRatio).with_options(PipelineOptions {
+            fixed_split: Some(kb),
+            ..PipelineOptions::default()
+        });
         let mut adaptive_total = 0usize;
         let mut fixed_total = 0usize;
         for suite in &suites {
