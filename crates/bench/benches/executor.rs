@@ -1,0 +1,100 @@
+//! Executor overhead: persistent pool vs. spawn-per-call scoped threads.
+//!
+//! The workload the pool was built for: many small chunks, little work per
+//! chunk (a 16 KiB-chunked compress call is ~256 indices per MiB). The
+//! spawn-per-call reference below is the executor this repository shipped
+//! with originally — `thread::scope` + one OS thread per worker per call —
+//! kept here verbatim as the baseline.
+//!
+//! Run with `cargo bench -p fpc-bench --bench executor`.
+
+use fpc_bench::microbench::Group;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The seed executor: spawns `threads` scoped OS threads per call.
+fn spawn_per_call<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if threads == 0 { available } else { threads }.min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index claimed")
+        })
+        .collect()
+}
+
+/// Simulated per-chunk codec work: touch `chunk` and produce a checksum-ish
+/// value, cheap enough that executor overhead dominates.
+fn chunk_work(chunk: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for &b in chunk {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    acc
+}
+
+fn main() {
+    const CHUNKS: usize = 256;
+    const CHUNK_BYTES: usize = 1024;
+    let data = vec![0xA5u8; CHUNKS * CHUNK_BYTES];
+    let chunks: Vec<&[u8]> = data.chunks(CHUNK_BYTES).collect();
+
+    for threads in [2usize, 4, 8] {
+        let g = Group::new(&format!("executor/{CHUNKS}x{CHUNK_BYTES}B/t{threads}"))
+            .throughput_bytes(data.len() as u64)
+            .sample_size(30);
+        g.bench("spawn_per_call", || {
+            spawn_per_call(CHUNKS, threads, |i| chunk_work(chunks[i]))
+        });
+        g.bench("persistent_pool", || {
+            fpc_pool::run_indexed(CHUNKS, threads, |i| chunk_work(chunks[i]))
+        });
+    }
+
+    // Back-to-back small jobs: the pattern a file-at-a-time benchmark run
+    // produces. Per-call overhead compounds here.
+    let g = Group::new("executor/100-calls-of-32-chunks/t4")
+        .throughput_bytes((32 * CHUNK_BYTES * 100) as u64)
+        .sample_size(10);
+    g.bench("spawn_per_call", || {
+        let mut last = 0u64;
+        for _ in 0..100 {
+            last = spawn_per_call(32, 4, |i| chunk_work(chunks[i]))[0];
+        }
+        last
+    });
+    g.bench("persistent_pool", || {
+        let mut last = 0u64;
+        for _ in 0..100 {
+            last = fpc_pool::run_indexed(32, 4, |i| chunk_work(chunks[i]))[0];
+        }
+        last
+    });
+}

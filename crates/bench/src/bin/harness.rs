@@ -8,9 +8,11 @@
 //!
 //! `--quick` uses the small dataset scale and 2 timing repetitions (smoke
 //! run); the default matches the paper's methodology (full scale, median of
-//! 5 runs). `--data DIR` runs on external datasets (e.g. the real SDRBench
-//! files) described by `DIR/manifest.txt` instead of the synthetic suites —
-//! see `fpc_datagen::external` for the manifest format.
+//! 5 runs). `--threads N` caps the worker threads used by the paper's
+//! algorithms (0 = all cores, the default; baselines are serial). `--data
+//! DIR` runs on external datasets (e.g. the real SDRBench files) described
+//! by `DIR/manifest.txt` instead of the synthetic suites — see
+//! `fpc_datagen::external` for the manifest format.
 
 use fpc_bench::figures::{
     all_figures, figure, run_ablations, run_panel, suites_for, Figure, Precision, Target,
@@ -35,26 +37,40 @@ fn main() {
         .position(|a| a == "--data")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let threads_arg = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1));
+    let threads: usize = threads_arg
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--threads expects a non-negative integer, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0);
     let requested: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(*a) != out_dir.to_str())
         .filter(|a| data_dir.as_deref().and_then(|d| d.to_str()) != Some(*a))
+        .filter(|a| threads_arg.map(String::as_str) != Some(*a))
         .collect();
     if requested.is_empty() {
         eprintln!(
-            "usage: harness <all | table1 | stages | ablation | synth | charts | fig08..fig19>... [--quick] [--out DIR] [--data DIR]"
+            "usage: harness <all | table1 | stages | ablation | synth | charts | fig08..fig19>... [--quick] [--threads N] [--out DIR] [--data DIR]"
         );
         std::process::exit(2);
     }
 
     let scale = if quick { Scale::Small } else { Scale::Full };
-    let config = if quick {
+    let mut config = if quick {
         Config::quick()
     } else {
         Config::default()
     };
+    config.threads = threads;
     let run_all = requested.contains(&"all");
 
     if run_all || requested.contains(&"table1") {

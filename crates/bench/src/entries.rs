@@ -50,10 +50,20 @@ impl Entry {
         matches!(self.kind, Kind::Ours(_))
     }
 
-    /// Compresses `data` (with `meta` describing it).
+    /// Compresses `data` (with `meta` describing it) using all cores.
     pub fn compress(&self, data: &[u8], meta: &Meta) -> Vec<u8> {
+        self.compress_with(data, meta, 0)
+    }
+
+    /// Compresses with an explicit worker-thread budget (`0` = all cores).
+    ///
+    /// Baselines ignore the budget: the roster codecs are serial
+    /// reimplementations and have no thread knob.
+    pub fn compress_with(&self, data: &[u8], meta: &Meta, threads: usize) -> Vec<u8> {
         match &self.kind {
-            Kind::Ours(algo) => Compressor::new(*algo).compress_bytes(data),
+            Kind::Ours(algo) => Compressor::new(*algo)
+                .with_threads(threads)
+                .compress_bytes(data),
             Kind::Baseline(codec) => codec.compress(data, meta),
         }
     }
@@ -65,8 +75,19 @@ impl Entry {
     /// Panics on corrupt streams — the harness only feeds back its own
     /// streams, so a failure is a bug worth aborting on.
     pub fn decompress(&self, stream: &[u8], meta: &Meta) -> Vec<u8> {
+        self.decompress_with(stream, meta, 0)
+    }
+
+    /// Decompresses with an explicit worker-thread budget (`0` = all cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics on corrupt streams, as for [`Entry::decompress`].
+    pub fn decompress_with(&self, stream: &[u8], meta: &Meta, threads: usize) -> Vec<u8> {
         match &self.kind {
-            Kind::Ours(_) => fpc_core::decompress_bytes(stream).expect("self-produced stream"),
+            Kind::Ours(_) => {
+                fpc_core::decompress_bytes_with(stream, threads).expect("self-produced stream")
+            }
             Kind::Baseline(codec) => codec
                 .decompress(stream, meta)
                 .expect("self-produced stream"),

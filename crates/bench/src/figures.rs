@@ -364,6 +364,7 @@ mod tests {
             &Config {
                 repetitions: 1,
                 verify: true,
+                threads: 0,
             },
         );
         assert!(panel.len() >= 8, "got {}", panel.len());

@@ -16,6 +16,9 @@ pub struct Config {
     pub repetitions: usize,
     /// Verify every decompression bit-for-bit (slower, on by default).
     pub verify: bool,
+    /// Worker threads for the paper's algorithms (`0` = all cores).
+    /// Baselines are serial and ignore this.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -23,6 +26,7 @@ impl Default for Config {
         Self {
             repetitions: 5,
             verify: true,
+            threads: 0,
         }
     }
 }
@@ -33,6 +37,7 @@ impl Config {
         Self {
             repetitions: 2,
             verify: true,
+            threads: 0,
         }
     }
 }
@@ -72,24 +77,34 @@ fn median(mut xs: Vec<f64>) -> f64 {
 /// Per-file measurement: (ratio, compress GB/s, decompress GB/s).
 fn measure_file(entry: &Entry, bytes: &[u8], meta: &Meta, config: &Config) -> (f64, f64, f64) {
     let gb = bytes.len() as f64 / 1e9;
+    // One untimed warm-up per direction: the first iteration pays for cold
+    // allocator state, page faults, and lazy pool spin-up, and used to skew
+    // the median at low repetition counts.
+    let stream = entry.compress_with(bytes, meta, config.threads);
     let mut comp_times = Vec::with_capacity(config.repetitions);
-    let mut stream = Vec::new();
     for _ in 0..config.repetitions.max(1) {
         let start = Instant::now();
-        stream = entry.compress(bytes, meta);
+        let s = entry.compress_with(bytes, meta, config.threads);
         comp_times.push(start.elapsed().as_secs_f64());
+        assert_eq!(s.len(), stream.len(), "{} is nondeterministic", entry.name);
     }
+    let mut out = entry.decompress_with(&stream, meta, config.threads);
     let mut dec_times = Vec::with_capacity(config.repetitions);
-    let mut out = Vec::new();
     for _ in 0..config.repetitions.max(1) {
         let start = Instant::now();
-        out = entry.decompress(&stream, meta);
+        out = entry.decompress_with(&stream, meta, config.threads);
         dec_times.push(start.elapsed().as_secs_f64());
     }
     if config.verify {
         assert_eq!(out, bytes, "{} corrupted a dataset", entry.name);
     }
-    let ratio = bytes.len() as f64 / stream.len() as f64;
+    // An empty stream (possible only for empty input) would otherwise make
+    // the ratio infinite and poison every downstream geo-mean.
+    let ratio = if stream.is_empty() {
+        0.0
+    } else {
+        bytes.len() as f64 / stream.len() as f64
+    };
     (ratio, gb / median(comp_times), gb / median(dec_times))
 }
 
@@ -229,6 +244,7 @@ mod tests {
             &Config {
                 repetitions: 1,
                 verify: true,
+                threads: 0,
             },
         );
         assert!(result.ratio > 1.0, "ratio {}", result.ratio);
@@ -249,6 +265,7 @@ mod tests {
             &Config {
                 repetitions: 1,
                 verify: true,
+                threads: 0,
             },
         )
         .expect("SPspeed has a GPU model");

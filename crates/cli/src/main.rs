@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! fpcc compress   --algo spratio [--threads N] <input> <output>
-//! fpcc decompress <input> <output>
+//! fpcc decompress [--threads N] <input> <output>
 //! fpcc info       <file>
 //! fpcc verify     <file>                  # checksum audit, no decompression
-//! fpcc survey     --width 4|8 <file>      # run every applicable codec
+//! fpcc survey     --width 4|8 [--threads N] <file>  # run every applicable codec
 //! fpcc gen        --precision sp|dp --out DIR   # synthetic datasets + manifest
 //! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
 //! ```
@@ -30,10 +30,10 @@ fn main() -> ExitCode {
                 "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy> ...\n\
                  \n\
                  compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
-                 decompress <in> <out>\n\
+                 decompress [--threads N] <in> <out>\n\
                  info       <file>\n\
                  verify     <file>   # per-chunk checksum audit, exit 1 on damage\n\
-                 survey     --width <4|8> <file>\n\
+                 survey     --width <4|8> [--threads N] <file>\n\
                  gen        --precision <sp|dp> --out <dir>\n\
                  anatomy    --algo <name> <file>   # per-stage volume breakdown"
             );
@@ -74,6 +74,14 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
+/// Parses the shared `--threads N` flag (0 = all cores, the default).
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "--threads")
+        .map(|t| t.parse().map_err(|_| "invalid --threads".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(0))
+}
+
 fn parse_algo(name: &str) -> Result<Algorithm, String> {
     match name.to_ascii_lowercase().as_str() {
         "spspeed" => Ok(Algorithm::SpSpeed),
@@ -86,10 +94,7 @@ fn parse_algo(name: &str) -> Result<Algorithm, String> {
 
 fn cmd_compress(args: &[String]) -> Result<(), String> {
     let algo = parse_algo(flag_value(args, "--algo").ok_or("--algo is required")?)?;
-    let threads: usize = flag_value(args, "--threads")
-        .map(|t| t.parse().map_err(|_| "invalid --threads"))
-        .transpose()?
-        .unwrap_or(0);
+    let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
         return Err("expected <input> <output>".into());
@@ -113,13 +118,14 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
         return Err("expected <input> <output>".into());
     };
     let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let start = std::time::Instant::now();
-    let data = fpc_core::decompress_bytes(&stream).map_err(|e| e.to_string())?;
+    let data = fpc_core::decompress_bytes_with(&stream, threads).map_err(|e| e.to_string())?;
     let dt = start.elapsed().as_secs_f64();
     std::fs::write(output, &data).map_err(|e| format!("writing {output}: {e}"))?;
     println!(
@@ -191,6 +197,7 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
     if width != 4 && width != 8 {
         return Err("--width must be 4 or 8".into());
     }
+    let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input] = pos.as_slice() else {
         return Err("expected <file>".into());
@@ -209,12 +216,12 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
         &[Algorithm::DpSpeed, Algorithm::DpRatio]
     };
     for &algo in our_algos {
-        let compressor = Compressor::new(algo);
+        let compressor = Compressor::new(algo).with_threads(threads);
         let t0 = std::time::Instant::now();
         let stream = compressor.compress_bytes(&data);
         let ct = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let back = fpc_core::decompress_bytes(&stream).map_err(|e| e.to_string())?;
+        let back = fpc_core::decompress_bytes_with(&stream, threads).map_err(|e| e.to_string())?;
         let dt = t1.elapsed().as_secs_f64();
         if back != data {
             return Err(format!("{algo} roundtrip mismatch"));

@@ -93,32 +93,58 @@ pub trait ChunkCodec: Sync {
 ///
 /// `threads == 0` uses all available parallelism; `threads == 1` runs
 /// inline on the calling thread.
-pub fn compress(header: Header, payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
-    debug_assert_eq!(header.payload_len, payload.len() as u64);
-    assert!(
-        header.version == VERSION_1 || header.version == VERSION,
-        "cannot write unknown format version {}",
-        header.version
-    );
+///
+/// # Errors
+///
+/// Fails when the header lies about the payload (`payload_len` disagrees
+/// with `payload.len()`), names an unwritable format version, declares a
+/// zero chunk size, or when a chunk's encoded body exceeds the 31-bit size
+/// field. These were previously debug-only assertions, which let release
+/// builds silently emit undecodable streams.
+pub fn compress(
+    header: Header,
+    payload: &[u8],
+    codec: &dyn ChunkCodec,
+    threads: usize,
+) -> Result<Vec<u8>, Error> {
+    if header.payload_len != payload.len() as u64 {
+        return Err(Error::InvalidHeader {
+            field: "payload_len",
+            value: header.payload_len,
+        });
+    }
+    if header.version != VERSION_1 && header.version != VERSION {
+        return Err(Error::UnsupportedVersion(header.version));
+    }
     let with_checksums = header.version >= VERSION;
     let chunk_size = header.chunk_size as usize;
-    assert!(chunk_size > 0, "chunk size must be nonzero");
+    if chunk_size == 0 {
+        return Err(Error::InvalidHeader {
+            field: "chunk_size",
+            value: 0,
+        });
+    }
     let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
     let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
-        let mut enc = Vec::with_capacity(chunks[i].len() / 2 + 64);
-        codec.encode_chunk(chunks[i], &mut enc);
-        let (raw, body) = if enc.len() >= chunks[i].len() {
-            // Worst-case cap: store the original bytes, flagged raw.
-            (true, chunks[i].to_vec())
-        } else {
-            (false, enc)
-        };
-        let sum = if with_checksums {
-            frame_checksum(&body)
-        } else {
-            0
-        };
-        (raw, body, sum)
+        // Encode into the worker's persistent scratch arena, then copy the
+        // exact-size result out: the codec sees a reused allocation, the
+        // emitted bytes are identical to a fresh-`Vec` encode.
+        fpc_pool::with_scratch(|enc| {
+            enc.clear();
+            codec.encode_chunk(chunks[i], enc);
+            let (raw, body) = if enc.len() >= chunks[i].len() {
+                // Worst-case cap: store the original bytes, flagged raw.
+                (true, chunks[i].to_vec())
+            } else {
+                (false, enc.to_vec())
+            };
+            let sum = if with_checksums {
+                frame_checksum(&body)
+            } else {
+                0
+            };
+            (raw, body, sum)
+        })
     });
 
     let mut out = Vec::with_capacity(payload.len() / 2 + 64);
@@ -126,7 +152,13 @@ pub fn compress(header: Header, payload: &[u8], codec: &dyn ChunkCodec, threads:
     let table_start = out.len();
     out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
     for (raw, body, _) in &encoded {
-        assert!(body.len() as u32 <= SIZE_MASK, "chunk exceeds size field");
+        if body.len() as u64 > SIZE_MASK as u64 {
+            return Err(Error::LengthOverflow {
+                what: "chunk size field",
+                requested: body.len() as u64,
+                available: SIZE_MASK as u64,
+            });
+        }
         let entry = body.len() as u32 | if *raw { RAW_FLAG } else { 0 };
         out.extend_from_slice(&entry.to_le_bytes());
     }
@@ -140,7 +172,7 @@ pub fn compress(header: Header, payload: &[u8], codec: &dyn ChunkCodec, threads:
     for (_, body, _) in &encoded {
         out.extend_from_slice(body);
     }
-    out
+    Ok(out)
 }
 
 /// Parsed and validated frame metadata: everything before the payloads.
@@ -599,7 +631,7 @@ mod tests {
     }
 
     fn roundtrip(payload: &[u8], codec: &dyn ChunkCodec, threads: usize) -> Vec<u8> {
-        let stream = compress(header_for(payload), payload, codec, threads);
+        let stream = compress(header_for(payload), payload, codec, threads).unwrap();
         let (header, out) = decompress(&stream, codec, threads).unwrap();
         assert_eq!(out, payload);
         assert_eq!(header.original_len, payload.len() as u64);
@@ -644,7 +676,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2 + 17)
             .map(|i| (i % 7) as u8)
             .collect();
-        let stream = compress(v1_header_for(&payload), &payload, &Rle, 2);
+        let stream = compress(v1_header_for(&payload), &payload, &Rle, 2).unwrap();
         let (header, out) = decompress(&stream, &Rle, 2).unwrap();
         assert_eq!(out, payload);
         assert_eq!(header.version, VERSION_1);
@@ -658,8 +690,8 @@ mod tests {
     #[test]
     fn v2_frame_overhead_is_exactly_checksums() {
         let payload = vec![5u8; DEFAULT_CHUNK_SIZE * 3];
-        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1);
-        let v2 = compress(header_for(&payload), &payload, &Rle, 1);
+        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1).unwrap();
+        let v2 = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         // header sum (8) + per-chunk sums (8×3) + table sum (8).
         assert_eq!(v2.len(), v1.len() + 8 + 8 * 3 + 8);
     }
@@ -692,7 +724,7 @@ mod tests {
         let mut h = header_for(&payload);
         h.algorithm = ALGO_DP_RATIO;
         h.element_width = 8;
-        let stream = compress(h, &payload, &Rle, 1);
+        let stream = compress(h, &payload, &Rle, 1).unwrap();
         let parsed = read_header(&stream).unwrap();
         assert_eq!(parsed.algorithm, ALGO_DP_RATIO);
         assert_eq!(parsed.element_width, 8);
@@ -701,9 +733,45 @@ mod tests {
     }
 
     #[test]
+    fn compress_rejects_lying_headers() {
+        let payload = vec![1u8; 100];
+
+        // payload_len disagrees with the actual payload: a release build
+        // must refuse instead of emitting an undecodable stream.
+        let mut lying = header_for(&payload);
+        lying.payload_len = 99;
+        match compress(lying, &payload, &Rle, 1) {
+            Err(Error::InvalidHeader { field, value }) => {
+                assert_eq!(field, "payload_len");
+                assert_eq!(value, 99);
+            }
+            other => panic!("expected InvalidHeader, got {other:?}"),
+        }
+
+        // Unknown format version.
+        let mut future = header_for(&payload);
+        future.version = 9;
+        assert!(matches!(
+            compress(future, &payload, &Rle, 1),
+            Err(Error::UnsupportedVersion(9))
+        ));
+
+        // Zero chunk size would loop forever / divide by zero downstream.
+        let mut zero = header_for(&payload);
+        zero.chunk_size = 0;
+        assert!(matches!(
+            compress(zero, &payload, &Rle, 1),
+            Err(Error::InvalidHeader {
+                field: "chunk_size",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn truncated_stream_rejected() {
         let payload = vec![3u8; DEFAULT_CHUNK_SIZE + 5];
-        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         for cut in [1usize, 5, stream.len() / 2, stream.len() - 1] {
             assert!(decompress(&stream[..stream.len() - cut], &Rle, 1).is_err());
         }
@@ -712,7 +780,7 @@ mod tests {
     #[test]
     fn corrupt_magic_rejected() {
         let payload = vec![3u8; 50];
-        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         stream[0] ^= 0xFF;
         assert!(matches!(decompress(&stream, &Rle, 1), Err(Error::BadMagic)));
     }
@@ -720,7 +788,7 @@ mod tests {
     #[test]
     fn corrupt_chunk_count_rejected() {
         let payload = vec![3u8; 50];
-        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         // Chunk count lives right after the v2 header.
         let pos = Header::ENCODED_LEN_V2;
         stream[pos] = 99;
@@ -730,7 +798,7 @@ mod tests {
     #[test]
     fn extra_trailing_bytes_rejected() {
         let payload = vec![3u8; 50];
-        let mut stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         stream.push(0);
         assert!(matches!(
             decompress(&stream, &Rle, 1),
@@ -743,7 +811,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2 + 99)
             .map(|i| (i % 13) as u8)
             .collect();
-        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         let stats = stats(&stream).unwrap();
         let payload_start = stream.len() - stats.compressed_payload;
         for pos in payload_start..stream.len() {
@@ -759,7 +827,7 @@ mod tests {
     #[test]
     fn table_and_header_flips_detected_in_v2() {
         let payload = vec![1u8; DEFAULT_CHUNK_SIZE + 7];
-        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         let stats = stats(&stream).unwrap();
         let payload_start = stream.len() - stats.compressed_payload;
         for pos in 0..payload_start {
@@ -813,7 +881,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 50)
             .map(|i| (i % 17) as u8)
             .collect();
-        let stream = compress(header_for(&payload), &payload, &Rle, 1);
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
         let (header, report) = verify(&stream).unwrap();
         assert_eq!(header.version, VERSION);
         assert_eq!(report.chunks, 4);
@@ -833,7 +901,7 @@ mod tests {
         assert!((damage.offset as usize) <= hit);
 
         // v1 streams verify structurally but are not checksummed.
-        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1);
+        let v1 = compress(v1_header_for(&payload), &payload, &Rle, 1).unwrap();
         let (_, report) = verify(&v1).unwrap();
         assert!(!report.checksummed);
         assert!(report.is_clean());
@@ -844,7 +912,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 4)
             .map(|i| (i % 23) as u8)
             .collect();
-        let stream = compress(header_for(&payload), &payload, &Rle, 2);
+        let stream = compress(header_for(&payload), &payload, &Rle, 2).unwrap();
         let stats = stats(&stream).unwrap();
         let payload_start = stream.len() - stats.compressed_payload;
 
@@ -879,7 +947,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 777)
             .map(|i| (i % 251) as u8)
             .collect();
-        let stream = compress(header_for(&payload), &payload, &Rle, 2);
+        let stream = compress(header_for(&payload), &payload, &Rle, 2).unwrap();
         for index in 0..4 {
             let chunk = decompress_chunk(&stream, &Rle, index).unwrap();
             let start = index * DEFAULT_CHUNK_SIZE;
@@ -898,7 +966,7 @@ mod tests {
         let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE + 100)
             .map(|i| (i % 256) as u8)
             .collect();
-        let stream = compress(header_for(&payload), &payload, &Identity, 1);
+        let stream = compress(header_for(&payload), &payload, &Identity, 1).unwrap();
         assert_eq!(
             decompress_chunk(&stream, &Identity, 0).unwrap(),
             &payload[..DEFAULT_CHUNK_SIZE]

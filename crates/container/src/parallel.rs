@@ -2,65 +2,24 @@
 //!
 //! Mirrors the paper's scheduling: "we dynamically assign the chunks to the
 //! threads to maximize the load balance" (§3). A shared atomic counter is
-//! the work list; each worker claims the next index until the list is
-//! drained. Results are written into per-index slots so the output order is
-//! deterministic regardless of scheduling.
+//! the work list; each worker claims the next batch of indices until the
+//! list is drained. Results are written into per-index slots so the output
+//! order is deterministic regardless of scheduling.
+//!
+//! Since the executor moved into [`fpc_pool`], this module is a thin
+//! re-export kept for the container crate's public API: callers get the
+//! persistent process-wide worker pool (no per-call thread spawns) with the
+//! exact same signature and ordering guarantees the old `thread::scope`
+//! implementation had.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `f(0..count)` across up to `threads` workers (0 = all cores) and
-/// returns the results in index order.
-pub fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = effective_threads(threads, count);
-    if threads <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
-    }
-
-    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(count);
-    slots.resize_with(count, || Mutex::new(None));
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index was claimed exactly once")
-        })
-        .collect()
-}
-
-fn effective_threads(requested: usize, count: usize) -> usize {
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let t = if requested == 0 { available } else { requested };
-    t.min(count.max(1))
-}
+pub use fpc_pool::run_indexed;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn zero_count() {

@@ -67,7 +67,8 @@ fn roundtrip_any_payload_any_chunking() {
         let threads = rng.gen_range(0usize..6);
         for codec in [&Expanding as &dyn ChunkCodec, &Collapsing] {
             let stream =
-                fpc_container::compress(header_for(&payload, chunk_size), &payload, codec, threads);
+                fpc_container::compress(header_for(&payload, chunk_size), &payload, codec, threads)
+                    .unwrap();
             let (header, out) = fpc_container::decompress(&stream, codec, threads).unwrap();
             assert_eq!(out, payload);
             assert_eq!(header.original_len, payload.len() as u64);
@@ -85,8 +86,9 @@ fn v1_and_v2_roundtrip_identical_payloads() {
         let payload = narrow_payload(rng, 30_000, 8);
         let mut h1 = header_for(&payload, 4096);
         h1.version = VERSION_1;
-        let v1 = fpc_container::compress(h1, &payload, &Collapsing, 2);
-        let v2 = fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2);
+        let v1 = fpc_container::compress(h1, &payload, &Collapsing, 2).unwrap();
+        let v2 =
+            fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2).unwrap();
         let (_, out1) = fpc_container::decompress(&v1, &Collapsing, 2).unwrap();
         let (_, out2) = fpc_container::decompress(&v2, &Collapsing, 2).unwrap();
         assert_eq!(out1, payload);
@@ -100,10 +102,11 @@ fn stream_is_thread_count_invariant() {
     run_cases("container/thread-invariant", 24, |rng, _| {
         let payload = narrow_payload(rng, 30_000, 8);
         let reference =
-            fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 1);
+            fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 1).unwrap();
         for threads in [2usize, 4, 8] {
             let stream =
-                fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, threads);
+                fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, threads)
+                    .unwrap();
             assert_eq!(stream, reference);
         }
     });
@@ -113,7 +116,8 @@ fn stream_is_thread_count_invariant() {
 fn truncations_always_rejected() {
     run_cases("container/truncations", 48, |rng, _| {
         let payload = rng.bytes_range(1usize..20_000);
-        let stream = fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2);
+        let stream =
+            fpc_container::compress(header_for(&payload, 4096), &payload, &Collapsing, 2).unwrap();
         let cut = ((stream.len() as f64 * rng.next_f64()) as usize).clamp(1, stream.len());
         let truncated = &stream[..stream.len() - cut];
         assert!(fpc_container::decompress(truncated, &Collapsing, 2).is_err());
@@ -124,7 +128,8 @@ fn truncations_always_rejected() {
 fn stats_are_consistent() {
     run_cases("container/stats", 32, |rng, _| {
         let payload = narrow_payload(rng, 30_000, 4);
-        let stream = fpc_container::compress(header_for(&payload, 1024), &payload, &Collapsing, 2);
+        let stream =
+            fpc_container::compress(header_for(&payload, 1024), &payload, &Collapsing, 2).unwrap();
         let stats = fpc_container::stats(&stream).unwrap();
         assert_eq!(stats.chunks, payload.len().div_ceil(1024));
         assert!(stats.raw_chunks <= stats.chunks);
@@ -152,7 +157,8 @@ fn random_bytes_never_panic_decoder() {
 fn mutated_valid_streams_never_panic_and_never_lie() {
     run_cases("container/mutations", 192, |rng, _| {
         let payload = narrow_payload(rng, 20_000, 16);
-        let stream = fpc_container::compress(header_for(&payload, 2048), &payload, &Collapsing, 2);
+        let stream =
+            fpc_container::compress(header_for(&payload, 2048), &payload, &Collapsing, 2).unwrap();
         let mutation = Mutation::arbitrary(rng, stream.len());
         let bad = mutation.apply(&stream, rng);
         if bad == stream {

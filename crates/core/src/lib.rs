@@ -209,15 +209,18 @@ impl Compressor {
                     fallback: self.options.mplg_fallback,
                 };
                 fpc_container::compress(header, data, &codec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::SpRatio => {
                 fpc_container::compress(header, data, &SpRatioCodec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::DpSpeed => {
                 let codec = DpSpeedCodec {
                     fallback: self.options.mplg_fallback,
                 };
                 fpc_container::compress(header, data, &codec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::DpRatio => {
                 // Global FCM stage (paper §3.2): the only stage that sees the
@@ -234,6 +237,7 @@ impl Compressor {
                     fixed_split: self.options.fixed_split,
                 };
                 fpc_container::compress(header, &payload, &codec, self.threads)
+                    .expect("header matches payload")
             }
         }
     }

@@ -9,19 +9,31 @@ use crate::{DecodeError, Result};
 
 /// Packs each `u32` at `width` bits (0..=32), appending to `out`.
 ///
-/// With `width == 0` nothing is written (all values must be zero for the
-/// packing to be reversible; this is the caller's contract, asserted in debug
-/// builds).
+/// Each value is masked to its low `width` bits before writing. Values that
+/// exceed the width therefore lose their high bits (the roundtrip returns
+/// `v & mask`) but can never corrupt neighbouring values: without the mask,
+/// excess bits would bleed into the writer's accumulator and scramble the
+/// rest of the stream in release builds, where the old debug-only guard
+/// vanished. With `width == 0` nothing is written (all values must be zero
+/// for the packing to be reversible).
+///
+/// # Panics
+///
+/// Panics if `width > 32` — an out-of-range width is a caller bug in every
+/// build, not just debug.
 pub fn pack_u32(values: &[u32], width: u32, out: &mut Vec<u8>) {
-    debug_assert!(width <= 32);
+    assert!(width <= 32, "pack width {width} exceeds 32");
     if width == 0 {
-        debug_assert!(values.iter().all(|&v| v == 0));
         return;
     }
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
     let mut w = BitWriter::with_capacity((values.len() * width as usize).div_ceil(8));
     for &v in values {
-        debug_assert!(width == 32 || v < (1 << width));
-        w.write_bits(u64::from(v), width);
+        w.write_bits(u64::from(v & mask), width);
     }
     w.finish_into(out);
 }
@@ -48,16 +60,26 @@ pub fn unpack_u32(data: &[u8], width: u32, count: usize, out: &mut Vec<u32>) -> 
 }
 
 /// Packs each `u64` at `width` bits (0..=64), appending to `out`.
+///
+/// As with [`pack_u32`], each value is masked to `width` bits first, so an
+/// oversized value degrades to `v & mask` instead of corrupting the stream.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
 pub fn pack_u64(values: &[u64], width: u32, out: &mut Vec<u8>) {
-    debug_assert!(width <= 64);
+    assert!(width <= 64, "pack width {width} exceeds 64");
     if width == 0 {
-        debug_assert!(values.iter().all(|&v| v == 0));
         return;
     }
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut w = BitWriter::with_capacity((values.len() * width as usize).div_ceil(8));
     for &v in values {
-        debug_assert!(width == 64 || v < (1 << width));
-        w.write_bits(v, width);
+        w.write_bits(v & mask, width);
     }
     w.finish_into(out);
 }
@@ -166,6 +188,39 @@ mod tests {
         assert_eq!(min_width_u32(&[u32::MAX]), 32);
         assert_eq!(min_width_u64(&[u64::MAX]), 64);
         assert_eq!(min_width_u64(&[1 << 40]), 41);
+    }
+
+    #[test]
+    fn oversized_values_are_masked_not_corrupting() {
+        // Regression: values wider than `width` used to be guarded only by a
+        // debug_assert!. In release builds the excess bits flowed into the
+        // BitWriter accumulator and corrupted every subsequent value. The
+        // pack loops now mask, so this test passes identically in debug and
+        // release builds.
+        let values: Vec<u32> = vec![0xFFFF_FFFF, 0x5, 0x1234_5678, 0x7];
+        let width = 4u32;
+        let mut packed = Vec::new();
+        pack_u32(&values, width, &mut packed);
+        let mut out = Vec::new();
+        unpack_u32(&packed, width, values.len(), &mut out).unwrap();
+        // Oversized values decode to their masked low bits…
+        assert_eq!(out, vec![0xF, 0x5, 0x8, 0x7]);
+        // …and in particular the in-range neighbours survive untouched.
+        assert_eq!(out[1], values[1]);
+        assert_eq!(out[3], values[3]);
+
+        let values64: Vec<u64> = vec![u64::MAX, 0x3, 1 << 63, 0x9];
+        let mut packed = Vec::new();
+        pack_u64(&values64, 12, &mut packed);
+        let mut out = Vec::new();
+        unpack_u64(&packed, 12, values64.len(), &mut out).unwrap();
+        assert_eq!(out, vec![0xFFF, 0x3, 0, 0x9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32")]
+    fn out_of_range_width_panics() {
+        pack_u32(&[1], 33, &mut Vec::new());
     }
 
     #[test]

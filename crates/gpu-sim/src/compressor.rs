@@ -64,12 +64,15 @@ impl GpuCompressor {
         match algo {
             Algorithm::SpSpeed => {
                 fpc_container::compress(header, data, &GpuSpSpeedCodec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::SpRatio => {
                 fpc_container::compress(header, data, &GpuSpRatioCodec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::DpSpeed => {
                 fpc_container::compress(header, data, &GpuDpSpeedCodec, self.threads)
+                    .expect("header matches payload")
             }
             Algorithm::DpRatio => {
                 // Global FCM with the CUB-style radix sort (paper §3.2).
@@ -83,6 +86,7 @@ impl GpuCompressor {
                 payload.extend_from_slice(tail);
                 header.payload_len = payload.len() as u64;
                 fpc_container::compress(header, &payload, &GpuDpRatioChunkCodec, self.threads)
+                    .expect("header matches payload")
             }
         }
     }

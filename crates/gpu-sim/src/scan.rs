@@ -9,7 +9,7 @@
 
 use crate::warp::{inclusive_scan_add, shfl_up};
 use crate::WARP_SIZE;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Block-level inclusive prefix sum (wrapping addition) over up to
 /// 32 × 32 = 1024 elements, composed from warp scans exactly as a CUDA
@@ -51,10 +51,18 @@ const STATE_PREFIX: u8 = 2;
 /// look-back protocol. `aggregates[i]` is block `i`'s local total; the
 /// result is each block's exclusive prefix (its write position).
 ///
-/// Blocks are executed by `threads` OS threads claiming block indices from
-/// an atomic counter (any order), publishing their aggregate immediately
-/// and then looking back through predecessor descriptors until a published
-/// inclusive prefix is found — the actual single-pass protocol.
+/// Blocks are executed on the shared [`fpc_pool`] executor: workers claim
+/// block indices from an atomic counter (any order), publish their
+/// aggregate immediately, and then look back through predecessor
+/// descriptors until a published inclusive prefix is found — the actual
+/// single-pass protocol.
+///
+/// Liveness under the pool's batched claiming: a block waits only on
+/// *strictly lower* indices, claims are monotonic, and each worker
+/// processes its batch in ascending order, so every awaited index is
+/// either already published or owned by a live worker — the wait graph is
+/// acyclic. The wait loop spins briefly then yields, so the protocol also
+/// makes progress when workers outnumber cores.
 pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u64> {
     let n = aggregates.len();
     if n == 0 {
@@ -64,48 +72,42 @@ pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u
     let published_agg: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let published_prefix: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let exclusive: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
-    let next = AtomicUsize::new(0);
-    let workers = threads.clamp(1, n);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= n {
-                    break;
-                }
-                // Publish our aggregate so successors can make progress.
-                published_agg[b].store(aggregates[b], Ordering::Relaxed);
-                states[b].store(STATE_AGGREGATE, Ordering::Release);
-                // Look back over predecessors, accumulating aggregates
-                // until a full inclusive prefix is found.
-                let mut running = 0u64;
-                let mut look = b;
-                while look > 0 {
-                    look -= 1;
-                    loop {
-                        match states[look].load(Ordering::Acquire) {
-                            STATE_PREFIX => {
-                                running = running
-                                    .wrapping_add(published_prefix[look].load(Ordering::Relaxed));
-                                look = 0; // terminate outer loop
-                                break;
-                            }
-                            STATE_AGGREGATE => {
-                                running = running
-                                    .wrapping_add(published_agg[look].load(Ordering::Relaxed));
-                                break;
-                            }
-                            _ => std::hint::spin_loop(),
-                        }
+    fpc_pool::for_each_index(n, threads, |b| {
+        // Publish our aggregate so successors can make progress.
+        published_agg[b].store(aggregates[b], Ordering::Relaxed);
+        states[b].store(STATE_AGGREGATE, Ordering::Release);
+        // Look back over predecessors, accumulating aggregates
+        // until a full inclusive prefix is found.
+        let mut running = 0u64;
+        let mut look = b;
+        while look > 0 {
+            look -= 1;
+            let mut spins = 0u32;
+            loop {
+                match states[look].load(Ordering::Acquire) {
+                    STATE_PREFIX => {
+                        running =
+                            running.wrapping_add(published_prefix[look].load(Ordering::Relaxed));
+                        look = 0; // terminate outer loop
+                        break;
                     }
+                    STATE_AGGREGATE => {
+                        running = running.wrapping_add(published_agg[look].load(Ordering::Relaxed));
+                        break;
+                    }
+                    _ if spins < 128 => {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    }
+                    _ => std::thread::yield_now(),
                 }
-                exclusive[b].store(running, Ordering::Relaxed);
-                // Publish our inclusive prefix to shorten successors' walks.
-                published_prefix[b].store(running.wrapping_add(aggregates[b]), Ordering::Relaxed);
-                states[b].store(STATE_PREFIX, Ordering::Release);
-            });
+            }
         }
+        exclusive[b].store(running, Ordering::Relaxed);
+        // Publish our inclusive prefix to shorten successors' walks.
+        published_prefix[b].store(running.wrapping_add(aggregates[b]), Ordering::Relaxed);
+        states[b].store(STATE_PREFIX, Ordering::Release);
     });
 
     exclusive.into_iter().map(AtomicU64::into_inner).collect()

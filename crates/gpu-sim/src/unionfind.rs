@@ -28,36 +28,29 @@ pub fn decode(values: &[u64], distances: &[u64], threads: usize) -> Result<Vec<u
     let out: Vec<AtomicU64> = values.iter().map(|&v| AtomicU64::new(v)).collect();
     // Live distance array; a zero marks a resolved position.
     let dist: Vec<AtomicU64> = distances.iter().map(|&d| AtomicU64::new(d)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = threads.clamp(1, n.max(1));
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let d0 = dist[i].load(Ordering::Acquire);
-                if d0 == 0 {
-                    continue; // direct value, already in `out`
-                }
-                // Follow the chain; other threads keep shortening it.
-                let mut j = i - d0 as usize;
-                loop {
-                    let dj = dist[j].load(Ordering::Acquire);
-                    if dj == 0 {
-                        break;
-                    }
-                    j -= dj as usize;
-                }
-                let v = out[j].load(Ordering::Acquire);
-                out[i].store(v, Ordering::Release);
-                // Publish: value at i is now readable; chains through i may
-                // stop here (the paper's memory fence + distance update).
-                dist[i].store(0, Ordering::Release);
-            });
+    // Runs on the shared executor pool. The chain walk never blocks on
+    // another worker — every hop lands on a validated lower index whose
+    // distance is immutable-or-zeroing — so any claiming order is safe.
+    fpc_pool::for_each_index(n, threads, |i| {
+        let d0 = dist[i].load(Ordering::Acquire);
+        if d0 == 0 {
+            return; // direct value, already in `out`
         }
+        // Follow the chain; other threads keep shortening it.
+        let mut j = i - d0 as usize;
+        loop {
+            let dj = dist[j].load(Ordering::Acquire);
+            if dj == 0 {
+                break;
+            }
+            j -= dj as usize;
+        }
+        let v = out[j].load(Ordering::Acquire);
+        out[i].store(v, Ordering::Release);
+        // Publish: value at i is now readable; chains through i may
+        // stop here (the paper's memory fence + distance update).
+        dist[i].store(0, Ordering::Release);
     });
 
     Ok(out.into_iter().map(AtomicU64::into_inner).collect())

@@ -1,0 +1,127 @@
+//! Bit-identity of the persistent-pool executor against the seed
+//! spawn-per-call executor, across all four algorithms.
+//!
+//! The pool changes *how* chunk indices are claimed (batched atomic claims,
+//! reused workers, per-worker scratch arenas) but must not change a single
+//! output byte: per-index slots keep reassembly order deterministic, and
+//! each chunk's encoded bytes depend only on the chunk contents.
+
+use fpc_core::{Algorithm, Compressor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The executor the repository originally shipped with (`thread::scope` +
+/// one OS thread per worker per call), kept as the reference semantics.
+fn seed_run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = if threads == 0 { available } else { threads }.min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index claimed")
+        })
+        .collect()
+}
+
+/// ~1.5 MiB of plausible float data (enough for ~100 chunks of 16 KiB).
+fn sp_payload() -> Vec<u8> {
+    (0..400_000u32)
+        .map(|i| (i as f32 * 0.001).sin() * 1000.0)
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+fn dp_payload() -> Vec<u8> {
+    (0..200_000u64)
+        .map(|i| (i as f64 * 0.001).cos() * 1000.0)
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+#[test]
+fn pool_and_seed_executor_agree_on_arbitrary_work() {
+    // Same closure through both executors: per-index results and ordering
+    // must match exactly, at every thread count.
+    let work = |i: usize| -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut acc = i as u64;
+        for _ in 0..50 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            out.extend_from_slice(&acc.to_le_bytes());
+        }
+        out
+    };
+    for threads in [0usize, 1, 2, 4, 16] {
+        let seed = seed_run_indexed(97, threads, work);
+        let pool = fpc_pool::run_indexed(97, threads, work);
+        assert_eq!(seed, pool, "threads = {threads}");
+    }
+}
+
+#[test]
+fn container_output_is_bit_identical_across_executor_and_threads() {
+    let sp = sp_payload();
+    let dp = dp_payload();
+    for algo in Algorithm::ALL {
+        let data = if algo.is_single_precision() { &sp } else { &dp };
+        // threads = 1 takes the inline path — byte-for-byte the same code
+        // the seed executor ran serially — so it anchors the comparison.
+        let reference = Compressor::new(algo).with_threads(1).compress_bytes(data);
+        for threads in [0usize, 2, 3, 8, 64] {
+            let stream = Compressor::new(algo)
+                .with_threads(threads)
+                .compress_bytes(data);
+            assert_eq!(
+                stream, reference,
+                "{algo}: stream differs at threads = {threads}"
+            );
+        }
+        for threads in [0usize, 1, 2, 8] {
+            let back =
+                fpc_core::decompress_bytes_with(&reference, threads).expect("self-produced stream");
+            assert_eq!(back, *data, "{algo}: roundtrip at threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_compression_is_stable() {
+    // Scratch-arena reuse across jobs must never leak state between chunks
+    // or calls: repeated runs on the warm pool give identical bytes.
+    let data = sp_payload();
+    let first = Compressor::new(Algorithm::SpRatio)
+        .with_threads(4)
+        .compress_bytes(&data);
+    for run in 0..5 {
+        let again = Compressor::new(Algorithm::SpRatio)
+            .with_threads(4)
+            .compress_bytes(&data);
+        assert_eq!(again, first, "run {run} diverged");
+    }
+}

@@ -148,7 +148,7 @@ fn v1_streams_decode_bit_identically() {
             payload.len() as u64,
         );
         header.version = VERSION_1;
-        let stream = container::compress(header, &payload, codec.as_ref(), 1);
+        let stream = container::compress(header, &payload, codec.as_ref(), 1).unwrap();
         assert_eq!(stream[4], VERSION_1);
         assert_eq!(fpcompress::core::decompress_bytes(&stream).unwrap(), bytes);
         // And the v2 path compresses the same payload decodably too.

@@ -38,7 +38,7 @@ fn v1_stream() -> (Vec<u8>, Vec<u8>) {
         bytes.len() as u64,
     );
     header.version = VERSION_1;
-    let stream = container::compress(header, &bytes, &SpSpeedCodec { fallback: true }, 1);
+    let stream = container::compress(header, &bytes, &SpSpeedCodec { fallback: true }, 1).unwrap();
     (bytes, stream)
 }
 

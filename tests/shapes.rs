@@ -17,6 +17,7 @@ fn quick_config() -> Config {
     Config {
         repetitions: 1,
         verify: true,
+        threads: 0,
     }
 }
 
