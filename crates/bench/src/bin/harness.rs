@@ -12,7 +12,9 @@
 //! algorithms (0 = all cores, the default; baselines are serial). `--data
 //! DIR` runs on external datasets (e.g. the real SDRBench files) described
 //! by `DIR/manifest.txt` instead of the synthetic suites — see
-//! `fpc_datagen::external` for the manifest format.
+//! `fpc_datagen::external` for the manifest format. `--json PATH` writes
+//! every measured panel as one JSON document built from the same result
+//! vectors the stdout tables are printed from.
 
 use fpc_bench::figures::{
     all_figures, figure, run_ablations, run_panel, suites_for, Figure, Precision, Target,
@@ -37,6 +39,11 @@ fn main() {
         .position(|a| a == "--data")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
     let threads_arg = args
         .iter()
         .position(|a| a == "--threads")
@@ -55,11 +62,12 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(*a) != out_dir.to_str())
         .filter(|a| data_dir.as_deref().and_then(|d| d.to_str()) != Some(*a))
+        .filter(|a| json_path.as_deref().and_then(|p| p.to_str()) != Some(*a))
         .filter(|a| threads_arg.map(String::as_str) != Some(*a))
         .collect();
     if requested.is_empty() {
         eprintln!(
-            "usage: harness <all | table1 | stages | ablation | synth | charts | fig08..fig19>... [--quick] [--threads N] [--out DIR] [--data DIR]"
+            "usage: harness <all | table1 | stages | ablation | synth | charts | fig08..fig19>... [--quick] [--threads N] [--out DIR] [--data DIR] [--json PATH]"
         );
         std::process::exit(2);
     }
@@ -114,6 +122,10 @@ fn main() {
     let mut sp_suites: Option<Vec<ByteSuite>> = None;
     let mut dp_suites: Option<Vec<ByteSuite>> = None;
 
+    // Every panel's results, for `--json`: the JSON is derived from the
+    // same vectors the stdout tables and CSVs are printed from.
+    let mut measured_panels: Vec<(String, Vec<fpc_bench::measure::CodecResult>)> = Vec::new();
+
     for (key, figs) in panels {
         let precision = figs[0].precision;
         let target = figs[0].target.clone();
@@ -146,6 +158,16 @@ fn main() {
                 Ok(path) => eprintln!("[harness] wrote {}", path.display()),
                 Err(e) => eprintln!("[harness] warning: svg for {}: {e}", fig.id),
             }
+        }
+        measured_panels.push((key, results));
+    }
+
+    if let Some(path) = &json_path {
+        let doc = report::panels_to_value(&measured_panels);
+        if let Err(e) = std::fs::write(path, doc.to_json_pretty()) {
+            eprintln!("[harness] warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[harness] wrote {}", path.display());
         }
     }
 

@@ -1,0 +1,171 @@
+//! Perf-smoke driver: measures a `BENCH_<rev>.json` report or gates a
+//! fresh report against a committed baseline.
+//!
+//! ```text
+//! cargo run -p fpc-bench --release --features metrics --bin perf -- \
+//!     run [--out DIR] [--rev REV] [--threads N]
+//! cargo run -p fpc-bench --release --bin perf -- \
+//!     compare <baseline.json> <fresh.json>
+//! ```
+//!
+//! `run` writes `DIR/BENCH_<rev>.json` (default `results/`) and prints the
+//! rendered report. The revision defaults to `$FPC_REV`, then
+//! `$GITHUB_SHA`, then `git rev-parse --short HEAD`, then `local`.
+//!
+//! `compare` exits 1 listing every regression (see `fpc_bench::perf` for
+//! the thresholds and the calibration normalization).
+
+use fpc_bench::perf;
+use fpc_metrics::json::Value;
+use fpc_metrics::report::render_value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: perf run [--out DIR] [--rev REV] [--threads N]\n       \
+         perf compare <baseline.json> <fresh.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn resolve_rev(explicit: Option<&str>) -> String {
+    if let Some(rev) = explicit {
+        return rev.to_string();
+    }
+    for var in ["FPC_REV", "GITHUB_SHA"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_string();
+            if !v.is_empty() {
+                // Full SHAs make unwieldy file names; 12 hex chars is
+                // plenty unique.
+                return v.chars().take(12).collect();
+            }
+        }
+    }
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            if let Ok(s) = String::from_utf8(out.stdout) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+        }
+    }
+    "local".to_string()
+}
+
+/// Keeps revision labels filesystem-safe.
+fn sanitize(rev: &str) -> String {
+    let cleaned: String = rev
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "local".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let out_dir = PathBuf::from(flag("--out").unwrap_or("results"));
+    let rev = sanitize(&resolve_rev(flag("--rev")));
+    // Default to 2 workers: the gate must exercise the pool's parallel
+    // path (and its telemetry) even on single-core CI runners, where
+    // `0 = all cores` would fall back to the serial path.
+    let threads: usize = match flag("--threads").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(2),
+        Err(_) => {
+            eprintln!("--threads expects a non-negative integer");
+            return ExitCode::from(2);
+        }
+    };
+    if !fpc_metrics::ENABLED {
+        eprintln!(
+            "[perf] note: built without --features metrics; \
+             per-stage breakdowns will be empty"
+        );
+    }
+    eprintln!("[perf] measuring rev={rev} threads={threads}...");
+    let report = perf::run(&rev, threads);
+    let value = report.to_value();
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("[perf] cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join(format!("BENCH_{rev}.json"));
+    if let Err(e) = std::fs::write(&path, value.to_json_pretty()) {
+        eprintln!("[perf] cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[perf] wrote {}", path.display());
+    match render_value(&value) {
+        Ok(text) => print!("{text}"),
+        Err(e) => eprintln!("[perf] render error: {e}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Value::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let [baseline_path, fresh_path] = args else {
+        return usage();
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("[perf] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::compare(&baseline, &fresh) {
+        Ok(failures) if failures.is_empty() => {
+            println!(
+                "perf gate PASS ({baseline_path} vs {fresh_path}): \
+                 no regression beyond thresholds"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            println!("perf gate FAIL ({baseline_path} vs {fresh_path}):");
+            for f in &failures {
+                println!("  - {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("[perf] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -23,6 +23,7 @@ pub mod figures;
 pub mod measure;
 pub mod microbench;
 pub mod pareto;
+pub mod perf;
 pub mod plot;
 pub mod report;
 pub mod synth;

@@ -1,0 +1,544 @@
+//! Perf-smoke harness: versioned `BENCH_<rev>.json` reports and the
+//! regression gate behind CI's `perf-smoke` job.
+//!
+//! A report captures, for each of the paper's four algorithms, the ratio
+//! and throughput over the small synthetic suites plus — when the binary is
+//! built with `--features metrics` — the per-stage breakdown and pool
+//! telemetry recorded while measuring. An executor microbench (persistent
+//! pool vs. spawn-per-call, the same workload as `benches/executor.rs`)
+//! rides along.
+//!
+//! Because CI runners differ wildly in absolute speed, every report also
+//! stores a `calibration_gbps` figure from a fixed scalar loop. The
+//! [`compare`] gate normalizes fresh throughput by the ratio of the two
+//! calibrations before applying the regression threshold, so a slow runner
+//! does not read as a regression and a fast one does not mask a real
+//! slowdown of the same magnitude.
+//!
+//! `FPC_PERF_HANDICAP=<divisor>` artificially divides every measured
+//! throughput (calibration excluded). It exists solely so CI can prove the
+//! gate actually fails on a slowdown.
+
+use crate::entries::Entry;
+use crate::figures::{suites_for, Precision};
+use crate::measure::{measure_cpu, ByteSuite, Config};
+use fpc_core::Algorithm;
+use fpc_datagen::Scale;
+use fpc_metrics::json::Value;
+use fpc_metrics::report::BENCH_SCHEMA;
+use std::time::Instant;
+
+/// Fractional throughput drop (after calibration normalization) that fails
+/// the gate for an algorithm.
+pub const THROUGHPUT_DROP: f64 = 0.35;
+
+/// Fractional compression-ratio loss that fails the gate. Ratios are
+/// deterministic for fixed suites, so the tolerance only absorbs rounding
+/// through JSON.
+pub const RATIO_TOLERANCE: f64 = 0.02;
+
+/// Fractional drop that fails the gate for the executor microbench. More
+/// lenient than the algorithm threshold: sub-millisecond scheduling
+/// measurements are the noisiest numbers in the report.
+pub const EXECUTOR_DROP: f64 = 0.5;
+
+/// Measured performance of one algorithm over the smoke suites.
+#[derive(Debug, Clone)]
+pub struct AlgoPerf {
+    /// Paper name (`SPspeed`, …).
+    pub name: String,
+    /// Geo-mean compression ratio.
+    pub ratio: f64,
+    /// Geo-mean compression throughput in GB/s.
+    pub compress_gbps: f64,
+    /// Geo-mean decompression throughput in GB/s.
+    pub decompress_gbps: f64,
+    /// Total input bytes across all suite files.
+    pub bytes: u64,
+    /// Stage/counter snapshot recorded during this algorithm's measurement
+    /// (empty with the `metrics` feature off).
+    pub metrics: Value,
+}
+
+/// Executor microbench result: the persistent pool against the
+/// spawn-per-call executor the repository originally shipped with.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorPerf {
+    /// Chunked-checksum throughput through `fpc_pool::run_indexed`.
+    pub pool_gbps: f64,
+    /// Same workload through scoped spawn-per-call threads.
+    pub spawn_gbps: f64,
+}
+
+/// One full perf-smoke report (serializes as `fpc-bench-v1`).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Revision label (git short hash or `local`).
+    pub rev: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub created_unix: u64,
+    /// Worker threads used for the paper's algorithms.
+    pub threads: usize,
+    /// Machine-speed yardstick from [`calibrate_gbps`].
+    pub calibration_gbps: f64,
+    /// One entry per paper algorithm, in paper order.
+    pub algorithms: Vec<AlgoPerf>,
+    /// Executor microbench numbers.
+    pub executor: ExecutorPerf,
+}
+
+/// Reads the `FPC_PERF_HANDICAP` throughput divisor (`1.0` when unset).
+///
+/// Values that fail to parse or are below 1 are ignored — the handicap can
+/// only slow the report down, never inflate it.
+pub fn handicap() -> f64 {
+    std::env::var("FPC_PERF_HANDICAP")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|d| d.is_finite() && *d >= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// Measures a machine-speed yardstick: a fixed xor-rotate reduction over a
+/// deterministic 8 MiB word buffer, reported in GB/s.
+///
+/// The loop is branch-free, cache-resident after the first pass, and uses
+/// no SIMD intrinsics, so its speed tracks scalar core speed — the same
+/// resource the codec kernels bottleneck on — without depending on any
+/// code under test.
+pub fn calibrate_gbps() -> f64 {
+    const WORDS: usize = 1 << 20; // 8 MiB
+    const PASSES: usize = 8;
+    let buf: Vec<u64> = (0..WORDS as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut acc = 0u64;
+    // Warm-up pass (pays for page faults).
+    for &w in &buf {
+        acc ^= w.rotate_left(17);
+    }
+    let start = Instant::now();
+    for p in 0..PASSES {
+        for &w in &buf {
+            acc ^= w.rotate_left((p as u32) + 11);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    (WORDS * 8 * PASSES) as f64 / 1e9 / secs.max(1e-12)
+}
+
+fn suites_for_algorithm(algo: Algorithm) -> Vec<ByteSuite> {
+    if algo.is_single_precision() {
+        suites_for(Precision::Sp, Scale::Small)
+    } else {
+        suites_for(Precision::Dp, Scale::Small)
+    }
+}
+
+/// Measures all four paper algorithms over the small suites, snapshotting
+/// the live metrics around each so every entry carries its own stage
+/// breakdown.
+pub fn measure_algorithms(threads: usize) -> Vec<AlgoPerf> {
+    let div = handicap();
+    let config = Config {
+        repetitions: 2,
+        verify: true,
+        threads,
+    };
+    Algorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let suites = suites_for_algorithm(algo);
+            let bytes: u64 = suites
+                .iter()
+                .flat_map(|s| s.files.iter())
+                .map(|(_, b, _)| b.len() as u64)
+                .sum();
+            let entry = Entry::ours(algo);
+            fpc_metrics::reset();
+            let result = measure_cpu(&entry, &suites, &config);
+            let metrics = fpc_metrics::snapshot().to_value();
+            AlgoPerf {
+                name: result.name,
+                ratio: result.ratio,
+                compress_gbps: result.compress_gbps / div,
+                decompress_gbps: result.decompress_gbps / div,
+                bytes,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+/// Simulated per-chunk codec work (identical to `benches/executor.rs`).
+fn chunk_work(chunk: &[u8]) -> u64 {
+    let mut acc = 0u64;
+    for &b in chunk {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    acc
+}
+
+/// The seed executor: spawns scoped OS threads on every call.
+fn spawn_per_call<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let threads = threads.max(1).min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || Mutex::new(None));
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index claimed")
+        })
+        .collect()
+}
+
+/// Times the pool and the spawn-per-call executor on the chunked-checksum
+/// workload from `benches/executor.rs` (256 chunks x 1 KiB per call).
+pub fn executor_bench(threads: usize) -> ExecutorPerf {
+    const CHUNKS: usize = 256;
+    const CHUNK_BYTES: usize = 1024;
+    const CALLS: usize = 64;
+    let div = handicap();
+    let data: Vec<u8> = (0..CHUNKS * CHUNK_BYTES)
+        .map(|i| (i as u32).wrapping_mul(0x9E37_79B9).to_le_bytes()[0])
+        .collect();
+    let run = |exec: &dyn Fn() -> u64| -> f64 {
+        std::hint::black_box(exec()); // warm-up
+        let start = Instant::now();
+        for _ in 0..CALLS {
+            std::hint::black_box(exec());
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (CALLS * CHUNKS * CHUNK_BYTES) as f64 / 1e9 / secs.max(1e-12)
+    };
+    let pool_gbps = run(&|| {
+        fpc_pool::run_indexed(CHUNKS, threads, |i| {
+            chunk_work(&data[i * CHUNK_BYTES..(i + 1) * CHUNK_BYTES])
+        })
+        .iter()
+        .fold(0u64, |a, &x| a ^ x)
+    });
+    let spawn_gbps = run(&|| {
+        spawn_per_call(CHUNKS, threads, |i| {
+            chunk_work(&data[i * CHUNK_BYTES..(i + 1) * CHUNK_BYTES])
+        })
+        .iter()
+        .fold(0u64, |a, &x| a ^ x)
+    });
+    ExecutorPerf {
+        pool_gbps: pool_gbps / div,
+        spawn_gbps: spawn_gbps / div,
+    }
+}
+
+/// Runs the full perf-smoke measurement.
+pub fn run(rev: &str, threads: usize) -> BenchReport {
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    BenchReport {
+        rev: rev.to_string(),
+        created_unix,
+        threads,
+        calibration_gbps: calibrate_gbps(),
+        algorithms: measure_algorithms(threads),
+        executor: executor_bench(threads),
+    }
+}
+
+impl BenchReport {
+    /// Serializes to the `fpc-bench-v1` schema (`fpcc stats` renders it).
+    pub fn to_value(&self) -> Value {
+        let algorithms = self
+            .algorithms
+            .iter()
+            .map(|a| {
+                Value::Obj(vec![
+                    ("name".into(), Value::from(a.name.as_str())),
+                    ("ratio".into(), Value::from(a.ratio)),
+                    ("compress_gbps".into(), Value::from(a.compress_gbps)),
+                    ("decompress_gbps".into(), Value::from(a.decompress_gbps)),
+                    ("bytes".into(), Value::from(a.bytes)),
+                    ("metrics".into(), a.metrics.clone()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), Value::from(BENCH_SCHEMA)),
+            ("rev".into(), Value::from(self.rev.as_str())),
+            ("created_unix".into(), Value::from(self.created_unix)),
+            ("threads".into(), Value::from(self.threads)),
+            (
+                "calibration_gbps".into(),
+                Value::from(self.calibration_gbps),
+            ),
+            ("algorithms".into(), Value::Arr(algorithms)),
+            (
+                "executor".into(),
+                Value::Obj(vec![
+                    ("pool_gbps".into(), Value::from(self.executor.pool_gbps)),
+                    ("spawn_gbps".into(), Value::from(self.executor.spawn_gbps)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn require_schema(v: &Value, which: &str) -> Result<(), String> {
+    match v.get("schema").and_then(Value::as_str) {
+        Some(BENCH_SCHEMA) => Ok(()),
+        Some(other) => Err(format!("{which}: unsupported schema '{other}'")),
+        None => Err(format!("{which}: missing 'schema' field")),
+    }
+}
+
+fn algo_field(a: &Value, name: &str, field: &str) -> Result<f64, String> {
+    a.get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("algorithm '{name}' missing '{field}'"))
+}
+
+/// Compares a fresh report against a committed baseline.
+///
+/// Fresh throughput is first normalized by `baseline_calibration /
+/// fresh_calibration`, then each algorithm must retain at least
+/// `1 - THROUGHPUT_DROP` of the baseline throughput and `1 -
+/// RATIO_TOLERANCE` of the baseline ratio; the executor pool number must
+/// retain `1 - EXECUTOR_DROP`.
+///
+/// Returns the list of regression descriptions (empty = gate passes).
+///
+/// # Errors
+///
+/// Fails when either document is not a structurally valid `fpc-bench-v1`
+/// report.
+pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    require_schema(baseline, "baseline")?;
+    require_schema(fresh, "fresh")?;
+    let calib = |v: &Value, which: &str| -> Result<f64, String> {
+        v.get("calibration_gbps")
+            .and_then(Value::as_f64)
+            .filter(|c| c.is_finite() && *c > 0.0)
+            .ok_or_else(|| format!("{which}: missing or invalid 'calibration_gbps'"))
+    };
+    // A fresh runner 2x slower than the baseline runner halves every raw
+    // number; multiplying fresh throughput by base_calib/fresh_calib
+    // cancels machine speed out of the comparison.
+    let norm = calib(baseline, "baseline")? / calib(fresh, "fresh")?;
+    let empty = Vec::new();
+    let base_algos = baseline
+        .get("algorithms")
+        .and_then(Value::as_arr)
+        .ok_or("baseline: missing 'algorithms'")?;
+    let fresh_algos = fresh
+        .get("algorithms")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    let mut failures = Vec::new();
+    for b in base_algos {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("baseline: algorithm missing 'name'")?;
+        let Some(f) = fresh_algos
+            .iter()
+            .find(|f| f.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            failures.push(format!("{name}: missing from fresh report"));
+            continue;
+        };
+        let b_ratio = algo_field(b, name, "ratio")?;
+        let f_ratio = algo_field(f, name, "ratio")?;
+        if f_ratio < b_ratio * (1.0 - RATIO_TOLERANCE) {
+            failures.push(format!(
+                "{name}: compression ratio regressed {b_ratio:.4} -> {f_ratio:.4}"
+            ));
+        }
+        for dir in ["compress_gbps", "decompress_gbps"] {
+            let b_gbps = algo_field(b, name, dir)?;
+            let f_gbps = algo_field(f, name, dir)? * norm;
+            if f_gbps < b_gbps * (1.0 - THROUGHPUT_DROP) {
+                failures.push(format!(
+                    "{name}: {dir} regressed {b_gbps:.3} -> {f_gbps:.3} \
+                     (normalized; >{:.0}% drop)",
+                    THROUGHPUT_DROP * 100.0
+                ));
+            }
+        }
+    }
+    let pool = |v: &Value| {
+        v.get("executor")
+            .and_then(|e| e.get("pool_gbps"))
+            .and_then(Value::as_f64)
+    };
+    if let (Some(b), Some(f)) = (pool(baseline), pool(fresh)) {
+        let f = f * norm;
+        if f < b * (1.0 - EXECUTOR_DROP) {
+            failures.push(format!(
+                "executor: pool_gbps regressed {b:.3} -> {f:.3} (normalized; >{:.0}% drop)",
+                EXECUTOR_DROP * 100.0
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(calib: f64, gbps: f64, ratio: f64) -> Value {
+        let r = BenchReport {
+            rev: "test".into(),
+            created_unix: 0,
+            threads: 1,
+            calibration_gbps: calib,
+            algorithms: Algorithm::ALL
+                .iter()
+                .map(|a| AlgoPerf {
+                    name: a.name().into(),
+                    ratio,
+                    compress_gbps: gbps,
+                    decompress_gbps: gbps,
+                    bytes: 1000,
+                    metrics: fpc_metrics::snapshot().to_value(),
+                })
+                .collect(),
+            executor: ExecutorPerf {
+                pool_gbps: gbps,
+                spawn_gbps: gbps / 2.0,
+            },
+        };
+        r.to_value()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let v = report(1.0, 2.0, 1.5);
+        assert_eq!(compare(&v, &v).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn large_drop_fails() {
+        let base = report(1.0, 2.0, 1.5);
+        let fresh = report(1.0, 0.9, 1.5); // 55% drop
+        let failures = compare(&base, &fresh).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("compress_gbps")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn calibration_normalizes_machine_speed() {
+        // Fresh machine is 2x slower across the board, including the
+        // calibration loop: not a regression.
+        let base = report(2.0, 2.0, 1.5);
+        let fresh = report(1.0, 1.0, 1.5);
+        assert_eq!(compare(&base, &fresh).unwrap(), Vec::<String>::new());
+        // Same raw numbers without the calibration excuse: regression.
+        let fresh_same_calib = report(2.0, 1.0, 1.5);
+        assert!(!compare(&base, &fresh_same_calib).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ratio_regression_fails() {
+        let base = report(1.0, 2.0, 1.5);
+        let fresh = report(1.0, 2.0, 1.2);
+        let failures = compare(&base, &fresh).unwrap();
+        assert!(failures.iter().any(|f| f.contains("ratio")), "{failures:?}");
+    }
+
+    #[test]
+    fn missing_algorithm_fails() {
+        let base = report(1.0, 2.0, 1.5);
+        let mut fresh = report(1.0, 2.0, 1.5);
+        if let Value::Obj(members) = &mut fresh {
+            for (k, v) in members.iter_mut() {
+                if k == "algorithms" {
+                    if let Value::Arr(a) = v {
+                        a.pop();
+                    }
+                }
+            }
+        }
+        let failures = compare(&base, &fresh).unwrap();
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let v = Value::parse(r#"{"schema":"nope"}"#).unwrap();
+        assert!(compare(&v, &v).is_err());
+    }
+
+    #[test]
+    fn handicap_defaults_to_one() {
+        // Cannot set the env var here (tests run in parallel); just check
+        // the unset/default path.
+        if std::env::var("FPC_PERF_HANDICAP").is_err() {
+            assert_eq!(handicap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        assert!(calibrate_gbps() > 0.0);
+    }
+
+    #[test]
+    fn executor_bench_produces_numbers() {
+        let e = executor_bench(1);
+        assert!(e.pool_gbps > 0.0 && e.spawn_gbps > 0.0);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let v = report(1.0, 2.0, 1.5);
+        let text = v.to_json_pretty();
+        let parsed = Value::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(
+            parsed
+                .get("algorithms")
+                .and_then(Value::as_arr)
+                .map(|a| a.len()),
+            Some(4)
+        );
+        // The rendered form must go through the shared stats renderer.
+        let rendered = fpc_metrics::report::render_value(&parsed).unwrap();
+        assert!(rendered.contains("SPspeed"));
+    }
+}

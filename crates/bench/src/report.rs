@@ -3,6 +3,7 @@
 use crate::figures::{Axis, Figure};
 use crate::measure::CodecResult;
 use crate::pareto::{pareto_front, Point};
+use fpc_metrics::json::Value;
 use std::io::Write;
 use std::path::Path;
 
@@ -56,6 +57,42 @@ pub fn write_csv(path: &Path, results: &[CodecResult]) -> std::io::Result<()> {
         )?;
     }
     Ok(())
+}
+
+/// Converts panel results to a JSON array — the same `CodecResult` vector
+/// that feeds [`figure_table`] and [`write_csv`], so the harness's `--json`
+/// output can never drift from the printed tables.
+pub fn results_to_value(results: &[CodecResult]) -> Value {
+    Value::Arr(
+        results
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("codec".into(), Value::from(r.name.as_str())),
+                    ("ours".into(), Value::from(r.ours)),
+                    ("ratio".into(), Value::from(r.ratio)),
+                    ("compress_gbps".into(), Value::from(r.compress_gbps)),
+                    ("decompress_gbps".into(), Value::from(r.decompress_gbps)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Assembles the harness's `--json` document from every measured panel.
+pub fn panels_to_value(panels: &[(String, Vec<CodecResult>)]) -> Value {
+    Value::Obj(vec![
+        ("schema".into(), Value::from("fpc-harness-v1")),
+        (
+            "panels".into(),
+            Value::Obj(
+                panels
+                    .iter()
+                    .map(|(key, results)| (key.clone(), results_to_value(results)))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Reads a panel CSV written by [`write_csv`].

@@ -8,7 +8,14 @@
 //! fpcc survey     --width 4|8 [--threads N] <file>  # run every applicable codec
 //! fpcc gen        --precision sp|dp --out DIR   # synthetic datasets + manifest
 //! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
+//! fpcc stats      <report.json>            # pretty-print a metrics/bench JSON
 //! ```
+//!
+//! Every command accepts `--metrics json|text`: after the command finishes,
+//! a per-stage instrumentation report is written to **stderr** (stdout stays
+//! reserved for the command's own output). The report is only populated in
+//! binaries built with `--features metrics`; without the feature the probes
+//! are compiled out and the report says so.
 
 use fpc_baselines::Meta;
 use fpc_core::{Algorithm, Compressor};
@@ -17,6 +24,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_fmt = match parse_metrics_flag(&args) {
+        Ok(fmt) => fmt,
+        Err(msg) => {
+            eprintln!("fpcc: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
@@ -25,9 +39,10 @@ fn main() -> ExitCode {
         Some("survey") => cmd_survey(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("anatomy") => cmd_anatomy(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy> ...\n\
+                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy|stats> ...\n\
                  \n\
                  compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
                  decompress [--threads N] <in> <out>\n\
@@ -35,11 +50,16 @@ fn main() -> ExitCode {
                  verify     <file>   # per-chunk checksum audit, exit 1 on damage\n\
                  survey     --width <4|8> [--threads N] <file>\n\
                  gen        --precision <sp|dp> --out <dir>\n\
-                 anatomy    --algo <name> <file>   # per-stage volume breakdown"
+                 anatomy    --algo <name> <file>   # per-stage volume breakdown\n\
+                 stats      <report.json>   # pretty-print a metrics/bench JSON report\n\
+                 \n\
+                 global: --metrics <json|text>   # instrumentation report on stderr\n\
+                         (populated only in builds with --features metrics)"
             );
             return ExitCode::from(2);
         }
     };
+    emit_metrics(metrics_fmt);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -47,6 +67,50 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Output format for the shared `--metrics` flag.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Off,
+    Json,
+    Text,
+}
+
+fn parse_metrics_flag(args: &[String]) -> Result<MetricsFormat, String> {
+    match flag_value(args, "--metrics") {
+        None => Ok(MetricsFormat::Off),
+        Some("json") => Ok(MetricsFormat::Json),
+        Some("text") => Ok(MetricsFormat::Text),
+        Some(other) => Err(format!("--metrics must be 'json' or 'text', got '{other}'")),
+    }
+}
+
+/// Writes the end-of-run instrumentation snapshot to stderr.
+fn emit_metrics(fmt: MetricsFormat) {
+    if fmt == MetricsFormat::Off {
+        return;
+    }
+    let report = fpc_metrics::snapshot();
+    match fmt {
+        MetricsFormat::Json => eprint!("{}", report.to_value().to_json_pretty()),
+        MetricsFormat::Text => eprint!("{}", report.render_text()),
+        MetricsFormat::Off => unreachable!(),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <report.json>".into());
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let value =
+        fpc_metrics::json::Value::parse(&text).map_err(|e| format!("parsing {input}: {e}"))?;
+    let rendered =
+        fpc_metrics::report::render_value(&value).map_err(|e| format!("rendering {input}: {e}"))?;
+    print!("{rendered}");
+    Ok(())
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {

@@ -124,6 +124,7 @@ pub fn compress(
             value: 0,
         });
     }
+    let t = fpc_metrics::timer(fpc_metrics::Stage::ContainerCompress);
     let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
     let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
         // Encode into the worker's persistent scratch arena, then copy the
@@ -172,6 +173,12 @@ pub fn compress(
     for (_, body, _) in &encoded {
         out.extend_from_slice(body);
     }
+    fpc_metrics::incr(fpc_metrics::Counter::ContainerChunks, chunks.len() as u64);
+    fpc_metrics::incr(
+        fpc_metrics::Counter::ContainerRawChunks,
+        encoded.iter().filter(|(raw, _, _)| *raw).count() as u64,
+    );
+    t.finish(payload.len() as u64);
     Ok(out)
 }
 
@@ -336,6 +343,7 @@ pub fn decompress(
     codec: &dyn ChunkCodec,
     threads: usize,
 ) -> Result<(Header, Vec<u8>), Error> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::ContainerDecode);
     let frame = parse_frame(data)?;
     let decoded: Vec<Result<Vec<u8>, Error>> =
         parallel::run_indexed(frame.count, threads, |i| frame.decode_chunk(i, codec));
@@ -345,6 +353,7 @@ pub fn decompress(
     for chunk in decoded {
         payload.extend_from_slice(&chunk?);
     }
+    t.finish(payload.len() as u64);
     Ok((frame.header, payload))
 }
 

@@ -295,6 +295,7 @@ fn reverse_bits(code: u32, len: u8) -> u32 {
 ///
 /// Layout: varint original length, code-length header, coded payload.
 pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::HuffmanEncode);
     let mut freqs = [0u64; 256];
     for &b in data {
         freqs[b as usize] += 1;
@@ -308,6 +309,7 @@ pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
         book.encode(&mut w, b as usize);
     }
     w.finish_into(&mut out);
+    t.finish(data.len() as u64);
     out
 }
 
@@ -317,6 +319,7 @@ pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
 ///
 /// Fails on truncated or corrupt input.
 pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::HuffmanDecode);
     let mut pos = 0;
     let n = varint::read_usize(data, &mut pos)?;
     let book = CodeBook::read_header(data, &mut pos)?;
@@ -326,6 +329,7 @@ pub fn decompress_bytes(data: &[u8]) -> Result<Vec<u8>> {
     for _ in 0..n {
         out.push(decoder.decode(&mut r)? as u8);
     }
+    t.finish(out.len() as u64);
     Ok(out)
 }
 

@@ -211,6 +211,7 @@ pub fn literals_of(data: &[u8], tokens: &[Token]) -> Vec<u8> {
 /// varint length, then a sequence of (varint literal_len, literals,
 /// varint match_len, varint distance) records.
 pub fn compress_block(data: &[u8], effort: Effort) -> Vec<u8> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::LzEncode);
     let tokens = tokenize(data, effort);
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     varint::write_usize(&mut out, data.len());
@@ -224,6 +225,7 @@ pub fn compress_block(data: &[u8], effort: Effort) -> Vec<u8> {
         }
         pos += t.literal_len + t.match_len;
     }
+    t.finish(data.len() as u64);
     out
 }
 
@@ -241,6 +243,7 @@ pub fn compress_block(data: &[u8], effort: Effort) -> Vec<u8> {
 /// Fails on truncated or corrupt input, or if the declared decoded length
 /// exceeds `max_len`.
 pub fn decompress_block(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::LzDecode);
     let mut pos = 0usize;
     let n = varint::read_usize(data, &mut pos)?;
     if n > max_len {
@@ -276,6 +279,7 @@ pub fn decompress_block(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
             }
         }
     }
+    t.finish(out.len() as u64);
     Ok(out)
 }
 

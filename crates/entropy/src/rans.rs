@@ -157,9 +157,11 @@ impl Model {
 /// Layout: varint length, model header, varint payload length, payload
 /// (renormalization bytes followed by the 4-byte final state).
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::RansEncode);
     let mut out = Vec::new();
     varint::write_usize(&mut out, data.len());
     let Some(model) = Model::from_data(data) else {
+        t.stop();
         return out; // empty input: length 0 only
     };
     model.write_header(&mut out);
@@ -180,6 +182,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
     varint::write_usize(&mut out, payload.len());
     out.extend_from_slice(&payload);
+    t.finish(data.len() as u64);
     out
 }
 
@@ -191,6 +194,7 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// Fails on truncated or internally inconsistent input, or if the declared
 /// decoded length exceeds `max_len`.
 pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::RansDecode);
     let mut pos = 0;
     let n = varint::read_usize(data, &mut pos)?;
     if n > max_len {
@@ -200,6 +204,7 @@ pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
         return Err(DecodeError::Corrupt("declared length exceeds caller limit"));
     }
     if n == 0 {
+        t.stop();
         return Ok(Vec::new());
     }
     let model = Model::read_header(data, &mut pos)?;
@@ -231,6 +236,7 @@ pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
         }
         out.push(sym);
     }
+    t.finish(out.len() as u64);
     Ok(out)
 }
 

@@ -10,6 +10,7 @@ use crate::{DecodeError, Result};
 /// Byte-level RLE: runs of ≥ 4 equal bytes become
 /// `byte ×4, varint(extra)`; shorter runs are copied verbatim.
 pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::RleEncode);
     let mut out = Vec::with_capacity(data.len() + 8);
     varint::write_usize(&mut out, data.len());
     let mut i = 0usize;
@@ -29,6 +30,7 @@ pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
         }
         i += run;
     }
+    t.finish(data.len() as u64);
     out
 }
 
@@ -41,6 +43,7 @@ pub fn compress_bytes(data: &[u8]) -> Vec<u8> {
 /// Fails on truncation, if the expansion exceeds the declared length, or
 /// if the declared length exceeds `max_len`.
 pub fn decompress_bytes(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
+    let t = fpc_metrics::timer(fpc_metrics::Stage::RleDecode);
     let mut pos = 0usize;
     let n = varint::read_usize(data, &mut pos)?;
     if n > max_len {
@@ -65,6 +68,7 @@ pub fn decompress_bytes(data: &[u8], max_len: usize) -> Result<Vec<u8>> {
             out.resize(out.len() + extra, b);
         }
     }
+    t.finish(out.len() as u64);
     Ok(out)
 }
 

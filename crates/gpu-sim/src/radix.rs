@@ -13,6 +13,7 @@ pub fn sort_pairs(pairs: &mut Vec<(u64, u32)>) {
     if n <= 1 {
         return;
     }
+    let t = fpc_metrics::timer(fpc_metrics::Stage::GpuRadixSort);
     let mut src: Vec<(u64, u32)> = std::mem::take(pairs);
     let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
     // Index digits first (LSD over the composite (key, index) sort key).
@@ -25,6 +26,7 @@ pub fn sort_pairs(pairs: &mut Vec<(u64, u32)>) {
         std::mem::swap(&mut src, &mut dst);
     }
     *pairs = src;
+    t.finish(n as u64 * 12);
 }
 
 fn radix_pass<F: Fn(&(u64, u32)) -> usize>(src: &[(u64, u32)], dst: &mut [(u64, u32)], digit: F) {

@@ -68,6 +68,7 @@ pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u
     if n == 0 {
         return Vec::new();
     }
+    let t = fpc_metrics::timer(fpc_metrics::Stage::GpuScan);
     let states: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(STATE_INVALID)).collect();
     let published_agg: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let published_prefix: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
@@ -110,7 +111,9 @@ pub fn decoupled_lookback_exclusive(aggregates: &[u64], threads: usize) -> Vec<u
         states[b].store(STATE_PREFIX, Ordering::Release);
     });
 
-    exclusive.into_iter().map(AtomicU64::into_inner).collect()
+    let out: Vec<u64> = exclusive.into_iter().map(AtomicU64::into_inner).collect();
+    t.finish(n as u64 * 8);
+    out
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ pub fn decode(values: &[u64], distances: &[u64], threads: usize) -> Result<Vec<u
             return Err(i);
         }
     }
+    let t = fpc_metrics::timer(fpc_metrics::Stage::GpuUnionFind);
     let out: Vec<AtomicU64> = values.iter().map(|&v| AtomicU64::new(v)).collect();
     // Live distance array; a zero marks a resolved position.
     let dist: Vec<AtomicU64> = distances.iter().map(|&d| AtomicU64::new(d)).collect();
@@ -53,7 +54,9 @@ pub fn decode(values: &[u64], distances: &[u64], threads: usize) -> Result<Vec<u
         dist[i].store(0, Ordering::Release);
     });
 
-    Ok(out.into_iter().map(AtomicU64::into_inner).collect())
+    let out: Vec<u64> = out.into_iter().map(AtomicU64::into_inner).collect();
+    t.finish(n as u64 * 8);
+    Ok(out)
 }
 
 #[cfg(test)]

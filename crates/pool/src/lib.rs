@@ -138,6 +138,14 @@ thread_local! {
 pub fn with_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
     SCRATCH.with(|cell| match cell.try_borrow_mut() {
         Ok(mut buf) => {
+            if fpc_metrics::ENABLED {
+                let counter = if buf.capacity() > 0 {
+                    fpc_metrics::Counter::PoolScratchHits
+                } else {
+                    fpc_metrics::Counter::PoolScratchMisses
+                };
+                fpc_metrics::incr(counter, 1);
+            }
             buf.clear();
             let out = f(&mut buf);
             if buf.capacity() > SCRATCH_RETAIN {
@@ -177,6 +185,10 @@ struct JobCore {
     /// Completion latch.
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Submit-to-first-claim stopwatch (zero-sized without `metrics`).
+    queue_wait: fpc_metrics::Stopwatch,
+    /// Ensures the queue wait is recorded by exactly one claimant.
+    wait_recorded: AtomicBool,
 }
 
 impl JobCore {
@@ -191,6 +203,8 @@ impl JobCore {
             panic: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            queue_wait: fpc_metrics::Stopwatch::start(),
+            wait_recorded: AtomicBool::new(false),
         }
     }
 
@@ -274,11 +288,23 @@ impl Clone for JobHandle {
 /// after `next.fetch_add` returned an in-range start, i.e. while this
 /// worker holds ≥1 unretired index, so `pending > 0` and the submitter
 /// cannot have returned.
-unsafe fn drive(core: &JobCore, data: *const JobData<'static>) {
+unsafe fn drive(core: &JobCore, data: *const JobData<'static>, is_worker: bool) {
     loop {
         let start = core.next.fetch_add(core.batch, Ordering::Relaxed);
         if start >= core.count {
             break;
+        }
+        if fpc_metrics::ENABLED {
+            if !core.wait_recorded.swap(true, Ordering::Relaxed) {
+                fpc_metrics::incr(
+                    fpc_metrics::Counter::PoolQueueWaitNanos,
+                    core.queue_wait.elapsed_nanos(),
+                );
+            }
+            fpc_metrics::incr(fpc_metrics::Counter::PoolBatches, 1);
+            if is_worker {
+                fpc_metrics::incr(fpc_metrics::Counter::PoolWorkerBatches, 1);
+            }
         }
         let end = (start + core.batch).min(core.count);
         let body = (*data).body;
@@ -295,6 +321,7 @@ unsafe fn drive(core: &JobCore, data: *const JobData<'static>) {
 
 fn execute(count: usize, threads: usize, body: &(dyn Fn(usize) + Sync)) {
     debug_assert!(count > 1 && threads > 1);
+    fpc_metrics::incr(fpc_metrics::Counter::PoolJobs, 1);
     let core = Arc::new(JobCore::new(count, threads));
     let data = JobData { body };
     // Erase the borrow: pointer validity is governed by the claim protocol,
@@ -308,7 +335,7 @@ fn execute(count: usize, threads: usize, body: &(dyn Fn(usize) + Sync)) {
     });
     // The submitter is always one of the workers: the job finishes even if
     // every pool thread is busy (and nested submissions cannot deadlock).
-    unsafe { drive(&core, data_ptr) };
+    unsafe { drive(&core, data_ptr, false) };
     core.wait();
     pool.unsubmit(&core);
     let payload = lock(&core.panic).take();
@@ -366,7 +393,7 @@ fn worker_loop(pool: &'static Pool) {
         match job {
             Some(job) => {
                 drop(queue);
-                unsafe { drive(&job.core, job.data) };
+                unsafe { drive(&job.core, job.data, true) };
                 queue = lock(&pool.queue);
             }
             None => {

@@ -9,8 +9,18 @@
 //! The [`Mutation`] operators cover the hostile-input classes the decoders
 //! must survive: truncation, single-bit flips, byte patches (structure-aware
 //! corruption of headers and tables), and wholesale random bytes.
+//!
+//! Two environment knobs support CI:
+//!
+//! * `FPC_FUZZ_CASES=<n>` overrides every property's case count (the
+//!   nightly/extended fuzz job cranks it up without a recompile);
+//! * `FPC_FUZZ_DUMP_DIR=<dir>` makes a failing case write the bytes last
+//!   passed to [`record_input`] into `<dir>`, so CI can upload the exact
+//!   failing input as an artifact.
 
 use crate::{splitmix64, Rng};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 
 /// Derives the per-case RNG for `(name, case)`.
 ///
@@ -24,14 +34,79 @@ pub fn case_rng(name: &str, case: u64) -> Rng {
     Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+thread_local! {
+    /// The bytes under test for the current case (see [`record_input`]).
+    static CURRENT_INPUT: RefCell<Option<Vec<u8>>> = const { RefCell::new(None) };
+}
+
+/// Registers the exact bytes the current case is about to feed a decoder.
+///
+/// Purely advisory: when the case later fails and a dump directory is
+/// configured, the driver writes these bytes to disk so the failure
+/// artifact carries the input, not just the seed. Calling it multiple
+/// times keeps only the latest input.
+pub fn record_input(bytes: &[u8]) {
+    CURRENT_INPUT.with(|c| *c.borrow_mut() = Some(bytes.to_vec()));
+}
+
+/// Resolves the case count: `FPC_FUZZ_CASES` when set and valid, else the
+/// test's built-in default.
+pub fn fuzz_cases(default: u64) -> u64 {
+    parse_cases(std::env::var("FPC_FUZZ_CASES").ok().as_deref(), default)
+}
+
+fn parse_cases(var: Option<&str>, default: u64) -> u64 {
+    var.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Keeps dump file names portable (test names contain `/`).
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn dump_failing_input(dir: &Path, name: &str, case: u64) -> Option<PathBuf> {
+    let input = CURRENT_INPUT.with(|c| c.borrow_mut().take())?;
+    let path = dir.join(format!("{}-case{case}.bin", sanitize_name(name)));
+    std::fs::create_dir_all(dir).ok()?;
+    std::fs::write(&path, &input).ok()?;
+    Some(path)
+}
+
 /// Runs `cases` deterministic cases of the property `f`.
 ///
 /// `f` receives a fresh seeded RNG and the case index; it should panic (via
 /// `assert!` etc.) on property violation. The driver wraps each case so the
 /// panic message of a failure names the test and case index.
-pub fn run_cases(name: &str, cases: u64, mut f: impl FnMut(&mut Rng, u64)) {
+///
+/// The case count is overridable via `FPC_FUZZ_CASES`; on failure, the
+/// input last passed to [`record_input`] is written under
+/// `FPC_FUZZ_DUMP_DIR` when that is set.
+pub fn run_cases(name: &str, cases: u64, f: impl FnMut(&mut Rng, u64)) {
+    let dump_dir = std::env::var_os("FPC_FUZZ_DUMP_DIR").map(PathBuf::from);
+    run_cases_with(name, fuzz_cases(cases), dump_dir.as_deref(), f);
+}
+
+/// [`run_cases`] with the environment knobs resolved by the caller
+/// (exercised directly by tests so they need not mutate the environment).
+pub fn run_cases_with(
+    name: &str,
+    cases: u64,
+    dump_dir: Option<&Path>,
+    mut f: impl FnMut(&mut Rng, u64),
+) {
     for case in 0..cases {
         let mut rng = case_rng(name, case);
+        CURRENT_INPUT.with(|c| *c.borrow_mut() = None);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             f(&mut rng, case);
         }));
@@ -41,7 +116,12 @@ pub fn run_cases(name: &str, cases: u64, mut f: impl FnMut(&mut Rng, u64)) {
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&str>().copied())
                 .unwrap_or("non-string panic payload");
-            panic!("property '{name}' failed at case {case}/{cases}: {msg}");
+            let dumped = dump_dir.and_then(|dir| dump_failing_input(dir, name, case));
+            let where_ = match dumped {
+                Some(path) => format!("; failing input dumped to {}", path.display()),
+                None => "; set FPC_FUZZ_DUMP_DIR to dump failing inputs".to_string(),
+            };
+            panic!("property '{name}' failed at case {case}/{cases}: {msg}{where_}");
         }
     }
 }
@@ -189,6 +269,56 @@ mod tests {
         // Empty input never panics.
         let empty = Mutation::FlipBit { pos: 0, bit: 0 }.apply(&[], &mut rng);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parse_cases_override() {
+        assert_eq!(parse_cases(None, 64), 64);
+        assert_eq!(parse_cases(Some("2048"), 64), 2048);
+        assert_eq!(parse_cases(Some(" 16 "), 64), 16);
+        assert_eq!(parse_cases(Some("0"), 64), 64, "zero would skip the test");
+        assert_eq!(parse_cases(Some("nope"), 64), 64);
+    }
+
+    #[test]
+    fn failing_case_dumps_recorded_input() {
+        let dir = std::env::temp_dir().join("fpc-fuzz-dump-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = std::panic::catch_unwind(|| {
+            run_cases_with("dump/me", 4, Some(&dir), |_, case| {
+                record_input(&[case as u8; 8]);
+                assert!(case < 2, "boom");
+            });
+        })
+        .expect_err("must propagate failure");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        let path = dir.join("dump_me-case2.bin");
+        assert!(
+            msg.contains(&path.display().to_string()),
+            "message must name the dump: {msg}"
+        );
+        assert_eq!(std::fs::read(&path).expect("dump written"), vec![2u8; 8]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn passing_cases_do_not_dump() {
+        let dir = std::env::temp_dir().join("fpc-fuzz-nodump-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_cases_with("dump/none", 4, Some(&dir), |_, _| {
+            record_input(&[1, 2, 3]);
+        });
+        assert!(!dir.exists(), "no failure, no dump directory");
+    }
+
+    #[test]
+    fn failure_without_recorded_input_suggests_knob() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases_with("dump/unrecorded", 1, None, |_, _| panic!("x"));
+        })
+        .expect_err("must propagate failure");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("FPC_FUZZ_DUMP_DIR"), "got: {msg}");
     }
 
     #[test]

@@ -11,18 +11,24 @@
 //! so encode and decode are the same function. Trailing words that do not
 //! fill a complete group pass through unchanged.
 
+use fpc_metrics::Stage;
+
 /// Transposes each complete group of 32 words in place (involution).
 pub fn transpose32(values: &mut [u32]) {
+    let t = fpc_metrics::timer(Stage::BitTranspose);
     for group in values.chunks_exact_mut(32) {
         transpose32_group(group.try_into().expect("chunks_exact(32)"));
     }
+    t.finish(values.len() as u64 * 4);
 }
 
 /// Transposes each complete group of 64 words in place (involution).
 pub fn transpose64(values: &mut [u64]) {
+    let t = fpc_metrics::timer(Stage::BitTranspose);
     for group in values.chunks_exact_mut(64) {
         transpose64_group(group.try_into().expect("chunks_exact(64)"));
     }
+    t.finish(values.len() as u64 * 8);
 }
 
 /// In-place 32×32 bit-matrix transpose (Hacker's Delight §7-3).

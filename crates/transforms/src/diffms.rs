@@ -8,45 +8,54 @@
 //! small negative differences have many leading zero bits.
 
 use crate::zigzag;
+use fpc_metrics::Stage;
 
 /// Applies DIFFMS in place to a chunk of 32-bit words.
 pub fn encode32(values: &mut [u32]) {
+    let t = fpc_metrics::timer(Stage::DiffmsEncode);
     for i in (1..values.len()).rev() {
         values[i] = zigzag::encode32(values[i].wrapping_sub(values[i - 1]));
     }
     if let Some(first) = values.first_mut() {
         *first = zigzag::encode32(*first);
     }
+    t.finish(values.len() as u64 * 4);
 }
 
 /// Inverts [`encode32`] in place.
 pub fn decode32(values: &mut [u32]) {
+    let t = fpc_metrics::timer(Stage::DiffmsDecode);
     if let Some(first) = values.first_mut() {
         *first = zigzag::decode32(*first);
     }
     for i in 1..values.len() {
         values[i] = zigzag::decode32(values[i]).wrapping_add(values[i - 1]);
     }
+    t.finish(values.len() as u64 * 4);
 }
 
 /// Applies DIFFMS in place to a chunk of 64-bit words.
 pub fn encode64(values: &mut [u64]) {
+    let t = fpc_metrics::timer(Stage::DiffmsEncode);
     for i in (1..values.len()).rev() {
         values[i] = zigzag::encode64(values[i].wrapping_sub(values[i - 1]));
     }
     if let Some(first) = values.first_mut() {
         *first = zigzag::encode64(*first);
     }
+    t.finish(values.len() as u64 * 8);
 }
 
 /// Inverts [`encode64`] in place.
 pub fn decode64(values: &mut [u64]) {
+    let t = fpc_metrics::timer(Stage::DiffmsDecode);
     if let Some(first) = values.first_mut() {
         *first = zigzag::decode64(*first);
     }
     for i in 1..values.len() {
         values[i] = zigzag::decode64(values[i]).wrapping_add(values[i - 1]);
     }
+    t.finish(values.len() as u64 * 8);
 }
 
 #[cfg(test)]

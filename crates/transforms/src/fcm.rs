@@ -18,6 +18,7 @@
 //! 16 KiB chunks.
 
 use crate::{DecodeError, Result};
+use fpc_metrics::Stage;
 
 /// How many preceding same-hash pairs are examined for a match (paper: 4).
 pub const MATCH_WINDOW: usize = 4;
@@ -62,9 +63,12 @@ pub fn encode(data: &[u64]) -> Encoded {
 /// Forward FCM with a configurable match window (exposed for the ablation
 /// study; the paper uses [`MATCH_WINDOW`]).
 pub fn encode_with_window(data: &[u64], window: usize) -> Encoded {
+    let t = fpc_metrics::timer(Stage::FcmEncode);
     let mut pairs = hash_pairs(data);
     pairs.sort_unstable();
-    resolve_matches(data, &pairs, window)
+    let enc = resolve_matches(data, &pairs, window);
+    t.finish(data.len() as u64 * 8);
+    enc
 }
 
 /// Builds the (context-hash, index) pair array — the embarrassingly
@@ -127,6 +131,7 @@ pub fn decode_arrays(values: &[u64], distances: &[u64]) -> Result<Vec<u64>> {
     if values.len() != distances.len() {
         return Err(DecodeError::Corrupt("fcm array length mismatch"));
     }
+    let t = fpc_metrics::timer(Stage::FcmDecode);
     let n = values.len();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -144,6 +149,7 @@ pub fn decode_arrays(values: &[u64], distances: &[u64]) -> Result<Vec<u64>> {
             out.push(out[i - d]);
         }
     }
+    t.finish(n as u64 * 8);
     Ok(out)
 }
 

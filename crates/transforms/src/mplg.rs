@@ -13,6 +13,7 @@
 
 use crate::{zigzag, DecodeError, Result, SUBCHUNK_SIZE};
 use fpc_entropy::bitpack;
+use fpc_metrics::Stage;
 
 /// Values per subchunk for the 32-bit variant.
 pub const SUBCHUNK_VALUES_32: usize = SUBCHUNK_SIZE / 4;
@@ -31,6 +32,7 @@ pub fn encode32(values: &[u32], out: &mut Vec<u8>) {
 /// ablation study compares plain MPLG against the enhanced version; the
 /// decoder is unaffected because the fallback is flag-driven).
 pub fn encode32_with(values: &[u32], out: &mut Vec<u8>, fallback: bool) {
+    let t = fpc_metrics::timer(Stage::MplgEncode);
     let mut buf = [0u32; SUBCHUNK_VALUES_32];
     for sub in values.chunks(SUBCHUNK_VALUES_32) {
         let mut width = bitpack::min_width_u32(sub);
@@ -53,6 +55,7 @@ pub fn encode32_with(values: &[u32], out: &mut Vec<u8>, fallback: bool) {
         out.push(flag | width as u8);
         bitpack::pack_u32(packed, width, out);
     }
+    t.finish(values.len() as u64 * 4);
 }
 
 /// Decodes `count` 32-bit words from `data` starting at `*pos`.
@@ -61,6 +64,7 @@ pub fn encode32_with(values: &[u32], out: &mut Vec<u8>, fallback: bool) {
 ///
 /// Fails on truncated input or a header declaring a width above 32 bits.
 pub fn decode32(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u32>) -> Result<()> {
+    let t = fpc_metrics::timer(Stage::MplgDecode);
     let mut remaining = count;
     while remaining > 0 {
         let n = remaining.min(SUBCHUNK_VALUES_32);
@@ -85,6 +89,7 @@ pub fn decode32(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u32>) 
         }
         remaining -= n;
     }
+    t.finish(count as u64 * 4);
     Ok(())
 }
 
@@ -95,6 +100,7 @@ pub fn encode64(values: &[u64], out: &mut Vec<u8>) {
 
 /// [`encode64`] with the zigzag-fallback enhancement toggleable.
 pub fn encode64_with(values: &[u64], out: &mut Vec<u8>, fallback: bool) {
+    let t = fpc_metrics::timer(Stage::MplgEncode);
     let mut buf = [0u64; SUBCHUNK_VALUES_64];
     for sub in values.chunks(SUBCHUNK_VALUES_64) {
         let mut width = bitpack::min_width_u64(sub);
@@ -117,6 +123,7 @@ pub fn encode64_with(values: &[u64], out: &mut Vec<u8>, fallback: bool) {
         out.push(flag | width as u8);
         bitpack::pack_u64(packed, width, out);
     }
+    t.finish(values.len() as u64 * 8);
 }
 
 /// Decodes `count` 64-bit words from `data` starting at `*pos`.
@@ -125,6 +132,7 @@ pub fn encode64_with(values: &[u64], out: &mut Vec<u8>, fallback: bool) {
 ///
 /// Fails on truncated input or a header declaring a width above 64 bits.
 pub fn decode64(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) -> Result<()> {
+    let t = fpc_metrics::timer(Stage::MplgDecode);
     let mut remaining = count;
     while remaining > 0 {
         let n = remaining.min(SUBCHUNK_VALUES_64);
@@ -149,6 +157,7 @@ pub fn decode64(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) 
         }
         remaining -= n;
     }
+    t.finish(count as u64 * 8);
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 
 use crate::raze::{bitmap_overhead, bottom_bytes, choose_split, reassemble, top_bytes};
 use crate::{rze, DecodeError, Result};
+use fpc_metrics::Stage;
 
 // Re-exported internals shared with RAZE live in `raze`; RARE only differs
 // in the differencing applied to the top bytes and the histogram statistic.
@@ -46,6 +47,9 @@ pub fn encode(values: &[u64], out: &mut Vec<u8>) {
 /// Panics if `kb > 8`.
 pub fn encode_with_split(values: &[u64], out: &mut Vec<u8>, kb: usize) {
     assert!(kb <= 8, "split must be at most 8 bytes");
+    // Note: the embedded rze::encode pass also records under RZE.encode,
+    // so RARE time includes (and overlaps) RZE time.
+    let t = fpc_metrics::timer(Stage::RareEncode);
     out.push(kb as u8);
     bottom_bytes(values, kb, out);
     // XOR-difference the top parts so repeats become zeros.
@@ -56,6 +60,7 @@ pub fn encode_with_split(values: &[u64], out: &mut Vec<u8>, kb: usize) {
         prev = v;
     }
     rze::encode(&top_bytes(&diffed, kb), out);
+    t.finish(values.len() as u64 * 8);
 }
 
 /// Decodes `count` 64-bit words from `data` starting at `*pos`.
@@ -64,12 +69,14 @@ pub fn encode_with_split(values: &[u64], out: &mut Vec<u8>, kb: usize) {
 ///
 /// Fails on truncation or an out-of-range split byte.
 pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) -> Result<()> {
+    let t = fpc_metrics::timer(Stage::RareDecode);
     let kb = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)? as usize;
     *pos += 1;
     if kb > 8 {
         return Err(DecodeError::Corrupt("rare split out of range"));
     }
     if count == 0 {
+        t.stop();
         return Ok(());
     }
     let nb = 8 - kb;
@@ -98,6 +105,7 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
         out.push(v);
         prev = v;
     }
+    t.finish(count as u64 * 8);
     Ok(())
 }
 

@@ -20,6 +20,7 @@
 //! value's top bytes, most significant first).
 
 use crate::{rze, DecodeError, Result};
+use fpc_metrics::Stage;
 
 /// Estimated RZE bitmap-chain overhead for an `m`-byte stream.
 #[inline]
@@ -114,9 +115,13 @@ pub fn encode(values: &[u64], out: &mut Vec<u8>) {
 /// Panics if `kb > 8`.
 pub fn encode_with_split(values: &[u64], out: &mut Vec<u8>, kb: usize) {
     assert!(kb <= 8, "split must be at most 8 bytes");
+    // Note: the embedded rze::encode pass also records under RZE.encode,
+    // so RAZE time includes (and overlaps) RZE time.
+    let t = fpc_metrics::timer(Stage::RazeEncode);
     out.push(kb as u8);
     bottom_bytes(values, kb, out);
     rze::encode(&top_bytes(values, kb), out);
+    t.finish(values.len() as u64 * 8);
 }
 
 /// Decodes `count` 64-bit words from `data` starting at `*pos`.
@@ -125,6 +130,7 @@ pub fn encode_with_split(values: &[u64], out: &mut Vec<u8>, kb: usize) {
 ///
 /// Fails on truncation or an out-of-range split byte.
 pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) -> Result<()> {
+    let t = fpc_metrics::timer(Stage::RazeDecode);
     if count == 0 {
         // Encoder still wrote the split byte for an empty chunk.
         let kb = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)?;
@@ -132,6 +138,7 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
             return Err(DecodeError::Corrupt("raze split out of range"));
         }
         *pos += 1;
+        t.stop();
         return Ok(());
     }
     let kb = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)? as usize;
@@ -151,6 +158,7 @@ pub fn decode(data: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u64>) ->
     let mut tops = Vec::with_capacity(count * kb);
     rze::decode(data, pos, count * kb, &mut tops)?;
     out.extend(reassemble(&bottoms, &tops, kb, count));
+    t.finish(count as u64 * 8);
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! from the (externally known) original chunk length.
 
 use crate::{DecodeError, Result};
+use fpc_metrics::Stage;
 
 /// Number of recursive bitmap-compression passes.
 pub const BITMAP_LEVELS: usize = 3;
@@ -60,6 +61,7 @@ fn bit_at(bitmap: &[u8], i: usize) -> bool {
 
 /// Compresses `data`, appending the encoded stream to `out`.
 pub fn encode(data: &[u8], out: &mut Vec<u8>) {
+    let t = fpc_metrics::timer(Stage::RzeEncode);
     let (bm0, nonzero) = zero_bitmap(data);
     let (bm1, nr0) = repeat_bitmap(&bm0);
     let (bm2, nr1) = repeat_bitmap(&bm1);
@@ -69,6 +71,7 @@ pub fn encode(data: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&nr1);
     out.extend_from_slice(&nr0);
     out.extend_from_slice(&nonzero);
+    t.finish(data.len() as u64);
 }
 
 fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
@@ -104,6 +107,7 @@ fn expand_repeat(bitmap: &[u8], len: usize, data: &[u8], pos: &mut usize) -> Res
 ///
 /// Fails if the stream is truncated.
 pub fn decode(data: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u8>) -> Result<()> {
+    let t = fpc_metrics::timer(Stage::RzeDecode);
     let len0 = bitmap_len(n);
     let len1 = bitmap_len(len0);
     let len2 = bitmap_len(len1);
@@ -121,6 +125,7 @@ pub fn decode(data: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u8>) -> Resu
             out.push(0);
         }
     }
+    t.finish(n as u64);
     Ok(())
 }
 

@@ -171,6 +171,7 @@ fn structure_aware_mutations_never_panic_any_algorithm() {
             if bad == stream {
                 return;
             }
+            fpc_prng::fuzz::record_input(&bad);
             assert!(
                 fpcompress::core::decompress_bytes(&bad).is_err(),
                 "{algo}: mutation {m:?} undetected"
@@ -222,6 +223,7 @@ fn entropy_decoders_survive_hostile_bytes() {
             let m = Mutation::arbitrary(rng, valid.len());
             m.apply(&valid, rng)
         };
+        fpc_prng::fuzz::record_input(&data);
         let _ = huffman::decompress_bytes(&data);
         let _ = rans::decompress(&data, 1 << 20);
         let _ = lz::decompress_block(&data, 1 << 20);
@@ -243,6 +245,7 @@ fn transform_decoders_survive_hostile_bytes() {
     use fpcompress::transforms::{fcm, mplg, rare, raze, rze};
     run_cases("fuzz/transforms", 512, |rng, _| {
         let data = rng.bytes_range(0usize..1_000);
+        fpc_prng::fuzz::record_input(&data);
         let expected = rng.gen_range(0usize..4096);
         let mut pos = 0;
         let mut s32 = Vec::new();
@@ -275,6 +278,7 @@ fn baselines_survive_hostile_bytes() {
     let meta = Meta::f64_flat(256);
     run_cases("fuzz/baselines", 48, |rng, _| {
         let data = rng.bytes_range(0usize..2_048);
+        fpc_prng::fuzz::record_input(&data);
         for codec in roster() {
             if !codec.datatype().supports_width(8) {
                 continue;
