@@ -139,6 +139,16 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Informational: per-stage throughput movement (normalized by the
+    // calibration ratio). The gate below only acts on whole-algorithm
+    // numbers; this log is what shows e.g. a vectorized stage's speedup.
+    let deltas = perf::stage_deltas(&baseline, &fresh);
+    if !deltas.is_empty() {
+        println!("per-stage deltas (baseline -> fresh, normalized):");
+        for d in &deltas {
+            println!("  {d}");
+        }
+    }
     match perf::compare(&baseline, &fresh) {
         Ok(failures) if failures.is_empty() => {
             println!(

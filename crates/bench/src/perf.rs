@@ -81,6 +81,11 @@ pub struct BenchReport {
     pub threads: usize,
     /// Machine-speed yardstick from [`calibrate_gbps`].
     pub calibration_gbps: f64,
+    /// Dispatch tier the process resolved to (`fpc_simd::active`).
+    pub simd_active: String,
+    /// Per-kernel dispatch tier (`fpc_simd::kernel_tiers`); records which
+    /// code path each throughput number actually measured.
+    pub simd_kernels: Vec<(String, String)>,
     /// One entry per paper algorithm, in paper order.
     pub algorithms: Vec<AlgoPerf>,
     /// Executor microbench numbers.
@@ -267,6 +272,11 @@ pub fn run(rev: &str, threads: usize) -> BenchReport {
         created_unix,
         threads,
         calibration_gbps: calibrate_gbps(),
+        simd_active: fpc_simd::active().name().to_string(),
+        simd_kernels: fpc_simd::kernel_tiers()
+            .into_iter()
+            .map(|(k, t)| (k.to_string(), t.name().to_string()))
+            .collect(),
         algorithms: measure_algorithms(threads),
         executor: executor_bench(threads),
     }
@@ -289,6 +299,11 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let kernels = self
+            .simd_kernels
+            .iter()
+            .map(|(k, t)| (k.clone(), Value::from(t.as_str())))
+            .collect();
         Value::Obj(vec![
             ("schema".into(), Value::from(BENCH_SCHEMA)),
             ("rev".into(), Value::from(self.rev.as_str())),
@@ -297,6 +312,13 @@ impl BenchReport {
             (
                 "calibration_gbps".into(),
                 Value::from(self.calibration_gbps),
+            ),
+            (
+                "simd".into(),
+                Value::Obj(vec![
+                    ("active".into(), Value::from(self.simd_active.as_str())),
+                    ("kernels".into(), Value::Obj(kernels)),
+                ]),
             ),
             ("algorithms".into(), Value::Arr(algorithms)),
             (
@@ -409,6 +431,77 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
     Ok(failures)
 }
 
+/// Per-stage throughput deltas between two reports, for the perf-smoke log
+/// (informational — the gate in [`compare`] does not act on them).
+///
+/// Each algorithm's `metrics.stages` entries are matched by name; stage
+/// throughput is `bytes / nanos` (== GB/s), with the fresh side normalized
+/// by the calibration ratio exactly like [`compare`]. Stages missing from
+/// either side (feature off, or a stage added/removed between revisions)
+/// are skipped. Returns lines like
+/// `SPspeed DIFFMS.encode: 5.671 -> 9.802 GB/s (1.73x)`.
+pub fn stage_deltas(baseline: &Value, fresh: &Value) -> Vec<String> {
+    let calib = |v: &Value| {
+        v.get("calibration_gbps")
+            .and_then(Value::as_f64)
+            .filter(|c| c.is_finite() && *c > 0.0)
+    };
+    let (Some(b_calib), Some(f_calib)) = (calib(baseline), calib(fresh)) else {
+        return Vec::new();
+    };
+    let norm = b_calib / f_calib;
+    let empty = Vec::new();
+    let algos = |v: &Value| -> Vec<Value> {
+        v.get("algorithms")
+            .and_then(Value::as_arr)
+            .unwrap_or(&empty)
+            .to_vec()
+    };
+    // Stage name -> (nanos, bytes), keeping only well-formed entries.
+    let stages = |a: &Value| -> Vec<(String, f64, f64)> {
+        a.get("metrics")
+            .and_then(|m| m.get("stages"))
+            .and_then(Value::as_arr)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|s| {
+                        let name = s.get("name").and_then(Value::as_str)?;
+                        let nanos = s.get("nanos").and_then(Value::as_f64)?;
+                        let bytes = s.get("bytes").and_then(Value::as_f64)?;
+                        (nanos > 0.0 && bytes > 0.0).then(|| (name.to_string(), nanos, bytes))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut lines = Vec::new();
+    for b in algos(baseline) {
+        let Some(name) = b.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        let Some(f) = algos(fresh)
+            .into_iter()
+            .find(|f| f.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let fresh_stages = stages(&f);
+        for (stage, b_nanos, b_bytes) in stages(&b) {
+            let Some((_, f_nanos, f_bytes)) = fresh_stages.iter().find(|(s, _, _)| *s == stage)
+            else {
+                continue;
+            };
+            let b_gbps = b_bytes / b_nanos;
+            let f_gbps = f_bytes / f_nanos * norm;
+            lines.push(format!(
+                "{name} {stage}: {b_gbps:.3} -> {f_gbps:.3} GB/s ({:.2}x)",
+                f_gbps / b_gbps
+            ));
+        }
+    }
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +512,8 @@ mod tests {
             created_unix: 0,
             threads: 1,
             calibration_gbps: calib,
+            simd_active: fpc_simd::active().name().into(),
+            simd_kernels: vec![("zigzag.slice32".into(), "swar".into())],
             algorithms: Algorithm::ALL
                 .iter()
                 .map(|a| AlgoPerf {
@@ -519,6 +614,40 @@ mod tests {
     fn executor_bench_produces_numbers() {
         let e = executor_bench(1);
         assert!(e.pool_gbps > 0.0 && e.spawn_gbps > 0.0);
+    }
+
+    #[test]
+    fn stage_deltas_normalize_and_ratio() {
+        let doc = |calib: f64, nanos: u64| {
+            Value::parse(&format!(
+                r#"{{"schema":"fpc-bench-v1","calibration_gbps":{calib},
+                     "algorithms":[{{"name":"SPspeed","metrics":{{"stages":[
+                       {{"name":"DIFFMS.encode","calls":1,"nanos":{nanos},"bytes":1000}},
+                       {{"name":"BIT","calls":1,"nanos":0,"bytes":0}}]}}}}]}}"#
+            ))
+            .unwrap()
+        };
+        // Same machine (equal calibration), stage got 2x faster.
+        let lines = stage_deltas(&doc(1.0, 1000), &doc(1.0, 500));
+        assert_eq!(lines.len(), 1, "{lines:?}"); // zero-byte stage skipped
+        assert!(lines[0].contains("SPspeed DIFFMS.encode"), "{lines:?}");
+        assert!(lines[0].contains("(2.00x)"), "{lines:?}");
+        // Fresh machine is 2x faster overall: calibration cancels it out.
+        let lines = stage_deltas(&doc(1.0, 1000), &doc(2.0, 500));
+        assert!(lines[0].contains("(1.00x)"), "{lines:?}");
+    }
+
+    #[test]
+    fn report_carries_simd_tiers() {
+        let v = report(1.0, 2.0, 1.5);
+        let simd = v.get("simd").expect("simd section");
+        assert!(simd.get("active").and_then(Value::as_str).is_some());
+        assert_eq!(
+            simd.get("kernels")
+                .and_then(|k| k.get("zigzag.slice32"))
+                .and_then(Value::as_str),
+            Some("swar")
+        );
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! This is the workhorse of the MPLG stage (leading-zero elimination packs
 //! every value of a subchunk at one common width) and of the Cascaded- and
 //! Bitcomp-class baselines.
+//!
+//! The `BitWriter`/`BitReader` loops are the scalar reference (selected by
+//! `FPC_FORCE_SCALAR=1`); normal dispatch runs the byte-identical
+//! block-accumulator fast paths in `fpc_simd::bitpack` (same LSB-first
+//! layout, same EOF condition).
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::{DecodeError, Result};
@@ -25,6 +30,9 @@ pub fn pack_u32(values: &[u32], width: u32, out: &mut Vec<u8>) {
     assert!(width <= 32, "pack width {width} exceeds 32");
     if width == 0 {
         return;
+    }
+    if !fpc_simd::force_scalar() {
+        return fpc_simd::bitpack::pack_u32(values, width, out);
     }
     let mask = if width == 32 {
         u32::MAX
@@ -50,6 +58,11 @@ pub fn unpack_u32(data: &[u8], width: u32, count: usize, out: &mut Vec<u32>) -> 
         out.resize(out.len() + count, 0);
         return Ok(());
     }
+    if !fpc_simd::force_scalar() {
+        return fpc_simd::bitpack::unpack_u32(data, width, count, out)
+            .then_some(())
+            .ok_or(DecodeError::UnexpectedEof);
+    }
     let mut r = BitReader::new(data);
     out.reserve(count);
     for _ in 0..count {
@@ -71,6 +84,9 @@ pub fn pack_u64(values: &[u64], width: u32, out: &mut Vec<u8>) {
     assert!(width <= 64, "pack width {width} exceeds 64");
     if width == 0 {
         return;
+    }
+    if !fpc_simd::force_scalar() {
+        return fpc_simd::bitpack::pack_u64(values, width, out);
     }
     let mask = if width == 64 {
         u64::MAX
@@ -96,6 +112,11 @@ pub fn unpack_u64(data: &[u8], width: u32, count: usize, out: &mut Vec<u64>) -> 
         out.resize(out.len() + count, 0);
         return Ok(());
     }
+    if !fpc_simd::force_scalar() {
+        return fpc_simd::bitpack::unpack_u64(data, width, count, out)
+            .then_some(())
+            .ok_or(DecodeError::UnexpectedEof);
+    }
     let mut r = BitReader::new(data);
     out.reserve(count);
     for _ in 0..count {
@@ -113,7 +134,11 @@ pub fn packed_len(count: usize, width: u32) -> usize {
 /// Smallest width that can represent every value in `values` (0 for all-zero).
 #[inline]
 pub fn min_width_u32(values: &[u32]) -> u32 {
-    let max = values.iter().copied().max().unwrap_or(0);
+    let max = if fpc_simd::force_scalar() {
+        values.iter().copied().max().unwrap_or(0)
+    } else {
+        fpc_simd::bitpack::max_u32(values)
+    };
     32 - max.leading_zeros()
 }
 

@@ -193,11 +193,19 @@ pub enum Counter {
     ContainerChunks,
     /// Chunks stored raw because the codec failed to shrink them.
     ContainerRawChunks,
+    /// Kernel calls dispatched at the scalar tier (fpc-simd).
+    SimdScalar,
+    /// Kernel calls dispatched at the portable SWAR tier.
+    SimdSwar,
+    /// Kernel calls dispatched at the SSE2 tier.
+    SimdSse2,
+    /// Kernel calls dispatched at the AVX2 tier.
+    SimdAvx2,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -209,6 +217,10 @@ impl Counter {
         Counter::PoolScratchMisses,
         Counter::ContainerChunks,
         Counter::ContainerRawChunks,
+        Counter::SimdScalar,
+        Counter::SimdSwar,
+        Counter::SimdSse2,
+        Counter::SimdAvx2,
     ];
 
     /// Stable report name.
@@ -222,6 +234,10 @@ impl Counter {
             Counter::PoolScratchMisses => "pool.scratch.misses",
             Counter::ContainerChunks => "container.chunks",
             Counter::ContainerRawChunks => "container.chunks.raw",
+            Counter::SimdScalar => "simd.dispatch.scalar",
+            Counter::SimdSwar => "simd.dispatch.swar",
+            Counter::SimdSse2 => "simd.dispatch.sse2",
+            Counter::SimdAvx2 => "simd.dispatch.avx2",
         }
     }
 

@@ -277,6 +277,18 @@ fn render_bench(v: &Value) -> Result<String, String> {
         let _ = write!(out, " calibration={c:.3} GB/s");
     }
     out.push('\n');
+    if let Some(simd) = v.get("simd") {
+        let active = simd.get("active").and_then(Value::as_str).unwrap_or("?");
+        let _ = write!(out, "simd dispatch: active={active}");
+        if let Some(Value::Obj(kernels)) = simd.get("kernels") {
+            for (kernel, tier) in kernels {
+                if let Some(t) = tier.as_str() {
+                    let _ = write!(out, " {kernel}={t}");
+                }
+            }
+        }
+        out.push('\n');
+    }
     if let Some(algos) = v.get("algorithms").and_then(Value::as_arr) {
         let _ = writeln!(
             out,

@@ -1,0 +1,295 @@
+//! Fast fixed-width bit packing/unpacking.
+//!
+//! The scalar reference in `fpc-entropy` pushes bits through a `BitWriter`/
+//! `BitReader` one value at a time, flushing byte by byte. The fast paths
+//! here keep a word-sized accumulator and flush 4/8 bytes at a time on
+//! pack, and unpack by loading an unaligned little-endian window at the
+//! value's byte offset and shifting — pure safe SWAR, identical byte output
+//! (both are LSB-first), and the same EOF behaviour: the sequential reader
+//! fails iff fewer than `count * width` bits exist, which is checked up
+//! front here.
+//!
+//! All bit positions are computed in `u64`: on 32-bit targets (the i686 CI
+//! build) `len * 8` can overflow `usize`.
+
+use crate::Tier;
+
+/// Tier used by the pack kernels (the block accumulator is the same code on
+/// every non-scalar tier).
+pub fn chosen_pack() -> Tier {
+    crate::choose(&[Tier::Swar])
+}
+
+/// Tier used by the unpack kernels.
+pub fn chosen_unpack() -> Tier {
+    crate::choose(&[Tier::Swar])
+}
+
+/// Tier used by the slice-maximum kernel behind `min_width_*`.
+pub fn chosen_max() -> Tier {
+    crate::choose(&[Tier::Avx2])
+}
+
+/// Packs each `u32` at `width` bits (1..=32), appending to `out`.
+/// Byte-identical to the `BitWriter` loop in `fpc_entropy::bitpack`.
+pub fn pack_u32(values: &[u32], width: u32, out: &mut Vec<u8>) {
+    debug_assert!((1..=32).contains(&width));
+    crate::record(chosen_pack());
+    let mask = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    out.reserve((values.len() * width as usize).div_ceil(8));
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    for &v in values {
+        acc |= ((v & mask) as u64) << bits;
+        bits += width;
+        if bits >= 32 {
+            out.extend_from_slice(&(acc as u32).to_le_bytes());
+            acc >>= 32;
+            bits -= 32;
+        }
+    }
+    while bits > 0 {
+        out.push(acc as u8);
+        acc >>= 8;
+        bits = bits.saturating_sub(8);
+    }
+}
+
+/// Packs each `u64` at `width` bits (1..=64), appending to `out`.
+pub fn pack_u64(values: &[u64], width: u32, out: &mut Vec<u8>) {
+    debug_assert!((1..=64).contains(&width));
+    crate::record(chosen_pack());
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    out.reserve((values.len() * width as usize).div_ceil(8));
+    let mut acc = 0u128;
+    let mut bits = 0u32;
+    for &v in values {
+        acc |= ((v & mask) as u128) << bits;
+        bits += width;
+        if bits >= 64 {
+            out.extend_from_slice(&(acc as u64).to_le_bytes());
+            acc >>= 64;
+            bits -= 64;
+        }
+    }
+    while bits > 0 {
+        out.push(acc as u8);
+        acc >>= 8;
+        bits = bits.saturating_sub(8);
+    }
+}
+
+/// Unpacks `count` values of `width` bits (1..=32) from `data`.
+///
+/// Returns `false` (leaving `out` partially extended, as the scalar reader
+/// may also do before its error) iff `data` holds fewer than
+/// `count * width` bits — exactly the scalar EOF condition.
+pub fn unpack_u32(data: &[u8], width: u32, count: usize, out: &mut Vec<u32>) -> bool {
+    debug_assert!((1..=32).contains(&width));
+    crate::record(chosen_unpack());
+    if count as u128 * width as u128 > data.len() as u128 * 8 {
+        return false;
+    }
+    let mask = if width == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << width) - 1
+    };
+    out.reserve(count);
+    let w64 = width as u64;
+    let mut i = 0usize;
+    loop {
+        let byte = ((i as u64 * w64) >> 3) as usize;
+        if i >= count || byte + 8 > data.len() {
+            break;
+        }
+        let win = u64::from_le_bytes(data[byte..byte + 8].try_into().expect("8-byte window"));
+        out.push(((win >> ((i as u64 * w64) & 7)) & mask) as u32);
+        i += 1;
+    }
+    if i < count {
+        // Fewer than 8 bytes remain past the current offset: finish from a
+        // zero-padded copy of the tail so window loads never run off the end
+        // (the padding bits are beyond count*width and never selected).
+        let base = ((i as u64 * w64) >> 3) as usize;
+        let rem = &data[base..];
+        let mut buf = [0u8; 16];
+        buf[..rem.len()].copy_from_slice(rem);
+        for k in i..count {
+            let bitpos = k as u64 * w64 - base as u64 * 8;
+            let byte = (bitpos >> 3) as usize;
+            let win = u64::from_le_bytes(buf[byte..byte + 8].try_into().expect("8-byte window"));
+            out.push(((win >> (bitpos & 7)) & mask) as u32);
+        }
+    }
+    true
+}
+
+/// Unpacks `count` values of `width` bits (1..=64) from `data`.
+///
+/// Same contract as [`unpack_u32`].
+pub fn unpack_u64(data: &[u8], width: u32, count: usize, out: &mut Vec<u64>) -> bool {
+    debug_assert!((1..=64).contains(&width));
+    crate::record(chosen_unpack());
+    if count as u128 * width as u128 > data.len() as u128 * 8 {
+        return false;
+    }
+    let mask = if width == 64 {
+        u128::from(u64::MAX)
+    } else {
+        (1u128 << width) - 1
+    };
+    out.reserve(count);
+    let w64 = width as u64;
+    let mut i = 0usize;
+    loop {
+        let byte = ((i as u64 * w64) >> 3) as usize;
+        if i >= count || byte + 16 > data.len() {
+            break;
+        }
+        let win = u128::from_le_bytes(data[byte..byte + 16].try_into().expect("16-byte window"));
+        out.push(((win >> ((i as u64 * w64) & 7)) & mask) as u64);
+        i += 1;
+    }
+    if i < count {
+        let base = ((i as u64 * w64) >> 3) as usize;
+        let rem = &data[base..];
+        let mut buf = [0u8; 32];
+        buf[..rem.len()].copy_from_slice(rem);
+        for k in i..count {
+            let bitpos = k as u64 * w64 - base as u64 * 8;
+            let byte = (bitpos >> 3) as usize;
+            let win = u128::from_le_bytes(buf[byte..byte + 16].try_into().expect("16-byte window"));
+            out.push(((win >> (bitpos & 7)) & mask) as u64);
+        }
+    }
+    true
+}
+
+/// Dispatched maximum of a `u32` slice (0 for empty) — the kernel behind
+/// `min_width_u32`.
+pub fn max_u32(values: &[u32]) -> u32 {
+    match chosen_max() {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Avx2 => crate::x86::max_u32_avx2(values),
+        _ => values.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Maximum of a `u64` slice (0 for empty); no vector formulation beats the
+/// scalar loop without AVX-512, so this is scalar at every tier.
+pub fn max_u64(values: &[u64]) -> u64 {
+    values.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal reimplementation of the scalar LSB-first BitWriter for
+    /// differential checking without a dependency on fpc-entropy.
+    fn scalar_pack<T: Into<u64> + Copy>(values: &[T], width: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut acc = 0u128;
+        let mut nbits = 0u32;
+        for &v in values {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            acc |= ((v.into() & mask) as u128) << nbits;
+            nbits += width;
+            while nbits >= 8 {
+                out.push(acc as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push(acc as u8);
+        }
+        out
+    }
+
+    #[test]
+    fn pack_u32_matches_bitwriter_all_widths() {
+        for width in 1..=32u32 {
+            for n in [0usize, 1, 2, 3, 7, 8, 9, 63, 100] {
+                let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+                let want = scalar_pack(&values, width);
+                let mut got = Vec::new();
+                pack_u32(&values, width, &mut got);
+                assert_eq!(got, want, "w{width} n{n}");
+                let mut back = Vec::new();
+                assert!(unpack_u32(&got, width, n, &mut back), "w{width} n{n}");
+                let mask = if width == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
+                let masked: Vec<u32> = values.iter().map(|v| v & mask).collect();
+                assert_eq!(back, masked, "w{width} n{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_u64_matches_bitwriter_all_widths() {
+        for width in 1..=64u32 {
+            let values: Vec<u64> = (0..53u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect();
+            let want = scalar_pack(&values, width);
+            let mut got = Vec::new();
+            pack_u64(&values, width, &mut got);
+            assert_eq!(got, want, "w{width}");
+            let mut back = Vec::new();
+            assert!(unpack_u64(&got, width, values.len(), &mut back));
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let masked: Vec<u64> = values.iter().map(|v| v & mask).collect();
+            assert_eq!(back, masked, "w{width}");
+        }
+    }
+
+    #[test]
+    fn unpack_eof_matches_scalar_condition() {
+        let values = vec![u32::MAX; 16];
+        let mut packed = Vec::new();
+        pack_u32(&values, 32, &mut packed);
+        let mut out = Vec::new();
+        assert!(!unpack_u32(&packed[..packed.len() - 1], 32, 16, &mut out));
+        // Exactly enough bits succeeds even with a ragged final byte.
+        let mut packed = Vec::new();
+        pack_u32(&[3u32; 5], 3, &mut packed); // 15 bits -> 2 bytes
+        let mut out = Vec::new();
+        assert!(unpack_u32(&packed, 3, 5, &mut out));
+        assert_eq!(out, vec![3u32; 5]);
+        // One more value than the stream holds fails.
+        let mut out = Vec::new();
+        assert!(!unpack_u32(&packed, 3, 6, &mut out));
+    }
+
+    #[test]
+    fn max_matches_iterator() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            let values: Vec<u32> = (0..n as u32)
+                .map(|i| i.wrapping_mul(0xC2B2_AE35).rotate_left(i))
+                .collect();
+            assert_eq!(max_u32(&values), values.iter().copied().max().unwrap_or(0));
+        }
+        assert_eq!(max_u64(&[1, u64::MAX, 3]), u64::MAX);
+    }
+}

@@ -1,0 +1,271 @@
+//! Dispatched zigzag (two's-complement ↔ magnitude-sign) slice kernels.
+//!
+//! The per-word formulas are the same as `fpc_transforms::zigzag`; this
+//! module applies them two `u32` lanes at a time inside a `u64` (SWAR) or
+//! 4/8 lanes at a time with SSE2/AVX2. Zigzag is a pure lane-local bit
+//! permutation, so every tier is trivially bit-identical to scalar.
+
+use crate::Tier;
+
+const LANE_LO: u64 = 0x0000_0001_0000_0001;
+const EVEN_OFF: u64 = 0xFFFF_FFFE_FFFF_FFFE;
+const TOP_OFF: u64 = 0x7FFF_FFFF_7FFF_FFFF;
+
+/// Tier used by the 32-bit slice kernels under the current dispatch.
+pub fn chosen32() -> Tier {
+    crate::choose(&[Tier::Avx2, Tier::Sse2, Tier::Swar])
+}
+
+/// Tier used by the 64-bit slice kernels under the current dispatch
+/// (SWAR adds nothing over scalar for word-sized lanes).
+pub fn chosen64() -> Tier {
+    crate::choose(&[Tier::Avx2, Tier::Sse2])
+}
+
+#[inline]
+pub(crate) fn enc32(v: u32) -> u32 {
+    (v << 1) ^ (((v as i32) >> 31) as u32)
+}
+
+#[inline]
+pub(crate) fn dec32(v: u32) -> u32 {
+    (v >> 1) ^ (v & 1).wrapping_neg()
+}
+
+#[inline]
+pub(crate) fn enc64(v: u64) -> u64 {
+    (v << 1) ^ (((v as i64) >> 63) as u64)
+}
+
+#[inline]
+pub(crate) fn dec64(v: u64) -> u64 {
+    (v >> 1) ^ (v & 1).wrapping_neg()
+}
+
+/// Zigzag-encodes both `u32` lanes of a packed `u64`.
+///
+/// `(v << 1)` with the cross-lane bit masked off, xor a full-lane sign fill
+/// built by multiplying the per-lane sign bits by `0xFFFF_FFFF` (the lanes
+/// cannot interact: each product fills exactly its own lane).
+#[inline]
+pub(crate) fn enc32_pair(x: u64) -> u64 {
+    let shifted = (x << 1) & EVEN_OFF;
+    let sign_fill = ((x >> 31) & LANE_LO).wrapping_mul(0xFFFF_FFFF);
+    shifted ^ sign_fill
+}
+
+/// Zigzag-decodes both `u32` lanes of a packed `u64`.
+#[inline]
+pub(crate) fn dec32_pair(x: u64) -> u64 {
+    let half = (x >> 1) & TOP_OFF;
+    let neg_fill = (x & LANE_LO).wrapping_mul(0xFFFF_FFFF);
+    half ^ neg_fill
+}
+
+#[inline]
+pub(crate) fn pair(lo: u32, hi: u32) -> u64 {
+    (lo as u64) | ((hi as u64) << 32)
+}
+
+#[inline]
+pub(crate) fn unpair(x: u64) -> (u32, u32) {
+    (x as u32, (x >> 32) as u32)
+}
+
+/// Scalar reference: identical to `fpc_transforms::zigzag::encode32_slice`.
+pub fn encode32_slice_scalar(values: &mut [u32]) {
+    for v in values {
+        *v = enc32(*v);
+    }
+}
+
+/// Scalar reference: identical to `fpc_transforms::zigzag::decode32_slice`.
+pub fn decode32_slice_scalar(values: &mut [u32]) {
+    for v in values {
+        *v = dec32(*v);
+    }
+}
+
+/// SWAR: two lanes per `u64`.
+pub fn encode32_slice_swar(values: &mut [u32]) {
+    let mut chunks = values.chunks_exact_mut(2);
+    for c in &mut chunks {
+        let (lo, hi) = unpair(enc32_pair(pair(c[0], c[1])));
+        c[0] = lo;
+        c[1] = hi;
+    }
+    encode32_slice_scalar(chunks.into_remainder());
+}
+
+/// SWAR: two lanes per `u64`.
+pub fn decode32_slice_swar(values: &mut [u32]) {
+    let mut chunks = values.chunks_exact_mut(2);
+    for c in &mut chunks {
+        let (lo, hi) = unpair(dec32_pair(pair(c[0], c[1])));
+        c[0] = lo;
+        c[1] = hi;
+    }
+    decode32_slice_scalar(chunks.into_remainder());
+}
+
+/// Scalar reference for the 64-bit kernel.
+pub fn encode64_slice_scalar(values: &mut [u64]) {
+    for v in values {
+        *v = enc64(*v);
+    }
+}
+
+/// Scalar reference for the 64-bit kernel.
+pub fn decode64_slice_scalar(values: &mut [u64]) {
+    for v in values {
+        *v = dec64(*v);
+    }
+}
+
+/// Dispatched in-place zigzag encode of a `u32` slice.
+pub fn encode32_slice(values: &mut [u32]) {
+    let tier = chosen32();
+    crate::record(tier);
+    match tier {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Avx2 => crate::x86::zigzag_encode32_avx2(values),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Sse2 => crate::x86::zigzag_encode32_sse2(values),
+        Tier::Swar => encode32_slice_swar(values),
+        _ => encode32_slice_scalar(values),
+    }
+}
+
+/// Dispatched in-place zigzag decode of a `u32` slice.
+pub fn decode32_slice(values: &mut [u32]) {
+    let tier = chosen32();
+    crate::record(tier);
+    match tier {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Avx2 => crate::x86::zigzag_decode32_avx2(values),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Sse2 => crate::x86::zigzag_decode32_sse2(values),
+        Tier::Swar => decode32_slice_swar(values),
+        _ => decode32_slice_scalar(values),
+    }
+}
+
+/// Dispatched in-place zigzag encode of a `u64` slice.
+pub fn encode64_slice(values: &mut [u64]) {
+    let tier = chosen64();
+    crate::record(tier);
+    match tier {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Avx2 => crate::x86::zigzag_encode64_avx2(values),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Sse2 => crate::x86::zigzag_encode64_sse2(values),
+        _ => encode64_slice_scalar(values),
+    }
+}
+
+/// Dispatched in-place zigzag decode of a `u64` slice.
+pub fn decode64_slice(values: &mut [u64]) {
+    let tier = chosen64();
+    crate::record(tier);
+    match tier {
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Avx2 => crate::x86::zigzag_decode64_avx2(values),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        Tier::Sse2 => crate::x86::zigzag_decode64_sse2(values),
+        _ => decode64_slice_scalar(values),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample32(n: usize) -> Vec<u32> {
+        (0..n as u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(i))
+            .chain([0, 1, u32::MAX, 0x8000_0000, 0x7FFF_FFFF])
+            .collect()
+    }
+
+    #[test]
+    fn swar_matches_scalar_all_lengths() {
+        for n in 0..40 {
+            let orig = sample32(n);
+            let mut a = orig.clone();
+            let mut b = orig.clone();
+            encode32_slice_scalar(&mut a);
+            encode32_slice_swar(&mut b);
+            assert_eq!(a, b, "encode len {n}");
+            decode32_slice_scalar(&mut a);
+            decode32_slice_swar(&mut b);
+            assert_eq!(a, b, "decode len {n}");
+            assert_eq!(a, orig, "roundtrip len {n}");
+        }
+    }
+
+    #[test]
+    fn pair_kernels_match_per_word() {
+        for v in [0u32, 1, 2, u32::MAX, 0x8000_0000, 0x7FFF_FFFF, 0xDEAD_BEEF] {
+            for w in [0u32, u32::MAX, 0x8000_0001, 5] {
+                let e = enc32_pair(pair(v, w));
+                assert_eq!(unpair(e), (enc32(v), enc32(w)));
+                let d = dec32_pair(pair(v, w));
+                assert_eq!(unpair(d), (dec32(v), dec32(w)));
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    #[test]
+    fn x86_matches_scalar() {
+        use crate::x86;
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 64, 100] {
+            let orig = sample32(n);
+            let mut want = orig.clone();
+            encode32_slice_scalar(&mut want);
+            let mut got = orig.clone();
+            x86::zigzag_encode32_sse2(&mut got);
+            assert_eq!(got, want, "sse2 enc32 len {n}");
+            if Tier::Avx2.available() {
+                let mut got = orig.clone();
+                x86::zigzag_encode32_avx2(&mut got);
+                assert_eq!(got, want, "avx2 enc32 len {n}");
+            }
+            let mut want_d = want.clone();
+            decode32_slice_scalar(&mut want_d);
+            let mut got_d = want.clone();
+            x86::zigzag_decode32_sse2(&mut got_d);
+            assert_eq!(got_d, want_d, "sse2 dec32 len {n}");
+            if Tier::Avx2.available() {
+                let mut got_d = want.clone();
+                x86::zigzag_decode32_avx2(&mut got_d);
+                assert_eq!(got_d, want_d, "avx2 dec32 len {n}");
+            }
+
+            let orig64: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .chain([0, 1, u64::MAX, 1 << 63])
+                .collect();
+            let mut want = orig64.clone();
+            encode64_slice_scalar(&mut want);
+            let mut got = orig64.clone();
+            x86::zigzag_encode64_sse2(&mut got);
+            assert_eq!(got, want, "sse2 enc64 len {n}");
+            if Tier::Avx2.available() {
+                let mut got = orig64.clone();
+                x86::zigzag_encode64_avx2(&mut got);
+                assert_eq!(got, want, "avx2 enc64 len {n}");
+            }
+            let mut want_d = want.clone();
+            decode64_slice_scalar(&mut want_d);
+            let mut got_d = want.clone();
+            x86::zigzag_decode64_sse2(&mut got_d);
+            assert_eq!(got_d, want_d, "sse2 dec64 len {n}");
+            if Tier::Avx2.available() {
+                let mut got_d = want.clone();
+                x86::zigzag_decode64_avx2(&mut got_d);
+                assert_eq!(got_d, want_d, "avx2 dec64 len {n}");
+            }
+        }
+    }
+}

@@ -14,10 +14,18 @@
 use fpc_metrics::Stage;
 
 /// Transposes each complete group of 32 words in place (involution).
+///
+/// Dispatched: the group network below is the scalar reference (selected by
+/// `FPC_FORCE_SCALAR=1`); normal dispatch runs the bit-identical AVX2
+/// in-register network in `fpc_simd::transpose` where available.
 pub fn transpose32(values: &mut [u32]) {
     let t = fpc_metrics::timer(Stage::BitTranspose);
-    for group in values.chunks_exact_mut(32) {
-        transpose32_group(group.try_into().expect("chunks_exact(32)"));
+    if fpc_simd::force_scalar() {
+        for group in values.chunks_exact_mut(32) {
+            transpose32_group(group.try_into().expect("chunks_exact(32)"));
+        }
+    } else {
+        fpc_simd::transpose::transpose32(values);
     }
     t.finish(values.len() as u64 * 4);
 }

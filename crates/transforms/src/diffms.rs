@@ -6,6 +6,10 @@
 //! element uses an implicit preceding value of 0 — and the difference is
 //! stored in magnitude-sign (zigzag) format so that both small positive and
 //! small negative differences have many leading zero bits.
+//!
+//! The loops here are the scalar reference (selected by
+//! `FPC_FORCE_SCALAR=1`); normal dispatch runs the bit-identical vector
+//! kernels in `fpc_simd::diffms`.
 
 use crate::zigzag;
 use fpc_metrics::Stage;
@@ -13,11 +17,15 @@ use fpc_metrics::Stage;
 /// Applies DIFFMS in place to a chunk of 32-bit words.
 pub fn encode32(values: &mut [u32]) {
     let t = fpc_metrics::timer(Stage::DiffmsEncode);
-    for i in (1..values.len()).rev() {
-        values[i] = zigzag::encode32(values[i].wrapping_sub(values[i - 1]));
-    }
-    if let Some(first) = values.first_mut() {
-        *first = zigzag::encode32(*first);
+    if fpc_simd::force_scalar() {
+        for i in (1..values.len()).rev() {
+            values[i] = zigzag::encode32(values[i].wrapping_sub(values[i - 1]));
+        }
+        if let Some(first) = values.first_mut() {
+            *first = zigzag::encode32(*first);
+        }
+    } else {
+        fpc_simd::diffms::encode32(values);
     }
     t.finish(values.len() as u64 * 4);
 }
@@ -25,11 +33,15 @@ pub fn encode32(values: &mut [u32]) {
 /// Inverts [`encode32`] in place.
 pub fn decode32(values: &mut [u32]) {
     let t = fpc_metrics::timer(Stage::DiffmsDecode);
-    if let Some(first) = values.first_mut() {
-        *first = zigzag::decode32(*first);
-    }
-    for i in 1..values.len() {
-        values[i] = zigzag::decode32(values[i]).wrapping_add(values[i - 1]);
+    if fpc_simd::force_scalar() {
+        if let Some(first) = values.first_mut() {
+            *first = zigzag::decode32(*first);
+        }
+        for i in 1..values.len() {
+            values[i] = zigzag::decode32(values[i]).wrapping_add(values[i - 1]);
+        }
+    } else {
+        fpc_simd::diffms::decode32(values);
     }
     t.finish(values.len() as u64 * 4);
 }
@@ -37,11 +49,15 @@ pub fn decode32(values: &mut [u32]) {
 /// Applies DIFFMS in place to a chunk of 64-bit words.
 pub fn encode64(values: &mut [u64]) {
     let t = fpc_metrics::timer(Stage::DiffmsEncode);
-    for i in (1..values.len()).rev() {
-        values[i] = zigzag::encode64(values[i].wrapping_sub(values[i - 1]));
-    }
-    if let Some(first) = values.first_mut() {
-        *first = zigzag::encode64(*first);
+    if fpc_simd::force_scalar() {
+        for i in (1..values.len()).rev() {
+            values[i] = zigzag::encode64(values[i].wrapping_sub(values[i - 1]));
+        }
+        if let Some(first) = values.first_mut() {
+            *first = zigzag::encode64(*first);
+        }
+    } else {
+        fpc_simd::diffms::encode64(values);
     }
     t.finish(values.len() as u64 * 8);
 }
@@ -49,11 +65,15 @@ pub fn encode64(values: &mut [u64]) {
 /// Inverts [`encode64`] in place.
 pub fn decode64(values: &mut [u64]) {
     let t = fpc_metrics::timer(Stage::DiffmsDecode);
-    if let Some(first) = values.first_mut() {
-        *first = zigzag::decode64(*first);
-    }
-    for i in 1..values.len() {
-        values[i] = zigzag::decode64(values[i]).wrapping_add(values[i - 1]);
+    if fpc_simd::force_scalar() {
+        if let Some(first) = values.first_mut() {
+            *first = zigzag::decode64(*first);
+        }
+        for i in 1..values.len() {
+            values[i] = zigzag::decode64(values[i]).wrapping_add(values[i - 1]);
+        }
+    } else {
+        fpc_simd::diffms::decode64(values);
     }
     t.finish(values.len() as u64 * 8);
 }

@@ -25,15 +25,20 @@ fn bitmap_len(n: usize) -> usize {
 }
 
 /// Builds the level-0 bitmap (bit set ⇔ byte nonzero) and collects nonzero
-/// bytes.
+/// bytes. The loop is the scalar reference (`FPC_FORCE_SCALAR=1`); normal
+/// dispatch scans 8–32 bytes per step via `fpc_simd::bytescan`.
 fn zero_bitmap(data: &[u8]) -> (Vec<u8>, Vec<u8>) {
     let mut bitmap = vec![0u8; bitmap_len(data.len())];
     let mut kept = Vec::new();
-    for (i, &b) in data.iter().enumerate() {
-        if b != 0 {
-            bitmap[i / 8] |= 1 << (i % 8);
-            kept.push(b);
+    if fpc_simd::force_scalar() {
+        for (i, &b) in data.iter().enumerate() {
+            if b != 0 {
+                bitmap[i / 8] |= 1 << (i % 8);
+                kept.push(b);
+            }
         }
+    } else {
+        fpc_simd::bytescan::zero_bitmap(data, &mut bitmap, &mut kept);
     }
     (bitmap, kept)
 }
@@ -43,13 +48,17 @@ fn zero_bitmap(data: &[u8]) -> (Vec<u8>, Vec<u8>) {
 fn repeat_bitmap(data: &[u8]) -> (Vec<u8>, Vec<u8>) {
     let mut bitmap = vec![0u8; bitmap_len(data.len())];
     let mut kept = Vec::new();
-    let mut prev = 0u8;
-    for (i, &b) in data.iter().enumerate() {
-        if b != prev {
-            bitmap[i / 8] |= 1 << (i % 8);
-            kept.push(b);
+    if fpc_simd::force_scalar() {
+        let mut prev = 0u8;
+        for (i, &b) in data.iter().enumerate() {
+            if b != prev {
+                bitmap[i / 8] |= 1 << (i % 8);
+                kept.push(b);
+            }
+            prev = b;
         }
-        prev = b;
+    } else {
+        fpc_simd::bytescan::repeat_bitmap(data, &mut bitmap, &mut kept);
     }
     (bitmap, kept)
 }
@@ -87,16 +96,24 @@ fn take<'a>(data: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
 }
 
 /// Reconstructs a `len`-byte level from its repeat bitmap, consuming
-/// differing bytes from `data`.
+/// differing bytes from `data`. The per-bit loop is the scalar reference;
+/// normal dispatch expands a bitmap byte at a time.
 fn expand_repeat(bitmap: &[u8], len: usize, data: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(len);
-    let mut prev = 0u8;
-    for i in 0..len {
-        if bit_at(bitmap, i) {
-            prev = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)?;
-            *pos += 1;
+    if fpc_simd::force_scalar() {
+        let mut prev = 0u8;
+        for i in 0..len {
+            if bit_at(bitmap, i) {
+                prev = *data.get(*pos).ok_or(DecodeError::UnexpectedEof)?;
+                *pos += 1;
+            }
+            out.push(prev);
         }
-        out.push(prev);
+    } else {
+        let src = data.get(*pos..).unwrap_or(&[]);
+        let used = fpc_simd::bytescan::expand_repeat(bitmap, len, src, &mut out)
+            .ok_or(DecodeError::UnexpectedEof)?;
+        *pos += used;
     }
     Ok(out)
 }
@@ -117,13 +134,20 @@ pub fn decode(data: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u8>) -> Resu
     let bm1 = expand_repeat(&bm2, len1, data, pos)?;
     let bm0 = expand_repeat(&bm1, len0, data, pos)?;
     out.reserve(n);
-    for i in 0..n {
-        if bit_at(&bm0, i) {
-            out.push(*data.get(*pos).ok_or(DecodeError::UnexpectedEof)?);
-            *pos += 1;
-        } else {
-            out.push(0);
+    if fpc_simd::force_scalar() {
+        for i in 0..n {
+            if bit_at(&bm0, i) {
+                out.push(*data.get(*pos).ok_or(DecodeError::UnexpectedEof)?);
+                *pos += 1;
+            } else {
+                out.push(0);
+            }
         }
+    } else {
+        let src = data.get(*pos..).unwrap_or(&[]);
+        let used = fpc_simd::bytescan::expand_nonzero(&bm0, n, src, out)
+            .ok_or(DecodeError::UnexpectedEof)?;
+        *pos += used;
     }
     t.finish(n as u64);
     Ok(())

@@ -31,31 +31,48 @@ pub fn decode64(v: u64) -> u64 {
     (v >> 1) ^ (v & 1).wrapping_neg()
 }
 
-/// Applies [`encode32`] to every element.
+/// Applies [`encode32`] to every element (dispatched; the loop below is the
+/// scalar reference selected by `FPC_FORCE_SCALAR=1`).
 pub fn encode32_slice(values: &mut [u32]) {
-    for v in values {
-        *v = encode32(*v);
+    if fpc_simd::force_scalar() {
+        for v in values {
+            *v = encode32(*v);
+        }
+    } else {
+        fpc_simd::zigzag::encode32_slice(values);
     }
 }
 
-/// Applies [`decode32`] to every element.
+/// Applies [`decode32`] to every element (dispatched).
 pub fn decode32_slice(values: &mut [u32]) {
-    for v in values {
-        *v = decode32(*v);
+    if fpc_simd::force_scalar() {
+        for v in values {
+            *v = decode32(*v);
+        }
+    } else {
+        fpc_simd::zigzag::decode32_slice(values);
     }
 }
 
-/// Applies [`encode64`] to every element.
+/// Applies [`encode64`] to every element (dispatched).
 pub fn encode64_slice(values: &mut [u64]) {
-    for v in values {
-        *v = encode64(*v);
+    if fpc_simd::force_scalar() {
+        for v in values {
+            *v = encode64(*v);
+        }
+    } else {
+        fpc_simd::zigzag::encode64_slice(values);
     }
 }
 
-/// Applies [`decode64`] to every element.
+/// Applies [`decode64`] to every element (dispatched).
 pub fn decode64_slice(values: &mut [u64]) {
-    for v in values {
-        *v = decode64(*v);
+    if fpc_simd::force_scalar() {
+        for v in values {
+            *v = decode64(*v);
+        }
+    } else {
+        fpc_simd::zigzag::decode64_slice(values);
     }
 }
 

@@ -272,6 +272,232 @@ fn transform_decoders_survive_hostile_bytes() {
     });
 }
 
+/// The adversarial word corpora for the kernel differentials: all-zero,
+/// all-ones, denormal-heavy, and NaN-payload floats, plus fuzz-random words.
+/// These target the lane-boundary hazards of the vector kernels (carry
+/// propagation, sign replication, mask gathering).
+fn adversarial_u32(rng: &mut fpc_prng::Rng, family: u64, n: usize) -> Vec<u32> {
+    match family % 5 {
+        0 => vec![0u32; n],
+        1 => vec![u32::MAX; n],
+        // Denormal-heavy: exponent bits zero, small mantissas (the worst
+        // case for leading-zero-based stages).
+        2 => (0..n)
+            .map(|_| f32::from_bits(rng.next_u32() & 0x0000_03FF).to_bits())
+            .collect(),
+        // NaN payloads: exponent all-ones, arbitrary mantissa/sign.
+        3 => (0..n)
+            .map(|_| 0x7F80_0000 | (rng.next_u32() & 0x807F_FFFF) | 1)
+            .collect(),
+        _ => (0..n).map(|_| rng.next_u32()).collect(),
+    }
+}
+
+fn adversarial_u64(rng: &mut fpc_prng::Rng, family: u64, n: usize) -> Vec<u64> {
+    match family % 5 {
+        0 => vec![0u64; n],
+        1 => vec![u64::MAX; n],
+        2 => (0..n)
+            .map(|_| f64::from_bits(rng.next_u64() & 0xF_FFFF).to_bits())
+            .collect(),
+        3 => (0..n)
+            .map(|_| 0x7FF0_0000_0000_0000 | (rng.next_u64() & 0x800F_FFFF_FFFF_FFFF) | 1)
+            .collect(),
+        _ => (0..n).map(|_| rng.next_u64()).collect(),
+    }
+}
+
+fn words_as_bytes(words: &[u32]) -> Vec<u8> {
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// Kernel-level differential: every dispatched fpc-simd entry point must
+/// produce byte-identical results to its scalar reference on adversarial
+/// inputs. This runs *within one process*, so it compares whatever tier the
+/// environment selects (AVX2 on CI's x86 runners, SWAR under
+/// `FPC_SIMD_TIER=swar` or Miri) against the scalar loops directly; the
+/// `differential-dispatch` CI job additionally diffs whole compressed
+/// streams across processes.
+#[test]
+fn dispatched_kernels_match_scalar_on_adversarial_inputs() {
+    use fpcompress::entropy::bitio::{BitReader, BitWriter};
+    use fpcompress::simd::{bitpack, bytescan, diffms, transpose, zigzag};
+
+    run_cases("fuzz/kernel-differential", 120, |rng, case| {
+        // Lengths straddle the vector widths: empty, sub-lane, exact
+        // multiples of 8/32, and ragged tails.
+        let n = match case % 4 {
+            0 => rng.gen_range(0usize..9),
+            1 => 32 * rng.gen_range(1usize..5),
+            2 => 32 * rng.gen_range(1usize..5) + rng.gen_range(1usize..32),
+            _ => rng.gen_range(0usize..600),
+        };
+        let w32 = adversarial_u32(rng, case, n);
+        let w64 = adversarial_u64(rng, case, n);
+        let bytes = words_as_bytes(&w32);
+        fpc_prng::fuzz::record_input(&bytes);
+
+        // zigzag: dispatched vs scalar, both directions, both widths.
+        let (mut a, mut b) = (w32.clone(), w32.clone());
+        zigzag::encode32_slice(&mut a);
+        zigzag::encode32_slice_scalar(&mut b);
+        assert_eq!(a, b, "zigzag enc32 diverged (n={n}, family {})", case % 5);
+        zigzag::decode32_slice(&mut a);
+        zigzag::decode32_slice_scalar(&mut b);
+        assert_eq!(a, w32, "zigzag dec32 not inverse");
+        assert_eq!(b, w32);
+        let (mut a, mut b) = (w64.clone(), w64.clone());
+        zigzag::encode64_slice(&mut a);
+        zigzag::encode64_slice_scalar(&mut b);
+        assert_eq!(a, b, "zigzag enc64 diverged");
+        zigzag::decode64_slice(&mut a);
+        zigzag::decode64_slice_scalar(&mut b);
+        assert_eq!(a, w64, "zigzag dec64 not inverse");
+        assert_eq!(b, w64);
+
+        // DIFFMS: encode and decode, 32- and 64-bit.
+        let (mut a, mut b) = (w32.clone(), w32.clone());
+        diffms::encode32(&mut a);
+        diffms::encode32_scalar(&mut b);
+        assert_eq!(a, b, "diffms enc32 diverged (n={n}, family {})", case % 5);
+        diffms::decode32(&mut a);
+        diffms::decode32_scalar(&mut b);
+        assert_eq!(a, w32, "diffms dec32 not inverse");
+        assert_eq!(b, w32);
+        let (mut a, mut b) = (w64.clone(), w64.clone());
+        diffms::encode64(&mut a);
+        diffms::encode64_scalar(&mut b);
+        assert_eq!(a, b, "diffms enc64 diverged");
+        diffms::decode64(&mut a);
+        diffms::decode64_scalar(&mut b);
+        assert_eq!(a, w64, "diffms dec64 not inverse");
+        assert_eq!(b, w64);
+
+        // BIT transpose: dispatched whole-slice vs per-group scalar network.
+        let (mut a, mut b) = (w32.clone(), w32.clone());
+        transpose::transpose32(&mut a);
+        for group in b.chunks_exact_mut(32) {
+            transpose::transpose32_group_scalar(group.try_into().unwrap());
+        }
+        assert_eq!(a, b, "transpose32 diverged (n={n}, family {})", case % 5);
+        transpose::transpose32(&mut a);
+        assert_eq!(a, w32, "transpose32 not an involution");
+
+        // RZE byte scans: dispatched bitmap builders vs the scalar tail
+        // helpers run over the whole input, then the expanders must invert
+        // them while consuming exactly the kept bytes.
+        let bm_len = bytes.len().div_ceil(8);
+        let (mut bm_a, mut kept_a) = (vec![0u8; bm_len], Vec::new());
+        let (mut bm_b, mut kept_b) = (vec![0u8; bm_len], Vec::new());
+        bytescan::zero_bitmap(&bytes, &mut bm_a, &mut kept_a);
+        bytescan::zero_bitmap_tail(&bytes, 0, &mut bm_b, &mut kept_b);
+        assert_eq!((&bm_a, &kept_a), (&bm_b, &kept_b), "zero_bitmap diverged");
+        let mut back = Vec::new();
+        let used = bytescan::expand_nonzero(&bm_a, bytes.len(), &kept_a, &mut back).unwrap();
+        assert_eq!(used, kept_a.len());
+        assert_eq!(back, bytes, "expand_nonzero not inverse");
+        let (mut bm_a, mut kept_a) = (vec![0u8; bm_len], Vec::new());
+        let (mut bm_b, mut kept_b) = (vec![0u8; bm_len], Vec::new());
+        bytescan::repeat_bitmap(&bytes, &mut bm_a, &mut kept_a);
+        bytescan::repeat_bitmap_tail(&bytes, 0, 0, &mut bm_b, &mut kept_b);
+        assert_eq!((&bm_a, &kept_a), (&bm_b, &kept_b), "repeat_bitmap diverged");
+        let mut back = Vec::new();
+        let used = bytescan::expand_repeat(&bm_a, bytes.len(), &kept_a, &mut back).unwrap();
+        assert_eq!(used, kept_a.len());
+        assert_eq!(back, bytes, "expand_repeat not inverse");
+        // Truncated kept-byte stream must be refused, never panic.
+        if !kept_a.is_empty() {
+            let mut sink = Vec::new();
+            assert!(bytescan::expand_repeat(
+                &bm_a,
+                bytes.len(),
+                &kept_a[..kept_a.len() - 1],
+                &mut sink
+            )
+            .is_none());
+        }
+
+        // RLE run scan at every position of a run-heavy byte string.
+        let runs = bytes;
+        for i in (0..runs.len()).step_by(7) {
+            assert_eq!(
+                bytescan::run_len(&runs, i),
+                bytescan::run_len_scalar(&runs, i),
+                "run_len diverged at {i}"
+            );
+        }
+
+        // Bitpack: dispatched pack vs the scalar BitWriter, then dispatched
+        // unpack vs the scalar BitReader, at a fuzzed width.
+        let width = rng.gen_range(1u32..33);
+        let masked: Vec<u32> = w32
+            .iter()
+            .map(|&v| {
+                if width == 32 {
+                    v
+                } else {
+                    v & ((1 << width) - 1)
+                }
+            })
+            .collect();
+        let mut packed = Vec::new();
+        bitpack::pack_u32(&masked, width, &mut packed);
+        let mut w = BitWriter::new();
+        for &v in &masked {
+            w.write_bits(v as u64, width);
+        }
+        assert_eq!(packed, w.finish(), "pack_u32 diverged at width {width}");
+        let mut out = Vec::new();
+        assert!(bitpack::unpack_u32(&packed, width, masked.len(), &mut out));
+        assert_eq!(out, masked, "unpack_u32 not inverse at width {width}");
+        let mut r = BitReader::new(&packed);
+        for &v in &masked {
+            assert_eq!(r.read_bits(width).unwrap() as u32, v);
+        }
+        let width = rng.gen_range(1u32..65);
+        let masked: Vec<u64> = w64
+            .iter()
+            .map(|&v| {
+                if width == 64 {
+                    v
+                } else {
+                    v & ((1 << width) - 1)
+                }
+            })
+            .collect();
+        let mut packed = Vec::new();
+        bitpack::pack_u64(&masked, width, &mut packed);
+        let mut w = BitWriter::new();
+        for &v in &masked {
+            w.write_bits(v, width);
+        }
+        assert_eq!(packed, w.finish(), "pack_u64 diverged at width {width}");
+        let mut out = Vec::new();
+        assert!(bitpack::unpack_u64(&packed, width, masked.len(), &mut out));
+        assert_eq!(out, masked, "unpack_u64 not inverse at width {width}");
+        // Truncated packed stream must be refused.
+        if !packed.is_empty() {
+            let mut sink = Vec::new();
+            assert!(!bitpack::unpack_u64(
+                &packed[..packed.len() - 1],
+                width,
+                masked.len(),
+                &mut sink
+            ));
+        }
+
+        // max-width scan: dispatched vs iterator maximum.
+        assert_eq!(
+            bitpack::max_u32(&w32),
+            w32.iter().copied().max().unwrap_or(0)
+        );
+        assert_eq!(
+            bitpack::max_u64(&w64),
+            w64.iter().copied().max().unwrap_or(0)
+        );
+    });
+}
+
 #[test]
 fn baselines_survive_hostile_bytes() {
     use fpcompress::baselines::{roster, Meta};
