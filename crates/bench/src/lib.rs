@@ -20,6 +20,7 @@
 
 pub mod entries;
 pub mod figures;
+pub mod loadgen;
 pub mod measure;
 pub mod microbench;
 pub mod pareto;

@@ -9,6 +9,8 @@
 //! fpcc gen        --precision sp|dp --out DIR   # synthetic datasets + manifest
 //! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
 //! fpcc stats      <report.json>            # pretty-print a metrics/bench JSON
+//! fpcc serve      [--addr A] [--threads N] [--max-conns M]  # fpc-wire-v1 server
+//! fpcc remote     <compress|decompress|verify|ping> --addr A ...  # client
 //! ```
 //!
 //! Every command accepts `--metrics json|text`: after the command finishes,
@@ -16,11 +18,77 @@
 //! reserved for the command's own output). The report is only populated in
 //! binaries built with `--features metrics`; without the feature the probes
 //! are compiled out and the report says so.
+//!
+//! # Exit codes
+//!
+//! Failure classes get distinct exit codes so scripts and CI can react to
+//! them: **2** usage error (bad flags/arguments), **3** I/O or transport
+//! failure (filesystem, sockets, server busy/timeout), **4** corrupt or
+//! damaged stream (container parse/checksum/decode failures, roundtrip
+//! mismatches). 0 is success.
 
 use fpc_baselines::Meta;
 use fpc_core::{Algorithm, Compressor};
+use fpc_serve::{Client, ClientError, ErrorCode, ServeConfig, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for usage errors (unknown command, bad flag, missing operand).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for I/O and transport failures.
+const EXIT_IO: u8 = 3;
+/// Exit code for corrupt/damaged streams.
+const EXIT_CORRUPT: u8 = 4;
+
+/// A classified command failure: the message goes to stderr, the code
+/// becomes the process exit status.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_IO,
+            message: message.into(),
+        }
+    }
+
+    fn corrupt(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_CORRUPT,
+            message: message.into(),
+        }
+    }
+}
+
+/// Classifies a remote-operation failure: server-reported stream damage is
+/// "corrupt" (4); everything else (transport, protocol, saturation,
+/// timeouts) is I/O (3).
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> CliError {
+        match &e {
+            ClientError::Remote(we) if we.code == ErrorCode::CorruptStream => {
+                CliError::corrupt(e.to_string())
+            }
+            ClientError::Remote(we) if we.code == ErrorCode::UnknownAlgorithm => {
+                CliError::usage(e.to_string())
+            }
+            _ => CliError::io(e.to_string()),
+        }
+    }
+}
+
+type CliResult = Result<(), CliError>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +96,7 @@ fn main() -> ExitCode {
         Ok(fmt) => fmt,
         Err(msg) => {
             eprintln!("fpcc: {msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let result = match args.first().map(String::as_str) {
@@ -40,31 +108,39 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("anatomy") => cmd_anatomy(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("remote") => cmd_remote(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy|stats> ...\n\
+                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy|stats|serve|remote> ...\n\
                  \n\
                  compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
                  decompress [--threads N] <in> <out>\n\
                  info       <file>\n\
-                 verify     <file>   # per-chunk checksum audit, exit 1 on damage\n\
+                 verify     <file>   # per-chunk checksum audit, exit 4 on damage\n\
                  survey     --width <4|8> [--threads N] <file>\n\
                  gen        --precision <sp|dp> --out <dir>\n\
                  anatomy    --algo <name> <file>   # per-stage volume breakdown\n\
                  stats      <report.json>   # pretty-print a metrics/bench JSON report\n\
+                 serve      [--addr HOST:PORT] [--threads N] [--max-conns M] [--max-frame BYTES]\n\
+                 remote     compress   --addr HOST:PORT --algo <name> <in> <out>\n\
+                 remote     decompress --addr HOST:PORT <in> <out>\n\
+                 remote     verify     --addr HOST:PORT <file>\n\
+                 remote     ping       --addr HOST:PORT\n\
                  \n\
                  global: --metrics <json|text>   # instrumentation report on stderr\n\
-                         (populated only in builds with --features metrics)"
+                         (populated only in builds with --features metrics)\n\
+                 exit codes: 2 usage, 3 I/O or transport, 4 corrupt stream"
             );
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     emit_metrics(metrics_fmt);
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("fpcc: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("fpcc: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -99,16 +175,17 @@ fn emit_metrics(fmt: MetricsFormat) {
     }
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <report.json>".into());
+        return Err(CliError::usage("expected <report.json>"));
     };
-    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let value =
-        fpc_metrics::json::Value::parse(&text).map_err(|e| format!("parsing {input}: {e}"))?;
-    let rendered =
-        fpc_metrics::report::render_value(&value).map_err(|e| format!("rendering {input}: {e}"))?;
+    let text = std::fs::read_to_string(input)
+        .map_err(|e| CliError::io(format!("reading {input}: {e}")))?;
+    let value = fpc_metrics::json::Value::parse(&text)
+        .map_err(|e| CliError::corrupt(format!("parsing {input}: {e}")))?;
+    let rendered = fpc_metrics::report::render_value(&value)
+        .map_err(|e| CliError::corrupt(format!("rendering {input}: {e}")))?;
     print!("{rendered}");
     Ok(())
 }
@@ -139,37 +216,50 @@ fn positional(args: &[String]) -> Vec<&str> {
 }
 
 /// Parses the shared `--threads N` flag (0 = all cores, the default).
-fn parse_threads(args: &[String]) -> Result<usize, String> {
+fn parse_threads(args: &[String]) -> Result<usize, CliError> {
     flag_value(args, "--threads")
-        .map(|t| t.parse().map_err(|_| "invalid --threads".to_string()))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| CliError::usage("invalid --threads".to_string()))
+        })
         .transpose()
         .map(|t| t.unwrap_or(0))
 }
 
-fn parse_algo(name: &str) -> Result<Algorithm, String> {
+fn parse_algo(name: &str) -> Result<Algorithm, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "spspeed" => Ok(Algorithm::SpSpeed),
         "spratio" => Ok(Algorithm::SpRatio),
         "dpspeed" => Ok(Algorithm::DpSpeed),
         "dpratio" => Ok(Algorithm::DpRatio),
-        other => Err(format!("unknown algorithm '{other}'")),
+        other => Err(CliError::usage(format!("unknown algorithm '{other}'"))),
     }
 }
 
-fn cmd_compress(args: &[String]) -> Result<(), String> {
-    let algo = parse_algo(flag_value(args, "--algo").ok_or("--algo is required")?)?;
+fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|e| CliError::io(format!("reading {path}: {e}")))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> CliResult {
+    std::fs::write(path, bytes).map_err(|e| CliError::io(format!("writing {path}: {e}")))
+}
+
+fn cmd_compress(args: &[String]) -> CliResult {
+    let algo = parse_algo(
+        flag_value(args, "--algo").ok_or_else(|| CliError::usage("--algo is required"))?,
+    )?;
     let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
-        return Err("expected <input> <output>".into());
+        return Err(CliError::usage("expected <input> <output>"));
     };
-    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let data = read_file(input)?;
     let start = std::time::Instant::now();
     let stream = Compressor::new(algo)
         .with_threads(threads)
         .compress_bytes(&data);
     let dt = start.elapsed().as_secs_f64();
-    std::fs::write(output, &stream).map_err(|e| format!("writing {output}: {e}"))?;
+    write_file(output, &stream)?;
     println!(
         "{algo}: {} -> {} bytes (ratio {:.3}) in {:.3}s ({:.3} GB/s)",
         data.len(),
@@ -181,17 +271,18 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompress(args: &[String]) -> Result<(), String> {
+fn cmd_decompress(args: &[String]) -> CliResult {
     let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
-        return Err("expected <input> <output>".into());
+        return Err(CliError::usage("expected <input> <output>"));
     };
-    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let stream = read_file(input)?;
     let start = std::time::Instant::now();
-    let data = fpc_core::decompress_bytes_with(&stream, threads).map_err(|e| e.to_string())?;
+    let data = fpc_core::decompress_bytes_with(&stream, threads)
+        .map_err(|e| CliError::corrupt(e.to_string()))?;
     let dt = start.elapsed().as_secs_f64();
-    std::fs::write(output, &data).map_err(|e| format!("writing {output}: {e}"))?;
+    write_file(output, &data)?;
     println!(
         "{} -> {} bytes in {:.3}s ({:.3} GB/s)",
         stream.len(),
@@ -202,13 +293,13 @@ fn cmd_decompress(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <file>".into());
+        return Err(CliError::usage("expected <file>"));
     };
-    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
-    let info = fpc_core::info(&stream).map_err(|e| e.to_string())?;
+    let stream = read_file(input)?;
+    let info = fpc_core::info(&stream).map_err(|e| CliError::corrupt(e.to_string()))?;
     println!("algorithm:      {}", info.algorithm);
     println!("stages:         {}", info.algorithm.stages().join(" -> "));
     println!("original bytes: {}", info.original_len);
@@ -221,15 +312,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+fn cmd_verify(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <file>".into());
+        return Err(CliError::usage("expected <file>"));
     };
-    let stream = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let stream = read_file(input)?;
     // verify() walks the chunk table and re-hashes each compressed chunk in
     // place — nothing is decompressed or materialized.
-    let (header, report) = fpc_container::verify(&stream).map_err(|e| e.to_string())?;
+    let (header, report) =
+        fpc_container::verify(&stream).map_err(|e| CliError::corrupt(e.to_string()))?;
     println!("format version: {}", header.version);
     println!("chunks:         {}", report.chunks);
     if !report.checksummed {
@@ -246,27 +338,27 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             d.chunk, d.offset, d.error
         );
     }
-    Err(format!(
+    Err(CliError::corrupt(format!(
         "{} of {} chunk(s) damaged",
         report.damaged.len(),
         report.chunks
-    ))
+    )))
 }
 
-fn cmd_survey(args: &[String]) -> Result<(), String> {
+fn cmd_survey(args: &[String]) -> CliResult {
     let width: u8 = flag_value(args, "--width")
         .unwrap_or("4")
         .parse()
-        .map_err(|_| "bad --width")?;
+        .map_err(|_| CliError::usage("bad --width"))?;
     if width != 4 && width != 8 {
-        return Err("--width must be 4 or 8".into());
+        return Err(CliError::usage("--width must be 4 or 8"));
     }
     let threads = parse_threads(args)?;
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <file>".into());
+        return Err(CliError::usage("expected <file>"));
     };
-    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let data = read_file(input)?;
     let meta = Meta {
         element_width: width,
         dims: [1, 1, data.len() / usize::from(width)],
@@ -285,10 +377,11 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
         let stream = compressor.compress_bytes(&data);
         let ct = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let back = fpc_core::decompress_bytes_with(&stream, threads).map_err(|e| e.to_string())?;
+        let back = fpc_core::decompress_bytes_with(&stream, threads)
+            .map_err(|e| CliError::corrupt(e.to_string()))?;
         let dt = t1.elapsed().as_secs_f64();
         if back != data {
-            return Err(format!("{algo} roundtrip mismatch"));
+            return Err(CliError::corrupt(format!("{algo} roundtrip mismatch")));
         }
         print_survey_row(&algo.to_string(), &data, &stream, ct, dt);
     }
@@ -302,10 +395,13 @@ fn cmd_survey(args: &[String]) -> Result<(), String> {
         let t1 = std::time::Instant::now();
         let back = codec
             .decompress(&stream, &meta)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::corrupt(e.to_string()))?;
         let dt = t1.elapsed().as_secs_f64();
         if back != data {
-            return Err(format!("{} roundtrip mismatch", codec.name()));
+            return Err(CliError::corrupt(format!(
+                "{} roundtrip mismatch",
+                codec.name()
+            )));
         }
         print_survey_row(codec.name(), &data, &stream, ct, dt);
     }
@@ -321,42 +417,216 @@ fn print_survey_row(name: &str, data: &[u8], stream: &[u8], ct: f64, dt: f64) {
     );
 }
 
-fn cmd_anatomy(args: &[String]) -> Result<(), String> {
-    let algo = parse_algo(flag_value(args, "--algo").ok_or("--algo is required")?)?;
+fn cmd_anatomy(args: &[String]) -> CliResult {
+    let algo = parse_algo(
+        flag_value(args, "--algo").ok_or_else(|| CliError::usage("--algo is required"))?,
+    )?;
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <file>".into());
+        return Err(CliError::usage("expected <file>"));
     };
-    let data = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let data = read_file(input)?;
     print!("{}", fpc_core::analyze_bytes(&data, algo));
     Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> CliResult {
     let precision = flag_value(args, "--precision").unwrap_or("sp");
     let out_dir = PathBuf::from(flag_value(args, "--out").unwrap_or("datasets"));
     let scale = match flag_value(args, "--scale").unwrap_or("small") {
         "small" => fpc_datagen::Scale::Small,
         "full" => fpc_datagen::Scale::Full,
-        other => return Err(format!("unknown scale '{other}'")),
+        other => return Err(CliError::usage(format!("unknown scale '{other}'"))),
     };
     match precision {
         "sp" => {
             let suites = fpc_datagen::single_precision_suites(scale);
             fpc_datagen::external::write_manifest_f32(&out_dir, &suites)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::io(e.to_string()))?;
         }
         "dp" => {
             let suites = fpc_datagen::double_precision_suites(scale);
             fpc_datagen::external::write_manifest_f64(&out_dir, &suites)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::io(e.to_string()))?;
         }
-        other => return Err(format!("unknown precision '{other}'")),
+        other => return Err(CliError::usage(format!("unknown precision '{other}'"))),
     }
     println!(
         "datasets and manifest written to {} (harness: --data {})",
         out_dir.display(),
         out_dir.display()
     );
+    Ok(())
+}
+
+/// Default service address for `fpcc serve` / `fpcc remote`.
+const DEFAULT_ADDR: &str = "127.0.0.1:9463";
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let threads = parse_threads(args)?;
+    let parse_num = |flag: &str| -> Result<Option<u64>, CliError> {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| CliError::usage(format!("invalid {flag}")))
+            })
+            .transpose()
+    };
+    let mut config = ServeConfig {
+        threads,
+        ..ServeConfig::default()
+    };
+    if let Some(m) = parse_num("--max-conns")? {
+        config.max_conns = m as usize;
+    }
+    if let Some(f) = parse_num("--max-frame")? {
+        let f = u32::try_from(f).map_err(|_| CliError::usage("--max-frame too large"))?;
+        if f == 0 {
+            return Err(CliError::usage("--max-frame must be positive"));
+        }
+        config.max_frame = f;
+    }
+    if let Some(r) = parse_num("--max-request")? {
+        config.max_request = r;
+    }
+    if let Some(t) = parse_num("--timeout-secs")? {
+        let t = (t > 0).then(|| Duration::from_secs(t));
+        config.read_timeout = t;
+        config.write_timeout = t;
+    }
+    let conns = config.effective_conns();
+    let server =
+        Server::bind(addr, config).map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::io(e.to_string()))?;
+    println!(
+        "fpcc serve: listening on {local} ({conns} connection workers); SIGINT for graceful shutdown"
+    );
+    // Bridge SIGINT to the server's shutdown flag: the handler itself only
+    // stores an atomic; this watcher thread does the cross-Arc plumbing.
+    let sig = fpc_serve::sigint_flag();
+    let shutdown = server.shutdown_flag();
+    std::thread::spawn(move || loop {
+        if sig.load(std::sync::atomic::Ordering::SeqCst) {
+            shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    server.run().map_err(|e| CliError::io(e.to_string()))?;
+    println!("fpcc serve: drained and stopped");
+    Ok(())
+}
+
+fn connect(args: &[String]) -> Result<Client, CliError> {
+    let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let timeout = match flag_value(args, "--timeout-secs") {
+        None => Some(Duration::from_secs(30)),
+        Some(v) => {
+            let secs: u64 = v
+                .parse()
+                .map_err(|_| CliError::usage("invalid --timeout-secs"))?;
+            (secs > 0).then(|| Duration::from_secs(secs))
+        }
+    };
+    Client::connect(addr, timeout).map_err(|e| CliError::io(format!("connecting {addr}: {e}")))
+}
+
+fn cmd_remote(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("compress") => cmd_remote_compress(&args[1..]),
+        Some("decompress") => cmd_remote_decompress(&args[1..]),
+        Some("verify") => cmd_remote_verify(&args[1..]),
+        Some("ping") => cmd_remote_ping(&args[1..]),
+        _ => Err(CliError::usage(
+            "expected remote <compress|decompress|verify|ping> --addr HOST:PORT ...",
+        )),
+    }
+}
+
+fn cmd_remote_compress(args: &[String]) -> CliResult {
+    let algo = parse_algo(
+        flag_value(args, "--algo").ok_or_else(|| CliError::usage("--algo is required"))?,
+    )?;
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err(CliError::usage("expected <input> <output>"));
+    };
+    let data = read_file(input)?;
+    let mut client = connect(args)?;
+    let start = std::time::Instant::now();
+    let stream = client.compress(algo, &data)?;
+    let dt = start.elapsed().as_secs_f64();
+    write_file(output, &stream)?;
+    println!(
+        "{algo} (remote): {} -> {} bytes (ratio {:.3}) in {:.3}s ({:.3} GB/s incl. wire)",
+        data.len(),
+        stream.len(),
+        data.len() as f64 / stream.len() as f64,
+        dt,
+        data.len() as f64 / 1e9 / dt
+    );
+    Ok(())
+}
+
+fn cmd_remote_decompress(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err(CliError::usage("expected <input> <output>"));
+    };
+    let stream = read_file(input)?;
+    let mut client = connect(args)?;
+    let start = std::time::Instant::now();
+    let data = client.decompress(&stream)?;
+    let dt = start.elapsed().as_secs_f64();
+    write_file(output, &data)?;
+    println!(
+        "remote: {} -> {} bytes in {:.3}s ({:.3} GB/s incl. wire)",
+        stream.len(),
+        data.len(),
+        dt,
+        data.len() as f64 / 1e9 / dt
+    );
+    Ok(())
+}
+
+fn cmd_remote_verify(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err(CliError::usage("expected <file>"));
+    };
+    let stream = read_file(input)?;
+    let mut client = connect(args)?;
+    let report = client.verify(&stream)?;
+    println!("format version: {}", report.format_version);
+    println!("chunks:         {}", report.chunks);
+    if !report.checksummed {
+        println!("checksums:      none (v1 stream) — integrity cannot be audited");
+        return Ok(());
+    }
+    if report.is_clean() {
+        println!("checksums:      all {} chunk(s) verified OK", report.chunks);
+        return Ok(());
+    }
+    for &(chunk, offset) in &report.damaged {
+        println!("DAMAGED chunk {chunk:>6} at byte offset {offset:>10}");
+    }
+    Err(CliError::corrupt(format!(
+        "{} of {} chunk(s) damaged",
+        report.damaged_count, report.chunks
+    )))
+}
+
+fn cmd_remote_ping(args: &[String]) -> CliResult {
+    let mut client = connect(args)?;
+    let start = std::time::Instant::now();
+    client.ping(b"fpcc")?;
+    let addr = client
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    println!("pong from {addr} in {:.1?}", start.elapsed());
     Ok(())
 }

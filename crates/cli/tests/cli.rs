@@ -85,8 +85,21 @@ fn unknown_algorithm_fails_cleanly() {
         .arg(&out)
         .output()
         .expect("run");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&output.stderr).contains("unknown algorithm"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_input_is_io_error() {
+    let dir = temp_dir("missing");
+    let output = fpcc()
+        .args(["compress", "--algo", "spratio"])
+        .arg(dir.join("does-not-exist.bin"))
+        .arg(dir.join("out.fpc"))
+        .output()
+        .expect("run");
+    assert_eq!(output.status.code(), Some(3), "I/O errors exit 3");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -101,7 +114,7 @@ fn decompress_rejects_garbage() {
         .arg(dir.join("out.bin"))
         .output()
         .expect("run");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(4), "corrupt streams exit 4");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -125,7 +138,7 @@ fn anatomy_prints_stage_breakdown() {
 #[test]
 fn no_args_prints_usage() {
     let output = fpcc().output().expect("run");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
 }
 

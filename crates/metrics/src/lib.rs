@@ -95,11 +95,19 @@ pub enum Stage {
     GpuRadixSort,
     /// Simulated-GPU union-find FCM decode.
     GpuUnionFind,
+    /// Service-side compress request (fpc-serve), wire receipt excluded.
+    ServeCompress,
+    /// Service-side decompress request.
+    ServeDecompress,
+    /// Service-side verify request.
+    ServeVerify,
+    /// Service-side ping request.
+    ServePing,
 }
 
 impl Stage {
     /// Number of stages (size of the statistics table).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 30;
 
     /// Every stage, in report order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -129,6 +137,10 @@ impl Stage {
         Stage::GpuScan,
         Stage::GpuRadixSort,
         Stage::GpuUnionFind,
+        Stage::ServeCompress,
+        Stage::ServeDecompress,
+        Stage::ServeVerify,
+        Stage::ServePing,
     ];
 
     /// Stable report name (`<layer>.<operation>`).
@@ -160,6 +172,10 @@ impl Stage {
             Stage::GpuScan => "gpu.scan.lookback",
             Stage::GpuRadixSort => "gpu.radix.sort",
             Stage::GpuUnionFind => "gpu.unionfind.decode",
+            Stage::ServeCompress => "serve.compress",
+            Stage::ServeDecompress => "serve.decompress",
+            Stage::ServeVerify => "serve.verify",
+            Stage::ServePing => "serve.ping",
         }
     }
 
@@ -201,11 +217,27 @@ pub enum Counter {
     SimdSse2,
     /// Kernel calls dispatched at the AVX2 tier.
     SimdAvx2,
+    /// Connections served by fpc-serve workers.
+    ServeConnections,
+    /// Connections shed at the acceptor (queue full).
+    ServeConnRejected,
+    /// Requests received (including ones rejected over caps).
+    ServeRequests,
+    /// Requests answered with a structured error frame, plus connections
+    /// dropped over framing/transport failures.
+    ServeErrors,
+    /// Request payload bytes accepted for processing.
+    ServeBytesIn,
+    /// Response payload bytes sent.
+    ServeBytesOut,
+    /// Nanoseconds sockets spent queued between accept and a worker
+    /// picking them up, summed over connections.
+    ServeQueueWaitNanos,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 19;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -221,6 +253,13 @@ impl Counter {
         Counter::SimdSwar,
         Counter::SimdSse2,
         Counter::SimdAvx2,
+        Counter::ServeConnections,
+        Counter::ServeConnRejected,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::ServeBytesIn,
+        Counter::ServeBytesOut,
+        Counter::ServeQueueWaitNanos,
     ];
 
     /// Stable report name.
@@ -238,6 +277,13 @@ impl Counter {
             Counter::SimdSwar => "simd.dispatch.swar",
             Counter::SimdSse2 => "simd.dispatch.sse2",
             Counter::SimdAvx2 => "simd.dispatch.avx2",
+            Counter::ServeConnections => "serve.connections",
+            Counter::ServeConnRejected => "serve.connections.rejected",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeErrors => "serve.errors",
+            Counter::ServeBytesIn => "serve.bytes.in",
+            Counter::ServeBytesOut => "serve.bytes.out",
+            Counter::ServeQueueWaitNanos => "serve.queue_wait_nanos",
         }
     }
 

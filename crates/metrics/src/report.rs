@@ -340,6 +340,20 @@ fn render_bench(v: &Value) -> Result<String, String> {
             }
         }
     }
+    if let Some(lg) = v.get("loadgen") {
+        let _ = writeln!(out, "\nloadgen:");
+        if let Value::Obj(members) = lg {
+            for (k, val) in members {
+                if let Some(s) = val.as_str() {
+                    let _ = writeln!(out, "  {k:<18} {s}");
+                } else if let Some(n) = val.as_u64() {
+                    let _ = writeln!(out, "  {k:<18} {n}");
+                } else if let Some(x) = val.as_f64() {
+                    let _ = writeln!(out, "  {k:<18} {x:.3}");
+                }
+            }
+        }
+    }
     Ok(out)
 }
 

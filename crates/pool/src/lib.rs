@@ -112,11 +112,26 @@ where
 
 /// Number of workers that will actually run a job of `count` items when
 /// `requested` threads are asked for (0 = all available cores).
+///
+/// Oversubscription is clamped: the pool only ever has one worker per
+/// available core, so `requested > available_parallelism` would merely
+/// shrink the claim batches (more counter contention) without adding
+/// concurrency — callers asking for 64 threads on a 4-core box get 4.
+///
+/// The clamp has a floor of 2 for explicit multi-thread requests: an
+/// explicit `threads >= 2` always reaches the parallel path, even on a
+/// single-core host. The jobs are deterministic and CPU-bound, so two
+/// workers on one core are merely slow, and single-core CI runners rely
+/// on `--threads 2` to exercise the pool machinery at all.
 pub fn effective_threads(requested: usize, count: usize) -> usize {
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let t = if requested == 0 { available } else { requested };
+    let t = if requested == 0 {
+        available
+    } else {
+        requested.min(available.max(2))
+    };
     t.min(count.max(1))
 }
 
@@ -415,6 +430,31 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn effective_threads_clamps() {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // 0 = all cores.
+        assert_eq!(effective_threads(0, usize::MAX), available);
+        // Explicit single thread stays single.
+        assert_eq!(effective_threads(1, usize::MAX), 1);
+        // Oversubscribed requests clamp to the available parallelism,
+        // with a floor of 2 so explicit multi-thread requests still take
+        // the parallel path on a single-core host.
+        assert_eq!(
+            effective_threads(available * 16, usize::MAX),
+            available.max(2)
+        );
+        assert_eq!(effective_threads(usize::MAX, usize::MAX), available.max(2));
+        assert_eq!(effective_threads(2, usize::MAX), 2);
+        // The item count still bounds the worker count...
+        assert_eq!(effective_threads(0, 1), 1);
+        assert_eq!(effective_threads(8, 2), 2);
+        // ...and an empty job still reports one worker (the caller).
+        assert_eq!(effective_threads(4, 0), 1);
+    }
 
     #[test]
     fn zero_and_one_count() {

@@ -1,0 +1,174 @@
+//! Blocking client for the `fpc-wire-v1` service: `fpcc remote` and the
+//! bench loadgen drive the server through this type.
+
+use crate::wire::{
+    read_frame, send_request, FrameKind, Op, RecvError, RemoteVerify, WireError, ALGO_NONE,
+    DEFAULT_MAX_FRAME,
+};
+use fpc_core::Algorithm;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a remote operation failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, send, or receive).
+    Io(io::Error),
+    /// The server's bytes violated the protocol.
+    Protocol(String),
+    /// The server replied with a structured error frame.
+    Remote(WireError),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> ClientError {
+        match e {
+            RecvError::Closed => ClientError::Protocol("server closed the connection".into()),
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Wire(e) => ClientError::Protocol(e.to_string()),
+        }
+    }
+}
+
+/// One connection to an `fpc-serve` instance; requests are issued
+/// sequentially and the connection is reused across them.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects with the given socket timeouts applied to every read and
+    /// write on the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream),
+            next_id: 1,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// The server's address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getpeername` failures.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.reader.get_ref().peer_addr()
+    }
+
+    /// Compresses `data` remotely; the stream is byte-identical to a local
+    /// `Compressor::new(algo).compress_bytes(data)` (the container output
+    /// is deterministic regardless of server thread count).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, protocol, or server-side failure.
+    pub fn compress(&mut self, algo: Algorithm, data: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.request(Op::Compress, algo.id(), data)
+    }
+
+    /// Decompresses an FPcompress container stream remotely.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] with `corrupt-stream` for a damaged operand.
+    pub fn decompress(&mut self, stream: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.request(Op::Decompress, ALGO_NONE, stream)
+    }
+
+    /// Checksum-audits a container stream remotely (no decompression).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure; unusable framing in the operand surfaces
+    /// as [`ClientError::Remote`] with `corrupt-stream`.
+    pub fn verify(&mut self, stream: &[u8]) -> Result<RemoteVerify, ClientError> {
+        let payload = self.request(Op::Verify, ALGO_NONE, stream)?;
+        RemoteVerify::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Liveness probe; the server echoes `payload`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport or protocol failure.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let echoed = self.request(Op::Ping, ALGO_NONE, payload)?;
+        if echoed == payload {
+            Ok(echoed)
+        } else {
+            Err(ClientError::Protocol("ping echo mismatch".into()))
+        }
+    }
+
+    /// Sends one request and reads the complete reply.
+    fn request(&mut self, op: Op, algo: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        send_request(&mut self.reader.get_ref(), op, algo, id, payload)?;
+        let (header, body) = read_frame(&mut self.reader, self.max_frame)?;
+        match header.kind {
+            FrameKind::Error => Err(ClientError::Remote(WireError::decode(&body))),
+            FrameKind::Response => {
+                if header.request_id != id {
+                    return Err(ClientError::Protocol(format!(
+                        "response for request {} while awaiting {id}",
+                        header.request_id
+                    )));
+                }
+                self.recv_body()
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected response/error, got kind {}",
+                other as u8
+            ))),
+        }
+    }
+
+    /// Accumulates `Data`* + `End` after a `Response` header.
+    fn recv_body(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::new();
+        loop {
+            let (header, chunk) = read_frame(&mut self.reader, self.max_frame)?;
+            match header.kind {
+                FrameKind::Data => out.extend_from_slice(&chunk),
+                FrameKind::End => return Ok(out),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected data/end, got kind {}",
+                        other as u8
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The `fpc-serve` TCP server: acceptor, bounded connection queue, and a
+//! fixed pool of connection workers.
+//!
+//! The acceptor thread never blocks on a client: the listener is
+//! non-blocking and accepted sockets are pushed onto a bounded queue that
+//! [`ServeConfig::max_conns`] worker threads drain. When the queue is full
+//! the acceptor replies with a structured [`ErrorCode::Busy`] frame and
+//! closes the socket — load sheds at the edge instead of queueing
+//! unboundedly. The heavy lifting (chunk compression/decompression) runs
+//! through the process-wide `fpc-pool` executor exactly as the CLI path
+//! does, so a single large request still uses every core and concurrent
+//! requests share the pool's dynamic schedule.
+//!
+//! **Backpressure / hostile-input caps** (all structured errors, never
+//! panics, mirroring the container v2 hardening):
+//!
+//! * per-frame payload cap ([`ServeConfig::max_frame`]) →
+//!   [`ErrorCode::FrameTooLarge`];
+//! * per-request payload cap ([`ServeConfig::max_request`]) →
+//!   [`ErrorCode::PayloadTooLarge`] — excess `Data` frames are *drained
+//!   without buffering* so the reply still reaches the client;
+//! * global inflight-bytes cap ([`ServeConfig::max_inflight`]) →
+//!   [`ErrorCode::Busy`];
+//! * per-connection read/write timeouts → [`ErrorCode::Timeout`].
+//!
+//! **Graceful shutdown**: setting the flag returned by
+//! [`Server::shutdown_flag`] (e.g. from a SIGINT handler, see
+//! [`crate::sigint_flag`]) stops the acceptor, lets every worker finish
+//! its in-flight request, closes queued-but-unserved sockets, and joins
+//! all workers before [`Server::run`] returns.
+
+use crate::wire::{
+    read_frame, send_error, send_response, ErrorCode, FrameKind, Op, RecvError, RemoteVerify,
+    WireError, DEFAULT_MAX_FRAME,
+};
+use fpc_core::{Algorithm, Compressor};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per codec job (0 = all cores), forwarded to
+    /// [`Compressor::with_threads`].
+    pub threads: usize,
+    /// Connection worker threads (= maximum concurrently served
+    /// connections). 0 selects one per available core, but no fewer
+    /// than 8.
+    pub max_conns: usize,
+    /// Accepted-but-unserved sockets the queue holds before the acceptor
+    /// sheds load with [`ErrorCode::Busy`]. 0 selects `2 * max_conns`.
+    pub queue_cap: usize,
+    /// Per-frame payload cap in bytes.
+    pub max_frame: u32,
+    /// Per-request accumulated payload cap in bytes.
+    pub max_request: u64,
+    /// Global cap on request payload bytes buffered across all
+    /// connections at once.
+    pub max_inflight: u64,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 0,
+            max_conns: 0,
+            queue_cap: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_request: 1 << 30,
+            max_inflight: 2 << 30,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Connection workers after defaulting: `max_conns` as given, or one
+    /// per available core but no fewer than 8. Unlike codec threads these
+    /// spend their life parked on socket reads, so oversubscribing a small
+    /// host is the right default — otherwise concurrent clients would
+    /// serialize behind core count.
+    pub fn effective_conns(&self) -> usize {
+        if self.max_conns == 0 {
+            fpc_pool::effective_threads(0, usize::MAX).max(8)
+        } else {
+            self.max_conns
+        }
+    }
+
+    /// Queue capacity after defaulting.
+    pub fn effective_queue_cap(&self) -> usize {
+        if self.queue_cap == 0 {
+            self.effective_conns() * 2
+        } else {
+            self.queue_cap
+        }
+    }
+}
+
+/// A bound-but-not-yet-running compression server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// State shared between the acceptor and the connection workers.
+struct Shared {
+    queue: Mutex<VecDeque<Conn>>,
+    available: Condvar,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+    /// Request payload bytes currently buffered across all connections.
+    inflight: AtomicU64,
+    /// Per-worker handle to the socket it is currently serving, so
+    /// shutdown can interrupt blocked reads instead of waiting out the
+    /// socket timeout.
+    active: Vec<Mutex<Option<TcpStream>>>,
+}
+
+/// One accepted socket waiting for (or held by) a worker.
+struct Conn {
+    stream: TcpStream,
+    queued: fpc_metrics::Stopwatch,
+}
+
+impl Server {
+    /// Binds the listener without serving yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, resolution).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shutdown flag: set it (from any thread or a signal handler
+    /// bridge) to stop the acceptor and drain the workers.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until the shutdown flag is set; returns after every worker
+    /// has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors are handled
+    /// in-protocol and do not end the server).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let workers = self.config.effective_conns();
+        let queue_cap = self.config.effective_queue_cap();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: Arc::clone(&self.shutdown),
+            config: self.config,
+            inflight: AtomicU64::new(0),
+            active: (0..workers).map(|_| Mutex::new(None)).collect(),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for id in 0..workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("fpc-serve-{id}"))
+                .spawn(move || worker_loop(&shared, id))?;
+            handles.push(handle);
+        }
+        let accept_result = accept_loop(&self.listener, &shared, queue_cap);
+        // Shutdown path (flag set, or a fatal accept error): wake idle
+        // workers, interrupt in-flight socket reads, drop unserved sockets.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.available.notify_all();
+        for slot in &shared.active {
+            if let Some(stream) = lock(slot).as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        lock(&shared.queue).clear();
+        accept_result
+    }
+}
+
+/// Accepts until shutdown; never blocks on a single client.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, queue_cap: usize) -> io::Result<()> {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn = Conn {
+                    stream,
+                    queued: fpc_metrics::Stopwatch::start(),
+                };
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= queue_cap {
+                    drop(queue);
+                    reject_busy(conn.stream);
+                } else {
+                    queue.push_back(conn);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient per-connection failures (reset before accept
+            // completed) are not fatal to the listener.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Sheds a connection the queue has no room for: best-effort structured
+/// `Busy` error, then close.
+fn reject_busy(stream: TcpStream) {
+    fpc_metrics::incr(fpc_metrics::Counter::ServeConnRejected, 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut w = stream;
+    let _ = send_error(
+        &mut w,
+        0,
+        &WireError::new(ErrorCode::Busy, "connection queue full; retry later"),
+    );
+}
+
+fn worker_loop(shared: &Arc<Shared>, id: usize) {
+    loop {
+        let conn = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(conn) = conn else { return };
+        if fpc_metrics::ENABLED {
+            fpc_metrics::incr(
+                fpc_metrics::Counter::ServeQueueWaitNanos,
+                conn.queued.elapsed_nanos(),
+            );
+        }
+        fpc_metrics::incr(fpc_metrics::Counter::ServeConnections, 1);
+        // Publish a handle to this socket so shutdown can interrupt a
+        // blocked read; re-check the flag afterwards to close the window
+        // where shutdown swept the slots before the store landed.
+        *lock(&shared.active[id]) = conn.stream.try_clone().ok();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Connection-level failures only affect that connection.
+        let _ = serve_connection(conn.stream, shared);
+        *lock(&shared.active[id]) = None;
+    }
+}
+
+/// Releases its reservation against the global inflight-bytes cap on drop,
+/// so every exit path (response, error, panic-free early return) settles
+/// the account.
+struct InflightGuard<'a> {
+    inflight: &'a AtomicU64,
+    reserved: u64,
+}
+
+impl InflightGuard<'_> {
+    /// Tries to grow the reservation by `n` bytes; `false` when the global
+    /// cap would be exceeded (the caller sheds with `Busy`).
+    fn try_grow(&mut self, n: u64, cap: u64) -> bool {
+        let prev = self.inflight.fetch_add(n, Ordering::Relaxed);
+        if prev.saturating_add(n) > cap {
+            self.inflight.fetch_sub(n, Ordering::Relaxed);
+            return false;
+        }
+        self.reserved += n;
+        true
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(self.reserved, Ordering::Relaxed);
+    }
+}
+
+/// How receiving a request body ended.
+enum Body {
+    /// Fully buffered payload.
+    Complete(Vec<u8>),
+    /// The payload tripped a cap; the rest of its frames were drained
+    /// without buffering so the connection can still carry the reply.
+    Rejected(WireError),
+}
+
+/// Serves requests on one connection until the peer closes, a protocol
+/// error forces a disconnect, or shutdown is requested.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let config = &shared.config;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let header = match read_frame(&mut reader, config.max_frame) {
+            Ok((header, _payload)) => header,
+            Err(RecvError::Closed) => return Ok(()),
+            Err(e) => return disconnect(&mut writer, &e),
+        };
+        if header.kind != FrameKind::Request {
+            let err = WireError::new(
+                ErrorCode::BadFrame,
+                format!("expected a request frame, got kind {}", header.kind as u8),
+            );
+            return disconnect(&mut writer, &RecvError::Wire(err));
+        }
+        // Buffer the body under the per-request and global caps. A capped
+        // request is drained frame-by-frame (bounded memory) so the
+        // structured error below still reaches a well-behaved client.
+        let mut guard = InflightGuard {
+            inflight: &shared.inflight,
+            reserved: 0,
+        };
+        let body = match recv_body(&mut reader, config, &mut guard) {
+            Ok(body) => body,
+            Err(e) => return disconnect(&mut writer, &e),
+        };
+        fpc_metrics::incr(fpc_metrics::Counter::ServeRequests, 1);
+        let reply = match body {
+            Body::Rejected(err) => Err(err),
+            Body::Complete(payload) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeBytesIn, payload.len() as u64);
+                dispatch(header.op, header.algo, payload, config.threads)
+            }
+        };
+        match reply {
+            Ok(response) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeBytesOut, response.len() as u64);
+                send_response(&mut writer, header.op, header.request_id, &response)?;
+            }
+            Err(err) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+                send_error(&mut writer, header.request_id, &err)?;
+            }
+        }
+    }
+}
+
+/// Reports a receive failure to the peer where possible, then signals the
+/// caller to drop the connection. Framing is unrecoverable at this point:
+/// after a malformed or truncated frame the byte stream cannot be resynced.
+fn disconnect(writer: &mut impl Write, err: &RecvError) -> io::Result<()> {
+    fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+    let wire_err = match err {
+        RecvError::Closed => None,
+        RecvError::Wire(e) => Some(e.clone()),
+        RecvError::Io(_) if err.is_timeout() => Some(WireError::new(
+            ErrorCode::Timeout,
+            "connection idle past the read timeout",
+        )),
+        // The transport is already broken; nothing to send.
+        RecvError::Io(_) => None,
+    };
+    if let Some(e) = wire_err {
+        let _ = send_error(writer, 0, &e);
+    }
+    Ok(())
+}
+
+/// Receives `Data`* + `End`, enforcing the per-request and global caps.
+fn recv_body(
+    reader: &mut impl io::Read,
+    config: &ServeConfig,
+    guard: &mut InflightGuard<'_>,
+) -> Result<Body, RecvError> {
+    let mut payload = Vec::new();
+    let mut total: u64 = 0;
+    let mut rejection: Option<WireError> = None;
+    loop {
+        let (header, chunk) = read_frame(reader, config.max_frame)?;
+        match header.kind {
+            FrameKind::Data => {
+                total += chunk.len() as u64;
+                if rejection.is_some() {
+                    continue; // draining: count but never buffer
+                }
+                if total > config.max_request {
+                    payload = Vec::new();
+                    rejection = Some(WireError::new(
+                        ErrorCode::PayloadTooLarge,
+                        format!(
+                            "request payload exceeds the per-request cap of {} bytes",
+                            config.max_request
+                        ),
+                    ));
+                } else if !guard.try_grow(chunk.len() as u64, config.max_inflight) {
+                    payload = Vec::new();
+                    rejection = Some(WireError::new(
+                        ErrorCode::Busy,
+                        "server inflight-bytes cap reached; retry later",
+                    ));
+                } else {
+                    payload.extend_from_slice(&chunk);
+                }
+            }
+            FrameKind::End => {
+                return Ok(match rejection {
+                    Some(err) => Body::Rejected(err),
+                    None => Body::Complete(payload),
+                });
+            }
+            other => {
+                return Err(RecvError::Wire(WireError::new(
+                    ErrorCode::BadFrame,
+                    format!("expected data/end, got kind {}", other as u8),
+                )));
+            }
+        }
+    }
+}
+
+/// Runs one validated request through the codecs.
+fn dispatch(op: u8, algo: u8, payload: Vec<u8>, threads: usize) -> Result<Vec<u8>, WireError> {
+    let op = Op::from_u8(op)
+        .ok_or_else(|| WireError::new(ErrorCode::UnknownOp, format!("unknown op byte {op}")))?;
+    let bytes = payload.len() as u64;
+    let timer = fpc_metrics::timer(stage_for(op));
+    let result = match op {
+        Op::Compress => {
+            let algo = Algorithm::from_id(algo).map_err(|_| {
+                WireError::new(
+                    ErrorCode::UnknownAlgorithm,
+                    format!("unknown algorithm id {algo}"),
+                )
+            })?;
+            Ok(Compressor::new(algo)
+                .with_threads(threads)
+                .compress_bytes(&payload))
+        }
+        Op::Decompress => fpc_core::decompress_bytes_with(&payload, threads)
+            .map_err(|e| WireError::new(ErrorCode::CorruptStream, e.to_string())),
+        Op::Verify => match fpc_container::verify(&payload) {
+            Ok((header, report)) => Ok(RemoteVerify {
+                format_version: header.version,
+                checksummed: report.checksummed,
+                chunks: report.chunks.min(u32::MAX as usize) as u32,
+                damaged_count: report.damaged.len().min(u32::MAX as usize) as u32,
+                damaged: report
+                    .damaged
+                    .iter()
+                    .take(RemoteVerify::MAX_DAMAGE_ENTRIES)
+                    .map(|d| (d.chunk, d.offset))
+                    .collect(),
+            }
+            .encode()),
+            Err(e) => Err(WireError::new(ErrorCode::CorruptStream, e.to_string())),
+        },
+        Op::Ping => Ok(payload),
+    };
+    timer.finish(bytes);
+    result
+}
+
+fn stage_for(op: Op) -> fpc_metrics::Stage {
+    match op {
+        Op::Compress => fpc_metrics::Stage::ServeCompress,
+        Op::Decompress => fpc_metrics::Stage::ServeDecompress,
+        Op::Verify => fpc_metrics::Stage::ServeVerify,
+        Op::Ping => fpc_metrics::Stage::ServePing,
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_resolve() {
+        let c = ServeConfig::default();
+        // I/O-bound connection workers oversubscribe small hosts.
+        assert!(c.effective_conns() >= 8);
+        assert_eq!(c.effective_queue_cap(), c.effective_conns() * 2);
+        let explicit = ServeConfig {
+            max_conns: 3,
+            queue_cap: 5,
+            ..ServeConfig::default()
+        };
+        // An explicit worker count is honored verbatim, never clamped.
+        assert_eq!(explicit.effective_conns(), 3);
+        assert_eq!(explicit.effective_queue_cap(), 5);
+    }
+
+    #[test]
+    fn inflight_guard_releases_on_drop() {
+        let inflight = AtomicU64::new(0);
+        {
+            let mut g = InflightGuard {
+                inflight: &inflight,
+                reserved: 0,
+            };
+            assert!(g.try_grow(100, 150));
+            assert!(!g.try_grow(100, 150), "cap must hold");
+            assert_eq!(inflight.load(Ordering::Relaxed), 100);
+        }
+        assert_eq!(inflight.load(Ordering::Relaxed), 0, "drop must release");
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_op_and_algo() {
+        let e = dispatch(99, 0, Vec::new(), 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownOp);
+        let e = dispatch(Op::Compress as u8, 0xAB, vec![0; 8], 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownAlgorithm);
+        let e = dispatch(Op::Decompress as u8, ALGO_NONE_BYTE, b"garbage".to_vec(), 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::CorruptStream);
+    }
+
+    const ALGO_NONE_BYTE: u8 = crate::wire::ALGO_NONE;
+
+    #[test]
+    fn dispatch_ping_echoes() {
+        let out = dispatch(Op::Ping as u8, ALGO_NONE_BYTE, b"hello".to_vec(), 1).unwrap();
+        assert_eq!(out, b"hello");
+    }
+}
