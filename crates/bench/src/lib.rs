@@ -19,6 +19,7 @@
 //! regenerate every experiment; see `figures` for the experiment index.
 
 pub mod entries;
+pub mod faultgen;
 pub mod figures;
 pub mod loadgen;
 pub mod measure;

@@ -29,7 +29,7 @@
 
 use fpc_baselines::Meta;
 use fpc_core::{Algorithm, Compressor};
-use fpc_serve::{Client, ClientError, ErrorCode, ServeConfig, Server};
+use fpc_serve::{ClientError, ErrorCode, ResilientClient, RetryPolicy, ServeConfig, Server};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -123,10 +123,12 @@ fn main() -> ExitCode {
                  anatomy    --algo <name> <file>   # per-stage volume breakdown\n\
                  stats      <report.json>   # pretty-print a metrics/bench JSON report\n\
                  serve      [--addr HOST:PORT] [--threads N] [--max-conns M] [--max-frame BYTES]\n\
+                 \u{20}          [--timeout-secs S] [--idle-secs S] [--progress-secs S] [--shed-inflight BYTES]\n\
                  remote     compress   --addr HOST:PORT --algo <name> <in> <out>\n\
                  remote     decompress --addr HOST:PORT <in> <out>\n\
                  remote     verify     --addr HOST:PORT <file>\n\
                  remote     ping       --addr HOST:PORT\n\
+                 \u{20}          remote flags: [--timeout-secs S] [--retries N] [--deadline-secs S]\n\
                  \n\
                  global: --metrics <json|text>   # instrumentation report on stderr\n\
                          (populated only in builds with --features metrics)\n\
@@ -237,11 +239,41 @@ fn parse_algo(name: &str) -> Result<Algorithm, CliError> {
 }
 
 fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    if let Some(e) = fpc_faults::file_fault(fpc_faults::FaultKind::FileRead) {
+        return Err(CliError::io(format!("reading {path}: {e}")));
+    }
     std::fs::read(path).map_err(|e| CliError::io(format!("reading {path}: {e}")))
 }
 
+/// Crash-safe output: writes to a same-directory temp file and renames it
+/// over `path` only once every byte landed. An interrupt, crash, or
+/// injected I/O error mid-write can leave a stray temp file, but never a
+/// truncated artifact at the destination (rename is atomic on POSIX when
+/// source and target share a filesystem — hence same-directory).
 fn write_file(path: &str, bytes: &[u8]) -> CliResult {
-    std::fs::write(path, bytes).map_err(|e| CliError::io(format!("writing {path}: {e}")))
+    if let Some(e) = fpc_faults::file_fault(fpc_faults::FaultKind::FileWrite) {
+        return Err(CliError::io(format!("writing {path}: {e}")));
+    }
+    let target = std::path::Path::new(path);
+    let dir = target.parent().filter(|d| !d.as_os_str().is_empty());
+    let name = target
+        .file_name()
+        .ok_or_else(|| CliError::usage(format!("'{path}' is not a file path")))?;
+    let tmp_name = format!(
+        ".{}.fpcc-tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, target));
+    result.map_err(|e| {
+        // Best-effort cleanup; the destination was never touched.
+        let _ = std::fs::remove_file(&tmp);
+        CliError::io(format!("writing {path}: {e}"))
+    })
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
@@ -495,6 +527,15 @@ fn cmd_serve(args: &[String]) -> CliResult {
         config.read_timeout = t;
         config.write_timeout = t;
     }
+    if let Some(t) = parse_num("--idle-secs")? {
+        config.idle_timeout = (t > 0).then(|| Duration::from_secs(t));
+    }
+    if let Some(t) = parse_num("--progress-secs")? {
+        config.progress_deadline = (t > 0).then(|| Duration::from_secs(t));
+    }
+    if let Some(s) = parse_num("--shed-inflight")? {
+        config.shed_inflight = s;
+    }
     let conns = config.effective_conns();
     let server =
         Server::bind(addr, config).map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
@@ -502,11 +543,12 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .local_addr()
         .map_err(|e| CliError::io(e.to_string()))?;
     println!(
-        "fpcc serve: listening on {local} ({conns} connection workers); SIGINT for graceful shutdown"
+        "fpcc serve: listening on {local} ({conns} connection workers); SIGINT/SIGTERM for graceful shutdown"
     );
-    // Bridge SIGINT to the server's shutdown flag: the handler itself only
-    // stores an atomic; this watcher thread does the cross-Arc plumbing.
-    let sig = fpc_serve::sigint_flag();
+    // Bridge SIGINT/SIGTERM to the server's shutdown flag: the handler
+    // itself only stores an atomic; this watcher thread does the
+    // cross-Arc plumbing.
+    let sig = fpc_serve::shutdown_signal_flag();
     let shutdown = server.shutdown_flag();
     std::thread::spawn(move || loop {
         if sig.load(std::sync::atomic::Ordering::SeqCst) {
@@ -520,7 +562,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn connect(args: &[String]) -> Result<Client, CliError> {
+fn connect(args: &[String]) -> Result<ResilientClient, CliError> {
     let addr = flag_value(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let timeout = match flag_value(args, "--timeout-secs") {
         None => Some(Duration::from_secs(30)),
@@ -531,7 +573,21 @@ fn connect(args: &[String]) -> Result<Client, CliError> {
             (secs > 0).then(|| Duration::from_secs(secs))
         }
     };
-    Client::connect(addr, timeout).map_err(|e| CliError::io(format!("connecting {addr}: {e}")))
+    let mut policy = RetryPolicy::default();
+    if let Some(v) = flag_value(args, "--retries") {
+        let retries: u32 = v
+            .parse()
+            .map_err(|_| CliError::usage("invalid --retries"))?;
+        policy.attempts = retries + 1;
+    }
+    if let Some(v) = flag_value(args, "--deadline-secs") {
+        let secs: u64 = v
+            .parse()
+            .map_err(|_| CliError::usage("invalid --deadline-secs"))?;
+        policy.deadline = (secs > 0).then(|| Duration::from_secs(secs));
+    }
+    ResilientClient::connect(addr, timeout, policy)
+        .map_err(|e| CliError::io(format!("connecting {addr}: {e}")))
 }
 
 fn cmd_remote(args: &[String]) -> CliResult {
@@ -623,10 +679,6 @@ fn cmd_remote_ping(args: &[String]) -> CliResult {
     let mut client = connect(args)?;
     let start = std::time::Instant::now();
     client.ping(b"fpcc")?;
-    let addr = client
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "?".into());
-    println!("pong from {addr} in {:.1?}", start.elapsed());
+    println!("pong from {} in {:.1?}", client.addr(), start.elapsed());
     Ok(())
 }

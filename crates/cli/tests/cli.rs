@@ -143,6 +143,110 @@ fn no_args_prints_usage() {
 }
 
 #[test]
+fn outputs_are_written_atomically_with_no_temp_debris() {
+    let dir = temp_dir("atomic");
+    let input = sample_file(&dir);
+    let compressed = dir.join("out.fpc");
+    assert!(fpcc()
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("compress")
+        .success());
+    assert!(compressed.exists());
+    // The same-directory temp used for the atomic rename must be gone.
+    let debris: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains("fpcc-tmp"))
+        .collect();
+    assert!(debris.is_empty(), "temp files left behind: {debris:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fpc_faults_env_write_fault_fails_clean_without_partial_output() {
+    if !fpc_faults::ENABLED {
+        return; // hooks compiled out of the fpcc binary under test too
+    }
+    let dir = temp_dir("envfault");
+    let input = sample_file(&dir);
+    let out = dir.join("out.fpc");
+    let output = fpcc()
+        .env("FPC_FAULTS", "file-write=1:5")
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&out)
+        .output()
+        .expect("run");
+    assert_eq!(
+        output.status.code(),
+        Some(3),
+        "injected write fault exits 3"
+    );
+    assert!(!out.exists(), "no partial output may appear on failure");
+    let debris: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains("fpcc-tmp"))
+        .collect();
+    assert!(debris.is_empty(), "temp files left behind: {debris:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fpc_faults_env_chunk_damage_is_caught_by_verify() {
+    if !fpc_faults::ENABLED {
+        return;
+    }
+    let dir = temp_dir("envdamage");
+    let input = sample_file(&dir);
+    let out = dir.join("damaged.fpc");
+    // Certainty-one bit-rot on every chunk body, injected after each
+    // checksum is computed: compression itself succeeds...
+    assert!(fpcc()
+        .env("FPC_FAULTS", "chunk-damage=1:3")
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&out)
+        .status()
+        .expect("compress")
+        .success());
+    // ...and the unarmed verify audit must flag every chunk (exit 4).
+    let output = fpcc().arg("verify").arg(&out).output().expect("verify");
+    assert_eq!(output.status.code(), Some(4), "damage must exit 4");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_fpc_faults_env_is_ignored_with_a_warning() {
+    let dir = temp_dir("envbad");
+    let input = sample_file(&dir);
+    let out = dir.join("out.fpc");
+    let output = fpcc()
+        .env("FPC_FAULTS", "not a valid spec")
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&out)
+        .output()
+        .expect("run");
+    // A bad spec must never take the tool down — it is ignored (with a
+    // warning when the hooks are compiled in).
+    assert!(output.status.success(), "invalid spec must not break fpcc");
+    assert!(out.exists());
+    if fpc_faults::ENABLED {
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("FPC_FAULTS"),
+            "expected a warning naming FPC_FAULTS"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn gen_writes_datasets() {
     let dir = temp_dir("gen");
     let out = dir.join("sets");

@@ -144,6 +144,19 @@ pub fn compress(
             } else {
                 0
             };
+            // Fault hook: deterministic bit-rot on the encoded body
+            // *after* its checksum, modeling storage/transport damage the
+            // v2 integrity layer must catch at decode. Index-keyed, so
+            // the thread schedule cannot change which chunks rot.
+            let body = match fpc_faults::chunk_damage(i as u64) {
+                Some((pos, mask)) if with_checksums && !body.is_empty() => {
+                    let mut body = body;
+                    let at = (pos % body.len() as u64) as usize;
+                    body[at] ^= mask;
+                    body
+                }
+                _ => body,
+            };
             (raw, body, sum)
         })
     });

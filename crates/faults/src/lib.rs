@@ -1,0 +1,684 @@
+//! Deterministic, seeded fault injection for the FPcompress stack.
+//!
+//! Failure is an input like any other: this crate lets tests and the
+//! `faultgen` harness inject short reads, torn writes, EINTR, socket
+//! timeouts, delayed writes, mid-request disconnects, file I/O errors,
+//! per-chunk data damage, and pool-scheduling delays — all as a pure
+//! function of a 64-bit seed, so any observed failure replays exactly.
+//!
+//! Every hook is **feature-gated**: without the `faults` cargo feature
+//! (the default) the hooks are empty `#[inline]` functions, the
+//! `FPC_FAULTS` environment variable is ignored, and [`io::FaultStream`]
+//! is a transparent newtype — the instrumented crates compile to exactly
+//! the code they had before. The tier-1 build is the measured, shipped
+//! configuration.
+//!
+//! # Activating faults
+//!
+//! Two ways, both deterministic:
+//!
+//! * **Environment**: `FPC_FAULTS="<spec>:<seed>"`, parsed once on first
+//!   hook use. Example: `FPC_FAULTS="short-read=0.2,eintr=0.1:42"`.
+//! * **Programmatic**: [`Plan::parse`] + [`install`], which returns a
+//!   guard restoring the previous plan on drop (used by tests and the
+//!   `faultgen` sweep so concurrent cells never race on the env).
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec  := entries [":" seed]
+//! entries := "" | entry ("," entry)*
+//! entry := name "=" probability          # probability is an f64 in [0,1]
+//! name  := short-read | eintr | timeout | delay-write | torn-write
+//!        | disconnect | file-read | file-write | chunk-damage
+//!        | pool-delay | all
+//! seed  := u64 (decimal; defaults to 0 when omitted)
+//! ```
+//!
+//! `all=p` sets every kind to probability `p` (later entries override).
+//!
+//! # Determinism model
+//!
+//! Index-keyed hooks ([`chunk_damage`], [`pool_delay`]) are pure
+//! functions of `(seed, kind, index)` — the same chunk gets the same
+//! damage no matter which pool thread encodes it. Stream hooks
+//! ([`io_session`]) draw from a per-session xoshiro stream derived from
+//! the seed and a process-wide session counter: each session's fault
+//! sequence is fixed, while the *interleaving* across concurrent
+//! connections follows the thread schedule. Sweeps therefore assert
+//! invariants (no hang, no crash, byte-identity on success), not exact
+//! event traces.
+
+pub mod io;
+
+use std::time::Duration;
+
+/// `true` when the crate was built with the `faults` feature.
+///
+/// Branch on this to skip setup work (e.g. a test that cannot run
+/// without live hooks); the compiler removes the branch in no-op builds.
+pub const ENABLED: bool = cfg!(feature = "faults");
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Socket reads return fewer bytes than requested.
+    ShortRead,
+    /// Socket reads/writes fail with `ErrorKind::Interrupted`.
+    Eintr,
+    /// Socket reads/writes fail with `ErrorKind::WouldBlock` (the error a
+    /// blocking socket surfaces when its timeout expires).
+    Timeout,
+    /// Socket writes sleep a few hundred microseconds first.
+    DelayWrite,
+    /// Socket writes stop partway through a buffer and the stream dies —
+    /// the peer sees a torn frame.
+    TornWrite,
+    /// The stream dies mid-operation with `ConnectionReset`.
+    Disconnect,
+    /// Whole-file reads fail with an injected I/O error.
+    FileRead,
+    /// Whole-file writes fail with an injected I/O error.
+    FileWrite,
+    /// One byte of a compressed chunk is flipped after its checksum was
+    /// computed (v2 containers detect this at decode).
+    ChunkDamage,
+    /// Pool batch execution is delayed, perturbing the work-stealing
+    /// schedule without changing any output bytes.
+    PoolDelay,
+}
+
+impl FaultKind {
+    /// Number of fault kinds.
+    pub const COUNT: usize = 10;
+
+    /// Every kind, in spec/report order.
+    pub const ALL: [FaultKind; FaultKind::COUNT] = [
+        FaultKind::ShortRead,
+        FaultKind::Eintr,
+        FaultKind::Timeout,
+        FaultKind::DelayWrite,
+        FaultKind::TornWrite,
+        FaultKind::Disconnect,
+        FaultKind::FileRead,
+        FaultKind::FileWrite,
+        FaultKind::ChunkDamage,
+        FaultKind::PoolDelay,
+    ];
+
+    /// Stable spec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortRead => "short-read",
+            FaultKind::Eintr => "eintr",
+            FaultKind::Timeout => "timeout",
+            FaultKind::DelayWrite => "delay-write",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::Disconnect => "disconnect",
+            FaultKind::FileRead => "file-read",
+            FaultKind::FileWrite => "file-write",
+            FaultKind::ChunkDamage => "chunk-damage",
+            FaultKind::PoolDelay => "pool-delay",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A parsed fault plan: per-kind probabilities plus the seed every
+/// injection decision derives from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    probs: [f64; FaultKind::COUNT],
+    seed: u64,
+}
+
+impl Plan {
+    /// A plan that injects nothing (still installable; useful as a
+    /// sweep's control cell).
+    pub fn inert(seed: u64) -> Plan {
+        Plan {
+            probs: [0.0; FaultKind::COUNT],
+            seed,
+        }
+    }
+
+    /// A plan with a single armed kind.
+    pub fn single(kind: FaultKind, prob: f64, seed: u64) -> Plan {
+        let mut plan = Plan::inert(seed);
+        plan.probs[kind.index()] = prob.clamp(0.0, 1.0);
+        plan
+    }
+
+    /// Parses the `FPC_FAULTS` grammar (see the crate docs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending token.
+    pub fn parse(spec: &str) -> Result<Plan, String> {
+        let spec = spec.trim();
+        // The seed is everything after the last ':'; names never contain
+        // one, so this cannot mis-split an entry.
+        let (entries, seed) = match spec.rsplit_once(':') {
+            Some((entries, seed)) => {
+                let seed = seed
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid seed '{}' (want a u64)", seed.trim()))?;
+                (entries, seed)
+            }
+            None => (spec, 0),
+        };
+        let mut plan = Plan::inert(seed);
+        for entry in entries.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, prob) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("entry '{entry}' is not name=probability"))?;
+            let prob: f64 = prob
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid probability in '{entry}'"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("probability in '{entry}' must be within [0, 1]"));
+            }
+            match name.trim() {
+                "all" => plan.probs = [prob; FaultKind::COUNT],
+                name => {
+                    let kind = FaultKind::from_name(name)
+                        .ok_or_else(|| format!("unknown fault kind '{name}'"))?;
+                    plan.probs[kind.index()] = prob;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The probability armed for `kind`.
+    pub fn prob(&self, kind: FaultKind) -> f64 {
+        self.probs[kind.index()]
+    }
+
+    /// `true` when no kind is armed.
+    pub fn is_inert(&self) -> bool {
+        self.probs.iter().all(|&p| p == 0.0)
+    }
+}
+
+/// One injected fault on a stream operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Serve at most this many bytes from the next read.
+    Short(usize),
+    /// Fail with `ErrorKind::Interrupted`.
+    Eintr,
+    /// Fail with `ErrorKind::WouldBlock` (socket-timeout shape).
+    Timeout,
+    /// Sleep before proceeding normally.
+    Delay(Duration),
+    /// Write only this many bytes, then kill the stream.
+    Torn(usize),
+    /// Kill the stream with `ConnectionReset`.
+    Disconnect,
+}
+
+/// A per-stream deterministic fault source; obtain via [`io_session`].
+#[derive(Debug)]
+pub struct IoSession {
+    #[cfg(feature = "faults")]
+    rng: fpc_prng::Rng,
+    #[cfg(feature = "faults")]
+    plan: std::sync::Arc<Plan>,
+}
+
+impl IoSession {
+    /// Decides the fate of a read of up to `want` bytes.
+    #[inline]
+    pub fn before_read(&mut self, want: usize) -> Option<IoFault> {
+        #[cfg(feature = "faults")]
+        {
+            if self.roll(FaultKind::Eintr) {
+                return self.hit(IoFault::Eintr);
+            }
+            if self.roll(FaultKind::Timeout) {
+                return self.hit(IoFault::Timeout);
+            }
+            if self.roll(FaultKind::Disconnect) {
+                return self.hit(IoFault::Disconnect);
+            }
+            if want > 1 && self.roll(FaultKind::ShortRead) {
+                let n = self.rng.gen_range(1usize..want);
+                return self.hit(IoFault::Short(n));
+            }
+        }
+        let _ = want;
+        None
+    }
+
+    /// Decides the fate of a write of `len` bytes.
+    #[inline]
+    pub fn before_write(&mut self, len: usize) -> Option<IoFault> {
+        #[cfg(feature = "faults")]
+        {
+            if self.roll(FaultKind::Eintr) {
+                return self.hit(IoFault::Eintr);
+            }
+            if self.roll(FaultKind::Timeout) {
+                return self.hit(IoFault::Timeout);
+            }
+            if self.roll(FaultKind::Disconnect) {
+                return self.hit(IoFault::Disconnect);
+            }
+            if len > 1 && self.roll(FaultKind::TornWrite) {
+                let n = self.rng.gen_range(1usize..len);
+                return self.hit(IoFault::Torn(n));
+            }
+            if self.roll(FaultKind::DelayWrite) {
+                let micros = self.rng.gen_range(100u64..2_000);
+                return self.hit(IoFault::Delay(Duration::from_micros(micros)));
+            }
+        }
+        let _ = len;
+        None
+    }
+
+    #[cfg(feature = "faults")]
+    #[inline]
+    fn roll(&mut self, kind: FaultKind) -> bool {
+        let p = self.plan.probs[kind.index()];
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+
+    #[cfg(feature = "faults")]
+    fn hit(&mut self, fault: IoFault) -> Option<IoFault> {
+        fpc_metrics::incr(fpc_metrics::Counter::FaultsInjected, 1);
+        Some(fault)
+    }
+}
+
+#[cfg(feature = "faults")]
+mod active {
+    use super::{FaultKind, IoSession, Plan};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock, RwLock};
+
+    /// Fast-path gate: hooks bail on one relaxed load when no plan with
+    /// any armed kind is installed.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static SESSIONS: AtomicU64 = AtomicU64::new(0);
+    static FILE_OPS: AtomicU64 = AtomicU64::new(0);
+
+    fn plan_slot() -> &'static RwLock<Option<Arc<Plan>>> {
+        static SLOT: OnceLock<RwLock<Option<Arc<Plan>>>> = OnceLock::new();
+        SLOT.get_or_init(|| {
+            let from_env =
+                std::env::var("FPC_FAULTS")
+                    .ok()
+                    .and_then(|spec| match Plan::parse(&spec) {
+                        Ok(plan) => Some(Arc::new(plan)),
+                        Err(e) => {
+                            eprintln!("fpc-faults: ignoring invalid FPC_FAULTS ('{spec}'): {e}");
+                            None
+                        }
+                    });
+            ARMED.store(
+                from_env.as_ref().is_some_and(|p| !p.is_inert()),
+                Ordering::SeqCst,
+            );
+            RwLock::new(from_env)
+        })
+    }
+
+    fn store(plan: Option<Arc<Plan>>) -> Option<Arc<Plan>> {
+        let slot = plan_slot();
+        let mut guard = slot
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ARMED.store(
+            plan.as_ref().is_some_and(|p| !p.is_inert()),
+            Ordering::SeqCst,
+        );
+        std::mem::replace(&mut *guard, plan)
+    }
+
+    pub fn current() -> Option<Arc<Plan>> {
+        if !ARMED.load(Ordering::Relaxed) {
+            // Force env parsing on the very first call even when inert,
+            // so a later install sees an initialized slot.
+            let _ = plan_slot();
+            if !ARMED.load(Ordering::Relaxed) {
+                return None;
+            }
+        }
+        plan_slot()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    #[derive(Debug)]
+    pub struct PlanGuard {
+        previous: Option<Arc<Plan>>,
+        restored: bool,
+    }
+
+    impl PlanGuard {
+        pub(super) fn install(plan: Plan) -> PlanGuard {
+            // Touch the slot first so env initialization cannot clobber
+            // this install later.
+            let _ = plan_slot();
+            PlanGuard {
+                previous: store(Some(Arc::new(plan))),
+                restored: false,
+            }
+        }
+    }
+
+    impl Drop for PlanGuard {
+        fn drop(&mut self) {
+            if !self.restored {
+                self.restored = true;
+                let _ = store(self.previous.take());
+            }
+        }
+    }
+
+    /// A fresh per-stream session, or `None` when nothing is armed.
+    pub fn io_session() -> Option<IoSession> {
+        let plan = current()?;
+        let id = SESSIONS.fetch_add(1, Ordering::Relaxed);
+        let mut state = plan.seed ^ 0x5E55_1045_u64.wrapping_mul(id.wrapping_add(1));
+        let seed = fpc_prng::splitmix64(&mut state);
+        Some(IoSession {
+            rng: fpc_prng::Rng::seed_from_u64(seed),
+            plan,
+        })
+    }
+
+    /// Stateless decision keyed on `(seed, kind, index)`.
+    pub fn site_roll(kind: FaultKind, index: u64) -> Option<(Arc<Plan>, u64)> {
+        let plan = current()?;
+        let p = plan.probs[kind.index()];
+        if p <= 0.0 {
+            return None;
+        }
+        let mut state = plan
+            .seed
+            .wrapping_add((kind.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let hash = fpc_prng::splitmix64(&mut state);
+        let uniform = (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if uniform < p {
+            fpc_metrics::incr(fpc_metrics::Counter::FaultsInjected, 1);
+            // A second splitmix step parameterizes the fault itself.
+            Some((plan, fpc_prng::splitmix64(&mut state)))
+        } else {
+            None
+        }
+    }
+
+    pub fn next_file_op() -> u64 {
+        FILE_OPS.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// RAII guard from [`install`]; dropping it restores the previous plan.
+#[must_use = "dropping the guard immediately uninstalls the plan"]
+#[derive(Debug, Default)]
+pub struct PlanGuard {
+    // Held only for its Drop (restores the previous plan).
+    #[cfg(feature = "faults")]
+    #[allow(dead_code)]
+    inner: Option<active::PlanGuard>,
+}
+
+/// Installs `plan` process-wide, overriding any `FPC_FAULTS` plan until
+/// the returned guard drops. Without the `faults` feature this is a no-op
+/// and [`active`] stays `false`.
+pub fn install(plan: Plan) -> PlanGuard {
+    #[cfg(feature = "faults")]
+    {
+        PlanGuard {
+            inner: Some(active::PlanGuard::install(plan)),
+        }
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = plan;
+        PlanGuard {}
+    }
+}
+
+/// `true` when a plan with at least one armed kind is live.
+pub fn active() -> bool {
+    #[cfg(feature = "faults")]
+    {
+        active::current().is_some()
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        false
+    }
+}
+
+/// A fresh deterministic fault source for one stream (one direction of
+/// one socket, typically); `None` when nothing is armed — callers skip
+/// all per-operation bookkeeping on that path.
+#[inline]
+pub fn io_session() -> Option<IoSession> {
+    #[cfg(feature = "faults")]
+    {
+        active::io_session()
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        None
+    }
+}
+
+/// Chunk-damage decision for chunk `index`: `Some((position_hash, mask))`
+/// orders the caller to XOR `mask` into byte `position_hash % len` of the
+/// encoded chunk *after* its checksum was computed. Pure in
+/// `(seed, index)`, so parallel encode order cannot change the outcome.
+#[inline]
+pub fn chunk_damage(index: u64) -> Option<(u64, u8)> {
+    #[cfg(feature = "faults")]
+    {
+        let (_, param) = active::site_roll(FaultKind::ChunkDamage, index)?;
+        // The mask must be nonzero or the "damage" would be a no-op.
+        let mask = ((param >> 32) as u8).max(1);
+        Some((param, mask))
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = index;
+        None
+    }
+}
+
+/// Pool-scheduling delay for the batch starting at `index`; sleeping it
+/// perturbs the work-stealing schedule without touching any data.
+#[inline]
+pub fn pool_delay(index: u64) -> Option<Duration> {
+    #[cfg(feature = "faults")]
+    {
+        let (_, param) = active::site_roll(FaultKind::PoolDelay, index)?;
+        Some(Duration::from_micros(50 + param % 1_000))
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = index;
+        None
+    }
+}
+
+/// File-I/O fault for the next whole-file operation of the given kind
+/// ([`FaultKind::FileRead`] or [`FaultKind::FileWrite`]); returns the
+/// injected error the caller should fail with.
+#[inline]
+pub fn file_fault(kind: FaultKind) -> Option<std::io::Error> {
+    #[cfg(feature = "faults")]
+    {
+        debug_assert!(matches!(kind, FaultKind::FileRead | FaultKind::FileWrite));
+        let index = active::next_file_op();
+        let (_, _param) = active::site_roll(kind, index)?;
+        Some(std::io::Error::other(format!(
+            "injected {} fault (fpc-faults)",
+            kind.name()
+        )))
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        let _ = kind;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_parses() {
+        let plan = Plan::parse("short-read=0.25,eintr=0.5:42").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.prob(FaultKind::ShortRead), 0.25);
+        assert_eq!(plan.prob(FaultKind::Eintr), 0.5);
+        assert_eq!(plan.prob(FaultKind::Disconnect), 0.0);
+        assert!(!plan.is_inert());
+
+        // Seed defaults to 0; empty spec is inert.
+        assert_eq!(Plan::parse("disconnect=1").unwrap().seed(), 0);
+        assert!(Plan::parse("").unwrap().is_inert());
+        assert!(Plan::parse(":7").unwrap().is_inert());
+
+        // `all` arms everything, later entries override.
+        let plan = Plan::parse("all=0.1,timeout=0:3").unwrap();
+        assert_eq!(plan.prob(FaultKind::TornWrite), 0.1);
+        assert_eq!(plan.prob(FaultKind::Timeout), 0.0);
+    }
+
+    #[test]
+    fn spec_grammar_rejects_garbage() {
+        assert!(Plan::parse("bogus=0.5").is_err());
+        assert!(Plan::parse("eintr").is_err());
+        assert!(Plan::parse("eintr=nope").is_err());
+        assert!(Plan::parse("eintr=1.5").is_err());
+        assert!(Plan::parse("eintr=-0.5").is_err());
+        assert!(Plan::parse("eintr=0.5:notanumber").is_err());
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        let _guard = install(Plan::parse("all=1:1").unwrap());
+        assert!(!active());
+        assert!(io_session().is_none());
+        assert!(chunk_damage(0).is_none());
+        assert!(pool_delay(0).is_none());
+        assert!(file_fault(FaultKind::FileWrite).is_none());
+    }
+
+    #[cfg(feature = "faults")]
+    mod armed {
+        use super::super::*;
+        use std::sync::{Mutex, MutexGuard, OnceLock};
+
+        /// The plan is process-global; serialize tests that install one.
+        fn lock() -> MutexGuard<'static, ()> {
+            static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+            LOCK.get_or_init(Mutex::default)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        #[test]
+        fn install_guard_scopes_the_plan() {
+            let _serial = lock();
+            assert!(!active());
+            {
+                let _guard = install(Plan::parse("disconnect=1:9").unwrap());
+                assert!(active());
+                // Inert plans never arm the hooks.
+                let _inner = install(Plan::inert(0));
+                assert!(!active());
+            }
+            assert!(!active());
+        }
+
+        #[test]
+        fn index_keyed_hooks_are_deterministic() {
+            let _serial = lock();
+            let _guard = install(Plan::parse("chunk-damage=0.5,pool-delay=0.5:1234").unwrap());
+            let first: Vec<_> = (0..64).map(chunk_damage).collect();
+            let second: Vec<_> = (0..64).map(chunk_damage).collect();
+            assert_eq!(first, second);
+            let hits = first.iter().filter(|d| d.is_some()).count();
+            assert!((10..=54).contains(&hits), "p=0.5 gave {hits}/64");
+            // Masks are never zero (a zero XOR would be a silent no-op).
+            for (_, mask) in first.iter().flatten() {
+                assert_ne!(*mask, 0);
+            }
+            assert_eq!(pool_delay(5), pool_delay(5));
+        }
+
+        #[test]
+        fn io_sessions_inject_with_certainty_one() {
+            let _serial = lock();
+            let _guard = install(Plan::parse("eintr=1:7").unwrap());
+            let mut session = io_session().expect("armed plan yields sessions");
+            assert_eq!(session.before_read(100), Some(IoFault::Eintr));
+            assert_eq!(session.before_write(100), Some(IoFault::Eintr));
+        }
+
+        #[test]
+        fn short_reads_and_torn_writes_stay_in_bounds() {
+            let _serial = lock();
+            let _guard = install(Plan::parse("short-read=1,torn-write=1:11").unwrap());
+            let mut session = io_session().unwrap();
+            for want in [2usize, 3, 64, 4096] {
+                match session.before_read(want) {
+                    Some(IoFault::Short(n)) => assert!((1..want).contains(&n)),
+                    other => panic!("expected a short read, got {other:?}"),
+                }
+                match session.before_write(want) {
+                    Some(IoFault::Torn(n)) => assert!((1..want).contains(&n)),
+                    other => panic!("expected a torn write, got {other:?}"),
+                }
+            }
+            // Single-byte operations cannot be shortened.
+            assert_eq!(session.before_read(1), None);
+        }
+
+        #[test]
+        fn file_faults_fire_with_certainty_one() {
+            let _serial = lock();
+            let _guard = install(Plan::parse("file-write=1:3").unwrap());
+            assert!(file_fault(FaultKind::FileWrite).is_some());
+            assert!(file_fault(FaultKind::FileRead).is_none());
+        }
+    }
+}

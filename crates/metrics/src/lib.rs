@@ -233,11 +233,32 @@ pub enum Counter {
     /// Nanoseconds sockets spent queued between accept and a worker
     /// picking them up, summed over connections.
     ServeQueueWaitNanos,
+    /// Faults injected by fpc-faults (all kinds; only moves in builds
+    /// with the `faults` feature and an armed plan).
+    FaultsInjected,
+    /// Connections evicted while idle between requests.
+    ServeReapedIdle,
+    /// Connections reaped for missing the per-request progress deadline
+    /// (slow-loris defense).
+    ServeReapedStalled,
+    /// Requests shed with `Busy` at the memory-pressure watermark.
+    ServeShedMemory,
+    /// Connections dropped over socket read/write timeouts.
+    ServeTimeouts,
+    /// Remote-client retry attempts (re-sends after a transient failure).
+    RemoteRetryAttempts,
+    /// Remote-client reconnects (transport was dropped and re-dialed).
+    RemoteRetryReconnects,
+    /// Remote-client requests abandoned after exhausting the retry
+    /// budget or deadline.
+    RemoteRetryGiveups,
+    /// Nanoseconds the remote client slept in retry backoff, summed.
+    RemoteRetryBackoffNanos,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 28;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -260,6 +281,15 @@ impl Counter {
         Counter::ServeBytesIn,
         Counter::ServeBytesOut,
         Counter::ServeQueueWaitNanos,
+        Counter::FaultsInjected,
+        Counter::ServeReapedIdle,
+        Counter::ServeReapedStalled,
+        Counter::ServeShedMemory,
+        Counter::ServeTimeouts,
+        Counter::RemoteRetryAttempts,
+        Counter::RemoteRetryReconnects,
+        Counter::RemoteRetryGiveups,
+        Counter::RemoteRetryBackoffNanos,
     ];
 
     /// Stable report name.
@@ -284,6 +314,15 @@ impl Counter {
             Counter::ServeBytesIn => "serve.bytes.in",
             Counter::ServeBytesOut => "serve.bytes.out",
             Counter::ServeQueueWaitNanos => "serve.queue_wait_nanos",
+            Counter::FaultsInjected => "faults.injected",
+            Counter::ServeReapedIdle => "serve.faults.reaped_idle",
+            Counter::ServeReapedStalled => "serve.faults.reaped_stalled",
+            Counter::ServeShedMemory => "serve.faults.shed_memory",
+            Counter::ServeTimeouts => "serve.faults.timeouts",
+            Counter::RemoteRetryAttempts => "remote.retry.attempts",
+            Counter::RemoteRetryReconnects => "remote.retry.reconnects",
+            Counter::RemoteRetryGiveups => "remote.retry.giveups",
+            Counter::RemoteRetryBackoffNanos => "remote.retry.backoff_nanos",
         }
     }
 

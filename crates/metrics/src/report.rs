@@ -354,6 +354,45 @@ fn render_bench(v: &Value) -> Result<String, String> {
             }
         }
     }
+    if let Some(fg) = v.get("faultgen") {
+        let _ = writeln!(out, "\nfaultgen (fault-injection sweep):");
+        if let Value::Obj(members) = fg {
+            for (k, val) in members {
+                if let Some(s) = val.as_str() {
+                    let _ = writeln!(out, "  {k:<18} {s}");
+                } else if let Some(n) = val.as_u64() {
+                    let _ = writeln!(out, "  {k:<18} {n}");
+                } else if let Some(x) = val.as_f64() {
+                    let _ = writeln!(out, "  {k:<18} {x:.3}");
+                }
+            }
+        }
+        if let Some(Value::Obj(counters)) = fg.get("counters") {
+            for (k, val) in counters {
+                if let Some(n) = val.as_u64() {
+                    let _ = writeln!(out, "  {k:<26} {n}");
+                }
+            }
+        }
+        // Only anomalous cells are itemized; a clean sweep stays terse.
+        if let Some(cells) = fg.get("cells").and_then(Value::as_arr) {
+            for cell in cells {
+                let flag = |key: &str| cell.get(key).and_then(Value::as_bool).unwrap_or(false);
+                let count = |key: &str| cell.get(key).and_then(Value::as_u64).unwrap_or(0);
+                if flag("hung") || flag("crashed") || count("mismatches") > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  !! fault={} seed={} mismatches={} hung={} crashed={}",
+                        cell.get("fault").and_then(Value::as_str).unwrap_or("?"),
+                        count("seed"),
+                        count("mismatches"),
+                        flag("hung"),
+                        flag("crashed")
+                    );
+                }
+            }
+        }
+    }
     Ok(out)
 }
 

@@ -309,6 +309,11 @@ unsafe fn drive(core: &JobCore, data: *const JobData<'static>, is_worker: bool) 
         if start >= core.count {
             break;
         }
+        // Fault hook: delaying a claimed batch perturbs the dynamic
+        // schedule (stealing, completion order) without touching data.
+        if let Some(delay) = fpc_faults::pool_delay(start as u64) {
+            std::thread::sleep(delay);
+        }
         if fpc_metrics::ENABLED {
             if !core.wait_recorded.swap(true, Ordering::Relaxed) {
                 fpc_metrics::incr(

@@ -6,6 +6,7 @@ use crate::wire::{
     DEFAULT_MAX_FRAME,
 };
 use fpc_core::Algorithm;
+use fpc_faults::io::FaultStream;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -51,26 +52,55 @@ impl From<RecvError> for ClientError {
 
 /// One connection to an `fpc-serve` instance; requests are issued
 /// sequentially and the connection is reused across them.
+///
+/// Both directions run through [`FaultStream`], so an armed fault plan
+/// exercises the client's transport the same way it exercises the
+/// server's — in default builds the wrappers are transparent.
 pub struct Client {
-    reader: BufReader<TcpStream>,
+    reader: BufReader<FaultStream<TcpStream>>,
+    writer: FaultStream<TcpStream>,
     next_id: u64,
     max_frame: u32,
 }
 
 impl Client {
     /// Connects with the given socket timeouts applied to every read and
-    /// write on the connection.
+    /// write on the connection. When a timeout is given it also bounds
+    /// the connect itself.
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs, timeout: Option<Duration>) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = match timeout {
+            Some(limit) => {
+                // connect_timeout needs concrete addrs; try each in turn.
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                stream.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "no addresses resolved")
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
         stream.set_nodelay(true).ok();
+        let writer = FaultStream::new(stream.try_clone()?);
         Ok(Client {
-            reader: BufReader::new(stream),
+            reader: BufReader::new(FaultStream::new(stream)),
+            writer,
             next_id: 1,
             max_frame: DEFAULT_MAX_FRAME,
         })
@@ -82,7 +112,7 @@ impl Client {
     ///
     /// Propagates `getpeername` failures.
     pub fn peer_addr(&self) -> io::Result<SocketAddr> {
-        self.reader.get_ref().peer_addr()
+        self.reader.get_ref().get_ref().peer_addr()
     }
 
     /// Compresses `data` remotely; the stream is byte-identical to a local
@@ -134,7 +164,27 @@ impl Client {
     fn request(&mut self, op: Op, algo: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        send_request(&mut self.reader.get_ref(), op, algo, id, payload)?;
+        self.request_with_id(op, algo, id, payload)
+    }
+
+    /// Sends one request under a caller-chosen request id and reads the
+    /// complete reply. All four ops are pure functions of their operand,
+    /// so the id doubles as an idempotency key: re-issuing the same
+    /// `(op, algo, id, payload)` — on this connection or a fresh one —
+    /// yields a byte-identical response. [`retry::ResilientClient`]
+    /// (see [`crate::retry`]) builds on exactly this.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, protocol, or server-side failure.
+    pub fn request_with_id(
+        &mut self,
+        op: Op,
+        algo: u8,
+        id: u64,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, ClientError> {
+        send_request(&mut self.writer, op, algo, id, payload)?;
         let (header, body) = read_frame(&mut self.reader, self.max_frame)?;
         match header.kind {
             FrameKind::Error => Err(ClientError::Remote(WireError::decode(&body))),

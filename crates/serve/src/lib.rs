@@ -43,39 +43,51 @@
 //! ```
 
 pub mod client;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use wire::{ErrorCode, Op, RemoteVerify, WireError};
 
 use std::sync::atomic::AtomicBool;
 
-static SIGINT: AtomicBool = AtomicBool::new(false);
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
 
-/// Installs a SIGINT handler that sets (and returns) a process-wide flag,
-/// without any dependency beyond the platform libc that `std` already
-/// links. Callers bridge it to [`Server::shutdown_flag`] for graceful
-/// shutdown (`fpcc serve` does exactly that).
+/// Installs SIGINT *and* SIGTERM handlers that set (and return) one
+/// process-wide flag, without any dependency beyond the platform libc
+/// that `std` already links. Callers bridge it to
+/// [`Server::shutdown_flag`] for graceful shutdown (`fpcc serve` does
+/// exactly that), so a supervisor's `kill` drains as cleanly as Ctrl-C.
 ///
 /// On non-Unix targets this is a no-op returning a flag that never fires.
 /// Installing twice is harmless.
-pub fn sigint_flag() -> &'static AtomicBool {
+pub fn shutdown_signal_flag() -> &'static AtomicBool {
     #[cfg(unix)]
     {
-        extern "C" fn on_sigint(_signum: i32) {
+        extern "C" fn on_signal(_signum: i32) {
             // Only async-signal-safe work here: one atomic store.
-            SIGINT.store(true, std::sync::atomic::Ordering::SeqCst);
+            SHUTDOWN_SIGNAL.store(true, std::sync::atomic::Ordering::SeqCst);
         }
         extern "C" {
             // POSIX signal(2); std links libc on every Unix target.
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         const SIGINT_NUM: i32 = 2;
+        const SIGTERM_NUM: i32 = 15;
         unsafe {
-            signal(SIGINT_NUM, on_sigint);
+            signal(SIGINT_NUM, on_signal);
+            signal(SIGTERM_NUM, on_signal);
         }
     }
-    &SIGINT
+    &SHUTDOWN_SIGNAL
+}
+
+/// Former name of [`shutdown_signal_flag`]; the flag now fires on
+/// SIGTERM as well as SIGINT.
+#[deprecated(note = "renamed to shutdown_signal_flag (also handles SIGTERM)")]
+pub fn sigint_flag() -> &'static AtomicBool {
+    shutdown_signal_flag()
 }

@@ -23,23 +23,41 @@
 //!   [`ErrorCode::Busy`];
 //! * per-connection read/write timeouts → [`ErrorCode::Timeout`].
 //!
+//! **Graceful degradation** (all deterministic thresholds, all counted
+//! under `serve.faults.*` metrics):
+//!
+//! * *idle eviction* — a connection that sits between requests past
+//!   [`ServeConfig::idle_timeout`] is reaped with a structured
+//!   [`ErrorCode::Timeout`], freeing its worker;
+//! * *progress deadline* — once a request frame arrives, the whole body
+//!   must land within [`ServeConfig::progress_deadline`] of wall clock.
+//!   Socket timeouts reset per syscall, so a slow-loris peer trickling
+//!   one byte per poll would otherwise hold a worker forever; the
+//!   deadline is checked on every read and cannot be evaded;
+//! * *memory-pressure watermark* — requests are shed with
+//!   [`ErrorCode::Busy`] once buffered bytes cross
+//!   [`ServeConfig::shed_inflight`] (before the hard
+//!   [`ServeConfig::max_inflight`] cap, so shedding happens while
+//!   allocation still succeeds).
+//!
 //! **Graceful shutdown**: setting the flag returned by
-//! [`Server::shutdown_flag`] (e.g. from a SIGINT handler, see
-//! [`crate::sigint_flag`]) stops the acceptor, lets every worker finish
-//! its in-flight request, closes queued-but-unserved sockets, and joins
-//! all workers before [`Server::run`] returns.
+//! [`Server::shutdown_flag`] (e.g. from a SIGINT/SIGTERM handler bridge,
+//! see [`crate::shutdown_signal_flag`]) stops the acceptor, lets every
+//! worker finish its in-flight request, closes queued-but-unserved
+//! sockets, and joins all workers before [`Server::run`] returns.
 
 use crate::wire::{
     read_frame, send_error, send_response, ErrorCode, FrameKind, Op, RecvError, RemoteVerify,
     WireError, DEFAULT_MAX_FRAME,
 };
 use fpc_core::{Algorithm, Compressor};
+use fpc_faults::io::FaultStream;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
@@ -65,6 +83,18 @@ pub struct ServeConfig {
     pub read_timeout: Option<Duration>,
     /// Per-connection socket write timeout.
     pub write_timeout: Option<Duration>,
+    /// How long a connection may sit between requests before it is
+    /// evicted (`None` = only `read_timeout` applies while idle).
+    pub idle_timeout: Option<Duration>,
+    /// Wall-clock budget for one request body, measured from its
+    /// `Request` frame to its `End` frame. Checked on every read, so a
+    /// slow-loris peer trickling bytes cannot evade it the way it evades
+    /// per-syscall socket timeouts. `None` disables the deadline.
+    pub progress_deadline: Option<Duration>,
+    /// Inflight-bytes watermark above which new request bytes are shed
+    /// with `Busy` *before* the hard `max_inflight` cap. 0 selects
+    /// `max_inflight - max_inflight / 4`.
+    pub shed_inflight: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +108,9 @@ impl Default for ServeConfig {
             max_inflight: 2 << 30,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            progress_deadline: Some(Duration::from_secs(30)),
+            shed_inflight: 0,
         }
     }
 }
@@ -102,6 +135,17 @@ impl ServeConfig {
             self.effective_conns() * 2
         } else {
             self.queue_cap
+        }
+    }
+
+    /// Shed watermark after defaulting: three quarters of the hard
+    /// inflight cap, leaving headroom so `Busy` goes out while
+    /// allocation still succeeds.
+    pub fn effective_shed(&self) -> u64 {
+        if self.shed_inflight == 0 {
+            self.max_inflight - self.max_inflight / 4
+        } else {
+            self.shed_inflight.min(self.max_inflight)
         }
     }
 }
@@ -328,24 +372,63 @@ enum Body {
     Rejected(WireError),
 }
 
+/// Bounds reads by a wall-clock deadline: the clock is checked before
+/// every `read` call, so a peer trickling single bytes (each one
+/// resetting the socket timeout) still cannot hold the body phase open
+/// past [`ServeConfig::progress_deadline`].
+struct DeadlineReader<'a, R> {
+    inner: &'a mut R,
+    deadline: Option<Instant>,
+}
+
+impl<R: io::Read> io::Read for DeadlineReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request missed the progress deadline",
+                ));
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
 /// Serves requests on one connection until the peer closes, a protocol
-/// error forces a disconnect, or shutdown is requested.
+/// error forces a disconnect, a degradation threshold reaps it, or
+/// shutdown is requested.
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     let config = &shared.config;
     stream.set_read_timeout(config.read_timeout)?;
     stream.set_write_timeout(config.write_timeout)?;
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    // Socket timeouts are per-socket, shared by all clones: `ctl` lets the
+    // loop switch between the idle and in-request read timeouts.
+    let ctl = stream.try_clone()?;
+    let mut reader = BufReader::new(FaultStream::new(stream.try_clone()?));
+    let mut writer = BufWriter::new(FaultStream::new(stream));
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
+        // Idle phase: waiting for the next request. A dedicated timeout
+        // evicts parked connections without touching in-request limits.
+        if config.idle_timeout.is_some() {
+            ctl.set_read_timeout(config.idle_timeout)?;
+        }
         let header = match read_frame(&mut reader, config.max_frame) {
             Ok((header, _payload)) => header,
             Err(RecvError::Closed) => return Ok(()),
+            Err(e) if e.is_timeout() && config.idle_timeout.is_some() => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeReapedIdle, 1);
+                return disconnect(&mut writer, &e);
+            }
             Err(e) => return disconnect(&mut writer, &e),
         };
+        if config.idle_timeout.is_some() {
+            ctl.set_read_timeout(config.read_timeout)?;
+        }
         if header.kind != FrameKind::Request {
             let err = WireError::new(
                 ErrorCode::BadFrame,
@@ -360,9 +443,19 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             inflight: &shared.inflight,
             reserved: 0,
         };
-        let body = match recv_body(&mut reader, config, &mut guard) {
+        let deadline = config.progress_deadline.map(|d| Instant::now() + d);
+        let mut bounded = DeadlineReader {
+            inner: &mut reader,
+            deadline,
+        };
+        let body = match recv_body(&mut bounded, config, &mut guard) {
             Ok(body) => body,
-            Err(e) => return disconnect(&mut writer, &e),
+            Err(e) => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    fpc_metrics::incr(fpc_metrics::Counter::ServeReapedStalled, 1);
+                }
+                return disconnect(&mut writer, &e);
+            }
         };
         fpc_metrics::incr(fpc_metrics::Counter::ServeRequests, 1);
         let reply = match body {
@@ -390,12 +483,15 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
 /// after a malformed or truncated frame the byte stream cannot be resynced.
 fn disconnect(writer: &mut impl Write, err: &RecvError) -> io::Result<()> {
     fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+    if err.is_timeout() {
+        fpc_metrics::incr(fpc_metrics::Counter::ServeTimeouts, 1);
+    }
     let wire_err = match err {
         RecvError::Closed => None,
         RecvError::Wire(e) => Some(e.clone()),
         RecvError::Io(_) if err.is_timeout() => Some(WireError::new(
             ErrorCode::Timeout,
-            "connection idle past the read timeout",
+            "connection timed out (idle, stalled, or past a deadline)",
         )),
         // The transport is already broken; nothing to send.
         RecvError::Io(_) => None,
@@ -406,7 +502,8 @@ fn disconnect(writer: &mut impl Write, err: &RecvError) -> io::Result<()> {
     Ok(())
 }
 
-/// Receives `Data`* + `End`, enforcing the per-request and global caps.
+/// Receives `Data`* + `End`, enforcing the per-request cap, the
+/// shed watermark, and the hard global cap.
 fn recv_body(
     reader: &mut impl io::Read,
     config: &ServeConfig,
@@ -415,6 +512,7 @@ fn recv_body(
     let mut payload = Vec::new();
     let mut total: u64 = 0;
     let mut rejection: Option<WireError> = None;
+    let shed = config.effective_shed();
     loop {
         let (header, chunk) = read_frame(reader, config.max_frame)?;
         match header.kind {
@@ -431,6 +529,20 @@ fn recv_body(
                             "request payload exceeds the per-request cap of {} bytes",
                             config.max_request
                         ),
+                    ));
+                } else if guard
+                    .inflight
+                    .load(Ordering::Relaxed)
+                    .saturating_add(chunk.len() as u64)
+                    > shed
+                {
+                    // Memory-pressure watermark: shed while allocation
+                    // still succeeds rather than riding the hard cap.
+                    fpc_metrics::incr(fpc_metrics::Counter::ServeShedMemory, 1);
+                    payload = Vec::new();
+                    rejection = Some(WireError::new(
+                        ErrorCode::Busy,
+                        "server under memory pressure; retry later",
                     ));
                 } else if !guard.try_grow(chunk.len() as u64, config.max_inflight) {
                     payload = Vec::new();

@@ -8,7 +8,9 @@
 //! honesty (a decode that "succeeds" yields the original length).
 
 use fpcompress::container::{self, Header, VERSION_1};
-use fpcompress::core::{Algorithm, Compressor, SpSpeedCodec};
+use fpcompress::core::{
+    Algorithm, Compressor, DpRatioChunkCodec, DpSpeedCodec, SpRatioCodec, SpSpeedCodec,
+};
 
 fn sample_bytes(algo: Algorithm) -> Vec<u8> {
     match algo.element_width() {
@@ -209,6 +211,138 @@ fn hostile_length_fields_never_cause_huge_allocations() {
             "hostile header ({payload_len}, {count}) accepted"
         );
     }
+}
+
+/// Serializes tests that install a process-global fault plan. Uses the
+/// poisoned-lock contents on panic so one failing test cannot wedge the
+/// rest of the file.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn codec_for(algo: Algorithm) -> Box<dyn container::ChunkCodec> {
+    match algo {
+        Algorithm::SpSpeed => Box::new(SpSpeedCodec { fallback: true }),
+        Algorithm::SpRatio => Box::new(SpRatioCodec),
+        Algorithm::DpSpeed => Box::new(DpSpeedCodec { fallback: true }),
+        Algorithm::DpRatio => Box::new(DpRatioChunkCodec { fixed_split: None }),
+    }
+}
+
+#[test]
+fn injected_chunk_damage_is_caught_and_tolerated_across_algorithms() {
+    // The fpc-faults chunk-damage hook flips one deterministic bit in a
+    // chunk body *after* its checksum is computed — bit-rot between
+    // encode and decode. Every algorithm must (a) reject the stream under
+    // strict decode, (b) enumerate the damage via verify() without
+    // decoding, and (c) salvage every clean chunk byte-identically via
+    // decompress_tolerant().
+    if !fpc_faults::ENABLED {
+        return; // hooks compiled out; nothing to exercise
+    }
+    let _serial = fault_lock();
+    for algo in Algorithm::ALL {
+        let bytes = sample_bytes(algo);
+        // The clean container payload is the per-chunk reference. For
+        // DPratio it is the FCM-doubled values+distances intermediate,
+        // not the original bytes, so derive it from a fault-free stream.
+        let codec = codec_for(algo);
+        let clean = Compressor::new(algo).compress_bytes(&bytes);
+        let (_, clean_payload) = container::decompress(&clean, codec.as_ref(), 2).unwrap();
+        let seed = 0xC0FFEE ^ u64::from(algo.id());
+        let plan = || fpc_faults::Plan::single(fpc_faults::FaultKind::ChunkDamage, 0.35, seed);
+        let damaged = {
+            let _guard = fpc_faults::install(plan());
+            Compressor::new(algo).compress_bytes(&bytes)
+        };
+        // Same plan, same seed: injection must be bit-reproducible.
+        let again = {
+            let _guard = fpc_faults::install(plan());
+            Compressor::new(algo).compress_bytes(&bytes)
+        };
+        assert_eq!(damaged, again, "{algo}: injection is not deterministic");
+
+        // (a) strict decode rejects.
+        assert!(
+            fpcompress::core::decompress_bytes(&damaged).is_err(),
+            "{algo}: strict decode accepted a damaged stream"
+        );
+
+        // (b) verify() locates the damage without materializing output.
+        let (_, report) = container::verify(&damaged).unwrap();
+        assert!(report.checksummed, "{algo}: expected a v2 stream");
+        assert!(
+            !report.is_clean(),
+            "{algo}: seed {seed:#x} injected no damage; pick another seed"
+        );
+        assert!(
+            report.damaged.len() < report.chunks,
+            "{algo}: every chunk damaged; clean-chunk salvage untestable"
+        );
+
+        // (c) tolerant decode zero-fills damage and salvages the rest.
+        let (header, out, tolerant) =
+            container::decompress_tolerant(&damaged, codec.as_ref(), 2).unwrap();
+        assert_eq!(
+            out.len(),
+            clean_payload.len(),
+            "{algo}: tolerated length drifted"
+        );
+        let damaged_chunks: Vec<u32> = report.damaged.iter().map(|d| d.chunk).collect();
+        let tolerated_chunks: Vec<u32> = tolerant.damaged.iter().map(|d| d.chunk).collect();
+        assert_eq!(
+            damaged_chunks, tolerated_chunks,
+            "{algo}: verify and tolerant decode disagree on damage"
+        );
+        let chunk_size = header.chunk_size as usize;
+        for (i, chunk) in clean_payload.chunks(chunk_size).enumerate() {
+            let start = i * chunk_size;
+            let got = &out[start..start + chunk.len()];
+            if damaged_chunks.contains(&(i as u32)) {
+                assert!(
+                    got.iter().all(|&b| b == 0),
+                    "{algo}: damaged chunk {i} not zero-filled"
+                );
+            } else {
+                assert_eq!(got, chunk, "{algo}: clean chunk {i} not byte-identical");
+            }
+        }
+    }
+}
+
+#[test]
+fn injected_damage_reports_name_the_chunk() {
+    if !fpc_faults::ENABLED {
+        return;
+    }
+    let _serial = fault_lock();
+    let bytes = sample_bytes(Algorithm::SpSpeed);
+    let damaged = {
+        let _guard = fpc_faults::install(fpc_faults::Plan::single(
+            fpc_faults::FaultKind::ChunkDamage,
+            1.0,
+            11,
+        ));
+        Compressor::new(Algorithm::SpSpeed).compress_bytes(&bytes)
+    };
+    // With certainty-one probability every chunk is damaged, and the
+    // strict decoder's first complaint must carry a chunk index.
+    match fpcompress::core::decompress_bytes(&damaged) {
+        Err(fpcompress::core::Error::Container(container::Error::ChecksumMismatch {
+            chunk: Some(_),
+            ..
+        })) => {}
+        other => panic!("expected a located checksum mismatch, got {other:?}"),
+    }
+    let (_, report) = container::verify(&damaged).unwrap();
+    assert_eq!(
+        report.damaged.len(),
+        report.chunks,
+        "certainty-one damage must hit every chunk"
+    );
 }
 
 #[test]

@@ -291,6 +291,131 @@ fn fuzzed_request_streams_never_kill_the_server() {
 }
 
 #[test]
+fn idle_connections_are_reaped_with_a_structured_timeout() {
+    let fixture = Fixture::start(ServeConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    });
+    // Park a connection without sending anything: the idle reaper must
+    // evict it with a structured Timeout, not hold the worker for the
+    // full 30s socket timeout.
+    let mut parked = fixture.raw();
+    expect_error(&mut parked, ErrorCode::Timeout);
+    match read_frame(&mut parked, DEFAULT_MAX_FRAME) {
+        Err(RecvError::Closed) => {}
+        other => panic!("expected close after idle reap, got {other:?}"),
+    }
+    // The freed worker must serve fresh connections.
+    let mut client = fixture.client();
+    client.ping(b"post-reap").expect("ping after idle reap");
+}
+
+#[test]
+fn slow_loris_bodies_hit_the_progress_deadline() {
+    let fixture = Fixture::start(ServeConfig {
+        progress_deadline: Some(Duration::from_millis(400)),
+        idle_timeout: Some(Duration::from_secs(10)),
+        ..ServeConfig::default()
+    });
+    let mut stream = fixture.raw();
+    let algo = Algorithm::SpSpeed.id();
+    write_frame(
+        &mut stream,
+        &FrameHeader::new(FrameKind::Request, Op::Compress as u8, algo, 21, 0),
+        &[],
+    )
+    .expect("request");
+    // Trickle tiny data frames: every read succeeds, so per-syscall
+    // socket timeouts keep resetting — only the wall-clock deadline can
+    // end this. Never send End.
+    for _ in 0..8 {
+        let frame = write_frame(
+            &mut stream,
+            &FrameHeader::new(FrameKind::Data, Op::Compress as u8, algo, 21, 4),
+            &[0u8; 4],
+        );
+        if frame.is_err() {
+            break; // server already reaped us mid-trickle
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    expect_error(&mut stream, ErrorCode::Timeout);
+    // The reaped worker must be free for honest clients.
+    let mut client = fixture.client();
+    client
+        .ping(b"post-loris")
+        .expect("ping after slow-loris reap");
+}
+
+#[test]
+fn memory_watermark_sheds_with_busy_before_the_hard_cap() {
+    let fixture = Fixture::start(ServeConfig {
+        shed_inflight: 1024,
+        ..ServeConfig::default()
+    });
+    let mut client = fixture.client();
+    let err = client
+        .compress(Algorithm::SpSpeed, &sample(16_384))
+        .expect_err("over-watermark request must be shed");
+    match err {
+        ClientError::Remote(e) => {
+            assert_eq!(e.code, ErrorCode::Busy, "{e}");
+            assert!(
+                e.message.contains("memory pressure"),
+                "shed must name the watermark, got: {}",
+                e.message
+            );
+        }
+        other => panic!("expected a remote Busy, got {other}"),
+    }
+    // The watermark is back-pressure, not a wall: a request under it
+    // still compresses on the same connection.
+    let small = sample(128);
+    let stream = client.compress(Algorithm::SpSpeed, &small).expect("small");
+    assert_eq!(
+        stream,
+        Compressor::new(Algorithm::SpSpeed).compress_bytes(&small)
+    );
+}
+
+#[test]
+fn resilient_client_matches_plain_client_and_fails_fast_on_poison() {
+    let fixture = Fixture::start(ServeConfig::default());
+    let mut client = fpc_serve::ResilientClient::connect(
+        fixture.addr.to_string(),
+        Some(Duration::from_secs(10)),
+        fpc_serve::RetryPolicy::default(),
+    )
+    .expect("resilient connect");
+    let data = sample(20_000);
+    for algo in Algorithm::ALL {
+        let local = Compressor::new(algo).compress_bytes(&data);
+        assert_eq!(
+            client.compress(algo, &data).expect("compress"),
+            local,
+            "{algo}: resilient stream differs from local"
+        );
+        assert_eq!(client.decompress(&local).expect("decompress"), data);
+    }
+    assert_eq!(client.ping(b"rc-ping").expect("ping"), b"rc-ping");
+    // A poison request (corrupt stream) is non-transient: it must fail
+    // with the structured remote error, not burn the retry budget.
+    let err = client
+        .decompress(b"not a container stream")
+        .expect_err("garbage must be rejected");
+    match &err {
+        ClientError::Remote(e) => assert_eq!(e.code, ErrorCode::CorruptStream, "{e}"),
+        other => panic!("expected a remote error, got {other}"),
+    }
+    assert!(
+        !fpc_serve::retry::is_transient(&err),
+        "corrupt-stream must not be classified retryable"
+    );
+    // And the connection survives the rejection.
+    client.ping(b"still-here").expect("ping after rejection");
+}
+
+#[test]
 fn loadgen_over_eight_connections_completes_clean() {
     let fixture = Fixture::start(ServeConfig::default());
     let config = fpc_bench::loadgen::LoadgenConfig {
