@@ -6,7 +6,13 @@
 //!     run [--out DIR] [--rev REV] [--threads N]
 //! cargo run -p fpc-bench --release --bin perf -- \
 //!     compare <baseline.json> <fresh.json>
+//! cargo run -p fpc-bench --release --features metrics --bin perf -- \
+//!     range [--threads N]
 //! ```
+//!
+//! `range` prints the seekable-decode microbench: full decompression of a
+//! 64-chunk container vs. a single-chunk `decompress_range_with`, with the
+//! `container.range.*` chunk counts when metrics are compiled in.
 //!
 //! `run` writes `DIR/BENCH_<rev>.json` (default `results/`) and prints the
 //! rendered report. The revision defaults to `$FPC_REV`, then
@@ -24,7 +30,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: perf run [--out DIR] [--rev REV] [--threads N]\n       \
-         perf compare <baseline.json> <fresh.json>"
+         perf compare <baseline.json> <fresh.json>\n       \
+         perf range [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -171,11 +178,38 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_range(args: &[String]) -> ExitCode {
+    let threads: usize = match args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse())
+        .transpose()
+    {
+        Ok(t) => t.unwrap_or(2),
+        Err(_) => {
+            eprintln!("--threads expects a non-negative integer");
+            return ExitCode::from(2);
+        }
+    };
+    if !fpc_metrics::ENABLED {
+        eprintln!(
+            "[perf] note: built without --features metrics; \
+             chunks-touched counts will read n/a"
+        );
+    }
+    eprintln!("[perf] range microbench (64-chunk container, threads={threads})...");
+    let rows = fpc_bench::rangebench::run(threads);
+    print!("{}", fpc_bench::rangebench::render(&rows));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("range") => cmd_range(&args[1..]),
         _ => usage(),
     }
 }

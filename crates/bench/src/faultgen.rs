@@ -2,9 +2,9 @@
 //!
 //! For every cell in `seeds × fault matrix`, the harness installs a
 //! deterministic `fpc-faults` plan, boots an in-process server with
-//! aggressive degradation thresholds, and drives remote compress and
-//! decompress requests through a [`ResilientClient`] — both sides of
-//! every socket run through the fault layer. Three invariants are
+//! aggressive degradation thresholds, and drives remote compress,
+//! decompress, and range requests through a [`ResilientClient`] — both
+//! sides of every socket run through the fault layer. Three invariants are
 //! asserted, cell by cell, under a watchdog:
 //!
 //! 1. **no hangs** — each cell completes within its watchdog budget;
@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 pub struct FaultgenConfig {
     /// Seeds to run every matrix entry under.
     pub seeds: Vec<u64>,
-    /// Requests per cell (alternating compress / decompress).
+    /// Requests per cell (cycling compress / decompress / range).
     pub requests: usize,
     /// Uncompressed payload bytes per request.
     pub payload_bytes: usize,
@@ -323,12 +323,17 @@ fn drive_cell(
     let (mut ok, mut gaveups, mut mismatches) = (0u64, 0u64, 0u64);
     match ResilientClient::connect(addr.to_string(), Some(Duration::from_secs(2)), policy) {
         Ok(mut client) => {
+            // A chunk-unaligned mid-payload slice for the range requests.
+            let (offset, len) = (data.len() as u64 / 3 + 17, data.len() as u64 / 5);
             for req in 0..requests {
-                // Alternate ops so both directions move bulk payloads.
-                let outcome = if req % 2 == 0 {
-                    client.compress(algo, data).map(|s| s == expected)
-                } else {
-                    client.decompress(expected).map(|d| d == data)
+                // Cycle ops so both directions move bulk payloads and the
+                // seekable path sees the same socket faults.
+                let outcome = match req % 3 {
+                    0 => client.compress(algo, data).map(|s| s == expected),
+                    1 => client.decompress(expected).map(|d| d == data),
+                    _ => client
+                        .range(expected, offset, len)
+                        .map(|r| r == data[offset as usize..(offset + len) as usize]),
                 };
                 match outcome {
                     Ok(true) => ok += 1,

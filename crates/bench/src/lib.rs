@@ -27,6 +27,7 @@ pub mod microbench;
 pub mod pareto;
 pub mod perf;
 pub mod plot;
+pub mod rangebench;
 pub mod report;
 pub mod synth;
 

@@ -1,0 +1,175 @@
+//! Range-decode microbench: demonstrates that `decompress_range_with` on
+//! a 64-chunk container does ~1/64th of the full-decode work for the
+//! chunk-addressable algorithms.
+//!
+//! For each paper algorithm the bench compresses a 1 MiB synthetic input
+//! (64 chunks at the 16 KiB default), times a full decode against a
+//! single-chunk range decode, and — in `--features metrics` builds —
+//! reads the `container.range.*` counters to report exactly how many
+//! chunks the range path touched. DPratio's payload is not
+//! chunk-addressable (its stream interleaves value and distance planes),
+//! so its range path falls back to full-decode-then-slice; the bench
+//! reports that honestly rather than excluding it.
+
+use fpc_core::{Algorithm, Compressor};
+use std::time::Instant;
+
+/// Timed repetitions per measurement; per-request figures are reported.
+const REPS: u32 = 8;
+
+/// Chunks in the benchmark container (at the default 16 KiB chunk size).
+pub const CHUNKS: u64 = 64;
+
+/// One algorithm's full-decode vs. range-decode measurement.
+#[derive(Debug, Clone)]
+pub struct RangeBenchRow {
+    /// Paper name (`SPspeed`, …).
+    pub algorithm: String,
+    /// Chunks in the container (64 by construction).
+    pub chunks: u64,
+    /// Chunks decoded per range request (from `container.range.chunks.touched`;
+    /// zero with the `metrics` feature off or on the DPratio fallback).
+    pub chunks_touched: u64,
+    /// Seconds per full decompression.
+    pub full_secs: f64,
+    /// Seconds per single-chunk range decode.
+    pub range_secs: f64,
+}
+
+impl RangeBenchRow {
+    /// Full-decode time over range-decode time (the "~N×" headline).
+    pub fn speedup(&self) -> f64 {
+        self.full_secs / self.range_secs.max(1e-12)
+    }
+}
+
+fn synthetic_input(algo: Algorithm) -> Vec<u8> {
+    // 1 MiB either way: 64 chunks at the 16 KiB default chunk size.
+    if algo.is_single_precision() {
+        (0..262_144)
+            .flat_map(|i| ((i as f32 * 1e-3).sin() * 7.0).to_bits().to_le_bytes())
+            .collect()
+    } else {
+        (0..131_072)
+            .flat_map(|i| ((i as f64 * 1e-3).cos() * 3.0).to_bits().to_le_bytes())
+            .collect()
+    }
+}
+
+fn timed(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(REPS)
+}
+
+/// Measures all four algorithms; see the module docs for the layout.
+pub fn run(threads: usize) -> Vec<RangeBenchRow> {
+    let chunk = fpc_container::DEFAULT_CHUNK_SIZE as u64;
+    // A sub-chunk slice from the middle of the container: the range path
+    // must decode exactly one chunk to serve it.
+    let (offset, len) = (31 * chunk + 100, 1_000u64);
+    Algorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let data = synthetic_input(algo);
+            let stream = Compressor::new(algo)
+                .with_threads(threads)
+                .compress_bytes(&data);
+            let full_secs = timed(|| {
+                std::hint::black_box(
+                    fpc_core::decompress_bytes_with(&stream, threads).expect("full decode"),
+                );
+            });
+            fpc_metrics::reset();
+            let range_secs = timed(|| {
+                let got = fpc_core::decompress_range_with(&stream, offset, len, threads)
+                    .expect("range decode");
+                assert_eq!(
+                    got,
+                    &data[offset as usize..(offset + len) as usize],
+                    "{algo}: range decode mismatch"
+                );
+                std::hint::black_box(got);
+            });
+            let touched = fpc_metrics::snapshot()
+                .counters
+                .iter()
+                .find(|c| c.name == "container.range.chunks.touched")
+                // REPS + 1 requests including the warm-up.
+                .map_or(0, |c| c.value / (u64::from(REPS) + 1));
+            RangeBenchRow {
+                algorithm: algo.to_string(),
+                chunks: CHUNKS,
+                chunks_touched: touched,
+                full_secs,
+                range_secs,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows as the markdown table the perf bin prints.
+pub fn render(rows: &[RangeBenchRow]) -> String {
+    let mut out = String::from(
+        "| algorithm | chunks touched | full decode | range decode | speedup |\n\
+         |---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let touched = if r.chunks_touched == 0 {
+            "n/a".to_string() // metrics off, or the DPratio full-decode fallback
+        } else {
+            format!("{} of {}", r.chunks_touched, r.chunks)
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.3} ms | {:.3} ms | {:.1}x |\n",
+            r.algorithm,
+            touched,
+            r.full_secs * 1e3,
+            r.range_secs * 1e3,
+            r.speedup()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chunk_range_touches_at_most_two_chunks_of_sixty_four() {
+        let rows = run(1);
+        assert_eq!(rows.len(), Algorithm::ALL.len());
+        for row in &rows {
+            assert_eq!(row.chunks, 64);
+            assert!(row.full_secs > 0.0 && row.range_secs > 0.0);
+            if !fpc_metrics::ENABLED || row.algorithm == "DPratio" {
+                continue; // counters compiled out / full-decode fallback
+            }
+            assert!(
+                (1..=2).contains(&row.chunks_touched),
+                "{}: a sub-chunk range decoded {} of {} chunks",
+                row.algorithm,
+                row.chunks_touched,
+                row.chunks
+            );
+        }
+    }
+
+    #[test]
+    fn render_produces_one_row_per_algorithm() {
+        let rows = vec![RangeBenchRow {
+            algorithm: "SPspeed".into(),
+            chunks: 64,
+            chunks_touched: 1,
+            full_secs: 1e-3,
+            range_secs: 2e-5,
+        }];
+        let table = render(&rows);
+        assert!(table.contains("SPspeed"), "{table}");
+        assert!(table.contains("1 of 64"), "{table}");
+    }
+}

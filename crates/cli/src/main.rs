@@ -3,6 +3,7 @@
 //! ```text
 //! fpcc compress   --algo spratio [--threads N] <input> <output>
 //! fpcc decompress [--threads N] <input> <output>
+//! fpcc cat        [--range OFFSET:LEN] [--threads N] <file>  # decoded bytes to stdout
 //! fpcc info       <file>
 //! fpcc verify     <file>                  # checksum audit, no decompression
 //! fpcc survey     --width 4|8 [--threads N] <file>  # run every applicable codec
@@ -10,7 +11,7 @@
 //! fpcc anatomy    --algo spratio <file>    # per-stage volume breakdown
 //! fpcc stats      <report.json>            # pretty-print a metrics/bench JSON
 //! fpcc serve      [--addr A] [--threads N] [--max-conns M]  # fpc-wire-v1 server
-//! fpcc remote     <compress|decompress|verify|ping> --addr A ...  # client
+//! fpcc remote     <compress|decompress|verify|range|ping> --addr A ...  # client
 //! ```
 //!
 //! Every command accepts `--metrics json|text`: after the command finishes,
@@ -83,6 +84,11 @@ impl From<ClientError> for CliError {
             ClientError::Remote(we) if we.code == ErrorCode::UnknownAlgorithm => {
                 CliError::usage(e.to_string())
             }
+            // An out-of-bounds range is the caller asking for bytes that
+            // don't exist — a usage error, same as the local `cat --range`.
+            ClientError::Remote(we) if we.code == ErrorCode::RangeOutOfBounds => {
+                CliError::usage(e.to_string())
+            }
             _ => CliError::io(e.to_string()),
         }
     }
@@ -102,6 +108,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
+        Some("cat") => cmd_cat(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("survey") => cmd_survey(&args[1..]),
@@ -112,10 +119,11 @@ fn main() -> ExitCode {
         Some("remote") => cmd_remote(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fpcc <compress|decompress|info|verify|survey|gen|anatomy|stats|serve|remote> ...\n\
+                "usage: fpcc <compress|decompress|cat|info|verify|survey|gen|anatomy|stats|serve|remote> ...\n\
                  \n\
                  compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
                  decompress [--threads N] <in> <out>\n\
+                 cat        [--range OFFSET:LEN] [--threads N] <file>   # decoded bytes to stdout\n\
                  info       <file>\n\
                  verify     <file>   # per-chunk checksum audit, exit 4 on damage\n\
                  survey     --width <4|8> [--threads N] <file>\n\
@@ -127,6 +135,7 @@ fn main() -> ExitCode {
                  remote     compress   --addr HOST:PORT --algo <name> <in> <out>\n\
                  remote     decompress --addr HOST:PORT <in> <out>\n\
                  remote     verify     --addr HOST:PORT <file>\n\
+                 remote     range      --addr HOST:PORT --range OFFSET:LEN <file>   # to stdout\n\
                  remote     ping       --addr HOST:PORT\n\
                  \u{20}          remote flags: [--timeout-secs S] [--retries N] [--deadline-secs S]\n\
                  \n\
@@ -322,6 +331,55 @@ fn cmd_decompress(args: &[String]) -> CliResult {
         dt,
         data.len() as f64 / 1e9 / dt
     );
+    Ok(())
+}
+
+/// Parses the shared `--range OFFSET:LEN` flag (decimal byte coordinates
+/// into the *original* data; `None` when the flag is absent).
+fn parse_range(args: &[String]) -> Result<Option<(u64, u64)>, CliError> {
+    let Some(spec) = flag_value(args, "--range") else {
+        return Ok(None);
+    };
+    let err = || {
+        CliError::usage(format!(
+            "--range must be OFFSET:LEN in decimal bytes, got '{spec}'"
+        ))
+    };
+    let (offset, len) = spec.split_once(':').ok_or_else(err)?;
+    let offset = offset.parse().map_err(|_| err())?;
+    let len = len.parse().map_err(|_| err())?;
+    Ok(Some((offset, len)))
+}
+
+/// Maps a local decode failure to the exit taxonomy: asking for bytes the
+/// container never held is a usage error (2); everything else on the
+/// decode path means the stream is damaged (4).
+fn classify_decode_error(e: fpc_core::Error) -> CliError {
+    match e {
+        fpc_core::Error::RangeOutOfBounds { .. } => CliError::usage(e.to_string()),
+        e => CliError::corrupt(e.to_string()),
+    }
+}
+
+fn cmd_cat(args: &[String]) -> CliResult {
+    let threads = parse_threads(args)?;
+    let range = parse_range(args)?;
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err(CliError::usage("expected <file>"));
+    };
+    let stream = read_file(input)?;
+    // With --range only the chunks overlapping the request are decoded
+    // (see fpc_container::Region); without it this is a full decode.
+    let data = match range {
+        Some((offset, len)) => fpc_core::decompress_range_with(&stream, offset, len, threads)
+            .map_err(classify_decode_error)?,
+        None => fpc_core::decompress_bytes_with(&stream, threads).map_err(classify_decode_error)?,
+    };
+    use std::io::Write;
+    std::io::stdout()
+        .write_all(&data)
+        .map_err(|e| CliError::io(format!("writing stdout: {e}")))?;
     Ok(())
 }
 
@@ -595,9 +653,10 @@ fn cmd_remote(args: &[String]) -> CliResult {
         Some("compress") => cmd_remote_compress(&args[1..]),
         Some("decompress") => cmd_remote_decompress(&args[1..]),
         Some("verify") => cmd_remote_verify(&args[1..]),
+        Some("range") => cmd_remote_range(&args[1..]),
         Some("ping") => cmd_remote_ping(&args[1..]),
         _ => Err(CliError::usage(
-            "expected remote <compress|decompress|verify|ping> --addr HOST:PORT ...",
+            "expected remote <compress|decompress|verify|range|ping> --addr HOST:PORT ...",
         )),
     }
 }
@@ -673,6 +732,23 @@ fn cmd_remote_verify(args: &[String]) -> CliResult {
         "{} of {} chunk(s) damaged",
         report.damaged_count, report.chunks
     )))
+}
+
+fn cmd_remote_range(args: &[String]) -> CliResult {
+    let (offset, len) =
+        parse_range(args)?.ok_or_else(|| CliError::usage("--range OFFSET:LEN is required"))?;
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err(CliError::usage("expected <file>"));
+    };
+    let stream = read_file(input)?;
+    let mut client = connect(args)?;
+    let data = client.range(&stream, offset, len)?;
+    use std::io::Write;
+    std::io::stdout()
+        .write_all(&data)
+        .map_err(|e| CliError::io(format!("writing stdout: {e}")))?;
+    Ok(())
 }
 
 fn cmd_remote_ping(args: &[String]) -> CliResult {

@@ -55,6 +55,111 @@ fn compress_decompress_roundtrip() {
 }
 
 #[test]
+fn cat_streams_decoded_bytes_and_ranges() {
+    let dir = temp_dir("cat");
+    let input = sample_file(&dir);
+    let compressed = dir.join("out.fpc");
+    assert!(fpcc()
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("compress")
+        .success());
+    let original = std::fs::read(&input).expect("read input");
+
+    // Without --range, cat reproduces the whole input on stdout.
+    let output = fpcc().arg("cat").arg(&compressed).output().expect("cat");
+    assert!(output.status.success());
+    assert_eq!(output.stdout, original);
+
+    // A mid-file range (chunk-unaligned on both ends) is byte-identical
+    // to the same slice of the original.
+    let output = fpcc()
+        .args(["cat", "--range", "65519:4242"])
+        .arg(&compressed)
+        .output()
+        .expect("cat range");
+    assert!(output.status.success());
+    assert_eq!(output.stdout, &original[65_519..65_519 + 4_242]);
+
+    // Asking past the end is a usage error (exit 2), as is a bad spec.
+    let output = fpcc()
+        .args(["cat", "--range", "200000:1"])
+        .arg(&compressed)
+        .output()
+        .expect("cat oob");
+    assert_eq!(output.status.code(), Some(2), "out-of-bounds range exits 2");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("exceeds"));
+    let output = fpcc()
+        .args(["cat", "--range", "12"])
+        .arg(&compressed)
+        .output()
+        .expect("cat bad spec");
+    assert_eq!(output.status.code(), Some(2), "malformed --range exits 2");
+
+    // Garbage input is a corrupt stream (exit 4), same as decompress.
+    let bogus = dir.join("bogus.fpc");
+    std::fs::write(&bogus, b"not a container").expect("write");
+    let output = fpcc()
+        .args(["cat", "--range", "0:1"])
+        .arg(&bogus)
+        .output()
+        .expect("cat garbage");
+    assert_eq!(output.status.code(), Some(4), "corrupt streams exit 4");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cat_range_touches_only_the_chunks_it_needs() {
+    let dir = temp_dir("catmetrics");
+    let input = sample_file(&dir);
+    let compressed = dir.join("out.fpc");
+    assert!(fpcc()
+        .args(["compress", "--algo", "spspeed"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("compress")
+        .success());
+    // 200_000 bytes at the 16 KiB default chunk size is 13 chunks; one
+    // byte from the middle must decode exactly one of them. The
+    // container.range.* counters land in the --metrics json report on
+    // stderr (only populated in metrics builds, hence the gate below).
+    let output = fpcc()
+        .args(["cat", "--range", "100000:1", "--metrics", "json"])
+        .arg(&compressed)
+        .output()
+        .expect("cat range with metrics");
+    assert!(output.status.success());
+    assert_eq!(output.stdout.len(), 1);
+    let report = String::from_utf8_lossy(&output.stderr);
+    // Pulls a counter value out of the fpc-metrics-v1 JSON report
+    // ({"name": N, "value": V} objects; zero-valued counters are omitted).
+    fn counter(report: &str, name: &str) -> Option<u64> {
+        let compact: String = report.chars().filter(|c| !c.is_whitespace()).collect();
+        let tag = format!("\"name\":\"{name}\",\"value\":");
+        let rest = &compact[compact.find(&tag)? + tag.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    }
+    if counter(&report, "container.range.requests") != Some(1) {
+        return; // metrics feature compiled out of this binary
+    }
+    assert_eq!(
+        counter(&report, "container.range.chunks.touched"),
+        Some(1),
+        "single-byte range must decode a single chunk: {report}"
+    );
+    assert_eq!(
+        counter(&report, "container.range.chunks.total"),
+        Some(13),
+        "expected a 13-chunk container: {report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn info_reports_algorithm() {
     let dir = temp_dir("info");
     let input = sample_file(&dir);

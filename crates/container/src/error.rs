@@ -43,6 +43,15 @@ pub enum Error {
         /// The rejected raw value.
         value: u64,
     },
+    /// A requested byte range extends beyond the chunked payload.
+    RangeOutOfBounds {
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Payload bytes actually available.
+        available: u64,
+    },
 }
 
 impl core::fmt::Display for Error {
@@ -73,6 +82,13 @@ impl core::fmt::Display for Error {
             }
             Error::InvalidHeader { field, value } => {
                 write!(f, "invalid header field {field}: {value}")
+            }
+            Error::RangeOutOfBounds {
+                offset,
+                len,
+                available,
+            } => {
+                write!(f, "range {offset}+{len} exceeds payload length {available}")
             }
         }
     }
@@ -107,6 +123,11 @@ mod tests {
             Error::InvalidHeader {
                 field: "element_width",
                 value: 3,
+            },
+            Error::RangeOutOfBounds {
+                offset: 100,
+                len: 50,
+                available: 120,
             },
         ] {
             let s = e.to_string();

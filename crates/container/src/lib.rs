@@ -214,6 +214,12 @@ impl Frame<'_> {
     fn expected_len(&self, i: usize) -> usize {
         let chunk_size = self.header.chunk_size as usize;
         let payload_len = self.header.payload_len as usize;
+        // An empty payload has no chunks at all; without this guard the
+        // last-chunk formula below underflows (`0 - 1`) as soon as a chunk
+        // of an empty container is addressed individually.
+        if self.count == 0 {
+            return 0;
+        }
         if i + 1 == self.count {
             payload_len - (self.count - 1) * chunk_size
         } else {
@@ -480,11 +486,157 @@ pub fn decompress_tolerant(
     Ok((frame.header, payload, report))
 }
 
+/// A parsed container frame held open for random access — the seekable
+/// handle behind [`decode_range`] and [`decompress_chunk`].
+///
+/// Parsing validates the header, chunk table, and (v2) the header and
+/// table checksums exactly once; every subsequent [`Region::decode_chunk`]
+/// or [`Region::decode_range`] call reuses that metadata and touches only
+/// the chunks it needs. Per-chunk payload checksums are still verified
+/// lazily, chunk by chunk, as each chunk is decoded.
+///
+/// Ranges are expressed in *payload* coordinates: `offset` is a byte
+/// offset into the decoded chunked payload (`header.payload_len` bytes),
+/// with inclusive start and exclusive end (`offset..offset + len`). For
+/// algorithms whose payload equals the original data this is also an
+/// original-data coordinate; algorithms with a global preprocessing stage
+/// (DPratio) map coordinates above this layer.
+pub struct Region<'a> {
+    frame: Frame<'a>,
+}
+
+impl<'a> Region<'a> {
+    /// Parses and validates the stream's framing (header, chunk table,
+    /// and for v2 the header/table checksums) without decoding any chunk.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or truncated framing, as for [`decompress`].
+    pub fn parse(data: &'a [u8]) -> Result<Region<'a>, Error> {
+        Ok(Region {
+            frame: parse_frame(data)?,
+        })
+    }
+
+    /// The stream header.
+    pub fn header(&self) -> &Header {
+        &self.frame.header
+    }
+
+    /// Number of chunks in the stream.
+    pub fn chunks(&self) -> usize {
+        self.frame.count
+    }
+
+    /// Decoded length of chunk `index` (the final chunk may be short).
+    pub fn chunk_len(&self, index: usize) -> usize {
+        if index >= self.frame.count {
+            return 0;
+        }
+        self.frame.expected_len(index)
+    }
+
+    /// Decodes chunk `index` into a fresh buffer, verifying its checksum
+    /// (v2) first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range index, a checksum mismatch, or chunk
+    /// bytes the codec rejects.
+    pub fn decode_chunk(&self, index: usize, codec: &dyn ChunkCodec) -> Result<Vec<u8>, Error> {
+        if index >= self.frame.count {
+            return Err(Error::Corrupt("chunk index out of range"));
+        }
+        self.frame.decode_chunk(index, codec)
+    }
+
+    /// Decodes exactly the payload bytes `offset..offset + len`, touching
+    /// only the chunks that overlap the range.
+    ///
+    /// The range is mapped to the minimal chunk subset
+    /// `[offset / chunk_size, (offset + len - 1) / chunk_size]`, those
+    /// chunks are decoded in parallel on the shared pool (checksum-verified
+    /// per chunk in v2), and the exact requested slice is returned. Chunks
+    /// outside the range are never read, so damage there goes unnoticed —
+    /// and damage inside the range is still always detected (v2).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RangeOutOfBounds`] when `offset + len` overflows or
+    /// exceeds the payload length; otherwise as [`Region::decode_chunk`].
+    pub fn decode_range(
+        &self,
+        codec: &dyn ChunkCodec,
+        offset: u64,
+        len: u64,
+        threads: usize,
+    ) -> Result<Vec<u8>, Error> {
+        let available = self.frame.header.payload_len;
+        let out_of_bounds = Error::RangeOutOfBounds {
+            offset,
+            len,
+            available,
+        };
+        let end = offset.checked_add(len).ok_or(out_of_bounds.clone())?;
+        if end > available {
+            return Err(out_of_bounds);
+        }
+        fpc_metrics::incr(fpc_metrics::Counter::ContainerRangeRequests, 1);
+        fpc_metrics::incr(
+            fpc_metrics::Counter::ContainerRangeChunksTotal,
+            self.frame.count as u64,
+        );
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let chunk_size = u64::from(self.frame.header.chunk_size);
+        let first = (offset / chunk_size) as usize;
+        let last = ((end - 1) / chunk_size) as usize;
+        let touched = last - first + 1;
+        let decoded = parallel::run_indexed(touched, threads, |i| {
+            self.frame.decode_chunk(first + i, codec)
+        });
+        let mut buf = Vec::with_capacity((touched as u64 * chunk_size) as usize);
+        for chunk in decoded {
+            buf.extend_from_slice(&chunk?);
+        }
+        fpc_metrics::incr(
+            fpc_metrics::Counter::ContainerRangeChunksTouched,
+            touched as u64,
+        );
+        fpc_metrics::incr(
+            fpc_metrics::Counter::ContainerRangeBytesDecoded,
+            buf.len() as u64,
+        );
+        fpc_metrics::incr(fpc_metrics::Counter::ContainerRangeBytesReturned, len);
+        let skip = (offset - first as u64 * chunk_size) as usize;
+        Ok(buf[skip..skip + len as usize].to_vec())
+    }
+}
+
+/// Parses the stream once and decodes exactly the payload bytes
+/// `offset..offset + len` — the one-shot form of [`Region::decode_range`].
+///
+/// # Errors
+///
+/// As [`Region::parse`] and [`Region::decode_range`].
+pub fn decode_range(
+    data: &[u8],
+    codec: &dyn ChunkCodec,
+    offset: u64,
+    len: u64,
+    threads: usize,
+) -> Result<Vec<u8>, Error> {
+    Region::parse(data)?.decode_range(codec, offset, len, threads)
+}
+
 /// Decompresses a single chunk of the container by index, without touching
 /// the rest of the stream — the random-access corollary of the paper's
 /// "each chunk is independent" design (§3).
 ///
 /// Returns the chunk's original bytes (the final chunk may be short).
+/// Callers decoding more than one chunk should hold a [`Region`] open
+/// instead of paying the frame parse per call.
 ///
 /// # Errors
 ///
@@ -495,11 +647,7 @@ pub fn decompress_chunk(
     codec: &dyn ChunkCodec,
     index: usize,
 ) -> Result<Vec<u8>, Error> {
-    let frame = parse_frame(data)?;
-    if index >= frame.count {
-        return Err(Error::Corrupt("chunk index out of range"));
-    }
-    frame.decode_chunk(index, codec)
+    Region::parse(data)?.decode_chunk(index, codec)
 }
 
 /// Reads just the header of a container stream (for introspection).
@@ -997,6 +1145,100 @@ mod tests {
             decompress_chunk(&stream, &Identity, 1).unwrap(),
             &payload[DEFAULT_CHUNK_SIZE..]
         );
+    }
+
+    #[test]
+    fn decode_range_matches_full_decode_slices() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 5 + 321)
+            .map(|i| (i % 241) as u8)
+            .collect();
+        for header in [header_for(&payload), v1_header_for(&payload)] {
+            let stream = compress(header, &payload, &Rle, 2).unwrap();
+            let region = Region::parse(&stream).unwrap();
+            assert_eq!(region.chunks(), 6);
+            let cases: &[(u64, u64)] = &[
+                (0, 0),                                            // empty at start
+                (payload.len() as u64, 0),                         // empty at end
+                (10, 100),                                         // inside chunk 0
+                (DEFAULT_CHUNK_SIZE as u64 - 3, 7),                // spans a boundary
+                (DEFAULT_CHUNK_SIZE as u64 * 5, 321),              // exactly the tail
+                (DEFAULT_CHUNK_SIZE as u64 * 4 + 9, 16_000 + 312), // spans into tail
+                (0, payload.len() as u64),                         // whole file
+            ];
+            for &(offset, len) in cases {
+                let got = region.decode_range(&Rle, offset, len, 2).unwrap();
+                let want = &payload[offset as usize..(offset + len) as usize];
+                assert_eq!(got, want, "range {offset}+{len} v{}", header.version);
+                // The one-shot form agrees.
+                assert_eq!(decode_range(&stream, &Rle, offset, len, 1).unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_range_rejects_out_of_bounds() {
+        let payload = vec![2u8; 1000];
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+        let region = Region::parse(&stream).unwrap();
+        for (offset, len) in [(1000u64, 1u64), (999, 2), (u64::MAX, 1), (0, 1001)] {
+            match region.decode_range(&Rle, offset, len, 1) {
+                Err(Error::RangeOutOfBounds { available, .. }) => assert_eq!(available, 1000),
+                other => panic!("range {offset}+{len} gave {other:?}"),
+            }
+        }
+        // Zero-length at the very end is still in bounds.
+        assert_eq!(
+            region.decode_range(&Rle, 1000, 0, 1).unwrap(),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn decode_range_detects_damage_only_inside_the_range() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 4)
+            .map(|i| (i % 29) as u8)
+            .collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+        let stats = stats(&stream).unwrap();
+        let payload_start = stream.len() - stats.compressed_payload;
+        // Damage chunk 0's compressed body.
+        let mut bad = stream.clone();
+        bad[payload_start] ^= 0x40;
+        let region = Region::parse(&bad).unwrap();
+        // A range inside chunk 2 never touches the damage.
+        let offset = DEFAULT_CHUNK_SIZE as u64 * 2 + 5;
+        let got = region.decode_range(&Rle, offset, 64, 1).unwrap();
+        assert_eq!(got, &payload[offset as usize..offset as usize + 64]);
+        // A range overlapping chunk 0 must report the checksum mismatch.
+        assert!(matches!(
+            region.decode_range(&Rle, 0, 10, 1),
+            Err(Error::ChecksumMismatch { chunk: Some(0), .. })
+        ));
+    }
+
+    #[test]
+    fn empty_container_survives_every_decode_path() {
+        for header in [header_for(&[]), v1_header_for(&[])] {
+            let stream = compress(header, &[], &Rle, 1).unwrap();
+            let (_, out) = decompress(&stream, &Rle, 1).unwrap();
+            assert!(out.is_empty());
+            let (_, out, report) = decompress_tolerant(&stream, &Rle, 1).unwrap();
+            assert!(out.is_empty());
+            assert!(report.is_clean());
+            let region = Region::parse(&stream).unwrap();
+            assert_eq!(region.chunks(), 0);
+            // The empty range is the only valid one; it must not panic.
+            assert_eq!(
+                region.decode_range(&Rle, 0, 0, 1).unwrap(),
+                Vec::<u8>::new()
+            );
+            assert!(matches!(
+                region.decode_range(&Rle, 0, 1, 1),
+                Err(Error::RangeOutOfBounds { .. })
+            ));
+            // Individual chunk access reports out-of-range, not a panic.
+            assert!(decompress_chunk(&stream, &Rle, 0).is_err());
+        }
     }
 
     #[test]

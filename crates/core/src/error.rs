@@ -21,9 +21,6 @@ pub enum Error {
         /// Requested element width.
         width: u8,
     },
-    /// Random access was requested on a stream whose algorithm has a global
-    /// stage (DPratio's FCM), so chunks are not independently decodable.
-    RandomAccessUnsupported,
     /// A requested byte range extends beyond the original data.
     RangeOutOfBounds {
         /// Requested start offset.
@@ -46,12 +43,6 @@ impl core::fmt::Display for Error {
             ),
             Error::LengthIndivisible { len, width } => {
                 write!(f, "decompressed length {len} is not a multiple of {width}")
-            }
-            Error::RandomAccessUnsupported => {
-                write!(
-                    f,
-                    "random access is unsupported for algorithms with a global stage"
-                )
             }
             Error::RangeOutOfBounds {
                 offset,
@@ -78,7 +69,21 @@ impl std::error::Error for Error {
 
 impl From<fpc_container::Error> for Error {
     fn from(e: fpc_container::Error) -> Self {
-        Error::Container(e)
+        match e {
+            // Keep range violations as one structured variant across
+            // layers so callers (CLI exit codes, the wire error mapping)
+            // need a single match arm.
+            fpc_container::Error::RangeOutOfBounds {
+                offset,
+                len,
+                available,
+            } => Error::RangeOutOfBounds {
+                offset,
+                len,
+                available,
+            },
+            e => Error::Container(e),
+        }
     }
 }
 

@@ -418,28 +418,48 @@ fn finish_plain(header: Header, payload: Vec<u8>) -> Result<Vec<u8>> {
 /// data, touching just the chunks that cover the range — the random-access
 /// corollary of the paper's independent-chunk design (§3).
 ///
-/// Works for SPspeed, SPratio, and DPspeed. DPratio's global FCM stage
-/// makes chunks interdependent, so it is rejected.
+/// Uses all available parallelism; see [`decompress_range_with`] for an
+/// explicit thread count and the range-semantics details.
 ///
 /// # Errors
 ///
-/// Fails on corrupt streams, on DPratio streams
-/// ([`Error::RandomAccessUnsupported`]), or if the range exceeds the
-/// original data ([`Error::RangeOutOfBounds`]).
+/// As [`decompress_range_with`].
 pub fn decompress_range(stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>> {
+    decompress_range_with(stream, offset, len, 0)
+}
+
+/// Decompresses only the bytes in `[offset, offset + len)` of the original
+/// data with an explicit thread count.
+///
+/// The range has an inclusive start and exclusive end, in original-data
+/// byte coordinates. For SPspeed, SPratio, and DPspeed the stream's frame
+/// is parsed once ([`fpc_container::Region`]) and only the chunks
+/// overlapping the range are decoded, so the cost scales with the range,
+/// not the file. DPratio's global FCM stage makes chunks interdependent;
+/// its streams fall back to a full decode and slice, returning the same
+/// bytes at whole-file cost (the `container.range.*` selectivity counters
+/// only move on the chunk-subset path).
+///
+/// # Errors
+///
+/// Fails on corrupt streams or if the range exceeds the original data
+/// ([`Error::RangeOutOfBounds`]).
+pub fn decompress_range_with(
+    stream: &[u8],
+    offset: u64,
+    len: u64,
+    threads: usize,
+) -> Result<Vec<u8>> {
     let header = fpc_container::read_header(stream)?;
     let algorithm = Algorithm::from_id(header.algorithm)?;
-    let end = offset.checked_add(len).ok_or(Error::RangeOutOfBounds {
+    let out_of_bounds = Error::RangeOutOfBounds {
         offset,
         len,
         available: header.original_len,
-    })?;
+    };
+    let end = offset.checked_add(len).ok_or(out_of_bounds.clone())?;
     if end > header.original_len {
-        return Err(Error::RangeOutOfBounds {
-            offset,
-            len,
-            available: header.original_len,
-        });
+        return Err(out_of_bounds);
     }
     if len == 0 {
         return Ok(Vec::new());
@@ -448,21 +468,18 @@ pub fn decompress_range(stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>>
         Algorithm::SpSpeed => Box::new(SpSpeedCodec { fallback: true }),
         Algorithm::SpRatio => Box::new(SpRatioCodec),
         Algorithm::DpSpeed => Box::new(DpSpeedCodec { fallback: true }),
-        Algorithm::DpRatio => return Err(Error::RandomAccessUnsupported),
+        Algorithm::DpRatio => {
+            let full = decompress_bytes_with(stream, threads)?;
+            return Ok(full[offset as usize..end as usize].to_vec());
+        }
     };
-    let chunk_size = u64::from(header.chunk_size);
-    let first = (offset / chunk_size) as usize;
-    let last = ((end - 1) / chunk_size) as usize;
-    let mut buf = Vec::with_capacity(((last - first + 1) as u64 * chunk_size) as usize);
-    for index in first..=last {
-        buf.extend_from_slice(&fpc_container::decompress_chunk(
-            stream,
-            codec.as_ref(),
-            index,
-        )?);
-    }
-    let skip = (offset - first as u64 * chunk_size) as usize;
-    Ok(buf[skip..skip + len as usize].to_vec())
+    Ok(fpc_container::decode_range(
+        stream,
+        codec.as_ref(),
+        offset,
+        len,
+        threads,
+    )?)
 }
 
 /// Summary of a compressed stream (for tooling and reports).
@@ -750,16 +767,24 @@ mod tests {
 
     #[test]
     fn range_decompression_matches_full() {
-        let data = smooth_f32(100_000);
-        for algo in [Algorithm::SpSpeed, Algorithm::SpRatio] {
-            let stream = Compressor::new(algo).compress_f32(&data);
+        // 400_000 original bytes for every algorithm (f32 and f64 views of
+        // the same length in bytes) so the offsets below hit the same
+        // chunk-relative positions across all four.
+        for algo in Algorithm::ALL {
+            let stream = if algo.is_single_precision() {
+                Compressor::new(algo).compress_f32(&smooth_f32(100_000))
+            } else {
+                Compressor::new(algo).compress_f64(&smooth_f64(50_000))
+            };
             let full = decompress_bytes(&stream).unwrap();
+            assert_eq!(full.len(), 400_000);
             for (offset, len) in [
                 (0u64, 10u64),
                 (3, 5),
                 (16 * 1024 - 2, 8),
                 (100_000, 40_000),
                 (399_999, 1),
+                (0, 400_000),
             ] {
                 let range = decompress_range(&stream, offset, len).unwrap();
                 assert_eq!(
@@ -769,26 +794,28 @@ mod tests {
                 );
             }
             assert!(decompress_range(&stream, 0, 0).unwrap().is_empty());
+            assert!(decompress_range(&stream, 400_000, 0).unwrap().is_empty());
         }
     }
 
     #[test]
     fn range_decompression_rejects_bad_requests() {
         let data = smooth_f64(5_000);
-        let speed_stream = Compressor::new(Algorithm::DpSpeed).compress_f64(&data);
-        assert!(matches!(
-            decompress_range(&speed_stream, 39_999, 2),
-            Err(Error::RangeOutOfBounds { .. })
-        ));
-        assert!(matches!(
-            decompress_range(&speed_stream, u64::MAX, 2),
-            Err(Error::RangeOutOfBounds { .. })
-        ));
-        let ratio_stream = Compressor::new(Algorithm::DpRatio).compress_f64(&data);
-        assert!(matches!(
-            decompress_range(&ratio_stream, 0, 8),
-            Err(Error::RandomAccessUnsupported)
-        ));
+        for algo in [Algorithm::DpSpeed, Algorithm::DpRatio] {
+            let stream = Compressor::new(algo).compress_f64(&data);
+            assert!(matches!(
+                decompress_range(&stream, 39_999, 2),
+                Err(Error::RangeOutOfBounds { .. })
+            ));
+            assert!(matches!(
+                decompress_range(&stream, u64::MAX, 2),
+                Err(Error::RangeOutOfBounds { .. })
+            ));
+            assert!(matches!(
+                decompress_range(&stream, 40_000, 1),
+                Err(Error::RangeOutOfBounds { .. })
+            ));
+        }
     }
 
     #[test]

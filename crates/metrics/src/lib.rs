@@ -103,11 +103,13 @@ pub enum Stage {
     ServeVerify,
     /// Service-side ping request.
     ServePing,
+    /// Service-side range request (partial decode).
+    ServeRange,
 }
 
 impl Stage {
     /// Number of stages (size of the statistics table).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 31;
 
     /// Every stage, in report order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -141,6 +143,7 @@ impl Stage {
         Stage::ServeDecompress,
         Stage::ServeVerify,
         Stage::ServePing,
+        Stage::ServeRange,
     ];
 
     /// Stable report name (`<layer>.<operation>`).
@@ -176,6 +179,7 @@ impl Stage {
             Stage::ServeDecompress => "serve.decompress",
             Stage::ServeVerify => "serve.verify",
             Stage::ServePing => "serve.ping",
+            Stage::ServeRange => "serve.range",
         }
     }
 
@@ -254,11 +258,22 @@ pub enum Counter {
     RemoteRetryGiveups,
     /// Nanoseconds the remote client slept in retry backoff, summed.
     RemoteRetryBackoffNanos,
+    /// Range-decode requests served by the container layer.
+    ContainerRangeRequests,
+    /// Chunks actually decoded by range requests.
+    ContainerRangeChunksTouched,
+    /// Chunks present in the streams range requests ran against (the
+    /// denominator for the touched/total selectivity ratio).
+    ContainerRangeChunksTotal,
+    /// Payload bytes decoded by range requests (whole touched chunks).
+    ContainerRangeBytesDecoded,
+    /// Payload bytes actually returned to range callers.
+    ContainerRangeBytesReturned,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 33;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -290,6 +305,11 @@ impl Counter {
         Counter::RemoteRetryReconnects,
         Counter::RemoteRetryGiveups,
         Counter::RemoteRetryBackoffNanos,
+        Counter::ContainerRangeRequests,
+        Counter::ContainerRangeChunksTouched,
+        Counter::ContainerRangeChunksTotal,
+        Counter::ContainerRangeBytesDecoded,
+        Counter::ContainerRangeBytesReturned,
     ];
 
     /// Stable report name.
@@ -323,6 +343,11 @@ impl Counter {
             Counter::RemoteRetryReconnects => "remote.retry.reconnects",
             Counter::RemoteRetryGiveups => "remote.retry.giveups",
             Counter::RemoteRetryBackoffNanos => "remote.retry.backoff_nanos",
+            Counter::ContainerRangeRequests => "container.range.requests",
+            Counter::ContainerRangeChunksTouched => "container.range.chunks.touched",
+            Counter::ContainerRangeChunksTotal => "container.range.chunks.total",
+            Counter::ContainerRangeBytesDecoded => "container.range.bytes.decoded",
+            Counter::ContainerRangeBytesReturned => "container.range.bytes.returned",
         }
     }
 

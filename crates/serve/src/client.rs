@@ -2,8 +2,8 @@
 //! bench loadgen drive the server through this type.
 
 use crate::wire::{
-    read_frame, send_request, FrameKind, Op, RecvError, RemoteVerify, WireError, ALGO_NONE,
-    DEFAULT_MAX_FRAME,
+    read_frame, send_request, FrameKind, Op, RangeRequest, RecvError, RemoteVerify, WireError,
+    ALGO_NONE, DEFAULT_MAX_FRAME,
 };
 use fpc_core::Algorithm;
 use fpc_faults::io::FaultStream;
@@ -144,6 +144,25 @@ impl Client {
     pub fn verify(&mut self, stream: &[u8]) -> Result<RemoteVerify, ClientError> {
         let payload = self.request(Op::Verify, ALGO_NONE, stream)?;
         RemoteVerify::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Decodes `len` bytes starting at `offset` of `stream`'s original
+    /// data remotely, without the server decoding the whole container.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] with `range-out-of-bounds` when the range
+    /// exceeds the original data, `corrupt-stream` for a damaged operand.
+    pub fn range(&mut self, stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>, ClientError> {
+        let payload = RangeRequest { offset, len }.encode(stream);
+        let body = self.request(Op::Range, ALGO_NONE, &payload)?;
+        if body.len() as u64 != len {
+            return Err(ClientError::Protocol(format!(
+                "range response of {} bytes while awaiting {len}",
+                body.len()
+            )));
+        }
+        Ok(body)
     }
 
     /// Liveness probe; the server echoes `payload`.

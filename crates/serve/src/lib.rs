@@ -50,7 +50,7 @@ pub mod wire;
 pub use client::{Client, ClientError};
 pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{ServeConfig, Server};
-pub use wire::{ErrorCode, Op, RemoteVerify, WireError};
+pub use wire::{ErrorCode, Op, RangeRequest, RemoteVerify, WireError};
 
 use std::sync::atomic::AtomicBool;
 

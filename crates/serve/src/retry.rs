@@ -32,7 +32,7 @@
 //! timing.
 
 use crate::client::{Client, ClientError};
-use crate::wire::{ErrorCode, Op, RemoteVerify, ALGO_NONE};
+use crate::wire::{ErrorCode, Op, RangeRequest, RemoteVerify, ALGO_NONE};
 use fpc_core::Algorithm;
 use std::time::{Duration, Instant};
 
@@ -181,6 +181,24 @@ impl ResilientClient {
         RemoteVerify::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
+    /// Decodes a byte range of a container stream remotely with retries.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResilientClient::compress`]; an out-of-bounds range fails fast
+    /// with `range-out-of-bounds` (retrying cannot grow the data).
+    pub fn range(&mut self, stream: &[u8], offset: u64, len: u64) -> Result<Vec<u8>, ClientError> {
+        let payload = RangeRequest { offset, len }.encode(stream);
+        let body = self.run(Op::Range, ALGO_NONE, &payload)?;
+        if body.len() as u64 != len {
+            return Err(ClientError::Protocol(format!(
+                "range response of {} bytes while awaiting {len}",
+                body.len()
+            )));
+        }
+        Ok(body)
+    }
+
     /// Liveness probe with retries; the server echoes `payload`.
     ///
     /// # Errors
@@ -268,8 +286,16 @@ impl ResilientClient {
         let low = nanos / 2;
         let jittered = Duration::from_nanos(self.rng.gen_range(low..nanos.max(low + 1)));
         let sleep = match remaining {
-            Some(rest) => jittered.min(rest),
-            None => jittered,
+            // A backoff that consumes the entire remaining budget leaves no
+            // time for the retry it precedes: the next attempt would start
+            // at (or past) the deadline and only extend the caller's wait by
+            // a doomed socket round-trip. Fail fast with the deadline error
+            // instead of sleeping the budget away.
+            Some(rest) if jittered >= rest => {
+                fpc_metrics::incr(fpc_metrics::Counter::RemoteRetryGiveups, 1);
+                return false;
+            }
+            _ => jittered,
         };
         fpc_metrics::incr(fpc_metrics::Counter::RemoteRetryAttempts, 1);
         fpc_metrics::incr(
@@ -308,6 +334,7 @@ mod tests {
             ErrorCode::UnknownAlgorithm,
             ErrorCode::UnknownOp,
             ErrorCode::CorruptStream,
+            ErrorCode::RangeOutOfBounds,
         ] {
             assert!(
                 !is_transient(&ClientError::Remote(WireError::new(code, ""))),
@@ -331,5 +358,31 @@ mod tests {
             .err()
             .expect("nothing listens on the discard port");
         assert!(matches!(err, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn backoff_never_sleeps_past_the_deadline() {
+        // The backoff after the first failed attempt would be jittered
+        // into [5s, 10s) — far beyond the 300ms deadline. The client must
+        // fail fast instead of sleeping the budget away and then running
+        // one more doomed attempt: total elapsed stays near the connect
+        // timeout, nowhere near base_backoff.
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::from_secs(10),
+            max_backoff: Duration::from_secs(10),
+            deadline: Some(Duration::from_millis(300)),
+            ..RetryPolicy::default()
+        };
+        let started = Instant::now();
+        let err = ResilientClient::connect("127.0.0.1:9", Some(Duration::from_millis(100)), policy)
+            .err()
+            .expect("nothing listens on the discard port");
+        let elapsed = started.elapsed();
+        assert!(matches!(err, ClientError::Io(_)));
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "deadline-bounded connect took {elapsed:?}; the backoff slept past the budget"
+        );
     }
 }

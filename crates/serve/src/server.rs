@@ -47,8 +47,8 @@
 //! sockets, and joins all workers before [`Server::run`] returns.
 
 use crate::wire::{
-    read_frame, send_error, send_response, ErrorCode, FrameKind, Op, RecvError, RemoteVerify,
-    WireError, DEFAULT_MAX_FRAME,
+    read_frame, send_error, send_response, ErrorCode, FrameKind, Op, RangeRequest, RecvError,
+    RemoteVerify, WireError, DEFAULT_MAX_FRAME,
 };
 use fpc_core::{Algorithm, Compressor};
 use fpc_faults::io::FaultStream;
@@ -607,6 +607,16 @@ fn dispatch(op: u8, algo: u8, payload: Vec<u8>, threads: usize) -> Result<Vec<u8
             Err(e) => Err(WireError::new(ErrorCode::CorruptStream, e.to_string())),
         },
         Op::Ping => Ok(payload),
+        Op::Range => RangeRequest::decode(&payload).and_then(|(range, stream)| {
+            fpc_core::decompress_range_with(stream, range.offset, range.len, threads).map_err(|e| {
+                match e {
+                    fpc_core::Error::RangeOutOfBounds { .. } => {
+                        WireError::new(ErrorCode::RangeOutOfBounds, e.to_string())
+                    }
+                    e => WireError::new(ErrorCode::CorruptStream, e.to_string()),
+                }
+            })
+        }),
     };
     timer.finish(bytes);
     result
@@ -618,6 +628,7 @@ fn stage_for(op: Op) -> fpc_metrics::Stage {
         Op::Decompress => fpc_metrics::Stage::ServeDecompress,
         Op::Verify => fpc_metrics::Stage::ServeVerify,
         Op::Ping => fpc_metrics::Stage::ServePing,
+        Op::Range => fpc_metrics::Stage::ServeRange,
     }
 }
 
@@ -676,5 +687,33 @@ mod tests {
     fn dispatch_ping_echoes() {
         let out = dispatch(Op::Ping as u8, ALGO_NONE_BYTE, b"hello".to_vec(), 1).unwrap();
         assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn dispatch_range_slices_without_whole_stream_decode() {
+        let data: Vec<u8> = (0..200_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let stream = Compressor::new(Algorithm::SpSpeed)
+            .with_threads(1)
+            .compress_bytes(&data);
+        let req = RangeRequest {
+            offset: 70_000,
+            len: 5_000,
+        };
+        let out = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(&stream), 1).unwrap();
+        assert_eq!(out, &data[70_000..75_000]);
+        // Out-of-range requests map to the dedicated structured code.
+        let req = RangeRequest {
+            offset: data.len() as u64,
+            len: 1,
+        };
+        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(&stream), 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::RangeOutOfBounds);
+        // A short payload (no full prefix) is a bad frame, and a damaged
+        // stream after the prefix is a corrupt stream.
+        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, vec![0; 7], 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadFrame);
+        let req = RangeRequest { offset: 0, len: 1 };
+        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(b"junk"), 1).unwrap_err();
+        assert_eq!(e.code, ErrorCode::CorruptStream);
     }
 }

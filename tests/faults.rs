@@ -155,6 +155,55 @@ fn plain_client_fails_under_certain_disconnect_and_recovers_when_disarmed() {
 }
 
 #[test]
+fn range_decode_errors_inside_damaged_chunks_and_succeeds_outside() {
+    if !fpc_faults::ENABLED {
+        return;
+    }
+    let _serial = fault_lock();
+    // 160_000 original bytes -> 10 chunks.
+    let data = sample(40_000);
+    // Arm probabilistic per-chunk bit-rot (injected after each checksum is
+    // computed) for the compression only.
+    let stream = {
+        let _guard =
+            fpc_faults::install(fpc_faults::Plan::parse("chunk-damage=0.4:21").expect("plan"));
+        Compressor::new(Algorithm::SpSpeed)
+            .with_threads(1)
+            .compress_bytes(&data)
+    };
+    // Disarmed: ask the checksum audit which chunks the plan actually hit.
+    let (header, report) = fpcompress::container::verify(&stream).expect("verify");
+    let damaged: std::collections::HashSet<usize> =
+        report.damaged.iter().map(|d| d.chunk as usize).collect();
+    assert!(
+        !damaged.is_empty() && damaged.len() < report.chunks,
+        "seed 21 at p=0.4 should damage some chunks and spare others, got {damaged:?}"
+    );
+    // A sub-chunk range must fail exactly when its chunk is damaged — and
+    // decode byte-identically when it is not, regardless of damage
+    // elsewhere in the container (the documented range-verification scope).
+    let chunk = u64::from(header.chunk_size);
+    let n = data.len() as u64;
+    for index in 0..report.chunks {
+        let offset = index as u64 * chunk + 7;
+        let len = (chunk / 2).min(n - offset);
+        let result = fpcompress::core::decompress_range(&stream, offset, len);
+        if damaged.contains(&index) {
+            assert!(
+                result.is_err(),
+                "chunk {index} is damaged; a range inside it must error"
+            );
+        } else {
+            assert_eq!(
+                result.expect("range over an intact chunk"),
+                &data[offset as usize..(offset + len) as usize],
+                "chunk {index}: intact range not byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
 fn injection_is_deterministic_per_seed_across_reconnects() {
     if !fpc_faults::ENABLED {
         return;

@@ -151,6 +151,18 @@ fn v1_streams_decode_bit_identically() {
         let stream = container::compress(header, &payload, codec.as_ref(), 1).unwrap();
         assert_eq!(stream[4], VERSION_1);
         assert_eq!(fpcompress::core::decompress_bytes(&stream).unwrap(), bytes);
+        // Range decode works on checksum-free v1 frames too (unverified,
+        // as documented): edge ranges and a chunk-straddling slice must
+        // all match the original.
+        let n = bytes.len() as u64;
+        for (offset, len) in [(0, 0), (n, 0), (0, n), (16_380, 8), (n - 5, 5)] {
+            assert_eq!(
+                fpcompress::core::decompress_range(&stream, offset, len).unwrap(),
+                &bytes[offset as usize..(offset + len) as usize],
+                "{algo}: v1 range {offset}+{len} differs"
+            );
+        }
+        assert!(fpcompress::core::decompress_range(&stream, n, 1).is_err());
         // And the v2 path compresses the same payload decodably too.
         let v2 = Compressor::new(algo).with_threads(1).compress_bytes(&bytes);
         assert_eq!(fpcompress::core::decompress_bytes(&v2).unwrap(), bytes);
@@ -200,6 +212,50 @@ fn structure_aware_mutations_never_panic_any_algorithm() {
                 "{algo}: metadata corruption at {pos} undetected"
             );
         }
+    }
+}
+
+#[test]
+fn range_requests_survive_hostile_containers_and_coordinates() {
+    // Two hostile axes for decompress_range: mutated v2 streams under
+    // valid coordinates, and extreme coordinates against intact streams.
+    // Either way the decoder must return Err or the exact original slice
+    // — never panic, never wrong bytes. (A v2 checksum failure inside the
+    // requested chunks surfaces as Err; damage outside them is invisible
+    // to the range path by design, and then the slice is intact.)
+    for algo in Algorithm::ALL {
+        let bytes = sample_bytes(algo, 6_000);
+        let original_len = bytes.len() as u64;
+        let stream = Compressor::new(algo).with_threads(1).compress_bytes(&bytes);
+        run_cases(&format!("fuzz/range-{algo}"), 64, |rng, case| {
+            if case % 2 == 0 {
+                let m = Mutation::arbitrary(rng, stream.len());
+                let bad = m.apply(&stream, rng);
+                if bad == stream {
+                    return;
+                }
+                fpc_prng::fuzz::record_input(&bad);
+                let offset = rng.gen_range(0u64..original_len);
+                let len = rng.gen_range(0u64..original_len - offset + 1);
+                if let Ok(got) = fpcompress::core::decompress_range(&bad, offset, len) {
+                    assert_eq!(
+                        got,
+                        &bytes[offset as usize..(offset + len) as usize],
+                        "{algo}: mutation {m:?} returned wrong bytes for {offset}+{len}"
+                    );
+                }
+            } else {
+                // Hostile coordinates (including overflow-adjacent ones) on
+                // an intact stream: Ok only in-bounds and byte-exact.
+                let offset = rng.next_u64() >> rng.gen_range(0u32..64);
+                let len = rng.next_u64() >> rng.gen_range(0u32..64);
+                if let Ok(got) = fpcompress::core::decompress_range(&stream, offset, len) {
+                    let end = offset.checked_add(len).expect("accepted overflow");
+                    assert!(end <= original_len, "{algo}: accepted {offset}+{len}");
+                    assert_eq!(got, &bytes[offset as usize..end as usize]);
+                }
+            }
+        });
     }
 }
 

@@ -62,6 +62,36 @@ fn arbitrary_bytes_roundtrip_any_algorithm() {
 }
 
 #[test]
+fn range_decode_matches_full_decode_slice() {
+    // decompress_range(o, l) must be byte-identical to the same slice of
+    // the full decompression, for every algorithm, at edge ranges (empty
+    // at both ends, whole file) and random chunk-straddling ones.
+    run_cases("e2e/range-slice", 24, |rng, _| {
+        let data = rng.bytes_range(0usize..80_000);
+        let n = data.len() as u64;
+        for algo in Algorithm::ALL {
+            let stream = Compressor::new(algo).with_threads(2).compress_bytes(&data);
+            let full = fpcompress::core::decompress_bytes(&stream).unwrap();
+            let mut ranges = vec![(0, 0), (n, 0), (0, n)];
+            for _ in 0..4 {
+                let offset = rng.gen_range(0..n + 1);
+                ranges.push((offset, rng.gen_range(0..n - offset + 1)));
+            }
+            for (offset, len) in ranges {
+                let got = fpcompress::core::decompress_range(&stream, offset, len).unwrap();
+                assert_eq!(
+                    got,
+                    &full[offset as usize..(offset + len) as usize],
+                    "{algo}: range {offset}+{len} differs from the full-decode slice"
+                );
+            }
+            // One byte past the end must be rejected, never truncated.
+            assert!(fpcompress::core::decompress_range(&stream, n, 1).is_err());
+        }
+    });
+}
+
+#[test]
 fn gpu_equals_cpu_on_arbitrary_bytes() {
     run_cases("e2e/gpu-cpu", 32, |rng, _| {
         let data = rng.bytes_range(0usize..4000);

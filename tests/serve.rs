@@ -93,6 +93,41 @@ fn remote_roundtrip_is_byte_identical_for_every_algorithm() {
 }
 
 #[test]
+fn remote_range_matches_local_decode_and_survives_bad_requests() {
+    let fixture = Fixture::start(ServeConfig::default());
+    let mut client = fixture.client();
+    let data = sample(60_000); // 240_000 original bytes, 15 chunks
+    for algo in Algorithm::ALL {
+        let stream = Compressor::new(algo).compress_bytes(&data);
+        // A chunk-unaligned mid-file slice is byte-identical to the
+        // same slice of the original data.
+        let got = client.range(&stream, 70_001, 33_333).expect("remote range");
+        assert_eq!(
+            got,
+            &data[70_001..70_001 + 33_333],
+            "{algo}: remote range differs from local slice"
+        );
+        // A zero-length range at the very end is valid and empty.
+        let empty = client
+            .range(&stream, data.len() as u64, 0)
+            .expect("empty range at end");
+        assert!(empty.is_empty());
+        // One byte past the end gets the structured range error...
+        let err = client
+            .range(&stream, data.len() as u64, 1)
+            .expect_err("out-of-range must be rejected");
+        match err {
+            ClientError::Remote(e) => {
+                assert_eq!(e.code, ErrorCode::RangeOutOfBounds, "{e}")
+            }
+            other => panic!("expected a remote error, got {other}"),
+        }
+    }
+    // ...and none of the rejections cost the connection.
+    client.ping(b"post-range").expect("ping after range sweep");
+}
+
+#[test]
 fn ping_echoes_and_connection_is_reusable() {
     let fixture = Fixture::start(ServeConfig::default());
     let mut client = fixture.client();
@@ -398,6 +433,24 @@ fn resilient_client_matches_plain_client_and_fails_fast_on_poison() {
         assert_eq!(client.decompress(&local).expect("decompress"), data);
     }
     assert_eq!(client.ping(b"rc-ping").expect("ping"), b"rc-ping");
+    // The resilient range path returns the same bytes as a local slice,
+    // and an out-of-bounds range is non-transient (fails fast).
+    let stream = Compressor::new(Algorithm::DpSpeed).compress_bytes(&data);
+    assert_eq!(
+        client.range(&stream, 999, 4_001).expect("resilient range"),
+        &data[999..5_000]
+    );
+    let err = client
+        .range(&stream, data.len() as u64, 1)
+        .expect_err("out-of-range must be rejected");
+    match &err {
+        ClientError::Remote(e) => assert_eq!(e.code, ErrorCode::RangeOutOfBounds, "{e}"),
+        other => panic!("expected a remote error, got {other}"),
+    }
+    assert!(
+        !fpc_serve::retry::is_transient(&err),
+        "range-out-of-bounds must not be classified retryable"
+    );
     // A poison request (corrupt stream) is non-transient: it must fail
     // with the structured remote error, not burn the retry budget.
     let err = client
