@@ -8,11 +8,18 @@
 //!     compare <baseline.json> <fresh.json>
 //! cargo run -p fpc-bench --release --features metrics --bin perf -- \
 //!     range [--threads N]
+//! cargo run -p fpc-bench --release --bin perf -- \
+//!     auto [--threads N]
 //! ```
 //!
 //! `range` prints the seekable-decode microbench: full decompression of a
 //! 64-chunk container vs. a single-chunk `decompress_range_with`, with the
 //! `container.range.*` chunk counts when metrics are compiled in.
+//!
+//! `auto` is the `auto-dominance` gate: AUTO and every fixed algorithm are
+//! measured over the mixed-stream suites; exits 1 if AUTO's ratio falls
+//! more than 1% below the best fixed algorithm or its throughput drops
+//! below the speed-tier floor (see `fpc_bench::perf::auto_gate`).
 //!
 //! `run` writes `DIR/BENCH_<rev>.json` (default `results/`) and prints the
 //! rendered report. The revision defaults to `$FPC_REV`, then
@@ -31,7 +38,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: perf run [--out DIR] [--rev REV] [--threads N]\n       \
          perf compare <baseline.json> <fresh.json>\n       \
-         perf range [--threads N]"
+         perf range [--threads N]\n       \
+         perf auto [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -204,12 +212,65 @@ fn cmd_range(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_auto(args: &[String]) -> ExitCode {
+    let threads: usize = match args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse())
+        .transpose()
+    {
+        Ok(t) => t.unwrap_or(2),
+        Err(_) => {
+            eprintln!("--threads expects a non-negative integer");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("[perf] auto-dominance over the mixed-stream suites (threads={threads})...");
+    let report = perf::measure_auto(threads);
+    println!(
+        "{:<10} {:>8} {:>15} {:>17}",
+        "algorithm", "ratio", "compress GB/s", "decompress GB/s"
+    );
+    let row = |r: &fpc_bench::measure::CodecResult| {
+        println!(
+            "{:<10} {:>8.4} {:>15.3} {:>17.3}",
+            r.name, r.ratio, r.compress_gbps, r.decompress_gbps
+        );
+    };
+    row(&report.auto_perf);
+    for fixed in &report.fixed {
+        row(fixed);
+    }
+    println!("\nAUTO chunk picks over {} input bytes:", report.bytes);
+    for (name, chunks) in &report.picks {
+        println!("  {name:<12} {chunks}");
+    }
+    let failures = perf::auto_gate(&report);
+    if failures.is_empty() {
+        println!(
+            "\nauto-dominance PASS: AUTO holds the best fixed ratio within \
+             {:.0}% at >= {:.0}% of speed-tier throughput",
+            perf::AUTO_RATIO_SLACK * 100.0,
+            perf::auto_speed_floor() * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("\nauto-dominance FAIL:");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("range") => cmd_range(&args[1..]),
+        Some("auto") => cmd_auto(&args[1..]),
         _ => usage(),
     }
 }

@@ -145,6 +145,23 @@ pub fn byte_suites_f32(suites: &[Suite<f32>]) -> Vec<ByteSuite> {
         .collect()
 }
 
+/// Converts raw-byte suites (mixed MPI-like rank buffers). The metadata
+/// records width 8 — only the roster baselines read it, and the mixed
+/// streams are measured against the paper's self-describing algorithms.
+pub fn byte_suites_u8(suites: &[Suite<u8>]) -> Vec<ByteSuite> {
+    suites
+        .iter()
+        .map(|s| ByteSuite {
+            domain: s.domain,
+            files: s
+                .files
+                .iter()
+                .map(|f| (f.name.clone(), f.values.clone(), meta_for(f.dims, 8)))
+                .collect(),
+        })
+        .collect()
+}
+
 /// Converts the typed double-precision suites.
 pub fn byte_suites_f64(suites: &[Suite<f64>]) -> Vec<ByteSuite> {
     suites

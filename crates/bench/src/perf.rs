@@ -21,9 +21,9 @@
 
 use crate::entries::Entry;
 use crate::figures::{suites_for, Precision};
-use crate::measure::{measure_cpu, ByteSuite, Config};
+use crate::measure::{byte_suites_u8, measure_cpu, ByteSuite, CodecResult, Config};
 use fpc_core::Algorithm;
-use fpc_datagen::Scale;
+use fpc_datagen::{mixed_stream_suites, Scale};
 use fpc_metrics::json::Value;
 use fpc_metrics::report::BENCH_SCHEMA;
 use std::time::Instant;
@@ -41,6 +41,20 @@ pub const RATIO_TOLERANCE: f64 = 0.02;
 /// lenient than the algorithm threshold: sub-millisecond scheduling
 /// measurements are the noisiest numbers in the report.
 pub const EXECUTOR_DROP: f64 = 0.5;
+
+/// How much worse AUTO's ratio may be than the best fixed algorithm on the
+/// mixed-stream suites before the `auto-dominance` gate fails (1%).
+pub const AUTO_RATIO_SLACK: f64 = 0.01;
+
+/// Default fraction of the speed-tier compression throughput AUTO must
+/// retain on the mixed-stream suites. AUTO's throughput is bounded by the
+/// blended cost of the codecs it picks — on ratio-heavy chunks that is
+/// RARE/FCM work no selection strategy can avoid — so the floor is set
+/// below the blend's steady state (~17% of the speed tier on the mixed
+/// suites) to catch selection-overhead regressions, not the intrinsic cost
+/// of ratio-tier picks. Override with `FPC_AUTO_SPEED_FLOOR` (a fraction
+/// in (0, 1]).
+pub const DEFAULT_AUTO_SPEED_FLOOR: f64 = 0.10;
 
 /// Measured performance of one algorithm over the smoke suites.
 #[derive(Debug, Clone)]
@@ -70,6 +84,38 @@ pub struct ExecutorPerf {
     pub spawn_gbps: f64,
 }
 
+/// AUTO-vs-fixed measurement over the mixed-stream suites (the workload
+/// the adaptive codec exists for: heterogeneous MPI-like rank buffers).
+#[derive(Debug, Clone)]
+pub struct AutoReport {
+    /// Total input bytes across the mixed-stream suite files.
+    pub bytes: u64,
+    /// AUTO's measurement over the mixed suites.
+    pub auto_perf: CodecResult,
+    /// Every fixed algorithm measured over the *same* suites, paper order.
+    pub fixed: Vec<CodecResult>,
+    /// Aggregate per-codec chunk pick counts across all suite files,
+    /// `(codec name, chunks)`; raw-fallback chunks appear as `"raw"`.
+    pub picks: Vec<(String, u64)>,
+}
+
+impl AutoReport {
+    /// The best fixed-algorithm result by compression ratio.
+    pub fn best_fixed(&self) -> Option<&CodecResult> {
+        self.fixed.iter().max_by(|a, b| a.ratio.total_cmp(&b.ratio))
+    }
+
+    /// Compression throughput of the slower speed-tier algorithm
+    /// (min of SPspeed and DPspeed over the mixed suites).
+    pub fn speed_tier_gbps(&self) -> Option<f64> {
+        self.fixed
+            .iter()
+            .filter(|r| r.name == "SPspeed" || r.name == "DPspeed")
+            .map(|r| r.compress_gbps)
+            .min_by(f64::total_cmp)
+    }
+}
+
 /// One full perf-smoke report (serializes as `fpc-bench-v1`).
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -88,6 +134,8 @@ pub struct BenchReport {
     pub simd_kernels: Vec<(String, String)>,
     /// One entry per paper algorithm, in paper order.
     pub algorithms: Vec<AlgoPerf>,
+    /// AUTO-vs-fixed comparison over the mixed-stream suites.
+    pub auto: AutoReport,
     /// Executor microbench numbers.
     pub executor: ExecutorPerf,
 }
@@ -174,6 +222,120 @@ pub fn measure_algorithms(threads: usize) -> Vec<AlgoPerf> {
             }
         })
         .collect()
+}
+
+/// Reads the `FPC_AUTO_SPEED_FLOOR` fraction
+/// ([`DEFAULT_AUTO_SPEED_FLOOR`] when unset or unparsable).
+pub fn auto_speed_floor() -> f64 {
+    std::env::var("FPC_AUTO_SPEED_FLOOR")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0 && *f <= 1.0)
+        .unwrap_or(DEFAULT_AUTO_SPEED_FLOOR)
+}
+
+/// Measures AUTO and every fixed algorithm over the mixed-stream suites
+/// and aggregates AUTO's per-chunk codec picks from the chunk tables.
+pub fn measure_auto(threads: usize) -> AutoReport {
+    let div = handicap();
+    let config = Config {
+        repetitions: 2,
+        verify: true,
+        threads,
+    };
+    let suites = byte_suites_u8(&mixed_stream_suites(Scale::Small));
+    let bytes: u64 = suites
+        .iter()
+        .flat_map(|s| s.files.iter())
+        .map(|(_, b, _)| b.len() as u64)
+        .sum();
+    let scale = |mut r: CodecResult| {
+        r.compress_gbps /= div;
+        r.decompress_gbps /= div;
+        r
+    };
+    let auto_perf = scale(measure_cpu(&Entry::ours(Algorithm::Auto), &suites, &config));
+    let fixed: Vec<CodecResult> = Algorithm::ALL
+        .iter()
+        .map(|&algo| scale(measure_cpu(&Entry::ours(algo), &suites, &config)))
+        .collect();
+    // Pick counts come from the chunk tables of one compression pass per
+    // file — deterministic, so re-compressing matches what was timed.
+    let compressor = fpc_core::Compressor::new(Algorithm::Auto).with_threads(threads);
+    let mut by_id: Vec<(u8, u64)> = Vec::new();
+    let mut raw_chunks = 0u64;
+    for (_, data, _) in suites.iter().flat_map(|s| s.files.iter()) {
+        let stream = compressor.compress_bytes(data);
+        let info = fpc_core::info(&stream).expect("self-produced stream");
+        raw_chunks += info.raw_chunks as u64;
+        for (id, chunks) in info.codec_picks {
+            match by_id.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, total)) => *total += chunks as u64,
+                None => by_id.push((id, chunks as u64)),
+            }
+        }
+    }
+    by_id.sort_by_key(|&(id, _)| id);
+    let mut picks: Vec<(String, u64)> = by_id
+        .into_iter()
+        .map(|(id, chunks)| {
+            let name = Algorithm::from_id(id)
+                .map(|a| a.name().to_string())
+                .unwrap_or_else(|_| format!("codec#{id}"));
+            (name, chunks)
+        })
+        .collect();
+    if raw_chunks > 0 {
+        picks.push(("raw".to_string(), raw_chunks));
+    }
+    AutoReport {
+        bytes,
+        auto_perf,
+        fixed,
+        picks,
+    }
+}
+
+/// The `auto-dominance` gate: AUTO must match the best fixed algorithm's
+/// compression ratio within [`AUTO_RATIO_SLACK`] and keep at least
+/// [`auto_speed_floor`] of the speed-tier compression throughput on the
+/// mixed-stream suites.
+///
+/// Returns the list of violation descriptions (empty = gate passes).
+pub fn auto_gate(report: &AutoReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    match report.best_fixed() {
+        Some(best) => {
+            let floor = best.ratio * (1.0 - AUTO_RATIO_SLACK);
+            if report.auto_perf.ratio < floor {
+                failures.push(format!(
+                    "AUTO ratio {:.4} is more than {:.0}% below best fixed \
+                     ({} at {:.4})",
+                    report.auto_perf.ratio,
+                    AUTO_RATIO_SLACK * 100.0,
+                    best.name,
+                    best.ratio
+                ));
+            }
+        }
+        None => failures.push("no fixed algorithms in the report".to_string()),
+    }
+    match report.speed_tier_gbps() {
+        Some(tier) => {
+            let frac = auto_speed_floor();
+            let floor = tier * frac;
+            if report.auto_perf.compress_gbps < floor {
+                failures.push(format!(
+                    "AUTO compress {:.3} GB/s is below {:.0}% of the \
+                     speed-tier throughput ({tier:.3} GB/s)",
+                    report.auto_perf.compress_gbps,
+                    frac * 100.0
+                ));
+            }
+        }
+        None => failures.push("no speed-tier algorithms in the report".to_string()),
+    }
+    failures
 }
 
 /// Simulated per-chunk codec work (identical to `benches/executor.rs`).
@@ -278,7 +440,45 @@ pub fn run(rev: &str, threads: usize) -> BenchReport {
             .map(|(k, t)| (k.to_string(), t.name().to_string()))
             .collect(),
         algorithms: measure_algorithms(threads),
+        auto: measure_auto(threads),
         executor: executor_bench(threads),
+    }
+}
+
+impl AutoReport {
+    /// Serializes the `auto` section of the `fpc-bench-v1` schema.
+    pub fn to_value(&self) -> Value {
+        let perf_obj = |r: &CodecResult| {
+            Value::Obj(vec![
+                ("name".into(), Value::from(r.name.as_str())),
+                ("ratio".into(), Value::from(r.ratio)),
+                ("compress_gbps".into(), Value::from(r.compress_gbps)),
+                ("decompress_gbps".into(), Value::from(r.decompress_gbps)),
+            ])
+        };
+        let picks = self
+            .picks
+            .iter()
+            .map(|(name, chunks)| (name.clone(), Value::from(*chunks)))
+            .collect();
+        Value::Obj(vec![
+            ("suite".into(), Value::from("mixed-stream")),
+            ("bytes".into(), Value::from(self.bytes)),
+            ("ratio".into(), Value::from(self.auto_perf.ratio)),
+            (
+                "compress_gbps".into(),
+                Value::from(self.auto_perf.compress_gbps),
+            ),
+            (
+                "decompress_gbps".into(),
+                Value::from(self.auto_perf.decompress_gbps),
+            ),
+            ("picks".into(), Value::Obj(picks)),
+            (
+                "fixed".into(),
+                Value::Arr(self.fixed.iter().map(perf_obj).collect()),
+            ),
+        ])
     }
 }
 
@@ -321,6 +521,7 @@ impl BenchReport {
                 ]),
             ),
             ("algorithms".into(), Value::Arr(algorithms)),
+            ("auto".into(), self.auto.to_value()),
             (
                 "executor".into(),
                 Value::Obj(vec![
@@ -506,6 +707,33 @@ pub fn stage_deltas(baseline: &Value, fresh: &Value) -> Vec<String> {
 mod tests {
     use super::*;
 
+    fn codec_result(name: &str, ratio: f64, gbps: f64) -> CodecResult {
+        CodecResult {
+            name: name.into(),
+            ours: true,
+            ratio,
+            compress_gbps: gbps,
+            decompress_gbps: gbps,
+        }
+    }
+
+    fn auto_report(
+        auto_ratio: f64,
+        auto_gbps: f64,
+        fixed_ratio: f64,
+        tier_gbps: f64,
+    ) -> AutoReport {
+        AutoReport {
+            bytes: 1000,
+            auto_perf: codec_result("AUTO", auto_ratio, auto_gbps),
+            fixed: Algorithm::ALL
+                .iter()
+                .map(|a| codec_result(a.name(), fixed_ratio, tier_gbps))
+                .collect(),
+            picks: vec![("SPspeed".into(), 3), ("raw".into(), 1)],
+        }
+    }
+
     fn report(calib: f64, gbps: f64, ratio: f64) -> Value {
         let r = BenchReport {
             rev: "test".into(),
@@ -525,6 +753,7 @@ mod tests {
                     metrics: fpc_metrics::snapshot().to_value(),
                 })
                 .collect(),
+            auto: auto_report(ratio, gbps, ratio, gbps),
             executor: ExecutorPerf {
                 pool_gbps: gbps,
                 spawn_gbps: gbps / 2.0,
@@ -648,6 +877,68 @@ mod tests {
                 .and_then(Value::as_str),
             Some("swar")
         );
+    }
+
+    #[test]
+    fn auto_gate_passes_when_auto_matches_best_fixed() {
+        // Equal ratio, throughput well above the floor.
+        let r = auto_report(1.5, 2.0, 1.5, 2.0);
+        assert_eq!(auto_gate(&r), Vec::<String>::new());
+        // Within the 1% slack.
+        let r = auto_report(1.5 * 0.995, 2.0, 1.5, 2.0);
+        assert_eq!(auto_gate(&r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn auto_gate_fails_on_ratio_loss() {
+        let r = auto_report(1.5 * 0.97, 2.0, 1.5, 2.0);
+        let failures = auto_gate(&r);
+        assert!(failures.iter().any(|f| f.contains("ratio")), "{failures:?}");
+    }
+
+    #[test]
+    fn auto_gate_fails_below_speed_floor() {
+        // AUTO at 5% of the speed tier (default floor is 10%).
+        let r = auto_report(1.5, 0.1, 1.5, 2.0);
+        let failures = auto_gate(&r);
+        assert!(
+            failures.iter().any(|f| f.contains("speed-tier")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn auto_report_helpers_pick_best_and_tier() {
+        let mut r = auto_report(1.5, 2.0, 1.5, 2.0);
+        r.fixed[1].ratio = 3.0; // SPratio
+        r.fixed[2].compress_gbps = 0.5; // DPspeed slower than SPspeed
+        assert_eq!(r.best_fixed().map(|b| b.name.as_str()), Some("SPratio"));
+        assert_eq!(r.speed_tier_gbps(), Some(0.5));
+    }
+
+    #[test]
+    fn auto_section_serializes_picks() {
+        let v = report(1.0, 2.0, 1.5);
+        let auto = v.get("auto").expect("auto section");
+        assert_eq!(
+            auto.get("picks")
+                .and_then(|p| p.get("SPspeed"))
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            auto.get("fixed").and_then(Value::as_arr).map(|a| a.len()),
+            Some(4)
+        );
+        let rendered = fpc_metrics::report::render_value(&v).unwrap();
+        assert!(rendered.contains("auto"), "{rendered}");
+    }
+
+    #[test]
+    fn auto_speed_floor_defaults() {
+        if std::env::var("FPC_AUTO_SPEED_FLOOR").is_err() {
+            assert_eq!(auto_speed_floor(), DEFAULT_AUTO_SPEED_FLOOR);
+        }
     }
 
     #[test]

@@ -121,7 +121,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fpcc <compress|decompress|cat|info|verify|survey|gen|anatomy|stats|serve|remote> ...\n\
                  \n\
-                 compress   --algo <spspeed|spratio|dpspeed|dpratio> [--threads N] <in> <out>\n\
+                 compress   --algo <spspeed|spratio|dpspeed|dpratio|auto> [--threads N] <in> <out>\n\
                  decompress [--threads N] <in> <out>\n\
                  cat        [--range OFFSET:LEN] [--threads N] <file>   # decoded bytes to stdout\n\
                  info       <file>\n\
@@ -237,13 +237,19 @@ fn parse_threads(args: &[String]) -> Result<usize, CliError> {
         .map(|t| t.unwrap_or(0))
 }
 
+/// The `--algo` vocabulary, for error messages and usage text.
+const ALGO_CHOICES: &str = "spspeed, spratio, dpspeed, dpratio, auto";
+
 fn parse_algo(name: &str) -> Result<Algorithm, CliError> {
     match name.to_ascii_lowercase().as_str() {
         "spspeed" => Ok(Algorithm::SpSpeed),
         "spratio" => Ok(Algorithm::SpRatio),
         "dpspeed" => Ok(Algorithm::DpSpeed),
         "dpratio" => Ok(Algorithm::DpRatio),
-        other => Err(CliError::usage(format!("unknown algorithm '{other}'"))),
+        "auto" => Ok(Algorithm::Auto),
+        other => Err(CliError::usage(format!(
+            "unknown algorithm '{other}' (valid choices: {ALGO_CHOICES})"
+        ))),
     }
 }
 
@@ -399,6 +405,19 @@ fn cmd_info(args: &[String]) -> CliResult {
         "chunks:         {} ({} stored raw)",
         info.chunks, info.raw_chunks
     );
+    if !info.codec_picks.is_empty() {
+        let picks: Vec<String> = info
+            .codec_picks
+            .iter()
+            .map(|&(id, n)| {
+                let name = Algorithm::from_id(id)
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| format!("codec#{id}"));
+                format!("{name}={n}")
+            })
+            .collect();
+        println!("codec picks:    {}", picks.join(" "));
+    }
     Ok(())
 }
 

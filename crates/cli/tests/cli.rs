@@ -191,7 +191,66 @@ fn unknown_algorithm_fails_cleanly() {
         .output()
         .expect("run");
     assert_eq!(output.status.code(), Some(2), "usage errors exit 2");
-    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown algorithm"));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    // The message must list the valid vocabulary so the fix is one
+    // copy-paste away.
+    for choice in ["spspeed", "spratio", "dpspeed", "dpratio", "auto"] {
+        assert!(stderr.contains(choice), "missing '{choice}' in: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn auto_compresses_mixed_data_and_info_shows_picks() {
+    let dir = temp_dir("auto");
+    // A mixed stream: smooth f32 section, recurring f64 section, noise.
+    let mut bytes: Vec<u8> = (0..40_000u32)
+        .flat_map(|i| ((i as f32 * 1e-3).sin() * 7.0).to_bits().to_le_bytes())
+        .collect();
+    bytes.extend((0..10_000u64).flat_map(|i| (((i % 128) as f64).sqrt()).to_bits().to_le_bytes()));
+    let mut x = 0xDEAD_BEEF_u64;
+    for _ in 0..5_000 {
+        x = x
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(0x14057B7EF767814F);
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    let input = dir.join("mixed.bin");
+    std::fs::write(&input, &bytes).expect("write input");
+    let compressed = dir.join("mixed.fpc");
+    let restored = dir.join("mixed.out");
+
+    assert!(fpcc()
+        .args(["compress", "--algo", "auto"])
+        .arg(&input)
+        .arg(&compressed)
+        .status()
+        .expect("compress auto")
+        .success());
+    assert!(fpcc()
+        .arg("decompress")
+        .arg(&compressed)
+        .arg(&restored)
+        .status()
+        .expect("decompress")
+        .success());
+    assert_eq!(std::fs::read(&restored).expect("read restored"), bytes);
+
+    let output = fpcc().arg("info").arg(&compressed).output().expect("info");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("AUTO"), "{text}");
+    assert!(text.contains("codec picks:"), "{text}");
+
+    // Ranged cat dispatches per chunk from the codec table.
+    let output = fpcc()
+        .args(["cat", "--range", "150000:20000"])
+        .arg(&compressed)
+        .output()
+        .expect("cat range");
+    assert!(output.status.success());
+    assert_eq!(output.stdout, &bytes[150_000..170_000]);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -43,6 +43,17 @@ pub enum Error {
         /// The rejected raw value.
         value: u64,
     },
+    /// A chunk-table entry names a codec id the decoder does not know.
+    ///
+    /// Only possible for adaptive (per-chunk codec) streams; the id comes
+    /// from the stream, so a hostile table must fail here rather than
+    /// dispatch out of range.
+    UnknownChunkCodec {
+        /// Chunk whose table entry names the unknown codec.
+        chunk: u32,
+        /// The rejected codec id.
+        codec: u8,
+    },
     /// A requested byte range extends beyond the chunked payload.
     RangeOutOfBounds {
         /// Requested start offset.
@@ -82,6 +93,9 @@ impl core::fmt::Display for Error {
             }
             Error::InvalidHeader { field, value } => {
                 write!(f, "invalid header field {field}: {value}")
+            }
+            Error::UnknownChunkCodec { chunk, codec } => {
+                write!(f, "chunk {chunk} names unknown codec id {codec}")
             }
             Error::RangeOutOfBounds {
                 offset,
@@ -123,6 +137,10 @@ mod tests {
             Error::InvalidHeader {
                 field: "element_width",
                 value: 3,
+            },
+            Error::UnknownChunkCodec {
+                chunk: 2,
+                codec: 250,
             },
             Error::RangeOutOfBounds {
                 offset: 100,

@@ -18,6 +18,17 @@ pub const ALGO_SP_RATIO: u8 = 2;
 pub const ALGO_DP_SPEED: u8 = 3;
 /// Algorithm identifier for DPratio.
 pub const ALGO_DP_RATIO: u8 = 4;
+/// Algorithm identifier for the adaptive per-chunk AUTO mode.
+pub const ALGO_AUTO: u8 = 5;
+
+/// Header flag: the chunk table carries a per-chunk codec-id byte array
+/// (written by [`crate::compress_adaptive`]).
+pub const FLAG_CHUNK_CODECS: u8 = 0b0000_0001;
+
+/// All flag bits a decoder of this version understands. Unknown bits are
+///// rejected at header validation: they would change the frame layout in
+/// ways this decoder cannot parse.
+pub const KNOWN_FLAGS: u8 = FLAG_CHUNK_CODECS;
 
 /// Fixed-size stream header.
 ///
@@ -39,6 +50,12 @@ pub struct Header {
     pub algorithm: u8,
     /// Element width in bytes (4 for single precision, 8 for double).
     pub element_width: u8,
+    /// Frame-layout flag bits (see [`FLAG_CHUNK_CODECS`]); zero for the
+    /// classic fixed-algorithm layout. This byte was reserved-as-zero in
+    /// every stream written before flags existed, so old streams parse as
+    /// `flags == 0` and old decoders reject flagged streams cleanly (the
+    /// byte participates in the v2 header checksum either way).
+    pub flags: u8,
     /// Length of the original user data in bytes.
     pub original_len: u64,
     /// Length of the chunked payload in bytes.
@@ -60,6 +77,7 @@ impl Header {
             version: VERSION,
             algorithm,
             element_width,
+            flags: 0,
             original_len,
             payload_len,
             chunk_size: crate::DEFAULT_CHUNK_SIZE as u32,
@@ -82,7 +100,7 @@ impl Header {
         out.push(self.version);
         out.push(self.algorithm);
         out.push(self.element_width);
-        out.push(0); // reserved
+        out.push(self.flags);
         out.extend_from_slice(&self.original_len.to_le_bytes());
         out.extend_from_slice(&self.payload_len.to_le_bytes());
         out.extend_from_slice(&self.chunk_size.to_le_bytes());
@@ -115,7 +133,7 @@ impl Header {
         }
         // Infallible destructuring: the 28-byte length is checked once
         // above, so no per-field `try_into().expect` is needed.
-        let &[_, _, _, _, version, algorithm, element_width, _reserved, o0, o1, o2, o3, o4, o5, o6, o7, p0, p1, p2, p3, p4, p5, p6, p7, c0, c1, c2, c3] =
+        let &[_, _, _, _, version, algorithm, element_width, flags, o0, o1, o2, o3, o4, o5, o6, o7, p0, p1, p2, p3, p4, p5, p6, p7, c0, c1, c2, c3] =
             bytes;
         if version != VERSION_1 && version != VERSION {
             return Err(Error::UnsupportedVersion(version));
@@ -124,10 +142,17 @@ impl Header {
             version,
             algorithm,
             element_width,
+            flags,
             original_len: u64::from_le_bytes([o0, o1, o2, o3, o4, o5, o6, o7]),
             payload_len: u64::from_le_bytes([p0, p1, p2, p3, p4, p5, p6, p7]),
             chunk_size: u32::from_le_bytes([c0, c1, c2, c3]),
         };
+        if header.flags & !KNOWN_FLAGS != 0 {
+            return Err(Error::InvalidHeader {
+                field: "flags",
+                value: u64::from(header.flags),
+            });
+        }
         if header.algorithm == 0 {
             return Err(Error::InvalidHeader {
                 field: "algorithm",
@@ -175,6 +200,7 @@ mod tests {
             version: VERSION,
             algorithm: ALGO_DP_RATIO,
             element_width: 8,
+            flags: 0,
             original_len: 123_456_789,
             payload_len: 246_913_578,
             chunk_size: 16384,
@@ -258,6 +284,18 @@ mod tests {
         }
     }
 
+    #[test]
+    fn chunk_codecs_flag_roundtrips() {
+        let mut h = Header::new(ALGO_AUTO, 8, 4096, 4096);
+        h.flags = FLAG_CHUNK_CODECS;
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        let mut pos = 0;
+        let parsed = Header::read(&buf, &mut pos).unwrap();
+        assert_eq!(parsed.flags, FLAG_CHUNK_CODECS);
+        assert_eq!(parsed, h);
+    }
+
     type Tweak = fn(&mut Header);
 
     #[test]
@@ -265,6 +303,7 @@ mod tests {
         let cases: &[(Tweak, &str)] = &[
             (|h| h.algorithm = 0, "algorithm"),
             (|h| h.element_width = 3, "element_width"),
+            (|h| h.flags = 0b1000_0010, "flags"),
             (|h| h.chunk_size = 0, "chunk_size"),
             (
                 |h| h.chunk_size = (crate::MAX_CHUNK_SIZE as u32) + 1,

@@ -45,7 +45,8 @@ mod parallel;
 
 pub use error::Error;
 pub use header::{
-    Header, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED, VERSION, VERSION_1,
+    Header, ALGO_AUTO, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED,
+    FLAG_CHUNK_CODECS, KNOWN_FLAGS, VERSION, VERSION_1,
 };
 
 use checksum::frame_checksum;
@@ -85,6 +86,70 @@ pub trait ChunkCodec: Sync {
     ) -> Result<(), Error>;
 }
 
+/// A per-chunk codec *selector*: every chunk is encoded with whichever
+/// member codec the implementation picks, and the picked codec id is
+/// recorded in the chunk table (the [`FLAG_CHUNK_CODECS`] frame layout).
+///
+/// Like [`ChunkCodec`], implementations must be pure functions of the chunk
+/// contents so chunks can be processed in any order on any thread count —
+/// including the *selection* itself, which must be deterministic.
+pub trait AdaptiveChunkCodec: Sync {
+    /// Encodes one chunk with the best member codec, appending the encoded
+    /// bytes to `out` and returning the codec id to record for the chunk.
+    ///
+    /// Ids are an implementation-defined namespace; `0` is reserved by the
+    /// container for chunks it stores raw.
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) -> u8;
+
+    /// Whether `codec_id` names a member codec this decoder can invert.
+    ///
+    /// The container consults this before dispatching, so a hostile chunk
+    /// table claiming an out-of-range id fails with
+    /// [`Error::UnknownChunkCodec`] instead of reaching the codec.
+    fn knows_codec(&self, codec_id: u8) -> bool;
+
+    /// Inverts [`AdaptiveChunkCodec::encode_chunk`] for a chunk recorded
+    /// with `codec_id` (guaranteed to satisfy
+    /// [`AdaptiveChunkCodec::knows_codec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated or corrupt chunk data.
+    fn decode_chunk(
+        &self,
+        codec_id: u8,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error>;
+}
+
+/// Fixed-or-adaptive codec dispatch, resolved once per call and threaded
+/// through the shared frame machinery.
+enum Dispatch<'c> {
+    Fixed(&'c dyn ChunkCodec),
+    Adaptive(&'c dyn AdaptiveChunkCodec),
+}
+
+impl Dispatch<'_> {
+    /// Rejects mismatched frame layout vs. decoder capability up front:
+    /// a fixed codec cannot decode a per-chunk codec stream (it would
+    /// apply one pipeline to chunks encoded with others), and an adaptive
+    /// decoder has no codec ids to dispatch on in a fixed stream.
+    fn check_frame(&self, frame: &Frame<'_>) -> Result<(), Error> {
+        let flagged = frame.header.flags & FLAG_CHUNK_CODECS != 0;
+        match (self, flagged) {
+            (Dispatch::Fixed(_), true) => Err(Error::Corrupt(
+                "per-chunk codec stream requires an adaptive decoder",
+            )),
+            (Dispatch::Adaptive(_), false) => {
+                Err(Error::Corrupt("stream carries no per-chunk codec table"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// Compresses `payload` into a complete container stream.
 ///
 /// The frame layout follows `header.version`: [`VERSION`] (the default from
@@ -107,6 +172,46 @@ pub fn compress(
     codec: &dyn ChunkCodec,
     threads: usize,
 ) -> Result<Vec<u8>, Error> {
+    if header.flags & FLAG_CHUNK_CODECS != 0 {
+        // The fixed-codec entry point cannot produce the per-chunk codec
+        // table the flag promises; use `compress_adaptive`.
+        return Err(Error::InvalidHeader {
+            field: "flags",
+            value: u64::from(header.flags),
+        });
+    }
+    compress_impl(header, payload, &Dispatch::Fixed(codec), threads)
+}
+
+/// Compresses `payload` into a container stream whose chunk table records a
+/// per-chunk codec id — the AUTO frame layout ([`FLAG_CHUNK_CODECS`]).
+///
+/// Each chunk is encoded by whichever member codec `codec` selects; chunks
+/// that still fail to shrink are stored raw exactly as in [`compress`]
+/// (codec id `0`). Fixed-algorithm streams are unaffected: their frame
+/// layout is byte-identical to before this flag existed.
+///
+/// The flag is set on the written header automatically.
+///
+/// # Errors
+///
+/// As [`compress`].
+pub fn compress_adaptive(
+    mut header: Header,
+    payload: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    threads: usize,
+) -> Result<Vec<u8>, Error> {
+    header.flags |= FLAG_CHUNK_CODECS;
+    compress_impl(header, payload, &Dispatch::Adaptive(codec), threads)
+}
+
+fn compress_impl(
+    header: Header,
+    payload: &[u8],
+    codec: &Dispatch<'_>,
+    threads: usize,
+) -> Result<Vec<u8>, Error> {
     if header.payload_len != payload.len() as u64 {
         return Err(Error::InvalidHeader {
             field: "payload_len",
@@ -124,6 +229,7 @@ pub fn compress(
             value: 0,
         });
     }
+    let adaptive = matches!(codec, Dispatch::Adaptive(_));
     let t = fpc_metrics::timer(fpc_metrics::Stage::ContainerCompress);
     let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
     let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
@@ -132,12 +238,20 @@ pub fn compress(
         // emitted bytes are identical to a fresh-`Vec` encode.
         fpc_pool::with_scratch(|enc| {
             enc.clear();
-            codec.encode_chunk(chunks[i], enc);
-            let (raw, body) = if enc.len() >= chunks[i].len() {
+            let picked = match codec {
+                Dispatch::Fixed(c) => {
+                    c.encode_chunk(chunks[i], enc);
+                    0
+                }
+                Dispatch::Adaptive(c) => c.encode_chunk(chunks[i], enc),
+            };
+            let (raw, picked, body) = if enc.len() >= chunks[i].len() {
                 // Worst-case cap: store the original bytes, flagged raw.
-                (true, chunks[i].to_vec())
+                // Codec id 0 marks the pick as void; decode never
+                // dispatches on it because the raw flag short-circuits.
+                (true, 0u8, chunks[i].to_vec())
             } else {
-                (false, enc.to_vec())
+                (false, picked, enc.to_vec())
             };
             let sum = if with_checksums {
                 frame_checksum(&body)
@@ -157,7 +271,7 @@ pub fn compress(
                 }
                 _ => body,
             };
-            (raw, body, sum)
+            (picked, raw, body, sum)
         })
     });
 
@@ -165,7 +279,7 @@ pub fn compress(
     header.write(&mut out);
     let table_start = out.len();
     out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
-    for (raw, body, _) in &encoded {
+    for (_, raw, body, _) in &encoded {
         if body.len() as u64 > SIZE_MASK as u64 {
             return Err(Error::LengthOverflow {
                 what: "chunk size field",
@@ -176,21 +290,46 @@ pub fn compress(
         let entry = body.len() as u32 | if *raw { RAW_FLAG } else { 0 };
         out.extend_from_slice(&entry.to_le_bytes());
     }
+    if adaptive {
+        // The per-chunk codec ids live between the size entries and the
+        // chunk checksums, so the v2 table checksum covers them.
+        for (picked, _, _, _) in &encoded {
+            out.push(*picked);
+        }
+    }
     if with_checksums {
-        for (_, _, sum) in &encoded {
+        for (_, _, _, sum) in &encoded {
             out.extend_from_slice(&sum.to_le_bytes());
         }
         let table_sum = frame_checksum(&out[table_start..]);
         out.extend_from_slice(&table_sum.to_le_bytes());
     }
-    for (_, body, _) in &encoded {
+    for (_, _, body, _) in &encoded {
         out.extend_from_slice(body);
     }
     fpc_metrics::incr(fpc_metrics::Counter::ContainerChunks, chunks.len() as u64);
     fpc_metrics::incr(
         fpc_metrics::Counter::ContainerRawChunks,
-        encoded.iter().filter(|(raw, _, _)| *raw).count() as u64,
+        encoded.iter().filter(|(_, raw, _, _)| *raw).count() as u64,
     );
+    if adaptive {
+        for (picked, raw, _, _) in &encoded {
+            let counter = if *raw {
+                Some(fpc_metrics::Counter::AutoPickRaw)
+            } else {
+                match *picked {
+                    header::ALGO_SP_SPEED => Some(fpc_metrics::Counter::AutoPickSpSpeed),
+                    header::ALGO_SP_RATIO => Some(fpc_metrics::Counter::AutoPickSpRatio),
+                    header::ALGO_DP_SPEED => Some(fpc_metrics::Counter::AutoPickDpSpeed),
+                    header::ALGO_DP_RATIO => Some(fpc_metrics::Counter::AutoPickDpRatio),
+                    _ => None, // custom codec namespaces have no counter
+                }
+            };
+            if let Some(counter) = counter {
+                fpc_metrics::incr(counter, 1);
+            }
+        }
+    }
     t.finish(payload.len() as u64);
     Ok(out)
 }
@@ -202,6 +341,9 @@ struct Frame<'a> {
     count: usize,
     /// Raw chunk-table entries (size | raw flag).
     entries: Vec<u32>,
+    /// Per-chunk codec ids (empty unless the header carries
+    /// [`FLAG_CHUNK_CODECS`]).
+    codec_ids: Vec<u8>,
     /// Stored per-chunk checksums (empty for v1 streams).
     checksums: Vec<u64>,
     /// Payload byte offsets; `offsets[i]..offsets[i+1]` is chunk `i`.
@@ -253,7 +395,7 @@ impl Frame<'_> {
     }
 
     /// Decodes chunk `i` into a fresh buffer, enforcing the expected length.
-    fn decode_chunk(&self, i: usize, codec: &dyn ChunkCodec) -> Result<Vec<u8>, Error> {
+    fn decode_chunk(&self, i: usize, codec: &Dispatch<'_>) -> Result<Vec<u8>, Error> {
         self.check_chunk(i)?;
         let expected_len = self.expected_len(i);
         let body = self.body(i);
@@ -261,7 +403,19 @@ impl Frame<'_> {
             return Ok(body.to_vec());
         }
         let mut out = Vec::with_capacity(expected_len.min(MAX_CHUNK_SIZE));
-        codec.decode_chunk(body, expected_len, &mut out)?;
+        match codec {
+            Dispatch::Fixed(c) => c.decode_chunk(body, expected_len, &mut out)?,
+            Dispatch::Adaptive(c) => {
+                let id = self.codec_ids[i];
+                if !c.knows_codec(id) {
+                    return Err(Error::UnknownChunkCodec {
+                        chunk: i as u32,
+                        codec: id,
+                    });
+                }
+                c.decode_chunk(id, body, expected_len, &mut out)?;
+            }
+        }
         if out.len() != expected_len {
             return Err(Error::Corrupt("decoded chunk length mismatch"));
         }
@@ -292,8 +446,9 @@ fn parse_frame(data: &[u8]) -> Result<Frame<'_>, Error> {
     // Bound the whole metadata region against the remaining bytes before
     // allocating anything sized by `count`.
     let with_checksums = header.version >= VERSION;
-    let meta_bytes = (count as u64) * if with_checksums { 4 + 8 } else { 4 }
-        + if with_checksums { 8 } else { 0 };
+    let with_codecs = header.flags & FLAG_CHUNK_CODECS != 0;
+    let per_chunk = 4 + u64::from(with_codecs) + if with_checksums { 8 } else { 0 };
+    let meta_bytes = (count as u64) * per_chunk + if with_checksums { 8 } else { 0 };
     let remaining = (data.len() - pos) as u64;
     if meta_bytes > remaining {
         return Err(Error::LengthOverflow {
@@ -307,6 +462,12 @@ fn parse_frame(data: &[u8]) -> Result<Frame<'_>, Error> {
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
         entries.push(read_u32(data, &mut pos)?);
+    }
+    let mut codec_ids = Vec::new();
+    if with_codecs {
+        let ids = data.get(pos..pos + count).ok_or(Error::UnexpectedEof)?;
+        codec_ids.extend_from_slice(ids);
+        pos += count;
     }
     let mut checksums = Vec::new();
     if with_checksums {
@@ -339,6 +500,7 @@ fn parse_frame(data: &[u8]) -> Result<Frame<'_>, Error> {
         header,
         count,
         entries,
+        codec_ids,
         checksums,
         offsets,
         data,
@@ -362,8 +524,33 @@ pub fn decompress(
     codec: &dyn ChunkCodec,
     threads: usize,
 ) -> Result<(Header, Vec<u8>), Error> {
+    decompress_impl(data, &Dispatch::Fixed(codec), threads)
+}
+
+/// Decompresses a per-chunk codec stream written by [`compress_adaptive`],
+/// dispatching each chunk to the member codec recorded in the chunk table.
+///
+/// # Errors
+///
+/// As [`decompress`]; additionally [`Error::UnknownChunkCodec`] when the
+/// table names a codec id `codec` does not know, and a structural error
+/// when the stream carries no per-chunk codec table at all.
+pub fn decompress_adaptive(
+    data: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    threads: usize,
+) -> Result<(Header, Vec<u8>), Error> {
+    decompress_impl(data, &Dispatch::Adaptive(codec), threads)
+}
+
+fn decompress_impl(
+    data: &[u8],
+    codec: &Dispatch<'_>,
+    threads: usize,
+) -> Result<(Header, Vec<u8>), Error> {
     let t = fpc_metrics::timer(fpc_metrics::Stage::ContainerDecode);
     let frame = parse_frame(data)?;
+    codec.check_frame(&frame)?;
     let decoded: Vec<Result<Vec<u8>, Error>> =
         parallel::run_indexed(frame.count, threads, |i| frame.decode_chunk(i, codec));
 
@@ -460,7 +647,36 @@ pub fn decompress_tolerant(
     codec: &dyn ChunkCodec,
     threads: usize,
 ) -> Result<(Header, Vec<u8>, DamageReport), Error> {
+    decompress_tolerant_impl(data, &Dispatch::Fixed(codec), threads)
+}
+
+/// Graceful-degradation decode for per-chunk codec streams: the adaptive
+/// counterpart of [`decompress_tolerant`].
+///
+/// A chunk whose table entry names an unknown codec id counts as damaged
+/// ([`Error::UnknownChunkCodec`]) and is zero-filled like any other
+/// per-chunk failure, so one hostile table byte cannot take down the
+/// remaining chunks.
+///
+/// # Errors
+///
+/// Fails only on unusable framing (or a stream with no codec table), as
+/// for [`decompress_adaptive`].
+pub fn decompress_tolerant_adaptive(
+    data: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    threads: usize,
+) -> Result<(Header, Vec<u8>, DamageReport), Error> {
+    decompress_tolerant_impl(data, &Dispatch::Adaptive(codec), threads)
+}
+
+fn decompress_tolerant_impl(
+    data: &[u8],
+    codec: &Dispatch<'_>,
+    threads: usize,
+) -> Result<(Header, Vec<u8>, DamageReport), Error> {
     let frame = parse_frame(data)?;
+    codec.check_frame(&frame)?;
     let decoded: Vec<Result<Vec<u8>, Error>> =
         parallel::run_indexed(frame.count, threads, |i| frame.decode_chunk(i, codec));
     let mut report = DamageReport {
@@ -536,6 +752,13 @@ impl<'a> Region<'a> {
         self.frame.expected_len(index)
     }
 
+    /// The per-chunk codec ids recorded in the chunk table, one per chunk
+    /// (raw-stored chunks record id `0`). Empty for fixed-algorithm
+    /// streams, which carry no codec table.
+    pub fn chunk_codec_ids(&self) -> &[u8] {
+        &self.frame.codec_ids
+    }
+
     /// Decodes chunk `index` into a fresh buffer, verifying its checksum
     /// (v2) first.
     ///
@@ -544,6 +767,26 @@ impl<'a> Region<'a> {
     /// Fails on an out-of-range index, a checksum mismatch, or chunk
     /// bytes the codec rejects.
     pub fn decode_chunk(&self, index: usize, codec: &dyn ChunkCodec) -> Result<Vec<u8>, Error> {
+        self.decode_chunk_impl(index, &Dispatch::Fixed(codec))
+    }
+
+    /// Decodes chunk `index` of a per-chunk codec stream, dispatching to
+    /// the member codec recorded in the chunk table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::decode_chunk`], plus [`Error::UnknownChunkCodec`] for
+    /// hostile codec ids.
+    pub fn decode_chunk_adaptive(
+        &self,
+        index: usize,
+        codec: &dyn AdaptiveChunkCodec,
+    ) -> Result<Vec<u8>, Error> {
+        self.decode_chunk_impl(index, &Dispatch::Adaptive(codec))
+    }
+
+    fn decode_chunk_impl(&self, index: usize, codec: &Dispatch<'_>) -> Result<Vec<u8>, Error> {
+        codec.check_frame(&self.frame)?;
         if index >= self.frame.count {
             return Err(Error::Corrupt("chunk index out of range"));
         }
@@ -571,6 +814,34 @@ impl<'a> Region<'a> {
         len: u64,
         threads: usize,
     ) -> Result<Vec<u8>, Error> {
+        self.decode_range_impl(&Dispatch::Fixed(codec), offset, len, threads)
+    }
+
+    /// [`Region::decode_range`] for per-chunk codec streams: every touched
+    /// chunk dispatches to the member codec recorded in the chunk table.
+    ///
+    /// # Errors
+    ///
+    /// As [`Region::decode_range`], plus [`Error::UnknownChunkCodec`] for
+    /// hostile codec ids inside the range.
+    pub fn decode_range_adaptive(
+        &self,
+        codec: &dyn AdaptiveChunkCodec,
+        offset: u64,
+        len: u64,
+        threads: usize,
+    ) -> Result<Vec<u8>, Error> {
+        self.decode_range_impl(&Dispatch::Adaptive(codec), offset, len, threads)
+    }
+
+    fn decode_range_impl(
+        &self,
+        codec: &Dispatch<'_>,
+        offset: u64,
+        len: u64,
+        threads: usize,
+    ) -> Result<Vec<u8>, Error> {
+        codec.check_frame(&self.frame)?;
         let available = self.frame.header.payload_len;
         let out_of_bounds = Error::RangeOutOfBounds {
             offset,
@@ -630,6 +901,21 @@ pub fn decode_range(
     Region::parse(data)?.decode_range(codec, offset, len, threads)
 }
 
+/// One-shot [`Region::decode_range_adaptive`] for per-chunk codec streams.
+///
+/// # Errors
+///
+/// As [`Region::parse`] and [`Region::decode_range_adaptive`].
+pub fn decode_range_adaptive(
+    data: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    offset: u64,
+    len: u64,
+    threads: usize,
+) -> Result<Vec<u8>, Error> {
+    Region::parse(data)?.decode_range_adaptive(codec, offset, len, threads)
+}
+
 /// Decompresses a single chunk of the container by index, without touching
 /// the rest of the stream — the random-access corollary of the paper's
 /// "each chunk is independent" design (§3).
@@ -648,6 +934,19 @@ pub fn decompress_chunk(
     index: usize,
 ) -> Result<Vec<u8>, Error> {
     Region::parse(data)?.decode_chunk(index, codec)
+}
+
+/// [`decompress_chunk`] for per-chunk codec streams.
+///
+/// # Errors
+///
+/// As [`Region::decode_chunk_adaptive`].
+pub fn decompress_chunk_adaptive(
+    data: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    index: usize,
+) -> Result<Vec<u8>, Error> {
+    Region::parse(data)?.decode_chunk_adaptive(index, codec)
 }
 
 /// Reads just the header of a container stream (for introspection).
@@ -670,6 +969,10 @@ pub struct ChunkStats {
     pub raw_chunks: usize,
     /// Total compressed payload bytes (excluding header and table).
     pub compressed_payload: usize,
+    /// Per-codec pick counts `(codec_id, chunks)` for adaptive streams,
+    /// sorted by id and counting only non-raw chunks (raw chunks are in
+    /// [`ChunkStats::raw_chunks`]). Empty for fixed-algorithm streams.
+    pub codec_picks: Vec<(u8, usize)>,
 }
 
 /// Computes [`ChunkStats`] from a container stream without decoding it.
@@ -683,12 +986,21 @@ pub fn stats(data: &[u8]) -> Result<ChunkStats, Error> {
         chunks: frame.count,
         ..ChunkStats::default()
     };
-    for &e in &frame.entries {
+    let mut picks = [0usize; 256];
+    for (i, &e) in frame.entries.iter().enumerate() {
         if e & RAW_FLAG != 0 {
             stats.raw_chunks += 1;
+        } else if let Some(&id) = frame.codec_ids.get(i) {
+            picks[id as usize] += 1;
         }
         stats.compressed_payload += (e & SIZE_MASK) as usize;
     }
+    stats.codec_picks = picks
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(id, &n)| (id as u8, n))
+        .collect();
     Ok(stats)
 }
 
@@ -1239,6 +1551,260 @@ mod tests {
             // Individual chunk access reports out-of-range, not a panic.
             assert!(decompress_chunk(&stream, &Rle, 0).is_err());
         }
+    }
+
+    /// Adaptive selector over the two test codecs: Rle (id 1) for chunks
+    /// that open with a run, Identity (id 2) otherwise.
+    struct PickyAuto;
+    impl AdaptiveChunkCodec for PickyAuto {
+        fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) -> u8 {
+            if chunk.len() >= 2 && chunk[0] == chunk[1] {
+                Rle.encode_chunk(chunk, out);
+                1
+            } else {
+                Identity.encode_chunk(chunk, out);
+                2
+            }
+        }
+        fn knows_codec(&self, codec_id: u8) -> bool {
+            codec_id == 1 || codec_id == 2
+        }
+        fn decode_chunk(
+            &self,
+            codec_id: u8,
+            data: &[u8],
+            expected_len: usize,
+            out: &mut Vec<u8>,
+        ) -> Result<(), Error> {
+            match codec_id {
+                1 => Rle.decode_chunk(data, expected_len, out),
+                2 => Identity.decode_chunk(data, expected_len, out),
+                _ => unreachable!("container checks knows_codec first"),
+            }
+        }
+    }
+
+    /// Chunk 0 and 2 compress under Rle; chunk 1 defeats both codecs and is
+    /// stored raw; chunk 3 (the short tail) opens without a run, so
+    /// Identity is picked and — since Identity expands — it also goes raw.
+    fn mixed_payload() -> Vec<u8> {
+        let mut payload = vec![7u8; DEFAULT_CHUNK_SIZE];
+        payload.extend((0..DEFAULT_CHUNK_SIZE).map(|i| (i % 251) as u8));
+        payload.extend(std::iter::repeat_n(9u8, DEFAULT_CHUNK_SIZE));
+        payload.extend([1, 2, 3, 4, 5]);
+        payload
+    }
+
+    #[test]
+    fn adaptive_stream_mixes_codecs_and_roundtrips() {
+        let payload = mixed_payload();
+        for threads in [1usize, 4] {
+            let stream =
+                compress_adaptive(header_for(&payload), &payload, &PickyAuto, threads).unwrap();
+            let (header, out) = decompress_adaptive(&stream, &PickyAuto, threads).unwrap();
+            assert_eq!(out, payload);
+            assert_eq!(header.flags & FLAG_CHUNK_CODECS, FLAG_CHUNK_CODECS);
+
+            let s = stats(&stream).unwrap();
+            assert_eq!(s.chunks, 4);
+            assert_eq!(s.raw_chunks, 2);
+            // The two Rle chunks are the only non-raw picks.
+            assert_eq!(s.codec_picks, vec![(1, 2)]);
+        }
+    }
+
+    #[test]
+    fn adaptive_stream_is_deterministic_across_threads() {
+        let payload = mixed_payload();
+        let serial = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        let parallel = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 8).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn adaptive_v1_stream_roundtrips() {
+        let payload = mixed_payload();
+        let stream = compress_adaptive(v1_header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        let (header, out) = decompress_adaptive(&stream, &PickyAuto, 1).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(header.version, VERSION_1);
+    }
+
+    #[test]
+    fn adaptive_random_access_dispatches_per_chunk() {
+        let payload = mixed_payload();
+        let stream = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 2).unwrap();
+        let region = Region::parse(&stream).unwrap();
+        assert_eq!(region.chunk_codec_ids().len(), 4);
+        for index in 0..4 {
+            let start = index * DEFAULT_CHUNK_SIZE;
+            let end = (start + DEFAULT_CHUNK_SIZE).min(payload.len());
+            assert_eq!(
+                region.decode_chunk_adaptive(index, &PickyAuto).unwrap(),
+                &payload[start..end],
+                "chunk {index}"
+            );
+        }
+        // Ranges straddling chunks with different codecs decode exactly.
+        for (offset, len) in [
+            (0u64, 64u64),
+            (DEFAULT_CHUNK_SIZE as u64 - 7, 20),    // Rle → raw
+            (DEFAULT_CHUNK_SIZE as u64 * 2 - 3, 9), // raw → Rle
+            (DEFAULT_CHUNK_SIZE as u64 * 3 - 2, 7), // Rle → raw tail
+            (0, payload.len() as u64),              // everything
+            (DEFAULT_CHUNK_SIZE as u64 * 3 + 1, 4), // inside the tail
+        ] {
+            let got = region
+                .decode_range_adaptive(&PickyAuto, offset, len, 2)
+                .unwrap();
+            assert_eq!(
+                got,
+                &payload[offset as usize..(offset + len) as usize],
+                "range {offset}+{len}"
+            );
+            assert_eq!(
+                decode_range_adaptive(&stream, &PickyAuto, offset, len, 1).unwrap(),
+                got
+            );
+        }
+        assert_eq!(
+            decompress_chunk_adaptive(&stream, &PickyAuto, 0).unwrap(),
+            &payload[..DEFAULT_CHUNK_SIZE]
+        );
+    }
+
+    #[test]
+    fn adaptive_tolerant_decode_zero_fills_damage() {
+        let payload = mixed_payload();
+        let stream = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        let (_, out, report) = decompress_tolerant_adaptive(&stream, &PickyAuto, 1).unwrap();
+        assert_eq!(out, payload);
+        assert!(report.is_clean());
+
+        // Flip one byte in the payload region: the owning chunk zero-fills,
+        // everything else is recovered bit-exactly.
+        let s = stats(&stream).unwrap();
+        let payload_start = stream.len() - s.compressed_payload;
+        let mut bad = stream.clone();
+        bad[payload_start + 2] ^= 0x55;
+        let (_, out, report) = decompress_tolerant_adaptive(&bad, &PickyAuto, 1).unwrap();
+        assert_eq!(out.len(), payload.len());
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].chunk, 0);
+        assert!(out[..DEFAULT_CHUNK_SIZE].iter().all(|&b| b == 0));
+        assert_eq!(out[DEFAULT_CHUNK_SIZE..], payload[DEFAULT_CHUNK_SIZE..]);
+    }
+
+    /// Patches chunk `i`'s codec-id byte to `id` and recomputes the table
+    /// checksum, simulating a hostile-but-checksum-valid chunk table.
+    fn forge_codec_id(stream: &[u8], count: usize, i: usize, id: u8) -> Vec<u8> {
+        let mut bad = stream.to_vec();
+        let ids_start = Header::ENCODED_LEN_V2 + 4 + 4 * count;
+        bad[ids_start + i] = id;
+        let table_start = Header::ENCODED_LEN_V2;
+        let table_end = ids_start + count + 8 * count; // + chunk checksums
+        let sum = frame_checksum(&bad[table_start..table_end]);
+        bad[table_end..table_end + 8].copy_from_slice(&sum.to_le_bytes());
+        bad
+    }
+
+    #[test]
+    fn hostile_codec_ids_fail_structurally_without_panicking() {
+        let payload = mixed_payload();
+        let stream = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        // Chunk 0 is non-raw (Rle): an out-of-range id must surface as
+        // UnknownChunkCodec from every decode path.
+        let bad = forge_codec_id(&stream, 4, 0, 250);
+        let want = Error::UnknownChunkCodec {
+            chunk: 0,
+            codec: 250,
+        };
+        assert_eq!(decompress_adaptive(&bad, &PickyAuto, 1).unwrap_err(), want);
+        assert_eq!(
+            decompress_chunk_adaptive(&bad, &PickyAuto, 0).unwrap_err(),
+            want
+        );
+        assert_eq!(
+            decode_range_adaptive(&bad, &PickyAuto, 0, 10, 1).unwrap_err(),
+            want
+        );
+        // Tolerant decode degrades instead: the hostile chunk zero-fills.
+        let (_, out, report) = decompress_tolerant_adaptive(&bad, &PickyAuto, 1).unwrap();
+        assert_eq!(out.len(), payload.len());
+        assert_eq!(report.damaged.len(), 1);
+        assert_eq!(report.damaged[0].error, want);
+        // A hostile id on a *raw* chunk is inert: raw short-circuits.
+        let bad_raw = forge_codec_id(&stream, 4, 1, 99);
+        let (_, out) = decompress_adaptive(&bad_raw, &PickyAuto, 1).unwrap();
+        assert_eq!(out, payload);
+        // Without the checksum fix-up, the table checksum catches the edit.
+        let mut unfixed = stream.clone();
+        unfixed[Header::ENCODED_LEN_V2 + 4 + 4 * 4] ^= 0xFF;
+        assert!(matches!(
+            decompress_adaptive(&unfixed, &PickyAuto, 1),
+            Err(Error::ChecksumMismatch { chunk: None, .. })
+        ));
+    }
+
+    #[test]
+    fn dispatch_mismatch_is_rejected_both_ways() {
+        let payload = mixed_payload();
+        let adaptive = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        let fixed = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+
+        // Fixed decoder on an adaptive stream: structural error, not garbage.
+        assert!(matches!(
+            decompress(&adaptive, &Rle, 1),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_range(&adaptive, &Rle, 0, 8, 1),
+            Err(Error::Corrupt(_))
+        ));
+        // Adaptive decoder on a fixed stream: no codec table to dispatch on.
+        assert!(matches!(
+            decompress_adaptive(&fixed, &PickyAuto, 1),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(
+            decompress_tolerant_adaptive(&fixed, &PickyAuto, 1),
+            Err(Error::Corrupt(_))
+        ));
+        // A fixed header claiming the flag without the adaptive entry point
+        // is refused at compress time.
+        let mut lying = header_for(&payload);
+        lying.flags = FLAG_CHUNK_CODECS;
+        assert!(matches!(
+            compress(lying, &payload, &Rle, 1),
+            Err(Error::InvalidHeader { field: "flags", .. })
+        ));
+        // verify() needs no codec and works on both layouts.
+        let (_, report) = verify(&adaptive).unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn fixed_streams_are_byte_identical_to_pre_flag_layout() {
+        // The flags byte occupies what was the reserved-zero byte; fixed
+        // streams must keep writing zero there and add no table bytes.
+        let payload = vec![5u8; DEFAULT_CHUNK_SIZE * 2];
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+        assert_eq!(stream[7], 0, "flags byte must stay zero");
+        let s = stats(&stream).unwrap();
+        // header+sum, count, table, chunk sums, table sum, payload: no gap.
+        let framing = Header::ENCODED_LEN_V2 + 4 + 4 * s.chunks + 8 * s.chunks + 8;
+        assert_eq!(framing + s.compressed_payload, stream.len());
+        assert!(s.codec_picks.is_empty());
+    }
+
+    #[test]
+    fn adaptive_empty_payload_roundtrips() {
+        let stream = compress_adaptive(header_for(&[]), &[], &PickyAuto, 1).unwrap();
+        let (_, out) = decompress_adaptive(&stream, &PickyAuto, 1).unwrap();
+        assert!(out.is_empty());
+        let region = Region::parse(&stream).unwrap();
+        assert_eq!(region.chunks(), 0);
+        assert!(region.chunk_codec_ids().is_empty());
     }
 
     #[test]

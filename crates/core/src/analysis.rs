@@ -132,6 +132,17 @@ pub fn analyze_bytes(data: &[u8], algorithm: Algorithm) -> Anatomy {
                 add(&mut stages, "RARE", out.len() + t2.len() + ctail.len());
             }
         }
+        Algorithm::Auto => {
+            // The adaptive mode has no fixed stage sequence; its anatomy is
+            // the per-chunk winner volume (capped at raw, mirroring the
+            // container's store-raw fallback).
+            let auto = crate::AutoCodec::default();
+            for chunk in data.chunks(chunk_size.max(1)) {
+                let mut enc = Vec::new();
+                fpc_container::AdaptiveChunkCodec::encode_chunk(&auto, chunk, &mut enc);
+                add(&mut stages, "AUTO", enc.len().min(chunk.len()));
+            }
+        }
     }
     Anatomy {
         algorithm,

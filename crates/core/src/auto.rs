@@ -1,0 +1,359 @@
+//! The adaptive AUTO mode: per-chunk codec selection over the four fixed
+//! pipelines.
+//!
+//! The paper fixes one algorithm per stream; AUTO instead picks a winner
+//! for every chunk independently (the chunk table records the choice, see
+//! [`fpc_container::FLAG_CHUNK_CODECS`]) so mixed streams — an MPI message
+//! buffer interleaving smooth f32 fields, quantized f64 readings, and
+//! incompressible segments — get the best of all four pipelines at once.
+//!
+//! Selection is cheap by construction: large chunks are *estimated* from a
+//! prefix sample (one trial encode of [`SAMPLE_LEN`] bytes per candidate),
+//! and only the candidates within [`SHORTLIST_PERCENT`] of the best
+//! estimate are trial-encoded in full. Small chunks skip the estimate and
+//! trial-encode everything. The store-raw fallback for incompressible
+//! chunks is the container's own (a chunk whose encoding does not shrink
+//! is stored verbatim and its pick is voided), so AUTO never expands a
+//! chunk beyond raw.
+//!
+//! DPratio needs care: the paper's DPratio runs a *global* FCM stage over
+//! the whole input, which would make chunks interdependent and break both
+//! per-chunk mixing and seekable ranges. AUTO therefore uses
+//! [`DpRatioLocalCodec`], which runs FCM *within* the chunk — same
+//! pipeline, chunk-local window — keeping every chunk independently
+//! decodable.
+
+use crate::pipeline::{map_decode, DpRatioChunkCodec, DpSpeedCodec, SpRatioCodec, SpSpeedCodec};
+use crate::PipelineOptions;
+use fpc_container::{
+    AdaptiveChunkCodec, ChunkCodec, Error, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO,
+    ALGO_SP_SPEED,
+};
+use fpc_transforms::{fcm, words};
+
+/// Prefix-sample length (bytes) used to estimate per-candidate encoded
+/// sizes on large chunks. A multiple of 8 so both word widths sample whole
+/// elements.
+pub const SAMPLE_LEN: usize = 2048;
+
+/// A candidate stays on the trial-encode shortlist if its estimated size is
+/// within this percentage of the best estimate. The margin is wide enough
+/// to absorb the FCM candidate's systematic sampling bias: context-model
+/// match rates grow with context length, so a prefix sample overestimates
+/// its full-chunk encoded size.
+pub const SHORTLIST_PERCENT: usize = 8;
+
+/// DPratio with a chunk-local FCM stage.
+///
+/// Encodes exactly the DPratio chunk pipeline (DIFFMS → RAZE → RARE) over
+/// an FCM transform computed from the chunk alone, so the chunk decodes
+/// without any stream-global state. Streams produced through this codec are
+/// only ever referenced from AUTO's chunk table (codec id
+/// [`ALGO_DP_RATIO`]); the fixed DPratio stream format is unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct DpRatioLocalCodec {
+    /// FCM match window (paper: 4).
+    pub fcm_window: usize,
+    /// Fixed RAZE/RARE byte split override (`None` = adaptive).
+    pub fixed_split: Option<u8>,
+}
+
+impl Default for DpRatioLocalCodec {
+    fn default() -> Self {
+        let opts = PipelineOptions::default();
+        Self {
+            fcm_window: opts.fcm_window,
+            fixed_split: opts.fixed_split,
+        }
+    }
+}
+
+impl ChunkCodec for DpRatioLocalCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) {
+        let (w, tail) = words::bytes_to_u64(chunk);
+        let enc = fcm::encode_with_window(&w, self.fcm_window);
+        let inner = DpRatioChunkCodec {
+            fixed_split: self.fixed_split,
+        };
+        // The value array (float-like bytes at non-match positions) and the
+        // distance array (small integers) have very different byte
+        // statistics; encoding them as two separate inner chunks lets
+        // RAZE/RARE choose a byte split per array, exactly as the fixed
+        // DPratio pipeline does when it chunks the global FCM intermediate.
+        // Layout: [values-enc len u32][values enc][distances enc][raw tail].
+        let mut part = Vec::with_capacity(w.len() * 8);
+        words::u64_to_bytes(&enc.values, &mut part);
+        let mut enc_values = Vec::new();
+        inner.encode_chunk(&part, &mut enc_values);
+        part.clear();
+        words::u64_to_bytes(&enc.distances, &mut part);
+        let mut enc_distances = Vec::new();
+        inner.encode_chunk(&part, &mut enc_distances);
+        out.extend_from_slice(
+            &u32::try_from(enc_values.len())
+                .expect("chunk fits u32")
+                .to_le_bytes(),
+        );
+        out.extend_from_slice(&enc_values);
+        out.extend_from_slice(&enc_distances);
+        out.extend_from_slice(tail);
+    }
+
+    fn decode_chunk(
+        &self,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
+        let nwords = expected_len / 8;
+        let tail_len = expected_len % 8;
+        if data.len() < 4 + tail_len {
+            return Err(Error::Corrupt("fcm chunk too short"));
+        }
+        let values_len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        let body = &data[4..data.len() - tail_len];
+        if values_len > body.len() {
+            return Err(Error::Corrupt("fcm value-part length out of range"));
+        }
+        let inner = DpRatioChunkCodec { fixed_split: None };
+        let mut part = Vec::with_capacity(nwords * 8);
+        inner.decode_chunk(&body[..values_len], nwords * 8, &mut part)?;
+        if part.len() != nwords * 8 {
+            return Err(Error::Corrupt("fcm value array length mismatch"));
+        }
+        let (values, _) = words::bytes_to_u64(&part);
+        part.clear();
+        inner.decode_chunk(&body[values_len..], nwords * 8, &mut part)?;
+        if part.len() != nwords * 8 {
+            return Err(Error::Corrupt("fcm distance array length mismatch"));
+        }
+        let (distances, _) = words::bytes_to_u64(&part);
+        let decoded = fcm::decode_arrays(&values, &distances).map_err(map_decode)?;
+        words::u64_to_bytes(&decoded, out);
+        out.extend_from_slice(&data[data.len() - tail_len..]);
+        Ok(())
+    }
+}
+
+/// The AUTO adaptive codec: per-chunk selection among the four pipelines.
+///
+/// Implements [`AdaptiveChunkCodec`], so it plugs into
+/// [`fpc_container::compress_adaptive`] and friends; the container records
+/// the returned codec id per chunk and routes decode back through
+/// [`AutoCodec::decode_chunk`].
+#[derive(Debug, Clone, Copy)]
+pub struct AutoCodec {
+    sp_speed: SpSpeedCodec,
+    sp_ratio: SpRatioCodec,
+    dp_speed: DpSpeedCodec,
+    dp_ratio: DpRatioLocalCodec,
+}
+
+impl Default for AutoCodec {
+    fn default() -> Self {
+        Self::new(&PipelineOptions::default())
+    }
+}
+
+impl AutoCodec {
+    /// Builds the candidate set from encoder options (decode ignores them;
+    /// the stream is self-describing).
+    pub fn new(options: &PipelineOptions) -> Self {
+        Self {
+            sp_speed: SpSpeedCodec {
+                fallback: options.mplg_fallback,
+            },
+            sp_ratio: SpRatioCodec,
+            dp_speed: DpSpeedCodec {
+                fallback: options.mplg_fallback,
+            },
+            dp_ratio: DpRatioLocalCodec {
+                fcm_window: options.fcm_window,
+                fixed_split: options.fixed_split,
+            },
+        }
+    }
+
+    /// Candidate order is the tie-break order: on an exact size tie the
+    /// earlier (cheaper-to-decode) pipeline wins, deterministically.
+    fn candidates(&self) -> [(u8, &dyn ChunkCodec); 4] {
+        [
+            (ALGO_SP_SPEED, &self.sp_speed),
+            (ALGO_SP_RATIO, &self.sp_ratio),
+            (ALGO_DP_SPEED, &self.dp_speed),
+            (ALGO_DP_RATIO, &self.dp_ratio),
+        ]
+    }
+
+    fn codec_for(&self, codec_id: u8) -> Option<&dyn ChunkCodec> {
+        self.candidates()
+            .into_iter()
+            .find(|(id, _)| *id == codec_id)
+            .map(|(_, c)| c)
+    }
+}
+
+impl AdaptiveChunkCodec for AutoCodec {
+    fn encode_chunk(&self, chunk: &[u8], out: &mut Vec<u8>) -> u8 {
+        let candidates = self.candidates();
+        // Small chunks: the sample would cover most of the chunk anyway, so
+        // trial-encode every candidate in full.
+        if chunk.len() <= 2 * SAMPLE_LEN {
+            let mut best: Option<(u8, Vec<u8>)> = None;
+            for (id, codec) in candidates {
+                let mut enc = Vec::new();
+                codec.encode_chunk(chunk, &mut enc);
+                if best.as_ref().is_none_or(|(_, b)| enc.len() < b.len()) {
+                    best = Some((id, enc));
+                }
+            }
+            let (id, enc) = best.expect("candidate set is non-empty");
+            out.extend_from_slice(&enc);
+            return id;
+        }
+        // Large chunks: estimate from a prefix sample, then trial-encode
+        // only the shortlist of estimates within SHORTLIST_PERCENT of the
+        // best one.
+        let sample = &chunk[..SAMPLE_LEN];
+        let mut estimates = [0usize; 4];
+        for (slot, (_, codec)) in estimates.iter_mut().zip(candidates) {
+            let mut enc = Vec::new();
+            codec.encode_chunk(sample, &mut enc);
+            *slot = enc.len() * chunk.len() / sample.len();
+        }
+        let best_estimate = *estimates.iter().min().expect("four estimates");
+        let cutoff = best_estimate + best_estimate * SHORTLIST_PERCENT / 100;
+        let mut best: Option<(u8, Vec<u8>)> = None;
+        for ((id, codec), estimate) in candidates.into_iter().zip(estimates) {
+            if estimate > cutoff {
+                continue;
+            }
+            let mut enc = Vec::new();
+            codec.encode_chunk(chunk, &mut enc);
+            if best.as_ref().is_none_or(|(_, b)| enc.len() < b.len()) {
+                best = Some((id, enc));
+            }
+        }
+        let (id, enc) = best.expect("the best estimate is always on the shortlist");
+        out.extend_from_slice(&enc);
+        id
+    }
+
+    fn knows_codec(&self, codec_id: u8) -> bool {
+        self.codec_for(codec_id).is_some()
+    }
+
+    fn decode_chunk(
+        &self,
+        codec_id: u8,
+        data: &[u8],
+        expected_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
+        match self.codec_for(codec_id) {
+            Some(codec) => codec.decode_chunk(data, expected_len, out),
+            // The container checks knows_codec before dispatching, so this
+            // only guards direct misuse of the codec.
+            None => Err(Error::Corrupt("codec id not known to the AUTO decoder")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_f64_chunk(n: usize) -> Vec<u8> {
+        let floats: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin() * 5.0).collect();
+        words::f64_slice_to_bytes(&floats)
+    }
+
+    fn smooth_f32_chunk(n: usize) -> Vec<u8> {
+        let floats: Vec<f32> = (0..n).map(|i| 2.0 + i as f32 * 1e-4).collect();
+        words::f32_slice_to_bytes(&floats)
+    }
+
+    #[test]
+    fn dpratio_local_roundtrips() {
+        let codec = DpRatioLocalCodec::default();
+        for len in [0usize, 1, 7, 8, 9, 1024, 16 * 1024, 16 * 1024 + 3] {
+            let chunk: Vec<u8> = smooth_f64_chunk(len / 8 + 1)[..len].to_vec();
+            let mut enc = Vec::new();
+            codec.encode_chunk(&chunk, &mut enc);
+            let mut dec = Vec::new();
+            codec.decode_chunk(&enc, chunk.len(), &mut dec).unwrap();
+            assert_eq!(dec, chunk, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dpratio_local_compresses_recurring_values() {
+        // FCM's specialty, now available per chunk.
+        let pattern: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+        let values: Vec<f64> = pattern.iter().cycle().take(2048).copied().collect();
+        let chunk = words::f64_slice_to_bytes(&values);
+        let codec = DpRatioLocalCodec::default();
+        let mut enc = Vec::new();
+        codec.encode_chunk(&chunk, &mut enc);
+        assert!(enc.len() < chunk.len() / 2, "got {}", enc.len());
+    }
+
+    #[test]
+    fn auto_picks_roundtrip_on_all_candidates() {
+        let auto = AutoCodec::default();
+        for chunk in [
+            smooth_f32_chunk(4096),
+            smooth_f64_chunk(2048),
+            (0..16 * 1024).map(|i| (i % 251) as u8).collect::<Vec<u8>>(),
+            Vec::new(),
+            vec![7u8; 16 * 1024],
+        ] {
+            let mut enc = Vec::new();
+            let id = auto.encode_chunk(&chunk, &mut enc);
+            assert!(auto.knows_codec(id), "picked unknown id {id}");
+            let mut dec = Vec::new();
+            auto.decode_chunk(id, &enc, chunk.len(), &mut dec).unwrap();
+            assert_eq!(dec, chunk);
+        }
+    }
+
+    #[test]
+    fn auto_matches_best_full_trial_within_shortlist_margin() {
+        // The sampled estimate may only lose to an exhaustive trial by the
+        // shortlist margin (plus sampling noise bounded by that margin on
+        // these homogeneous chunks).
+        let auto = AutoCodec::default();
+        for chunk in [smooth_f32_chunk(8192), smooth_f64_chunk(4096)] {
+            let mut picked = Vec::new();
+            auto.encode_chunk(&chunk, &mut picked);
+            let exhaustive = auto
+                .candidates()
+                .into_iter()
+                .map(|(_, c)| {
+                    let mut e = Vec::new();
+                    c.encode_chunk(&chunk, &mut e);
+                    e.len()
+                })
+                .min()
+                .unwrap();
+            assert!(
+                picked.len() <= exhaustive + exhaustive / 10,
+                "picked {} vs exhaustive best {exhaustive}",
+                picked.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_structured_error() {
+        let auto = AutoCodec::default();
+        assert!(!auto.knows_codec(0));
+        assert!(!auto.knows_codec(5));
+        assert!(!auto.knows_codec(250));
+        let mut out = Vec::new();
+        assert!(matches!(
+            auto.decode_chunk(250, &[1, 2, 3], 3, &mut out),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

@@ -26,7 +26,7 @@ mod field;
 mod series;
 mod suites;
 
-pub use suites::{double_precision_suites, single_precision_suites, Scale};
+pub use suites::{double_precision_suites, mixed_stream_suites, single_precision_suites, Scale};
 
 use fpc_prng::Rng;
 
@@ -159,6 +159,24 @@ mod tests {
         // Matches the paper's evaluation structure (§4).
         assert_eq!(single_precision_suites(Scale::Small).len(), 7);
         assert_eq!(double_precision_suites(Scale::Small).len(), 5);
+    }
+
+    #[test]
+    fn mixed_streams_are_deterministic_and_heterogeneous() {
+        let a = mixed_stream_suites(Scale::Small);
+        let b = mixed_stream_suites(Scale::Small);
+        assert_eq!(a, b, "mixed streams must be seeded");
+        assert_eq!(a.len(), 1);
+        let suite = &a[0];
+        assert_eq!(suite.files.len(), 3);
+        for f in &suite.files {
+            assert_eq!(f.dims.len(), f.values.len(), "{}", f.name);
+            // Each rank buffer must be big enough to span many chunks.
+            assert!(f.values.len() > 16 * 1024 * 4, "{} too small", f.name);
+        }
+        // Full scale streams are larger.
+        let full = mixed_stream_suites(Scale::Full);
+        assert!(full[0].total_values() > suite.total_values() * 4);
     }
 
     #[test]

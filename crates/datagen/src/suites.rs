@@ -360,6 +360,9 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
         });
     }
 
+    // Mixed-stream suites live in [`mixed_stream_suites`]; the fixed-width
+    // suites above stay exactly seven SP and five DP domains (§4).
+
     // Brain/engineering-like: piecewise-smooth with regime switches.
     {
         let mut files = Vec::new();
@@ -383,4 +386,71 @@ pub fn double_precision_suites(scale: Scale) -> Vec<Suite<f64>> {
     }
 
     suites
+}
+
+fn f32_bytes(values: &[f32]) -> Vec<u8> {
+    values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+fn f64_bytes(values: &[f64]) -> Vec<u8> {
+    values
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect()
+}
+
+/// Heterogeneous *byte* streams: MPI-rank-buffer-like concatenations of
+/// segments with different element widths and statistics (smooth f32
+/// fields, quantized f64 readings, message traces, and incompressible
+/// blobs) in one allocation.
+///
+/// No single fixed algorithm fits such a stream — the segments disagree on
+/// width and on which transformation wins — which is exactly the workload
+/// the adaptive per-chunk AUTO mode exists for, and what its CI dominance
+/// gate measures against. Segment lengths are deliberately not multiples
+/// of the container chunk size, so most chunks straddle a segment
+/// boundary.
+pub fn mixed_stream_suites(scale: Scale) -> Vec<Suite<u8>> {
+    let n = match scale {
+        Scale::Small => 24_576,
+        Scale::Full => 1 << 19,
+    };
+    let mut files = Vec::new();
+    for i in 0..3u64 {
+        let mut r = rng(1300 + i);
+        let mut bytes = Vec::new();
+        // Smooth single-precision field segment (SPspeed/SPratio country).
+        let field: Vec<f32> = smooth_series(&mut r, n, 1e-3, 1e-6)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        bytes.extend(f32_bytes(&field[..n - 1357]));
+        // Quantized double-precision readings (FCM recurrences).
+        let readings = quantized_readings(&mut r, n / 4, 500.0);
+        bytes.extend(f64_bytes(&readings[..n / 4 - 211]));
+        // Incompressible blob (already-compressed or encrypted payload).
+        bytes.extend(r.bytes(n / 4 + 97));
+        // Message-trace doubles (templates resent at long distances).
+        let trace = message_stream(&mut r, n / 4);
+        bytes.extend(f64_bytes(&trace));
+        // Second smooth f32 segment so codec runs alternate.
+        let field2: Vec<f32> = smooth_series(&mut r, n / 2, 1e-2, 1e-5)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        bytes.extend(f32_bytes(&field2));
+        let len = bytes.len();
+        files.push(Dataset::new(
+            format!("mixed-like/rank_buffer_{i}"),
+            Dims::D1(len),
+            bytes,
+        ));
+    }
+    vec![Suite {
+        domain: "mixed-stream-like (MPI rank buffers)",
+        files,
+    }]
 }

@@ -55,6 +55,13 @@ impl GpuCompressor {
     /// Compresses raw little-endian bytes (same stream as the CPU path).
     pub fn compress_bytes(&self, data: &[u8]) -> Vec<u8> {
         let algo = self.algorithm;
+        if algo == Algorithm::Auto {
+            // AUTO's per-chunk selection has no GPU-specific kernels; the
+            // CPU path already produces the canonical adaptive stream.
+            return fpc_core::Compressor::new(Algorithm::Auto)
+                .with_threads(self.threads)
+                .compress_bytes(data);
+        }
         let mut header = Header::new(
             algo.id(),
             algo.element_width(),
@@ -88,6 +95,7 @@ impl GpuCompressor {
                 fpc_container::compress(header, &payload, &GpuDpRatioChunkCodec, self.threads)
                     .expect("header matches payload")
             }
+            Algorithm::Auto => unreachable!("delegated to the CPU path above"),
         }
     }
 
@@ -98,10 +106,16 @@ impl GpuCompressor {
     /// Panics if the configured algorithm targets double precision.
     pub fn compress_f32(&self, data: &[f32]) -> Vec<u8> {
         assert!(
-            self.algorithm.is_single_precision(),
+            self.algorithm.is_single_precision() || self.algorithm == Algorithm::Auto,
             "{} targets doubles",
             self.algorithm
         );
+        if self.algorithm == Algorithm::Auto {
+            // Delegate at the typed level so the header records width 4.
+            return fpc_core::Compressor::new(Algorithm::Auto)
+                .with_threads(self.threads)
+                .compress_f32(data);
+        }
         self.compress_bytes(&words::f32_slice_to_bytes(data))
     }
 
@@ -168,6 +182,11 @@ impl GpuCompressor {
                 words::u64_to_bytes(&decoded, &mut out);
                 out.extend_from_slice(&payload[nwords * 16..]);
                 Ok(out)
+            }
+            Algorithm::Auto => {
+                // Adaptive streams decode through the CPU dispatcher; the
+                // per-chunk kernels are shared with the fixed paths.
+                fpc_core::decompress_bytes_with(stream, self.threads)
             }
         }
     }

@@ -269,11 +269,21 @@ pub enum Counter {
     ContainerRangeBytesDecoded,
     /// Payload bytes actually returned to range callers.
     ContainerRangeBytesReturned,
+    /// AUTO chunks that picked the SPspeed pipeline.
+    AutoPickSpSpeed,
+    /// AUTO chunks that picked the SPratio pipeline.
+    AutoPickSpRatio,
+    /// AUTO chunks that picked the DPspeed pipeline.
+    AutoPickDpSpeed,
+    /// AUTO chunks that picked the DPratio (per-chunk FCM) pipeline.
+    AutoPickDpRatio,
+    /// AUTO chunks stored raw (no candidate shrank the chunk).
+    AutoPickRaw,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 38;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -310,6 +320,11 @@ impl Counter {
         Counter::ContainerRangeChunksTotal,
         Counter::ContainerRangeBytesDecoded,
         Counter::ContainerRangeBytesReturned,
+        Counter::AutoPickSpSpeed,
+        Counter::AutoPickSpRatio,
+        Counter::AutoPickDpSpeed,
+        Counter::AutoPickDpRatio,
+        Counter::AutoPickRaw,
     ];
 
     /// Stable report name.
@@ -348,6 +363,11 @@ impl Counter {
             Counter::ContainerRangeChunksTotal => "container.range.chunks.total",
             Counter::ContainerRangeBytesDecoded => "container.range.bytes.decoded",
             Counter::ContainerRangeBytesReturned => "container.range.bytes.returned",
+            Counter::AutoPickSpSpeed => "container.auto.pick.spspeed",
+            Counter::AutoPickSpRatio => "container.auto.pick.spratio",
+            Counter::AutoPickDpSpeed => "container.auto.pick.dpspeed",
+            Counter::AutoPickDpRatio => "container.auto.pick.dpratio",
+            Counter::AutoPickRaw => "container.auto.pick.raw",
         }
     }
 

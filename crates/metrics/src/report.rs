@@ -330,6 +330,43 @@ fn render_bench(v: &Value) -> Result<String, String> {
             out.push_str(&report.render_text());
         }
     }
+    if let Some(auto) = v.get("auto") {
+        let _ = writeln!(out, "\nauto (adaptive codec, mixed-stream suites):");
+        for k in ["ratio", "compress_gbps", "decompress_gbps"] {
+            if let Some(x) = auto.get(k).and_then(Value::as_f64) {
+                let _ = writeln!(out, "  {k:<18} {x:.3}");
+            }
+        }
+        if let Some(b) = auto.get("bytes").and_then(Value::as_u64) {
+            let _ = writeln!(out, "  {:<18} {b}", "bytes");
+        }
+        if let Some(Value::Obj(picks)) = auto.get("picks") {
+            let _ = writeln!(out, "  chunk picks:");
+            for (name, val) in picks {
+                if let Some(n) = val.as_u64() {
+                    let _ = writeln!(out, "    {name:<16} {n}");
+                }
+            }
+        }
+        if let Some(fixed) = auto.get("fixed").and_then(Value::as_arr) {
+            let _ = writeln!(out, "  fixed algorithms on the same suites:");
+            for f in fixed {
+                let name = f.get("name").and_then(Value::as_str).unwrap_or("?");
+                let num = |k: &str| {
+                    f.get(k)
+                        .and_then(Value::as_f64)
+                        .map(|x| format!("{x:.3}"))
+                        .unwrap_or_else(|| "-".into())
+                };
+                let _ = writeln!(
+                    out,
+                    "    {name:<12} ratio={} compress={} GB/s",
+                    num("ratio"),
+                    num("compress_gbps")
+                );
+            }
+        }
+    }
     if let Some(exec) = v.get("executor") {
         let _ = writeln!(out, "\nexecutor microbench:");
         if let Value::Obj(members) = exec {

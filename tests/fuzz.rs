@@ -140,6 +140,9 @@ fn v1_streams_decode_bit_identically() {
                 payload.extend_from_slice(tail);
                 (payload, Box::new(DpRatioChunkCodec { fixed_split: None }))
             }
+            // `Algorithm::ALL` holds only the fixed algorithms; AUTO has no
+            // v1 frame (the per-chunk codec table is v2-only).
+            Algorithm::Auto => unreachable!("AUTO is not in Algorithm::ALL"),
         };
         let mut header = Header::new(
             algo.id(),
@@ -213,6 +216,93 @@ fn structure_aware_mutations_never_panic_any_algorithm() {
             );
         }
     }
+}
+
+#[test]
+fn hostile_auto_chunk_tables_fail_structurally() {
+    // AUTO streams carry a per-chunk codec-id table; a forged out-of-range
+    // id (with the table checksum re-fixed so it reaches codec dispatch)
+    // must surface as a structured "unknown codec" error — never a panic,
+    // never garbage output. Raw chunks short-circuit the table, so only
+    // non-raw chunks are forged.
+    let mut bytes: Vec<u8> = (0..30_000usize)
+        .flat_map(|i| ((i as f32 * 2e-3).sin()).to_bits().to_le_bytes())
+        .collect();
+    // A noise tail gives AUTO raw-fallback chunks alongside coded ones.
+    bytes.extend((0..24_000usize).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8));
+    let stream = Compressor::new(Algorithm::Auto)
+        .with_threads(1)
+        .compress_bytes(&bytes);
+    let stats = container::stats(&stream).unwrap();
+    assert!(stats.chunks >= 4, "want a multi-chunk AUTO stream");
+
+    let count = stats.chunks;
+    let table_start = Header::ENCODED_LEN_V2;
+    let ids_start = table_start + 4 + 4 * count;
+    let table_end = ids_start + count + 8 * count;
+    let entry = |s: &[u8], i: usize| {
+        let pos = table_start + 4 + 4 * i;
+        u32::from_le_bytes(s[pos..pos + 4].try_into().unwrap())
+    };
+    let raw_flag = 0x8000_0000u32;
+    let coded: Vec<usize> = (0..count)
+        .filter(|&i| entry(&stream, i) & raw_flag == 0)
+        .collect();
+    assert!(!coded.is_empty(), "want at least one non-raw chunk");
+
+    run_cases("fuzz/auto-codec-ids", 64, |rng, _| {
+        let victim = coded[rng.gen_range(0usize..coded.len())];
+        // Ids 0..=5 are assigned (4 fixed algorithms, AUTO, plus 0); pick
+        // strictly above them so the forge is always out of range.
+        let hostile = 6 + (rng.next_u32() % 250) as u8;
+        let mut bad = stream.clone();
+        bad[ids_start + victim] = hostile;
+        let sum = fpcompress::container::checksum::frame_checksum(&bad[table_start..table_end]);
+        bad[table_end..table_end + 8].copy_from_slice(&sum.to_le_bytes());
+        fpc_prng::fuzz::record_input(&bad);
+
+        let err = fpcompress::core::decompress_bytes(&bad)
+            .expect_err("forged codec id decoded undetected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown codec"),
+            "want a structured unknown-codec error, got: {msg}"
+        );
+        // Range decode through the forged chunk must refuse too; ranges
+        // confined to intact chunks may still succeed byte-exactly.
+        let offset = rng.gen_range(0u64..bytes.len() as u64);
+        let len = rng.gen_range(0u64..bytes.len() as u64 - offset + 1);
+        if let Ok(got) = fpcompress::core::decompress_range(&bad, offset, len) {
+            assert_eq!(got, &bytes[offset as usize..(offset + len) as usize]);
+        }
+        // Structural probes must stay panic-free on the forged table.
+        let _ = container::verify(&bad);
+        let _ = container::stats(&bad);
+    });
+
+    // Without the checksum fix-up the table checksum itself must catch a
+    // hostile id byte before dispatch.
+    let mut unfixed = stream.clone();
+    unfixed[ids_start + coded[0]] ^= 0xFF;
+    assert!(fpcompress::core::decompress_bytes(&unfixed).is_err());
+
+    // And general mutations over an AUTO stream (excluded from
+    // `Algorithm::ALL`, so the sweep above never covers it) must be
+    // detected like any fixed-algorithm stream.
+    run_cases("fuzz/mutations-auto", 64, |rng, _| {
+        let m = Mutation::arbitrary(rng, stream.len());
+        let bad = m.apply(&stream, rng);
+        if bad == stream {
+            return;
+        }
+        fpc_prng::fuzz::record_input(&bad);
+        assert!(
+            fpcompress::core::decompress_bytes(&bad).is_err(),
+            "AUTO: mutation {m:?} undetected"
+        );
+        let _ = container::verify(&bad);
+        let _ = container::stats(&bad);
+    });
 }
 
 #[test]

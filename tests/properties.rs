@@ -91,6 +91,61 @@ fn range_decode_matches_full_decode_slice() {
     });
 }
 
+/// Heterogeneous rank-buffer-like bytes: a smooth f32 field, a quantized
+/// f64 field, raw noise, and a small-magnitude f64 message segment, with
+/// randomized segment lengths so chunk boundaries land everywhere.
+fn mixed_stream_bytes(rng: &mut Rng) -> Vec<u8> {
+    let mut data = Vec::new();
+    let nf = rng.gen_range(0usize..12_000);
+    let base = f32::from_bits(rng.next_u32() & 0x3F7F_FFFF);
+    data.extend((0..nf).flat_map(|i| (base + i as f32 * 1e-4).to_bits().to_le_bytes()));
+    let nq = rng.gen_range(0usize..6_000);
+    data.extend((0..nq).flat_map(|i| {
+        let q = ((i % 257) as f64 / 16.0).floor() * 16.0;
+        q.to_bits().to_le_bytes()
+    }));
+    data.extend(rng.bytes_range(0usize..20_000));
+    let nm = rng.gen_range(0usize..4_000);
+    data.extend((0..nm).flat_map(|i| ((i % 31) as f64).to_bits().to_le_bytes()));
+    data
+}
+
+#[test]
+fn auto_roundtrips_and_range_decodes_mixed_codec_streams() {
+    // AUTO mixes codecs chunk-by-chunk inside one container; the stream
+    // must still round-trip byte-identically, and decompress_range must
+    // dispatch the right codec per chunk — its output byte-identical to
+    // the same slice of the full decompression.
+    run_cases("e2e/auto-mixed", 16, |rng, _| {
+        let data = mixed_stream_bytes(rng);
+        let n = data.len() as u64;
+        let compressor = Compressor::new(Algorithm::Auto).with_threads(2);
+        let stream = compressor.compress_bytes(&data);
+        let full = fpcompress::core::decompress_bytes(&stream).unwrap();
+        assert_eq!(full, data, "AUTO round-trip differs");
+        let mut ranges = vec![(0, 0), (n, 0), (0, n)];
+        for _ in 0..4 {
+            let offset = rng.gen_range(0..n + 1);
+            ranges.push((offset, rng.gen_range(0..n - offset + 1)));
+        }
+        for (offset, len) in ranges {
+            let got = fpcompress::core::decompress_range(&stream, offset, len).unwrap();
+            assert_eq!(
+                got,
+                &full[offset as usize..(offset + len) as usize],
+                "AUTO: range {offset}+{len} differs from the full-decode slice"
+            );
+        }
+        assert!(fpcompress::core::decompress_range(&stream, n, 1).is_err());
+        // The info path must account for every chunk exactly once across
+        // the per-codec picks and the raw fallback.
+        let info = fpcompress::core::info(&stream).unwrap();
+        let picked: usize = info.codec_picks.iter().map(|&(_, c)| c).sum();
+        let chunks = data.len().div_ceil(16 * 1024);
+        assert_eq!(picked + info.raw_chunks, chunks, "chunk accounting leaks");
+    });
+}
+
 #[test]
 fn gpu_equals_cpu_on_arbitrary_bytes() {
     run_cases("e2e/gpu-cpu", 32, |rng, _| {

@@ -229,6 +229,9 @@ fn codec_for(algo: Algorithm) -> Box<dyn container::ChunkCodec> {
         Algorithm::SpRatio => Box::new(SpRatioCodec),
         Algorithm::DpSpeed => Box::new(DpSpeedCodec { fallback: true }),
         Algorithm::DpRatio => Box::new(DpRatioChunkCodec { fixed_split: None }),
+        // Only the fixed algorithms are driven through this helper (the
+        // callers loop over `Algorithm::ALL`); AUTO decodes adaptively.
+        Algorithm::Auto => unreachable!("AUTO is not in Algorithm::ALL"),
     }
 }
 
