@@ -24,7 +24,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: faultgen [--seeds N] [--seed-base N] [--requests N] \
-         [--bytes N] [--algo NAME] [--watchdog-secs N] [--out DIR] [--rev REV]"
+         [--bytes N] [--algo NAME] [--cache-bytes N] [--watchdog-secs N] \
+         [--out DIR] [--rev REV]"
     );
     ExitCode::from(2)
 }
@@ -117,6 +118,15 @@ fn main() -> ExitCode {
     config.requests = requests;
     config.payload_bytes = bytes;
     config.watchdog = Duration::from_secs(watchdog as u64);
+    if let Some(v) = flag("--cache-bytes") {
+        match v.parse::<u64>() {
+            Ok(n) => config.cache_bytes = n,
+            Err(_) => {
+                eprintln!("faultgen: --cache-bytes expects a byte count (0 disables the cache)");
+                return usage();
+            }
+        }
+    }
     if let Some(name) = flag("--algo") {
         config.algo = match name.to_ascii_lowercase().as_str() {
             "spspeed" => Algorithm::SpSpeed,
@@ -133,12 +143,14 @@ fn main() -> ExitCode {
     let rev = sanitize(&resolve_rev(flag("--rev")));
 
     eprintln!(
-        "[faultgen] {} seeds x {} faults x {} requests x {} bytes ({}), {}s watchdog per cell",
+        "[faultgen] {} seeds x {} faults x {} requests x {} bytes ({}), \
+         cache {} bytes, {}s watchdog per cell",
         config.seeds.len(),
         config.matrix.len(),
         config.requests,
         config.payload_bytes,
         config.algo,
+        config.cache_bytes,
         watchdog
     );
     let report = match run(&config) {

@@ -5,13 +5,20 @@
 //! ```text
 //! cargo run -p fpc-bench --release --bin loadgen -- \
 //!     --addr 127.0.0.1:9463 [--conns 8] [--requests 16] \
-//!     [--bytes 1048576] [--algo spratio] [--out results] [--rev REV]
+//!     [--bytes 1048576] [--algo spratio] [--keys 1] [--zipf 0.0] \
+//!     [--warmup 0] [--out results] [--rev REV]
 //! ```
+//!
+//! With `--cache-compare BYTES` the `--addr` flag is dropped: the driver
+//! boots two in-process loopback servers (hot-chunk cache of BYTES vs no
+//! cache), runs the identical zipfian workload at both with every
+//! response byte-audited, and reports both latency profiles plus the
+//! cache hit rate.
 //!
 //! Exit codes: 0 clean run, 1 at least one failed request, 2 usage error,
 //! 3 cannot reach the server or write the report.
 
-use fpc_bench::loadgen::{run, LoadgenConfig};
+use fpc_bench::loadgen::{run, run_cache_compare, CacheCompareConfig, LoadgenConfig};
 use fpc_core::Algorithm;
 use fpc_metrics::json::Value;
 use std::path::PathBuf;
@@ -19,8 +26,9 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: loadgen --addr HOST:PORT [--conns N] [--requests N] \
-         [--bytes N] [--algo NAME] [--out DIR] [--rev REV]"
+        "usage: loadgen (--addr HOST:PORT | --cache-compare BYTES) [--conns N] \
+         [--requests N] [--bytes N] [--algo NAME] [--keys N] [--zipf S] \
+         [--warmup N] [--out DIR] [--rev REV]"
     );
     ExitCode::from(2)
 }
@@ -80,11 +88,24 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
     };
-    let Some(addr) = flag("--addr") else {
-        return usage();
+    let cache_compare: Option<u64> = match flag("--cache-compare") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("loadgen: --cache-compare expects a positive byte budget");
+                return usage();
+            }
+        },
+    };
+    let addr = match (flag("--addr"), cache_compare) {
+        (Some(addr), _) => addr.to_string(),
+        // Cache comparison boots its own loopback servers.
+        (None, Some(_)) => String::new(),
+        (None, None) => return usage(),
     };
     let mut config = LoadgenConfig {
-        addr: addr.to_string(),
+        addr,
         ..LoadgenConfig::default()
     };
     let positive = |name: &str, default: usize| -> Result<usize, ()> {
@@ -99,16 +120,36 @@ fn main() -> ExitCode {
             },
         }
     };
-    let (Ok(conns), Ok(requests), Ok(bytes)) = (
+    let (Ok(conns), Ok(requests), Ok(bytes), Ok(keys)) = (
         positive("--conns", config.conns),
         positive("--requests", config.requests),
         positive("--bytes", config.payload_bytes),
+        positive("--keys", config.keys),
     ) else {
         return usage();
     };
     config.conns = conns;
     config.requests = requests;
     config.payload_bytes = bytes;
+    config.keys = keys;
+    if let Some(v) = flag("--zipf") {
+        match v.parse::<f64>() {
+            Ok(s) if s >= 0.0 => config.zipf = s,
+            _ => {
+                eprintln!("loadgen: --zipf expects a non-negative exponent");
+                return usage();
+            }
+        }
+    }
+    if let Some(v) = flag("--warmup") {
+        match v.parse::<usize>() {
+            Ok(n) => config.warmup = n,
+            Err(_) => {
+                eprintln!("loadgen: --warmup expects an integer");
+                return usage();
+            }
+        }
+    }
     if let Some(name) = flag("--algo") {
         config.algo = match name.to_ascii_lowercase().as_str() {
             "spspeed" => Algorithm::SpSpeed,
@@ -124,16 +165,80 @@ fn main() -> ExitCode {
     let out_dir = PathBuf::from(flag("--out").unwrap_or("results"));
     let rev = sanitize(&resolve_rev(flag("--rev")));
 
-    eprintln!(
-        "[loadgen] {} conns x {} requests x {} bytes ({}) against {}",
-        config.conns, config.requests, config.payload_bytes, config.algo, config.addr
-    );
-    let report = match run(&config) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("[loadgen] {e}");
-            return ExitCode::from(3);
-        }
+    // Either one run against a live server, or the in-process cache A/B.
+    let (loadgen_value, summary, errors) = if let Some(cache_bytes) = cache_compare {
+        eprintln!(
+            "[loadgen] cache-compare: {} conns x {} requests x {} bytes ({}), \
+             {} keys zipf {} warmup {}, cache {} bytes vs none",
+            config.conns,
+            config.requests,
+            config.payload_bytes,
+            config.algo,
+            config.keys,
+            config.zipf,
+            config.warmup,
+            cache_bytes
+        );
+        let compare = CacheCompareConfig {
+            load: config,
+            cache_bytes,
+            threads: 0,
+        };
+        let report = match run_cache_compare(&compare) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[loadgen] {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let summary = format!(
+            "cache: hit_rate={:.3} p50={}us p90={}us throughput={:.3} GB/s | \
+             no-cache: p50={}us p90={}us throughput={:.3} GB/s",
+            report.hit_rate,
+            report.cached.p50_us,
+            report.cached.p90_us,
+            report.cached.throughput_gbps,
+            report.uncached.p50_us,
+            report.uncached.p90_us,
+            report.uncached.throughput_gbps,
+        );
+        let errors = report.cached.errors + report.uncached.errors;
+        (report.to_value(), summary, errors)
+    } else {
+        eprintln!(
+            "[loadgen] {} conns x {} requests x {} bytes ({}) against {} \
+             ({} keys, zipf {}, warmup {})",
+            config.conns,
+            config.requests,
+            config.payload_bytes,
+            config.algo,
+            config.addr,
+            config.keys,
+            config.zipf,
+            config.warmup
+        );
+        let report = match run(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[loadgen] {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let summary = format!(
+            "ops={} errors={} bytes={} wall={:.3}s throughput={:.3} GB/s \
+             p50={}us p90={}us p99={}us max={}us",
+            report.ops,
+            report.errors,
+            report.bytes,
+            report.wall_secs,
+            report.throughput_gbps,
+            report.p50_us,
+            report.p90_us,
+            report.p99_us,
+            report.max_us
+        );
+        let errors = report.errors;
+        (report.to_value(), summary, errors)
     };
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -146,7 +251,7 @@ fn main() -> ExitCode {
         ),
         ("rev".into(), Value::from(rev.as_str())),
         ("created_unix".into(), Value::from(created_unix)),
-        ("loadgen".into(), report.to_value()),
+        ("loadgen".into(), loadgen_value),
     ]);
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("[loadgen] cannot create {}: {e}", out_dir.display());
@@ -158,21 +263,9 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
     eprintln!("[loadgen] wrote {}", path.display());
-    println!(
-        "ops={} errors={} bytes={} wall={:.3}s throughput={:.3} GB/s \
-         p50={}us p90={}us p99={}us max={}us",
-        report.ops,
-        report.errors,
-        report.bytes,
-        report.wall_secs,
-        report.throughput_gbps,
-        report.p50_us,
-        report.p90_us,
-        report.p99_us,
-        report.max_us
-    );
-    if report.errors > 0 {
-        eprintln!("[loadgen] {} request(s) failed", report.errors);
+    println!("{summary}");
+    if errors > 0 {
+        eprintln!("[loadgen] {errors} request(s) failed");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

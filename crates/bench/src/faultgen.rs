@@ -44,6 +44,10 @@ pub struct FaultgenConfig {
     pub matrix: Vec<(String, String)>,
     /// Per-cell wall-clock budget; exceeding it is a hang.
     pub watchdog: Duration,
+    /// Hot-chunk cache budget for the in-process server (0 = off).
+    /// Non-zero runs every cell through the cached streaming paths, so
+    /// injected socket faults also exercise cache insert/hit handling.
+    pub cache_bytes: u64,
 }
 
 impl Default for FaultgenConfig {
@@ -55,6 +59,7 @@ impl Default for FaultgenConfig {
             algo: Algorithm::SpSpeed,
             matrix: default_matrix(),
             watchdog: Duration::from_secs(60),
+            cache_bytes: 0,
         }
     }
 }
@@ -113,6 +118,8 @@ pub struct FaultgenReport {
     pub payload_bytes: usize,
     /// Algorithm name (paper spelling).
     pub algo: String,
+    /// Server-side hot-chunk cache budget the sweep ran under (0 = off).
+    pub cache_bytes: u64,
     /// Per-cell outcomes.
     pub cells: Vec<CellReport>,
     /// Byte-identical successes across all cells.
@@ -197,6 +204,7 @@ pub fn run(config: &FaultgenConfig) -> Result<FaultgenReport, String> {
         requests: config.requests,
         payload_bytes: config.payload_bytes,
         algo: config.algo.to_string(),
+        cache_bytes: config.cache_bytes,
         ok,
         gaveups,
         mismatches,
@@ -241,13 +249,14 @@ fn run_cell(
 
     let requests = config.requests;
     let algo = config.algo;
+    let cache_bytes = config.cache_bytes;
     let data = data.to_vec();
     let expected = expected.to_vec();
     let (tx, rx) = mpsc::channel::<(u64, u64, u64)>();
     let handle = std::thread::Builder::new()
         .name(format!("fpc-faultgen-{label}-{seed}"))
         .spawn(move || {
-            let outcome = drive_cell(requests, algo, seed, &data, &expected);
+            let outcome = drive_cell(requests, algo, seed, cache_bytes, &data, &expected);
             let _ = tx.send(outcome);
         });
     let Ok(handle) = handle else {
@@ -289,6 +298,7 @@ fn drive_cell(
     requests: usize,
     algo: Algorithm,
     seed: u64,
+    cache_bytes: u64,
     data: &[u8],
     expected: &[u8],
 ) -> (u64, u64, u64) {
@@ -302,6 +312,7 @@ fn drive_cell(
         write_timeout: Some(Duration::from_secs(2)),
         idle_timeout: Some(Duration::from_secs(5)),
         progress_deadline: Some(Duration::from_secs(5)),
+        cache_bytes,
         ..ServeConfig::default()
     };
     let Ok(server) = Server::bind("127.0.0.1:0", serve_config) else {
@@ -376,6 +387,7 @@ impl FaultgenReport {
                 Value::from(self.payload_bytes as u64),
             ),
             ("algo".into(), Value::from(self.algo.as_str())),
+            ("cache_bytes".into(), Value::from(self.cache_bytes)),
             ("ok".into(), Value::from(self.ok)),
             ("gaveups".into(), Value::from(self.gaveups)),
             ("mismatches".into(), Value::from(self.mismatches)),
@@ -426,13 +438,16 @@ mod tests {
     #[test]
     fn control_sweep_is_clean_and_serializes() {
         // One control cell over loopback: works with or without the
-        // `faults` feature and must show zero violations either way.
+        // `faults` feature and must show zero violations either way. The
+        // cache is armed so the sweep's byte-identity check also covers
+        // the cached streaming paths.
         let config = FaultgenConfig {
             seeds: vec![1],
             requests: 4,
             payload_bytes: 64 << 10,
             matrix: vec![("clean".into(), String::new())],
             watchdog: Duration::from_secs(120),
+            cache_bytes: 32 << 20,
             ..FaultgenConfig::default()
         };
         let report = run(&config).expect("control sweep");

@@ -2,13 +2,23 @@
 //! client connections against a running server and reports throughput
 //! plus request-latency percentiles.
 //!
-//! Each connection issues a fixed number of remote compress requests over
-//! the same deterministic payload, timing every round trip. The first
-//! response on every connection is cross-checked against a local
+//! Each connection issues a fixed number of remote compress requests,
+//! timing every round trip. Payloads come from a deterministic pool of
+//! [`LoadgenConfig::keys`] distinct series, sampled per request with a
+//! zipfian distribution ([`LoadgenConfig::zipf`]) — the skewed-popularity
+//! shape a content-addressed cache is built for. Warm-up requests
+//! ([`LoadgenConfig::warmup`]) are issued but discarded before any
+//! latency is recorded, matching the perf bin's warm-up discard. The
+//! first response on every connection is cross-checked against a local
 //! [`Compressor`] run — the container output is thread-count independent,
 //! so the remote stream must be byte-identical. The aggregate lands in
 //! the `fpc-bench-v1` JSON schema under a `loadgen` key
 //! (`results/BENCH_<rev>.json`, rendered by `fpcc stats`).
+//!
+//! [`run_cache_compare`] goes further: it boots two in-process servers —
+//! one with the hot-chunk cache, one without — drives the identical
+//! zipfian workload at both, audits byte-identity of every response, and
+//! reports the cache's hit rate next to both latency profiles.
 
 use fpc_core::{Algorithm, Compressor};
 use fpc_metrics::json::Value;
@@ -23,7 +33,7 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Concurrent connections.
     pub conns: usize,
-    /// Requests issued per connection.
+    /// Measured requests issued per connection (after warm-up).
     pub requests: usize,
     /// Uncompressed payload bytes per request.
     pub payload_bytes: usize,
@@ -31,6 +41,21 @@ pub struct LoadgenConfig {
     pub algo: Algorithm,
     /// Socket timeout applied to every read/write.
     pub timeout: Option<Duration>,
+    /// Distinct payloads in the key pool. Every request samples one key;
+    /// 1 restores the old single-payload behavior.
+    pub keys: usize,
+    /// Zipf exponent for key sampling: key `k` is drawn with weight
+    /// `1 / (k+1)^zipf`. 0.0 is uniform; 1.0 is the classic skew where a
+    /// few hot keys dominate.
+    pub zipf: f64,
+    /// Warm-up requests per connection, issued and discarded before any
+    /// latency is recorded (cache warming, connection setup, allocator
+    /// steady state).
+    pub warmup: usize,
+    /// Cross-check every response against the local reference stream,
+    /// not just the first per connection. Costs a memcmp per request, so
+    /// latency runs leave it off; the cache-compare harness turns it on.
+    pub audit_all: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -42,6 +67,10 @@ impl Default for LoadgenConfig {
             payload_bytes: 1 << 20,
             algo: Algorithm::SpRatio,
             timeout: Some(Duration::from_secs(60)),
+            keys: 1,
+            zipf: 0.0,
+            warmup: 0,
+            audit_all: false,
         }
     }
 }
@@ -51,24 +80,32 @@ impl Default for LoadgenConfig {
 pub struct LoadgenReport {
     /// Connections driven.
     pub conns: usize,
-    /// Requests per connection.
+    /// Measured requests per connection.
     pub requests: usize,
     /// Uncompressed payload bytes per request.
     pub payload_bytes: usize,
     /// Algorithm name (paper spelling).
     pub algo: String,
-    /// Successful operations across all connections.
+    /// Distinct payload keys in the pool.
+    pub keys: usize,
+    /// Zipf exponent used for key sampling.
+    pub zipf: f64,
+    /// Warm-up requests discarded per connection.
+    pub warmup: usize,
+    /// Successful measured operations across all connections.
     pub ops: u64,
     /// Failed operations (transport, protocol, server error, or a remote
     /// stream that was not byte-identical to the local one).
     pub errors: u64,
-    /// Total uncompressed bytes pushed through the server.
+    /// Total uncompressed bytes pushed through the server (measured
+    /// requests only).
     pub bytes: u64,
-    /// Wall-clock seconds for the whole run.
+    /// Wall-clock seconds for the whole run (including warm-up).
     pub wall_secs: f64,
     /// Uncompressed GB/s across all connections.
     pub throughput_gbps: f64,
-    /// Latency percentiles over all successful requests, microseconds.
+    /// Latency percentiles over all successful measured requests,
+    /// microseconds.
     pub p50_us: u64,
     /// 90th percentile, microseconds.
     pub p90_us: u64,
@@ -88,18 +125,53 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// The deterministic payload every request carries: a smooth f32 series
-/// that compresses meaningfully (neither all-zero nor incompressible).
+/// The deterministic payload for key 0: a smooth f32 series that
+/// compresses meaningfully (neither all-zero nor incompressible).
 pub fn payload(bytes: usize) -> Vec<u8> {
+    payload_for_key(0, bytes)
+}
+
+/// The deterministic payload for one pool key: the same smooth series,
+/// phase-shifted per key so distinct keys share no chunk bytes.
+pub fn payload_for_key(key: usize, bytes: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(bytes);
+    let phase = key as f64 * 0.37;
     let mut i = 0u32;
     while out.len() + 4 <= bytes {
-        let v = (f64::from(i) * 1e-3).sin() as f32 * 7.25;
+        let v = (f64::from(i) * 1e-3 + phase).sin() as f32 * 7.25;
         out.extend_from_slice(&v.to_bits().to_le_bytes());
         i = i.wrapping_add(1);
     }
     out.resize(bytes, 0xA5);
     out
+}
+
+/// Zipfian key sampler: key `k` (0-based) carries weight `1/(k+1)^s`.
+/// Deterministic given its RNG; `s = 0` degenerates to uniform.
+pub struct ZipfSampler {
+    /// Cumulative weights; the last entry is the total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precomputes the inverse-CDF table for `keys` keys and exponent `s`.
+    pub fn new(keys: usize, s: f64) -> ZipfSampler {
+        let mut cumulative = Vec::with_capacity(keys.max(1));
+        let mut total = 0.0f64;
+        for k in 0..keys.max(1) {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Draws the next key index.
+    pub fn sample(&self, rng: &mut fpc_prng::Rng) -> usize {
+        let total = *self.cumulative.last().expect("at least one key");
+        // 53 uniform mantissa bits are plenty for a pool of payload keys.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        self.cumulative.partition_point(|&c| c <= u)
+    }
 }
 
 /// Runs the load against a live server.
@@ -110,25 +182,34 @@ pub fn payload(bytes: usize) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// When `conns`, `requests`, or `payload_bytes` is zero.
+/// When `conns`, `requests`, `payload_bytes`, or `keys` is zero.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
-    if config.conns == 0 || config.requests == 0 || config.payload_bytes == 0 {
-        return Err("conns, requests, and payload_bytes must all be positive".into());
+    if config.conns == 0 || config.requests == 0 || config.payload_bytes == 0 || config.keys == 0 {
+        return Err("conns, requests, payload_bytes, and keys must all be positive".into());
     }
-    let data = Arc::new(payload(config.payload_bytes));
-    // The reference stream every remote response must match byte-for-byte.
-    let expected = Arc::new(Compressor::new(config.algo).compress_bytes(&data));
+    let pool: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..config.keys)
+            .map(|k| payload_for_key(k, config.payload_bytes))
+            .collect(),
+    );
+    // The reference streams every audited response must match
+    // byte-for-byte.
+    let expected: Arc<Vec<Vec<u8>>> = Arc::new(
+        pool.iter()
+            .map(|data| Compressor::new(config.algo).compress_bytes(data))
+            .collect(),
+    );
     let errors = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
     let mut handles = Vec::with_capacity(config.conns);
     for conn in 0..config.conns {
         let config = config.clone();
-        let data = Arc::clone(&data);
+        let pool = Arc::clone(&pool);
         let expected = Arc::clone(&expected);
         let errors = Arc::clone(&errors);
         let handle = std::thread::Builder::new()
             .name(format!("fpc-loadgen-{conn}"))
-            .spawn(move || drive_connection(&config, &data, &expected, &errors))
+            .spawn(move || drive_connection(&config, conn, &pool, &expected, &errors))
             .map_err(|e| format!("spawning connection thread: {e}"))?;
         handles.push(handle);
     }
@@ -145,6 +226,9 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         requests: config.requests,
         payload_bytes: config.payload_bytes,
         algo: config.algo.to_string(),
+        keys: config.keys,
+        zipf: config.zipf,
+        warmup: config.warmup,
         ops,
         errors: errors.load(Ordering::SeqCst),
         bytes,
@@ -158,11 +242,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 }
 
 /// One connection's worth of traffic; returns the latency (nanos) of each
-/// successful request.
+/// successful measured request. The first [`LoadgenConfig::warmup`]
+/// requests are issued identically but never recorded.
 fn drive_connection(
     config: &LoadgenConfig,
-    data: &[u8],
-    expected: &[u8],
+    conn: usize,
+    pool: &[Vec<u8>],
+    expected: &[Vec<u8>],
     errors: &AtomicU64,
 ) -> Vec<u64> {
     let mut client = match fpc_serve::Client::connect(config.addr.as_str(), config.timeout) {
@@ -173,17 +259,29 @@ fn drive_connection(
             return Vec::new();
         }
     };
+    // Deterministic per-connection key sequence: every run (and both
+    // servers of a cache comparison) sees the identical workload.
+    let mut rng = fpc_prng::Rng::seed_from_u64(0xF9C1_0AD0 ^ conn as u64);
+    let sampler = ZipfSampler::new(config.keys, config.zipf);
     let mut latencies = Vec::with_capacity(config.requests);
-    for req in 0..config.requests {
+    for req in 0..config.warmup + config.requests {
+        let key = sampler.sample(&mut rng);
+        let warm = req < config.warmup;
         let t0 = Instant::now();
-        match client.compress(config.algo, data) {
+        match client.compress(config.algo, &pool[key]) {
             // Byte-identity with the local stream is part of the contract;
-            // checking every response would mostly measure memcmp, so only
-            // the first response per connection is audited.
-            Ok(stream) if req > 0 || stream == expected => {
-                latencies.push(t0.elapsed().as_nanos() as u64);
+            // checking every response would mostly measure memcmp, so by
+            // default only the first response per connection is audited
+            // (audit_all checks them all).
+            Ok(stream) => {
+                let audited = config.audit_all || req == 0;
+                if audited && stream != expected[key] {
+                    errors.fetch_add(1, Ordering::SeqCst);
+                } else if !warm {
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
             }
-            _ => {
+            Err(_) => {
                 errors.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -202,6 +300,9 @@ impl LoadgenReport {
                 Value::from(self.payload_bytes as u64),
             ),
             ("algo".into(), Value::from(self.algo.as_str())),
+            ("keys".into(), Value::from(self.keys as u64)),
+            ("zipf".into(), Value::from(self.zipf)),
+            ("warmup".into(), Value::from(self.warmup as u64)),
             ("ops".into(), Value::from(self.ops)),
             ("errors".into(), Value::from(self.errors)),
             ("bytes".into(), Value::from(self.bytes)),
@@ -213,6 +314,139 @@ impl LoadgenReport {
             ("max_us".into(), Value::from(self.max_us)),
         ])
     }
+}
+
+/// Parameters of a cache-on vs cache-off A/B run ([`run_cache_compare`]).
+#[derive(Debug, Clone)]
+pub struct CacheCompareConfig {
+    /// Workload shape, shared verbatim by both servers; `addr` is ignored
+    /// (both servers bind an ephemeral loopback port).
+    pub load: LoadgenConfig,
+    /// Cache budget for the cache-on server.
+    pub cache_bytes: u64,
+    /// Codec threads per server.
+    pub threads: usize,
+}
+
+impl Default for CacheCompareConfig {
+    fn default() -> CacheCompareConfig {
+        CacheCompareConfig {
+            load: LoadgenConfig {
+                keys: 8,
+                zipf: 1.0,
+                warmup: 4,
+                audit_all: true,
+                ..LoadgenConfig::default()
+            },
+            cache_bytes: 256 << 20,
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of a cache-on vs cache-off A/B run over the identical workload.
+#[derive(Debug, Clone)]
+pub struct CacheCompareReport {
+    /// The run against the cache-enabled server.
+    pub cached: LoadgenReport,
+    /// The run against the cache-free server.
+    pub uncached: LoadgenReport,
+    /// Cache budget that was configured.
+    pub cache_bytes: u64,
+    /// Cache hits over the whole run (including warm-up).
+    pub hits: u64,
+    /// Cache misses over the whole run.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 when idle.
+    pub hit_rate: f64,
+}
+
+impl CacheCompareReport {
+    /// Serializes as the `loadgen` member of an `fpc-bench-v1` report:
+    /// flat keys only, so `fpcc stats` renders every figure.
+    pub fn to_value(&self) -> Value {
+        let mut members = match self.cached.to_value() {
+            Value::Obj(m) => m,
+            _ => unreachable!("loadgen reports serialize as objects"),
+        };
+        // The shared shape fields stay as-is; latency/throughput fields
+        // above describe the cache-on run. Append the cache figures and
+        // the cache-off profile for side-by-side rendering.
+        members.push(("cache_bytes".into(), Value::from(self.cache_bytes)));
+        members.push(("cache_hits".into(), Value::from(self.hits)));
+        members.push(("cache_misses".into(), Value::from(self.misses)));
+        members.push(("cache_hit_rate".into(), Value::from(self.hit_rate)));
+        members.push(("nocache_p50_us".into(), Value::from(self.uncached.p50_us)));
+        members.push(("nocache_p90_us".into(), Value::from(self.uncached.p90_us)));
+        members.push(("nocache_p99_us".into(), Value::from(self.uncached.p99_us)));
+        members.push((
+            "nocache_throughput_gbps".into(),
+            Value::from(self.uncached.throughput_gbps),
+        ));
+        members.push(("nocache_errors".into(), Value::from(self.uncached.errors)));
+        Value::Obj(members)
+    }
+}
+
+/// Boots two in-process servers — cache-off first, then cache-on — and
+/// drives the identical deterministic workload at both with every
+/// response audited against the local reference stream. The cache-on
+/// server's hit/miss figures are read straight off its
+/// [`fpc_cache::ChunkCache`] handle.
+///
+/// # Errors
+///
+/// Invalid workload shape, bind failures, or a server that did not shut
+/// down cleanly.
+pub fn run_cache_compare(config: &CacheCompareConfig) -> Result<CacheCompareReport, String> {
+    if config.cache_bytes == 0 {
+        return Err("cache_bytes must be positive (0 disables the cache)".into());
+    }
+    let (uncached, _) = run_against(config, 0)?;
+    let (cached, cache) = run_against(config, config.cache_bytes)?;
+    let stats = cache
+        .expect("cache_bytes > 0 implies a cache handle")
+        .stats();
+    Ok(CacheCompareReport {
+        cached,
+        uncached,
+        cache_bytes: config.cache_bytes,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+    })
+}
+
+/// Boots one loopback server with the given cache budget, drives the
+/// comparison workload at it, shuts it down, and returns the report plus
+/// the cache handle (when one was enabled).
+fn run_against(
+    config: &CacheCompareConfig,
+    cache_bytes: u64,
+) -> Result<(LoadgenReport, Option<Arc<fpc_cache::ChunkCache>>), String> {
+    let serve_config = fpc_serve::ServeConfig {
+        threads: config.threads,
+        cache_bytes,
+        ..fpc_serve::ServeConfig::default()
+    };
+    let server = fpc_serve::Server::bind("127.0.0.1:0", serve_config)
+        .map_err(|e| format!("binding loopback server: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let cache = server.cache();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let load = LoadgenConfig {
+        addr: addr.to_string(),
+        audit_all: true,
+        ..config.load.clone()
+    };
+    let result = run(&load);
+    shutdown.store(true, Ordering::SeqCst);
+    handle
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server run: {e}"))?;
+    Ok((result?, cache))
 }
 
 #[cfg(test)]
@@ -243,12 +477,41 @@ mod tests {
         // The series must actually compress.
         let stream = Compressor::new(Algorithm::SpRatio).compress_bytes(&a);
         assert!(stream.len() < a.len());
+        // Distinct keys produce distinct payloads of the same size.
+        let other = payload_for_key(3, 4096);
+        assert_eq!(other.len(), 4096);
+        assert_ne!(other, a);
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_uniform_at_zero() {
+        let mut rng = fpc_prng::Rng::seed_from_u64(7);
+        let skewed = ZipfSampler::new(8, 1.2);
+        let mut counts = [0u32; 8];
+        for _ in 0..4000 {
+            counts[skewed.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[7] * 2, "zipf must favor low keys");
+        assert!(counts.iter().all(|&c| c > 0), "every key must be reachable");
+
+        let uniform = ZipfSampler::new(4, 0.0);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[uniform.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min < 400, "s=0 must be near-uniform, got {counts:?}");
     }
 
     #[test]
     fn zero_config_rejected() {
         let config = LoadgenConfig {
             conns: 0,
+            ..LoadgenConfig::default()
+        };
+        assert!(run(&config).is_err());
+        let config = LoadgenConfig {
+            keys: 0,
             ..LoadgenConfig::default()
         };
         assert!(run(&config).is_err());
@@ -267,9 +530,13 @@ mod tests {
             conns: 2,
             requests: 3,
             payload_bytes: 64 << 10,
+            keys: 3,
+            zipf: 1.0,
+            warmup: 1,
             ..LoadgenConfig::default()
         };
         let report = run(&config).unwrap();
+        // Warm-up requests are issued but never recorded.
         assert_eq!(report.ops, 6);
         assert_eq!(report.errors, 0);
         assert_eq!(report.bytes, 6 * (64 << 10));
@@ -279,8 +546,43 @@ mod tests {
         assert!(report.throughput_gbps > 0.0);
         let value = report.to_value();
         assert_eq!(value.get("ops").and_then(Value::as_u64), Some(6));
+        assert_eq!(value.get("warmup").and_then(Value::as_u64), Some(1));
 
         shutdown.store(true, Ordering::SeqCst);
         handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn cache_compare_hits_warm_and_stays_byte_identical() {
+        let config = CacheCompareConfig {
+            load: LoadgenConfig {
+                conns: 4,
+                requests: 6,
+                payload_bytes: 128 << 10,
+                keys: 4,
+                zipf: 1.0,
+                warmup: 2,
+                audit_all: true,
+                ..LoadgenConfig::default()
+            },
+            cache_bytes: 64 << 20,
+            threads: 0,
+        };
+        let report = run_cache_compare(&config).unwrap();
+        // audit_all: every response on both servers was byte-compared to
+        // the local reference stream.
+        assert_eq!(report.cached.errors, 0, "cache-on responses diverged");
+        assert_eq!(report.uncached.errors, 0, "cache-off responses diverged");
+        assert_eq!(report.cached.ops, 24);
+        assert_eq!(report.uncached.ops, 24);
+        assert!(
+            report.hit_rate >= 0.5,
+            "warm zipfian workload must mostly hit, got {:.3}",
+            report.hit_rate
+        );
+        let value = report.to_value();
+        for key in ["cache_hit_rate", "cache_hits", "nocache_p50_us", "p50_us"] {
+            assert!(value.get(key).is_some(), "missing {key} in JSON");
+        }
     }
 }

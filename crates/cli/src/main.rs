@@ -132,6 +132,7 @@ fn main() -> ExitCode {
                  stats      <report.json>   # pretty-print a metrics/bench JSON report\n\
                  serve      [--addr HOST:PORT] [--threads N] [--max-conns M] [--max-frame BYTES]\n\
                  \u{20}          [--timeout-secs S] [--idle-secs S] [--progress-secs S] [--shed-inflight BYTES]\n\
+                 \u{20}          [--cache-bytes BYTES]   # content-addressed hot-chunk cache (0 = off)\n\
                  remote     compress   --addr HOST:PORT --algo <name> <in> <out>\n\
                  remote     decompress --addr HOST:PORT <in> <out>\n\
                  remote     verify     --addr HOST:PORT <file>\n\
@@ -612,6 +613,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     }
     if let Some(s) = parse_num("--shed-inflight")? {
         config.shed_inflight = s;
+    }
+    if let Some(c) = parse_num("--cache-bytes")? {
+        config.cache_bytes = c;
     }
     let conns = config.effective_conns();
     let server =

@@ -233,105 +233,244 @@ fn compress_impl(
     let t = fpc_metrics::timer(fpc_metrics::Stage::ContainerCompress);
     let chunks: Vec<&[u8]> = payload.chunks(chunk_size).collect();
     let encoded = parallel::run_indexed(chunks.len(), threads, |i| {
-        // Encode into the worker's persistent scratch arena, then copy the
-        // exact-size result out: the codec sees a reused allocation, the
-        // emitted bytes are identical to a fresh-`Vec` encode.
-        fpc_pool::with_scratch(|enc| {
-            enc.clear();
-            let picked = match codec {
-                Dispatch::Fixed(c) => {
-                    c.encode_chunk(chunks[i], enc);
-                    0
-                }
-                Dispatch::Adaptive(c) => c.encode_chunk(chunks[i], enc),
-            };
-            let (raw, picked, body) = if enc.len() >= chunks[i].len() {
-                // Worst-case cap: store the original bytes, flagged raw.
-                // Codec id 0 marks the pick as void; decode never
-                // dispatches on it because the raw flag short-circuits.
-                (true, 0u8, chunks[i].to_vec())
-            } else {
-                (false, picked, enc.to_vec())
-            };
-            let sum = if with_checksums {
-                frame_checksum(&body)
-            } else {
-                0
-            };
-            // Fault hook: deterministic bit-rot on the encoded body
-            // *after* its checksum, modeling storage/transport damage the
-            // v2 integrity layer must catch at decode. Index-keyed, so
-            // the thread schedule cannot change which chunks rot.
-            let body = match fpc_faults::chunk_damage(i as u64) {
-                Some((pos, mask)) if with_checksums && !body.is_empty() => {
-                    let mut body = body;
-                    let at = (pos % body.len() as u64) as usize;
-                    body[at] ^= mask;
-                    body
-                }
-                _ => body,
-            };
-            (picked, raw, body, sum)
-        })
+        encode_chunk_impl(chunks[i], codec, with_checksums)
     });
 
-    let mut out = Vec::with_capacity(payload.len() / 2 + 64);
-    header.write(&mut out);
-    let table_start = out.len();
-    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
-    for (_, raw, body, _) in &encoded {
-        if body.len() as u64 > SIZE_MASK as u64 {
+    let mut asm = FrameAssembler::new(adaptive, with_checksums);
+    for chunk in encoded {
+        asm.push(chunk)?;
+    }
+    let out = asm.finish(header)?;
+    t.finish(payload.len() as u64);
+    Ok(out)
+}
+
+/// One chunk's encoded form: everything the chunk table records about it
+/// plus the compressed body itself.
+///
+/// Produced by [`encode_chunk`]/[`encode_chunk_adaptive`], consumed by
+/// [`FrameAssembler::push`] — and cacheable in between: every codec is a
+/// pure function of the chunk bytes, so an `EncodedChunk` can be reused for
+/// any later byte-identical chunk without re-encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedChunk {
+    /// Codec id recorded in the chunk table (0 for fixed-codec streams and
+    /// raw chunks).
+    pub codec_id: u8,
+    /// Whether the original bytes are stored verbatim (no codec shrank
+    /// the chunk).
+    pub raw: bool,
+    /// XXH64 of `body` under the stream seed (0 when checksums are off).
+    pub checksum: u64,
+    /// The compressed (or raw) chunk bytes.
+    pub body: Vec<u8>,
+}
+
+fn encode_chunk_impl(chunk: &[u8], codec: &Dispatch<'_>, with_checksums: bool) -> EncodedChunk {
+    // Encode into the worker's persistent scratch arena, then copy the
+    // exact-size result out: the codec sees a reused allocation, the
+    // emitted bytes are identical to a fresh-`Vec` encode.
+    fpc_pool::with_scratch(|enc| {
+        enc.clear();
+        let picked = match codec {
+            Dispatch::Fixed(c) => {
+                c.encode_chunk(chunk, enc);
+                0
+            }
+            Dispatch::Adaptive(c) => c.encode_chunk(chunk, enc),
+        };
+        let (raw, picked, body) = if enc.len() >= chunk.len() {
+            // Worst-case cap: store the original bytes, flagged raw.
+            // Codec id 0 marks the pick as void; decode never
+            // dispatches on it because the raw flag short-circuits.
+            (true, 0u8, chunk.to_vec())
+        } else {
+            (false, picked, enc.to_vec())
+        };
+        let checksum = if with_checksums {
+            frame_checksum(&body)
+        } else {
+            0
+        };
+        EncodedChunk {
+            codec_id: picked,
+            raw,
+            checksum,
+            body,
+        }
+    })
+}
+
+/// Encodes one payload chunk with a fixed codec, applying the same raw
+/// fallback and checksum rules as [`compress`]. Pass `with_checksums =
+/// true` for v2 frames.
+pub fn encode_chunk(chunk: &[u8], codec: &dyn ChunkCodec, with_checksums: bool) -> EncodedChunk {
+    encode_chunk_impl(chunk, &Dispatch::Fixed(codec), with_checksums)
+}
+
+/// Encodes one payload chunk with an adaptive codec selector, as
+/// [`compress_adaptive`] does per chunk.
+pub fn encode_chunk_adaptive(
+    chunk: &[u8],
+    codec: &dyn AdaptiveChunkCodec,
+    with_checksums: bool,
+) -> EncodedChunk {
+    encode_chunk_impl(chunk, &Dispatch::Adaptive(codec), with_checksums)
+}
+
+/// Assembles [`EncodedChunk`]s into a complete container stream,
+/// byte-identical to [`compress`]/[`compress_adaptive`] over the same
+/// payload — it *is* the assembly stage of both, and the entry point for
+/// callers that produce chunks incrementally (streaming servers, caches).
+///
+/// The fault-injection chunk-damage hook is applied here, keyed by chunk
+/// index, so where a chunk's bytes came from (fresh encode, cache hit)
+/// cannot change which chunks rot.
+pub struct FrameAssembler {
+    adaptive: bool,
+    with_checksums: bool,
+    chunks: Vec<EncodedChunk>,
+    body_bytes: u64,
+}
+
+impl FrameAssembler {
+    /// Creates an assembler for a fixed (`adaptive == false`) or per-chunk
+    /// codec frame layout; `with_checksums` selects v2 vs v1 framing and
+    /// must match the header version later passed to
+    /// [`FrameAssembler::finish`].
+    pub fn new(adaptive: bool, with_checksums: bool) -> FrameAssembler {
+        FrameAssembler {
+            adaptive,
+            with_checksums,
+            chunks: Vec::new(),
+            body_bytes: 0,
+        }
+    }
+
+    /// Appends the next chunk (chunks are positional: push order is chunk
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the body exceeds the chunk table's 31-bit size field.
+    pub fn push(&mut self, chunk: EncodedChunk) -> Result<(), Error> {
+        if chunk.body.len() as u64 > SIZE_MASK as u64 {
             return Err(Error::LengthOverflow {
                 what: "chunk size field",
-                requested: body.len() as u64,
+                requested: chunk.body.len() as u64,
                 available: SIZE_MASK as u64,
             });
         }
-        let entry = body.len() as u32 | if *raw { RAW_FLAG } else { 0 };
-        out.extend_from_slice(&entry.to_le_bytes());
+        self.body_bytes += chunk.body.len() as u64;
+        self.chunks.push(chunk);
+        Ok(())
     }
-    if adaptive {
-        // The per-chunk codec ids live between the size entries and the
-        // chunk checksums, so the v2 table checksum covers them.
-        for (picked, _, _, _) in &encoded {
-            out.push(*picked);
+
+    /// Chunks pushed so far.
+    pub fn count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Compressed body bytes held so far (the assembler's memory
+    /// footprint, for callers that account held memory).
+    pub fn body_bytes(&self) -> u64 {
+        self.body_bytes
+    }
+
+    /// Writes the complete stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the header's version/chunking disagrees with the pushed
+    /// chunks (wrong count for `payload_len`, version mismatch with the
+    /// checksum mode chosen at construction).
+    pub fn finish(self, header: Header) -> Result<Vec<u8>, Error> {
+        if header.version != VERSION_1 && header.version != VERSION {
+            return Err(Error::UnsupportedVersion(header.version));
         }
-    }
-    if with_checksums {
-        for (_, _, _, sum) in &encoded {
-            out.extend_from_slice(&sum.to_le_bytes());
+        if (header.version >= VERSION) != self.with_checksums {
+            return Err(Error::InvalidHeader {
+                field: "version",
+                value: u64::from(header.version),
+            });
         }
-        let table_sum = frame_checksum(&out[table_start..]);
-        out.extend_from_slice(&table_sum.to_le_bytes());
-    }
-    for (_, _, body, _) in &encoded {
-        out.extend_from_slice(body);
-    }
-    fpc_metrics::incr(fpc_metrics::Counter::ContainerChunks, chunks.len() as u64);
-    fpc_metrics::incr(
-        fpc_metrics::Counter::ContainerRawChunks,
-        encoded.iter().filter(|(_, raw, _, _)| *raw).count() as u64,
-    );
-    if adaptive {
-        for (picked, raw, _, _) in &encoded {
-            let counter = if *raw {
-                Some(fpc_metrics::Counter::AutoPickRaw)
-            } else {
-                match *picked {
-                    header::ALGO_SP_SPEED => Some(fpc_metrics::Counter::AutoPickSpSpeed),
-                    header::ALGO_SP_RATIO => Some(fpc_metrics::Counter::AutoPickSpRatio),
-                    header::ALGO_DP_SPEED => Some(fpc_metrics::Counter::AutoPickDpSpeed),
-                    header::ALGO_DP_RATIO => Some(fpc_metrics::Counter::AutoPickDpRatio),
-                    _ => None, // custom codec namespaces have no counter
-                }
-            };
-            if let Some(counter) = counter {
-                fpc_metrics::incr(counter, 1);
+        if header.chunk_size == 0 {
+            return Err(Error::InvalidHeader {
+                field: "chunk_size",
+                value: 0,
+            });
+        }
+        let expected = (header.payload_len as usize).div_ceil(header.chunk_size as usize);
+        if self.chunks.len() != expected {
+            return Err(Error::Corrupt("chunk count does not match payload length"));
+        }
+        let with_checksums = self.with_checksums;
+        let adaptive = self.adaptive;
+        let encoded = self.chunks;
+
+        let mut out = Vec::with_capacity(self.body_bytes as usize + 16 * encoded.len() + 64);
+        header.write(&mut out);
+        let table_start = out.len();
+        out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        for chunk in &encoded {
+            let entry = chunk.body.len() as u32 | if chunk.raw { RAW_FLAG } else { 0 };
+            out.extend_from_slice(&entry.to_le_bytes());
+        }
+        if adaptive {
+            // The per-chunk codec ids live between the size entries and the
+            // chunk checksums, so the v2 table checksum covers them.
+            for chunk in &encoded {
+                out.push(chunk.codec_id);
             }
         }
+        if with_checksums {
+            for chunk in &encoded {
+                out.extend_from_slice(&chunk.checksum.to_le_bytes());
+            }
+            let table_sum = frame_checksum(&out[table_start..]);
+            out.extend_from_slice(&table_sum.to_le_bytes());
+        }
+        for (i, chunk) in encoded.iter().enumerate() {
+            // Fault hook: deterministic bit-rot on the encoded body *after*
+            // its checksum, modeling storage/transport damage the v2
+            // integrity layer must catch at decode. Index-keyed, so neither
+            // the thread schedule nor a cache hit can change which chunks
+            // rot.
+            match fpc_faults::chunk_damage(i as u64) {
+                Some((pos, mask)) if with_checksums && !chunk.body.is_empty() => {
+                    let at = (pos % chunk.body.len() as u64) as usize;
+                    let start = out.len();
+                    out.extend_from_slice(&chunk.body);
+                    out[start + at] ^= mask;
+                }
+                _ => out.extend_from_slice(&chunk.body),
+            }
+        }
+        fpc_metrics::incr(fpc_metrics::Counter::ContainerChunks, encoded.len() as u64);
+        fpc_metrics::incr(
+            fpc_metrics::Counter::ContainerRawChunks,
+            encoded.iter().filter(|c| c.raw).count() as u64,
+        );
+        if adaptive {
+            for chunk in &encoded {
+                let counter = if chunk.raw {
+                    Some(fpc_metrics::Counter::AutoPickRaw)
+                } else {
+                    match chunk.codec_id {
+                        header::ALGO_SP_SPEED => Some(fpc_metrics::Counter::AutoPickSpSpeed),
+                        header::ALGO_SP_RATIO => Some(fpc_metrics::Counter::AutoPickSpRatio),
+                        header::ALGO_DP_SPEED => Some(fpc_metrics::Counter::AutoPickDpSpeed),
+                        header::ALGO_DP_RATIO => Some(fpc_metrics::Counter::AutoPickDpRatio),
+                        _ => None, // custom codec namespaces have no counter
+                    }
+                };
+                if let Some(counter) = counter {
+                    fpc_metrics::incr(counter, 1);
+                }
+            }
+        }
+        Ok(out)
     }
-    t.finish(payload.len() as u64);
-    Ok(out)
 }
 
 /// Parsed and validated frame metadata: everything before the payloads.
@@ -563,6 +702,319 @@ fn decompress_impl(
     Ok((frame.header, payload))
 }
 
+/// One chunk popped from a [`StreamingDecoder`]: the compressed body plus
+/// everything the chunk table recorded about it. The stored checksum has
+/// already been verified against `body` (v2), so the bytes can be trusted
+/// as far as the integrity layer guarantees — including as a cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// Chunk index within the stream.
+    pub index: usize,
+    /// Codec id from the chunk table (0 for fixed-codec streams).
+    pub codec_id: u8,
+    /// Whether the chunk is stored raw.
+    pub raw: bool,
+    /// Original (decoded) chunk length.
+    pub expected_len: usize,
+    /// Stored checksum (0 for v1 streams).
+    pub checksum: u64,
+    /// Compressed (or raw) chunk bytes.
+    pub body: Vec<u8>,
+}
+
+/// Parsed stream metadata held by a [`StreamingDecoder`].
+struct StreamMeta {
+    header: Header,
+    entries: Vec<u32>,
+    codec_ids: Vec<u8>,
+    checksums: Vec<u64>,
+    /// Stream offsets of chunk bodies; `offsets[count]` is the total
+    /// stream length.
+    offsets: Vec<u64>,
+}
+
+/// Incremental container parser: feed stream bytes as they arrive, pop
+/// fully-received chunks one at a time.
+///
+/// This is [`parse_frame`] + per-chunk extraction restructured so the whole
+/// stream never has to be resident: consumed bytes are dropped as each
+/// chunk is popped, bounding memory to the chunk table plus one in-flight
+/// chunk plus whatever the caller feeds at a time. All of `parse_frame`'s
+/// structural validation still runs — header and table checksums as soon
+/// as the metadata region is complete, per-chunk checksums as each chunk
+/// is popped, and the exact-length invariant at [`StreamingDecoder::finish`].
+///
+/// The decoder is codec-agnostic: it yields verified compressed bodies
+/// ([`StreamChunk`]); pair it with [`decode_stream_chunk`] /
+/// [`decode_stream_chunk_adaptive`] to materialize payload bytes.
+pub struct StreamingDecoder {
+    buf: Vec<u8>,
+    /// Stream offset of `buf[0]` (bytes before it were consumed).
+    pos: u64,
+    meta: Option<StreamMeta>,
+    next: usize,
+}
+
+impl Default for StreamingDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> StreamingDecoder {
+        StreamingDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            meta: None,
+            next: 0,
+        }
+    }
+
+    /// Appends newly-arrived stream bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails as soon as the prefix received so far is provably not a valid
+    /// stream: bad magic/version/header fields or checksum, inconsistent
+    /// chunk table, or more bytes than the chunk table accounts for.
+    /// Needing more bytes is not an error.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), Error> {
+        self.buf.extend_from_slice(bytes);
+        if self.meta.is_none() {
+            self.try_parse_meta()?;
+        }
+        if let Some(meta) = &self.meta {
+            let total = *meta.offsets.last().expect("offsets has count+1 entries");
+            if self.pos + self.buf.len() as u64 > total {
+                return Err(Error::Corrupt("stream length disagrees with chunk table"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The stream header, once enough bytes have arrived to parse and
+    /// validate the metadata region.
+    pub fn header(&self) -> Option<&Header> {
+        self.meta.as_ref().map(|m| &m.header)
+    }
+
+    /// Bytes currently buffered (fed but not yet consumed by a pop).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total stream length implied by the chunk table, if known yet.
+    pub fn total_len(&self) -> Option<u64> {
+        self.meta.as_ref().map(|m| *m.offsets.last().unwrap())
+    }
+
+    fn try_parse_meta(&mut self) -> Result<(), Error> {
+        debug_assert_eq!(self.pos, 0, "meta parses before any chunk is consumed");
+        let data = &self.buf[..];
+        let mut pos = 0usize;
+        // A short buffer is "wait for more", not corruption: truncation
+        // only becomes an error at finish().
+        let header = match Header::read(data, &mut pos) {
+            Ok(h) => h,
+            Err(Error::UnexpectedEof) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let chunk_size = header.chunk_size as usize;
+        let payload_len =
+            usize::try_from(header.payload_len).map_err(|_| Error::LengthOverflow {
+                what: "payload length",
+                requested: header.payload_len,
+                available: usize::MAX as u64,
+            })?;
+        let count = match read_u32(data, &mut pos) {
+            Ok(c) => c as usize,
+            Err(Error::UnexpectedEof) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if count != payload_len.div_ceil(chunk_size) {
+            return Err(Error::Corrupt("chunk count does not match payload length"));
+        }
+        let with_checksums = header.version >= VERSION;
+        let with_codecs = header.flags & FLAG_CHUNK_CODECS != 0;
+        let per_chunk = 4 + u64::from(with_codecs) + if with_checksums { 8 } else { 0 };
+        let meta_bytes = (count as u64) * per_chunk + if with_checksums { 8 } else { 0 };
+        if ((data.len() - pos) as u64) < meta_bytes {
+            return Ok(()); // table not fully here yet
+        }
+
+        let table_start = pos - 4; // include the count field in the table frame
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(read_u32(data, &mut pos)?);
+        }
+        let mut codec_ids = Vec::new();
+        if with_codecs {
+            let ids = data.get(pos..pos + count).ok_or(Error::UnexpectedEof)?;
+            codec_ids.extend_from_slice(ids);
+            pos += count;
+        }
+        let mut checksums = Vec::new();
+        if with_checksums {
+            checksums.reserve_exact(count);
+            for _ in 0..count {
+                checksums.push(read_u64(data, &mut pos)?);
+            }
+            let stored = read_u64(data, &mut pos)?;
+            if stored != frame_checksum(&data[table_start..pos - 8]) {
+                return Err(Error::ChecksumMismatch {
+                    chunk: None,
+                    offset: table_start as u64,
+                });
+            }
+        }
+
+        let mut offsets = Vec::with_capacity(count + 1);
+        let mut offset = pos as u64;
+        for &e in &entries {
+            offsets.push(offset);
+            offset = offset
+                .checked_add(u64::from(e & SIZE_MASK))
+                .ok_or(Error::Corrupt("chunk table overflow"))?;
+        }
+        offsets.push(offset);
+
+        // The metadata region is fully parsed; drop it from the buffer so
+        // only body bytes remain resident.
+        self.buf.drain(..pos);
+        self.pos = pos as u64;
+        self.meta = Some(StreamMeta {
+            header,
+            entries,
+            codec_ids,
+            checksums,
+            offsets,
+        });
+        Ok(())
+    }
+
+    /// Pops the next chunk if all of its bytes have arrived, verifying its
+    /// stored checksum (v2) and the raw-length invariant. Consumed bytes
+    /// are released from the internal buffer.
+    ///
+    /// Returns `Ok(None)` when the next chunk is incomplete (or the
+    /// metadata region is), and after the last chunk has been popped.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a per-chunk checksum mismatch or raw-length violation.
+    pub fn next_chunk(&mut self) -> Result<Option<StreamChunk>, Error> {
+        let Some(meta) = &self.meta else {
+            return Ok(None);
+        };
+        let count = meta.entries.len();
+        if self.next >= count {
+            return Ok(None);
+        }
+        let i = self.next;
+        let start = meta.offsets[i];
+        let end = meta.offsets[i + 1];
+        if end > self.pos + self.buf.len() as u64 {
+            return Ok(None); // body not fully here yet
+        }
+        debug_assert_eq!(start, self.pos, "chunks pop in order");
+        let body: Vec<u8> = self.buf.drain(..(end - start) as usize).collect();
+        self.pos = end;
+        self.next = i + 1;
+
+        let meta = self.meta.as_ref().unwrap();
+        if !meta.checksums.is_empty() && frame_checksum(&body) != meta.checksums[i] {
+            return Err(Error::ChecksumMismatch {
+                chunk: Some(i as u32),
+                offset: start,
+            });
+        }
+        let chunk_size = meta.header.chunk_size as usize;
+        let payload_len = meta.header.payload_len as usize;
+        let expected_len = if i + 1 == count {
+            payload_len - (count - 1) * chunk_size
+        } else {
+            chunk_size
+        };
+        let raw = meta.entries[i] & RAW_FLAG != 0;
+        if raw && body.len() != expected_len {
+            return Err(Error::Corrupt("raw chunk length mismatch"));
+        }
+        Ok(Some(StreamChunk {
+            index: i,
+            codec_id: meta.codec_ids.get(i).copied().unwrap_or(0),
+            raw,
+            expected_len,
+            checksum: meta.checksums.get(i).copied().unwrap_or(0),
+            body,
+        }))
+    }
+
+    /// Validates stream completion: the metadata region parsed, every
+    /// chunk was popped, and not a byte is missing or left over.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnexpectedEof`] for truncation (including a stream so
+    /// short its metadata never parsed).
+    pub fn finish(&self) -> Result<(), Error> {
+        let Some(meta) = &self.meta else {
+            return Err(Error::UnexpectedEof);
+        };
+        if self.next < meta.entries.len() || !self.buf.is_empty() {
+            return Err(Error::UnexpectedEof);
+        }
+        Ok(())
+    }
+}
+
+fn decode_stream_chunk_impl(chunk: &StreamChunk, codec: &Dispatch<'_>) -> Result<Vec<u8>, Error> {
+    if chunk.raw {
+        return Ok(chunk.body.clone());
+    }
+    let mut out = Vec::with_capacity(chunk.expected_len.min(MAX_CHUNK_SIZE));
+    match codec {
+        Dispatch::Fixed(c) => c.decode_chunk(&chunk.body, chunk.expected_len, &mut out)?,
+        Dispatch::Adaptive(c) => {
+            if !c.knows_codec(chunk.codec_id) {
+                return Err(Error::UnknownChunkCodec {
+                    chunk: chunk.index as u32,
+                    codec: chunk.codec_id,
+                });
+            }
+            c.decode_chunk(chunk.codec_id, &chunk.body, chunk.expected_len, &mut out)?;
+        }
+    }
+    if out.len() != chunk.expected_len {
+        return Err(Error::Corrupt("decoded chunk length mismatch"));
+    }
+    Ok(out)
+}
+
+/// Decodes a [`StreamChunk`] from a fixed-codec stream, enforcing the
+/// expected length exactly as whole-stream [`decompress`] does per chunk.
+///
+/// # Errors
+///
+/// As [`decompress`]'s per-chunk failures.
+pub fn decode_stream_chunk(chunk: &StreamChunk, codec: &dyn ChunkCodec) -> Result<Vec<u8>, Error> {
+    decode_stream_chunk_impl(chunk, &Dispatch::Fixed(codec))
+}
+
+/// Decodes a [`StreamChunk`] from a per-chunk codec stream
+/// ([`FLAG_CHUNK_CODECS`]), dispatching on the recorded codec id.
+///
+/// # Errors
+///
+/// As [`decompress_adaptive`]'s per-chunk failures.
+pub fn decode_stream_chunk_adaptive(
+    chunk: &StreamChunk,
+    codec: &dyn AdaptiveChunkCodec,
+) -> Result<Vec<u8>, Error> {
+    decode_stream_chunk_impl(chunk, &Dispatch::Adaptive(codec))
+}
+
 /// Per-chunk damage record produced by [`verify`] and
 /// [`decompress_tolerant`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -757,6 +1209,31 @@ impl<'a> Region<'a> {
     /// streams, which carry no codec table.
     pub fn chunk_codec_ids(&self) -> &[u8] {
         &self.frame.codec_ids
+    }
+
+    /// Whether chunk `index` is stored raw (uncompressed). A raw chunk's
+    /// stored bytes *are* its decoded bytes, so content-addressed cache
+    /// layers skip raw chunks — caching them would only duplicate the
+    /// stream's own bytes. Out-of-range indices report `false`.
+    pub fn chunk_raw(&self, index: usize) -> bool {
+        index < self.frame.count && self.frame.entries[index] & RAW_FLAG != 0
+    }
+
+    /// The stored (compressed, or raw) bytes of chunk `index`, after
+    /// verifying its checksum (v2) and, for raw chunks, the stored-length
+    /// invariant — the same verification [`Region::decode_chunk`] performs
+    /// before decoding, which makes the returned slice safe to use as a
+    /// content address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range index or a checksum/length mismatch.
+    pub fn chunk_body(&self, index: usize) -> Result<&[u8], Error> {
+        if index >= self.frame.count {
+            return Err(Error::Corrupt("chunk index out of range"));
+        }
+        self.frame.check_chunk(index)?;
+        Ok(self.frame.body(index))
     }
 
     /// Decodes chunk `index` into a fresh buffer, verifying its checksum
@@ -1820,5 +2297,146 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map(100, 4, |i| i * i);
         assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunkwise_assembly_is_byte_identical_to_compress() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 3 + 41)
+            .map(|i| (i % 13) as u8)
+            .collect();
+        for (version, with_checksums) in [(VERSION, true), (VERSION_1, false)] {
+            let mut header = header_for(&payload);
+            header.version = version;
+            let whole = compress(header, &payload, &Rle, 2).unwrap();
+            let mut asm = FrameAssembler::new(false, with_checksums);
+            for chunk in payload.chunks(header.chunk_size as usize) {
+                asm.push(encode_chunk(chunk, &Rle, with_checksums)).unwrap();
+            }
+            assert_eq!(asm.finish(header).unwrap(), whole, "version {version}");
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_count_and_version_mismatch() {
+        let payload = vec![3u8; DEFAULT_CHUNK_SIZE * 2];
+        let header = header_for(&payload);
+        // One chunk short of what payload_len promises.
+        let mut asm = FrameAssembler::new(false, true);
+        asm.push(encode_chunk(&payload[..DEFAULT_CHUNK_SIZE], &Rle, true))
+            .unwrap();
+        assert!(matches!(asm.finish(header), Err(Error::Corrupt(_))));
+        // Checksum mode disagrees with the header version.
+        let mut asm = FrameAssembler::new(false, false);
+        for chunk in payload.chunks(DEFAULT_CHUNK_SIZE) {
+            asm.push(encode_chunk(chunk, &Rle, false)).unwrap();
+        }
+        assert!(matches!(
+            asm.finish(header),
+            Err(Error::InvalidHeader {
+                field: "version",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn streaming_decoder_matches_whole_stream_decode() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 5 + 999)
+            .map(|i| (i % 17) as u8)
+            .collect();
+        let stream = compress(header_for(&payload), &payload, &Rle, 2).unwrap();
+        // Feed in awkward slice sizes; memory stays bounded by table + one
+        // chunk + one feed, never the whole stream.
+        for step in [1usize << 9, 7919, stream.len()] {
+            let mut dec = StreamingDecoder::new();
+            let mut out = Vec::new();
+            for piece in stream.chunks(step) {
+                dec.feed(piece).unwrap();
+                while let Some(chunk) = dec.next_chunk().unwrap() {
+                    out.extend_from_slice(&decode_stream_chunk(&chunk, &Rle).unwrap());
+                }
+                assert!(
+                    dec.buffered_bytes() <= DEFAULT_CHUNK_SIZE + 1 + step + 8,
+                    "decoder buffered {} bytes at step {step}",
+                    dec.buffered_bytes()
+                );
+            }
+            dec.finish().unwrap();
+            assert_eq!(out, payload);
+            assert_eq!(dec.header().unwrap().payload_len, payload.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_decoder_handles_v1_and_empty_streams() {
+        let payload = vec![9u8; DEFAULT_CHUNK_SIZE + 5];
+        let stream = compress(v1_header_for(&payload), &payload, &Rle, 1).unwrap();
+        let mut dec = StreamingDecoder::new();
+        dec.feed(&stream).unwrap();
+        let mut out = Vec::new();
+        while let Some(chunk) = dec.next_chunk().unwrap() {
+            out.extend_from_slice(&decode_stream_chunk(&chunk, &Rle).unwrap());
+        }
+        dec.finish().unwrap();
+        assert_eq!(out, payload);
+
+        let empty = compress(header_for(&[]), &[], &Identity, 1).unwrap();
+        let mut dec = StreamingDecoder::new();
+        dec.feed(&empty).unwrap();
+        assert!(dec.next_chunk().unwrap().is_none());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn streaming_decoder_rejects_truncation_and_trailing_bytes() {
+        let payload = vec![1u8; DEFAULT_CHUNK_SIZE * 2];
+        let stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+        // Truncated: feed accepts the prefix, finish flags the EOF.
+        let mut dec = StreamingDecoder::new();
+        dec.feed(&stream[..stream.len() - 3]).unwrap();
+        while dec.next_chunk().unwrap().is_some() {}
+        assert_eq!(dec.finish(), Err(Error::UnexpectedEof));
+        // Trailing garbage is rejected at feed time.
+        let mut dec = StreamingDecoder::new();
+        let mut long = stream.clone();
+        long.push(0);
+        assert!(matches!(dec.feed(&long), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn streaming_decoder_detects_body_corruption() {
+        let payload: Vec<u8> = (0..DEFAULT_CHUNK_SIZE * 2).map(|i| (i % 5) as u8).collect();
+        let mut stream = compress(header_for(&payload), &payload, &Rle, 1).unwrap();
+        let n = stream.len();
+        stream[n - 1] ^= 0x40; // inside the last chunk's body
+        let mut dec = StreamingDecoder::new();
+        dec.feed(&stream).unwrap();
+        assert!(dec.next_chunk().unwrap().is_some()); // chunk 0 intact
+        assert!(matches!(
+            dec.next_chunk(),
+            Err(Error::ChecksumMismatch { chunk: Some(1), .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_decoder_adaptive_stream_roundtrips() {
+        let mut payload = vec![0u8; DEFAULT_CHUNK_SIZE * 2];
+        for (i, b) in payload.iter_mut().enumerate() {
+            *b = if i < DEFAULT_CHUNK_SIZE {
+                7
+            } else {
+                (i % 256) as u8
+            };
+        }
+        let stream = compress_adaptive(header_for(&payload), &payload, &PickyAuto, 1).unwrap();
+        let mut dec = StreamingDecoder::new();
+        dec.feed(&stream).unwrap();
+        assert!(dec.header().unwrap().flags & FLAG_CHUNK_CODECS != 0);
+        let mut out = Vec::new();
+        while let Some(chunk) = dec.next_chunk().unwrap() {
+            out.extend_from_slice(&decode_stream_chunk_adaptive(&chunk, &PickyAuto).unwrap());
+        }
+        dec.finish().unwrap();
+        assert_eq!(out, payload);
     }
 }

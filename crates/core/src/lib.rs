@@ -36,12 +36,14 @@ mod error;
 mod options;
 mod pipeline;
 pub mod stream;
+pub mod streaming;
 
 pub use analysis::{analyze_bytes, Anatomy};
 pub use auto::{AutoCodec, DpRatioLocalCodec};
 pub use error::Error;
 pub use options::PipelineOptions;
 pub use pipeline::{DpRatioChunkCodec, DpSpeedCodec, SpRatioCodec, SpSpeedCodec};
+pub use streaming::{StreamingCompressor, StreamingDecompressor};
 
 use fpc_container::{
     Header, ALGO_AUTO, ALGO_DP_RATIO, ALGO_DP_SPEED, ALGO_SP_RATIO, ALGO_SP_SPEED,
@@ -522,6 +524,112 @@ pub fn decompress_range_with(
         len,
         threads,
     )?)
+}
+
+/// [`decompress_range_with`] backed by a content-addressed hot-chunk
+/// cache: each touched chunk is looked up by its (checksum-verified)
+/// stored bytes before decoding, and decoded results are inserted for the
+/// next request. Keys are identical to the ones
+/// [`StreamingDecompressor::with_cache`] uses, so a range request hits
+/// entries a streamed decompress of the same stream warmed, and vice
+/// versa. Returned bytes are always identical to the uncached path.
+///
+/// Raw-stored chunks bypass the cache (their stored bytes are the decoded
+/// bytes), and DPratio streams fall back to the uncached full-decode path
+/// (the global FCM stage leaves nothing per-chunk to cache).
+///
+/// # Errors
+///
+/// As [`decompress_range_with`].
+pub fn decompress_range_cached_with(
+    stream: &[u8],
+    offset: u64,
+    len: u64,
+    threads: usize,
+    cache: &std::sync::Arc<fpc_cache::ChunkCache>,
+) -> Result<Vec<u8>> {
+    use std::sync::Arc;
+
+    let header = fpc_container::read_header(stream)?;
+    let algorithm = Algorithm::from_id(header.algorithm)?;
+    let out_of_bounds = Error::RangeOutOfBounds {
+        offset,
+        len,
+        available: header.original_len,
+    };
+    let end = offset.checked_add(len).ok_or(out_of_bounds.clone())?;
+    if end > header.original_len {
+        return Err(out_of_bounds);
+    }
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    // DPratio chunks are interdependent (global FCM): the uncached path
+    // already does a full decode + slice, and there is no per-chunk result
+    // worth caching.
+    if algorithm == Algorithm::DpRatio {
+        return decompress_range_with(stream, offset, len, threads);
+    }
+    let fixed: Option<Box<dyn fpc_container::ChunkCodec + Send + Sync>> = match algorithm {
+        Algorithm::SpSpeed => Some(Box::new(SpSpeedCodec { fallback: true })),
+        Algorithm::SpRatio => Some(Box::new(SpRatioCodec)),
+        Algorithm::DpSpeed => Some(Box::new(DpSpeedCodec { fallback: true })),
+        Algorithm::Auto => None,
+        Algorithm::DpRatio => unreachable!("handled above"),
+    };
+    let auto = AutoCodec::default();
+    let region = fpc_container::Region::parse(stream)?;
+    let chunk_size = u64::from(region.header().chunk_size);
+    let first = (offset / chunk_size) as usize;
+    let last = ((end - 1) / chunk_size) as usize;
+    let touched = last - first + 1;
+    fpc_metrics::incr(fpc_metrics::Counter::ContainerRangeRequests, 1);
+    fpc_metrics::incr(
+        fpc_metrics::Counter::ContainerRangeChunksTotal,
+        region.chunks() as u64,
+    );
+    let decode_plain = |index: usize| -> Result<Vec<u8>> {
+        Ok(match &fixed {
+            Some(codec) => region.decode_chunk(index, codec.as_ref())?,
+            None => region.decode_chunk_adaptive(index, &auto)?,
+        })
+    };
+    let decoded = fpc_container::parallel_map(touched, threads, |i| -> Result<Vec<u8>> {
+        let index = first + i;
+        // Raw chunks bypass the cache; decode_chunk just copies them out.
+        if region.chunk_raw(index) {
+            return decode_plain(index);
+        }
+        // chunk_body verifies the stored checksum, so the bytes are safe
+        // to address by. Fixed-codec streams have no codec table and key
+        // with id 0, exactly like the streaming decoder's chunks.
+        let body = region.chunk_body(index)?;
+        let codec_id = region.chunk_codec_ids().get(index).copied().unwrap_or(0);
+        let context =
+            streaming::decode_chunk_context(algorithm, codec_id, false, region.chunk_len(index));
+        let key = fpc_cache::CacheKey::new(body, context);
+        if let Some(hit) = cache.get(&key) {
+            return Ok(hit.to_vec());
+        }
+        let out = decode_plain(index)?;
+        cache.insert(key, Arc::from(&out[..]));
+        Ok(out)
+    });
+    let mut buf = Vec::with_capacity((touched as u64 * chunk_size) as usize);
+    for chunk in decoded {
+        buf.extend_from_slice(&chunk?);
+    }
+    fpc_metrics::incr(
+        fpc_metrics::Counter::ContainerRangeChunksTouched,
+        touched as u64,
+    );
+    fpc_metrics::incr(
+        fpc_metrics::Counter::ContainerRangeBytesDecoded,
+        buf.len() as u64,
+    );
+    fpc_metrics::incr(fpc_metrics::Counter::ContainerRangeBytesReturned, len);
+    let skip = (offset - first as u64 * chunk_size) as usize;
+    Ok(buf[skip..skip + len as usize].to_vec())
 }
 
 /// Summary of a compressed stream (for tooling and reports).

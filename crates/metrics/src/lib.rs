@@ -279,11 +279,24 @@ pub enum Counter {
     AutoPickDpRatio,
     /// AUTO chunks stored raw (no candidate shrank the chunk).
     AutoPickRaw,
+    /// Hot-chunk cache lookups that found an entry.
+    CacheHits,
+    /// Hot-chunk cache lookups that found nothing.
+    CacheMisses,
+    /// Values stored in the hot-chunk cache.
+    CacheInsertions,
+    /// Entries evicted from the hot-chunk cache to make room.
+    CacheEvictions,
+    /// Bytes stored in the hot-chunk cache (monotonic; resident bytes are
+    /// `cache.bytes.inserted - cache.bytes.evicted`).
+    CacheBytesInserted,
+    /// Bytes evicted from the hot-chunk cache (monotonic).
+    CacheBytesEvicted,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 38;
+    pub const COUNT: usize = 44;
 
     /// Every counter, in report order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -325,6 +338,12 @@ impl Counter {
         Counter::AutoPickDpSpeed,
         Counter::AutoPickDpRatio,
         Counter::AutoPickRaw,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheInsertions,
+        Counter::CacheEvictions,
+        Counter::CacheBytesInserted,
+        Counter::CacheBytesEvicted,
     ];
 
     /// Stable report name.
@@ -368,6 +387,12 @@ impl Counter {
             Counter::AutoPickDpSpeed => "container.auto.pick.dpspeed",
             Counter::AutoPickDpRatio => "container.auto.pick.dpratio",
             Counter::AutoPickRaw => "container.auto.pick.raw",
+            Counter::CacheHits => "cache.hits",
+            Counter::CacheMisses => "cache.misses",
+            Counter::CacheInsertions => "cache.insertions",
+            Counter::CacheEvictions => "cache.evictions",
+            Counter::CacheBytesInserted => "cache.bytes.inserted",
+            Counter::CacheBytesEvicted => "cache.bytes.evicted",
         }
     }
 

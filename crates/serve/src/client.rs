@@ -3,7 +3,7 @@
 
 use crate::wire::{
     read_frame, send_request, FrameKind, Op, RangeRequest, RecvError, RemoteVerify, WireError,
-    ALGO_NONE, DEFAULT_MAX_FRAME,
+    ALGO_NONE, DATA_CHUNK, DEFAULT_MAX_FRAME,
 };
 use fpc_core::Algorithm;
 use fpc_faults::io::FaultStream;
@@ -186,6 +186,14 @@ impl Client {
         self.request_with_id(op, algo, id, payload)
     }
 
+    /// Payload size above which the request is written from a scoped
+    /// helper thread while this thread reads the reply. The server
+    /// streams decompress responses while the request is still arriving;
+    /// a client that finishes its whole send before reading could
+    /// deadlock with it once both socket buffers fill. Small payloads
+    /// fit in the socket buffers and need no concurrency.
+    const CONCURRENT_SEND_BYTES: usize = DATA_CHUNK;
+
     /// Sends one request under a caller-chosen request id and reads the
     /// complete reply. All four ops are pure functions of their operand,
     /// so the id doubles as an idempotency key: re-issuing the same
@@ -203,40 +211,80 @@ impl Client {
         id: u64,
         payload: &[u8],
     ) -> Result<Vec<u8>, ClientError> {
-        send_request(&mut self.writer, op, algo, id, payload)?;
-        let (header, body) = read_frame(&mut self.reader, self.max_frame)?;
-        match header.kind {
-            FrameKind::Error => Err(ClientError::Remote(WireError::decode(&body))),
-            FrameKind::Response => {
-                if header.request_id != id {
-                    return Err(ClientError::Protocol(format!(
-                        "response for request {} while awaiting {id}",
-                        header.request_id
-                    )));
-                }
-                self.recv_body()
-            }
-            other => Err(ClientError::Protocol(format!(
-                "expected response/error, got kind {}",
-                other as u8
-            ))),
+        if payload.len() <= Self::CONCURRENT_SEND_BYTES {
+            send_request(&mut self.writer, op, algo, id, payload)?;
+            return recv_reply(&mut self.reader, self.max_frame, id);
         }
+        let Client {
+            reader,
+            writer,
+            max_frame,
+            ..
+        } = self;
+        let max_frame = *max_frame;
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(move || send_request(writer, op, algo, id, payload));
+            let reply = recv_reply(reader, max_frame, id);
+            let sent = sender
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("send thread panicked")));
+            match (reply, sent) {
+                (Ok(body), Ok(())) => Ok(body),
+                // A terminal error frame can arrive while the send side is
+                // failing (server stopped reading); the structured reply
+                // explains more than the broken pipe does.
+                (Err(e), _) => Err(e),
+                (Ok(_), Err(e)) => Err(ClientError::Io(e)),
+            }
+        })
     }
+}
 
-    /// Accumulates `Data`* + `End` after a `Response` header.
-    fn recv_body(&mut self) -> Result<Vec<u8>, ClientError> {
-        let mut out = Vec::new();
-        loop {
-            let (header, chunk) = read_frame(&mut self.reader, self.max_frame)?;
-            match header.kind {
-                FrameKind::Data => out.extend_from_slice(&chunk),
-                FrameKind::End => return Ok(out),
-                other => {
-                    return Err(ClientError::Protocol(format!(
-                        "expected data/end, got kind {}",
-                        other as u8
-                    )))
-                }
+/// Reads a complete reply: `Response` + `Data`* + `End`, or a terminal
+/// `Error` frame.
+fn recv_reply(
+    reader: &mut BufReader<FaultStream<TcpStream>>,
+    max_frame: u32,
+    id: u64,
+) -> Result<Vec<u8>, ClientError> {
+    let (header, body) = read_frame(reader, max_frame)?;
+    match header.kind {
+        FrameKind::Error => Err(ClientError::Remote(WireError::decode(&body))),
+        FrameKind::Response => {
+            if header.request_id != id {
+                return Err(ClientError::Protocol(format!(
+                    "response for request {} while awaiting {id}",
+                    header.request_id
+                )));
+            }
+            recv_body(reader, max_frame)
+        }
+        other => Err(ClientError::Protocol(format!(
+            "expected response/error, got kind {}",
+            other as u8
+        ))),
+    }
+}
+
+/// Accumulates `Data`* + `End` after a `Response` header. An `Error`
+/// frame in place of `End` is how a streaming server reports a failure
+/// discovered after response data already went out; it is terminal.
+fn recv_body(
+    reader: &mut BufReader<FaultStream<TcpStream>>,
+    max_frame: u32,
+) -> Result<Vec<u8>, ClientError> {
+    let mut out = Vec::new();
+    loop {
+        let (header, chunk) = read_frame(reader, max_frame)?;
+        match header.kind {
+            FrameKind::Data => out.extend_from_slice(&chunk),
+            FrameKind::End => return Ok(out),
+            FrameKind::Error => return Err(ClientError::Remote(WireError::decode(&chunk))),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected data/end, got kind {}",
+                    other as u8
+                )))
             }
         }
     }

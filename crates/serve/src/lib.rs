@@ -45,6 +45,7 @@
 pub mod client;
 pub mod retry;
 pub mod server;
+mod stream;
 pub mod wire;
 
 pub use client::{Client, ClientError};

@@ -46,10 +46,12 @@
 //! worker finish its in-flight request, closes queued-but-unserved
 //! sockets, and joins all workers before [`Server::run`] returns.
 
+use crate::stream::{serve_streaming, Served};
 use crate::wire::{
     read_frame, send_error, send_response, ErrorCode, FrameKind, Op, RangeRequest, RecvError,
     RemoteVerify, WireError, DEFAULT_MAX_FRAME,
 };
+use fpc_cache::ChunkCache;
 use fpc_core::{Algorithm, Compressor};
 use fpc_faults::io::FaultStream;
 use std::collections::VecDeque;
@@ -95,6 +97,10 @@ pub struct ServeConfig {
     /// with `Busy` *before* the hard `max_inflight` cap. 0 selects
     /// `max_inflight - max_inflight / 4`.
     pub shed_inflight: u64,
+    /// Byte budget for the content-addressed hot-chunk cache shared by
+    /// every connection: repeated chunks skip the codec on both the
+    /// compress and decompress paths. 0 disables caching.
+    pub cache_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
             idle_timeout: Some(Duration::from_secs(60)),
             progress_deadline: Some(Duration::from_secs(30)),
             shed_inflight: 0,
+            cache_bytes: 0,
         }
     }
 }
@@ -155,6 +162,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
+    cache: Option<Arc<ChunkCache>>,
 }
 
 /// State shared between the acceptor and the connection workers.
@@ -165,6 +173,8 @@ struct Shared {
     config: ServeConfig,
     /// Request payload bytes currently buffered across all connections.
     inflight: AtomicU64,
+    /// Hot-chunk cache shared by all connections (`None` = disabled).
+    cache: Option<Arc<ChunkCache>>,
     /// Per-worker handle to the socket it is currently serving, so
     /// shutdown can interrupt blocked reads instead of waiting out the
     /// socket timeout.
@@ -185,10 +195,12 @@ impl Server {
     /// Propagates socket errors (address in use, permission, resolution).
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let cache = (config.cache_bytes > 0).then(|| Arc::new(ChunkCache::new(config.cache_bytes)));
         Ok(Server {
             listener,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            cache,
         })
     }
 
@@ -205,6 +217,13 @@ impl Server {
     /// bridge) to stop the acceptor and drain the workers.
     pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shutdown)
+    }
+
+    /// A handle to the hot-chunk cache, when [`ServeConfig::cache_bytes`]
+    /// enabled one — lets embedders read live [`fpc_cache::CacheStats`]
+    /// (hit rate, residency) while the server runs.
+    pub fn cache(&self) -> Option<Arc<ChunkCache>> {
+        self.cache.clone()
     }
 
     /// Serves until the shutdown flag is set; returns after every worker
@@ -224,6 +243,7 @@ impl Server {
             shutdown: Arc::clone(&self.shutdown),
             config: self.config,
             inflight: AtomicU64::new(0),
+            cache: self.cache,
             active: (0..workers).map(|_| Mutex::new(None)).collect(),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -338,7 +358,7 @@ fn worker_loop(shared: &Arc<Shared>, id: usize) {
 /// Releases its reservation against the global inflight-bytes cap on drop,
 /// so every exit path (response, error, panic-free early return) settles
 /// the account.
-struct InflightGuard<'a> {
+pub(crate) struct InflightGuard<'a> {
     inflight: &'a AtomicU64,
     reserved: u64,
 }
@@ -346,7 +366,7 @@ struct InflightGuard<'a> {
 impl InflightGuard<'_> {
     /// Tries to grow the reservation by `n` bytes; `false` when the global
     /// cap would be exceeded (the caller sheds with `Busy`).
-    fn try_grow(&mut self, n: u64, cap: u64) -> bool {
+    pub(crate) fn try_grow(&mut self, n: u64, cap: u64) -> bool {
         let prev = self.inflight.fetch_add(n, Ordering::Relaxed);
         if prev.saturating_add(n) > cap {
             self.inflight.fetch_sub(n, Ordering::Relaxed);
@@ -354,6 +374,28 @@ impl InflightGuard<'_> {
         }
         self.reserved += n;
         true
+    }
+
+    /// Bytes this connection currently has reserved.
+    pub(crate) fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Bytes reserved across all connections right now.
+    pub(crate) fn current(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Lowers the reservation to `target` (no-op if already at or below),
+    /// returning the bytes to the global budget immediately. The streaming
+    /// path uses this to track an engine whose footprint shrinks as output
+    /// is drained.
+    pub(crate) fn shrink_to(&mut self, target: u64) {
+        if target < self.reserved {
+            self.inflight
+                .fetch_sub(self.reserved - target, Ordering::Relaxed);
+            self.reserved = target;
+        }
     }
 }
 
@@ -448,6 +490,26 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             inner: &mut reader,
             deadline,
         };
+        // Compress/decompress stream chunk by chunk through the engines;
+        // the other ops need their whole (small) operand buffered.
+        if matches!(Op::from_u8(header.op), Some(Op::Compress | Op::Decompress)) {
+            match serve_streaming(
+                &mut bounded,
+                &mut writer,
+                &header,
+                config,
+                &mut guard,
+                shared.cache.as_ref(),
+            )? {
+                Served::Continue => continue,
+                Served::Disconnect(e) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        fpc_metrics::incr(fpc_metrics::Counter::ServeReapedStalled, 1);
+                    }
+                    return disconnect(&mut writer, &e);
+                }
+            }
+        }
         let body = match recv_body(&mut bounded, config, &mut guard) {
             Ok(body) => body,
             Err(e) => {
@@ -462,7 +524,13 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             Body::Rejected(err) => Err(err),
             Body::Complete(payload) => {
                 fpc_metrics::incr(fpc_metrics::Counter::ServeBytesIn, payload.len() as u64);
-                dispatch(header.op, header.algo, payload, config.threads)
+                dispatch(
+                    header.op,
+                    header.algo,
+                    payload,
+                    config.threads,
+                    shared.cache.as_ref(),
+                )
             }
         };
         match reply {
@@ -570,8 +638,17 @@ fn recv_body(
     }
 }
 
-/// Runs one validated request through the codecs.
-fn dispatch(op: u8, algo: u8, payload: Vec<u8>, threads: usize) -> Result<Vec<u8>, WireError> {
+/// Runs one validated request through the codecs. `Range` requests go
+/// through the hot-chunk cache when one is configured, so repeated reads
+/// over the same stream (and streamed decompresses of it) share decoded
+/// chunks — a warm `fpcc remote range` never decodes a chunk twice.
+fn dispatch(
+    op: u8,
+    algo: u8,
+    payload: Vec<u8>,
+    threads: usize,
+    cache: Option<&Arc<ChunkCache>>,
+) -> Result<Vec<u8>, WireError> {
     let op = Op::from_u8(op)
         .ok_or_else(|| WireError::new(ErrorCode::UnknownOp, format!("unknown op byte {op}")))?;
     let bytes = payload.len() as u64;
@@ -608,13 +685,21 @@ fn dispatch(op: u8, algo: u8, payload: Vec<u8>, threads: usize) -> Result<Vec<u8
         },
         Op::Ping => Ok(payload),
         Op::Range => RangeRequest::decode(&payload).and_then(|(range, stream)| {
-            fpc_core::decompress_range_with(stream, range.offset, range.len, threads).map_err(|e| {
-                match e {
-                    fpc_core::Error::RangeOutOfBounds { .. } => {
-                        WireError::new(ErrorCode::RangeOutOfBounds, e.to_string())
-                    }
-                    e => WireError::new(ErrorCode::CorruptStream, e.to_string()),
+            match cache {
+                Some(cache) => fpc_core::decompress_range_cached_with(
+                    stream,
+                    range.offset,
+                    range.len,
+                    threads,
+                    cache,
+                ),
+                None => fpc_core::decompress_range_with(stream, range.offset, range.len, threads),
+            }
+            .map_err(|e| match e {
+                fpc_core::Error::RangeOutOfBounds { .. } => {
+                    WireError::new(ErrorCode::RangeOutOfBounds, e.to_string())
                 }
+                e => WireError::new(ErrorCode::CorruptStream, e.to_string()),
             })
         }),
     };
@@ -622,7 +707,7 @@ fn dispatch(op: u8, algo: u8, payload: Vec<u8>, threads: usize) -> Result<Vec<u8
     result
 }
 
-fn stage_for(op: Op) -> fpc_metrics::Stage {
+pub(crate) fn stage_for(op: Op) -> fpc_metrics::Stage {
     match op {
         Op::Compress => fpc_metrics::Stage::ServeCompress,
         Op::Decompress => fpc_metrics::Stage::ServeDecompress,
@@ -673,11 +758,18 @@ mod tests {
 
     #[test]
     fn dispatch_rejects_unknown_op_and_algo() {
-        let e = dispatch(99, 0, Vec::new(), 1).unwrap_err();
+        let e = dispatch(99, 0, Vec::new(), 1, None).unwrap_err();
         assert_eq!(e.code, ErrorCode::UnknownOp);
-        let e = dispatch(Op::Compress as u8, 0xAB, vec![0; 8], 1).unwrap_err();
+        let e = dispatch(Op::Compress as u8, 0xAB, vec![0; 8], 1, None).unwrap_err();
         assert_eq!(e.code, ErrorCode::UnknownAlgorithm);
-        let e = dispatch(Op::Decompress as u8, ALGO_NONE_BYTE, b"garbage".to_vec(), 1).unwrap_err();
+        let e = dispatch(
+            Op::Decompress as u8,
+            ALGO_NONE_BYTE,
+            b"garbage".to_vec(),
+            1,
+            None,
+        )
+        .unwrap_err();
         assert_eq!(e.code, ErrorCode::CorruptStream);
     }
 
@@ -685,7 +777,7 @@ mod tests {
 
     #[test]
     fn dispatch_ping_echoes() {
-        let out = dispatch(Op::Ping as u8, ALGO_NONE_BYTE, b"hello".to_vec(), 1).unwrap();
+        let out = dispatch(Op::Ping as u8, ALGO_NONE_BYTE, b"hello".to_vec(), 1, None).unwrap();
         assert_eq!(out, b"hello");
     }
 
@@ -699,21 +791,42 @@ mod tests {
             offset: 70_000,
             len: 5_000,
         };
-        let out = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(&stream), 1).unwrap();
+        let out = dispatch(
+            Op::Range as u8,
+            ALGO_NONE_BYTE,
+            req.encode(&stream),
+            1,
+            None,
+        )
+        .unwrap();
         assert_eq!(out, &data[70_000..75_000]);
         // Out-of-range requests map to the dedicated structured code.
         let req = RangeRequest {
             offset: data.len() as u64,
             len: 1,
         };
-        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(&stream), 1).unwrap_err();
+        let e = dispatch(
+            Op::Range as u8,
+            ALGO_NONE_BYTE,
+            req.encode(&stream),
+            1,
+            None,
+        )
+        .unwrap_err();
         assert_eq!(e.code, ErrorCode::RangeOutOfBounds);
         // A short payload (no full prefix) is a bad frame, and a damaged
         // stream after the prefix is a corrupt stream.
-        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, vec![0; 7], 1).unwrap_err();
+        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, vec![0; 7], 1, None).unwrap_err();
         assert_eq!(e.code, ErrorCode::BadFrame);
         let req = RangeRequest { offset: 0, len: 1 };
-        let e = dispatch(Op::Range as u8, ALGO_NONE_BYTE, req.encode(b"junk"), 1).unwrap_err();
+        let e = dispatch(
+            Op::Range as u8,
+            ALGO_NONE_BYTE,
+            req.encode(b"junk"),
+            1,
+            None,
+        )
+        .unwrap_err();
         assert_eq!(e.code, ErrorCode::CorruptStream);
     }
 }

@@ -1,0 +1,280 @@
+//! Streaming request handlers: compress/decompress a request chunk by
+//! chunk as its `Data` frames arrive, instead of buffering the whole
+//! payload first.
+//!
+//! Per-connection memory is bounded by what the engine actually *holds*
+//! ([`StreamingCompressor::held_bytes`] /
+//! [`StreamingDecompressor::held_bytes`]): at most one partial input
+//! chunk plus compressed bodies on the compress path, and the chunk
+//! table plus one in-flight chunk on the decompress path — so a
+//! decompress request far larger than the inflight watermark completes,
+//! where the old buffer-everything path would have shed it. DPratio is
+//! the documented exception (its global FCM stage buffers the payload;
+//! `held_bytes` reports that honestly and the watermark sheds oversized
+//! DPratio requests exactly as before).
+//!
+//! The [`InflightGuard`](crate::server) reservation is re-synced to the
+//! engine's held bytes after every frame, so the shed watermark and the
+//! hard inflight cap apply to memory the server actually uses — a
+//! streamed 1 GiB decompress accounts for kilobytes, not a gigabyte.
+//!
+//! Decompress responses start flowing while the request is still
+//! arriving: decoded chunks leave as `Data` frames after the `Response`
+//! frame, coalesced into [`DATA_CHUNK`]-sized frames (a fixed ≤ 1 MiB
+//! staging buffer, deliberately outside the inflight account) so a
+//! large response costs frames-per-megabyte, not frames-per-chunk. A
+//! failure after output went out (damaged chunk mid stream) is
+//! reported with an `Error` frame *in place of* `End`, which clients
+//! must treat as terminal. Compress responses necessarily wait for
+//! `End`: the container places its chunk table before the bodies, so
+//! the stream can only be assembled once the input length is known.
+
+use crate::server::{stage_for, InflightGuard, ServeConfig};
+use crate::wire::{
+    begin_response, end_message, read_frame, send_data, send_error, send_response, ErrorCode,
+    FrameHeader, FrameKind, Op, RecvError, WireError, DATA_CHUNK,
+};
+use fpc_cache::ChunkCache;
+use fpc_core::{Algorithm, StreamingCompressor, StreamingDecompressor};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// How a streamed request left the connection.
+pub(crate) enum Served {
+    /// A reply (response or structured error) was sent; the connection
+    /// continues to the next request.
+    Continue,
+    /// Receiving failed; the caller reports it and drops the connection.
+    Disconnect(RecvError),
+}
+
+enum Engine {
+    Compress(StreamingCompressor),
+    Decompress(StreamingDecompressor),
+}
+
+impl Engine {
+    fn feed(&mut self, bytes: &[u8]) -> Result<(), fpc_core::Error> {
+        match self {
+            Engine::Compress(e) => e.feed(bytes),
+            Engine::Decompress(e) => e.feed(bytes),
+        }
+    }
+
+    fn held_bytes(&self) -> u64 {
+        match self {
+            Engine::Compress(e) => e.held_bytes(),
+            Engine::Decompress(e) => e.held_bytes(),
+        }
+    }
+}
+
+/// Serves one `compress`/`decompress` request incrementally. The request
+/// frame is already consumed; this reads `Data`* + `End`, feeding the
+/// engine as frames arrive.
+pub(crate) fn serve_streaming(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    request: &FrameHeader,
+    config: &ServeConfig,
+    guard: &mut InflightGuard<'_>,
+    cache: Option<&Arc<ChunkCache>>,
+) -> io::Result<Served> {
+    let op = Op::from_u8(request.op).expect("router sends only compress/decompress here");
+    let id = request.request_id;
+    let timer = fpc_metrics::timer(stage_for(op));
+    let shed = config.effective_shed();
+
+    // Engine construction can already fail (unknown algorithm id): keep
+    // the rejection and drain the body so the reply still lands.
+    let mut rejection: Option<WireError> = None;
+    let mut engine = match op {
+        Op::Decompress => {
+            let mut e = StreamingDecompressor::new();
+            if let Some(cache) = cache {
+                e = e.with_cache(Arc::clone(cache));
+            }
+            Some(Engine::Decompress(e))
+        }
+        _ => match Algorithm::from_id(request.algo) {
+            Ok(algo) => {
+                let mut e = StreamingCompressor::new(algo, config.threads);
+                if let Some(cache) = cache {
+                    e = e.with_cache(Arc::clone(cache));
+                }
+                Some(Engine::Compress(e))
+            }
+            Err(_) => {
+                rejection = Some(WireError::new(
+                    ErrorCode::UnknownAlgorithm,
+                    format!("unknown algorithm id {}", request.algo),
+                ));
+                None
+            }
+        },
+    };
+
+    let mut total: u64 = 0;
+    let mut response_started = false;
+    // Decoded output staged here until a full DATA_CHUNK accumulates.
+    let mut outbuf: Vec<u8> = Vec::new();
+    loop {
+        let (header, chunk) = match read_frame(reader, config.max_frame) {
+            Ok(frame) => frame,
+            Err(e) => return Ok(Served::Disconnect(e)),
+        };
+        match header.kind {
+            FrameKind::Data => {
+                total += chunk.len() as u64;
+                if rejection.is_some() {
+                    continue; // draining: count but never buffer
+                }
+                if total > config.max_request {
+                    rejection = Some(WireError::new(
+                        ErrorCode::PayloadTooLarge,
+                        format!(
+                            "request payload exceeds the per-request cap of {} bytes",
+                            config.max_request
+                        ),
+                    ));
+                    release(&mut engine, guard);
+                    continue;
+                }
+                let eng = engine.as_mut().expect("no rejection implies an engine");
+                fpc_metrics::incr(fpc_metrics::Counter::ServeBytesIn, chunk.len() as u64);
+                if let Err(e) = eng.feed(&chunk) {
+                    rejection = Some(WireError::new(ErrorCode::CorruptStream, e.to_string()));
+                    release(&mut engine, guard);
+                    continue;
+                }
+                // Decoded output leaves the server the moment it exists,
+                // keeping held bytes at O(chunk).
+                if let Engine::Decompress(dec) = eng {
+                    response_started =
+                        drain_output(writer, dec, op, id, response_started, &mut outbuf)?;
+                }
+                // Re-sync the inflight reservation to what the engine
+                // actually holds now.
+                let held = eng.held_bytes();
+                if held > guard.reserved() {
+                    let delta = held - guard.reserved();
+                    if guard.current().saturating_add(delta) > shed {
+                        fpc_metrics::incr(fpc_metrics::Counter::ServeShedMemory, 1);
+                        rejection = Some(WireError::new(
+                            ErrorCode::Busy,
+                            "server under memory pressure; retry later",
+                        ));
+                        release(&mut engine, guard);
+                    } else if !guard.try_grow(delta, config.max_inflight) {
+                        rejection = Some(WireError::new(
+                            ErrorCode::Busy,
+                            "server inflight-bytes cap reached; retry later",
+                        ));
+                        release(&mut engine, guard);
+                    }
+                } else {
+                    guard.shrink_to(held);
+                }
+            }
+            FrameKind::End => break,
+            other => {
+                return Ok(Served::Disconnect(RecvError::Wire(WireError::new(
+                    ErrorCode::BadFrame,
+                    format!("expected data/end, got kind {}", other as u8),
+                ))));
+            }
+        }
+    }
+    fpc_metrics::incr(fpc_metrics::Counter::ServeRequests, 1);
+
+    if let Some(err) = rejection {
+        fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+        // If decoded output already went out, the Error frame lands in
+        // place of End and the client treats it as terminal.
+        send_error(writer, id, &err)?;
+        return Ok(Served::Continue);
+    }
+    match engine.expect("no rejection implies an engine") {
+        Engine::Compress(eng) => match eng.finish() {
+            Ok(stream) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeBytesOut, stream.len() as u64);
+                send_response(writer, op as u8, id, &stream)?;
+            }
+            Err(e) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+                send_error(
+                    writer,
+                    id,
+                    &WireError::new(ErrorCode::CorruptStream, e.to_string()),
+                )?;
+            }
+        },
+        Engine::Decompress(mut eng) => match eng.finish() {
+            Ok(()) => {
+                if !response_started {
+                    begin_response(writer, op as u8, id)?;
+                }
+                drain_output(writer, &mut eng, op, id, true, &mut outbuf)?;
+                flush_staged(writer, op, id, &mut outbuf)?;
+                end_message(writer, op as u8, id)?;
+            }
+            Err(e) => {
+                fpc_metrics::incr(fpc_metrics::Counter::ServeErrors, 1);
+                send_error(
+                    writer,
+                    id,
+                    &WireError::new(ErrorCode::CorruptStream, e.to_string()),
+                )?;
+            }
+        },
+    }
+    guard.shrink_to(0);
+    timer.finish(total);
+    Ok(Served::Continue)
+}
+
+/// Drops the engine (freeing everything it held) and settles the
+/// inflight account.
+fn release(engine: &mut Option<Engine>, guard: &mut InflightGuard<'_>) {
+    *engine = None;
+    guard.shrink_to(0);
+}
+
+/// Stages every decoded block the engine has ready and writes each full
+/// [`DATA_CHUNK`] as one `Data` frame, opening the response before the
+/// first frame. Small decoded chunks coalesce instead of each paying a
+/// frame (and, under fault injection, a fault-roll) of their own; the
+/// tail below one `DATA_CHUNK` stays staged until [`flush_staged`].
+/// Returns whether the response has started.
+fn drain_output(
+    writer: &mut impl Write,
+    eng: &mut StreamingDecompressor,
+    op: Op,
+    id: u64,
+    mut started: bool,
+    outbuf: &mut Vec<u8>,
+) -> io::Result<bool> {
+    while let Some(block) = eng.take_output() {
+        outbuf.extend_from_slice(&block);
+        while outbuf.len() >= DATA_CHUNK {
+            if !started {
+                begin_response(writer, op as u8, id)?;
+                started = true;
+            }
+            fpc_metrics::incr(fpc_metrics::Counter::ServeBytesOut, DATA_CHUNK as u64);
+            send_data(writer, op as u8, id, &outbuf[..DATA_CHUNK])?;
+            outbuf.drain(..DATA_CHUNK);
+        }
+    }
+    Ok(started)
+}
+
+/// Writes the staged sub-`DATA_CHUNK` tail, if any.
+fn flush_staged(writer: &mut impl Write, op: Op, id: u64, outbuf: &mut Vec<u8>) -> io::Result<()> {
+    if !outbuf.is_empty() {
+        fpc_metrics::incr(fpc_metrics::Counter::ServeBytesOut, outbuf.len() as u64);
+        send_data(writer, op as u8, id, outbuf)?;
+        outbuf.clear();
+    }
+    Ok(())
+}

@@ -432,6 +432,53 @@ pub fn send_request(
     send_message(w, FrameKind::Request, op as u8, algo, request_id, payload)
 }
 
+/// Starts an incremental response: the `Response` frame alone. The caller
+/// follows with [`send_data`] frames and a terminating [`end_message`] —
+/// or a [`send_error`] frame, which a receiver must accept in place of
+/// `End` as a terminal mid-stream failure.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn begin_response(w: &mut impl Write, op: u8, request_id: u64) -> io::Result<()> {
+    write_frame(
+        w,
+        &FrameHeader::new(FrameKind::Response, op, ALGO_NONE, request_id, 0),
+        &[],
+    )
+}
+
+/// Sends one `Data` frame of an incremental message. The caller bounds
+/// `chunk` by the peer's frame cap ([`DATA_CHUNK`] is always safe).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn send_data(w: &mut impl Write, op: u8, request_id: u64, chunk: &[u8]) -> io::Result<()> {
+    let header = FrameHeader::new(
+        FrameKind::Data,
+        op,
+        ALGO_NONE,
+        request_id,
+        chunk.len() as u32,
+    );
+    write_frame(w, &header, chunk)
+}
+
+/// Terminates an incremental message with its `End` frame and flushes.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn end_message(w: &mut impl Write, op: u8, request_id: u64) -> io::Result<()> {
+    write_frame(
+        w,
+        &FrameHeader::new(FrameKind::End, op, ALGO_NONE, request_id, 0),
+        &[],
+    )?;
+    w.flush()
+}
+
 /// Sends a complete successful response (header, chunked payload, end).
 ///
 /// # Errors

@@ -22,15 +22,27 @@ struct Fixture {
 
 impl Fixture {
     fn start(config: ServeConfig) -> Fixture {
+        Fixture::start_with_cache(config).0
+    }
+
+    /// Also hands back the server's hot-chunk cache (when `cache_bytes`
+    /// is set) so tests can assert on hit counters.
+    fn start_with_cache(
+        config: ServeConfig,
+    ) -> (Fixture, Option<std::sync::Arc<fpc_cache::ChunkCache>>) {
         let server = Server::bind("127.0.0.1:0", config).expect("bind");
         let addr = server.local_addr().expect("local addr");
         let shutdown = server.shutdown_flag();
+        let cache = server.cache();
         let handle = std::thread::spawn(move || server.run());
-        Fixture {
-            addr,
-            shutdown,
-            handle: Some(handle),
-        }
+        (
+            Fixture {
+                addr,
+                shutdown,
+                handle: Some(handle),
+            },
+            cache,
+        )
     }
 
     fn client(&self) -> Client {
@@ -469,6 +481,125 @@ fn resilient_client_matches_plain_client_and_fails_fast_on_poison() {
 }
 
 #[test]
+fn cached_responses_are_byte_identical_to_uncached_for_every_algorithm() {
+    let uncached = Fixture::start(ServeConfig::default());
+    let (cached, cache) = Fixture::start_with_cache(ServeConfig {
+        cache_bytes: 64 << 20,
+        ..ServeConfig::default()
+    });
+    let cache = cache.expect("cache_bytes > 0 must arm the cache");
+    let mut hot = cached.client();
+    let mut cold = uncached.client();
+    let data = sample(40_000);
+    let algos = [
+        Algorithm::SpSpeed,
+        Algorithm::SpRatio,
+        Algorithm::DpSpeed,
+        Algorithm::DpRatio,
+        Algorithm::Auto,
+    ];
+    for algo in algos {
+        let local = Compressor::new(algo).compress_bytes(&data);
+        // Two passes: the first populates the cache, the second must be
+        // served from it — and both must match the cache-off server and
+        // the local library bit for bit.
+        for pass in 0..2 {
+            let from_hot = hot.compress(algo, &data).expect("cached compress");
+            let from_cold = cold.compress(algo, &data).expect("uncached compress");
+            assert_eq!(from_hot, local, "{algo} pass {pass}: cached stream differs");
+            assert_eq!(
+                from_cold, local,
+                "{algo} pass {pass}: uncached stream differs"
+            );
+            assert_eq!(
+                hot.decompress(&local).expect("cached decompress"),
+                data,
+                "{algo} pass {pass}: cached decompress differs"
+            );
+            assert_eq!(
+                cold.decompress(&local).expect("uncached decompress"),
+                data,
+                "{algo} pass {pass}: uncached decompress differs"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "repeat requests never hit the cache (misses={})",
+        stats.misses
+    );
+}
+
+#[test]
+fn warm_range_requests_are_served_from_the_cache() {
+    let (cached, cache) = Fixture::start_with_cache(ServeConfig {
+        cache_bytes: 64 << 20,
+        ..ServeConfig::default()
+    });
+    let cache = cache.expect("cache_bytes > 0 must arm the cache");
+    let uncached = Fixture::start(ServeConfig::default());
+    let mut hot = cached.client();
+    let mut cold = uncached.client();
+    let data = sample(60_000); // 240_000 original bytes, 15 chunks
+    let expected = &data[70_001..70_001 + 33_333];
+    for algo in [Algorithm::SpRatio, Algorithm::Auto] {
+        let stream = Compressor::new(algo).compress_bytes(&data);
+        // The cold pass decodes the touched chunks and inserts them; the
+        // warm repeat must be served from the cache with identical bytes.
+        let first = hot.range(&stream, 70_001, 33_333).expect("cold range");
+        let hits_before = cache.stats().hits;
+        let warm = hot.range(&stream, 70_001, 33_333).expect("warm range");
+        assert_eq!(first, expected, "{algo}: cold range differs");
+        assert_eq!(warm, expected, "{algo}: warm range differs");
+        assert!(
+            cache.stats().hits > hits_before,
+            "{algo}: warm range never hit the cache"
+        );
+        // Cache-on matches cache-off byte for byte.
+        assert_eq!(
+            cold.range(&stream, 70_001, 33_333).expect("uncached range"),
+            expected,
+            "{algo}: cached and uncached range disagree"
+        );
+        // Decode entries are shared across paths: a streamed decompress
+        // of the same stream hits the chunks the ranges warmed.
+        let hits_before = cache.stats().hits;
+        assert_eq!(
+            hot.decompress(&stream).expect("remote decompress"),
+            data,
+            "{algo}: decompress after range differs"
+        );
+        assert!(
+            cache.stats().hits > hits_before,
+            "{algo}: decompress missed the range-warmed chunks"
+        );
+    }
+}
+
+#[test]
+fn streamed_decompress_larger_than_the_watermark_completes() {
+    // The watermark is far below the request: only chunk-at-a-time
+    // streaming (decoded output leaving as it is produced) keeps the
+    // per-connection reservation under it. The buffer-everything path
+    // would shed this request with Busy.
+    let fixture = Fixture::start(ServeConfig {
+        shed_inflight: 64 << 10,
+        ..ServeConfig::default()
+    });
+    let mut client = fixture.client();
+    let data = sample(1 << 20); // 4 MiB original
+    let stream = Compressor::new(Algorithm::SpSpeed).compress_bytes(&data);
+    assert!(
+        stream.len() > 1 << 20,
+        "operand must dwarf the 64 KiB watermark (got {} bytes)",
+        stream.len()
+    );
+    let restored = client.decompress(&stream).expect("streamed decompress");
+    assert_eq!(restored, data, "streamed decompress corrupted the payload");
+}
+
+#[test]
 fn loadgen_over_eight_connections_completes_clean() {
     let fixture = Fixture::start(ServeConfig::default());
     let config = fpc_bench::loadgen::LoadgenConfig {
@@ -478,6 +609,7 @@ fn loadgen_over_eight_connections_completes_clean() {
         payload_bytes: 128 << 10,
         algo: Algorithm::SpSpeed,
         timeout: Some(Duration::from_secs(30)),
+        ..fpc_bench::loadgen::LoadgenConfig::default()
     };
     let report = fpc_bench::loadgen::run(&config).expect("loadgen");
     assert_eq!(report.errors, 0, "loadgen saw failed requests");
